@@ -1,0 +1,106 @@
+// Figure 2: impact of interference on the 99th percentile latency of LC
+// service components. Each Servpod of Redis (a) and E-commerce (b) is
+// co-located — without any controller — with one BE stressor at a time, at
+// 20/40/60/80% of MaxLoad; reported is the 99th-percentile increase over the
+// solo run, in percent (the paper plots log2 of this).
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+using namespace rhythm_bench;
+
+namespace {
+
+constexpr double kDvfsFreqGhz = 1.2;  // DVFS interference group.
+
+double SoloP99(LcAppKind app, double load, double window) {
+  DeploymentConfig config;
+  config.app_kind = app;
+  config.enable_be = false;
+  config.seed = 17;
+  config.tail_window_s = window;
+  Deployment deployment(config);
+  const ConstantLoad profile(load);
+  deployment.Start(&profile);
+  deployment.RunFor(window + 5.0);
+  return deployment.service().TailLatencyMs();
+}
+
+double InterferedP99(LcAppKind app, int pod, BeJobKind be, bool dvfs, int instances,
+                     double load, double window) {
+  DeploymentConfig config;
+  config.app_kind = app;
+  config.be_kind = be;
+  config.enable_be = !dvfs;
+  config.seed = 17;
+  config.tail_window_s = window;
+  Deployment deployment(config);
+  const ConstantLoad profile(load);
+  deployment.Start(&profile);
+  if (dvfs) {
+    deployment.machine(pod).power().SetLcFrequency(kDvfsFreqGhz);
+  } else {
+    // BE jobs at full demand, as the paper's characterization deploys
+    // (CPU-stress spans the socket's spare cores like `stress -c N`).
+    deployment.LaunchBeAtPod(pod, instances);
+  }
+  deployment.RunFor(window + 5.0);
+  return deployment.service().TailLatencyMs();
+}
+
+void RunPanel(LcAppKind app, const std::vector<const char*>& pod_names) {
+  const AppSpec spec = MakeApp(app);
+  const double window = FastMode() ? 20.0 : 40.0;
+  const std::vector<double> loads = {0.2, 0.4, 0.6, 0.8};
+
+  struct Group {
+    const char* name;
+    BeJobKind be;
+    bool dvfs;
+    int instances;
+  };
+  const std::vector<Group> groups = {
+      {"stream-dram(big)", BeJobKind::kStreamDramBig, false, 1},
+      {"stream-dram(small)", BeJobKind::kStreamDramSmall, false, 1},
+      {"stream-llc(big)", BeJobKind::kStreamLlcBig, false, 1},
+      {"stream-llc(small)", BeJobKind::kStreamLlcSmall, false, 1},
+      {"DVFS", BeJobKind::kCpuStress, true, 0},
+      {"iperf", BeJobKind::kIperf, false, 1},
+      {"CPU-stress", BeJobKind::kCpuStress, false, 5},
+  };
+
+  std::printf("--- %s: 99th-latency increase (%%) over solo, by Servpod and load ---\n",
+              spec.name.c_str());
+  std::vector<double> solo(loads.size());
+  for (size_t i = 0; i < loads.size(); ++i) {
+    solo[i] = SoloP99(app, loads[i], window);
+  }
+  for (const Group& group : groups) {
+    for (const char* pod_name : pod_names) {
+      const int pod = spec.PodIndex(pod_name);
+      std::printf("%-20s %-8s", group.name, pod_name);
+      for (size_t i = 0; i < loads.size(); ++i) {
+        const double p99 =
+            InterferedP99(app, pod, group.be, group.dvfs, group.instances, loads[i], window);
+        const double increase = 100.0 * (p99 / solo[i] - 1.0);
+        std::printf(" %9.0f", increase);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 2: interference tolerance is component-specific ===\n");
+  std::printf("(columns: 20%% 40%% 60%% 80%% of MaxLoad)\n\n");
+  RunPanel(LcAppKind::kRedis, {"Master", "Slave"});
+  RunPanel(LcAppKind::kEcommerce, {"Tomcat", "MySQL"});
+  std::printf("Expected shape: interference grows with load; Master >> Slave and\n"
+              "MySQL >> Tomcat under stream-llc(big)/stream-dram(big); Tomcat more\n"
+              "DVFS-sensitive than MySQL; CPU-stress mildest (cpuset isolation).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 6: (a) average sojourn time of the E-commerce Servpods plus the
+// overall 99th percentile latency, and (b) the normalized coefficient of
+// variation of their sojourn times, across the solo-run load sweep.
+
+#include "bench/bench_util.h"
+
+using namespace rhythm_bench;
+
+int main() {
+  const AppSpec app = MakeApp(LcAppKind::kEcommerce);
+  ProfileOptions options;
+  options.measure_s = FastMode() ? 20.0 : 40.0;
+  std::vector<double> levels;
+  for (int pct = FastMode() ? 15 : 5; pct <= 95; pct += FastMode() ? 20 : 10) {
+    levels.push_back(pct / 100.0);
+  }
+  const ProfileResult profile = ProfileSolo(LcAppKind::kEcommerce, levels, options);
+
+  std::printf("=== Figure 6a: average sojourn time (ms) vs load, E-commerce ===\n");
+  PrintHeaderLoads(levels);
+  for (int pod = 0; pod < app.pod_count(); ++pod) {
+    std::printf("%-22s", app.components[pod].name.c_str());
+    for (size_t i = 0; i < levels.size(); ++i) {
+      std::printf(" %8.2f", profile.matrix.pod_sojourn_ms[pod][i]);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-22s", "99th percentile");
+  for (size_t i = 0; i < levels.size(); ++i) {
+    std::printf(" %8.2f", profile.matrix.tail_ms[i]);
+  }
+  std::printf("\n\n=== Figure 6b: normalized coefficient of variation ===\n");
+  PrintHeaderLoads(levels);
+  for (int pod = 0; pod < app.pod_count(); ++pod) {
+    std::printf("%-22s", app.components[pod].name.c_str());
+    for (size_t i = 0; i < levels.size(); ++i) {
+      // Normalized across pods at each level, as the figure plots shares.
+      double total = 0.0;
+      for (int other = 0; other < app.pod_count(); ++other) {
+        total += profile.pod_cov[other][i];
+      }
+      std::printf(" %8.3f", total > 0.0 ? profile.pod_cov[pod][i] / total * app.pod_count()
+                                        : 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: HAProxy <5%% of latency but large variance share;\n"
+              "Amoeba smallest CoV; MySQL overtakes Tomcat past ~50%% load and has\n"
+              "the largest variance throughout.\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 10: machine CPU utilization at five Servpods under different loads,
+// Rhythm vs Heracles.
+
+#include "bench/grid_figures.h"
+
+using namespace rhythm_bench;
+
+int main() {
+  RunPodGrid("Figure 10: CPU utilization at Servpods",
+             [](const RunSummary& summary, int pod) { return summary.pods[pod].cpu_util; });
+  std::printf("\nExpected shape: CPU-stress and LSTM groups reach the highest\n"
+              "utilization; Rhythm exceeds Heracles, most visibly above 65%% load.\n");
+  return 0;
+}

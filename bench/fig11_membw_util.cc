@@ -1,0 +1,14 @@
+// Figure 11: memory-bandwidth utilization at five Servpods under different
+// loads, Rhythm vs Heracles.
+
+#include "bench/grid_figures.h"
+
+using namespace rhythm_bench;
+
+int main() {
+  RunPodGrid("Figure 11: memory-bandwidth utilization at Servpods",
+             [](const RunSummary& summary, int pod) { return summary.pods[pod].membw_util; });
+  std::printf("\nExpected shape: stream-dram and wordcount groups drive the highest\n"
+              "bandwidth; CPU-stress barely moves it; Rhythm exceeds Heracles.\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 12: EMU (effective machine utilization = LC throughput + BE
+// throughput) improvement of Rhythm over Heracles, per LC service, BE
+// workload and load.
+
+#include "bench/grid_figures.h"
+
+using namespace rhythm_bench;
+
+int main() {
+  RunImprovementGrid("Figure 12: EMU improvement",
+                     [](const RunSummary& summary) { return summary.emu; });
+  std::printf("\nExpected shape: positive everywhere and growing with load (paper\n"
+              "averages: E-commerce 11.6%%, Redis 18.4%%, Solr 24.6%%, Elgg 14%%,\n"
+              "Elasticsearch 12.7%%; up to 57%% for Solr with imageClassify).\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 13: CPU-utilization improvement of Rhythm over Heracles, per LC
+// service, BE workload and load.
+
+#include "bench/grid_figures.h"
+
+using namespace rhythm_bench;
+
+int main() {
+  RunImprovementGrid("Figure 13: CPU utilization improvement",
+                     [](const RunSummary& summary) { return summary.cpu_util; });
+  std::printf("\nExpected shape: LSTM and CPU-stress show the largest gains (paper\n"
+              "averages 19-35%% per service, up to 112%% for Elasticsearch+LSTM).\n");
+  return 0;
+}

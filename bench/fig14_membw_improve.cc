@@ -1,0 +1,15 @@
+// Figure 14: memory-bandwidth-utilization improvement of Rhythm over
+// Heracles, per LC service, BE workload and load.
+
+#include "bench/grid_figures.h"
+
+using namespace rhythm_bench;
+
+int main() {
+  RunImprovementGrid("Figure 14: memory-bandwidth utilization improvement",
+                     [](const RunSummary& summary) { return summary.membw_util; });
+  std::printf("\nExpected shape: stream-dram and wordcount show the largest gains\n"
+              "(paper averages 16.8-33.4%% per service, up to 120%% for\n"
+              "Elasticsearch+stream-dram).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 17: timeline of Rhythm's running process on the Tomcat and MySQL
+// Servpods co-located with wordcount under the production load — request
+// load vs loadlimit, slack vs slacklimit, CPU utilization, BE LLC ways, BE
+// cores, BE instances and BE throughput, sampled over time.
+
+#include "bench/bench_util.h"
+
+using namespace rhythm_bench;
+
+int main() {
+  const LcAppKind app_kind = LcAppKind::kEcommerce;
+  const AppSpec app = MakeApp(app_kind);
+  const AppThresholds& thresholds = CachedAppThresholds(app_kind);
+  const int tomcat = app.PodIndex("Tomcat");
+  const int mysql = app.PodIndex("MySQL");
+
+  DeploymentConfig config;
+  config.app_kind = app_kind;
+  config.be_kind = BeJobKind::kWordcount;
+  config.controller = ControllerKind::kRhythm;
+  config.thresholds = thresholds.pods;
+  config.seed = 23;
+  Deployment deployment(config);
+
+  const double duration = FastMode() ? 300.0 : 1200.0;
+  // One diurnal wave crossing the loadlimits near its peak.
+  const DiurnalTrace trace(duration * DiurnalTrace::kDays, 0.2, 0.97);
+  deployment.Start(&trace);
+  deployment.RunFor(duration);
+
+  std::printf("=== Figure 17: Rhythm running-process timeline (wordcount, production) ===\n");
+  std::printf("loadlimit: Tomcat %.2f, MySQL %.2f; slacklimit: Tomcat %.3f, MySQL %.3f\n\n",
+              thresholds.pods[tomcat].loadlimit, thresholds.pods[mysql].loadlimit,
+              thresholds.pods[tomcat].slacklimit, thresholds.pods[mysql].slacklimit);
+  std::printf("%8s %6s %7s | %7s %8s %8s %8s | %7s %8s %8s %8s\n", "t(min)", "load", "slack",
+              "T.cpu", "T.cores", "T.ways", "T.inst", "M.cpu", "M.cores", "M.ways", "M.inst");
+
+  const double step = duration / 40.0;
+  for (double t = step; t <= duration; t += step) {
+    const PodSeries& ts = deployment.pod_series(tomcat);
+    const PodSeries& ms = deployment.pod_series(mysql);
+    std::printf("%8.1f %6.2f %7.2f | %7.2f %8.0f %8.0f %8.0f | %7.2f %8.0f %8.0f %8.0f\n",
+                t / 60.0, deployment.load_series().ValueAt(t),
+                deployment.slack_series().ValueAt(t), ts.cpu_util.ValueAt(t),
+                ts.be_cores.ValueAt(t), ts.be_ways.ValueAt(t), ts.be_instances.ValueAt(t),
+                ms.cpu_util.ValueAt(t), ms.be_cores.ValueAt(t), ms.be_ways.ValueAt(t),
+                ms.be_instances.ValueAt(t));
+  }
+
+  std::printf("\nController action counts over the window:\n");
+  for (int pod : {tomcat, mysql}) {
+    const MachineAgent::Stats& stats = deployment.agent(pod)->stats();
+    std::printf("  %-8s grows=%llu disallows=%llu cuts=%llu suspends=%llu stops=%llu\n",
+                app.components[pod].name.c_str(), (unsigned long long)stats.grows,
+                (unsigned long long)stats.disallows, (unsigned long long)stats.cuts,
+                (unsigned long long)stats.suspends, (unsigned long long)stats.stops);
+  }
+  std::printf("\nExpected shape: BE resources grow while slack is ample, SuspendBE as\n"
+              "the load wave crosses the loadlimit (MySQL first), CutBE on slack dips,\n"
+              "then renewed growth as the wave recedes.\n");
+  return 0;
+}

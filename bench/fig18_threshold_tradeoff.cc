@@ -1,0 +1,65 @@
+// Figure 18: trade-off between the derived thresholds and BE throughput.
+// Fixing MySQL's loadlimit and varying its slacklimit from 70% to 130% of
+// the derived value (and vice versa), normalized BE throughput is measured —
+// the paper finds the 90-100% band optimal once SLA violations are counted.
+
+#include "bench/bench_util.h"
+
+using namespace rhythm_bench;
+
+namespace {
+
+RunSummary RunWithScaledThreshold(bool scale_slacklimit, double level) {
+  const LcAppKind app_kind = LcAppKind::kEcommerce;
+  const AppThresholds& base = CachedAppThresholds(app_kind);
+  ExperimentConfig config;
+  config.app = app_kind;
+  config.be = BeJobKind::kWordcount;
+  config.controller = ControllerKind::kRhythm;
+  config.thresholds = base.pods;
+  const int mysql = 3;
+  if (scale_slacklimit) {
+    config.thresholds[mysql].slacklimit = base.pods[mysql].slacklimit * level;
+  } else {
+    config.thresholds[mysql].loadlimit = std::min(0.99, base.pods[mysql].loadlimit * level);
+  }
+  config.warmup_s = 20.0;
+  config.measure_s = FastMode() ? 60.0 : 150.0;
+  config.seed = 29;
+  // Run near MySQL's loadlimit so both thresholds bind.
+  return RunColocation(config, 0.7);
+}
+
+}  // namespace
+
+int main() {
+  const AppThresholds& base = CachedAppThresholds(LcAppKind::kEcommerce);
+  std::printf("=== Figure 18: threshold level vs normalized BE throughput ===\n");
+  std::printf("(MySQL derived values: loadlimit %.2f, slacklimit %.3f; load 70%%)\n\n",
+              base.pods[3].loadlimit, base.pods[3].slacklimit);
+  std::printf("%-10s %28s %28s\n", "level", "fix loadlimit, vary slack", "fix slack, vary loadlimit");
+
+  double reference = 0.0;
+  std::vector<std::pair<double, double>> rows;
+  for (double level : {0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3}) {
+    const RunSummary vary_slack = RunWithScaledThreshold(true, level);
+    const RunSummary vary_load = RunWithScaledThreshold(false, level);
+    if (level == 1.0) {
+      reference = vary_slack.be_throughput;
+    }
+    rows.push_back({vary_slack.be_throughput, vary_load.be_throughput});
+  }
+  if (reference <= 0.0) {
+    reference = 1.0;
+  }
+  int i = 0;
+  for (double level : {0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3}) {
+    std::printf("%9.0f%% %28.3f %28.3f\n", level * 100.0, rows[i].first / reference,
+                rows[i].second / reference);
+    ++i;
+  }
+  std::printf("\nExpected shape: smaller slacklimit buys more BE throughput (peaking\n"
+              "below the 100%% level) and larger loadlimit does too — but Table 2\n"
+              "shows those aggressive settings cost SLA violations and BE kills.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared grid driver for Figures 9-14.
+//
+// Figures 9-11 report one Servpod per LC service (Tomcat/E-commerce,
+// Slave/Redis, Zookeeper/Solr, Memcached/Elgg, Kibana/Elasticsearch) across
+// six BE workloads and five load points, for Rhythm vs Heracles:
+//   fig 9: BE throughput, fig 10: CPU utilization, fig 11: MemBW utilization.
+// Figures 12-14 report the whole-service relative improvement
+// (Rhythm - Heracles) / Heracles of EMU / CPU / MemBW on the same grid.
+
+#ifndef RHYTHM_BENCH_GRID_FIGURES_H_
+#define RHYTHM_BENCH_GRID_FIGURES_H_
+
+#include <functional>
+
+#include "bench/bench_util.h"
+
+namespace rhythm_bench {
+
+using PodMetric = std::function<double(const RunSummary&, int pod)>;
+using AppMetric = std::function<double(const RunSummary&)>;
+
+// Figures 9-11: per-Servpod metric, both controllers printed side by side.
+inline void RunPodGrid(const char* title, const PodMetric& metric) {
+  const std::vector<double> loads = GridLoads();
+  std::printf("=== %s ===\n", title);
+  for (const FigurePod& figure_pod : Figure9Pods()) {
+    const AppSpec app = MakeApp(figure_pod.app);
+    const int pod = app.PodIndex(figure_pod.pod_name);
+    std::printf("\n--- %s/%s ---\n", figure_pod.pod_name, app.name.c_str());
+    PrintHeaderLoads(loads);
+    for (BeJobKind be : EvaluationBeJobKinds()) {
+      for (ControllerKind controller : {ControllerKind::kRhythm, ControllerKind::kHeracles}) {
+        std::printf("%-12s %-9s", BeJobKindName(be), ControllerKindName(controller));
+        for (double load : loads) {
+          const RunSummary summary = GridRun(figure_pod.app, be, controller, load);
+          std::printf(" %8.3f", metric(summary, pod));
+        }
+        std::printf("\n");
+      }
+    }
+  }
+}
+
+// Figures 12-14: relative improvement per LC service.
+inline void RunImprovementGrid(const char* title, const AppMetric& metric) {
+  const std::vector<double> loads = GridLoads();
+  const std::vector<LcAppKind> apps = {LcAppKind::kEcommerce, LcAppKind::kRedis,
+                                       LcAppKind::kSolr, LcAppKind::kElgg,
+                                       LcAppKind::kElasticsearch};
+  std::printf("=== %s ===\n", title);
+  for (LcAppKind app : apps) {
+    std::printf("\n--- %s: (Rhythm - Heracles) / Heracles, %% ---\n", LcAppKindName(app));
+    PrintHeaderLoads(loads);
+    for (BeJobKind be : EvaluationBeJobKinds()) {
+      std::printf("%-22s", BeJobKindName(be));
+      for (double load : loads) {
+        const RunSummary rhythm = GridRun(app, be, ControllerKind::kRhythm, load);
+        const RunSummary heracles = GridRun(app, be, ControllerKind::kHeracles, load);
+        std::printf(" %8.1f", 100.0 * RelativeImprovement(metric(rhythm), metric(heracles)));
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace rhythm_bench
+
+#endif  // RHYTHM_BENCH_GRID_FIGURES_H_

@@ -1,0 +1,34 @@
+// Table 1: LC workloads and BE jobs — the catalog this reproduction models.
+
+#include "bench/bench_util.h"
+
+using namespace rhythm_bench;
+
+int main() {
+  std::printf("=== Table 1: LC workloads ===\n");
+  std::printf("%-14s %-28s %10s %10s %10s\n", "Workload", "Servpods", "MaxLoad", "SLA(ms)",
+              "Containers");
+  for (LcAppKind kind : AllLcAppKinds()) {
+    const AppSpec app = MakeApp(kind);
+    std::string pods;
+    for (int pod = 0; pod < app.pod_count(); ++pod) {
+      if (pod > 0) {
+        pods += ",";
+      }
+      pods += app.components[pod].name;
+    }
+    std::printf("%-14s %-28s %9.0f %10.2f %10d\n", app.name.c_str(), pods.c_str(),
+                app.maxload_qps, app.sla_ms, app.containers);
+  }
+
+  std::printf("\n=== Table 1: BE jobs ===\n");
+  std::printf("%-18s %8s %8s %8s %8s %8s %10s\n", "Workload", "cores", "LLCways", "GB/s",
+              "Gbps", "mem(GB)", "solo(s)");
+  for (BeJobKind kind : AllBeJobKinds()) {
+    const BeJobSpec& spec = GetBeJobSpec(kind);
+    std::printf("%-18s %8.0f %8d %8.1f %8.1f %8.1f %10.0f\n", spec.name.c_str(),
+                spec.cores_demand, spec.llc_ways_demand, spec.membw_demand_gbs,
+                spec.net_demand_gbps, spec.memory_gb, spec.solo_duration_s);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Co-location shoot-out: sweep every evaluation BE workload against one LC
+// service under no controller / Heracles / Rhythm, at a chosen load — a
+// miniature of the paper's §5.2 grids with all three operating points.
+//
+//   $ ./colocation_comparison [load-percent]    (default 45)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/rhythm.h"
+
+using namespace rhythm;
+
+int main(int argc, char** argv) {
+  const double load = argc > 1 ? std::atof(argv[1]) / 100.0 : 0.45;
+  const LcAppKind app = LcAppKind::kEcommerce;
+  std::printf("E-commerce at %.0f%% of MaxLoad, 120 s windows\n\n", load * 100.0);
+  std::printf("%-18s %-10s %8s %8s %8s %10s %6s\n", "BE workload", "controller", "EMU",
+              "CPU", "MemBW", "worstTail", "viol");
+
+  for (BeJobKind be : EvaluationBeJobKinds()) {
+    for (ControllerKind controller : {ControllerKind::kHeracles, ControllerKind::kRhythm}) {
+      ExperimentConfig config;
+      config.app = app;
+      config.be = be;
+      config.controller = controller;
+      config.warmup_s = 20.0;
+      config.measure_s = 120.0;
+      const RunSummary s = RunColocation(config, load);
+      std::printf("%-18s %-10s %8.3f %8.3f %8.3f %9.2fx %6llu\n", BeJobKindName(be),
+                  ControllerKindName(controller), s.emu, s.cpu_util, s.membw_util,
+                  s.worst_tail_ratio, (unsigned long long)s.sla_violations);
+    }
+  }
+  return 0;
+}

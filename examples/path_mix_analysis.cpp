@@ -1,0 +1,76 @@
+// Multi-path request analysis: §3.3 notes that "user requests may be
+// processed by different paths of the service call". This example runs
+// E-commerce with a page-cache request mix (30% of requests never reach the
+// database tier), captures the kernel-event stream, and uses the CPG path
+// classifier plus the online contribution analyzer to characterize the
+// service live.
+//
+//   $ ./path_mix_analysis [cache-hit-percent]   (default 30)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/rhythm.h"
+
+using namespace rhythm;
+
+int main(int argc, char** argv) {
+  const double hit_fraction = argc > 1 ? std::atof(argv[1]) / 100.0 : 0.30;
+  const AppSpec app = MakeEcommerceWithCacheMix(hit_fraction);
+
+  Simulator sim;
+  EventLog log;
+  LcService::Config config;
+  config.seed = 404;
+  config.sink = &log;
+  config.record_sojourns = true;
+  LcService service(&sim, app, config);
+
+  // Online contribution estimation from one-second tracer windows while the
+  // load sweeps upward.
+  OnlineContributionAnalyzer online(app.pod_count(), app.call_root);
+  const TracerConfig tracer{.program_base = 100, .num_pods = app.pod_count()};
+
+  std::printf("E-commerce with %.0f%% cache-hit requests (HAProxy->Tomcat only).\n\n",
+              hit_fraction * 100.0);
+
+  for (double load : {0.2, 0.4, 0.6, 0.8}) {
+    ConstantLoad profile(load);
+    service.SetLoadProfile(&profile);
+    service.Start();
+    log.Clear();
+    sim.RunUntil(sim.Now() + 20.0);
+    const SojournSummary window = ExtractMeanSojourns(log.events(), tracer);
+    std::vector<double> means;
+    for (int pod = 0; pod < app.pod_count(); ++pod) {
+      means.push_back(window.mean_sojourn_s[pod] * 1000.0);
+    }
+    online.AddWindow(means, service.TailLatencyMs());
+  }
+
+  const CpgResult cpgs = BuildCpgs(log.events(), tracer);
+  const auto classes = ClassifyPaths(cpgs, tracer);
+  std::printf("Observed path classes (last window, %zu requests):\n", cpgs.requests.size());
+  for (const PathClass& cls : classes) {
+    std::printf("  [");
+    for (size_t i = 0; i < cls.pods.size(); ++i) {
+      std::printf("%s%s", i > 0 ? "," : "", app.components[cls.pods[i]].name.c_str());
+    }
+    std::printf("]  %llu requests, mean %.1f ms, max %.1f ms\n",
+                (unsigned long long)cls.requests, cls.mean_latency_s * 1000.0,
+                cls.max_latency_s * 1000.0);
+  }
+
+  std::printf("\nOnline contribution estimates over the sweep (%zu windows):\n",
+              online.windows());
+  const auto estimate = online.Estimate();
+  for (int pod = 0; pod < app.pod_count(); ++pod) {
+    std::printf("  %-12s C=%.5f (P=%.2f rho=%.2f V=%.4f)\n",
+                app.components[pod].name.c_str(), estimate[pod].contribution,
+                estimate[pod].weight_p, estimate[pod].correlation_rho,
+                estimate[pod].varcoef_v);
+  }
+  std::printf("\nExpected shape: two path classes whose frequency matches the mix;\n"
+              "MySQL dominates the online contribution despite the cache traffic.\n");
+  return 0;
+}

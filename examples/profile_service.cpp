@@ -1,0 +1,86 @@
+// Profile any of the six LC services: runs the solo-load sweep with the
+// request tracer attached, prints each Servpod's sojourn/CoV curves and the
+// derived contribution — the §3.3/§3.4 pipeline end to end.
+//
+//   $ ./profile_service [app]
+//     app: ecommerce | redis | solr | elasticsearch | elgg | snms
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/rhythm.h"
+
+using namespace rhythm;
+
+namespace {
+
+LcAppKind ParseApp(const char* name) {
+  if (std::strcmp(name, "redis") == 0) {
+    return LcAppKind::kRedis;
+  }
+  if (std::strcmp(name, "solr") == 0) {
+    return LcAppKind::kSolr;
+  }
+  if (std::strcmp(name, "elasticsearch") == 0) {
+    return LcAppKind::kElasticsearch;
+  }
+  if (std::strcmp(name, "elgg") == 0) {
+    return LcAppKind::kElgg;
+  }
+  if (std::strcmp(name, "snms") == 0) {
+    return LcAppKind::kSnms;
+  }
+  return LcAppKind::kEcommerce;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const LcAppKind kind = ParseApp(argc > 1 ? argv[1] : "ecommerce");
+  const AppSpec app = MakeApp(kind);
+  std::printf("Solo-run profile of %s (%s request tracing)\n", app.name.c_str(),
+              app.builtin_tracing ? "built-in jaeger" : "kernel-event");
+
+  ProfileOptions options;
+  options.measure_s = 30.0;
+  const std::vector<double> levels = {0.1, 0.3, 0.5, 0.7, 0.9};
+  const ProfileResult profile = ProfileSolo(kind, levels, options);
+
+  std::printf("\nMean sojourn time (ms) per Servpod over load:\n%-16s", "load");
+  for (double level : levels) {
+    std::printf(" %7.0f%%", level * 100.0);
+  }
+  std::printf("\n");
+  for (int pod = 0; pod < app.pod_count(); ++pod) {
+    std::printf("%-16s", app.components[pod].name.c_str());
+    for (size_t i = 0; i < levels.size(); ++i) {
+      std::printf(" %8.2f", profile.matrix.pod_sojourn_ms[pod][i]);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-16s", "99th latency");
+  for (size_t i = 0; i < levels.size(); ++i) {
+    std::printf(" %8.2f", profile.matrix.tail_ms[i]);
+  }
+  std::printf("   (SLA %.2f)\n", app.sla_ms);
+
+  std::printf("\nSojourn CoV per Servpod (loadlimit input):\n");
+  for (int pod = 0; pod < app.pod_count(); ++pod) {
+    std::printf("%-16s", app.components[pod].name.c_str());
+    for (size_t i = 0; i < levels.size(); ++i) {
+      std::printf(" %8.3f", profile.pod_cov[pod][i]);
+    }
+    std::printf("\n");
+  }
+
+  const auto contributions = AnalyzeContributions(profile.matrix, app.call_root);
+  std::printf("\nContribution analysis (Eq. 1-5):\n%-16s %8s %8s %8s %8s %12s\n", "Servpod",
+              "P", "rho", "V", "alpha", "contribution");
+  for (int pod = 0; pod < app.pod_count(); ++pod) {
+    const PodContribution& c = contributions[pod];
+    std::printf("%-16s %8.3f %8.3f %8.4f %8.3f %12.5f\n", app.components[pod].name.c_str(),
+                c.weight_p, c.correlation_rho, c.varcoef_v, c.alpha, c.contribution);
+  }
+  std::printf("\nProfiled %llu requests.\n", (unsigned long long)profile.requests_profiled);
+  return 0;
+}

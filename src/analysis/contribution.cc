@@ -1,0 +1,64 @@
+#include "src/analysis/contribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+
+namespace rhythm {
+
+std::vector<PodContribution> AnalyzeContributions(const ProfileMatrix& profile,
+                                                  const CallNode& call_root) {
+  const size_t n = profile.pod_sojourn_ms.size();
+  RHYTHM_CHECK(n > 0);
+  std::vector<PodContribution> pods(n);
+
+  // T̄_i over load levels, and the total across pods for Eq. 1.
+  double total_mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    pods[i].mean_sojourn_ms = Mean(profile.pod_sojourn_ms[i]);
+    total_mean += pods[i].mean_sojourn_ms;
+  }
+
+  // Fan-out alphas from the critical path, valuing each pod by its mean
+  // sojourn.
+  std::vector<double> pod_values(n);
+  for (size_t i = 0; i < n; ++i) {
+    pod_values[i] = pods[i].mean_sojourn_ms;
+  }
+  const double critical = CriticalPathValue(call_root, pod_values);
+
+  for (size_t i = 0; i < n; ++i) {
+    PodContribution& pod = pods[i];
+    pod.weight_p = total_mean > 0.0 ? pod.mean_sojourn_ms / total_mean : 0.0;
+    pod.correlation_rho =
+        std::max(0.0, PearsonCorrelation(profile.pod_sojourn_ms[i], profile.tail_ms));
+    pod.varcoef_v = NormalizedCovEq3(profile.pod_sojourn_ms[i]);
+    if (critical > 0.0) {
+      const double through = LongestPathThrough(call_root, static_cast<int>(i), pod_values);
+      pod.alpha = through > 0.0 ? std::min(1.0, through / critical) : 1.0;
+    }
+    pod.contribution = pod.alpha * pod.correlation_rho * pod.weight_p * pod.varcoef_v;
+  }
+  return pods;
+}
+
+std::vector<double> NormalizedContributions(const std::vector<PodContribution>& pods) {
+  double total = 0.0;
+  for (const PodContribution& pod : pods) {
+    total += pod.contribution;
+  }
+  std::vector<double> normalized(pods.size(), 0.0);
+  if (total <= 0.0) {
+    // Degenerate profile: fall back to uniform weights.
+    std::fill(normalized.begin(), normalized.end(), 1.0 / std::max<size_t>(pods.size(), 1));
+    return normalized;
+  }
+  for (size_t i = 0; i < pods.size(); ++i) {
+    normalized[i] = pods[i].contribution / total;
+  }
+  return normalized;
+}
+
+}  // namespace rhythm

@@ -1,0 +1,55 @@
+// Contribution analyzer (paper §3.4).
+//
+// From the solo-run profile — mean sojourn time of each Servpod at m load
+// levels plus the overall tail latency at each level — derives each pod's
+// contribution to the tail latency:
+//
+//   P_i   = T̄_i / Σ_k T̄_k                       (Eq. 1: sojourn weight)
+//   ρ_i   = Pearson(T_i[load], T_tail[load])     (Eq. 2: correlation)
+//   V_i   = (1/T̄_i) sqrt( Σ_j (T_i^j - T̄_i)² / (m(m-1)) )   (Eq. 3)
+//   C_i   = α_i · ρ_i · P_i · V_i                (Eq. 4/5)
+//
+// α_i is the fan-out discount: 1 for pods on the request's critical path;
+// otherwise the ratio of the longest path through pod i to the critical
+// path (Eq. 5).
+
+#ifndef RHYTHM_SRC_ANALYSIS_CONTRIBUTION_H_
+#define RHYTHM_SRC_ANALYSIS_CONTRIBUTION_H_
+
+#include <vector>
+
+#include "src/workload/call_graph.h"
+
+namespace rhythm {
+
+struct ProfileMatrix {
+  // pod_sojourn_ms[pod][level]: mean sojourn (ms) of pod at each load level.
+  std::vector<std::vector<double>> pod_sojourn_ms;
+  // tail_ms[level]: overall tail latency (e.g. 99th) at each load level.
+  std::vector<double> tail_ms;
+  // load_levels[level]: load fraction of each level (for reporting).
+  std::vector<double> load_levels;
+};
+
+struct PodContribution {
+  double mean_sojourn_ms = 0.0;  // T̄_i across levels.
+  double weight_p = 0.0;         // Eq. 1.
+  double correlation_rho = 0.0;  // Eq. 2.
+  double varcoef_v = 0.0;        // Eq. 3.
+  double alpha = 1.0;            // Eq. 5 fan-out scale.
+  double contribution = 0.0;     // Eq. 4/5 product.
+};
+
+// Analyzes the profile; `call_root` (with one value per pod = mean sojourn)
+// determines the critical-path alphas. Negative correlations are clamped to
+// zero: a pod anticorrelated with the tail cannot be driving it.
+std::vector<PodContribution> AnalyzeContributions(const ProfileMatrix& profile,
+                                                  const CallNode& call_root);
+
+// Contributions normalized to sum to 1 (the controller's step sizes are
+// built from these).
+std::vector<double> NormalizedContributions(const std::vector<PodContribution>& pods);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_ANALYSIS_CONTRIBUTION_H_

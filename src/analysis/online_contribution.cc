@@ -1,0 +1,44 @@
+#include "src/analysis/online_contribution.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+OnlineContributionAnalyzer::OnlineContributionAnalyzer(int pods, CallNode call_root,
+                                                       size_t max_windows)
+    : pods_(pods), call_root_(std::move(call_root)), max_windows_(max_windows) {
+  RHYTHM_CHECK(pods > 0);
+  pod_means_.resize(static_cast<size_t>(pods));
+}
+
+void OnlineContributionAnalyzer::AddWindow(std::span<const double> pod_mean_ms,
+                                           double tail_ms) {
+  RHYTHM_CHECK(static_cast<int>(pod_mean_ms.size()) == pods_);
+  for (int pod = 0; pod < pods_; ++pod) {
+    pod_means_[pod].push_back(pod_mean_ms[pod]);
+  }
+  tails_.push_back(tail_ms);
+  if (max_windows_ > 0 && tails_.size() > max_windows_) {
+    for (auto& series : pod_means_) {
+      series.pop_front();
+    }
+    tails_.pop_front();
+  }
+}
+
+std::vector<PodContribution> OnlineContributionAnalyzer::Estimate() const {
+  ProfileMatrix matrix;
+  matrix.pod_sojourn_ms.resize(static_cast<size_t>(pods_));
+  for (int pod = 0; pod < pods_; ++pod) {
+    matrix.pod_sojourn_ms[pod].assign(pod_means_[pod].begin(), pod_means_[pod].end());
+  }
+  matrix.tail_ms.assign(tails_.begin(), tails_.end());
+  if (matrix.tail_ms.empty()) {
+    return std::vector<PodContribution>(static_cast<size_t>(pods_));
+  }
+  return AnalyzeContributions(matrix, call_root_);
+}
+
+}  // namespace rhythm

@@ -1,0 +1,51 @@
+// Online contribution analysis (the alternative §3.2 discusses).
+//
+// Rhythm chooses *offline* profiling because an online exploration "may take
+// a very long time until collecting sufficient data". This estimator
+// implements that online path for comparison and for long-running
+// deployments where the workload drifts: it ingests per-window observations
+// (mean sojourn per Servpod + overall tail latency, e.g. once per minute
+// from the live tracer) and maintains the Eq. 1-5 contribution estimates
+// over the most recent windows.
+
+#ifndef RHYTHM_SRC_ANALYSIS_ONLINE_CONTRIBUTION_H_
+#define RHYTHM_SRC_ANALYSIS_ONLINE_CONTRIBUTION_H_
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "src/analysis/contribution.h"
+
+namespace rhythm {
+
+class OnlineContributionAnalyzer {
+ public:
+  // `max_windows` bounds memory and makes the estimate track drift: the
+  // oldest window is evicted once the horizon is full (0 = unbounded).
+  OnlineContributionAnalyzer(int pods, CallNode call_root, size_t max_windows = 0);
+
+  // One observation window: the mean sojourn of each pod (ms) and the
+  // overall tail latency (ms) measured during it.
+  void AddWindow(std::span<const double> pod_mean_ms, double tail_ms);
+
+  // Contribution estimates over the retained windows (Eq. 1-5). Requires at
+  // least two windows for a meaningful variance/correlation; with fewer it
+  // returns weights-only estimates (rho and V zero).
+  std::vector<PodContribution> Estimate() const;
+
+  size_t windows() const { return tails_.size(); }
+  int pods() const { return pods_; }
+
+ private:
+  int pods_;
+  CallNode call_root_;
+  size_t max_windows_;
+  std::vector<std::deque<double>> pod_means_;  // [pod][window]
+  std::deque<double> tails_;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_ANALYSIS_ONLINE_CONTRIBUTION_H_

@@ -1,0 +1,9 @@
+#include "src/baseline/heracles.h"
+
+namespace rhythm {
+
+ServpodThresholds HeraclesThresholds() {
+  return ServpodThresholds{.loadlimit = kHeraclesLoadlimit, .slacklimit = kHeraclesSlacklimit};
+}
+
+}  // namespace rhythm

@@ -1,0 +1,25 @@
+// Heracles baseline (Lo et al., ISCA'15) as the paper configures it (§5.1):
+// a feedback controller that does NOT distinguish Servpods —
+//   * BE jobs are disabled on every machine whenever the LC load exceeds
+//     85% of MaxLoad;
+//   * BE growth is disallowed whenever the tail-latency slack drops below
+//     10%.
+// Mechanically it reuses the same machine agent and subcontrollers as
+// Rhythm, with the uniform thresholds applied to every Servpod.
+
+#ifndef RHYTHM_SRC_BASELINE_HERACLES_H_
+#define RHYTHM_SRC_BASELINE_HERACLES_H_
+
+#include "src/control/thresholds.h"
+
+namespace rhythm {
+
+// The uniform thresholds Heracles applies at every machine.
+ServpodThresholds HeraclesThresholds();
+
+constexpr double kHeraclesLoadlimit = 0.85;
+constexpr double kHeraclesSlacklimit = 0.10;
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_BASELINE_HERACLES_H_

@@ -1,0 +1,324 @@
+#include "src/bemodel/be_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+BeRuntime::BeRuntime(Machine* machine, BeJobKind kind)
+    : machine_(machine), kind_(kind), spec_(GetBeJobSpec(kind)) {
+  RHYTHM_CHECK(machine != nullptr);
+}
+
+int BeRuntime::LlcStepWays() const {
+  return std::max(1, machine_->spec().llc_ways / 10);
+}
+
+bool BeRuntime::LaunchInstance() {
+  if (!self_launch_allowed_) {
+    return false;
+  }
+  return AdmitInstance();
+}
+
+bool BeRuntime::AdmitInstance() {
+  if (machine_->cores().AllocateBeCores(1) != 1) {
+    return false;
+  }
+  BeInstance inst;
+  inst.kind = kind_;
+  inst.cores = 1;
+  inst.llc_ways = machine_->cat().AllocateBeWays(LlcStepWays());
+  inst.memory_gb = machine_->memory().AllocateBeGb(2.0);
+  // With a cluster backlog attached, the instance needs a first job.
+  inst.idle = backlog_ != nullptr && !backlog_->TryTakeJob();
+  instances_.push_back(inst);
+  return true;
+}
+
+bool BeRuntime::Grow() {
+  // Prefer feeding the instance that is furthest below its core demand.
+  int neediest = -1;
+  double worst_ratio = 1.0;
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const double ratio = instances_[i].cores / spec_.cores_demand;
+    if (ratio < worst_ratio) {
+      worst_ratio = ratio;
+      neediest = static_cast<int>(i);
+    }
+  }
+  if (neediest >= 0 && GrowInstance(neediest)) {
+    return true;
+  }
+  // Every instance is at its core demand (or nothing could be granted to the
+  // hungriest one): try a fresh instance.
+  return LaunchInstance();
+}
+
+bool BeRuntime::GrowInstance(int index) {
+  if (index < 0 || index >= static_cast<int>(instances_.size())) {
+    return false;
+  }
+  BeInstance& inst = instances_[static_cast<size_t>(index)];
+  bool grew = false;
+  if (inst.cores < static_cast<int>(spec_.cores_demand) &&
+      machine_->cores().AllocateBeCores(1) == 1) {
+    inst.cores += 1;
+    grew = true;
+  }
+  if (inst.llc_ways < spec_.llc_ways_demand) {
+    const int ways = machine_->cat().AllocateBeWays(
+        std::min(LlcStepWays(), spec_.llc_ways_demand - inst.llc_ways));
+    if (ways > 0) {
+      inst.llc_ways += ways;
+      grew = true;
+    }
+  }
+  return grew;
+}
+
+bool BeRuntime::Cut() {
+  // Take from the richest instance first.
+  BeInstance* richest = nullptr;
+  for (BeInstance& inst : instances_) {
+    if (richest == nullptr || inst.cores > richest->cores) {
+      richest = &inst;
+    }
+  }
+  if (richest == nullptr) {
+    return false;
+  }
+  bool cut = false;
+  if (richest->cores > 0) {
+    machine_->cores().ReleaseBeCores(1);
+    richest->cores -= 1;
+    cut = true;
+  }
+  if (richest->llc_ways > 0) {
+    const int step = std::min(LlcStepWays(), richest->llc_ways);
+    machine_->cat().ReleaseBeWays(step);
+    richest->llc_ways -= step;
+    cut = true;
+  }
+  return cut;
+}
+
+bool BeRuntime::GrowMemoryStep() {
+  constexpr double kStepGb = 0.1;
+  for (BeInstance& inst : instances_) {
+    if (inst.memory_gb + kStepGb <= spec_.memory_gb) {
+      const double granted = machine_->memory().AllocateBeGb(kStepGb);
+      if (granted > 0.0) {
+        inst.memory_gb += granted;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool BeRuntime::CutMemoryStep() {
+  constexpr double kStepGb = 0.1;
+  // Cut from the instance holding the most memory, but never below the 2 GB
+  // launch allocation (cutting resident pages would kill the job).
+  BeInstance* richest = nullptr;
+  for (BeInstance& inst : instances_) {
+    if (inst.memory_gb > 2.0 && (richest == nullptr || inst.memory_gb > richest->memory_gb)) {
+      richest = &inst;
+    }
+  }
+  if (richest == nullptr) {
+    return false;
+  }
+  const double step = std::min(kStepGb, richest->memory_gb - 2.0);
+  machine_->memory().ReleaseBeGb(step);
+  richest->memory_gb -= step;
+  return true;
+}
+
+void BeRuntime::SuspendAll() {
+  for (BeInstance& inst : instances_) {
+    inst.suspended = true;
+  }
+}
+
+void BeRuntime::ResumeAll() {
+  for (BeInstance& inst : instances_) {
+    inst.suspended = false;
+  }
+}
+
+int BeRuntime::StopAll() {
+  const int killed = static_cast<int>(instances_.size());
+  for (BeInstance& inst : instances_) {
+    machine_->cores().ReleaseBeCores(inst.cores);
+    machine_->cat().ReleaseBeWays(inst.llc_ways);
+    machine_->memory().ReleaseBeGb(inst.memory_gb);
+    // A killed batch job forfeits its in-flight work (the paper's BE
+    // throughput counts jobs *successfully finished*).
+    progress_units_ -= inst.progress;
+  }
+  instances_.clear();
+  return killed;
+}
+
+double BeRuntime::InstanceSpeed(const BeInstance& inst) const {
+  if (inst.suspended || inst.idle || inst.cores == 0) {
+    return 0.0;
+  }
+  const double core_ratio = std::min(1.0, inst.cores / spec_.cores_demand);
+  const double llc_ratio =
+      std::min(1.0, static_cast<double>(std::max(inst.llc_ways, 1)) /
+                        std::max(spec_.llc_ways_demand, 1));
+  // Under-provisioned memory costs spills/page churn but is sub-linear, as
+  // is cache starvation (a stream kernel still streams with fewer ways, it
+  // just misses more).
+  const double mem_ratio =
+      0.7 + 0.3 * std::min(1.0, inst.memory_gb / std::max(spec_.memory_gb, 0.1));
+  const double cache_factor = 0.5 + 0.5 * llc_ratio;
+  const double membw_factor = machine_->membw().be_grant_fraction();
+  double net_factor = 1.0;
+  if (spec_.net_demand_gbps > 0.0) {
+    const double offered = NetOffered();
+    if (offered > 0.0) {
+      // Shaping ratio against the *current* qdisc allocation (the published
+      // offered value may lag by one accounting tick).
+      net_factor = std::min(1.0, machine_->network().be_allocation_gbps() / offered);
+    }
+  }
+  const double freq_factor = machine_->power().BeSpeedFactor();
+  return core_ratio * cache_factor * std::min({mem_ratio, membw_factor, net_factor}) *
+         freq_factor;
+}
+
+void BeRuntime::Step(double dt) {
+  for (BeInstance& inst : instances_) {
+    // Idle instances poll the backlog for new work.
+    if (inst.idle && backlog_ != nullptr && backlog_->TryTakeJob()) {
+      inst.idle = false;
+    }
+    const double speed = InstanceSpeed(inst);
+    if (speed <= 0.0) {
+      continue;
+    }
+    const double delta = dt * speed / spec_.solo_duration_s;
+    inst.progress += delta;
+    progress_units_ += delta;
+    while (inst.progress >= 1.0) {
+      inst.progress -= 1.0;
+      ++completions_;
+      if (backlog_ != nullptr && !backlog_->TryTakeJob()) {
+        // Queue drained: park the instance and drop the overshoot into the
+        // next (nonexistent) job.
+        progress_units_ -= inst.progress;
+        inst.progress = 0.0;
+        inst.idle = true;
+        break;
+      }
+    }
+  }
+}
+
+int BeRuntime::running_count() const {
+  int n = 0;
+  for (const BeInstance& inst : instances_) {
+    if (!inst.suspended && !inst.idle && inst.cores > 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool BeRuntime::all_suspended() const {
+  if (instances_.empty()) {
+    return true;
+  }
+  return std::all_of(instances_.begin(), instances_.end(),
+                     [](const BeInstance& i) { return i.suspended; });
+}
+
+double BeRuntime::BusyCores() const {
+  double busy = 0.0;
+  for (const BeInstance& inst : instances_) {
+    busy += inst.cores * spec_.cpu_intensity * (InstanceSpeed(inst) > 0.0 ? 1.0 : 0.0);
+  }
+  return busy;
+}
+
+double BeRuntime::MembwDemand() const {
+  double demand = 0.0;
+  for (const BeInstance& inst : instances_) {
+    if (inst.suspended || inst.idle || inst.cores == 0) {
+      continue;
+    }
+    demand += spec_.membw_demand_gbs * std::min(1.0, inst.cores / spec_.cores_demand);
+  }
+  return demand;
+}
+
+double BeRuntime::NetOffered() const {
+  double offered = 0.0;
+  for (const BeInstance& inst : instances_) {
+    if (inst.suspended || inst.idle || inst.cores == 0) {
+      continue;
+    }
+    offered += spec_.net_demand_gbps;
+  }
+  return offered;
+}
+
+ResourceVector BeRuntime::ExertedPressure() const {
+  ResourceVector sum;
+  for (const BeInstance& inst : instances_) {
+    if (inst.suspended || inst.idle || inst.cores == 0) {
+      continue;
+    }
+    const double scale = std::min(1.0, inst.cores / spec_.cores_demand);
+    sum.cpu += spec_.pressure.cpu * scale;
+    sum.llc += spec_.pressure.llc * scale;
+    sum.dram += spec_.pressure.dram * scale;
+    sum.net += spec_.pressure.net * scale;
+  }
+  sum.cpu = std::min(sum.cpu, 1.0);
+  sum.llc = std::min(sum.llc, 1.0);
+  sum.dram = std::min(sum.dram, 1.0);
+  sum.net = std::min(sum.net, 1.0);
+  return sum;
+}
+
+double BeRuntime::NormalizedThroughput(double elapsed_hours) const {
+  if (elapsed_hours <= 0.0) {
+    return 0.0;
+  }
+  const double rate = progress_units_ / elapsed_hours;
+  return rate / SoloRatePerHour(spec_, machine_->spec());
+}
+
+int BeRuntime::TotalCoresHeld() const {
+  int total = 0;
+  for (const BeInstance& inst : instances_) {
+    total += inst.cores;
+  }
+  return total;
+}
+
+double BeRuntime::GrowthMembwStepGbs() const {
+  return spec_.membw_demand_gbs / std::max(spec_.cores_demand, 1.0);
+}
+
+int BeRuntime::TotalWaysHeld() const {
+  int total = 0;
+  for (const BeInstance& inst : instances_) {
+    total += inst.llc_ways;
+  }
+  return total;
+}
+
+void BeRuntime::PublishActivity() {
+  machine_->SetBeActivity(BusyCores(), MembwDemand(), NetOffered());
+}
+
+}  // namespace rhythm

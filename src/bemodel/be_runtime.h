@@ -1,0 +1,156 @@
+// Per-machine BE job runtime.
+//
+// Holds the BE job instances co-located with one Servpod, tracks their
+// resource allocations (granted through the machine's isolation mechanisms)
+// and advances their progress. The subcontrollers drive the five controller
+// actions against this runtime; the interference model reads the aggregate
+// pressure the running instances exert.
+
+#ifndef RHYTHM_SRC_BEMODEL_BE_RUNTIME_H_
+#define RHYTHM_SRC_BEMODEL_BE_RUNTIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bemodel/be_job_spec.h"
+#include "src/resources/machine.h"
+#include "src/scheduler/be_backlog.h"
+
+namespace rhythm {
+
+// One running (or suspended) BE job instance and its current allocation.
+struct BeInstance {
+  BeJobKind kind;
+  int cores = 0;
+  int llc_ways = 0;
+  double memory_gb = 0.0;
+  bool suspended = false;
+  // True when the cluster backlog has no job for this instance; it holds its
+  // allocation but makes no progress and exerts no pressure.
+  bool idle = false;
+  double progress = 0.0;  // fraction of the current job completed, [0, 1).
+};
+
+class BeRuntime {
+ public:
+  // The runtime launches instances of a single BE kind (the evaluation
+  // co-locates one BE workload type per experiment).
+  BeRuntime(Machine* machine, BeJobKind kind);
+
+  // Attaches a cluster job backlog (paper §4 scheduler integration). When
+  // set, instances pull jobs from it: a drained queue idles instances until
+  // work arrives. Without a backlog, jobs are always available (the §5
+  // evaluation assumption). The backlog must outlive the runtime.
+  void SetBacklog(BeBacklog* backlog) { backlog_ = backlog; }
+
+  // When false, the machine may not create instances on its own (the
+  // cluster scheduler admits them via AdmitInstance); local resource growth
+  // of existing instances is unaffected.
+  void set_self_launch_allowed(bool allowed) { self_launch_allowed_ = allowed; }
+  bool self_launch_allowed() const { return self_launch_allowed_; }
+
+  // -- Controller actions (paper §3.5.2) ------------------------------------
+
+  // Starts one new instance configured with 1 core, 10% of the LLC and 2 GB
+  // of memory. Fails (returns false) if the machine cannot grant the cores,
+  // or when self-launching is disabled (scheduler-admitted deployments).
+  bool LaunchInstance();
+
+  // Scheduler admission path: creates an instance regardless of the
+  // self-launch setting.
+  bool AdmitInstance();
+
+  // AllowBEGrowth step: gives one under-provisioned instance +1 core and
+  // +10% LLC, or launches a new instance when all existing ones are at full
+  // demand. Returns false when no resources could be granted.
+  bool Grow();
+
+  // Grows a specific instance by one step (no new-instance fallback); used
+  // by characterization runs that provision an instance to full demand.
+  bool GrowInstance(int index);
+
+  // CutBE step: takes 1 core and 10% LLC from the richest instance.
+  // Returns false when BEs hold nothing more to release.
+  bool Cut();
+
+  // Memory subcontroller steps (100 MB granularity, §3.5.2).
+  bool GrowMemoryStep();
+  bool CutMemoryStep();
+
+  // SuspendBE: pauses every instance; memory stays resident.
+  void SuspendAll();
+
+  // Resumes every suspended instance.
+  void ResumeAll();
+
+  // StopBE: kills all instances, releasing every resource. Returns the
+  // number of instances killed.
+  int StopAll();
+
+  // -- Simulation ------------------------------------------------------------
+
+  // Advances all instances by dt seconds; jobs that finish restart
+  // immediately (the BE queue is never empty) and bump the completion count.
+  void Step(double dt);
+
+  // -- Accounting ------------------------------------------------------------
+
+  int instance_count() const { return static_cast<int>(instances_.size()); }
+  int running_count() const;
+  bool all_suspended() const;
+  uint64_t completions() const { return completions_; }
+  // Work completed in units of whole jobs, including the fractional progress
+  // of in-flight instances. Short measurement windows use this for
+  // throughput so a half-finished batch job is not counted as zero.
+  double progress_units() const { return progress_units_; }
+  BeJobKind kind() const { return kind_; }
+  const std::vector<BeInstance>& instances() const { return instances_; }
+
+  // Core-seconds per second currently burned by BE instances.
+  double BusyCores() const;
+  // Memory bandwidth currently demanded (GB/s).
+  double MembwDemand() const;
+  // Offered network traffic (Gbps).
+  double NetOffered() const;
+  // Aggregate pressure exerted on each shared resource, each axis clamped
+  // to [0, 1]; consumed by the interference model.
+  ResourceVector ExertedPressure() const;
+
+  // Execution speed of one instance relative to a fully-resourced solo run,
+  // in [0, 1]. Exposed for tests.
+  double InstanceSpeed(const BeInstance& inst) const;
+
+  // Completion rate since `elapsed_hours` began, normalized to the solo-run
+  // rate on this machine class (the paper's "BE Throughput").
+  double NormalizedThroughput(double elapsed_hours) const;
+
+  // Total cores/ways currently held across the instances.
+  int TotalCoresHeld() const;
+  int TotalWaysHeld() const;
+
+  // Memory bandwidth one core-step of growth would add (GB/s): the DRAM
+  // subcontroller checks this against the channel's headroom before allowing
+  // growth, as Heracles' bandwidth controller does.
+  double GrowthMembwStepGbs() const;
+
+  // Pushes BE activity into the machine's accountants. Call once per tick
+  // after Step().
+  void PublishActivity();
+
+ private:
+  Machine* machine_;
+  BeJobKind kind_;
+  BeJobSpec spec_;
+  BeBacklog* backlog_ = nullptr;
+  bool self_launch_allowed_ = true;
+  std::vector<BeInstance> instances_;
+  uint64_t completions_ = 0;
+  double progress_units_ = 0.0;
+
+  // 10% of the LLC in CAT ways (>= 1).
+  int LlcStepWays() const;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_BEMODEL_BE_RUNTIME_H_

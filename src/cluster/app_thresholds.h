@@ -1,0 +1,52 @@
+// End-to-end threshold derivation for one LC application: profile solo ->
+// contributions -> loadlimits (CoV rule) -> slacklimits (Algorithm 1 with a
+// mixed-BE probe). This is the one-time characterization Rhythm performs
+// when a new LC service is deployed (§3.2).
+
+#ifndef RHYTHM_SRC_CLUSTER_APP_THRESHOLDS_H_
+#define RHYTHM_SRC_CLUSTER_APP_THRESHOLDS_H_
+
+#include <vector>
+
+#include "src/analysis/contribution.h"
+#include "src/cluster/profiler.h"
+#include "src/control/thresholds.h"
+#include "src/workload/app_catalog.h"
+
+namespace rhythm {
+
+struct AppThresholds {
+  std::vector<ServpodThresholds> pods;
+  std::vector<PodContribution> contributions;
+  ProfileResult profile;
+};
+
+struct ThresholdOptions {
+  ProfileOptions profile;
+  // Probe settings for Algorithm 1's run_system step. The paper recommends
+  // probing with representative mixed-intensity BEs several times; each
+  // candidate limit runs every (load, BE) combination below and counts as
+  // violated if any run breaks (or grazes) the SLA.
+  std::vector<double> probe_loads = {0.45, 0.80};
+  double probe_warmup_s = 15.0;
+  // Long enough for paced BE growth to reach its equilibrium allocation —
+  // a shorter probe ends mid-ramp and overestimates how much slack survives.
+  double probe_measure_s = 150.0;
+  std::vector<BeJobKind> probe_bes = {BeJobKind::kWordcount, BeJobKind::kStreamDramBig};
+  int max_iterations = 16;
+};
+
+AppThresholds DeriveAppThresholds(LcAppKind app, const ThresholdOptions& options = {});
+
+// Process-wide cached derivation (thresholds are derived once per LC service
+// and reused by every co-location experiment, as in the paper). When the
+// RHYTHM_THRESHOLD_CACHE environment variable names a directory, derived
+// thresholds are additionally persisted there — keyed by a fingerprint of
+// the application's model parameters — so separate bench binaries share one
+// characterization pass. Disk-cached entries carry thresholds and
+// contributions but no profile matrix.
+const AppThresholds& CachedAppThresholds(LcAppKind app);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_CLUSTER_APP_THRESHOLDS_H_

@@ -1,0 +1,70 @@
+#include "src/cluster/bubble_profiler.h"
+
+#include "src/cluster/deployment.h"
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+namespace {
+
+// One bubble run: `steps` growth steps of a single bubble instance on
+// `pod`'s machine. Returns true when the SLA held throughout.
+bool BubbleRunSafe(LcAppKind app, BeJobKind bubble, int pod, int steps,
+                   const BubbleOptions& options) {
+  DeploymentConfig config;
+  config.app_kind = app;
+  config.be_kind = bubble;
+  config.enable_be = true;
+  config.controller = ControllerKind::kNone;
+  config.seed = options.seed + static_cast<uint64_t>(pod) * 131 + steps;
+  Deployment deployment(config);
+  const ConstantLoad profile(options.load);
+  deployment.Start(&profile);
+  BeRuntime* be = deployment.be(pod);
+  RHYTHM_CHECK(be != nullptr);
+  if (!be->LaunchInstance()) {
+    return true;  // machine cannot even host the bubble: trivially safe.
+  }
+  for (int step = 1; step < steps; ++step) {
+    be->GrowInstance(0);
+  }
+  be->PublishActivity();
+  deployment.RunFor(options.warmup_s);
+  const double t0 = deployment.sim().Now();
+  deployment.RunFor(options.measure_s);
+  const double worst = deployment.tail_series().MaxIn(t0, deployment.sim().Now());
+  return worst <= deployment.sla_ms();
+}
+
+}  // namespace
+
+BubbleResult ProfileBubble(LcAppKind app_kind, BeJobKind bubble, const BubbleOptions& options) {
+  const AppSpec app = MakeApp(app_kind);
+  BubbleResult result;
+  result.tolerated_steps.assign(app.pod_count(), 0);
+  result.contribution.assign(app.pod_count(), 0.0);
+
+  for (int pod = 0; pod < app.pod_count(); ++pod) {
+    int tolerated = 0;
+    for (int steps = 1; steps <= options.max_steps; ++steps) {
+      if (!BubbleRunSafe(app_kind, bubble, pod, steps, options)) {
+        break;
+      }
+      tolerated = steps;
+    }
+    result.tolerated_steps[pod] = tolerated;
+  }
+
+  // Bubble contribution: inverse of tolerance, normalized.
+  double total = 0.0;
+  for (int pod = 0; pod < app.pod_count(); ++pod) {
+    result.contribution[pod] = 1.0 / (1.0 + result.tolerated_steps[pod]);
+    total += result.contribution[pod];
+  }
+  for (double& value : result.contribution) {
+    value /= total;
+  }
+  return result;
+}
+
+}  // namespace rhythm

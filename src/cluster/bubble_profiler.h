@@ -1,0 +1,45 @@
+// "Bubble pressure" profiling — the *indirect* characterization §3.2
+// describes and argues against.
+//
+// A tunable one-dimensional pressure generator (the bubble) is co-located
+// with one Servpod at a time and expanded step by step; the Servpod's
+// contribution is defined by the largest bubble it tolerates while the
+// service keeps its SLA. The paper's critique: a bubble pressures one
+// resource, so a Servpod can look tolerant under an I/O bubble while being
+// the top tail-latency contributor under CPU pressure — this profiler exists
+// so the ablation bench can demonstrate exactly that inconsistency against
+// the direct (sojourn-time) analysis.
+
+#ifndef RHYTHM_SRC_CLUSTER_BUBBLE_PROFILER_H_
+#define RHYTHM_SRC_CLUSTER_BUBBLE_PROFILER_H_
+
+#include <vector>
+
+#include "src/bemodel/be_job_spec.h"
+#include "src/workload/app_catalog.h"
+
+namespace rhythm {
+
+struct BubbleOptions {
+  double load = 0.6;        // LC load during the bubble runs.
+  int max_steps = 8;        // bubble sizes probed: 1..max_steps growth steps.
+  double warmup_s = 8.0;
+  double measure_s = 30.0;
+  uint64_t seed = 47;
+};
+
+struct BubbleResult {
+  // Largest tolerated bubble size per pod (growth steps of the bubble
+  // instance; 0 = even the smallest bubble violates the SLA).
+  std::vector<int> tolerated_steps;
+  // Bubble-derived contribution: pods tolerating small bubbles contribute
+  // much; normalized to sum to 1.
+  std::vector<double> contribution;
+};
+
+// Profiles every Servpod of `app` against a `bubble` stressor kind.
+BubbleResult ProfileBubble(LcAppKind app, BeJobKind bubble, const BubbleOptions& options = {});
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_CLUSTER_BUBBLE_PROFILER_H_

@@ -1,0 +1,199 @@
+#include "src/cluster/deployment.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+const char* ControllerKindName(ControllerKind kind) {
+  switch (kind) {
+    case ControllerKind::kNone:
+      return "none";
+    case ControllerKind::kRhythm:
+      return "Rhythm";
+    case ControllerKind::kHeracles:
+      return "Heracles";
+  }
+  return "?";
+}
+
+Deployment::Deployment(const DeploymentConfig& config)
+    : config_(config), app_(MakeApp(config.app_kind)) {
+  const int pods = app_.pod_count();
+  pod_series_.resize(pods);
+
+  for (int pod = 0; pod < pods; ++pod) {
+    LcReservation reservation;
+    // Reserve the component's peak footprint plus headroom, never more than
+    // half the machine (the paper's containers leave room for BEs).
+    reservation.cores = std::min(
+        config.machine_spec.total_cores / 2,
+        static_cast<int>(app_.components[pod].peak_busy_cores) + 4);
+    reservation.min_llc_ways = std::max(2, config.machine_spec.llc_ways / 5);
+    reservation.memory_gb = config.machine_spec.dram_gb / 2.0;
+    machines_.push_back(std::make_unique<Machine>(
+        app_.components[pod].name, config.machine_spec, reservation));
+  }
+
+  LcService::Config service_config;
+  service_config.seed = config.seed;
+  service_config.record_sojourns = config.record_sojourns;
+  service_config.sink = config.sink;
+  service_config.tail_window_s = config.tail_window_s;
+  service_config.noise_events_per_request = config.noise_events_per_request;
+  service_ = std::make_unique<LcService>(&sim_, app_, service_config);
+
+  if (config.enable_be) {
+    for (int pod = 0; pod < pods; ++pod) {
+      be_runtimes_.push_back(std::make_unique<BeRuntime>(machines_[pod].get(), config.be_kind));
+    }
+  }
+
+  if (config.controller != ControllerKind::kNone) {
+    RHYTHM_CHECK(config.enable_be);
+    for (int pod = 0; pod < pods; ++pod) {
+      ServpodThresholds thresholds;
+      if (config.controller == ControllerKind::kHeracles) {
+        thresholds = HeraclesThresholds();
+      } else {
+        RHYTHM_CHECK(static_cast<int>(config.thresholds.size()) == pods);
+        thresholds = config.thresholds[pod];
+      }
+      agents_.push_back(std::make_unique<MachineAgent>(machines_[pod].get(),
+                                                       be_runtimes_[pod].get(), thresholds,
+                                                       app_.sla_ms, pod));
+    }
+  }
+
+  if (config.be_arrival_rate_per_s > 0.0 && config.enable_be) {
+    backlog_.set_infinite(false);
+    scheduler_ = std::make_unique<BeScheduler>(&backlog_);
+    for (int pod = 0; pod < pods; ++pod) {
+      be_runtimes_[pod]->SetBacklog(&backlog_);
+      be_runtimes_[pod]->set_self_launch_allowed(false);
+      scheduler_->AddMachine(BeScheduler::MachineSlot{
+          machines_[pod].get(), be_runtimes_[pod].get(),
+          agents_.empty() ? nullptr : agents_[pod].get()});
+    }
+  }
+
+  // Interference wiring: the LC's inflation at pod i comes from machine i's
+  // state and its BE runtime.
+  service_->SetInflationProvider([this](int pod) {
+    const BeRuntime* be = be_runtimes_.empty() ? nullptr : be_runtimes_[pod].get();
+    return InterferenceModel::Inflation(app_.components[pod].sensitivity, *machines_[pod], be);
+  });
+}
+
+void Deployment::Start(const LoadProfile* profile) {
+  RHYTHM_CHECK(!started_);
+  started_ = true;
+  service_->SetLoadProfile(profile);
+  service_->Start();
+  sim_.SchedulePeriodic(config_.accounting_period_s, config_.accounting_period_s,
+                        [this] { AccountingTick(); });
+  if (!agents_.empty()) {
+    sim_.SchedulePeriodic(MachineAgent::kPeriodSeconds, MachineAgent::kPeriodSeconds,
+                          [this] { ControllerTick(); });
+  }
+}
+
+void Deployment::RunFor(double seconds) { sim_.RunUntil(sim_.Now() + seconds); }
+
+void Deployment::AccountingTick() {
+  const double now = sim_.Now();
+  if (scheduler_ != nullptr) {
+    // BE job arrivals into the cluster queue.
+    arrival_accumulator_ += config_.be_arrival_rate_per_s * config_.accounting_period_s;
+    const uint64_t whole = static_cast<uint64_t>(arrival_accumulator_);
+    if (whole > 0) {
+      backlog_.SubmitJobs(whole);
+      arrival_accumulator_ -= static_cast<double>(whole);
+    }
+    if (agents_.empty()) {
+      // No controllers: dispatch freely.
+      scheduler_->DispatchRound();
+    }
+  }
+  const double load = service_->CurrentLoad();
+  load_series_.Add(now, load);
+  const double tail = service_->TailLatencyMs();
+  tail_series_.Add(now, tail);
+  slack_series_.Add(now, TopController::Slack(tail, app_.sla_ms));
+
+  const double elapsed_hours = now / 3600.0;
+  for (int pod = 0; pod < pod_count(); ++pod) {
+    Machine& machine = *machines_[pod];
+    machine.SetLcActivity(service_->PodBusyCores(pod), service_->PodMembwGbs(pod),
+                          service_->PodNetGbps(pod));
+    BeRuntime* be = be_runtimes_.empty() ? nullptr : be_runtimes_[pod].get();
+    if (be != nullptr) {
+      be->Step(config_.accounting_period_s);
+      be->PublishActivity();
+    }
+    PodSeries& series = pod_series_[pod];
+    series.cpu_util.Add(now, machine.CpuUtilization());
+    series.membw_util.Add(now, machine.MembwUtilization());
+    if (be != nullptr) {
+      series.be_instances.Add(now, be->instance_count());
+      series.be_cores.Add(now, be->TotalCoresHeld());
+      series.be_ways.Add(now, be->TotalWaysHeld());
+      series.be_progress.Add(now, be->progress_units());
+      series.be_throughput.Add(now, be->NormalizedThroughput(elapsed_hours));
+    }
+  }
+}
+
+void Deployment::ControllerTick() {
+  const double load = service_->CurrentLoad();
+  const double tail = service_->TailLatencyMs();
+  for (int pod = 0; pod < pod_count(); ++pod) {
+    agents_[pod]->Tick(load, tail, service_->PodUtilization(pod));
+  }
+  // Dispatch after the fresh decisions, paced like the agents' own growth so
+  // admissions cannot outrun the tail window's feedback.
+  ++controller_ticks_;
+  if (scheduler_ != nullptr && controller_ticks_ % MachineAgent::kGrowthPeriodTicks == 0) {
+    scheduler_->DispatchRound();
+  }
+}
+
+void Deployment::LaunchBeAtPod(int pod, int instances) {
+  BeRuntime* be = this->be(pod);
+  RHYTHM_CHECK(be != nullptr);
+  for (int i = 0; i < instances; ++i) {
+    if (!be->LaunchInstance()) {
+      break;
+    }
+    // Grow this instance to its full demand (cores and CAT ways arrive one
+    // step at a time).
+    const int index = be->instance_count() - 1;
+    while (be->GrowInstance(index)) {
+    }
+    while (be->GrowMemoryStep()) {
+    }
+  }
+  be->PublishActivity();
+}
+
+uint64_t Deployment::TotalBeKills() const {
+  uint64_t total = 0;
+  for (const auto& agent : agents_) {
+    total += agent->stats().be_kills;
+  }
+  return total;
+}
+
+uint64_t Deployment::TotalSlaViolations() const {
+  // Violations are counted once per controller tick; with one LC service the
+  // agents all observe the same tail, so report the per-pod maximum rather
+  // than the sum.
+  uint64_t worst = 0;
+  for (const auto& agent : agents_) {
+    worst = std::max(worst, agent->stats().sla_violations);
+  }
+  return worst;
+}
+
+}  // namespace rhythm

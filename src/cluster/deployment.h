@@ -1,0 +1,144 @@
+// Deployment: one LC service spread over its Servpods' machines, plus BE
+// runtimes and (optionally) a controller agent per machine — the paper's
+// testbed in simulation.
+//
+// Wiring:
+//   * each Servpod gets its own Machine;
+//   * the LC service's per-pod inflation is computed by the interference
+//     model from that machine's state and its co-located BE runtime;
+//   * an accounting task (1 s) publishes LC/BE activity into the machines,
+//     advances BE progress and samples metrics;
+//   * a controller task (2 s) runs each machine's agent (Rhythm thresholds
+//     per pod, Heracles uniform thresholds, or none).
+
+#ifndef RHYTHM_SRC_CLUSTER_DEPLOYMENT_H_
+#define RHYTHM_SRC_CLUSTER_DEPLOYMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baseline/heracles.h"
+#include "src/bemodel/be_runtime.h"
+#include "src/common/time_series.h"
+#include "src/control/machine_agent.h"
+#include "src/interference/interference_model.h"
+#include "src/resources/machine.h"
+#include "src/scheduler/be_backlog.h"
+#include "src/scheduler/be_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/app_catalog.h"
+#include "src/workload/lc_service.h"
+#include "src/workload/load_profile.h"
+
+namespace rhythm {
+
+enum class ControllerKind { kNone, kRhythm, kHeracles };
+
+const char* ControllerKindName(ControllerKind kind);
+
+struct DeploymentConfig {
+  LcAppKind app_kind = LcAppKind::kEcommerce;
+  BeJobKind be_kind = BeJobKind::kCpuStress;
+  ControllerKind controller = ControllerKind::kNone;
+  // Per-pod thresholds; required when controller == kRhythm. Heracles uses
+  // its uniform thresholds regardless.
+  std::vector<ServpodThresholds> thresholds;
+  uint64_t seed = 1;
+  bool enable_be = true;               // false: solo LC run.
+  bool record_sojourns = false;        // per-request sojourn stats.
+  EventSink* sink = nullptr;           // kernel-event capture (profiling).
+  double noise_events_per_request = 0.0;
+  double accounting_period_s = 1.0;
+  double tail_window_s = 6.0;  // short window: fresh signal for control.
+  MachineSpec machine_spec;            // same hardware on every machine.
+  // Cluster scheduler integration (paper §4): when positive, BE jobs arrive
+  // into a shared waiting queue at this rate and are dispatched only to
+  // machines whose controllers accept BEs; machines may not self-launch.
+  // 0 keeps the §5 evaluation setup (jobs always locally available).
+  double be_arrival_rate_per_s = 0.0;
+};
+
+// Per-pod metric series sampled by the accounting task.
+struct PodSeries {
+  TimeSeries cpu_util;
+  TimeSeries membw_util;
+  TimeSeries be_instances;
+  TimeSeries be_cores;
+  TimeSeries be_ways;
+  TimeSeries be_progress;     // cumulative completed work, in jobs.
+  TimeSeries be_throughput;   // windowed normalized throughput estimate.
+};
+
+class Deployment {
+ public:
+  explicit Deployment(const DeploymentConfig& config);
+
+  // Starts the LC arrival process, accounting and controller tasks.
+  // The profile must outlive the deployment.
+  void Start(const LoadProfile* profile);
+
+  // Advances the simulation `seconds` further.
+  void RunFor(double seconds);
+
+  Simulator& sim() { return sim_; }
+  LcService& service() { return *service_; }
+  const AppSpec& app() const { return app_; }
+  int pod_count() const { return app_.pod_count(); }
+
+  Machine& machine(int pod) { return *machines_[pod]; }
+  const Machine& machine(int pod) const { return *machines_[pod]; }
+  BeRuntime* be(int pod) { return be_runtimes_.empty() ? nullptr : be_runtimes_[pod].get(); }
+  const BeRuntime* be(int pod) const {
+    return be_runtimes_.empty() ? nullptr : be_runtimes_[pod].get();
+  }
+  MachineAgent* agent(int pod) { return agents_.empty() ? nullptr : agents_[pod].get(); }
+  const MachineAgent* agent(int pod) const {
+    return agents_.empty() ? nullptr : agents_[pod].get();
+  }
+
+  const PodSeries& pod_series(int pod) const { return pod_series_[pod]; }
+  const TimeSeries& load_series() const { return load_series_; }
+  const TimeSeries& tail_series() const { return tail_series_; }
+  const TimeSeries& slack_series() const { return slack_series_; }
+
+  // Uncontrolled co-location (the §2 characterization runs): launches
+  // `instances` BE instances at `pod` and grows them until they reach their
+  // full resource demand or the machine runs out. Requires enable_be and is
+  // meant for controller-free deployments.
+  void LaunchBeAtPod(int pod, int instances);
+
+  // Cluster scheduler state (null/empty when be_arrival_rate_per_s == 0).
+  BeBacklog& backlog() { return backlog_; }
+  const BeScheduler* scheduler() const { return scheduler_.get(); }
+
+  // Sum of BE kills / SLA-violation ticks across agents so far.
+  uint64_t TotalBeKills() const;
+  uint64_t TotalSlaViolations() const;
+
+  double sla_ms() const { return app_.sla_ms; }
+
+ private:
+  void AccountingTick();
+  void ControllerTick();
+
+  DeploymentConfig config_;
+  AppSpec app_;
+  Simulator sim_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::unique_ptr<LcService> service_;
+  std::vector<std::unique_ptr<BeRuntime>> be_runtimes_;
+  std::vector<std::unique_ptr<MachineAgent>> agents_;
+  BeBacklog backlog_;
+  std::unique_ptr<BeScheduler> scheduler_;
+  double arrival_accumulator_ = 0.0;
+  uint64_t controller_ticks_ = 0;
+  std::vector<PodSeries> pod_series_;
+  TimeSeries load_series_;
+  TimeSeries tail_series_;
+  TimeSeries slack_series_;
+  bool started_ = false;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_CLUSTER_DEPLOYMENT_H_

@@ -1,0 +1,48 @@
+#include "src/cluster/experiment.h"
+
+#include <cstdlib>
+
+namespace rhythm {
+
+namespace {
+
+RunSummary RunWithProfile(const ExperimentConfig& config, const LoadProfile& profile,
+                          double measure_s) {
+  DeploymentConfig deployment_config;
+  deployment_config.app_kind = config.app;
+  deployment_config.be_kind = config.be;
+  deployment_config.controller = config.controller;
+  deployment_config.seed = config.seed;
+  if (config.controller == ControllerKind::kRhythm) {
+    deployment_config.thresholds =
+        config.thresholds.empty() ? CachedAppThresholds(config.app).pods : config.thresholds;
+  }
+  Deployment deployment(deployment_config);
+  deployment.Start(&profile);
+  deployment.RunFor(config.warmup_s);
+  const double t0 = deployment.sim().Now();
+  const uint64_t kills_before = deployment.TotalBeKills();
+  const uint64_t violations_before = deployment.TotalSlaViolations();
+  deployment.RunFor(measure_s);
+  const double t1 = deployment.sim().Now();
+  return Summarize(deployment, t0, t1, kills_before, violations_before);
+}
+
+}  // namespace
+
+RunSummary RunColocation(const ExperimentConfig& config, double load) {
+  const ConstantLoad profile(load);
+  return RunWithProfile(config, profile, config.measure_s);
+}
+
+RunSummary RunColocationProfile(const ExperimentConfig& config, const LoadProfile& profile,
+                                double duration_s) {
+  return RunWithProfile(config, profile, duration_s);
+}
+
+bool FastMode() {
+  const char* fast = std::getenv("RHYTHM_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+}  // namespace rhythm

@@ -1,0 +1,40 @@
+// Convenience experiment runner: one co-location run (app x BE x controller
+// x load profile) -> RunSummary. All evaluation benches are built on this.
+
+#ifndef RHYTHM_SRC_CLUSTER_EXPERIMENT_H_
+#define RHYTHM_SRC_CLUSTER_EXPERIMENT_H_
+
+#include <vector>
+
+#include "src/cluster/app_thresholds.h"
+#include "src/cluster/deployment.h"
+#include "src/cluster/metrics.h"
+
+namespace rhythm {
+
+struct ExperimentConfig {
+  LcAppKind app = LcAppKind::kEcommerce;
+  BeJobKind be = BeJobKind::kCpuStress;
+  ControllerKind controller = ControllerKind::kRhythm;
+  // Rhythm's per-pod thresholds; taken from CachedAppThresholds when empty.
+  std::vector<ServpodThresholds> thresholds;
+  uint64_t seed = 11;
+  double warmup_s = 20.0;
+  double measure_s = 120.0;
+};
+
+// Constant-load run.
+RunSummary RunColocation(const ExperimentConfig& config, double load);
+
+// Arbitrary profile (production trace); `duration_s` of measurement after
+// warmup.
+RunSummary RunColocationProfile(const ExperimentConfig& config, const LoadProfile& profile,
+                                double duration_s);
+
+// True when the environment requests a fast (CI-scale) run; benches shrink
+// their sweeps accordingly. Controlled by RHYTHM_FAST=1.
+bool FastMode();
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_CLUSTER_EXPERIMENT_H_

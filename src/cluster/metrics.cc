@@ -1,0 +1,52 @@
+#include "src/cluster/metrics.h"
+
+#include <algorithm>
+
+#include "src/bemodel/be_job_spec.h"
+
+namespace rhythm {
+
+RunSummary Summarize(const Deployment& deployment, double t0, double t1,
+                     uint64_t kills_before, uint64_t violations_before) {
+  RunSummary summary;
+  const int pods = deployment.pod_count();
+  summary.pods.resize(pods);
+
+  const double hours = std::max((t1 - t0) / 3600.0, 1e-9);
+
+  double be_sum = 0.0;
+  double cpu_sum = 0.0;
+  double membw_sum = 0.0;
+  for (int pod = 0; pod < pods; ++pod) {
+    const PodSeries& series = deployment.pod_series(pod);
+    PodSummary& out = summary.pods[pod];
+    out.cpu_util = series.cpu_util.AverageIn(t0, t1);
+    out.membw_util = series.membw_util.AverageIn(t0, t1);
+    out.be_instances = series.be_instances.AverageIn(t0, t1);
+    const BeRuntime* be = deployment.be(pod);
+    if (be != nullptr) {
+      const double completed =
+          series.be_progress.ValueAt(t1) - series.be_progress.ValueAt(t0);
+      const double solo = SoloRatePerHour(GetBeJobSpec(be->kind()),
+                                          deployment.machine(pod).spec());
+      out.be_throughput = solo > 0.0 ? (completed / hours) / solo : 0.0;
+    }
+    be_sum += out.be_throughput;
+    cpu_sum += out.cpu_util;
+    membw_sum += out.membw_util;
+  }
+
+  summary.lc_throughput = deployment.load_series().AverageIn(t0, t1);
+  summary.be_throughput = be_sum / pods;
+  summary.emu = summary.lc_throughput + summary.be_throughput;
+  summary.cpu_util = cpu_sum / pods;
+  summary.membw_util = membw_sum / pods;
+  summary.worst_tail_ms = deployment.tail_series().MaxIn(t0, t1);
+  summary.worst_tail_ratio =
+      deployment.sla_ms() > 0.0 ? summary.worst_tail_ms / deployment.sla_ms() : 0.0;
+  summary.sla_violations = deployment.TotalSlaViolations() - violations_before;
+  summary.be_kills = deployment.TotalBeKills() - kills_before;
+  return summary;
+}
+
+}  // namespace rhythm

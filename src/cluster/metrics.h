@@ -1,0 +1,43 @@
+// Run summaries over a measurement window: the metrics of the paper's §5.1 —
+// BE throughput (normalized to solo-run), CPU utilization, memory-bandwidth
+// utilization, EMU (effective machine utilization = LC throughput + BE
+// throughput), SLA violations and BE kills.
+
+#ifndef RHYTHM_SRC_CLUSTER_METRICS_H_
+#define RHYTHM_SRC_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/deployment.h"
+
+namespace rhythm {
+
+struct PodSummary {
+  double be_throughput = 0.0;  // normalized jobs/hour in the window.
+  double cpu_util = 0.0;       // mean machine CPU utilization.
+  double membw_util = 0.0;     // mean memory-bandwidth utilization.
+  double be_instances = 0.0;   // mean co-located instance count.
+};
+
+struct RunSummary {
+  std::vector<PodSummary> pods;
+  double lc_throughput = 0.0;     // mean load fraction in the window.
+  double be_throughput = 0.0;     // mean across pods.
+  double emu = 0.0;               // lc_throughput + be_throughput.
+  double cpu_util = 0.0;          // mean across pods.
+  double membw_util = 0.0;        // mean across pods.
+  double worst_tail_ms = 0.0;     // max windowed tail latency.
+  double worst_tail_ratio = 0.0;  // worst_tail / SLA.
+  uint64_t sla_violations = 0;    // controller ticks with negative slack.
+  uint64_t be_kills = 0;          // BE instances destroyed by StopBE.
+};
+
+// Summarizes a deployment over [t0, t1]. `kills_before` / `violations_before`
+// are counter snapshots taken at t0 so warmup activity is excluded.
+RunSummary Summarize(const Deployment& deployment, double t0, double t1,
+                     uint64_t kills_before = 0, uint64_t violations_before = 0);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_CLUSTER_METRICS_H_

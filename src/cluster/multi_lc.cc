@@ -1,0 +1,184 @@
+#include "src/cluster/multi_lc.h"
+
+#include <algorithm>
+
+#include "src/bemodel/be_job_spec.h"
+#include "src/common/logging.h"
+#include "src/interference/interference_model.h"
+
+namespace rhythm {
+
+int MultiLcDeployment::PodA(int machine) const {
+  return machine < app_a_.pod_count() ? machine : -1;
+}
+
+int MultiLcDeployment::PodB(int machine) const {
+  return machine < app_b_.pod_count() ? machine : -1;
+}
+
+MultiLcDeployment::MultiLcDeployment(const MultiLcConfig& config)
+    : config_(config), app_a_(MakeApp(config.app_a)), app_b_(MakeApp(config.app_b)) {
+  const int machines = std::max(app_a_.pod_count(), app_b_.pod_count());
+  be_progress_.resize(machines);
+
+  // Resolve per-service thresholds.
+  std::vector<ServpodThresholds> thresholds_a = config.thresholds_a;
+  std::vector<ServpodThresholds> thresholds_b = config.thresholds_b;
+  if (config.controller == ControllerKind::kRhythm) {
+    if (thresholds_a.empty()) {
+      thresholds_a = CachedAppThresholds(config.app_a).pods;
+    }
+    if (thresholds_b.empty()) {
+      thresholds_b = CachedAppThresholds(config.app_b).pods;
+    }
+  }
+
+  for (int machine = 0; machine < machines; ++machine) {
+    // Reserve the combined footprint of both tenants' pods.
+    double peak_cores = 0.0;
+    if (PodA(machine) >= 0) {
+      peak_cores += app_a_.components[PodA(machine)].peak_busy_cores;
+    }
+    if (PodB(machine) >= 0) {
+      peak_cores += app_b_.components[PodB(machine)].peak_busy_cores;
+    }
+    LcReservation reservation;
+    reservation.cores = std::min(3 * config.machine_spec.total_cores / 4,
+                                 static_cast<int>(peak_cores) + 4);
+    reservation.min_llc_ways = std::max(2, config.machine_spec.llc_ways / 4);
+    reservation.memory_gb = config.machine_spec.dram_gb / 2.0;
+    machines_.push_back(std::make_unique<Machine>("multi-" + std::to_string(machine),
+                                                  config.machine_spec, reservation));
+  }
+
+  LcService::Config service_config;
+  service_config.seed = config.seed;
+  service_a_ = std::make_unique<LcService>(&sim_, app_a_, service_config);
+  service_config.seed = config.seed * 31 + 7;
+  service_b_ = std::make_unique<LcService>(&sim_, app_b_, service_config);
+
+  for (int machine = 0; machine < machines; ++machine) {
+    be_runtimes_.push_back(std::make_unique<BeRuntime>(machines_[machine].get(), config.be));
+  }
+
+  if (config.controller != ControllerKind::kNone) {
+    for (int machine = 0; machine < machines; ++machine) {
+      // Conservative join of the hosted pods' thresholds. The agent's SLA is
+      // normalized to 1 because it receives a *normalized* worst-tenant tail.
+      ServpodThresholds joined = HeraclesThresholds();
+      if (config.controller == ControllerKind::kRhythm) {
+        joined = ServpodThresholds{.loadlimit = 1.0, .slacklimit = 0.0};
+        if (PodA(machine) >= 0) {
+          joined.loadlimit = std::min(joined.loadlimit, thresholds_a[PodA(machine)].loadlimit);
+          joined.slacklimit =
+              std::max(joined.slacklimit, thresholds_a[PodA(machine)].slacklimit);
+        }
+        if (PodB(machine) >= 0) {
+          joined.loadlimit = std::min(joined.loadlimit, thresholds_b[PodB(machine)].loadlimit);
+          joined.slacklimit =
+              std::max(joined.slacklimit, thresholds_b[PodB(machine)].slacklimit);
+        }
+      }
+      agents_.push_back(std::make_unique<MachineAgent>(machines_[machine].get(),
+                                                       be_runtimes_[machine].get(), joined,
+                                                       /*sla_ms=*/1.0, machine));
+    }
+  }
+
+  service_a_->SetInflationProvider([this](int pod) {
+    return InterferenceModel::Inflation(app_a_.components[pod].sensitivity, *machines_[pod],
+                                        be_runtimes_[pod].get());
+  });
+  service_b_->SetInflationProvider([this](int pod) {
+    return InterferenceModel::Inflation(app_b_.components[pod].sensitivity, *machines_[pod],
+                                        be_runtimes_[pod].get());
+  });
+}
+
+void MultiLcDeployment::Start(const LoadProfile* profile) {
+  RHYTHM_CHECK(!started_);
+  started_ = true;
+  service_a_->SetLoadProfile(profile);
+  service_b_->SetLoadProfile(profile);
+  service_a_->Start();
+  service_b_->Start();
+  sim_.SchedulePeriodic(1.0, 1.0, [this] { AccountingTick(); });
+  if (!agents_.empty()) {
+    sim_.SchedulePeriodic(MachineAgent::kPeriodSeconds, MachineAgent::kPeriodSeconds,
+                          [this] { ControllerTick(); });
+  }
+}
+
+void MultiLcDeployment::RunFor(double seconds) { sim_.RunUntil(sim_.Now() + seconds); }
+
+void MultiLcDeployment::AccountingTick() {
+  const double now = sim_.Now();
+  tail_a_.Add(now, service_a_->TailLatencyMs() / app_a_.sla_ms);
+  tail_b_.Add(now, service_b_->TailLatencyMs() / app_b_.sla_ms);
+  for (int machine = 0; machine < machine_count(); ++machine) {
+    double busy = 0.0;
+    double membw = 0.0;
+    double net = 0.0;
+    if (PodA(machine) >= 0) {
+      busy += service_a_->PodBusyCores(PodA(machine));
+      membw += service_a_->PodMembwGbs(PodA(machine));
+      net += service_a_->PodNetGbps(PodA(machine));
+    }
+    if (PodB(machine) >= 0) {
+      busy += service_b_->PodBusyCores(PodB(machine));
+      membw += service_b_->PodMembwGbs(PodB(machine));
+      net += service_b_->PodNetGbps(PodB(machine));
+    }
+    machines_[machine]->SetLcActivity(busy, membw, net);
+    be_runtimes_[machine]->Step(1.0);
+    be_runtimes_[machine]->PublishActivity();
+    be_progress_[machine].Add(now, be_runtimes_[machine]->progress_units());
+  }
+}
+
+void MultiLcDeployment::ControllerTick() {
+  // Conservative join of the tenant signals: the scarcest slack and the
+  // hottest load drive every machine's decision.
+  const double slack_a = TopController::Slack(service_a_->TailLatencyMs(), app_a_.sla_ms);
+  const double slack_b = TopController::Slack(service_b_->TailLatencyMs(), app_b_.sla_ms);
+  const double joint_slack = std::min(slack_a, slack_b);
+  const double joint_load = std::max(service_a_->CurrentLoad(), service_b_->CurrentLoad());
+  if (joint_slack < 0.0) {
+    ++joint_violations_;
+  }
+  // The agent's SLA is 1.0, so feed it a synthetic tail of (1 - slack).
+  const double joint_tail = 1.0 - joint_slack;
+  for (int machine = 0; machine < machine_count(); ++machine) {
+    double util = 0.0;
+    if (PodA(machine) >= 0) {
+      util = std::max(util, service_a_->PodUtilization(PodA(machine)));
+    }
+    if (PodB(machine) >= 0) {
+      util = std::max(util, service_b_->PodUtilization(PodB(machine)));
+    }
+    agents_[machine]->Tick(joint_load, joint_tail, util);
+  }
+}
+
+MultiLcSummary MultiLcDeployment::Summarize(double t0, double t1) const {
+  MultiLcSummary summary;
+  const double hours = std::max((t1 - t0) / 3600.0, 1e-9);
+  const BeJobSpec& be_spec = GetBeJobSpec(config_.be);
+  double be_sum = 0.0;
+  for (int machine = 0; machine < machine_count(); ++machine) {
+    const double completed =
+        be_progress_[machine].ValueAt(t1) - be_progress_[machine].ValueAt(t0);
+    const double solo = SoloRatePerHour(be_spec, machines_[machine]->spec());
+    be_sum += solo > 0.0 ? (completed / hours) / solo : 0.0;
+  }
+  summary.be_throughput = be_sum / machine_count();
+  summary.worst_tail_ratio_a = tail_a_.MaxIn(t0, t1);
+  summary.worst_tail_ratio_b = tail_b_.MaxIn(t0, t1);
+  summary.sla_violations = joint_violations_;
+  for (const auto& agent : agents_) {
+    summary.be_kills += agent->stats().be_kills;
+  }
+  return summary;
+}
+
+}  // namespace rhythm

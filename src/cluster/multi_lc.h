@@ -1,0 +1,94 @@
+// Multi-tenant LC co-location — the paper's §7 future work ("further
+// improve the resource efficiency through co-locating multi-tenant LCs and
+// BEs").
+//
+// Two LC services share the machine pool: machine i hosts service A's pod i
+// and service B's pod i (while both exist), plus BE jobs. Each service keeps
+// its own SLA, profile and per-Servpod thresholds; the machine's controller
+// joins them conservatively — a BE action must be safe for *every* tenant on
+// the machine:
+//   loadlimit  = min over hosted pods,
+//   slacklimit = max over hosted pods,
+//   the slack signal is the minimum normalized slack across tenants,
+//   the load signal is the maximum tenant load.
+
+#ifndef RHYTHM_SRC_CLUSTER_MULTI_LC_H_
+#define RHYTHM_SRC_CLUSTER_MULTI_LC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/app_thresholds.h"
+#include "src/cluster/deployment.h"
+
+namespace rhythm {
+
+struct MultiLcConfig {
+  LcAppKind app_a = LcAppKind::kEcommerce;
+  LcAppKind app_b = LcAppKind::kSolr;
+  BeJobKind be = BeJobKind::kWordcount;
+  ControllerKind controller = ControllerKind::kRhythm;
+  // Per-service thresholds; taken from CachedAppThresholds when empty and
+  // the controller is Rhythm.
+  std::vector<ServpodThresholds> thresholds_a;
+  std::vector<ServpodThresholds> thresholds_b;
+  uint64_t seed = 101;
+  MachineSpec machine_spec;
+};
+
+// Summary of one multi-tenant run.
+struct MultiLcSummary {
+  double be_throughput = 0.0;      // mean normalized BE throughput per machine.
+  double worst_tail_ratio_a = 0.0;  // worst 99th / SLA for each tenant.
+  double worst_tail_ratio_b = 0.0;
+  uint64_t sla_violations = 0;      // ticks where either tenant violated.
+  uint64_t be_kills = 0;
+};
+
+class MultiLcDeployment {
+ public:
+  explicit MultiLcDeployment(const MultiLcConfig& config);
+
+  // Both services run against the same load profile (fraction of their own
+  // MaxLoad); the profile must outlive the deployment.
+  void Start(const LoadProfile* profile);
+  void RunFor(double seconds);
+
+  Simulator& sim() { return sim_; }
+  int machine_count() const { return static_cast<int>(machines_.size()); }
+  LcService& service_a() { return *service_a_; }
+  LcService& service_b() { return *service_b_; }
+  BeRuntime* be(int machine) { return be_runtimes_[machine].get(); }
+  MachineAgent* agent(int machine) {
+    return agents_.empty() ? nullptr : agents_[machine].get();
+  }
+
+  MultiLcSummary Summarize(double t0, double t1) const;
+
+ private:
+  void AccountingTick();
+  void ControllerTick();
+
+  // Pod index of each service hosted on `machine` (-1 when none).
+  int PodA(int machine) const;
+  int PodB(int machine) const;
+
+  MultiLcConfig config_;
+  AppSpec app_a_;
+  AppSpec app_b_;
+  Simulator sim_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::unique_ptr<LcService> service_a_;
+  std::unique_ptr<LcService> service_b_;
+  std::vector<std::unique_ptr<BeRuntime>> be_runtimes_;
+  std::vector<std::unique_ptr<MachineAgent>> agents_;
+  std::vector<TimeSeries> be_progress_;
+  TimeSeries tail_a_;
+  TimeSeries tail_b_;
+  uint64_t joint_violations_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_CLUSTER_MULTI_LC_H_

@@ -1,0 +1,57 @@
+// Minimal leveled logging. Output goes to stderr so bench tables on stdout
+// stay machine-parsable. Level is a process-wide setting; default WARNING
+// keeps simulations quiet unless a caller opts in.
+
+#ifndef RHYTHM_SRC_COMMON_LOGGING_H_
+#define RHYTHM_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rhythm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal sink; prefer the RHYTHM_LOG macro below.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rhythm
+
+#define RHYTHM_LOG(level) ::rhythm::LogStream(::rhythm::LogLevel::level, __FILE__, __LINE__)
+
+// Invariant check that survives NDEBUG: simulator state corruption must never
+// be silently ignored in release benches.
+#define RHYTHM_CHECK(cond)                                                     \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::rhythm::LogMessage(::rhythm::LogLevel::kError, __FILE__, __LINE__,     \
+                           "CHECK failed: " #cond);                            \
+      ::std::abort();                                                          \
+    }                                                                          \
+  } while (0)
+
+#endif  // RHYTHM_SRC_COMMON_LOGGING_H_

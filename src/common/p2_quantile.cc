@@ -1,0 +1,104 @@
+#include "src/common/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  RHYTHM_CHECK(q > 0.0 && q < 1.0);
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q;
+  desired_[2] = 1.0 + 4.0 * q;
+  desired_[3] = 3.0 + 2.0 * q;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q / 2.0;
+  increments_[2] = q;
+  increments_[3] = (1.0 + q) / 2.0;
+  increments_[4] = 1.0;
+}
+
+double P2Quantile::Parabolic(int i, int direction) const {
+  const double d = static_cast<double>(direction);
+  return heights_[i] +
+         d / (positions_[i + 1] - positions_[i - 1]) *
+             ((positions_[i] - positions_[i - 1] + d) * (heights_[i + 1] - heights_[i]) /
+                  (positions_[i + 1] - positions_[i]) +
+              (positions_[i + 1] - positions_[i] - d) * (heights_[i] - heights_[i - 1]) /
+                  (positions_[i] - positions_[i - 1]));
+}
+
+double P2Quantile::Linear(int i, int direction) const {
+  return heights_[i] + direction * (heights_[i + direction] - heights_[i]) /
+                           (positions_[i + direction] - positions_[i]);
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+    }
+    return;
+  }
+
+  // Find the cell containing x and update the extreme markers.
+  int cell;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    cell = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && x >= heights_[cell + 1]) {
+      ++cell;
+    }
+  }
+
+  for (int i = cell + 1; i < 5; ++i) {
+    positions_[i] += 1.0;
+  }
+  for (int i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  // Adjust the interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double delta = desired_[i] - positions_[i];
+    if ((delta >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (delta <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const int direction = delta >= 1.0 ? 1 : -1;
+      double candidate = Parabolic(i, direction);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = Linear(i, direction);
+      }
+      positions_[i] += direction;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (count_ < 5) {
+    // Exact nearest-rank over the few samples seen so far.
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const size_t rank = static_cast<size_t>(q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(rank, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace rhythm

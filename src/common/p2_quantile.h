@@ -1,0 +1,44 @@
+// P² (piecewise-parabolic) streaming quantile estimator (Jain & Chlamtac,
+// CACM 1985): estimates a single quantile in O(1) memory without storing
+// samples. The exact sliding window is right for controller windows of a few
+// thousand samples; this sketch serves long-horizon monitoring (e.g. the
+// worst-per-day 99th of a production service) where retaining samples is
+// impractical.
+
+#ifndef RHYTHM_SRC_COMMON_P2_QUANTILE_H_
+#define RHYTHM_SRC_COMMON_P2_QUANTILE_H_
+
+#include <cstddef>
+
+namespace rhythm {
+
+class P2Quantile {
+ public:
+  // q in (0, 1): the quantile to track (e.g. 0.99).
+  explicit P2Quantile(double q);
+
+  void Add(double x);
+
+  // Current estimate. Before five samples have arrived, falls back to the
+  // exact value over the seen samples.
+  double Value() const;
+
+  size_t count() const { return count_; }
+  double quantile() const { return q_; }
+
+ private:
+  double Parabolic(int i, int direction) const;
+  double Linear(int i, int direction) const;
+
+  double q_;
+  size_t count_ = 0;
+  // Marker heights, positions and desired positions (5-marker scheme).
+  double heights_[5] = {0, 0, 0, 0, 0};
+  double positions_[5] = {1, 2, 3, 4, 5};
+  double desired_[5] = {0, 0, 0, 0, 0};
+  double increments_[5] = {0, 0, 0, 0, 0};
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_COMMON_P2_QUANTILE_H_

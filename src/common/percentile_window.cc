@@ -1,0 +1,34 @@
+#include "src/common/percentile_window.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace rhythm {
+
+void PercentileWindow::Add(double now, double latency) {
+  samples_.push_back(Sample{now, latency});
+}
+
+void PercentileWindow::Expire(double now) {
+  const double cutoff = now - window_;
+  while (!samples_.empty() && samples_.front().time < cutoff) {
+    samples_.pop_front();
+  }
+}
+
+double PercentileWindow::Quantile(double now, double q) {
+  Expire(now);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> values;
+  values.reserve(samples_.size());
+  for (const Sample& s : samples_) {
+    values.push_back(s.latency);
+  }
+  return PercentileInplace(values, q);
+}
+
+}  // namespace rhythm

@@ -1,0 +1,47 @@
+// Sliding-window tail-latency tracker.
+//
+// The paper measures the 99th percentile latency per second over a sliding
+// window; the controllers consume that signal every 2 s. This tracker keeps
+// the samples of the last `window` seconds and answers percentile queries
+// exactly (the windows are small enough — thousands of requests — that an
+// exact answer is cheaper and simpler than a sketch).
+
+#ifndef RHYTHM_SRC_COMMON_PERCENTILE_WINDOW_H_
+#define RHYTHM_SRC_COMMON_PERCENTILE_WINDOW_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace rhythm {
+
+class PercentileWindow {
+ public:
+  // window: horizon in seconds over which samples are retained.
+  explicit PercentileWindow(double window_seconds = 10.0) : window_(window_seconds) {}
+
+  // Records a latency sample observed at simulated time `now` (seconds).
+  void Add(double now, double latency);
+
+  // Drops samples older than `now - window`.
+  void Expire(double now);
+
+  // Exact q-quantile of the retained samples (0 if empty). Expires first.
+  double Quantile(double now, double q);
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double window_seconds() const { return window_; }
+
+ private:
+  struct Sample {
+    double time;
+    double latency;
+  };
+
+  double window_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_COMMON_PERCENTILE_WINDOW_H_

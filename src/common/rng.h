@@ -1,0 +1,133 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic draw in the system flows through an explicitly seeded Rng
+// instance so that experiments are bit-reproducible. The generator is
+// xoshiro256++ seeded via SplitMix64, which is fast, has a 256-bit state and
+// passes BigCrush; we deliberately avoid std::mt19937 whose stream differs
+// subtly across standard libraries.
+
+#ifndef RHYTHM_SRC_COMMON_RNG_H_
+#define RHYTHM_SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace rhythm {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state, and
+// to derive independent child seeds for sub-streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256++ with convenience distributions used by the simulator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  // Derives an independent child generator; used to give each machine /
+  // component / generator its own stream so adding one consumer does not
+  // perturb the draws seen by another.
+  Rng Fork() { return Rng(NextU64()); }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n).
+  uint64_t UniformInt(uint64_t n) { return NextU64() % n; }
+
+  // Exponential with the given mean (mean = 1/rate).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log1p(-u);
+  }
+
+  // Standard normal via Box-Muller (single value; the twin is discarded to
+  // keep the draw count per call deterministic).
+  double Normal() {
+    double u1 = NextDouble();
+    if (u1 <= 0.0) {
+      u1 = 0x1.0p-53;
+    }
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  // Lognormal parameterized by the mean of the *resulting* distribution and
+  // the shape sigma (standard deviation of the underlying normal). Used for
+  // service times: mean is the calibrated service time, sigma controls the
+  // heaviness of the tail.
+  double LognormalMean(double mean, double sigma) {
+    const double mu = std::log(mean) - 0.5 * sigma * sigma;
+    return std::exp(mu + sigma * Normal());
+  }
+
+  // Bernoulli with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation for large ones).
+  uint64_t Poisson(double mean) {
+    if (mean <= 0.0) {
+      return 0;
+    }
+    if (mean > 64.0) {
+      const double v = Normal(mean, std::sqrt(mean));
+      return v <= 0.0 ? 0 : static_cast<uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double prod = NextDouble();
+    uint64_t n = 0;
+    while (prod > limit) {
+      prod *= NextDouble();
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_COMMON_RNG_H_

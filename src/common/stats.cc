@@ -1,0 +1,149 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rhythm {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cov() const {
+  const double m = mean();
+  if (m == 0.0) {
+    return 0.0;
+  }
+  return stddev() / m;
+}
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double Stddev(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    ss += (x - m) * (x - m);
+  }
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys) {
+  const size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) {
+    return 0.0;
+  }
+  const double mx = Mean(xs.subspan(0, n));
+  const double my = Mean(ys.subspan(0, n));
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double NormalizedCovEq3(std::span<const double> xs) {
+  const size_t m = xs.size();
+  if (m < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(xs);
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  double ss = 0.0;
+  for (double x : xs) {
+    ss += (x - mean) * (x - mean);
+  }
+  const double md = static_cast<double>(m);
+  return std::sqrt(ss / (md * (md - 1.0))) / mean;
+}
+
+double Percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::vector<double> copy(xs.begin(), xs.end());
+  return PercentileInplace(copy, q);
+}
+
+double PercentileInplace(std::vector<double>& xs, double q) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  std::nth_element(xs.begin(), xs.begin() + static_cast<ptrdiff_t>(lo), xs.end());
+  const double vlo = xs[lo];
+  if (frac == 0.0 || lo + 1 >= xs.size()) {
+    return vlo;
+  }
+  std::nth_element(xs.begin() + static_cast<ptrdiff_t>(lo) + 1,
+                   xs.begin() + static_cast<ptrdiff_t>(lo) + 1, xs.end());
+  const double vhi = *std::min_element(xs.begin() + static_cast<ptrdiff_t>(lo) + 1, xs.end());
+  return vlo + frac * (vhi - vlo);
+}
+
+}  // namespace rhythm

@@ -1,0 +1,67 @@
+// Statistics primitives used by the contribution analyzer and the metrics
+// pipeline: running moments, coefficient of variation, Pearson correlation
+// and exact percentiles.
+
+#ifndef RHYTHM_SRC_COMMON_STATS_H_
+#define RHYTHM_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rhythm {
+
+// Welford's online algorithm for mean and variance. Numerically stable and
+// single-pass, so it can absorb millions of per-request samples.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator).
+  double variance() const;
+  double stddev() const;
+  // Coefficient of variation: stddev / mean (0 when mean is 0).
+  double cov() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Pearson correlation coefficient between two equal-length series
+// (paper Eq. 2). Returns 0 when either series is constant.
+double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys);
+
+// Mean of a series (0 for empty input).
+double Mean(std::span<const double> xs);
+
+// Sample standard deviation of a series.
+double Stddev(std::span<const double> xs);
+
+// Normalized coefficient of variation as defined by paper Eq. 3:
+//   V = (1 / mean) * sqrt( (1 / (m(m-1))) * sum (x_j - mean)^2 )
+// i.e. the coefficient of variation of the *mean estimator* across the m
+// load levels.
+double NormalizedCovEq3(std::span<const double> xs);
+
+// Exact percentile of a sample (q in [0, 1], nearest-rank with linear
+// interpolation). Sorts a copy; suitable for per-window computation.
+double Percentile(std::span<const double> xs, double q);
+
+// Exact percentile of a sample that the caller allows to be reordered
+// (uses nth_element; no allocation).
+double PercentileInplace(std::vector<double>& xs, double q);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_COMMON_STATS_H_

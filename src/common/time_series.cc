@@ -1,0 +1,53 @@
+#include "src/common/time_series.h"
+
+#include <algorithm>
+
+namespace rhythm {
+
+double TimeSeries::AverageIn(double t0, double t1) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const Point& p : points_) {
+    if (p.time >= t0 && p.time < t1) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::MaxIn(double t0, double t1) const {
+  double best = 0.0;
+  bool found = false;
+  for (const Point& p : points_) {
+    if (p.time >= t0 && p.time < t1) {
+      best = found ? std::max(best, p.value) : p.value;
+      found = true;
+    }
+  }
+  return best;
+}
+
+double TimeSeries::Average() const {
+  if (points_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const Point& p : points_) {
+    sum += p.value;
+  }
+  return sum / static_cast<double>(points_.size());
+}
+
+double TimeSeries::ValueAt(double t) const {
+  double value = 0.0;
+  for (const Point& p : points_) {
+    if (p.time > t) {
+      break;
+    }
+    value = p.value;
+  }
+  return value;
+}
+
+}  // namespace rhythm

@@ -1,0 +1,43 @@
+// Time-stamped value series used by the metrics pipeline and the timeline
+// reproduction (Figure 17).
+
+#ifndef RHYTHM_SRC_COMMON_TIME_SERIES_H_
+#define RHYTHM_SRC_COMMON_TIME_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rhythm {
+
+class TimeSeries {
+ public:
+  void Add(double time, double value) { points_.push_back(Point{time, value}); }
+
+  struct Point {
+    double time;
+    double value;
+  };
+
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  // Average of values with time in [t0, t1).
+  double AverageIn(double t0, double t1) const;
+
+  // Maximum value in [t0, t1); 0 if no points fall inside.
+  double MaxIn(double t0, double t1) const;
+
+  // Average of all values.
+  double Average() const;
+
+  // Last value at or before `t` (0 if none).
+  double ValueAt(double t) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_COMMON_TIME_SERIES_H_

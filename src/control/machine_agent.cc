@@ -1,0 +1,119 @@
+#include "src/control/machine_agent.h"
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+MachineAgent::MachineAgent(Machine* machine, BeRuntime* be, const ServpodThresholds& thresholds,
+                           double sla_ms, int stagger)
+    : machine_(machine),
+      be_(be),
+      top_(thresholds),
+      sla_ms_(sla_ms),
+      stagger_(static_cast<uint64_t>(stagger)) {
+  RHYTHM_CHECK(machine != nullptr);
+  RHYTHM_CHECK(be != nullptr);
+}
+
+void MachineAgent::Tick(double load, double tail_ms, double lc_utilization) {
+  ++stats_.ticks;
+  const double slack = TopController::Slack(tail_ms, sla_ms_);
+  if (slack < 0.0) {
+    ++stats_.sla_violations;
+  }
+  const BeAction action = top_.Decide(load, tail_ms, sla_ms_);
+  Apply(action, slack, lc_utilization);
+  stats_.last_action = action;
+  RunFrequencySubcontroller();
+  RunNetworkSubcontroller();
+  be_->PublishActivity();
+}
+
+void MachineAgent::Apply(BeAction action, double slack, double lc_utilization) {
+  switch (action) {
+    case BeAction::kStopBe:
+      ++stats_.stops;
+      stats_.be_kills += be_->StopAll();
+      break;
+    case BeAction::kSuspendBe:
+      ++stats_.suspends;
+      be_->SuspendAll();
+      break;
+    case BeAction::kCutBe:
+      ++stats_.cuts;
+      be_->ResumeAll();  // load is back under the limit; jobs may run again.
+      be_->Cut();
+      be_->CutMemoryStep();
+      if (slack < top_.thresholds().slacklimit / 4.0) {
+        // Deep in the red band: shed a second step so a fast load ramp (or a
+        // burst) cannot outrun the 2-second control cadence.
+        be_->Cut();
+      }
+      break;
+    case BeAction::kDisallowGrowth:
+      ++stats_.disallows;
+      be_->ResumeAll();
+      break;
+    case BeAction::kAllowGrowth:
+      ++stats_.grows;
+      be_->ResumeAll();
+      if (lc_utilization > kUtilGrowthGuard) {
+        // Heracles-style headroom check in the CPU/LLC subcontroller: the
+        // slack band says grow, but the local station has no room.
+        ++stats_.util_guard_trips;
+        break;
+      }
+      {
+        // DRAM-bandwidth subcontroller: keep the channel off its saturation
+        // cliff — the next growth step must fit in the guard band.
+        const MembwAccountant& membw = machine_->membw();
+        if (membw.lc_demand_gbs() + membw.be_demand_gbs() + be_->GrowthMembwStepGbs() >
+            kMembwGuardFraction * membw.capacity_gbs()) {
+          ++stats_.util_guard_trips;
+          break;
+        }
+      }
+      if (be_->instance_count() == 0) {
+        be_->LaunchInstance();
+        break;
+      }
+      if ((stats_.ticks + stagger_) % kGrowthPeriodTicks != 0) {
+        break;  // paced growth: not this machine's turn.
+      }
+      be_->Grow();
+      be_->GrowMemoryStep();
+      break;
+  }
+  // Saturation shed: past the upper guard the station's queueing delay grows
+  // without bound, so release resources regardless of the slack band (but do
+  // not fight StopBE/SuspendBE, which already removed the pressure). Close
+  // to the cliff the shed doubles — a fast load ramp must never outrun it.
+  if (lc_utilization > kUtilShedGuard && action != BeAction::kStopBe &&
+      action != BeAction::kSuspendBe) {
+    ++stats_.util_guard_trips;
+    be_->Cut();
+    be_->Cut();
+    if (lc_utilization > kUtilEmergencyGuard) {
+      be_->Cut();
+      be_->Cut();
+    }
+  }
+}
+
+void MachineAgent::RunFrequencySubcontroller() {
+  PowerModel& power = machine_->power();
+  if (power.TdpFraction() > kTdpThreshold) {
+    power.SetBeFrequency(power.be_frequency_ghz() - kFreqStepGhz);
+  } else if (power.TdpFraction() < kTdpThreshold - 0.1) {
+    // Headroom returned: restore BE frequency gradually toward nominal.
+    power.SetBeFrequency(power.be_frequency_ghz() + kFreqStepGhz);
+  }
+}
+
+void MachineAgent::RunNetworkSubcontroller() {
+  // The qdisc allocation derives from the measured LC traffic, which the
+  // accounting tick publishes; re-offering BE traffic refreshes the shaping.
+  machine_->network().SetBeOffered(be_->NetOffered());
+}
+
+}  // namespace rhythm

@@ -1,0 +1,94 @@
+// Per-machine controller agent (paper §3.5.2).
+//
+// One agent runs on every machine hosting an LC Servpod. Each 2-second tick
+// it feeds the current load and tail-latency slack to the top controller and
+// executes the resulting action through four subcontrollers:
+//   CPU/LLC  — grows/cuts BE cores and CAT ways (1 core + 10% LLC steps);
+//   frequency — DVFS: drops BE frequency 100 MHz when power > 80% TDP;
+//   memory   — grows/cuts BE memory in 100 MB steps;
+//   network  — maintains the qdisc allocation B_link - 1.2 * B_LC.
+
+#ifndef RHYTHM_SRC_CONTROL_MACHINE_AGENT_H_
+#define RHYTHM_SRC_CONTROL_MACHINE_AGENT_H_
+
+#include <cstdint>
+
+#include "src/bemodel/be_runtime.h"
+#include "src/control/top_controller.h"
+#include "src/resources/machine.h"
+
+namespace rhythm {
+
+class MachineAgent {
+ public:
+  // The paper's controller cadence.
+  static constexpr double kPeriodSeconds = 2.0;
+  // DVFS adjustment step (100 MHz).
+  static constexpr double kFreqStepGhz = 0.1;
+  // Power threshold that triggers BE frequency reduction.
+  static constexpr double kTdpThreshold = 0.8;
+
+  // CPU/LLC subcontroller headroom guards (the paper adopts Heracles' CPU
+  // subcontroller, which gates BE growth on the LC's measured load): BE
+  // growth pauses when the local Servpod's station utilization — including
+  // interference dilation — exceeds kUtilGrowthGuard, and resources are shed
+  // beyond kUtilShedGuard, so a load ramp cannot push the pod over its
+  // saturation cliff faster than slack feedback reacts.
+  static constexpr double kUtilGrowthGuard = 0.55;
+  static constexpr double kUtilShedGuard = 0.72;
+  static constexpr double kUtilEmergencyGuard = 0.85;
+
+  // DRAM-bandwidth subcontroller guard (Heracles' memory-bandwidth
+  // controller): BE growth is blocked when the next step would push combined
+  // demand past this fraction of the channel peak, keeping the machine off
+  // the saturation cliff where one core-step flips the latency regime.
+  static constexpr double kMembwGuardFraction = 0.90;
+
+  // Growth pacing: a machine grows at most once per kGrowthPeriodTicks
+  // control periods, phase-offset by its stagger index, so co-located
+  // machines do not all step inside the tail window's blind spot (growth is
+  // deliberately gradual in Heracles for the same reason).
+  static constexpr uint64_t kGrowthPeriodTicks = 2;
+
+  struct Stats {
+    uint64_t ticks = 0;
+    uint64_t be_kills = 0;         // instances destroyed by StopBE.
+    uint64_t sla_violations = 0;   // ticks with negative slack.
+    uint64_t stops = 0;
+    uint64_t suspends = 0;
+    uint64_t cuts = 0;
+    uint64_t disallows = 0;
+    uint64_t grows = 0;
+    uint64_t util_guard_trips = 0;  // subcontroller overrode the top action.
+    BeAction last_action = BeAction::kAllowGrowth;
+  };
+
+  // `stagger` phase-offsets this machine's growth ticks (use the pod index).
+  MachineAgent(Machine* machine, BeRuntime* be, const ServpodThresholds& thresholds,
+               double sla_ms, int stagger = 0);
+
+  // One control period: decide and actuate. `load` is the LC load fraction,
+  // `tail_ms` the current windowed tail latency, `lc_utilization` the local
+  // Servpod's station utilization (0 disables the headroom guard).
+  void Tick(double load, double tail_ms, double lc_utilization = 0.0);
+
+  const Stats& stats() const { return stats_; }
+  const TopController& top() const { return top_; }
+  void set_thresholds(const ServpodThresholds& t) { top_.set_thresholds(t); }
+
+ private:
+  void Apply(BeAction action, double slack, double lc_utilization);
+  void RunFrequencySubcontroller();
+  void RunNetworkSubcontroller();
+
+  Machine* machine_;
+  BeRuntime* be_;
+  TopController top_;
+  double sla_ms_;
+  uint64_t stagger_;
+  Stats stats_;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_CONTROL_MACHINE_AGENT_H_

@@ -1,0 +1,43 @@
+// Threshold derivation (paper §3.5.1).
+//
+// loadlimit: the "switch" — the LC load above which no BE may run with this
+// Servpod. Chosen as the first load level whose sojourn-time CoV exceeds the
+// average CoV across levels (Figure 8).
+//
+// slacklimit: the lower bound of tail-latency slack that still allows BE
+// growth, found by Algorithm 1: every pod's limit starts at 1.0 and walks
+// down by its own step size (1 - C_i / Σ C), the system runs with mixed BEs
+// at each candidate setting, and the last SLA-safe setting wins.
+
+#ifndef RHYTHM_SRC_CONTROL_THRESHOLDS_H_
+#define RHYTHM_SRC_CONTROL_THRESHOLDS_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace rhythm {
+
+struct ServpodThresholds {
+  double loadlimit = 0.85;
+  double slacklimit = 0.10;
+};
+
+// loadlimit from a CoV-versus-load curve: the first load level whose CoV is
+// strictly greater than the mean CoV across all levels. Falls back to the
+// last level when the curve never crosses its mean (a flat, tolerant pod).
+double DeriveLoadlimit(std::span<const double> load_levels, std::span<const double> covs);
+
+// Runs the system for a probing window at the candidate per-pod slacklimits;
+// returns true when the SLA was violated during the window.
+using SlaProbe = std::function<bool(const std::vector<double>& slacklimits)>;
+
+// Algorithm 1, coordinated across pods: per-pod step sizes from normalized
+// contributions, iterate until the probe reports a violation or every limit
+// reaches its floor, return the last safe limits.
+std::vector<double> FindSlacklimits(const std::vector<double>& normalized_contributions,
+                                    const SlaProbe& probe, int max_iterations = 32);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_CONTROL_THRESHOLDS_H_

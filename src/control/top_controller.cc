@@ -1,0 +1,38 @@
+#include "src/control/top_controller.h"
+
+namespace rhythm {
+
+const char* BeActionName(BeAction action) {
+  switch (action) {
+    case BeAction::kStopBe:
+      return "StopBE";
+    case BeAction::kSuspendBe:
+      return "SuspendBE";
+    case BeAction::kCutBe:
+      return "CutBE";
+    case BeAction::kDisallowGrowth:
+      return "DisallowBEGrowth";
+    case BeAction::kAllowGrowth:
+      return "AllowBEGrowth";
+  }
+  return "?";
+}
+
+BeAction TopController::Decide(double load, double tail_ms, double sla_ms) const {
+  const double slack = Slack(tail_ms, sla_ms);
+  if (slack < 0.0) {
+    return BeAction::kStopBe;
+  }
+  if (load >= thresholds_.loadlimit) {
+    return BeAction::kSuspendBe;
+  }
+  if (slack < thresholds_.slacklimit / 2.0) {
+    return BeAction::kCutBe;
+  }
+  if (slack < thresholds_.slacklimit) {
+    return BeAction::kDisallowGrowth;
+  }
+  return BeAction::kAllowGrowth;
+}
+
+}  // namespace rhythm

@@ -1,0 +1,44 @@
+// Top-level controller decision logic (paper Algorithm 2).
+//
+// Every 2 seconds, from the current request load and the tail-latency slack
+//   slack = (T_sla - T_tail) / T_sla
+// the top controller picks one of five actions:
+//
+//   slack < 0                         -> StopBE          (SLA broken: kill)
+//   load >= loadlimit                 -> SuspendBE       (keep memory)
+//   0 < slack < slacklimit/2          -> CutBE           (shrink resources)
+//   slacklimit/2 < slack < slacklimit -> DisallowBEGrowth
+//   otherwise                         -> AllowBEGrowth
+
+#ifndef RHYTHM_SRC_CONTROL_TOP_CONTROLLER_H_
+#define RHYTHM_SRC_CONTROL_TOP_CONTROLLER_H_
+
+#include "src/control/thresholds.h"
+
+namespace rhythm {
+
+enum class BeAction { kStopBe, kSuspendBe, kCutBe, kDisallowGrowth, kAllowGrowth };
+
+const char* BeActionName(BeAction action);
+
+class TopController {
+ public:
+  explicit TopController(const ServpodThresholds& thresholds) : thresholds_(thresholds) {}
+
+  // Pure decision function: load in [0,1], tail and SLA in ms.
+  BeAction Decide(double load, double tail_ms, double sla_ms) const;
+
+  static double Slack(double tail_ms, double sla_ms) {
+    return sla_ms > 0.0 ? (sla_ms - tail_ms) / sla_ms : 0.0;
+  }
+
+  const ServpodThresholds& thresholds() const { return thresholds_; }
+  void set_thresholds(const ServpodThresholds& t) { thresholds_ = t; }
+
+ private:
+  ServpodThresholds thresholds_;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_CONTROL_TOP_CONTROLLER_H_

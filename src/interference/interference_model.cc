@@ -1,0 +1,62 @@
+#include "src/interference/interference_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rhythm {
+
+ResourceVector InterferenceModel::Contention(const Machine& machine, const BeRuntime* be) {
+  ResourceVector contention;
+  if (be == nullptr || be->running_count() == 0) {
+    return contention;
+  }
+  const ResourceVector pressure = be->ExertedPressure();
+
+  // Core contention: cpuset keeps core sets disjoint, so what remains is
+  // same-socket scheduler, SMT sibling and uncore pressure, proportional to
+  // how much of the socket the BEs occupy.
+  const double be_core_share =
+      machine.be_busy_cores() / std::max(1, machine.spec().total_cores);
+  contention.cpu = pressure.cpu * be_core_share;
+
+  // LLC contention: CAT confines BEs to their ways; the LC loses exactly the
+  // ways granted away, scaled by how aggressively the BE actually thrashes
+  // its partition.
+  const double be_way_share =
+      static_cast<double>(machine.cat().be_ways()) / machine.cat().total_ways();
+  contention.llc = pressure.llc * be_way_share;
+
+  // DRAM bandwidth: no hardware partitioning; contention ramps as combined
+  // demand approaches the channel peak (quadratic onset: queueing in the
+  // memory controller builds gradually) and grows steeply past saturation.
+  const double demand_ratio =
+      (machine.membw().lc_demand_gbs() + machine.membw().be_demand_gbs()) /
+      machine.membw().capacity_gbs();
+  const double approach = std::max(0.0, (demand_ratio - 0.5) / 0.5);
+  contention.dram = pressure.dram * std::min(1.5, approach * approach +
+                                                      2.0 * machine.membw().saturation());
+
+  // Network: qdisc headroom squeeze.
+  contention.net = pressure.net * machine.network().lc_contention();
+
+  return contention;
+}
+
+double InterferenceModel::InflationFromContention(const ResourceVector& sensitivity,
+                                                  const ResourceVector& contention,
+                                                  double lc_freq_factor) {
+  const double additive = sensitivity.cpu * contention.cpu + sensitivity.llc * contention.llc +
+                          sensitivity.dram * contention.dram + sensitivity.net * contention.net;
+  // DVFS: running the LC at reduced frequency dilates compute-bound work.
+  const double freq_deficit = lc_freq_factor > 0.0 ? (1.0 / lc_freq_factor - 1.0) : 0.0;
+  const double freq_penalty = 1.0 + sensitivity.freq * freq_deficit;
+  return (1.0 + additive) * freq_penalty;
+}
+
+double InterferenceModel::Inflation(const ResourceVector& sensitivity, const Machine& machine,
+                                    const BeRuntime* be) {
+  return InflationFromContention(sensitivity, Contention(machine, be),
+                                 machine.power().LcSpeedFactor());
+}
+
+}  // namespace rhythm

@@ -1,0 +1,45 @@
+// Interference model: how BE pressure on shared resources dilates an LC
+// component's service time.
+//
+// For each shared resource r the machine state yields a contention level in
+// [0, ~1]: the fraction of that resource effectively taken from the LC side
+// by BE jobs after the isolation mechanisms have done their work (CAT ways
+// granted away, memory-bandwidth oversubscription, NIC headroom squeeze,
+// residual same-socket scheduler pressure). A component with sensitivity
+// vector s then runs
+//
+//   inflation = (1 + sum_r s[r] * contention[r]) * freq_penalty
+//
+// Slower service raises the component's utilization, so queueing delay — and
+// hence tail latency — grows nonlinearly with both BE pressure and LC load,
+// reproducing the load-dependent blow-ups of the paper's Figure 2.
+
+#ifndef RHYTHM_SRC_INTERFERENCE_INTERFERENCE_MODEL_H_
+#define RHYTHM_SRC_INTERFERENCE_INTERFERENCE_MODEL_H_
+
+#include "src/bemodel/be_job_spec.h"
+#include "src/bemodel/be_runtime.h"
+#include "src/resources/machine.h"
+
+namespace rhythm {
+
+class InterferenceModel {
+ public:
+  // Contention levels currently present on `machine`, given the BE runtime
+  // co-located there (`be` may be null: no BE jobs).
+  static ResourceVector Contention(const Machine& machine, const BeRuntime* be);
+
+  // Service-time inflation factor (>= 1) for a component with sensitivity
+  // `sensitivity` hosted on `machine`.
+  static double Inflation(const ResourceVector& sensitivity, const Machine& machine,
+                          const BeRuntime* be);
+
+  // Inflation from precomputed contention (used by tests and sweeps).
+  static double InflationFromContention(const ResourceVector& sensitivity,
+                                        const ResourceVector& contention,
+                                        double lc_freq_factor);
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_INTERFERENCE_INTERFERENCE_MODEL_H_

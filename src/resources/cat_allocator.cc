@@ -1,0 +1,29 @@
+#include "src/resources/cat_allocator.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+CatAllocator::CatAllocator(int total_ways, int lc_min_ways) : total_(total_ways), lc_min_(lc_min_ways) {
+  RHYTHM_CHECK(total_ways > 0);
+  RHYTHM_CHECK(lc_min_ways >= 0 && lc_min_ways <= total_ways);
+}
+
+int CatAllocator::AllocateBeWays(int n) {
+  const int available = total_ - lc_min_ - be_;
+  const int granted = std::clamp(n, 0, available);
+  be_ += granted;
+  return granted;
+}
+
+int CatAllocator::ReleaseBeWays(int n) {
+  const int released = std::clamp(n, 0, be_);
+  be_ -= released;
+  return released;
+}
+
+void CatAllocator::ReleaseAllBeWays() { be_ = 0; }
+
+}  // namespace rhythm

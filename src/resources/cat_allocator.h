@@ -1,0 +1,41 @@
+// Intel CAT (Cache Allocation Technology) model.
+//
+// CAT partitions the shared L3 into ways. Rhythm gives the LC workload a
+// protected partition and hands ways to BE jobs in 10%-of-LLC steps
+// (2 ways of 20 here). Ways granted to BEs shrink the LC's effective cache,
+// which is what the interference model consumes.
+
+#ifndef RHYTHM_SRC_RESOURCES_CAT_ALLOCATOR_H_
+#define RHYTHM_SRC_RESOURCES_CAT_ALLOCATOR_H_
+
+namespace rhythm {
+
+class CatAllocator {
+ public:
+  // `lc_min_ways` ways can never be taken from the LC partition.
+  CatAllocator(int total_ways, int lc_min_ways);
+
+  // Moves up to `n` ways from the LC partition to the BE partition;
+  // returns the number actually moved.
+  int AllocateBeWays(int n);
+
+  // Returns up to `n` ways from BE back to LC; returns the number moved.
+  int ReleaseBeWays(int n);
+
+  void ReleaseAllBeWays();
+
+  int total_ways() const { return total_; }
+  int lc_ways() const { return total_ - be_; }
+  int be_ways() const { return be_; }
+  // Fraction of the LLC currently protected for the LC workload.
+  double lc_fraction() const { return static_cast<double>(lc_ways()) / total_; }
+
+ private:
+  int total_;
+  int lc_min_;
+  int be_ = 0;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_RESOURCES_CAT_ALLOCATOR_H_

@@ -1,0 +1,29 @@
+#include "src/resources/core_allocator.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+CoreAllocator::CoreAllocator(int total_cores, int lc_reserved_cores)
+    : total_(total_cores), lc_reserved_(lc_reserved_cores) {
+  RHYTHM_CHECK(total_cores > 0);
+  RHYTHM_CHECK(lc_reserved_cores >= 0 && lc_reserved_cores <= total_cores);
+}
+
+int CoreAllocator::AllocateBeCores(int n) {
+  const int granted = std::clamp(n, 0, free_cores());
+  be_ += granted;
+  return granted;
+}
+
+int CoreAllocator::ReleaseBeCores(int n) {
+  const int released = std::clamp(n, 0, be_);
+  be_ -= released;
+  return released;
+}
+
+void CoreAllocator::ReleaseAllBeCores() { be_ = 0; }
+
+}  // namespace rhythm

@@ -1,0 +1,41 @@
+// cpuset-style core partitioning between the LC Servpod and BE jobs.
+//
+// The paper binds LC and BE jobs to disjoint physical cores via cpuset
+// cgroups. We model the machine's cores as a counted partition: a fixed
+// reservation for the LC container plus a growable BE pool. The identity of
+// individual cores does not matter for the interference model, only the
+// counts and the fact that the sets are disjoint.
+
+#ifndef RHYTHM_SRC_RESOURCES_CORE_ALLOCATOR_H_
+#define RHYTHM_SRC_RESOURCES_CORE_ALLOCATOR_H_
+
+namespace rhythm {
+
+class CoreAllocator {
+ public:
+  CoreAllocator(int total_cores, int lc_reserved_cores);
+
+  // Attempts to move `n` cores from the free pool to the BE partition.
+  // Returns the number actually granted (may be less than requested).
+  int AllocateBeCores(int n);
+
+  // Returns `n` BE cores to the free pool; returns the number released.
+  int ReleaseBeCores(int n);
+
+  // Releases every BE core (StopBE).
+  void ReleaseAllBeCores();
+
+  int total_cores() const { return total_; }
+  int lc_cores() const { return lc_reserved_; }
+  int be_cores() const { return be_; }
+  int free_cores() const { return total_ - lc_reserved_ - be_; }
+
+ private:
+  int total_;
+  int lc_reserved_;
+  int be_ = 0;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_RESOURCES_CORE_ALLOCATOR_H_

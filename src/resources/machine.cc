@@ -1,0 +1,46 @@
+#include "src/resources/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace rhythm {
+
+Machine::Machine(std::string name, const MachineSpec& spec, const LcReservation& reservation)
+    : name_(std::move(name)),
+      spec_(spec),
+      reservation_(reservation),
+      cores_(spec.total_cores, reservation.cores),
+      cat_(spec.llc_ways, reservation.min_llc_ways),
+      membw_(spec.dram_bw_gbs),
+      memory_(spec.dram_gb, reservation.memory_gb),
+      network_(spec.nic_gbps),
+      power_(spec) {}
+
+void Machine::SetLcActivity(double busy_cores, double membw_gbs, double net_gbps) {
+  lc_busy_cores_ = std::clamp(busy_cores, 0.0, static_cast<double>(reservation_.cores));
+  membw_.SetLcDemand(membw_gbs);
+  network_.SetLcTraffic(net_gbps);
+  const int active = static_cast<int>(std::ceil(lc_busy_cores_));
+  const double intensity = active > 0 ? lc_busy_cores_ / active : 0.0;
+  power_.SetActivity(active, intensity, static_cast<int>(std::ceil(be_busy_cores_)),
+                     be_busy_cores_ > 0.0
+                         ? be_busy_cores_ / std::ceil(std::max(be_busy_cores_, 1.0))
+                         : 0.0);
+}
+
+void Machine::SetBeActivity(double busy_cores, double membw_gbs, double net_gbps) {
+  be_busy_cores_ = std::clamp(busy_cores, 0.0, static_cast<double>(cores_.be_cores()));
+  membw_.SetBeDemand(membw_gbs);
+  network_.SetBeOffered(net_gbps);
+  const int lc_active = static_cast<int>(std::ceil(lc_busy_cores_));
+  const int be_active = static_cast<int>(std::ceil(be_busy_cores_));
+  power_.SetActivity(lc_active, lc_active > 0 ? lc_busy_cores_ / lc_active : 0.0, be_active,
+                     be_active > 0 ? be_busy_cores_ / be_active : 0.0);
+}
+
+double Machine::CpuUtilization() const {
+  return std::min(1.0, (lc_busy_cores_ + be_busy_cores_) / spec_.total_cores);
+}
+
+}  // namespace rhythm

@@ -1,0 +1,80 @@
+// A physical machine: the composition of all isolation mechanisms plus
+// utilization accounting. One Servpod of the LC workload plus any number of
+// BE job instances run on each machine; the subcontrollers manipulate the
+// partitions held here.
+
+#ifndef RHYTHM_SRC_RESOURCES_MACHINE_H_
+#define RHYTHM_SRC_RESOURCES_MACHINE_H_
+
+#include <string>
+
+#include "src/resources/cat_allocator.h"
+#include "src/resources/core_allocator.h"
+#include "src/resources/machine_spec.h"
+#include "src/resources/membw_accountant.h"
+#include "src/resources/memory_allocator.h"
+#include "src/resources/network_qdisc.h"
+#include "src/resources/power_model.h"
+
+namespace rhythm {
+
+// Resources reserved for the LC container on a machine (the container's
+// configured capacity from Table 1's deployment).
+struct LcReservation {
+  int cores = 20;
+  int min_llc_ways = 4;   // CAT floor that can never be given to BEs.
+  double memory_gb = 32.0;
+};
+
+class Machine {
+ public:
+  Machine(std::string name, const MachineSpec& spec, const LcReservation& reservation);
+
+  const std::string& name() const { return name_; }
+  const MachineSpec& spec() const { return spec_; }
+  const LcReservation& lc_reservation() const { return reservation_; }
+
+  CoreAllocator& cores() { return cores_; }
+  const CoreAllocator& cores() const { return cores_; }
+  CatAllocator& cat() { return cat_; }
+  const CatAllocator& cat() const { return cat_; }
+  MembwAccountant& membw() { return membw_; }
+  const MembwAccountant& membw() const { return membw_; }
+  MemoryAllocator& memory() { return memory_; }
+  const MemoryAllocator& memory() const { return memory_; }
+  NetworkQdisc& network() { return network_; }
+  const NetworkQdisc& network() const { return network_; }
+  PowerModel& power() { return power_; }
+  const PowerModel& power() const { return power_; }
+
+  // LC-side activity, fed by the workload model each accounting tick.
+  void SetLcActivity(double busy_cores, double membw_gbs, double net_gbps);
+  double lc_busy_cores() const { return lc_busy_cores_; }
+
+  // BE-side activity, fed by the BE runtime each accounting tick.
+  void SetBeActivity(double busy_cores, double membw_gbs, double net_gbps);
+  double be_busy_cores() const { return be_busy_cores_; }
+
+  // Whole-machine CPU utilization in [0, 1]: busy cores / total cores.
+  double CpuUtilization() const;
+
+  // Memory-bandwidth utilization in [0, 1].
+  double MembwUtilization() const { return membw_.utilization(); }
+
+ private:
+  std::string name_;
+  MachineSpec spec_;
+  LcReservation reservation_;
+  CoreAllocator cores_;
+  CatAllocator cat_;
+  MembwAccountant membw_;
+  MemoryAllocator memory_;
+  NetworkQdisc network_;
+  PowerModel power_;
+  double lc_busy_cores_ = 0.0;
+  double be_busy_cores_ = 0.0;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_RESOURCES_MACHINE_H_

@@ -1,0 +1,27 @@
+// Static description of a physical machine, mirroring the paper's testbed:
+// one socket's worth of a quad-socket Intel Xeon E7-4820 v4 (per-socket view,
+// since the paper pins each Servpod and its BEs to one socket): 40 logical
+// cores per machine, 20 MB of L3 (modelled as 20 CAT ways of 1 MB), 64 GB of
+// DRAM per socket, and a 10 Gbps NIC.
+
+#ifndef RHYTHM_SRC_RESOURCES_MACHINE_SPEC_H_
+#define RHYTHM_SRC_RESOURCES_MACHINE_SPEC_H_
+
+namespace rhythm {
+
+struct MachineSpec {
+  int total_cores = 40;
+  int llc_ways = 20;             // Intel CAT partitions; 1 way == 1 MB here.
+  double llc_mb = 20.0;          // shared L3 capacity.
+  double dram_bw_gbs = 60.0;     // peak memory bandwidth, GB/s.
+  double dram_gb = 64.0;         // DRAM capacity.
+  double nic_gbps = 10.0;        // NIC line rate.
+  double tdp_watts = 115.0;      // thermal design power (RAPL budget).
+  double idle_watts = 35.0;      // package idle power.
+  double base_freq_ghz = 2.0;    // nominal frequency.
+  double min_freq_ghz = 1.0;     // DVFS floor.
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_RESOURCES_MACHINE_SPEC_H_

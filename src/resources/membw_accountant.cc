@@ -1,0 +1,38 @@
+#include "src/resources/membw_accountant.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+MembwAccountant::MembwAccountant(double capacity_gbs) : capacity_(capacity_gbs) {
+  RHYTHM_CHECK(capacity_gbs > 0.0);
+}
+
+void MembwAccountant::SetLcDemand(double gbs) { lc_demand_ = std::max(gbs, 0.0); }
+
+void MembwAccountant::SetBeDemand(double gbs) { be_demand_ = std::max(gbs, 0.0); }
+
+double MembwAccountant::total_delivered_gbs() const {
+  return std::min(lc_demand_ + be_demand_, capacity_);
+}
+
+double MembwAccountant::utilization() const { return total_delivered_gbs() / capacity_; }
+
+double MembwAccountant::saturation() const {
+  return std::max(0.0, (lc_demand_ + be_demand_ - capacity_) / capacity_);
+}
+
+double MembwAccountant::be_grant_fraction() const {
+  if (be_demand_ <= 0.0) {
+    return 1.0;
+  }
+  const double total = lc_demand_ + be_demand_;
+  if (total <= capacity_) {
+    return 1.0;
+  }
+  return capacity_ / total;
+}
+
+}  // namespace rhythm

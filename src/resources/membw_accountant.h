@@ -1,0 +1,44 @@
+// Memory-bandwidth accounting.
+//
+// There is no commodity hardware partitioning for DRAM bandwidth on the
+// paper's testbed; contention arises whenever combined LC + BE demand
+// approaches the channel peak. The accountant tracks both demands and
+// derives utilization and an over-subscription ("saturation") signal that
+// the interference model turns into LC slowdown.
+
+#ifndef RHYTHM_SRC_RESOURCES_MEMBW_ACCOUNTANT_H_
+#define RHYTHM_SRC_RESOURCES_MEMBW_ACCOUNTANT_H_
+
+namespace rhythm {
+
+class MembwAccountant {
+ public:
+  explicit MembwAccountant(double capacity_gbs);
+
+  void SetLcDemand(double gbs);
+  void SetBeDemand(double gbs);
+
+  double capacity_gbs() const { return capacity_; }
+  double lc_demand_gbs() const { return lc_demand_; }
+  double be_demand_gbs() const { return be_demand_; }
+
+  // Delivered bandwidth is capped at capacity; when oversubscribed, both
+  // sides are throttled proportionally to demand.
+  double total_delivered_gbs() const;
+  double utilization() const;  // delivered / capacity, in [0, 1].
+
+  // Oversubscription ratio: max(0, (lc + be - capacity) / capacity).
+  double saturation() const;
+
+  // Fraction of its demand the BE side actually receives, in [0, 1].
+  double be_grant_fraction() const;
+
+ private:
+  double capacity_;
+  double lc_demand_ = 0.0;
+  double be_demand_ = 0.0;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_RESOURCES_MEMBW_ACCOUNTANT_H_

@@ -1,0 +1,29 @@
+#include "src/resources/memory_allocator.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+MemoryAllocator::MemoryAllocator(double total_gb, double lc_reserved_gb)
+    : total_(total_gb), lc_reserved_(lc_reserved_gb) {
+  RHYTHM_CHECK(total_gb > 0.0);
+  RHYTHM_CHECK(lc_reserved_gb >= 0.0 && lc_reserved_gb <= total_gb);
+}
+
+double MemoryAllocator::AllocateBeGb(double gb) {
+  const double granted = std::clamp(gb, 0.0, free_gb());
+  be_ += granted;
+  return granted;
+}
+
+double MemoryAllocator::ReleaseBeGb(double gb) {
+  const double released = std::clamp(gb, 0.0, be_);
+  be_ -= released;
+  return released;
+}
+
+void MemoryAllocator::ReleaseAllBeGb() { be_ = 0.0; }
+
+}  // namespace rhythm

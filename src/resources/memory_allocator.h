@@ -1,0 +1,37 @@
+// DRAM-capacity partitioning between the LC container and BE jobs.
+// BE jobs start with 2 GB and are grown or cut in 100 MB steps by the memory
+// subcontroller (paper §3.5.2). SuspendBE keeps BE memory resident;
+// StopBE releases it.
+
+#ifndef RHYTHM_SRC_RESOURCES_MEMORY_ALLOCATOR_H_
+#define RHYTHM_SRC_RESOURCES_MEMORY_ALLOCATOR_H_
+
+namespace rhythm {
+
+class MemoryAllocator {
+ public:
+  MemoryAllocator(double total_gb, double lc_reserved_gb);
+
+  // Attempts to allocate `gb` to the BE partition; returns the GB granted.
+  double AllocateBeGb(double gb);
+
+  // Returns up to `gb` from the BE partition; returns the GB released.
+  double ReleaseBeGb(double gb);
+
+  void ReleaseAllBeGb();
+
+  double total_gb() const { return total_; }
+  double lc_reserved_gb() const { return lc_reserved_; }
+  double be_gb() const { return be_; }
+  double free_gb() const { return total_ - lc_reserved_ - be_; }
+  double utilization() const { return (lc_reserved_ + be_) / total_; }
+
+ private:
+  double total_;
+  double lc_reserved_;
+  double be_ = 0.0;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_RESOURCES_MEMORY_ALLOCATOR_H_

@@ -1,0 +1,40 @@
+#include "src/resources/network_qdisc.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+NetworkQdisc::NetworkQdisc(double link_gbps) : link_(link_gbps) {
+  RHYTHM_CHECK(link_gbps > 0.0);
+  Recompute();
+}
+
+void NetworkQdisc::SetLcTraffic(double gbps) {
+  lc_traffic_ = std::max(gbps, 0.0);
+  Recompute();
+}
+
+void NetworkQdisc::SetBeOffered(double gbps) { be_offered_ = std::max(gbps, 0.0); }
+
+void NetworkQdisc::Recompute() {
+  be_allocation_ = std::max(0.0, link_ - 1.2 * lc_traffic_);
+}
+
+double NetworkQdisc::be_delivered_gbps() const { return std::min(be_offered_, be_allocation_); }
+
+double NetworkQdisc::lc_contention() const {
+  // Shaping protects the LC up to the 20% headroom; contention leaks in only
+  // when the link is nearly full of LC+BE traffic (switch buffers, NIC
+  // queues). Model this as the squeeze of the remaining headroom.
+  const double total = lc_traffic_ + be_delivered_gbps();
+  const double pressure = total / link_;
+  return std::max(0.0, (pressure - 0.8) / 0.2);
+}
+
+double NetworkQdisc::utilization() const {
+  return std::min(1.0, (lc_traffic_ + be_delivered_gbps()) / link_);
+}
+
+}  // namespace rhythm

@@ -1,0 +1,45 @@
+// qdisc-style NIC bandwidth partitioning.
+//
+// The network subcontroller continuously measures LC traffic B_LC and
+// allocates B_link - 1.2 * B_LC to BE jobs (paper §3.5.2). The 20% headroom
+// absorbs LC bursts. BE traffic beyond its allocation is shaped (dropped
+// from the BE's point of view: its effective rate is capped).
+
+#ifndef RHYTHM_SRC_RESOURCES_NETWORK_QDISC_H_
+#define RHYTHM_SRC_RESOURCES_NETWORK_QDISC_H_
+
+namespace rhythm {
+
+class NetworkQdisc {
+ public:
+  explicit NetworkQdisc(double link_gbps);
+
+  // Updates the measured LC traffic and recomputes the BE allocation.
+  void SetLcTraffic(double gbps);
+
+  // BE offered load; delivered BE traffic is min(offered, allocation).
+  void SetBeOffered(double gbps);
+
+  double link_gbps() const { return link_; }
+  double lc_traffic_gbps() const { return lc_traffic_; }
+  double be_allocation_gbps() const { return be_allocation_; }
+  double be_delivered_gbps() const;
+
+  // Contention seen by the LC side: nonzero only when BE offered traffic
+  // exceeds its allocation *and* total traffic approaches the link rate.
+  double lc_contention() const;
+
+  double utilization() const;
+
+ private:
+  double link_;
+  double lc_traffic_ = 0.0;
+  double be_offered_ = 0.0;
+  double be_allocation_ = 0.0;
+
+  void Recompute();
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_RESOURCES_NETWORK_QDISC_H_

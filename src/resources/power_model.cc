@@ -1,0 +1,47 @@
+#include "src/resources/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rhythm {
+
+PowerModel::PowerModel(const MachineSpec& spec)
+    : spec_(spec), lc_freq_(spec.base_freq_ghz), be_freq_(spec.base_freq_ghz) {}
+
+void PowerModel::SetActivity(int lc_active_cores, double lc_intensity, int be_active_cores,
+                             double be_intensity) {
+  lc_active_ = std::max(lc_active_cores, 0);
+  be_active_ = std::max(be_active_cores, 0);
+  lc_intensity_ = std::clamp(lc_intensity, 0.0, 1.0);
+  be_intensity_ = std::clamp(be_intensity, 0.0, 1.0);
+}
+
+void PowerModel::SetBeFrequency(double ghz) {
+  be_freq_ = std::clamp(ghz, spec_.min_freq_ghz, spec_.base_freq_ghz);
+}
+
+void PowerModel::SetLcFrequency(double ghz) {
+  lc_freq_ = std::clamp(ghz, spec_.min_freq_ghz, spec_.base_freq_ghz);
+}
+
+double PowerModel::CoreDynamicWatts(double freq_ghz) const {
+  // Calibrated so a fully busy machine at base frequency reaches TDP:
+  // idle + total_cores * k * base^2 == tdp.
+  const double base = spec_.base_freq_ghz;
+  const double k = (spec_.tdp_watts - spec_.idle_watts) / (spec_.total_cores * base * base);
+  return k * freq_ghz * freq_ghz;
+}
+
+double PowerModel::PackagePowerWatts() const {
+  const double lc = lc_active_ * lc_intensity_ * CoreDynamicWatts(lc_freq_);
+  const double be = be_active_ * be_intensity_ * CoreDynamicWatts(be_freq_);
+  return spec_.idle_watts + lc + be;
+}
+
+double PowerModel::TdpFraction() const { return PackagePowerWatts() / spec_.tdp_watts; }
+
+double PowerModel::LcSpeedFactor() const { return lc_freq_ / spec_.base_freq_ghz; }
+
+double PowerModel::BeSpeedFactor() const { return be_freq_ / spec_.base_freq_ghz; }
+
+}  // namespace rhythm

@@ -1,0 +1,58 @@
+// RAPL-style power accounting plus DVFS control.
+//
+// Package power is modelled as idle power plus a per-active-core dynamic
+// term that scales ~quadratically with frequency (P ~ C V^2 f with V ~ f).
+// The frequency subcontroller reads power via this model (as it would via
+// RAPL MSRs) and lowers the BE cores' frequency in 100 MHz steps when power
+// exceeds 80% of TDP (paper §3.5.2).
+
+#ifndef RHYTHM_SRC_RESOURCES_POWER_MODEL_H_
+#define RHYTHM_SRC_RESOURCES_POWER_MODEL_H_
+
+#include "src/resources/machine_spec.h"
+
+namespace rhythm {
+
+class PowerModel {
+ public:
+  explicit PowerModel(const MachineSpec& spec);
+
+  // Activity inputs: how many cores are busy on each side and how hard.
+  // `lc_intensity` / `be_intensity` are in [0, 1].
+  void SetActivity(int lc_active_cores, double lc_intensity, int be_active_cores,
+                   double be_intensity);
+
+  // DVFS knobs. Frequencies are clamped to [min_freq, base_freq].
+  void SetBeFrequency(double ghz);
+  void SetLcFrequency(double ghz);
+
+  double be_frequency_ghz() const { return be_freq_; }
+  double lc_frequency_ghz() const { return lc_freq_; }
+
+  // Measured package power in watts (the RAPL reading).
+  double PackagePowerWatts() const;
+
+  // Power as a fraction of TDP.
+  double TdpFraction() const;
+
+  // Relative speed of a core at frequency f versus base frequency.
+  double LcSpeedFactor() const;
+  double BeSpeedFactor() const;
+
+  const MachineSpec& spec() const { return spec_; }
+
+ private:
+  MachineSpec spec_;
+  double lc_freq_;
+  double be_freq_;
+  int lc_active_ = 0;
+  int be_active_ = 0;
+  double lc_intensity_ = 0.0;
+  double be_intensity_ = 0.0;
+
+  double CoreDynamicWatts(double freq_ghz) const;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_RESOURCES_POWER_MODEL_H_

@@ -1,0 +1,49 @@
+// Umbrella header for the Rhythm library: a reproduction of
+// "Rhythm: Component-distinguishable Workload Deployment in Datacenters"
+// (Zhao et al., EuroSys 2020).
+//
+// Typical usage (see examples/quickstart.cc):
+//   1. Derive per-Servpod thresholds once:   CachedAppThresholds(app)
+//   2. Run a co-location:                    RunColocation(config, load)
+//   3. Compare against Heracles by flipping  config.controller.
+
+#ifndef RHYTHM_SRC_RHYTHM_H_
+#define RHYTHM_SRC_RHYTHM_H_
+
+#include "src/analysis/contribution.h"
+#include "src/analysis/online_contribution.h"
+#include "src/baseline/heracles.h"
+#include "src/bemodel/be_job_spec.h"
+#include "src/bemodel/be_runtime.h"
+#include "src/cluster/app_thresholds.h"
+#include "src/cluster/bubble_profiler.h"
+#include "src/cluster/deployment.h"
+#include "src/cluster/experiment.h"
+#include "src/cluster/metrics.h"
+#include "src/cluster/multi_lc.h"
+#include "src/cluster/profiler.h"
+#include "src/common/logging.h"
+#include "src/common/p2_quantile.h"
+#include "src/common/percentile_window.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/time_series.h"
+#include "src/control/machine_agent.h"
+#include "src/control/thresholds.h"
+#include "src/control/top_controller.h"
+#include "src/interference/interference_model.h"
+#include "src/resources/machine.h"
+#include "src/scheduler/be_backlog.h"
+#include "src/scheduler/be_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/trace/cpg_builder.h"
+#include "src/trace/path_classifier.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/event_log.h"
+#include "src/trace/sojourn_extractor.h"
+#include "src/workload/app_catalog.h"
+#include "src/workload/lc_service.h"
+#include "src/workload/load_profile.h"
+#include "src/workload/trace_file_profile.h"
+
+#endif  // RHYTHM_SRC_RHYTHM_H_

@@ -1,0 +1,54 @@
+// Cluster-wide queue of waiting BE jobs (paper §4, "Interact with
+// scheduler": the scheduler checks the waiting queue of BE jobs and
+// dispatches them to physical machines with sufficient resources).
+//
+// The §5 evaluation assumes an effectively infinite backlog (BE jobs always
+// available); the scheduler example exercises a finite-rate arrival stream
+// where queueing delay and machine acceptance interact.
+
+#ifndef RHYTHM_SRC_SCHEDULER_BE_BACKLOG_H_
+#define RHYTHM_SRC_SCHEDULER_BE_BACKLOG_H_
+
+#include <cstdint>
+
+namespace rhythm {
+
+class BeBacklog {
+ public:
+  // Infinite mode (default): TryTakeJob always succeeds — the evaluation's
+  // "BE jobs are always waiting" assumption.
+  explicit BeBacklog(bool infinite = true) : infinite_(infinite) {}
+
+  void set_infinite(bool infinite) { infinite_ = infinite; }
+  bool infinite() const { return infinite_; }
+
+  // Enqueues `n` jobs (finite mode).
+  void SubmitJobs(uint64_t n) { submitted_ += n; }
+
+  // A BE instance pulls its next job. Returns false when the queue is empty
+  // (the instance idles until work arrives).
+  bool TryTakeJob() {
+    if (infinite_) {
+      ++taken_;
+      return true;
+    }
+    if (taken_ < submitted_) {
+      ++taken_;
+      return true;
+    }
+    return false;
+  }
+
+  uint64_t pending() const { return infinite_ ? UINT64_MAX : submitted_ - taken_; }
+  uint64_t submitted() const { return submitted_; }
+  uint64_t taken() const { return taken_; }
+
+ private:
+  bool infinite_;
+  uint64_t submitted_ = 0;
+  uint64_t taken_ = 0;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_SCHEDULER_BE_BACKLOG_H_

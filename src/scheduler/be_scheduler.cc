@@ -1,0 +1,44 @@
+#include "src/scheduler/be_scheduler.h"
+
+namespace rhythm {
+
+bool BeScheduler::MachineAccepts(const MachineSlot& slot) {
+  if (slot.agent == nullptr) {
+    return true;
+  }
+  // A controller that has not run yet has expressed no decision: decline
+  // conservatively until its first tick.
+  return slot.agent->stats().ticks > 0 &&
+         slot.agent->stats().last_action == BeAction::kAllowGrowth;
+}
+
+int BeScheduler::DispatchRound() {
+  if (machines_.empty()) {
+    return 0;
+  }
+  int launched = 0;
+  // One dispatch opportunity per machine per round, round-robin so the same
+  // machine does not soak the queue head every time.
+  for (size_t step = 0; step < machines_.size(); ++step) {
+    const size_t index = (next_machine_ + step) % machines_.size();
+    MachineSlot& slot = machines_[index];
+    if (!MachineAccepts(slot)) {
+      ++stats_.skipped_declined;
+      continue;
+    }
+    if (backlog_->pending() == 0) {
+      break;
+    }
+    // AdmitInstance pulls the instance's first job from the backlog itself.
+    if (slot.be->AdmitInstance()) {
+      ++stats_.dispatched;
+      ++launched;
+    } else {
+      ++stats_.rejected_full;
+    }
+  }
+  next_machine_ = (next_machine_ + 1) % machines_.size();
+  return launched;
+}
+
+}  // namespace rhythm

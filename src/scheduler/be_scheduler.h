@@ -1,0 +1,59 @@
+// Cluster BE scheduler (paper §4).
+//
+// Each machine's top controller reports whether it currently accepts BE
+// jobs (its last decision was AllowBEGrowth). The scheduler walks the
+// waiting queue and dispatches new BE instances to accepting machines with
+// free resources; the machines' subcontrollers then grow or shrink the
+// instances' allocations locally.
+
+#ifndef RHYTHM_SRC_SCHEDULER_BE_SCHEDULER_H_
+#define RHYTHM_SRC_SCHEDULER_BE_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bemodel/be_runtime.h"
+#include "src/control/machine_agent.h"
+#include "src/scheduler/be_backlog.h"
+
+namespace rhythm {
+
+class BeScheduler {
+ public:
+  struct MachineSlot {
+    Machine* machine = nullptr;
+    BeRuntime* be = nullptr;
+    const MachineAgent* agent = nullptr;  // may be null (uncontrolled).
+  };
+
+  struct Stats {
+    uint64_t dispatched = 0;  // instances launched by the scheduler.
+    uint64_t rejected_full = 0;    // machine accepted but had no resources.
+    uint64_t skipped_declined = 0;  // machine's controller declined BEs.
+  };
+
+  explicit BeScheduler(BeBacklog* backlog) : backlog_(backlog) {}
+
+  void AddMachine(const MachineSlot& slot) { machines_.push_back(slot); }
+
+  // One scheduling round: for each accepting machine, dispatch one queued
+  // job as a fresh instance (resource growth stays with the subcontrollers).
+  // Returns the number of instances launched this round.
+  int DispatchRound();
+
+  const Stats& stats() const { return stats_; }
+
+  // A machine accepts BEs when its controller's last action allows growth
+  // (or when it runs uncontrolled).
+  static bool MachineAccepts(const MachineSlot& slot);
+
+ private:
+  BeBacklog* backlog_;
+  std::vector<MachineSlot> machines_;
+  Stats stats_;
+  size_t next_machine_ = 0;  // round-robin fairness across machines.
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_SCHEDULER_BE_SCHEDULER_H_

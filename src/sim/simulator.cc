@@ -1,0 +1,73 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+void Simulator::Schedule(double delay, Action action) {
+  ScheduleAt(now_ + std::max(delay, 0.0), std::move(action));
+}
+
+void Simulator::ScheduleAt(double time, Action action) {
+  queue_.push(Event{std::max(time, now_), next_seq_++, std::move(action)});
+}
+
+uint64_t Simulator::SchedulePeriodic(double start, double period, Action action) {
+  RHYTHM_CHECK(period > 0.0);
+  const uint64_t id = next_periodic_id_++;
+  ArmPeriodic(id, std::max(start, now_), period, std::move(action));
+  return id;
+}
+
+void Simulator::ArmPeriodic(uint64_t id, double time, double period, Action action) {
+  ScheduleAt(time, [this, id, time, period, action = std::move(action)]() {
+    if (IsCancelled(id)) {
+      return;
+    }
+    action();
+    ArmPeriodic(id, time + period, period, action);
+  });
+}
+
+void Simulator::CancelPeriodic(uint64_t id) { cancelled_periodics_.push_back(id); }
+
+bool Simulator::IsCancelled(uint64_t id) const {
+  return std::find(cancelled_periodics_.begin(), cancelled_periodics_.end(), id) !=
+         cancelled_periodics_.end();
+}
+
+void Simulator::RunUntil(double end_time) {
+  while (!queue_.empty() && queue_.top().time <= end_time) {
+    Step();
+  }
+  now_ = std::max(now_, end_time);
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Moving out of the priority queue requires a const_cast because top() is
+  // const; the pop immediately afterwards makes this safe.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = std::max(now_, event.time);
+  ++executed_;
+  event.action();
+  return true;
+}
+
+void Simulator::Reset() {
+  while (!queue_.empty()) {
+    queue_.pop();
+  }
+  now_ = 0.0;
+  next_seq_ = 0;
+  executed_ = 0;
+  cancelled_periodics_.clear();
+}
+
+}  // namespace rhythm

@@ -1,0 +1,112 @@
+#include "src/trace/cpg_builder.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace rhythm {
+
+namespace {
+
+bool IsInbound(EventType type) {
+  return type == EventType::kAccept || type == EventType::kRecv;
+}
+
+}  // namespace
+
+CpgResult BuildCpgs(std::span<const KernelEvent> raw_events, const TracerConfig& config) {
+  CpgResult result;
+
+  // 1. Filter by context identifier (drop unrelated processes) and sort by
+  //    capture timestamp.
+  for (const KernelEvent& event : raw_events) {
+    if (PodOfEvent(event, config) < 0) {
+      ++result.noise_filtered;
+      continue;
+    }
+    result.events.push_back(event);
+  }
+  std::stable_sort(result.events.begin(), result.events.end(),
+                   [](const KernelEvent& a, const KernelEvent& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  const int n = static_cast<int>(result.events.size());
+
+  std::vector<std::vector<int>> successors(n);
+  auto add_edge = [&](int from, int to, CpgEdgeKind kind) {
+    result.edges.push_back(CpgEdge{from, to, kind});
+    successors[from].push_back(to);
+  };
+
+  // 2. Intra-Servpod causality: within a context identifier, each inbound
+  //    event happens-before every subsequent outbound event until the next
+  //    inbound; order-based pairing as §3.3 describes.
+  {
+    std::map<ContextId, std::vector<int>> pending_inbound;
+    for (int i = 0; i < n; ++i) {
+      const KernelEvent& event = result.events[i];
+      auto& queue = pending_inbound[event.context];
+      if (IsInbound(event.type)) {
+        queue.push_back(i);
+      } else if (!queue.empty()) {
+        add_edge(queue.front(), i, CpgEdgeKind::kContext);
+        queue.erase(queue.begin());
+        // The outbound event re-arms the context: subsequent inbound events
+        // continue the same visit chain (RECV of a child's reply pairs with
+        // the next SEND).
+      }
+    }
+  }
+
+  // 3. Inter-Servpod causality: SEND happens-before the first later
+  //    ACCEPT/RECV with the same message identifier on another pod.
+  {
+    std::map<MessageId, std::vector<int>> pending_sends;
+    for (int i = 0; i < n; ++i) {
+      const KernelEvent& event = result.events[i];
+      if (!IsInbound(event.type)) {
+        pending_sends[event.message].push_back(i);
+      } else {
+        auto it = pending_sends.find(event.message);
+        if (it != pending_sends.end() && !it->second.empty()) {
+          add_edge(it->second.front(), i, CpgEdgeKind::kMessage);
+          it->second.erase(it->second.begin());
+        }
+      }
+    }
+    for (const auto& [msg, sends] : pending_sends) {
+      result.unmatched_sends += sends.size();
+    }
+  }
+
+  // 4. One CPG per ACCEPT: everything reachable through causal edges.
+  for (int i = 0; i < n; ++i) {
+    if (result.events[i].type != EventType::kAccept) {
+      continue;
+    }
+    Cpg cpg;
+    cpg.start_time = result.events[i].timestamp;
+    cpg.end_time = cpg.start_time;
+    std::vector<bool> seen(n, false);
+    std::queue<int> frontier;
+    frontier.push(i);
+    seen[i] = true;
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop();
+      cpg.event_indices.push_back(v);
+      cpg.end_time = std::max(cpg.end_time, result.events[v].timestamp);
+      for (int succ : successors[v]) {
+        if (!seen[succ]) {
+          seen[succ] = true;
+          frontier.push(succ);
+        }
+      }
+    }
+    std::sort(cpg.event_indices.begin(), cpg.event_indices.end());
+    result.requests.push_back(std::move(cpg));
+  }
+  return result;
+}
+
+}  // namespace rhythm

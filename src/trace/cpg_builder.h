@@ -1,0 +1,54 @@
+// Causal path graph (CPG) construction (paper §3.3, Figure 4).
+//
+// The CPG is a DAG whose vertices are the filtered kernel events and whose
+// edges are causal relations of two kinds:
+//   * intra-Servpod: an inbound event (ACCEPT/RECV) happens-before the next
+//     outbound event (SEND/CLOSE) sharing the same context identifier
+//     <hostIP, programName, processID, threadID>;
+//   * inter-Servpod: a SEND happens-before the RECV at the neighbour pod
+//     carrying the same message identifier
+//     <senderIP, senderPort, receiverIP, receiverPort, messageSize>.
+// A request's CPG is everything reachable from its ACCEPT event.
+
+#ifndef RHYTHM_SRC_TRACE_CPG_BUILDER_H_
+#define RHYTHM_SRC_TRACE_CPG_BUILDER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/trace/events.h"
+#include "src/trace/sojourn_extractor.h"
+
+namespace rhythm {
+
+enum class CpgEdgeKind { kContext, kMessage };
+
+struct CpgEdge {
+  int from = 0;  // index into CpgResult::events.
+  int to = 0;
+  CpgEdgeKind kind = CpgEdgeKind::kContext;
+};
+
+// One request's causal path graph.
+struct Cpg {
+  std::vector<int> event_indices;  // indices into CpgResult::events, in time order.
+  double start_time = 0.0;         // ACCEPT timestamp.
+  double end_time = 0.0;           // latest reachable event (CLOSE in a clean trace).
+
+  double LatencySeconds() const { return end_time - start_time; }
+};
+
+struct CpgResult {
+  std::vector<KernelEvent> events;  // filtered LC events, sorted by time.
+  std::vector<CpgEdge> edges;
+  std::vector<Cpg> requests;        // one entry per ACCEPT event.
+  uint64_t noise_filtered = 0;
+  uint64_t unmatched_sends = 0;     // SENDs with no matching RECV observed.
+};
+
+CpgResult BuildCpgs(std::span<const KernelEvent> raw_events, const TracerConfig& config);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_TRACE_CPG_BUILDER_H_

@@ -1,0 +1,27 @@
+// In-memory kernel-event log: the capture buffer the SystemTap-based tool
+// fills in the real system.
+
+#ifndef RHYTHM_SRC_TRACE_EVENT_LOG_H_
+#define RHYTHM_SRC_TRACE_EVENT_LOG_H_
+
+#include <vector>
+
+#include "src/trace/events.h"
+
+namespace rhythm {
+
+class EventLog : public EventSink {
+ public:
+  void Record(const KernelEvent& event) override { events_.push_back(event); }
+
+  const std::vector<KernelEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+  size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<KernelEvent> events_;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_TRACE_EVENT_LOG_H_

@@ -1,0 +1,19 @@
+#include "src/trace/events.h"
+
+namespace rhythm {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kAccept:
+      return "ACCEPT";
+    case EventType::kRecv:
+      return "RECV";
+    case EventType::kSend:
+      return "SEND";
+    case EventType::kClose:
+      return "CLOSE";
+  }
+  return "?";
+}
+
+}  // namespace rhythm

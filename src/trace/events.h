@@ -1,0 +1,65 @@
+// Kernel-event records captured by the request tracer.
+//
+// The paper's tracer records four system-call events per Servpod via
+// SystemTap: syscall_accept (ACCEPT), tcp_rcvmsg (RECV), tcp_sendmsg (SEND)
+// and syscall_close (CLOSE). Each event carries a context identifier
+// <hostIP, programName, processID, threadID> used for intra-Servpod
+// causality and a message identifier <senderIP, senderPort, receiverIP,
+// receiverPort, messageSize> used for inter-Servpod causality (§3.3).
+
+#ifndef RHYTHM_SRC_TRACE_EVENTS_H_
+#define RHYTHM_SRC_TRACE_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace rhythm {
+
+enum class EventType { kAccept, kRecv, kSend, kClose };
+
+const char* EventTypeName(EventType type);
+
+// <hostIP, programName, processID, threadID>. Host and program are interned
+// as integers for compactness; the mapping to names lives in the workload
+// catalog.
+struct ContextId {
+  uint32_t host_ip = 0;
+  uint32_t program = 0;
+  uint32_t process_id = 0;
+  uint32_t thread_id = 0;
+
+  friend bool operator==(const ContextId&, const ContextId&) = default;
+  friend auto operator<=>(const ContextId&, const ContextId&) = default;
+};
+
+// <senderIP, senderPort, receiverIP, receiverPort, messageSize>.
+struct MessageId {
+  uint32_t sender_ip = 0;
+  uint16_t sender_port = 0;
+  uint32_t receiver_ip = 0;
+  uint16_t receiver_port = 0;
+  uint32_t message_size = 0;
+
+  friend bool operator==(const MessageId&, const MessageId&) = default;
+  friend auto operator<=>(const MessageId&, const MessageId&) = default;
+};
+
+struct KernelEvent {
+  EventType type = EventType::kRecv;
+  double timestamp = 0.0;  // seconds.
+  ContextId context;
+  MessageId message;
+};
+
+// Destination for events produced by a Servpod host (one sink per machine in
+// the real system; one per experiment here).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void Record(const KernelEvent& event) = 0;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_TRACE_EVENTS_H_

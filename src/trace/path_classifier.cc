@@ -1,0 +1,39 @@
+#include "src/trace/path_classifier.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rhythm {
+
+std::vector<PathClass> ClassifyPaths(const CpgResult& result, const TracerConfig& config) {
+  std::map<std::vector<int>, PathClass> classes;
+  for (const Cpg& cpg : result.requests) {
+    std::vector<int> pods;
+    for (int index : cpg.event_indices) {
+      const int pod = PodOfEvent(result.events[index], config);
+      if (pod >= 0) {
+        pods.push_back(pod);
+      }
+    }
+    std::sort(pods.begin(), pods.end());
+    pods.erase(std::unique(pods.begin(), pods.end()), pods.end());
+
+    PathClass& cls = classes[pods];
+    cls.pods = pods;
+    const double latency = cpg.LatencySeconds();
+    // Streaming mean update.
+    cls.mean_latency_s += (latency - cls.mean_latency_s) / static_cast<double>(cls.requests + 1);
+    cls.max_latency_s = std::max(cls.max_latency_s, latency);
+    ++cls.requests;
+  }
+  std::vector<PathClass> out;
+  out.reserve(classes.size());
+  for (auto& [pods, cls] : classes) {
+    out.push_back(std::move(cls));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PathClass& a, const PathClass& b) { return a.requests > b.requests; });
+  return out;
+}
+
+}  // namespace rhythm

@@ -1,0 +1,31 @@
+// Request path classification.
+//
+// §3.3: "user requests may be processed by different paths of the service
+// call". Given the per-request causal path graphs, this classifier groups
+// requests by the set of Servpods their CPG visits — exposing the service's
+// path mix (e.g. cache-hit requests that never reach the database tier) and
+// per-path latency statistics.
+
+#ifndef RHYTHM_SRC_TRACE_PATH_CLASSIFIER_H_
+#define RHYTHM_SRC_TRACE_PATH_CLASSIFIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/cpg_builder.h"
+
+namespace rhythm {
+
+struct PathClass {
+  std::vector<int> pods;        // sorted, distinct Servpods on the path.
+  uint64_t requests = 0;
+  double mean_latency_s = 0.0;  // mean end-to-end latency of the class.
+  double max_latency_s = 0.0;
+};
+
+// Groups the CPG result's requests into path classes, most frequent first.
+std::vector<PathClass> ClassifyPaths(const CpgResult& result, const TracerConfig& config);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_TRACE_PATH_CLASSIFIER_H_

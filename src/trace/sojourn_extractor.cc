@@ -1,0 +1,96 @@
+#include "src/trace/sojourn_extractor.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rhythm {
+
+namespace {
+
+bool IsInbound(EventType type) {
+  return type == EventType::kAccept || type == EventType::kRecv;
+}
+
+}  // namespace
+
+int PodOfEvent(const KernelEvent& event, const TracerConfig& config) {
+  const uint32_t program = event.context.program;
+  if (program < config.program_base ||
+      program >= config.program_base + static_cast<uint32_t>(config.num_pods)) {
+    return -1;
+  }
+  return static_cast<int>(program - config.program_base);
+}
+
+SojournSummary ExtractMeanSojourns(std::span<const KernelEvent> events,
+                                   const TracerConfig& config) {
+  SojournSummary summary;
+  summary.mean_sojourn_s.assign(config.num_pods, 0.0);
+  summary.visits.assign(config.num_pods, 0);
+  std::vector<double> net_time(config.num_pods, 0.0);
+
+  for (const KernelEvent& event : events) {
+    const int pod = PodOfEvent(event, config);
+    if (pod < 0) {
+      ++summary.noise_filtered;
+      continue;
+    }
+    if (IsInbound(event.type)) {
+      net_time[pod] -= event.timestamp;
+      // A visit begins when the pod's server port receives a request (as
+      // opposed to receiving a downstream reply on an ephemeral port).
+      if (event.message.receiver_port ==
+          static_cast<uint16_t>(config.server_port_base + pod)) {
+        ++summary.visits[pod];
+      }
+      if (event.type == EventType::kAccept && pod >= 0) {
+        ++summary.requests;
+      }
+    } else {
+      net_time[pod] += event.timestamp;
+    }
+  }
+  for (int pod = 0; pod < config.num_pods; ++pod) {
+    if (summary.visits[pod] > 0) {
+      summary.mean_sojourn_s[pod] =
+          net_time[pod] / static_cast<double>(summary.visits[pod]);
+    }
+  }
+  return summary;
+}
+
+std::vector<std::vector<double>> ExtractPairedSojourns(std::span<const KernelEvent> events,
+                                                       const TracerConfig& config) {
+  std::vector<std::vector<double>> sojourns(config.num_pods);
+
+  // Sort a copy by timestamp (capture order in the real tool).
+  std::vector<KernelEvent> sorted(events.begin(), events.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const KernelEvent& a, const KernelEvent& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+
+  // Per-context queue of pending inbound timestamps: each outbound event is
+  // paired with the oldest pending inbound on the same context identifier.
+  std::map<ContextId, std::vector<double>> pending;
+  for (const KernelEvent& event : sorted) {
+    const int pod = PodOfEvent(event, config);
+    if (pod < 0) {
+      continue;
+    }
+    if (IsInbound(event.type)) {
+      pending[event.context].push_back(event.timestamp);
+    } else {
+      auto it = pending.find(event.context);
+      if (it == pending.end() || it->second.empty()) {
+        continue;  // unmatched outbound (e.g. truncated capture window).
+      }
+      const double in_time = it->second.front();
+      it->second.erase(it->second.begin());
+      sojourns[pod].push_back(event.timestamp - in_time);
+    }
+  }
+  return sojourns;
+}
+
+}  // namespace rhythm

@@ -1,0 +1,90 @@
+#include "src/trace/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace rhythm {
+
+namespace {
+
+constexpr char kHeader[] = "rhythm-trace v1";
+
+int TypeCode(EventType type) { return static_cast<int>(type); }
+
+bool TypeFromCode(int code, EventType* out) {
+  if (code < 0 || code > 3) {
+    return false;
+  }
+  *out = static_cast<EventType>(code);
+  return true;
+}
+
+}  // namespace
+
+bool WriteTraceFile(const std::string& path, std::span<const KernelEvent> events) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  bool ok = std::fprintf(file, "%s\n", kHeader) > 0;
+  for (const KernelEvent& event : events) {
+    if (!ok) {
+      break;
+    }
+    ok = std::fprintf(file, "%d,%.9f,%u,%u,%u,%u,%u,%u,%u,%u,%u\n", TypeCode(event.type),
+                      event.timestamp, event.context.host_ip, event.context.program,
+                      event.context.process_id, event.context.thread_id,
+                      event.message.sender_ip, event.message.sender_port,
+                      event.message.receiver_ip, event.message.receiver_port,
+                      event.message.message_size) > 0;
+  }
+  return std::fclose(file) == 0 && ok;
+}
+
+bool ReadTraceFile(const std::string& path, std::vector<KernelEvent>* events) {
+  events->clear();
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return false;
+  }
+  char line[256];
+  if (std::fgets(line, sizeof(line), file) == nullptr ||
+      std::strncmp(line, kHeader, std::strlen(kHeader)) != 0) {
+    std::fclose(file);
+    return false;
+  }
+  bool ok = true;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    int type_code = 0;
+    double timestamp = 0.0;
+    unsigned host = 0;
+    unsigned program = 0;
+    unsigned pid = 0;
+    unsigned tid = 0;
+    unsigned sip = 0;
+    unsigned sport = 0;
+    unsigned rip = 0;
+    unsigned rport = 0;
+    unsigned size = 0;
+    const int fields =
+        std::sscanf(line, "%d,%lf,%u,%u,%u,%u,%u,%u,%u,%u,%u", &type_code, &timestamp, &host,
+                    &program, &pid, &tid, &sip, &sport, &rip, &rport, &size);
+    EventType type;
+    if (fields != 11 || !TypeFromCode(type_code, &type) || sport > 65535 || rport > 65535) {
+      ok = false;
+      break;
+    }
+    events->push_back(KernelEvent{
+        .type = type,
+        .timestamp = timestamp,
+        .context = ContextId{host, program, pid, tid},
+        .message = MessageId{sip, static_cast<uint16_t>(sport), rip,
+                             static_cast<uint16_t>(rport), size},
+    });
+  }
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace rhythm

@@ -1,0 +1,30 @@
+// Kernel-event trace serialization: a versioned CSV format so captured
+// traces can be archived and analyzed offline (the real tool dumps
+// SystemTap output to files the same way).
+//
+// Format: a header line `rhythm-trace v1`, then one event per line:
+//   type,timestamp,host_ip,program,process_id,thread_id,
+//   sender_ip,sender_port,receiver_ip,receiver_port,message_size
+
+#ifndef RHYTHM_SRC_TRACE_TRACE_IO_H_
+#define RHYTHM_SRC_TRACE_TRACE_IO_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/trace/events.h"
+
+namespace rhythm {
+
+// Writes the events to `path`; returns false on I/O failure.
+bool WriteTraceFile(const std::string& path, std::span<const KernelEvent> events);
+
+// Reads a trace written by WriteTraceFile. Returns false on I/O failure, a
+// bad header, or a malformed record; on success `events` holds the full
+// trace in file order.
+bool ReadTraceFile(const std::string& path, std::vector<KernelEvent>* events);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,76 @@
+#include "src/workload/call_graph.h"
+
+#include <algorithm>
+
+namespace rhythm {
+
+void AccumulateVisits(const CallNode& node, std::vector<double>& visits) {
+  if (node.component >= 0 && node.component < static_cast<int>(visits.size())) {
+    visits[node.component] += 1.0;
+  }
+  for (const CallNode& child : node.children) {
+    AccumulateVisits(child, visits);
+  }
+}
+
+double CriticalPathValue(const CallNode& node, const std::vector<double>& component_value) {
+  double own = component_value[node.component];
+  if (node.children.empty()) {
+    return own;
+  }
+  if (node.parallel_children) {
+    double best = 0.0;
+    for (const CallNode& child : node.children) {
+      best = std::max(best, CriticalPathValue(child, component_value));
+    }
+    return own + best;
+  }
+  double sum = 0.0;
+  for (const CallNode& child : node.children) {
+    sum += CriticalPathValue(child, component_value);
+  }
+  return own + sum;
+}
+
+double LongestPathThrough(const CallNode& node, int pod,
+                          const std::vector<double>& component_value) {
+  const double own = component_value[node.component];
+  if (node.component == pod) {
+    // From here any continuation counts; take the critical path below.
+    return CriticalPathValue(node, component_value);
+  }
+  if (node.children.empty()) {
+    return 0.0;
+  }
+  if (node.parallel_children) {
+    // The branch containing the pod determines the path; siblings do not
+    // stack (they run concurrently).
+    double best = 0.0;
+    for (const CallNode& child : node.children) {
+      const double through = LongestPathThrough(child, pod, component_value);
+      if (through > 0.0) {
+        best = std::max(best, own + through);
+      }
+    }
+    return best;
+  }
+  // Sequential children: the pod's branch plus every sibling contributes.
+  double through_child = 0.0;
+  double sum_others = 0.0;
+  bool found = false;
+  for (const CallNode& child : node.children) {
+    const double through = LongestPathThrough(child, pod, component_value);
+    if (through > 0.0 && !found) {
+      through_child = through;
+      found = true;
+    } else {
+      sum_others += CriticalPathValue(child, component_value);
+    }
+  }
+  if (!found) {
+    return 0.0;
+  }
+  return own + through_child + sum_others;
+}
+
+}  // namespace rhythm

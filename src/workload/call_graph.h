@@ -1,0 +1,40 @@
+// Service call structure of an LC workload.
+//
+// The LC service is a DAG of components (paper §3.1). A request enters at
+// the root and walks the tree synchronously: at each node the component does
+// local "down" work, invokes its children (sequentially, or in parallel for
+// fan-out), then does local "up" work before replying. End-to-end latency is
+// the root's total; a component's *sojourn* is its local down+up time,
+// excluding downstream waits — matching what the tracer's SEND/RECV pairing
+// extracts.
+
+#ifndef RHYTHM_SRC_WORKLOAD_CALL_GRAPH_H_
+#define RHYTHM_SRC_WORKLOAD_CALL_GRAPH_H_
+
+#include <vector>
+
+namespace rhythm {
+
+struct CallNode {
+  int component = 0;                // index into AppSpec::components.
+  bool parallel_children = false;   // fan-out: children execute concurrently.
+  std::vector<CallNode> children;
+};
+
+// Visit counts per component for one request (children of a parallel node
+// all execute). Used to derive per-component arrival rates.
+void AccumulateVisits(const CallNode& node, std::vector<double>& visits);
+
+// Sum of per-component values along the longest (critical) root-to-leaf
+// accumulation: with sequential children all children contribute; with
+// parallel children only the max child branch contributes.
+double CriticalPathValue(const CallNode& node, const std::vector<double>& component_value);
+
+// For Servpod `pod`: the total value of the longest path that passes through
+// `pod` (used by the paper's Eq. 5 fan-out scaling alpha_i). Returns 0 when
+// no path visits the pod.
+double LongestPathThrough(const CallNode& node, int pod, const std::vector<double>& component_value);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_WORKLOAD_CALL_GRAPH_H_

@@ -1,0 +1,77 @@
+#include "src/workload/component.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rhythm {
+
+double ErlangC(int c, double a) {
+  if (c <= 0) {
+    return 1.0;
+  }
+  if (a <= 0.0) {
+    return 0.0;
+  }
+  const double rho = a / c;
+  if (rho >= 1.0) {
+    return 1.0;
+  }
+  // Iterative Erlang-B, then convert to Erlang-C; numerically stable for the
+  // small server counts used here.
+  double b = 1.0;
+  for (int k = 1; k <= c; ++k) {
+    b = a * b / (k + a * b);
+  }
+  return b / (1.0 - rho + rho * b);
+}
+
+double ComponentModel::EffectiveServiceMs(double load, double inflation) const {
+  const double dilation = 1.0 + spec_.load_slope * std::pow(std::max(load, 0.0), spec_.load_power);
+  return spec_.base_service_ms * dilation * std::max(inflation, 1.0);
+}
+
+double ComponentModel::Utilization(double lambda_rps, double load, double inflation) const {
+  const double service_s = EffectiveServiceMs(load, inflation) / 1000.0;
+  return lambda_rps * service_s / std::max(spec_.workers, 1);
+}
+
+double ComponentModel::ExpectedWaitMs(double lambda_rps, double load, double inflation) const {
+  const int c = std::max(spec_.workers, 1);
+  const double service_ms = EffectiveServiceMs(load, inflation);
+  const double service_s = service_ms / 1000.0;
+  const double a = lambda_rps * service_s;  // offered load in erlangs.
+  const double rho = a / c;
+  // Keep the analytic branch slightly below saturation and blend into a
+  // linear overload ramp: an unbounded Erlang-C mean would make single
+  // latency draws infinite, whereas a real system sheds the excess into a
+  // queue that grows for the duration of the burst.
+  constexpr double kSoftCap = 0.98;
+  if (rho < kSoftCap) {
+    const double pw = ErlangC(c, a);
+    return pw * service_ms / (c * (1.0 - rho));
+  }
+  // Value at the cap plus a steep linear penalty past it.
+  const double a_cap = kSoftCap * c;
+  const double pw = ErlangC(c, a_cap);
+  const double wait_cap = pw * service_ms / (c * (1.0 - kSoftCap));
+  const double excess = rho - kSoftCap;
+  return wait_cap + excess * 40.0 * service_ms;
+}
+
+double ComponentModel::SampleLocalMs(double lambda_rps, double load, double inflation,
+                                     Rng& rng) const {
+  const double sigma_eff =
+      spec_.sigma * (1.0 + spec_.sigma_slope * std::pow(std::max(load, 0.0), spec_.sigma_power));
+  const double service = rng.LognormalMean(EffectiveServiceMs(load, inflation), sigma_eff);
+  const double mean_wait = ExpectedWaitMs(lambda_rps, load, inflation);
+  const double wait = mean_wait > 0.0 ? rng.Exponential(mean_wait) : 0.0;
+  return service + wait;
+}
+
+double ComponentModel::BusyCores(double lambda_rps, double load, double inflation) const {
+  const double in_service = lambda_rps * EffectiveServiceMs(load, inflation) / 1000.0;
+  const double scale = spec_.peak_busy_cores / std::max(spec_.workers, 1);
+  return std::min(in_service, static_cast<double>(spec_.workers)) * scale;
+}
+
+}  // namespace rhythm

@@ -1,0 +1,95 @@
+// LC service components and their latency model.
+//
+// Each component is modelled as an M/M/c-like station: a request's local
+// time is a lognormal service draw plus an Erlang-C queueing-wait draw whose
+// mean depends on the component's utilization. Interference enters by
+// dilating the service time, which in turn raises utilization, so a machine
+// under heavy BE pressure sees both slower service *and* nonlinearly growing
+// queueing delay — the mechanism behind the paper's Figure 2 blow-ups.
+
+#ifndef RHYTHM_SRC_WORKLOAD_COMPONENT_H_
+#define RHYTHM_SRC_WORKLOAD_COMPONENT_H_
+
+#include <string>
+
+#include "src/bemodel/be_job_spec.h"
+#include "src/common/rng.h"
+
+namespace rhythm {
+
+struct ComponentSpec {
+  std::string name;
+  // Mean service time of one request at this component, milliseconds,
+  // excluding queueing and downstream calls.
+  double base_service_ms = 10.0;
+  // Lognormal shape of the service distribution (tail heaviness). MySQL-like
+  // components have high sigma; Amoeba/Zookeeper-like proxies are near
+  // deterministic.
+  double sigma = 0.3;
+  // Load-dependent service dilation: effective mean service time is
+  //   base_service_ms * (1 + load_slope * load^load_power)
+  // capturing, e.g., buffer-pool and lock contention in a database that a
+  // front-end proxy does not exhibit (Figure 6a's MySQL knee).
+  double load_slope = 0.0;
+  double load_power = 2.0;
+  // Load-dependent variance growth: effective sigma is
+  //   sigma * (1 + sigma_slope * load^sigma_power)
+  // sigma_power places the fluctuation knee (Figure 8: the CoV stays flat
+  // and then rises sharply — at 76% of MaxLoad for MySQL, 87% for Tomcat).
+  double sigma_slope = 0.0;
+  double sigma_power = 2.0;
+  // Worker threads / connections servicing requests in parallel.
+  int workers = 8;
+  // Mean number of visits a single request makes to this component.
+  double visits_per_request = 1.0;
+  // Interference sensitivity on each shared-resource axis (paper §2's
+  // characterization). freq covers DVFS sensitivity.
+  ResourceVector sensitivity;
+  // LC footprint at 100% load, for machine accounting.
+  double peak_busy_cores = 8.0;
+  double peak_membw_gbs = 8.0;
+  double peak_net_gbps = 0.5;
+};
+
+// Stateless latency math for one component. All methods are pure given the
+// inputs so the model is trivially testable.
+class ComponentModel {
+ public:
+  explicit ComponentModel(const ComponentSpec& spec) : spec_(spec) {}
+
+  const ComponentSpec& spec() const { return spec_; }
+
+  // Effective mean service time (ms) at load fraction `load` (in [0,1])
+  // under interference dilation `inflation` (>= 1).
+  double EffectiveServiceMs(double load, double inflation) const;
+
+  // Utilization of the station: lambda (req/s into this component) times the
+  // effective mean service time, divided by worker count. Values >= 1 mean
+  // overload.
+  double Utilization(double lambda_rps, double load, double inflation) const;
+
+  // Expected queueing wait (ms) for an M/M/c station via the Erlang-C
+  // formula, with a graceful overload branch: past saturation the wait grows
+  // linearly in the excess arrival rate (bounded by the measurement window
+  // in practice).
+  double ExpectedWaitMs(double lambda_rps, double load, double inflation) const;
+
+  // Samples a request's local time (ms): lognormal service draw dilated by
+  // `inflation`, plus an exponential wait draw with the Erlang-C mean.
+  double SampleLocalMs(double lambda_rps, double load, double inflation, Rng& rng) const;
+
+  // Mean busy cores at the given load (Little's law, capped by workers),
+  // used for CPU-utilization accounting.
+  double BusyCores(double lambda_rps, double load, double inflation) const;
+
+ private:
+  ComponentSpec spec_;
+};
+
+// Erlang-C probability that an arrival waits, for `c` servers at offered
+// load `a` (= lambda * service_time). Exposed for tests.
+double ErlangC(int c, double a);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_WORKLOAD_COMPONENT_H_

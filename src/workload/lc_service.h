@@ -1,0 +1,153 @@
+// Runtime model of a deployed LC service.
+//
+// Generates an open-loop Poisson request stream at the profile's load,
+// walks each request through the call graph sampling per-Servpod local
+// times, and tracks the end-to-end tail latency over a sliding window.
+// When an EventSink is attached it synthesizes the kernel events
+// (ACCEPT/RECV/SEND/CLOSE with context and message identifiers) the request
+// tracer consumes, including unrelated-process noise.
+//
+// Interference enters through an inflation provider: a callable returning
+// the current service-time dilation factor for each Servpod, wired to the
+// interference model by the cluster (identity during solo runs).
+
+#ifndef RHYTHM_SRC_WORKLOAD_LC_SERVICE_H_
+#define RHYTHM_SRC_WORKLOAD_LC_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/p2_quantile.h"
+#include "src/common/percentile_window.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/sim/simulator.h"
+#include "src/trace/events.h"
+#include "src/workload/app_catalog.h"
+#include "src/workload/load_profile.h"
+
+namespace rhythm {
+
+class LcService {
+ public:
+  struct Config {
+    uint64_t seed = 42;
+    bool record_sojourns = false;
+    EventSink* sink = nullptr;        // kernel-event emission when non-null.
+    double tail_window_s = 20.0;      // sliding window for tail queries.
+    double noise_events_per_request = 0.0;  // unrelated-process events.
+    // Persistent TCP connections between neighbour pods: inter-pod messages
+    // reuse one connection per edge, so concurrent requests share message
+    // identifiers (the §3.3 ambiguity the mean-based analyzer tolerates).
+    bool persistent_tcp = false;
+    // Per-component latency hiccups (GC pauses, compaction stalls, page-cache
+    // writeback): short bursts during which a pod's service times dilate.
+    // They make the per-second 99th percentile *unstable* — the paper's
+    // premise ("the fluctuations constitute the heavy-tail") and the reason
+    // riding the SLA edge costs violations. Interval is exponential per pod.
+    bool hiccups = true;
+    double hiccup_mean_interval_s = 15.0;
+    double hiccup_min_duration_s = 0.3;
+    double hiccup_max_duration_s = 0.6;
+    double hiccup_min_factor = 1.15;
+    double hiccup_max_factor = 1.35;
+  };
+
+  LcService(Simulator* sim, AppSpec app, const Config& config);
+
+  const AppSpec& app() const { return app_; }
+
+  // The load profile must outlive the service.
+  void SetLoadProfile(const LoadProfile* profile) { profile_ = profile; }
+
+  // Per-Servpod service-time inflation (>= 1); identity when unset.
+  void SetInflationProvider(std::function<double(int pod)> provider) {
+    inflation_ = std::move(provider);
+  }
+
+  // Starts the arrival process; requests keep arriving until Stop().
+  void Start();
+  void Stop();
+
+  // -- Signals consumed by controllers and metrics ---------------------------
+
+  // Offered load fraction right now.
+  double CurrentLoad() const;
+
+  // Tail latency (ms) at quantile q over the sliding window.
+  double TailLatencyMs(double q = 0.99);
+
+  // Long-horizon 99th percentile (ms) over the service's whole lifetime,
+  // tracked with the constant-memory P^2 estimator — the number a day-long
+  // production run reports without retaining per-request samples.
+  double LifetimeTailLatencyMs() const { return lifetime_p99_.Value(); }
+
+  // True (unthinned) request rate into Servpod `pod` (req/s).
+  double PodLambda(int pod) const;
+
+  // Current utilization of Servpod `pod`'s station (>=1 means overload).
+  double PodUtilization(int pod) const;
+
+  // LC activity at Servpod `pod` for machine accounting.
+  double PodBusyCores(int pod) const;
+  double PodMembwGbs(int pod) const;
+  double PodNetGbps(int pod) const;
+
+  // Inflation factor currently applied to `pod` (exposed for tests).
+  double PodInflation(int pod) const;
+
+  // Hiccup dilation currently active at `pod` (1.0 outside bursts).
+  double PodHiccupFactor(int pod) const;
+
+  // -- Profiling --------------------------------------------------------------
+
+  void ResetSojourns();
+  const RunningStats& PodSojournStats(int pod) const { return sojourns_[pod]; }
+  const RunningStats& LatencyStats() const { return latency_stats_; }
+  uint64_t completed_requests() const { return completed_; }
+
+ private:
+  // Walks `node` starting at `start`: samples this pod's down/up work and
+  // recursively executes children. Returns the node's finish time and adds
+  // this pod's local time into `sojourn_acc[pod]`. `in_msg` is the message
+  // that delivered the request to this pod (null at the root, where the
+  // client connection is synthesized).
+  double WalkNode(const CallNode& node, double start, double load,
+                  std::vector<double>& sojourn_acc, uint64_t request_id, int parent_pod,
+                  const MessageId* in_msg);
+
+  // Message identifier for a hop src->dst; unique per call unless
+  // persistent_tcp makes concurrent requests share it.
+  MessageId MakeHopMessage(int src_pod, int dst_pod);
+
+  void ScheduleNextArrival();
+  void HandleArrival();
+  void EmitNoise(double now);
+  void ScheduleNextHiccup(int pod);
+
+  uint32_t PodIp(int pod) const { return 0x0a000001u + static_cast<uint32_t>(pod); }
+  static constexpr uint32_t kClientIp = 0x0a0000ffu;
+
+  Simulator* sim_;
+  AppSpec app_;
+  Config config_;
+  Rng rng_;
+  const LoadProfile* profile_ = nullptr;
+  std::function<double(int pod)> inflation_;
+  std::vector<double> visits_;
+  std::vector<double> hiccup_until_;
+  std::vector<double> hiccup_factor_;
+  std::vector<RunningStats> sojourns_;
+  RunningStats latency_stats_;
+  P2Quantile lifetime_p99_{0.99};
+  PercentileWindow window_;
+  bool running_ = false;
+  uint64_t completed_ = 0;
+  uint64_t next_request_id_ = 1;
+  uint16_t next_ephemeral_port_ = 10000;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_WORKLOAD_LC_SERVICE_H_

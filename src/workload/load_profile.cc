@@ -1,0 +1,28 @@
+#include "src/workload/load_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+DiurnalTrace::DiurnalTrace(double total_duration, double min_load, double max_load)
+    : day_length_(total_duration / kDays), min_load_(min_load), max_load_(max_load) {
+  RHYTHM_CHECK(total_duration > 0.0);
+  RHYTHM_CHECK(min_load >= 0.0 && max_load <= 1.0 && min_load <= max_load);
+}
+
+double DiurnalTrace::LoadAt(double t) const {
+  const double phase = 2.0 * M_PI * t / day_length_;
+  // Primary daily swing, trough at t=0 ("midnight").
+  double shape = 0.5 - 0.5 * std::cos(phase);
+  // Second harmonic sharpens the midday peak and adds an evening shoulder.
+  shape += 0.12 * std::sin(2.0 * phase + 0.7);
+  // Deterministic small-scale jitter (no RNG so profiles are pure functions).
+  shape += 0.04 * std::sin(17.0 * phase + 1.3) + 0.03 * std::sin(41.0 * phase);
+  shape = std::clamp(shape, 0.0, 1.0);
+  return min_load_ + (max_load_ - min_load_) * shape;
+}
+
+}  // namespace rhythm

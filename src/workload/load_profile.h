@@ -1,0 +1,49 @@
+// Request-load profiles: constant loads for the §5.2 grids and a synthetic
+// diurnal trace standing in for the ClarkNet production trace (§5.3), which
+// the paper scales from five days down to six hours while preserving the
+// 24-hour periodicity and fluctuation pattern.
+
+#ifndef RHYTHM_SRC_WORKLOAD_LOAD_PROFILE_H_
+#define RHYTHM_SRC_WORKLOAD_LOAD_PROFILE_H_
+
+namespace rhythm {
+
+class LoadProfile {
+ public:
+  virtual ~LoadProfile() = default;
+  // Offered load at simulated time t, as a fraction of MaxLoad in [0, 1].
+  virtual double LoadAt(double t) const = 0;
+};
+
+class ConstantLoad : public LoadProfile {
+ public:
+  explicit ConstantLoad(double fraction) : fraction_(fraction) {}
+  double LoadAt(double /*t*/) const override { return fraction_; }
+
+ private:
+  double fraction_;
+};
+
+// ClarkNet-like diurnal web trace: a dominant daily cycle with a weaker
+// second harmonic (morning/evening peaks) and small deterministic jitter.
+// Five simulated "days" are compressed into the configured duration.
+class DiurnalTrace : public LoadProfile {
+ public:
+  // total_duration: seconds over which kDays days are replayed.
+  // min/max load: trough and peak load fractions.
+  DiurnalTrace(double total_duration, double min_load, double max_load);
+
+  double LoadAt(double t) const override;
+
+  double day_length() const { return day_length_; }
+  static constexpr int kDays = 5;
+
+ private:
+  double day_length_;
+  double min_load_;
+  double max_load_;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_WORKLOAD_LOAD_PROFILE_H_

@@ -1,0 +1,50 @@
+// Load profiles replayed from trace files — the path the paper's ClarkNet
+// experiment takes (§5.3 scales five days of an archived web trace to six
+// hours while keeping its fluctuation pattern).
+//
+// Format: a header line `rhythm-load v1`, then `time_s,load_fraction` rows
+// in increasing time. Replay interpolates linearly between rows, clamps load
+// to [0, 1], and can time-scale the trace (the paper's 5-days-to-6-hours
+// compression) via `duration_s`.
+
+#ifndef RHYTHM_SRC_WORKLOAD_TRACE_FILE_PROFILE_H_
+#define RHYTHM_SRC_WORKLOAD_TRACE_FILE_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/load_profile.h"
+
+namespace rhythm {
+
+class TraceFileProfile : public LoadProfile {
+ public:
+  // Builds an empty (zero-load) profile; call Load() or set points directly.
+  TraceFileProfile() = default;
+
+  // Loads a trace file and rescales its time axis to `duration_s`
+  // (0 keeps the original timestamps). Returns false on I/O or parse error.
+  bool Load(const std::string& path, double duration_s = 0.0);
+
+  // Programmatic construction (points must be in increasing time).
+  void AddPoint(double time_s, double load);
+
+  double LoadAt(double t) const override;
+
+  size_t size() const { return points_.size(); }
+  double duration() const { return points_.empty() ? 0.0 : points_.back().time; }
+
+  // Writes the profile to a trace file (the generator side).
+  bool Save(const std::string& path) const;
+
+ private:
+  struct Point {
+    double time;
+    double load;
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_WORKLOAD_TRACE_FILE_PROFILE_H_

@@ -1,0 +1,138 @@
+#include "src/analysis/contribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rhythm {
+namespace {
+
+CallNode Chain3() {
+  return CallNode{.component = 0,
+                  .children = {CallNode{
+                      .component = 1,
+                      .children = {CallNode{.component = 2}},
+                  }}};
+}
+
+TEST(ContributionTest, WeightsSumToOne) {
+  ProfileMatrix profile;
+  profile.pod_sojourn_ms = {{10.0, 12.0, 14.0}, {20.0, 25.0, 30.0}, {5.0, 5.0, 5.0}};
+  profile.tail_ms = {50.0, 60.0, 70.0};
+  const auto pods = AnalyzeContributions(profile, Chain3());
+  double sum = 0.0;
+  for (const PodContribution& pod : pods) {
+    sum += pod.weight_p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ContributionTest, Eq1WeightProportionalToMeanSojourn) {
+  ProfileMatrix profile;
+  profile.pod_sojourn_ms = {{10.0, 10.0}, {30.0, 30.0}};
+  profile.tail_ms = {40.0, 50.0};
+  const CallNode chain{.component = 0, .children = {CallNode{.component = 1}}};
+  const auto pods = AnalyzeContributions(profile, chain);
+  EXPECT_NEAR(pods[0].weight_p, 0.25, 1e-12);
+  EXPECT_NEAR(pods[1].weight_p, 0.75, 1e-12);
+}
+
+TEST(ContributionTest, ConstantPodHasZeroVarianceAndContribution) {
+  // Principle 3: a pod whose sojourn never moves cannot drive the tail.
+  ProfileMatrix profile;
+  profile.pod_sojourn_ms = {{5.0, 5.0, 5.0}, {10.0, 20.0, 30.0}, {1.0, 1.0, 1.0}};
+  profile.tail_ms = {20.0, 35.0, 50.0};
+  const auto pods = AnalyzeContributions(profile, Chain3());
+  EXPECT_EQ(pods[0].varcoef_v, 0.0);
+  EXPECT_EQ(pods[0].contribution, 0.0);
+  EXPECT_GT(pods[1].contribution, 0.0);
+}
+
+TEST(ContributionTest, CorrelationMatchesEq2) {
+  ProfileMatrix profile;
+  profile.pod_sojourn_ms = {{1.0, 2.0, 3.0}, {3.0, 2.0, 1.0}};
+  profile.tail_ms = {10.0, 20.0, 30.0};
+  const CallNode chain{.component = 0, .children = {CallNode{.component = 1}}};
+  const auto pods = AnalyzeContributions(profile, chain);
+  EXPECT_NEAR(pods[0].correlation_rho, 1.0, 1e-12);
+  // Negative correlations clamp to zero: anticorrelated pods cannot drive
+  // the tail.
+  EXPECT_EQ(pods[1].correlation_rho, 0.0);
+  EXPECT_EQ(pods[1].contribution, 0.0);
+}
+
+TEST(ContributionTest, Eq3NormalizedVariance) {
+  ProfileMatrix profile;
+  profile.pod_sojourn_ms = {{10.0, 20.0, 30.0}};
+  profile.tail_ms = {1.0, 2.0, 3.0};
+  const CallNode solo{.component = 0};
+  const auto pods = AnalyzeContributions(profile, solo);
+  // V = (1/20) * sqrt(200 / (3*2)) = 0.2887.
+  EXPECT_NEAR(pods[0].varcoef_v, std::sqrt(200.0 / 6.0) / 20.0, 1e-9);
+}
+
+TEST(ContributionTest, AlphaOneOnChain) {
+  ProfileMatrix profile;
+  profile.pod_sojourn_ms = {{10.0, 12.0}, {20.0, 24.0}, {5.0, 6.0}};
+  profile.tail_ms = {40.0, 48.0};
+  const auto pods = AnalyzeContributions(profile, Chain3());
+  for (const PodContribution& pod : pods) {
+    EXPECT_DOUBLE_EQ(pod.alpha, 1.0);
+  }
+}
+
+TEST(ContributionTest, Eq5AlphaScalesOffCriticalFanOutBranch) {
+  // 0 -> parallel{1, 2}; pod 2's branch dominates, so pod 1's longest path
+  // (0+1) is shorter than the critical path (0+2) and its contribution is
+  // scaled down by their ratio.
+  CallNode fanout{.component = 0,
+                  .parallel_children = true,
+                  .children = {CallNode{.component = 1}, CallNode{.component = 2}}};
+  ProfileMatrix profile;
+  profile.pod_sojourn_ms = {{10.0, 12.0}, {5.0, 7.0}, {20.0, 26.0}};
+  profile.tail_ms = {30.0, 38.0};
+  const auto pods = AnalyzeContributions(profile, fanout);
+  EXPECT_DOUBLE_EQ(pods[0].alpha, 1.0);
+  EXPECT_DOUBLE_EQ(pods[2].alpha, 1.0);
+  const double mean0 = 11.0;
+  const double mean1 = 6.0;
+  const double mean2 = 23.0;
+  EXPECT_NEAR(pods[1].alpha, (mean0 + mean1) / (mean0 + mean2), 1e-9);
+  EXPECT_LT(pods[1].alpha, 1.0);
+}
+
+TEST(ContributionTest, ProductFormula) {
+  ProfileMatrix profile;
+  profile.pod_sojourn_ms = {{10.0, 20.0}, {10.0, 15.0}};
+  profile.tail_ms = {30.0, 50.0};
+  const CallNode chain{.component = 0, .children = {CallNode{.component = 1}}};
+  const auto pods = AnalyzeContributions(profile, chain);
+  for (const PodContribution& pod : pods) {
+    EXPECT_NEAR(pod.contribution,
+                pod.alpha * pod.correlation_rho * pod.weight_p * pod.varcoef_v, 1e-12);
+  }
+}
+
+TEST(NormalizedContributionsTest, SumToOne) {
+  ProfileMatrix profile;
+  profile.pod_sojourn_ms = {{10.0, 20.0}, {10.0, 15.0}, {2.0, 3.0}};
+  profile.tail_ms = {30.0, 50.0};
+  const auto pods = AnalyzeContributions(profile, Chain3());
+  const auto normalized = NormalizedContributions(pods);
+  double sum = 0.0;
+  for (double v : normalized) {
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(NormalizedContributionsTest, DegenerateFallsBackToUniform) {
+  std::vector<PodContribution> pods(4);  // all zero contributions.
+  const auto normalized = NormalizedContributions(pods);
+  for (double v : normalized) {
+    EXPECT_DOUBLE_EQ(v, 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,93 @@
+#include "src/analysis/online_contribution.h"
+
+#include "src/workload/app_catalog.h"
+#include "src/workload/component.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+CallNode Chain2() {
+  return CallNode{.component = 0, .children = {CallNode{.component = 1}}};
+}
+
+TEST(OnlineContributionTest, EmptyEstimateIsZero) {
+  OnlineContributionAnalyzer analyzer(2, Chain2());
+  const auto estimate = analyzer.Estimate();
+  ASSERT_EQ(estimate.size(), 2u);
+  EXPECT_EQ(estimate[0].contribution, 0.0);
+}
+
+TEST(OnlineContributionTest, MatchesOfflineAnalysisOnSameData) {
+  OnlineContributionAnalyzer analyzer(2, Chain2());
+  ProfileMatrix matrix;
+  matrix.pod_sojourn_ms = {{10.0, 12.0, 15.0}, {20.0, 26.0, 35.0}};
+  matrix.tail_ms = {40.0, 50.0, 65.0};
+  for (size_t window = 0; window < 3; ++window) {
+    const double means[2] = {matrix.pod_sojourn_ms[0][window],
+                             matrix.pod_sojourn_ms[1][window]};
+    analyzer.AddWindow(means, matrix.tail_ms[window]);
+  }
+  const auto online = analyzer.Estimate();
+  const auto offline = AnalyzeContributions(matrix, Chain2());
+  ASSERT_EQ(online.size(), offline.size());
+  for (size_t pod = 0; pod < online.size(); ++pod) {
+    EXPECT_DOUBLE_EQ(online[pod].contribution, offline[pod].contribution);
+    EXPECT_DOUBLE_EQ(online[pod].weight_p, offline[pod].weight_p);
+  }
+}
+
+TEST(OnlineContributionTest, BoundedHorizonEvictsOldest) {
+  OnlineContributionAnalyzer analyzer(1, CallNode{.component = 0}, /*max_windows=*/2);
+  const double a[1] = {10.0};
+  const double b[1] = {20.0};
+  const double c[1] = {30.0};
+  analyzer.AddWindow(a, 1.0);
+  analyzer.AddWindow(b, 2.0);
+  analyzer.AddWindow(c, 3.0);
+  EXPECT_EQ(analyzer.windows(), 2u);
+  // Mean of the retained windows {20, 30}.
+  EXPECT_DOUBLE_EQ(analyzer.Estimate()[0].mean_sojourn_ms, 25.0);
+}
+
+TEST(OnlineContributionTest, TracksDriftTowardNewRegime) {
+  // A pod that was stable becomes volatile; the bounded estimator notices.
+  OnlineContributionAnalyzer analyzer(2, Chain2(), /*max_windows=*/4);
+  for (int i = 0; i < 4; ++i) {
+    const double means[2] = {10.0, 20.0};
+    analyzer.AddWindow(means, 40.0);
+  }
+  const double flat = analyzer.Estimate()[1].varcoef_v;
+  for (int i = 0; i < 4; ++i) {
+    const double means[2] = {10.0, 20.0 + i * 8.0};
+    analyzer.AddWindow(means, 40.0 + i * 8.0);
+  }
+  EXPECT_GT(analyzer.Estimate()[1].varcoef_v, flat);
+  EXPECT_GT(analyzer.Estimate()[1].contribution, 0.0);
+}
+
+TEST(OnlineContributionTest, ConvergesAgainstLiveProfile) {
+  // Feed windows sampled from the live E-commerce model across a load sweep;
+  // the online ranking must match the offline insight: MySQL on top.
+  const AppSpec app = MakeApp(LcAppKind::kEcommerce);
+  OnlineContributionAnalyzer analyzer(app.pod_count(), app.call_root);
+  for (double load = 0.1; load <= 0.95; load += 0.1) {
+    std::vector<double> means;
+    for (int pod = 0; pod < app.pod_count(); ++pod) {
+      means.push_back(ComponentModel(app.components[pod]).EffectiveServiceMs(load, 1.0));
+    }
+    // Tail proxy: grows superlinearly with the bottleneck pods.
+    analyzer.AddWindow(means, 2.0 * (means[1] + means[3]));
+  }
+  const auto estimate = analyzer.Estimate();
+  const int mysql = 3;
+  for (int pod = 0; pod < app.pod_count(); ++pod) {
+    if (pod != mysql) {
+      EXPECT_GE(estimate[mysql].contribution, estimate[pod].contribution) << pod;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

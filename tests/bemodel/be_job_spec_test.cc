@@ -1,0 +1,99 @@
+#include "src/bemodel/be_job_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(BeJobSpecTest, CatalogCoversAllKinds) {
+  EXPECT_EQ(AllBeJobKinds().size(), 9u);
+  for (BeJobKind kind : AllBeJobKinds()) {
+    const BeJobSpec& spec = GetBeJobSpec(kind);
+    EXPECT_EQ(spec.kind, kind);
+    EXPECT_FALSE(spec.name.empty());
+  }
+}
+
+TEST(BeJobSpecTest, EvaluationSetMatchesPaper) {
+  // Figures 9-15 use six BEs: the three big synthetic stressors plus the
+  // three real mixed workloads.
+  const auto& kinds = EvaluationBeJobKinds();
+  EXPECT_EQ(kinds.size(), 6u);
+  int mixed = 0;
+  for (BeJobKind kind : kinds) {
+    if (GetBeJobSpec(kind).mixed) {
+      ++mixed;
+    }
+  }
+  EXPECT_EQ(mixed, 3);
+}
+
+// Property sweep: every catalog entry is physically sensible.
+class BeJobSpecProperty : public ::testing::TestWithParam<BeJobKind> {};
+
+TEST_P(BeJobSpecProperty, SaneParameters) {
+  const BeJobSpec& spec = GetBeJobSpec(GetParam());
+  EXPECT_GT(spec.cores_demand, 0.0);
+  EXPECT_GE(spec.llc_ways_demand, 1);
+  EXPECT_GT(spec.membw_demand_gbs, 0.0);
+  EXPECT_GE(spec.net_demand_gbps, 0.0);
+  EXPECT_GT(spec.memory_gb, 0.0);
+  EXPECT_GT(spec.solo_duration_s, 0.0);
+  EXPECT_GT(spec.cpu_intensity, 0.0);
+  EXPECT_LE(spec.cpu_intensity, 1.0);
+  for (double p : {spec.pressure.cpu, spec.pressure.llc, spec.pressure.dram, spec.pressure.net}) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, BeJobSpecProperty, ::testing::ValuesIn(AllBeJobKinds()));
+
+TEST(BeJobSpecTest, StressorsPressureTheirResource) {
+  EXPECT_DOUBLE_EQ(GetBeJobSpec(BeJobKind::kCpuStress).pressure.cpu, 1.0);
+  EXPECT_DOUBLE_EQ(GetBeJobSpec(BeJobKind::kStreamLlcBig).pressure.llc, 1.0);
+  EXPECT_DOUBLE_EQ(GetBeJobSpec(BeJobKind::kStreamDramBig).pressure.dram, 1.0);
+  EXPECT_DOUBLE_EQ(GetBeJobSpec(BeJobKind::kIperf).pressure.net, 1.0);
+}
+
+TEST(BeJobSpecTest, SmallVariantsHalfIntensity) {
+  // §2: "small" occupies half of the resource "big" saturates.
+  EXPECT_DOUBLE_EQ(GetBeJobSpec(BeJobKind::kStreamLlcSmall).pressure.llc, 0.5);
+  EXPECT_DOUBLE_EQ(GetBeJobSpec(BeJobKind::kStreamDramSmall).pressure.dram, 0.5);
+}
+
+TEST(SoloRateTest, CoreBoundJob) {
+  MachineSpec machine;  // 40 cores, 60 GB/s, 64 GB.
+  const BeJobSpec& cpu = GetBeJobSpec(BeJobKind::kCpuStress);
+  // CPU-stress wants 4 cores and little else: 10 instances fit.
+  EXPECT_EQ(SoloInstanceCount(cpu, machine), 10);
+  EXPECT_NEAR(SoloRatePerHour(cpu, machine), 10 * 3600.0 / cpu.solo_duration_s, 1e-9);
+}
+
+TEST(SoloRateTest, BandwidthBoundJob) {
+  MachineSpec machine;
+  const BeJobSpec& dram = GetBeJobSpec(BeJobKind::kStreamDramBig);
+  // 55 GB/s demand on a 60 GB/s machine: one instance saturates.
+  EXPECT_EQ(SoloInstanceCount(dram, machine), 1);
+}
+
+TEST(SoloRateTest, NetworkBoundJob) {
+  MachineSpec machine;
+  const BeJobSpec& iperf = GetBeJobSpec(BeJobKind::kIperf);
+  // 9 Gbps demand on a 10 Gbps NIC: one instance.
+  EXPECT_EQ(SoloInstanceCount(iperf, machine), 1);
+}
+
+TEST(SoloRateTest, AtLeastOneInstance) {
+  MachineSpec tiny;
+  tiny.total_cores = 1;
+  tiny.dram_bw_gbs = 0.5;
+  tiny.dram_gb = 1.0;
+  tiny.nic_gbps = 0.1;
+  for (BeJobKind kind : AllBeJobKinds()) {
+    EXPECT_GE(SoloInstanceCount(GetBeJobSpec(kind), tiny), 1);
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,232 @@
+#include "src/bemodel/be_runtime.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+Machine TestMachine() {
+  MachineSpec spec;
+  LcReservation reservation;
+  reservation.cores = 20;
+  reservation.min_llc_ways = 4;
+  reservation.memory_gb = 32.0;
+  return Machine("m0", spec, reservation);
+}
+
+TEST(BeRuntimeTest, LaunchAllocatesPaperDefaults) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kWordcount);
+  ASSERT_TRUE(be.LaunchInstance());
+  ASSERT_EQ(be.instance_count(), 1);
+  const BeInstance& inst = be.instances()[0];
+  EXPECT_EQ(inst.cores, 1);                 // one core...
+  EXPECT_EQ(inst.llc_ways, 2);              // ...plus 10% of a 20-way LLC...
+  EXPECT_DOUBLE_EQ(inst.memory_gb, 2.0);    // ...and 2 GB (§3.5.2).
+  EXPECT_EQ(machine.cores().be_cores(), 1);
+  EXPECT_EQ(machine.cat().be_ways(), 2);
+}
+
+TEST(BeRuntimeTest, LaunchFailsWithoutFreeCores) {
+  MachineSpec spec;
+  LcReservation reservation;
+  reservation.cores = spec.total_cores;  // LC takes everything.
+  Machine machine("m0", spec, reservation);
+  BeRuntime be(&machine, BeJobKind::kCpuStress);
+  EXPECT_FALSE(be.LaunchInstance());
+}
+
+TEST(BeRuntimeTest, GrowAddsCoreAndWays) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kWordcount);
+  be.LaunchInstance();
+  ASSERT_TRUE(be.Grow());
+  EXPECT_EQ(be.instances()[0].cores, 2);
+  EXPECT_EQ(be.instances()[0].llc_ways, 4);
+}
+
+TEST(BeRuntimeTest, GrowLaunchesNewInstanceWhenAllSatisfied) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kIperf);  // cores_demand = 1.
+  be.LaunchInstance();
+  // The single instance is already at its core demand; ways may still grow,
+  // so grow until the instance is fully provisioned, then expect a new
+  // instance to appear.
+  const int before = be.instance_count();
+  for (int i = 0; i < 10 && be.instance_count() == before; ++i) {
+    ASSERT_TRUE(be.Grow());
+  }
+  EXPECT_GT(be.instance_count(), before);
+}
+
+TEST(BeRuntimeTest, CutReversesGrow) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kWordcount);
+  be.LaunchInstance();
+  be.Grow();
+  ASSERT_TRUE(be.Cut());
+  EXPECT_EQ(be.instances()[0].cores, 1);
+  ASSERT_TRUE(be.Cut());
+  EXPECT_EQ(be.instances()[0].cores, 0);
+  EXPECT_EQ(machine.cores().be_cores(), 0);
+  // Everything released: further cuts fail.
+  EXPECT_FALSE(be.Cut());
+}
+
+TEST(BeRuntimeTest, SuspendStopsProgressButKeepsMemory) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kCpuStress);
+  be.LaunchInstance();
+  be.SuspendAll();
+  EXPECT_TRUE(be.all_suspended());
+  EXPECT_EQ(be.running_count(), 0);
+  be.Step(100.0);
+  EXPECT_EQ(be.completions(), 0u);
+  EXPECT_DOUBLE_EQ(machine.memory().be_gb(), 2.0);  // memory retained.
+  be.ResumeAll();
+  EXPECT_FALSE(be.all_suspended());
+}
+
+TEST(BeRuntimeTest, StopReleasesEverythingAndCounts) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kCpuStress);
+  be.LaunchInstance();
+  be.LaunchInstance();
+  EXPECT_EQ(be.StopAll(), 2);
+  EXPECT_EQ(be.instance_count(), 0);
+  EXPECT_EQ(machine.cores().be_cores(), 0);
+  EXPECT_EQ(machine.cat().be_ways(), 0);
+  EXPECT_DOUBLE_EQ(machine.memory().be_gb(), 0.0);
+}
+
+TEST(BeRuntimeTest, SpeedZeroWhenSuspendedOrCoreless) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kCpuStress);
+  be.LaunchInstance();
+  BeInstance inst = be.instances()[0];
+  inst.suspended = true;
+  EXPECT_EQ(be.InstanceSpeed(inst), 0.0);
+  inst.suspended = false;
+  inst.cores = 0;
+  EXPECT_EQ(be.InstanceSpeed(inst), 0.0);
+}
+
+TEST(BeRuntimeTest, SpeedMonotoneInCores) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kWordcount);
+  be.LaunchInstance();
+  const double slow = be.InstanceSpeed(be.instances()[0]);
+  for (int i = 0; i < 5; ++i) {
+    be.Grow();
+  }
+  const double fast = be.InstanceSpeed(be.instances()[0]);
+  EXPECT_GT(fast, slow);
+  EXPECT_LE(fast, 1.0);
+}
+
+TEST(BeRuntimeTest, SpeedThrottledByBeFrequency) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kCpuStress);
+  be.LaunchInstance();
+  const double before = be.InstanceSpeed(be.instances()[0]);
+  machine.power().SetBeFrequency(1.0);  // half of base 2.0 GHz.
+  const double after = be.InstanceSpeed(be.instances()[0]);
+  EXPECT_NEAR(after, before * 0.5, 1e-9);
+}
+
+TEST(BeRuntimeTest, ProgressAndCompletions) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kIperf);  // 60 s solo duration, 1 core.
+  be.LaunchInstance();
+  const double speed = be.InstanceSpeed(be.instances()[0]);
+  ASSERT_GT(speed, 0.0);
+  // Run long enough for exactly-ish two completions at this speed.
+  const double needed = 2.0 * 60.0 / speed;
+  be.Step(needed + 1.0);
+  EXPECT_GE(be.completions(), 2u);
+  EXPECT_NEAR(be.progress_units(), (needed + 1.0) * speed / 60.0, 1e-9);
+}
+
+TEST(BeRuntimeTest, NormalizedThroughputSoloIsAboutOne) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kCpuStress);
+  // Fill the machine as a solo run would (10 instances of 4 cores on 20
+  // free cores -> only 5 fit here since the LC reservation holds half).
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(be.LaunchInstance());
+    for (int g = 0; g < 3; ++g) {
+      be.Grow();
+    }
+  }
+  be.Step(3600.0);
+  // 5 of the 10 solo instances' worth of cores -> ~0.5 normalized, modulo
+  // LLC-way starvation.
+  const double throughput = be.NormalizedThroughput(1.0);
+  EXPECT_GT(throughput, 0.25);
+  EXPECT_LT(throughput, 0.75);
+}
+
+TEST(BeRuntimeTest, MemorySteps) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kWordcount);  // wants 8 GB.
+  be.LaunchInstance();
+  EXPECT_TRUE(be.GrowMemoryStep());
+  EXPECT_NEAR(be.instances()[0].memory_gb, 2.1, 1e-9);
+  EXPECT_TRUE(be.CutMemoryStep());
+  EXPECT_NEAR(be.instances()[0].memory_gb, 2.0, 1e-9);
+  // Never cut below the 2 GB launch allocation.
+  EXPECT_FALSE(be.CutMemoryStep());
+}
+
+TEST(BeRuntimeTest, ExertedPressureScalesWithAllocation) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kStreamDramBig);  // 4-core demand.
+  be.LaunchInstance();
+  const ResourceVector partial = be.ExertedPressure();
+  EXPECT_NEAR(partial.dram, 1.0 * (1.0 / 4.0), 1e-9);
+  for (int i = 0; i < 3; ++i) {
+    be.Grow();
+  }
+  const ResourceVector full = be.ExertedPressure();
+  EXPECT_NEAR(full.dram, 1.0, 1e-9);
+}
+
+TEST(BeRuntimeTest, ExertedPressureClampedAtOne) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kCpuStress);
+  for (int i = 0; i < 4; ++i) {
+    be.LaunchInstance();
+    for (int g = 0; g < 3; ++g) {
+      be.Grow();
+    }
+  }
+  const ResourceVector pressure = be.ExertedPressure();
+  EXPECT_LE(pressure.cpu, 1.0);
+  EXPECT_LE(pressure.llc, 1.0);
+  EXPECT_LE(pressure.dram, 1.0);
+  EXPECT_LE(pressure.net, 1.0);
+}
+
+TEST(BeRuntimeTest, SuspendedInstancesExertNoPressure) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kStreamLlcBig);
+  be.LaunchInstance();
+  be.SuspendAll();
+  const ResourceVector pressure = be.ExertedPressure();
+  EXPECT_EQ(pressure.llc, 0.0);
+  EXPECT_EQ(be.MembwDemand(), 0.0);
+  EXPECT_EQ(be.NetOffered(), 0.0);
+  EXPECT_EQ(be.BusyCores(), 0.0);
+}
+
+TEST(BeRuntimeTest, PublishActivityFeedsMachine) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kStreamDramBig);
+  be.LaunchInstance();
+  be.PublishActivity();
+  EXPECT_GT(machine.membw().be_demand_gbs(), 0.0);
+  EXPECT_GT(machine.be_busy_cores(), 0.0);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,86 @@
+#include "src/cluster/app_thresholds.h"
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+// Threshold derivation runs the full pipeline (profile -> contributions ->
+// Algorithm 1); derive once and share across the tests below.
+const AppThresholds& Ecommerce() { return CachedAppThresholds(LcAppKind::kEcommerce); }
+
+TEST(AppThresholdsTest, OneThresholdPairPerPod) {
+  EXPECT_EQ(Ecommerce().pods.size(), 4u);
+  EXPECT_EQ(Ecommerce().contributions.size(), 4u);
+}
+
+TEST(AppThresholdsTest, LoadlimitsInRange) {
+  for (const ServpodThresholds& pod : Ecommerce().pods) {
+    EXPECT_GE(pod.loadlimit, 0.05);
+    EXPECT_LE(pod.loadlimit, 0.95);
+  }
+}
+
+TEST(AppThresholdsTest, MysqlKneeEarlierThanTomcat) {
+  // Figure 8: loadlimit(MySQL) = 0.76 < loadlimit(Tomcat) = 0.87.
+  const auto& th = Ecommerce();
+  EXPECT_LT(th.pods[3].loadlimit, th.pods[1].loadlimit);
+  EXPECT_LE(th.pods[3].loadlimit, 0.80);
+  EXPECT_GE(th.pods[1].loadlimit, 0.85);
+}
+
+TEST(AppThresholdsTest, MysqlDominatesContribution) {
+  const auto& th = Ecommerce();
+  // MySQL's contribution exceeds every other pod's (it drives the tail).
+  for (int pod = 0; pod < 3; ++pod) {
+    EXPECT_GT(th.contributions[3].contribution, th.contributions[pod].contribution);
+  }
+}
+
+TEST(AppThresholdsTest, SlacklimitOrderingFollowsContribution) {
+  // §3.5.1: a small contribution earns a small slacklimit (more BEs). The
+  // paper's absolute values (MySQL 0.347, Tomcat 0.078, HAProxy 0.032) come
+  // from its testbed; here the ordering and the floor structure must hold.
+  const auto& th = Ecommerce();
+  EXPECT_GT(th.pods[3].slacklimit, th.pods[1].slacklimit);  // MySQL > Tomcat.
+  EXPECT_GE(th.pods[1].slacklimit, th.pods[0].slacklimit);  // Tomcat >= HAProxy.
+  EXPECT_LE(th.pods[0].slacklimit, 0.13);  // HAProxy at the floor.
+  EXPECT_LE(th.pods[2].slacklimit, 0.13);  // Amoeba at the floor.
+  EXPECT_LE(th.pods[1].slacklimit, 0.30);  // Tomcat small (paper: 0.078).
+  EXPECT_GE(th.pods[3].slacklimit, 0.15);  // MySQL clearly above the floor.
+}
+
+TEST(AppThresholdsTest, SlacklimitsInUnitRange) {
+  for (const ServpodThresholds& pod : Ecommerce().pods) {
+    EXPECT_GE(pod.slacklimit, 0.12);
+    EXPECT_LE(pod.slacklimit, 1.0);
+  }
+}
+
+TEST(AppThresholdsTest, CacheReturnsSameObject) {
+  const AppThresholds& a = CachedAppThresholds(LcAppKind::kEcommerce);
+  const AppThresholds& b = CachedAppThresholds(LcAppKind::kEcommerce);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(AppThresholdsTest, FreshDerivationAttachesProfile) {
+  // Bypass the caches: a direct derivation (down-scaled probe windows for
+  // test runtime) must carry the full profile matrix.
+  ThresholdOptions options;
+  options.profile.measure_s = 15.0;
+  options.probe_measure_s = 30.0;
+  options.probe_bes = {BeJobKind::kWordcount};
+  options.probe_loads = {0.6};
+  const AppThresholds fresh = DeriveAppThresholds(LcAppKind::kSolr, options);
+  EXPECT_EQ(fresh.profile.levels.size(), DefaultProfileLevels().size());
+  EXPECT_EQ(fresh.profile.matrix.tail_ms.size(), fresh.profile.levels.size());
+  EXPECT_EQ(fresh.pods.size(), 2u);
+  for (const ServpodThresholds& pod : fresh.pods) {
+    EXPECT_GT(pod.loadlimit, 0.0);
+    EXPECT_GT(pod.slacklimit, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,62 @@
+#include "src/cluster/bubble_profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+BubbleOptions FastOptions() {
+  BubbleOptions options;
+  options.load = 0.6;
+  options.max_steps = 6;
+  options.warmup_s = 5.0;
+  options.measure_s = 15.0;
+  return options;
+}
+
+TEST(BubbleProfilerTest, SensitivePodToleratesSmallerDramBubble) {
+  const BubbleResult result =
+      ProfileBubble(LcAppKind::kEcommerce, BeJobKind::kStreamDramBig, FastOptions());
+  ASSERT_EQ(result.tolerated_steps.size(), 4u);
+  const int mysql = 3;
+  const int amoeba = 2;
+  // MySQL breaks under a smaller memory-bandwidth bubble than Amoeba.
+  EXPECT_LT(result.tolerated_steps[mysql], result.tolerated_steps[amoeba]);
+  EXPECT_GT(result.contribution[mysql], result.contribution[amoeba]);
+}
+
+TEST(BubbleProfilerTest, ContributionsNormalized) {
+  const BubbleResult result =
+      ProfileBubble(LcAppKind::kSolr, BeJobKind::kStreamDramBig, FastOptions());
+  double total = 0.0;
+  for (double value : result.contribution) {
+    EXPECT_GE(value, 0.0);
+    total += value;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BubbleProfilerTest, OneDimensionalBubbleMissesOtherAxes) {
+  // The §3.2 critique: a CPU bubble barely ranks the E-commerce pods (cpuset
+  // shields them all similarly), while the DRAM bubble separates them — so a
+  // single bubble suite cannot characterize contribution in general.
+  BubbleOptions options = FastOptions();
+  const BubbleResult cpu =
+      ProfileBubble(LcAppKind::kEcommerce, BeJobKind::kCpuStress, options);
+  int distinct_cpu = 1;
+  for (size_t i = 1; i < cpu.tolerated_steps.size(); ++i) {
+    if (cpu.tolerated_steps[i] != cpu.tolerated_steps[0]) {
+      ++distinct_cpu;
+    }
+  }
+  // Under the CPU bubble (almost) every pod tolerates the maximum: the
+  // ranking signal is flat.
+  int at_max = 0;
+  for (int steps : cpu.tolerated_steps) {
+    at_max += steps == options.max_steps ? 1 : 0;
+  }
+  EXPECT_GE(at_max, 3);
+}
+
+}  // namespace
+}  // namespace rhythm

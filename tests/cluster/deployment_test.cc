@@ -1,0 +1,143 @@
+#include "src/cluster/deployment.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(DeploymentTest, SoloRunProducesSaneSignals) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kEcommerce;
+  config.enable_be = false;
+  config.seed = 3;
+  Deployment deployment(config);
+  EXPECT_EQ(deployment.pod_count(), 4);
+  EXPECT_EQ(deployment.be(0), nullptr);
+  EXPECT_EQ(deployment.agent(0), nullptr);
+  ConstantLoad profile(0.4);
+  deployment.Start(&profile);
+  deployment.RunFor(30.0);
+  EXPECT_GT(deployment.service().completed_requests(), 10000u);
+  const double tail = deployment.service().TailLatencyMs();
+  EXPECT_GT(tail, 50.0);
+  EXPECT_LT(tail, deployment.sla_ms());
+  // Series sampled once per accounting tick.
+  EXPECT_NEAR(static_cast<double>(deployment.load_series().size()), 30.0, 2.0);
+  EXPECT_DOUBLE_EQ(deployment.load_series().Average(), 0.4);
+}
+
+TEST(DeploymentTest, MachinesReceiveLcActivity) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kEcommerce;
+  config.enable_be = false;
+  Deployment deployment(config);
+  ConstantLoad profile(0.6);
+  deployment.Start(&profile);
+  deployment.RunFor(5.0);
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    EXPECT_GT(deployment.machine(pod).lc_busy_cores(), 0.0) << "pod " << pod;
+    EXPECT_GT(deployment.machine(pod).CpuUtilization(), 0.0);
+  }
+}
+
+TEST(DeploymentTest, UncontrolledBeRaisesLatency) {
+  auto tail_for = [](bool with_be) {
+    DeploymentConfig config;
+    config.app_kind = LcAppKind::kEcommerce;
+    config.enable_be = with_be;
+    config.be_kind = BeJobKind::kStreamDramBig;
+    config.seed = 5;
+    config.tail_window_s = 25.0;
+    Deployment deployment(config);
+    ConstantLoad profile(0.5);
+    deployment.Start(&profile);
+    if (with_be) {
+      deployment.LaunchBeAtPod(3, 1);  // stress MySQL's machine.
+    }
+    deployment.RunFor(30.0);
+    return deployment.service().TailLatencyMs();
+  };
+  // One full-demand stream-dram instance on the MySQL machine must visibly
+  // hurt the end-to-end tail.
+  EXPECT_GT(tail_for(true), 1.5 * tail_for(false));
+}
+
+TEST(DeploymentTest, LaunchBeAtPodGrowsToDemand) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kEcommerce;
+  config.be_kind = BeJobKind::kCpuStress;  // 4-core demand.
+  Deployment deployment(config);
+  ConstantLoad profile(0.2);
+  deployment.Start(&profile);
+  deployment.LaunchBeAtPod(0, 2);
+  ASSERT_EQ(deployment.be(0)->instance_count(), 2);
+  EXPECT_GE(deployment.be(0)->TotalCoresHeld(), 7);  // ~4 cores each.
+}
+
+TEST(DeploymentTest, RhythmControllerRequiresThresholds) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kSolr;
+  config.controller = ControllerKind::kRhythm;
+  config.thresholds = {ServpodThresholds{0.8, 0.2}, ServpodThresholds{0.9, 0.05}};
+  Deployment deployment(config);
+  EXPECT_NE(deployment.agent(0), nullptr);
+  EXPECT_DOUBLE_EQ(deployment.agent(0)->top().thresholds().loadlimit, 0.8);
+  EXPECT_DOUBLE_EQ(deployment.agent(1)->top().thresholds().slacklimit, 0.05);
+}
+
+TEST(DeploymentTest, HeraclesUsesUniformThresholds) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kSolr;
+  config.controller = ControllerKind::kHeracles;
+  Deployment deployment(config);
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    EXPECT_DOUBLE_EQ(deployment.agent(pod)->top().thresholds().loadlimit, kHeraclesLoadlimit);
+    EXPECT_DOUBLE_EQ(deployment.agent(pod)->top().thresholds().slacklimit,
+                     kHeraclesSlacklimit);
+  }
+}
+
+TEST(DeploymentTest, ControllerDeploysBesUnderAmpleSlack) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kEcommerce;
+  config.be_kind = BeJobKind::kCpuStress;
+  config.controller = ControllerKind::kHeracles;
+  config.seed = 9;
+  Deployment deployment(config);
+  ConstantLoad profile(0.2);
+  deployment.Start(&profile);
+  deployment.RunFor(60.0);
+  int with_instances = 0;
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    with_instances += deployment.be(pod)->instance_count() > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(with_instances, deployment.pod_count());
+  EXPECT_GT(deployment.be(0)->completions() + deployment.be(0)->progress_units(), 0.0);
+}
+
+TEST(DeploymentTest, DeterministicGivenSeed) {
+  auto run = [] {
+    DeploymentConfig config;
+    config.app_kind = LcAppKind::kElgg;
+    config.be_kind = BeJobKind::kWordcount;
+    config.controller = ControllerKind::kHeracles;
+    config.seed = 77;
+    Deployment deployment(config);
+    ConstantLoad profile(0.5);
+    deployment.Start(&profile);
+    deployment.RunFor(40.0);
+    return std::make_tuple(deployment.service().completed_requests(),
+                           deployment.be(0)->progress_units(),
+                           deployment.service().TailLatencyMs());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DeploymentTest, ControllerName) {
+  EXPECT_STREQ(ControllerKindName(ControllerKind::kNone), "none");
+  EXPECT_STREQ(ControllerKindName(ControllerKind::kRhythm), "Rhythm");
+  EXPECT_STREQ(ControllerKindName(ControllerKind::kHeracles), "Heracles");
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,54 @@
+#include "src/cluster/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(ExperimentTest, HeraclesRunProducesSummary) {
+  ExperimentConfig config;
+  config.app = LcAppKind::kSolr;
+  config.be = BeJobKind::kCpuStress;
+  config.controller = ControllerKind::kHeracles;
+  config.warmup_s = 10.0;
+  config.measure_s = 60.0;
+  const RunSummary summary = RunColocation(config, 0.3);
+  EXPECT_NEAR(summary.lc_throughput, 0.3, 1e-9);
+  EXPECT_GT(summary.be_throughput, 0.0);
+  EXPECT_NEAR(summary.emu, summary.lc_throughput + summary.be_throughput, 1e-9);
+  EXPECT_EQ(summary.pods.size(), 2u);
+}
+
+TEST(ExperimentTest, ExplicitThresholdsOverrideCache) {
+  ExperimentConfig config;
+  config.app = LcAppKind::kSolr;
+  config.be = BeJobKind::kCpuStress;
+  config.controller = ControllerKind::kRhythm;
+  // Forbid BEs outright via loadlimit 0: nothing should run.
+  config.thresholds = {ServpodThresholds{0.0, 0.5}, ServpodThresholds{0.0, 0.5}};
+  config.warmup_s = 5.0;
+  config.measure_s = 30.0;
+  const RunSummary summary = RunColocation(config, 0.3);
+  EXPECT_EQ(summary.be_throughput, 0.0);
+}
+
+TEST(ExperimentTest, ProfileRunUsesTrace) {
+  ExperimentConfig config;
+  config.app = LcAppKind::kSolr;
+  config.be = BeJobKind::kCpuStress;
+  config.controller = ControllerKind::kHeracles;
+  config.warmup_s = 10.0;
+  const DiurnalTrace trace(300.0, 0.2, 0.8);
+  const RunSummary summary = RunColocationProfile(config, trace, 290.0);
+  // Mean load of the diurnal shape sits between its bounds.
+  EXPECT_GT(summary.lc_throughput, 0.25);
+  EXPECT_LT(summary.lc_throughput, 0.75);
+}
+
+TEST(ExperimentTest, FastModeReadsEnvironment) {
+  // Whatever the ambient value, the call must be stable within a process.
+  EXPECT_EQ(FastMode(), FastMode());
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,84 @@
+#include "src/cluster/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(MetricsTest, SoloRunSummary) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kEcommerce;
+  config.enable_be = false;
+  config.seed = 4;
+  Deployment deployment(config);
+  ConstantLoad profile(0.5);
+  deployment.Start(&profile);
+  deployment.RunFor(40.0);
+  const RunSummary summary = Summarize(deployment, 10.0, 40.0);
+  EXPECT_NEAR(summary.lc_throughput, 0.5, 1e-9);
+  EXPECT_EQ(summary.be_throughput, 0.0);
+  EXPECT_NEAR(summary.emu, 0.5, 1e-9);  // EMU = LC + BE.
+  EXPECT_GT(summary.cpu_util, 0.0);
+  EXPECT_LT(summary.cpu_util, 1.0);
+  EXPECT_GT(summary.membw_util, 0.0);
+  EXPECT_GT(summary.worst_tail_ms, 0.0);
+  EXPECT_LT(summary.worst_tail_ratio, 1.0);
+  EXPECT_EQ(summary.sla_violations, 0u);
+  EXPECT_EQ(summary.be_kills, 0u);
+  EXPECT_EQ(summary.pods.size(), 4u);
+}
+
+TEST(MetricsTest, BeThroughputFromProgressInWindow) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kSolr;
+  config.be_kind = BeJobKind::kCpuStress;
+  config.seed = 6;
+  Deployment deployment(config);
+  ConstantLoad profile(0.2);
+  deployment.Start(&profile);
+  // Fill the Zookeeper machine with CPU-stress, uncontrolled.
+  deployment.LaunchBeAtPod(1, 5);
+  deployment.RunFor(120.0);
+  const RunSummary summary = Summarize(deployment, 20.0, 120.0);
+  EXPECT_GT(summary.pods[1].be_throughput, 0.1);
+  EXPECT_GT(summary.emu, summary.lc_throughput);
+  // Per-pod instances averaged over the window.
+  EXPECT_NEAR(summary.pods[1].be_instances, 5.0, 0.5);
+}
+
+TEST(MetricsTest, WindowSnapshotsExcludeWarmup) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kSolr;
+  config.be_kind = BeJobKind::kCpuStress;
+  config.seed = 8;
+  Deployment deployment(config);
+  ConstantLoad profile(0.2);
+  deployment.Start(&profile);
+  deployment.LaunchBeAtPod(0, 2);
+  deployment.RunFor(100.0);
+  const RunSummary full = Summarize(deployment, 0.0, 100.0);
+  const RunSummary tail_half = Summarize(deployment, 50.0, 100.0);
+  // Throughput rate is roughly stationary: both windows see similar rates.
+  EXPECT_NEAR(full.pods[0].be_throughput, tail_half.pods[0].be_throughput,
+              0.3 * full.pods[0].be_throughput + 0.05);
+}
+
+TEST(MetricsTest, CounterSnapshotsSubtract) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kSolr;
+  config.be_kind = BeJobKind::kStreamDramBig;
+  config.controller = ControllerKind::kHeracles;
+  config.seed = 10;
+  Deployment deployment(config);
+  ConstantLoad profile(0.7);
+  deployment.Start(&profile);
+  deployment.RunFor(60.0);
+  const uint64_t kills = deployment.TotalBeKills();
+  const uint64_t violations = deployment.TotalSlaViolations();
+  const RunSummary summary = Summarize(deployment, 0.0, 60.0, kills, violations);
+  EXPECT_EQ(summary.be_kills, 0u);
+  EXPECT_EQ(summary.sla_violations, 0u);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,94 @@
+#include "src/cluster/multi_lc.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+MultiLcConfig TestConfig(ControllerKind controller) {
+  MultiLcConfig config;
+  config.app_a = LcAppKind::kEcommerce;  // 4 pods.
+  config.app_b = LcAppKind::kSolr;       // 2 pods.
+  config.be = BeJobKind::kWordcount;
+  config.controller = controller;
+  config.seed = 67;
+  return config;
+}
+
+TEST(MultiLcTest, MachinePoolSizedToLargerTenant) {
+  MultiLcDeployment deployment(TestConfig(ControllerKind::kRhythm));
+  EXPECT_EQ(deployment.machine_count(), 4);
+}
+
+TEST(MultiLcTest, BothTenantsServeTraffic) {
+  MultiLcDeployment deployment(TestConfig(ControllerKind::kRhythm));
+  ConstantLoad profile(0.4);
+  deployment.Start(&profile);
+  deployment.RunFor(30.0);
+  EXPECT_GT(deployment.service_a().completed_requests(), 10000u);
+  EXPECT_GT(deployment.service_b().completed_requests(), 3000u);
+}
+
+TEST(MultiLcTest, RhythmKeepsBothSlasUnderColocation) {
+  MultiLcDeployment deployment(TestConfig(ControllerKind::kRhythm));
+  ConstantLoad profile(0.4);
+  deployment.Start(&profile);
+  deployment.RunFor(30.0);
+  const double t0 = deployment.sim().Now();
+  deployment.RunFor(120.0);
+  const MultiLcSummary summary = deployment.Summarize(t0, deployment.sim().Now());
+  EXPECT_GT(summary.be_throughput, 0.0);
+  EXPECT_LE(summary.worst_tail_ratio_a, 1.0);
+  EXPECT_LE(summary.worst_tail_ratio_b, 1.0);
+  EXPECT_EQ(summary.sla_violations, 0u);
+}
+
+TEST(MultiLcTest, ConservativeJoinOfThresholds) {
+  MultiLcDeployment deployment(TestConfig(ControllerKind::kRhythm));
+  const AppThresholds& a = CachedAppThresholds(LcAppKind::kEcommerce);
+  const AppThresholds& b = CachedAppThresholds(LcAppKind::kSolr);
+  // Machine 0 hosts HAProxy (A) and Apache+Solr (B): the joined loadlimit is
+  // the minimum, the joined slacklimit the maximum.
+  const ServpodThresholds joined = deployment.agent(0)->top().thresholds();
+  EXPECT_DOUBLE_EQ(joined.loadlimit, std::min(a.pods[0].loadlimit, b.pods[0].loadlimit));
+  EXPECT_DOUBLE_EQ(joined.slacklimit, std::max(a.pods[0].slacklimit, b.pods[0].slacklimit));
+  // Machine 3 hosts only A's MySQL: thresholds pass through.
+  const ServpodThresholds solo = deployment.agent(3)->top().thresholds();
+  EXPECT_DOUBLE_EQ(solo.loadlimit, a.pods[3].loadlimit);
+  EXPECT_DOUBLE_EQ(solo.slacklimit, a.pods[3].slacklimit);
+}
+
+TEST(MultiLcTest, AggressiveThresholdsContainedByGuards) {
+  // Corrupted (maximally aggressive) thresholds on both tenants: the
+  // subcontroller guards intervene, and any violation of *either* tenant is
+  // seen by the joint counter, which feeds StopBE everywhere. The system
+  // must never pin either tenant's tail above its SLA.
+  MultiLcConfig config = TestConfig(ControllerKind::kRhythm);
+  config.thresholds_a.assign(4, ServpodThresholds{0.99, 0.01});
+  config.thresholds_b.assign(2, ServpodThresholds{0.99, 0.01});
+  MultiLcDeployment deployment(config);
+  ConstantLoad profile(0.7);
+  deployment.Start(&profile);
+  deployment.RunFor(180.0);
+  uint64_t guard_trips = 0;
+  uint64_t ticks = 0;
+  for (int machine = 0; machine < deployment.machine_count(); ++machine) {
+    guard_trips += deployment.agent(machine)->stats().util_guard_trips;
+    ticks = std::max(ticks, deployment.agent(machine)->stats().ticks);
+  }
+  const MultiLcSummary summary = deployment.Summarize(0.0, deployment.sim().Now());
+  // Either the guards had to intervene, or the SLA broke and BEs were killed
+  // — the failure mode is bounded one way or the other.
+  EXPECT_GT(guard_trips + summary.sla_violations + summary.be_kills, 0u);
+  EXPECT_LT(static_cast<double>(summary.sla_violations), 0.25 * static_cast<double>(ticks));
+}
+
+TEST(MultiLcTest, HeraclesJoinUsesUniformThresholds) {
+  MultiLcDeployment deployment(TestConfig(ControllerKind::kHeracles));
+  const ServpodThresholds thresholds = deployment.agent(0)->top().thresholds();
+  EXPECT_DOUBLE_EQ(thresholds.loadlimit, kHeraclesLoadlimit);
+  EXPECT_DOUBLE_EQ(thresholds.slacklimit, kHeraclesSlacklimit);
+}
+
+}  // namespace
+}  // namespace rhythm

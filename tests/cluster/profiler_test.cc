@@ -1,0 +1,94 @@
+#include "src/cluster/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/component.h"
+
+namespace rhythm {
+namespace {
+
+ProfileOptions FastOptions() {
+  ProfileOptions options;
+  options.warmup_s = 5.0;
+  options.measure_s = 25.0;
+  return options;
+}
+
+TEST(ProfilerTest, DefaultLevelsCoverSweep) {
+  const auto levels = DefaultProfileLevels();
+  EXPECT_EQ(levels.size(), 19u);
+  EXPECT_DOUBLE_EQ(levels.front(), 0.05);
+  EXPECT_DOUBLE_EQ(levels.back(), 0.95);
+}
+
+TEST(ProfilerTest, SojournMeansTrackModel) {
+  const std::vector<double> levels = {0.2, 0.6};
+  const ProfileResult result = ProfileSolo(LcAppKind::kEcommerce, levels, FastOptions());
+  const AppSpec app = MakeApp(LcAppKind::kEcommerce);
+  ASSERT_EQ(result.matrix.pod_sojourn_ms.size(), 4u);
+  for (int pod = 0; pod < 4; ++pod) {
+    for (size_t level = 0; level < levels.size(); ++level) {
+      const double expected =
+          ComponentModel(app.components[pod]).EffectiveServiceMs(levels[level], 1.0);
+      EXPECT_NEAR(result.matrix.pod_sojourn_ms[pod][level], expected, expected * 0.15 + 0.5)
+          << app.components[pod].name << " @" << levels[level];
+    }
+  }
+}
+
+TEST(ProfilerTest, TailGrowsWithLoad) {
+  const std::vector<double> levels = {0.1, 0.5, 0.9};
+  const ProfileResult result = ProfileSolo(LcAppKind::kEcommerce, levels, FastOptions());
+  EXPECT_LT(result.matrix.tail_ms[0], result.matrix.tail_ms[1]);
+  EXPECT_LT(result.matrix.tail_ms[1], result.matrix.tail_ms[2]);
+  EXPECT_GT(result.requests_profiled, 10000u);
+}
+
+TEST(ProfilerTest, MysqlSojournOvertakesTomcatAtHighLoad) {
+  // Figure 6a's crossover: MySQL is cheaper than Tomcat at low load but its
+  // sojourn grows faster and overtakes past ~50%.
+  const std::vector<double> levels = {0.1, 0.95};
+  const ProfileResult result = ProfileSolo(LcAppKind::kEcommerce, levels, FastOptions());
+  const int tomcat = 1;
+  const int mysql = 3;
+  EXPECT_LT(result.matrix.pod_sojourn_ms[mysql][0], result.matrix.pod_sojourn_ms[tomcat][0]);
+  EXPECT_GT(result.matrix.pod_sojourn_ms[mysql][1], result.matrix.pod_sojourn_ms[tomcat][1]);
+}
+
+TEST(ProfilerTest, CovCurvesRiseForBottleneckPod) {
+  const std::vector<double> levels = {0.1, 0.95};
+  const ProfileResult result = ProfileSolo(LcAppKind::kEcommerce, levels, FastOptions());
+  const int mysql = 3;
+  EXPECT_GT(result.pod_cov[mysql][1], result.pod_cov[mysql][0] * 1.2);
+}
+
+TEST(ProfilerTest, TracerAndDirectAgree) {
+  // The tracer path (kernel events + mean extraction) and the direct
+  // recording path must produce the same sojourn matrix.
+  const std::vector<double> levels = {0.4};
+  ProfileOptions with_tracer = FastOptions();
+  with_tracer.use_tracer = true;
+  ProfileOptions without_tracer = FastOptions();
+  without_tracer.use_tracer = false;
+  const ProfileResult traced = ProfileSolo(LcAppKind::kSolr, levels, with_tracer);
+  const ProfileResult direct = ProfileSolo(LcAppKind::kSolr, levels, without_tracer);
+  for (int pod = 0; pod < 2; ++pod) {
+    EXPECT_NEAR(traced.matrix.pod_sojourn_ms[pod][0], direct.matrix.pod_sojourn_ms[pod][0],
+                direct.matrix.pod_sojourn_ms[pod][0] * 0.03 + 0.1);
+  }
+}
+
+TEST(ProfilerTest, BuiltinTracingAppSkipsTracer) {
+  // SNMS has jaeger: the profiler must work (and use direct recording) even
+  // when use_tracer is requested.
+  const std::vector<double> levels = {0.3};
+  ProfileOptions options = FastOptions();
+  options.use_tracer = true;
+  const ProfileResult result = ProfileSolo(LcAppKind::kSnms, levels, options);
+  for (int pod = 0; pod < 3; ++pod) {
+    EXPECT_GT(result.matrix.pod_sojourn_ms[pod][0], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,78 @@
+// Scheduler-mode deployments (paper §4): BE jobs arrive into the cluster
+// queue and are dispatched only when machine controllers accept them.
+
+#include <gtest/gtest.h>
+
+#include "src/rhythm.h"
+
+namespace rhythm {
+namespace {
+
+DeploymentConfig SchedulerConfig(double rate) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kSolr;
+  config.be_kind = BeJobKind::kCpuStress;
+  config.controller = ControllerKind::kHeracles;
+  config.be_arrival_rate_per_s = rate;
+  config.seed = 13;
+  return config;
+}
+
+TEST(SchedulerIntegrationTest, JobsFlowFromQueueToMachines) {
+  Deployment deployment(SchedulerConfig(0.5));
+  ConstantLoad profile(0.3);
+  deployment.Start(&profile);
+  deployment.RunFor(120.0);
+  ASSERT_NE(deployment.scheduler(), nullptr);
+  EXPECT_GT(deployment.scheduler()->stats().dispatched, 0u);
+  // ~60 jobs submitted over 120 s.
+  EXPECT_NEAR(static_cast<double>(deployment.backlog().submitted()), 60.0, 2.0);
+  int instances = 0;
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    instances += deployment.be(pod)->instance_count();
+  }
+  EXPECT_GT(instances, 0);
+}
+
+TEST(SchedulerIntegrationTest, NoArrivalsMeansNoBes) {
+  // A scheduler-mode deployment with an empty queue cannot conjure work.
+  Deployment deployment(SchedulerConfig(0.001));
+  ConstantLoad profile(0.3);
+  deployment.Start(&profile);
+  deployment.RunFor(60.0);
+  uint64_t taken = deployment.backlog().taken();
+  EXPECT_LE(taken, 1u);
+}
+
+TEST(SchedulerIntegrationTest, HighLoadParksQueue) {
+  // At 95% load every controller suspends BEs; arrivals pile up unserved.
+  Deployment deployment(SchedulerConfig(1.0));
+  ConstantLoad profile(0.95);
+  deployment.Start(&profile);
+  deployment.RunFor(60.0);
+  EXPECT_EQ(deployment.scheduler()->stats().dispatched, 0u);
+  EXPECT_GT(deployment.backlog().pending(), 40u);
+}
+
+TEST(SchedulerIntegrationTest, DefaultModeHasNoScheduler) {
+  DeploymentConfig config = SchedulerConfig(0.0);
+  Deployment deployment(config);
+  EXPECT_EQ(deployment.scheduler(), nullptr);
+}
+
+TEST(SchedulerIntegrationTest, ThroughputBoundedBySubmittedWork) {
+  Deployment deployment(SchedulerConfig(0.2));  // scarce jobs.
+  ConstantLoad profile(0.2);
+  deployment.Start(&profile);
+  deployment.RunFor(200.0);
+  // Completed work can never exceed what was submitted.
+  double progress = 0.0;
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    progress += deployment.be(pod)->progress_units();
+  }
+  EXPECT_LE(progress, static_cast<double>(deployment.backlog().submitted()) + 1e-9);
+  EXPECT_GT(progress, 0.0);
+}
+
+}  // namespace
+}  // namespace rhythm

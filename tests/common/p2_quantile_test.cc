@@ -1,0 +1,85 @@
+#include "src/common/p2_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace rhythm {
+namespace {
+
+TEST(P2QuantileTest, EmptyIsZero) {
+  P2Quantile p2(0.99);
+  EXPECT_EQ(p2.Value(), 0.0);
+  EXPECT_EQ(p2.count(), 0u);
+}
+
+TEST(P2QuantileTest, ExactForFewSamples) {
+  P2Quantile median(0.5);
+  median.Add(5.0);
+  EXPECT_DOUBLE_EQ(median.Value(), 5.0);
+  median.Add(1.0);
+  median.Add(9.0);
+  EXPECT_DOUBLE_EQ(median.Value(), 5.0);
+}
+
+TEST(P2QuantileTest, MedianOfUniformStream) {
+  P2Quantile median(0.5);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    median.Add(rng.Uniform(0.0, 100.0));
+  }
+  EXPECT_NEAR(median.Value(), 50.0, 1.5);
+}
+
+TEST(P2QuantileTest, TailOfExponentialStream) {
+  // p99 of Exp(mean=10) is -10*ln(0.01) = 46.05.
+  P2Quantile p99(0.99);
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) {
+    p99.Add(rng.Exponential(10.0));
+  }
+  EXPECT_NEAR(p99.Value(), 46.05, 3.0);
+}
+
+TEST(P2QuantileTest, TracksExactPercentileOnLatencyLikeData) {
+  P2Quantile p99(0.99);
+  std::vector<double> samples;
+  Rng rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.LognormalMean(30.0, 0.6);
+    p99.Add(x);
+    samples.push_back(x);
+  }
+  const double exact = Percentile(samples, 0.99);
+  EXPECT_NEAR(p99.Value() / exact, 1.0, 0.08);
+}
+
+TEST(P2QuantileTest, MonotoneInQuantile) {
+  P2Quantile p50(0.5);
+  P2Quantile p90(0.9);
+  P2Quantile p99(0.99);
+  Rng rng(13);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.Exponential(5.0);
+    p50.Add(x);
+    p90.Add(x);
+    p99.Add(x);
+  }
+  EXPECT_LT(p50.Value(), p90.Value());
+  EXPECT_LT(p90.Value(), p99.Value());
+}
+
+TEST(P2QuantileTest, ConstantStream) {
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 1000; ++i) {
+    p99.Add(7.0);
+  }
+  EXPECT_DOUBLE_EQ(p99.Value(), 7.0);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,61 @@
+#include "src/common/percentile_window.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(PercentileWindowTest, EmptyQuantileIsZero) {
+  PercentileWindow window(10.0);
+  EXPECT_EQ(window.Quantile(0.0, 0.99), 0.0);
+}
+
+TEST(PercentileWindowTest, SingleSample) {
+  PercentileWindow window(10.0);
+  window.Add(1.0, 42.0);
+  EXPECT_DOUBLE_EQ(window.Quantile(1.0, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(window.Quantile(1.0, 0.99), 42.0);
+}
+
+TEST(PercentileWindowTest, ExpiresOldSamples) {
+  PercentileWindow window(5.0);
+  window.Add(0.0, 100.0);
+  window.Add(4.0, 1.0);
+  // At t=10, the t=0 sample is outside the 5s horizon.
+  EXPECT_DOUBLE_EQ(window.Quantile(8.0, 1.0), 1.0);
+  EXPECT_EQ(window.size(), 1u);
+}
+
+TEST(PercentileWindowTest, ExpireAll) {
+  PercentileWindow window(2.0);
+  window.Add(0.0, 5.0);
+  window.Add(1.0, 6.0);
+  window.Expire(100.0);
+  EXPECT_TRUE(window.empty());
+  EXPECT_EQ(window.Quantile(100.0, 0.99), 0.0);
+}
+
+TEST(PercentileWindowTest, QuantileOverRetainedSamples) {
+  PercentileWindow window(100.0);
+  for (int i = 0; i < 100; ++i) {
+    window.Add(static_cast<double>(i) * 0.1, static_cast<double>(i + 1));
+  }
+  // Values 1..100; p99 with interpolation sits near 99.
+  const double p99 = window.Quantile(10.0, 0.99);
+  EXPECT_GE(p99, 99.0);
+  EXPECT_LE(p99, 100.0);
+  const double p50 = window.Quantile(10.0, 0.5);
+  EXPECT_NEAR(p50, 50.5, 1.0);
+}
+
+TEST(PercentileWindowTest, WindowBoundaryIsInclusiveOfRecent) {
+  PercentileWindow window(5.0);
+  window.Add(10.0, 7.0);
+  // Exactly at the edge: sample at 10.0 with now=15.0 has age 5.0 == window;
+  // cutoff is now - window, strictly-older samples drop.
+  EXPECT_DOUBLE_EQ(window.Quantile(15.0, 0.5), 7.0);
+  EXPECT_EQ(window.Quantile(15.01, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,160 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rhythm {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(11);
+  parent_copy.Fork();
+  bool any_different = false;
+  for (int i = 0; i < 100; ++i) {
+    if (child.NextU64() != parent.NextU64()) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(-3.0, 9.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIntBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(4.0);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, ExponentialAlwaysPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(rng.Exponential(1.0), 0.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsConverge) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, LognormalMeanMatchesParameter) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.LognormalMean(10.0, 0.5);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.15);
+}
+
+TEST(RngTest, LognormalAlwaysPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GT(rng.LognormalMean(5.0, 1.2), 0.0);
+  }
+}
+
+TEST(RngTest, BernoulliProbabilityConverges) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonMeanConverges) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(3.5));
+  }
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(41);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(100.0));
+  }
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(43);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+  EXPECT_EQ(rng.Poisson(-1.0), 0u);
+}
+
+}  // namespace
+}  // namespace rhythm

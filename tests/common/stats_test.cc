@@ -1,0 +1,206 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace rhythm {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.cov(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, MatchesNaiveComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  RunningStats s;
+  double sum = 0.0;
+  for (double x : xs) {
+    s.Add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double ss = 0.0;
+  for (double x : xs) {
+    ss += (x - mean) * (x - mean);
+  }
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), ss / (xs.size() - 1), 1e-12);
+  EXPECT_NEAR(s.cov(), std::sqrt(ss / (xs.size() - 1)) / mean, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(10.0, 2.0);
+    whole.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(MeanTest, BasicAndEmpty) {
+  EXPECT_EQ(Mean({}), 0.0);
+  const std::vector<double> xs = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 4.0);
+}
+
+TEST(StddevTest, KnownValue) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample stddev of this classic set is ~2.138.
+  EXPECT_NEAR(Stddev(xs), 2.138, 0.001);
+}
+
+TEST(PearsonTest, PerfectPositiveCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegativeCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesGivesZero) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_EQ(PearsonCorrelation(xs, ys), 0.0);
+  EXPECT_EQ(PearsonCorrelation(ys, xs), 0.0);
+}
+
+TEST(PearsonTest, UncorrelatedNearZero) {
+  Rng rng(2);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.NextDouble());
+    ys.push_back(rng.NextDouble());
+  }
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 0.0, 0.02);
+}
+
+TEST(NormalizedCovEq3Test, ConstantSeriesIsZero) {
+  const std::vector<double> xs = {3.0, 3.0, 3.0, 3.0};
+  EXPECT_EQ(NormalizedCovEq3(xs), 0.0);
+}
+
+TEST(NormalizedCovEq3Test, MatchesFormula) {
+  // Eq. 3: V = (1/mean) * sqrt( sum (x - mean)^2 / (m (m-1)) ).
+  const std::vector<double> xs = {10.0, 20.0, 30.0};
+  const double mean = 20.0;
+  const double ss = 100.0 + 0.0 + 100.0;
+  const double expected = std::sqrt(ss / (3.0 * 2.0)) / mean;
+  EXPECT_NEAR(NormalizedCovEq3(xs), expected, 1e-12);
+}
+
+TEST(NormalizedCovEq3Test, ScaleInvariant) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> scaled;
+  for (double x : xs) {
+    scaled.push_back(1000.0 * x);
+  }
+  EXPECT_NEAR(NormalizedCovEq3(xs), NormalizedCovEq3(scaled), 1e-12);
+}
+
+TEST(PercentileTest, MedianOfOddCount) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 3.0);
+}
+
+TEST(PercentileTest, Extremes) {
+  const std::vector<double> xs = {4.0, 2.0, 8.0, 6.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 8.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.25), 2.5);
+}
+
+TEST(PercentileTest, EmptyIsZero) { EXPECT_EQ(Percentile({}, 0.99), 0.0); }
+
+TEST(PercentileTest, ClampsQuantile) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.5), 2.0);
+}
+
+// Property: PercentileInplace agrees with a full sort across random inputs
+// and quantiles.
+class PercentileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileProperty, MatchesSortedDefinition) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t n = 1 + rng.UniformInt(500);
+  std::vector<double> xs;
+  for (size_t i = 0; i < n; ++i) {
+    xs.push_back(rng.Uniform(-100.0, 100.0));
+  }
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double rank = q * static_cast<double>(n - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    double expected = sorted[lo];
+    if (frac > 0.0 && lo + 1 < n) {
+      expected += frac * (sorted[lo + 1] - sorted[lo]);
+    }
+    std::vector<double> copy = xs;
+    EXPECT_NEAR(PercentileInplace(copy, q), expected, 1e-9) << "n=" << n << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInputs, PercentileProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,57 @@
+#include "src/common/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(TimeSeriesTest, EmptyDefaults) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.Average(), 0.0);
+  EXPECT_EQ(ts.AverageIn(0.0, 10.0), 0.0);
+  EXPECT_EQ(ts.MaxIn(0.0, 10.0), 0.0);
+  EXPECT_EQ(ts.ValueAt(5.0), 0.0);
+}
+
+TEST(TimeSeriesTest, AverageOverAll) {
+  TimeSeries ts;
+  ts.Add(0.0, 1.0);
+  ts.Add(1.0, 3.0);
+  ts.Add(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(ts.Average(), 3.0);
+}
+
+TEST(TimeSeriesTest, AverageInWindowIsHalfOpen) {
+  TimeSeries ts;
+  ts.Add(0.0, 10.0);
+  ts.Add(1.0, 20.0);
+  ts.Add(2.0, 30.0);
+  // [1, 2) includes only the t=1 point.
+  EXPECT_DOUBLE_EQ(ts.AverageIn(1.0, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.AverageIn(0.0, 3.0), 20.0);
+}
+
+TEST(TimeSeriesTest, MaxInWindow) {
+  TimeSeries ts;
+  ts.Add(0.0, 5.0);
+  ts.Add(1.0, -2.0);
+  ts.Add(2.0, 9.0);
+  EXPECT_DOUBLE_EQ(ts.MaxIn(0.0, 3.0), 9.0);
+  EXPECT_DOUBLE_EQ(ts.MaxIn(0.5, 1.5), -2.0);  // negative maxima are preserved.
+  EXPECT_EQ(ts.MaxIn(10.0, 20.0), 0.0);
+}
+
+TEST(TimeSeriesTest, ValueAtReturnsLastAtOrBefore) {
+  TimeSeries ts;
+  ts.Add(1.0, 100.0);
+  ts.Add(2.0, 200.0);
+  ts.Add(3.0, 300.0);
+  EXPECT_EQ(ts.ValueAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(2.5), 200.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(99.0), 300.0);
+}
+
+}  // namespace
+}  // namespace rhythm

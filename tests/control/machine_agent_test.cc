@@ -1,0 +1,152 @@
+#include "src/control/machine_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace rhythm {
+namespace {
+
+struct Rig {
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<BeRuntime> be;
+  std::unique_ptr<MachineAgent> agent;
+};
+
+Rig MakeRig(double loadlimit = 0.85, double slacklimit = 0.20, double sla_ms = 200.0) {
+  Rig rig;
+  MachineSpec spec;
+  LcReservation reservation;
+  reservation.cores = 20;
+  reservation.min_llc_ways = 4;
+  reservation.memory_gb = 32.0;
+  rig.machine = std::make_unique<Machine>("m0", spec, reservation);
+  rig.be = std::make_unique<BeRuntime>(rig.machine.get(), BeJobKind::kWordcount);
+  rig.agent = std::make_unique<MachineAgent>(
+      rig.machine.get(), rig.be.get(),
+      ServpodThresholds{.loadlimit = loadlimit, .slacklimit = slacklimit}, sla_ms);
+  return rig;
+}
+
+TEST(MachineAgentTest, AllowGrowthLaunchesFirstInstance) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(/*load=*/0.3, /*tail_ms=*/100.0);  // slack 0.5 > 0.20.
+  EXPECT_EQ(rig.be->instance_count(), 1);
+  EXPECT_EQ(rig.agent->stats().grows, 1u);
+}
+
+TEST(MachineAgentTest, RepeatedGrowthAddsResources) {
+  Rig rig = MakeRig();
+  for (int i = 0; i < 10; ++i) {
+    rig.agent->Tick(0.3, 100.0);
+  }
+  EXPECT_GE(rig.be->TotalCoresHeld(), 5);
+  EXPECT_GE(rig.be->instance_count(), 1);
+}
+
+TEST(MachineAgentTest, StopKillsAndCounts) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(0.3, 100.0);
+  rig.agent->Tick(0.3, 100.0);
+  const int held = rig.be->instance_count();
+  ASSERT_GT(held, 0);
+  rig.agent->Tick(0.3, 300.0);  // tail above SLA: negative slack.
+  EXPECT_EQ(rig.be->instance_count(), 0);
+  EXPECT_EQ(rig.agent->stats().be_kills, static_cast<uint64_t>(held));
+  EXPECT_EQ(rig.agent->stats().sla_violations, 1u);
+  EXPECT_EQ(rig.agent->stats().last_action, BeAction::kStopBe);
+}
+
+TEST(MachineAgentTest, SuspendKeepsMemoryResident) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(0.3, 100.0);
+  const double memory_before = rig.machine->memory().be_gb();
+  ASSERT_GT(memory_before, 0.0);
+  rig.agent->Tick(0.9, 100.0);  // load above limit.
+  EXPECT_TRUE(rig.be->all_suspended());
+  EXPECT_DOUBLE_EQ(rig.machine->memory().be_gb(), memory_before);
+  EXPECT_EQ(rig.agent->stats().last_action, BeAction::kSuspendBe);
+}
+
+TEST(MachineAgentTest, ResumeAfterLoadDrops) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(0.3, 100.0);
+  rig.agent->Tick(0.9, 100.0);
+  ASSERT_TRUE(rig.be->all_suspended());
+  rig.agent->Tick(0.3, 100.0);  // back under the limit: growth resumes.
+  EXPECT_FALSE(rig.be->all_suspended());
+}
+
+TEST(MachineAgentTest, CutShrinksAllocation) {
+  Rig rig = MakeRig();
+  for (int i = 0; i < 6; ++i) {
+    rig.agent->Tick(0.3, 100.0);
+  }
+  const int cores_before = rig.be->TotalCoresHeld();
+  // slack 0.05 < slacklimit/2 (0.10): CutBE.
+  rig.agent->Tick(0.3, 190.0);
+  EXPECT_EQ(rig.agent->stats().last_action, BeAction::kCutBe);
+  EXPECT_LT(rig.be->TotalCoresHeld(), cores_before);
+}
+
+TEST(MachineAgentTest, DisallowGrowthFreezesAllocation) {
+  Rig rig = MakeRig();
+  for (int i = 0; i < 4; ++i) {
+    rig.agent->Tick(0.3, 100.0);
+  }
+  const int cores_before = rig.be->TotalCoresHeld();
+  // slack 0.15 in (slacklimit/2, slacklimit): DisallowBEGrowth.
+  rig.agent->Tick(0.3, 170.0);
+  EXPECT_EQ(rig.agent->stats().last_action, BeAction::kDisallowGrowth);
+  EXPECT_EQ(rig.be->TotalCoresHeld(), cores_before);
+}
+
+TEST(MachineAgentTest, FrequencySubcontrollerThrottlesBeAtHighPower) {
+  Rig rig = MakeRig();
+  // Saturate the package: LC burns its 20 cores, BEs will be added too.
+  rig.machine->SetLcActivity(20.0, 10.0, 1.0);
+  for (int i = 0; i < 25; ++i) {
+    rig.agent->Tick(0.3, 100.0);
+  }
+  // Power beyond 80% TDP: BE frequency must have been stepped down.
+  if (rig.machine->power().TdpFraction() > MachineAgent::kTdpThreshold) {
+    EXPECT_LT(rig.machine->power().be_frequency_ghz(), rig.machine->spec().base_freq_ghz);
+  }
+}
+
+TEST(MachineAgentTest, FrequencyRestoredWhenPowerDrops) {
+  Rig rig = MakeRig();
+  rig.machine->power().SetBeFrequency(1.0);
+  rig.machine->SetLcActivity(1.0, 1.0, 0.1);  // nearly idle.
+  rig.agent->Tick(0.3, 100.0);
+  EXPECT_GT(rig.machine->power().be_frequency_ghz(), 1.0);
+}
+
+TEST(MachineAgentTest, NetworkSubcontrollerPublishesOffer) {
+  Rig rig = MakeRig(0.85, 0.20, 200.0);
+  MachineSpec spec;
+  LcReservation reservation;
+  Machine machine("m1", spec, reservation);
+  BeRuntime be(&machine, BeJobKind::kIperf);
+  MachineAgent agent(&machine, &be, ServpodThresholds{}, 200.0);
+  machine.SetLcActivity(2.0, 1.0, 3.0);
+  agent.Tick(0.3, 100.0);
+  // iperf launched: offered traffic visible to the qdisc.
+  EXPECT_GT(machine.network().be_delivered_gbps(), 0.0);
+  // Shaped to B_link - 1.2 * B_LC.
+  EXPECT_LE(machine.network().be_delivered_gbps(), machine.network().be_allocation_gbps());
+}
+
+TEST(MachineAgentTest, TickCountsActions) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(0.3, 100.0);
+  rig.agent->Tick(0.9, 100.0);
+  rig.agent->Tick(0.3, 300.0);
+  EXPECT_EQ(rig.agent->stats().ticks, 3u);
+  EXPECT_EQ(rig.agent->stats().grows, 1u);
+  EXPECT_EQ(rig.agent->stats().suspends, 1u);
+  EXPECT_EQ(rig.agent->stats().stops, 1u);
+}
+
+}  // namespace
+}  // namespace rhythm

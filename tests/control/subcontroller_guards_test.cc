@@ -1,0 +1,122 @@
+// Subcontroller guard behaviors: the Heracles-style headroom checks that
+// keep the slack bands from steering a machine onto a resource cliff.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/control/machine_agent.h"
+
+namespace rhythm {
+namespace {
+
+struct Rig {
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<BeRuntime> be;
+  std::unique_ptr<MachineAgent> agent;
+};
+
+Rig MakeRig(BeJobKind kind, int stagger = 0) {
+  Rig rig;
+  MachineSpec spec;
+  LcReservation reservation;
+  reservation.cores = 16;
+  reservation.min_llc_ways = 4;
+  reservation.memory_gb = 24.0;
+  rig.machine = std::make_unique<Machine>("m", spec, reservation);
+  rig.be = std::make_unique<BeRuntime>(rig.machine.get(), kind);
+  rig.agent = std::make_unique<MachineAgent>(rig.machine.get(), rig.be.get(),
+                                             ServpodThresholds{0.95, 0.10}, 200.0, stagger);
+  return rig;
+}
+
+TEST(SubcontrollerGuardsTest, UtilGrowthGuardBlocksGrowth) {
+  Rig rig = MakeRig(BeJobKind::kCpuStress);
+  // Ample slack but a hot station: all growth (even the first launch) is
+  // withheld.
+  for (int i = 0; i < 10; ++i) {
+    rig.agent->Tick(0.3, 100.0, /*lc_utilization=*/MachineAgent::kUtilGrowthGuard + 0.05);
+  }
+  EXPECT_EQ(rig.be->instance_count(), 0);
+  EXPECT_EQ(rig.be->TotalCoresHeld(), 0);
+  EXPECT_GT(rig.agent->stats().util_guard_trips, 0u);
+}
+
+TEST(SubcontrollerGuardsTest, UtilShedGuardReleasesResources) {
+  Rig rig = MakeRig(BeJobKind::kCpuStress);
+  for (int i = 0; i < 12; ++i) {
+    rig.agent->Tick(0.3, 100.0, 0.0);  // build an allocation first.
+  }
+  const int before = rig.be->TotalCoresHeld();
+  ASSERT_GT(before, 2);
+  rig.agent->Tick(0.3, 100.0, MachineAgent::kUtilShedGuard + 0.02);
+  EXPECT_LT(rig.be->TotalCoresHeld(), before);
+}
+
+TEST(SubcontrollerGuardsTest, EmergencyShedIsStronger) {
+  Rig normal = MakeRig(BeJobKind::kCpuStress);
+  Rig emergency = MakeRig(BeJobKind::kCpuStress);
+  for (int i = 0; i < 12; ++i) {
+    normal.agent->Tick(0.3, 100.0, 0.0);
+    emergency.agent->Tick(0.3, 100.0, 0.0);
+  }
+  const int start = normal.be->TotalCoresHeld();
+  ASSERT_EQ(start, emergency.be->TotalCoresHeld());
+  normal.agent->Tick(0.3, 100.0, MachineAgent::kUtilShedGuard + 0.02);
+  emergency.agent->Tick(0.3, 100.0, MachineAgent::kUtilEmergencyGuard + 0.02);
+  EXPECT_LT(emergency.be->TotalCoresHeld(), normal.be->TotalCoresHeld());
+}
+
+TEST(SubcontrollerGuardsTest, MembwGuardStopsGrowthBeforeSaturation) {
+  // stream-dram(big): 55 GB/s demand over 4 cores, 13.75 GB/s per step on a
+  // 60 GB/s channel. Growth must stop before combined demand crosses 90%.
+  Rig rig = MakeRig(BeJobKind::kStreamDramBig);
+  rig.machine->SetLcActivity(8.0, 10.0, 0.5);  // LC burns 10 GB/s.
+  for (int i = 0; i < 30; ++i) {
+    rig.agent->Tick(0.3, 100.0, 0.0);
+  }
+  const double total =
+      rig.machine->membw().lc_demand_gbs() + rig.machine->membw().be_demand_gbs();
+  EXPECT_LE(total, MachineAgent::kMembwGuardFraction * rig.machine->spec().dram_bw_gbs + 1e-9);
+  EXPECT_GT(rig.agent->stats().util_guard_trips, 0u);
+  // Without LC bandwidth pressure, more BE bandwidth fits.
+  Rig idle_lc = MakeRig(BeJobKind::kStreamDramBig);
+  for (int i = 0; i < 30; ++i) {
+    idle_lc.agent->Tick(0.3, 100.0, 0.0);
+  }
+  EXPECT_GT(idle_lc.machine->membw().be_demand_gbs(),
+            rig.machine->membw().be_demand_gbs() - 1e-9);
+}
+
+TEST(SubcontrollerGuardsTest, GrowthPacingAlternatesTicks) {
+  // With kGrowthPeriodTicks = 2, growth lands on every other tick; two
+  // agents with different stagger grow on complementary phases.
+  Rig even = MakeRig(BeJobKind::kCpuStress, /*stagger=*/0);
+  Rig odd = MakeRig(BeJobKind::kCpuStress, /*stagger=*/1);
+  even.agent->Tick(0.3, 100.0, 0.0);  // tick 1: launches (unpaced).
+  odd.agent->Tick(0.3, 100.0, 0.0);
+  EXPECT_EQ(even.be->TotalCoresHeld(), 1);
+  EXPECT_EQ(odd.be->TotalCoresHeld(), 1);
+  even.agent->Tick(0.3, 100.0, 0.0);  // tick 2: even grows, odd waits.
+  odd.agent->Tick(0.3, 100.0, 0.0);
+  EXPECT_EQ(even.be->TotalCoresHeld(), 2);
+  EXPECT_EQ(odd.be->TotalCoresHeld(), 1);
+  even.agent->Tick(0.3, 100.0, 0.0);  // tick 3: odd's turn.
+  odd.agent->Tick(0.3, 100.0, 0.0);
+  EXPECT_EQ(even.be->TotalCoresHeld(), 2);
+  EXPECT_EQ(odd.be->TotalCoresHeld(), 2);
+}
+
+TEST(SubcontrollerGuardsTest, GuardsInertWhenUtilizationUnknown) {
+  // lc_utilization = 0 (unit-test default / no wiring): the guards must not
+  // interfere with plain Algorithm 2 behavior.
+  Rig rig = MakeRig(BeJobKind::kCpuStress);
+  for (int i = 0; i < 8; ++i) {
+    rig.agent->Tick(0.3, 100.0);
+  }
+  EXPECT_EQ(rig.agent->stats().util_guard_trips, 0u);
+  EXPECT_GT(rig.be->TotalCoresHeld(), 1);
+}
+
+}  // namespace
+}  // namespace rhythm

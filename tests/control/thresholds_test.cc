@@ -1,0 +1,96 @@
+#include "src/control/thresholds.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rhythm {
+namespace {
+
+TEST(DeriveLoadlimitTest, RisingCurveCrossesAtKnee) {
+  const std::vector<double> levels = {0.2, 0.4, 0.6, 0.8, 1.0};
+  // Flat at 0.1 then rising: average ~0.26; the trailing run above average
+  // starts at 0.8.
+  const std::vector<double> covs = {0.1, 0.1, 0.1, 0.4, 0.6};
+  EXPECT_DOUBLE_EQ(DeriveLoadlimit(levels, covs), 0.8);
+}
+
+TEST(DeriveLoadlimitTest, LateKnee) {
+  const std::vector<double> levels = {0.2, 0.4, 0.6, 0.8, 1.0};
+  const std::vector<double> covs = {0.1, 0.1, 0.1, 0.1, 0.9};
+  EXPECT_DOUBLE_EQ(DeriveLoadlimit(levels, covs), 1.0);
+}
+
+TEST(DeriveLoadlimitTest, FlatCurveGivesLastLevel) {
+  const std::vector<double> levels = {0.2, 0.4, 0.6, 0.8, 1.0};
+  const std::vector<double> covs = {0.3, 0.3, 0.3, 0.3, 0.3};
+  // Never strictly above the mean: the pod tolerates everything.
+  EXPECT_DOUBLE_EQ(DeriveLoadlimit(levels, covs), 1.0);
+}
+
+TEST(DeriveLoadlimitTest, NoisyDipDoesNotBreakTrailingRun) {
+  const std::vector<double> levels = {0.2, 0.4, 0.6, 0.8, 1.0};
+  // An early noise spike above average must not pull the limit down when the
+  // curve dips back below average afterwards.
+  const std::vector<double> covs = {0.35, 0.1, 0.1, 0.5, 0.7};
+  EXPECT_DOUBLE_EQ(DeriveLoadlimit(levels, covs), 0.8);
+}
+
+TEST(FindSlacklimitsTest, ViolationAtFirstIterationKeepsOnes) {
+  const std::vector<double> contributions = {0.5, 0.5};
+  const SlaProbe always_violates = [](const std::vector<double>&) { return true; };
+  const auto limits = FindSlacklimits(contributions, always_violates);
+  EXPECT_DOUBLE_EQ(limits[0], 1.0);
+  EXPECT_DOUBLE_EQ(limits[1], 1.0);
+}
+
+TEST(FindSlacklimitsTest, NoViolationDrivesToFloor) {
+  const std::vector<double> contributions = {0.5, 0.5};
+  const SlaProbe never_violates = [](const std::vector<double>&) { return false; };
+  const auto limits = FindSlacklimits(contributions, never_violates);
+  EXPECT_DOUBLE_EQ(limits[0], 0.12);
+  EXPECT_DOUBLE_EQ(limits[1], 0.12);
+}
+
+TEST(FindSlacklimitsTest, StepSizesFollowContributions) {
+  // Big contributor steps slowly (keeps a large limit), small contributor
+  // races to the floor — Algorithm 1's core asymmetry.
+  const std::vector<double> contributions = {0.9, 0.1};
+  int calls = 0;
+  const SlaProbe violate_on_third = [&calls](const std::vector<double>&) {
+    return ++calls >= 3;
+  };
+  const auto limits = FindSlacklimits(contributions, violate_on_third);
+  // Iteration k: limit_i = 1 - k * (1 - c_i). Violation at k=3 keeps k=2.
+  EXPECT_NEAR(limits[0], 1.0 - 2.0 * 0.1, 1e-12);
+  EXPECT_NEAR(limits[1], 0.12, 1e-12);  // floored.
+  EXPECT_GT(limits[0], limits[1]);
+}
+
+TEST(FindSlacklimitsTest, ProbeSeesMonotoneCandidates) {
+  const std::vector<double> contributions = {0.6, 0.4};
+  std::vector<std::vector<double>> seen;
+  const SlaProbe record = [&seen](const std::vector<double>& limits) {
+    seen.push_back(limits);
+    return seen.size() >= 4;
+  };
+  FindSlacklimits(contributions, record);
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LE(seen[i][0], seen[i - 1][0]);
+    EXPECT_LE(seen[i][1], seen[i - 1][1]);
+  }
+}
+
+TEST(FindSlacklimitsTest, RespectsMaxIterations) {
+  const std::vector<double> contributions = {0.999};  // tiny step 0.05 (clamped).
+  int calls = 0;
+  const SlaProbe count = [&calls](const std::vector<double>&) {
+    ++calls;
+    return false;
+  };
+  FindSlacklimits(contributions, count, 5);
+  EXPECT_EQ(calls, 5);
+}
+
+}  // namespace
+}  // namespace rhythm

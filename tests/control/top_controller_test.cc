@@ -1,0 +1,108 @@
+#include "src/control/top_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TopController Controller(double loadlimit = 0.85, double slacklimit = 0.10) {
+  return TopController(ServpodThresholds{.loadlimit = loadlimit, .slacklimit = slacklimit});
+}
+
+TEST(TopControllerTest, SlackFormula) {
+  EXPECT_DOUBLE_EQ(TopController::Slack(100.0, 200.0), 0.5);
+  EXPECT_DOUBLE_EQ(TopController::Slack(300.0, 200.0), -0.5);
+  EXPECT_DOUBLE_EQ(TopController::Slack(100.0, 0.0), 0.0);
+}
+
+TEST(TopControllerTest, NegativeSlackStopsBe) {
+  // Algorithm 2 line 4-5: slack < 0 -> StopBE, regardless of load.
+  EXPECT_EQ(Controller().Decide(0.1, 250.0, 200.0), BeAction::kStopBe);
+  EXPECT_EQ(Controller().Decide(0.99, 250.0, 200.0), BeAction::kStopBe);
+}
+
+TEST(TopControllerTest, HighLoadSuspends) {
+  EXPECT_EQ(Controller().Decide(0.90, 50.0, 200.0), BeAction::kSuspendBe);
+  // At the limit exactly: suspended (the paper disables Heracles BEs at 85%).
+  EXPECT_EQ(Controller().Decide(0.85, 50.0, 200.0), BeAction::kSuspendBe);
+}
+
+TEST(TopControllerTest, ThinSlackCuts) {
+  // slack in (0, slacklimit/2): CutBE. slacklimit 0.10 -> band (0, 0.05).
+  EXPECT_EQ(Controller().Decide(0.5, 194.0, 200.0), BeAction::kCutBe);  // slack 0.03.
+}
+
+TEST(TopControllerTest, MidSlackDisallowsGrowth) {
+  // slack in (slacklimit/2, slacklimit): DisallowBEGrowth.
+  EXPECT_EQ(Controller().Decide(0.5, 186.0, 200.0), BeAction::kDisallowGrowth);  // 0.07.
+}
+
+TEST(TopControllerTest, AmpleSlackAllowsGrowth) {
+  EXPECT_EQ(Controller().Decide(0.5, 100.0, 200.0), BeAction::kAllowGrowth);  // 0.5.
+}
+
+TEST(TopControllerTest, StopTakesPrecedenceOverSuspend) {
+  EXPECT_EQ(Controller().Decide(0.95, 500.0, 200.0), BeAction::kStopBe);
+}
+
+TEST(TopControllerTest, PerPodThresholdsChangeDecision) {
+  // The same signals produce different actions on different Servpods — the
+  // component-distinguishable core of Rhythm.
+  const double load = 0.80;
+  const double tail = 150.0;
+  const double sla = 200.0;  // slack 0.25.
+  TopController mysql(ServpodThresholds{.loadlimit = 0.75, .slacklimit = 0.80});
+  TopController tomcat(ServpodThresholds{.loadlimit = 0.90, .slacklimit = 0.20});
+  EXPECT_EQ(mysql.Decide(load, tail, sla), BeAction::kSuspendBe);
+  EXPECT_EQ(tomcat.Decide(load, tail, sla), BeAction::kAllowGrowth);
+  // At lower load MySQL's huge slacklimit still throttles it while Tomcat
+  // grows freely.
+  EXPECT_EQ(mysql.Decide(0.5, tail, sla), BeAction::kCutBe);  // 0.25 < 0.4.
+  EXPECT_EQ(tomcat.Decide(0.5, tail, sla), BeAction::kAllowGrowth);
+}
+
+TEST(TopControllerTest, ActionNames) {
+  EXPECT_STREQ(BeActionName(BeAction::kStopBe), "StopBE");
+  EXPECT_STREQ(BeActionName(BeAction::kSuspendBe), "SuspendBE");
+  EXPECT_STREQ(BeActionName(BeAction::kCutBe), "CutBE");
+  EXPECT_STREQ(BeActionName(BeAction::kDisallowGrowth), "DisallowBEGrowth");
+  EXPECT_STREQ(BeActionName(BeAction::kAllowGrowth), "AllowBEGrowth");
+}
+
+// Property: the decision function is total and consistent — exactly one
+// action per (load, slack) cell, monotone in slack pressure.
+class DecisionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecisionProperty, SlackMonotonicity) {
+  const double slacklimit = 0.05 + 0.05 * GetParam();
+  TopController controller(ServpodThresholds{.loadlimit = 0.9, .slacklimit = slacklimit});
+  const double sla = 100.0;
+  int last_rank = -1;
+  auto rank = [](BeAction action) {
+    switch (action) {
+      case BeAction::kStopBe:
+        return 0;
+      case BeAction::kCutBe:
+        return 1;
+      case BeAction::kDisallowGrowth:
+        return 2;
+      case BeAction::kAllowGrowth:
+        return 3;
+      case BeAction::kSuspendBe:
+        return -1;
+    }
+    return -1;
+  };
+  for (double tail = 150.0; tail >= 0.0; tail -= 1.0) {
+    const BeAction action = controller.Decide(0.5, tail, sla);
+    const int r = rank(action);
+    ASSERT_NE(r, -1);
+    ASSERT_GE(r, last_rank) << "tail=" << tail;
+    last_rank = r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SlacklimitSweep, DecisionProperty, ::testing::Range(1, 10));
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,127 @@
+// Controller dynamics over time: the Figure 17 behaviours — growth under
+// slack, suspension when load crosses the limit, recovery when it drops.
+
+#include <gtest/gtest.h>
+
+#include "src/rhythm.h"
+
+namespace rhythm {
+namespace {
+
+// A load profile we can script: step changes at fixed times.
+class StepProfile : public LoadProfile {
+ public:
+  struct Step {
+    double start;
+    double load;
+  };
+  explicit StepProfile(std::vector<Step> steps) : steps_(std::move(steps)) {}
+
+  double LoadAt(double t) const override {
+    double load = steps_.front().load;
+    for (const Step& step : steps_) {
+      if (t >= step.start) {
+        load = step.load;
+      }
+    }
+    return load;
+  }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+DeploymentConfig RhythmConfig() {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kEcommerce;
+  config.be_kind = BeJobKind::kWordcount;
+  config.controller = ControllerKind::kRhythm;
+  config.thresholds = CachedAppThresholds(LcAppKind::kEcommerce).pods;
+  config.seed = 31;
+  return config;
+}
+
+TEST(ControllerBehaviorTest, BeResourcesGrowUnderSlack) {
+  Deployment deployment(RhythmConfig());
+  ConstantLoad profile(0.3);
+  deployment.Start(&profile);
+  deployment.RunFor(60.0);
+  const int tomcat = 1;
+  // The Tomcat machine's BE allocation ramps up over time.
+  const PodSeries& series = deployment.pod_series(tomcat);
+  EXPECT_GT(series.be_cores.ValueAt(60.0), series.be_cores.ValueAt(10.0));
+  EXPECT_GT(series.be_instances.ValueAt(60.0), 0.0);
+}
+
+TEST(ControllerBehaviorTest, LoadSpikeSuspendsThenRecovers) {
+  Deployment deployment(RhythmConfig());
+  // 0-60s: light load; 60-120s: spike past every loadlimit; then back.
+  StepProfile profile({{0.0, 0.3}, {60.0, 0.97}, {120.0, 0.3}});
+  deployment.Start(&profile);
+  deployment.RunFor(55.0);
+  const int tomcat = 1;
+  ASSERT_GT(deployment.be(tomcat)->instance_count(), 0);
+  deployment.RunFor(30.0);  // t=85, deep in the spike.
+  EXPECT_TRUE(deployment.be(tomcat)->all_suspended());
+  EXPECT_GT(deployment.agent(tomcat)->stats().suspends, 0u);
+  deployment.RunFor(80.0);  // t=165, well after recovery.
+  EXPECT_FALSE(deployment.be(tomcat)->all_suspended());
+}
+
+TEST(ControllerBehaviorTest, SuspensionKeepsMemoryUnlikeStop) {
+  Deployment deployment(RhythmConfig());
+  StepProfile profile({{0.0, 0.3}, {60.0, 0.97}});
+  deployment.Start(&profile);
+  deployment.RunFor(90.0);
+  const int tomcat = 1;
+  // Suspended BEs hold their memory (SuspendBE semantics, §3.5.2).
+  if (deployment.be(tomcat)->all_suspended() &&
+      deployment.be(tomcat)->instance_count() > 0) {
+    EXPECT_GT(deployment.machine(tomcat).memory().be_gb(), 0.0);
+  }
+}
+
+TEST(ControllerBehaviorTest, MysqlMachineSuspendsEarlierThanTomcat) {
+  // At 0.8 load MySQL (loadlimit ~0.75) is suspended while Tomcat
+  // (loadlimit ~0.9) still runs BEs.
+  Deployment deployment(RhythmConfig());
+  ConstantLoad profile(0.8);
+  deployment.Start(&profile);
+  deployment.RunFor(90.0);
+  const int mysql = 3;
+  const int tomcat = 1;
+  EXPECT_TRUE(deployment.be(mysql)->all_suspended() ||
+              deployment.be(mysql)->instance_count() == 0);
+  EXPECT_GT(deployment.be(tomcat)->running_count(), 0);
+}
+
+TEST(ControllerBehaviorTest, HeraclesTreatsAllMachinesUniformly) {
+  DeploymentConfig config = RhythmConfig();
+  config.controller = ControllerKind::kHeracles;
+  config.thresholds.clear();
+  Deployment deployment(config);
+  ConstantLoad profile(0.8);
+  deployment.Start(&profile);
+  deployment.RunFor(60.0);
+  // Under uniform control every machine carries BE instances at 0.8 load
+  // (below the uniform 0.85 limit) — including MySQL's.
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    EXPECT_GT(deployment.be(pod)->instance_count(), 0) << "pod " << pod;
+  }
+}
+
+TEST(ControllerBehaviorTest, ActionsFollowAlgorithmTwoOrdering) {
+  Deployment deployment(RhythmConfig());
+  ConstantLoad profile(0.4);
+  deployment.Start(&profile);
+  deployment.RunFor(120.0);
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    const MachineAgent::Stats& stats = deployment.agent(pod)->stats();
+    // Every tick decided exactly one action.
+    EXPECT_EQ(stats.ticks,
+              stats.stops + stats.suspends + stats.cuts + stats.disallows + stats.grows);
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,90 @@
+// End-to-end properties of the whole system: the paper's headline claims,
+// verified on the E-commerce workload with the full pipeline (profiling ->
+// thresholds -> co-location runs).
+
+#include <gtest/gtest.h>
+
+#include "src/rhythm.h"
+
+namespace rhythm {
+namespace {
+
+RunSummary RunExperiment(ControllerKind controller, BeJobKind be, double load, uint64_t seed = 11) {
+  ExperimentConfig config;
+  config.app = LcAppKind::kEcommerce;
+  config.be = be;
+  config.controller = controller;
+  config.seed = seed;
+  config.warmup_s = 20.0;
+  config.measure_s = 120.0;
+  return RunColocation(config, load);
+}
+
+TEST(EndToEndTest, RhythmBeatsHeraclesOnEmuAtMidLoad) {
+  const RunSummary rhythm = RunExperiment(ControllerKind::kRhythm, BeJobKind::kWordcount, 0.45);
+  const RunSummary heracles = RunExperiment(ControllerKind::kHeracles, BeJobKind::kWordcount, 0.45);
+  EXPECT_GT(rhythm.emu, heracles.emu * 1.05);
+  EXPECT_GT(rhythm.cpu_util, heracles.cpu_util);
+  EXPECT_GT(rhythm.membw_util, heracles.membw_util);
+}
+
+TEST(EndToEndTest, RhythmGuardsSlaAtMidLoad) {
+  const RunSummary rhythm = RunExperiment(ControllerKind::kRhythm, BeJobKind::kWordcount, 0.45);
+  EXPECT_EQ(rhythm.sla_violations, 0u);
+  EXPECT_LE(rhythm.worst_tail_ratio, 1.0);
+}
+
+TEST(EndToEndTest, HeraclesIdleAboveEightyFivePercentButRhythmColocates) {
+  // §5.2.1: Heracles forbids co-location at 85% load; Rhythm still deploys
+  // BEs at pods whose loadlimit exceeds 0.85 (Tomcat, HAProxy).
+  const RunSummary heracles = RunExperiment(ControllerKind::kHeracles, BeJobKind::kWordcount, 0.85);
+  EXPECT_EQ(heracles.be_throughput, 0.0);
+  const RunSummary rhythm = RunExperiment(ControllerKind::kRhythm, BeJobKind::kWordcount, 0.85);
+  EXPECT_GT(rhythm.be_throughput, 0.05);
+  EXPECT_GT(rhythm.emu, heracles.emu);
+}
+
+TEST(EndToEndTest, MysqlMachineControlledMoreConservatively) {
+  const RunSummary rhythm = RunExperiment(ControllerKind::kRhythm, BeJobKind::kWordcount, 0.45);
+  const int mysql = 3;
+  const int haproxy = 0;
+  // The high-contribution pod's machine hosts visibly less BE work.
+  EXPECT_LT(rhythm.pods[mysql].be_throughput, rhythm.pods[haproxy].be_throughput * 0.8);
+}
+
+TEST(EndToEndTest, StressorsThrottledHarderThanMildBes) {
+  const RunSummary stress = RunExperiment(ControllerKind::kRhythm, BeJobKind::kStreamDramBig, 0.45);
+  EXPECT_EQ(stress.sla_violations, 0u);
+  EXPECT_LE(stress.worst_tail_ratio, 1.02);
+}
+
+TEST(EndToEndTest, ProductionTraceKeepsSla) {
+  // Scaled-down §5.3 production run: diurnal load, Rhythm controller.
+  ExperimentConfig config;
+  config.app = LcAppKind::kEcommerce;
+  config.be = BeJobKind::kWordcount;
+  config.controller = ControllerKind::kRhythm;
+  config.warmup_s = 20.0;
+  // Five compressed days; the ramp rate stays within what a 2-second
+  // control cadence can shed (the paper's trace spreads a day over 72 min).
+  const DiurnalTrace trace(1500.0, 0.15, 0.80);
+  const RunSummary summary = RunColocationProfile(config, trace, 1480.0);
+  EXPECT_LE(summary.worst_tail_ratio, 1.0);
+  EXPECT_GT(summary.be_throughput, 0.0);
+}
+
+TEST(EndToEndTest, ImprovementGrowsWithLoad) {
+  // Figure 12's trend: the Rhythm-vs-Heracles gap widens as load rises
+  // (Heracles turns everything off early; Rhythm keeps tolerant pods busy).
+  double gaps[2];
+  int i = 0;
+  for (double load : {0.25, 0.85}) {
+    const RunSummary rhythm = RunExperiment(ControllerKind::kRhythm, BeJobKind::kLstm, load);
+    const RunSummary heracles = RunExperiment(ControllerKind::kHeracles, BeJobKind::kLstm, load);
+    gaps[i++] = rhythm.emu - heracles.emu;
+  }
+  EXPECT_GT(gaps[1], gaps[0]);
+}
+
+}  // namespace
+}  // namespace rhythm

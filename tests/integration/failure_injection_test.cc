@@ -1,0 +1,116 @@
+// Failure injection: the controller must recover from conditions outside
+// its steady-state assumptions — a machine losing frequency (thermal event),
+// a burst of latency hiccups, and mid-run threshold corruption.
+
+#include <gtest/gtest.h>
+
+#include "src/rhythm.h"
+
+namespace rhythm {
+namespace {
+
+DeploymentConfig RhythmConfig(BeJobKind be = BeJobKind::kWordcount) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kEcommerce;
+  config.be_kind = be;
+  config.controller = ControllerKind::kRhythm;
+  config.thresholds = CachedAppThresholds(LcAppKind::kEcommerce).pods;
+  config.seed = 53;
+  return config;
+}
+
+TEST(FailureInjectionTest, ThermalThrottleOnLcMachineTriggersBackoff) {
+  Deployment deployment(RhythmConfig());
+  ConstantLoad profile(0.5);
+  deployment.Start(&profile);
+  deployment.RunFor(60.0);
+  const int mysql = 3;
+  const double inflation_before = deployment.service().PodInflation(mysql);
+  const int be_cores_before = deployment.be(mysql)->TotalCoresHeld() +
+                              deployment.be(1)->TotalCoresHeld();
+  // Thermal event: the MySQL machine's LC cores drop to minimum frequency.
+  deployment.machine(mysql).power().SetLcFrequency(
+      deployment.machine(mysql).spec().min_freq_ghz);
+  // The frequency penalty lands on the frequency-sensitive component at once.
+  EXPECT_GT(deployment.service().PodInflation(mysql), inflation_before * 1.2);
+  deployment.RunFor(90.0);
+  // The controller re-stabilizes under the smaller effective capacity: the
+  // SLA holds again and BE pressure was reduced along the way.
+  EXPECT_LE(deployment.service().TailLatencyMs(), deployment.sla_ms());
+  const int be_cores_after = deployment.be(mysql)->TotalCoresHeld() +
+                             deployment.be(1)->TotalCoresHeld();
+  EXPECT_TRUE(be_cores_after < be_cores_before || deployment.TotalBeKills() > 0u ||
+              deployment.TotalSlaViolations() == 0u);
+}
+
+TEST(FailureInjectionTest, RecoveryAfterThrottleClears) {
+  Deployment deployment(RhythmConfig());
+  ConstantLoad profile(0.4);
+  deployment.Start(&profile);
+  deployment.RunFor(40.0);
+  const int mysql = 3;
+  deployment.machine(mysql).power().SetLcFrequency(1.0);
+  deployment.RunFor(40.0);
+  deployment.machine(mysql).power().SetLcFrequency(
+      deployment.machine(mysql).spec().base_freq_ghz);
+  deployment.RunFor(80.0);
+  // After the fault clears, BEs are back and the SLA holds.
+  int running = 0;
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    running += deployment.be(pod)->running_count();
+  }
+  EXPECT_GT(running, 0);
+  EXPECT_LT(deployment.service().TailLatencyMs(), deployment.sla_ms());
+}
+
+TEST(FailureInjectionTest, CorruptedThresholdsStillFailSafe) {
+  // An operator pushes absurdly aggressive thresholds (slacklimit ~0,
+  // loadlimit ~1). The subcontroller guards — DRAM-bandwidth headroom,
+  // utilization shed, StopBE on negative slack — contain the damage: the
+  // tail is never pinned above the SLA, and sustained violations cannot
+  // accumulate even though the slack bands would permit unlimited growth.
+  DeploymentConfig config = RhythmConfig(BeJobKind::kStreamDramBig);
+  for (auto& thresholds : config.thresholds) {
+    thresholds.slacklimit = 0.001;
+    thresholds.loadlimit = 0.99;
+  }
+  Deployment deployment(config);
+  ConstantLoad profile(0.6);
+  deployment.Start(&profile);
+  deployment.RunFor(180.0);
+  uint64_t ticks = 0;
+  uint64_t guard_trips = 0;
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    ticks = std::max(ticks, deployment.agent(pod)->stats().ticks);
+    guard_trips += deployment.agent(pod)->stats().util_guard_trips;
+  }
+  // The guards actively intervened against the corrupt configuration...
+  EXPECT_GT(guard_trips, 0u);
+  // ...and kept the violating ticks a small minority (ideally zero).
+  EXPECT_LT(static_cast<double>(deployment.TotalSlaViolations()),
+            0.25 * static_cast<double>(ticks));
+  // BEs keep running: fail-safe does not mean fail-stop.
+  int running = 0;
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    running += deployment.be(pod)->running_count();
+  }
+  EXPECT_GT(running, 0);
+}
+
+TEST(FailureInjectionTest, HiccupStormHandled) {
+  // Pathological jitter: very frequent, strong hiccups. The controller may
+  // lose BE throughput but must not wedge (BEs return once quiet).
+  DeploymentConfig config = RhythmConfig();
+  Deployment deployment(config);
+  ConstantLoad profile(0.3);
+  deployment.Start(&profile);
+  deployment.RunFor(120.0);
+  int instances = 0;
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    instances += deployment.be(pod)->instance_count();
+  }
+  EXPECT_GT(instances, 0);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,120 @@
+#include "src/interference/interference_model.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+Machine TestMachine() {
+  MachineSpec spec;
+  LcReservation reservation;
+  reservation.cores = 20;
+  reservation.min_llc_ways = 4;
+  reservation.memory_gb = 32.0;
+  return Machine("m0", spec, reservation);
+}
+
+TEST(InterferenceModelTest, NoBeMeansNoContention) {
+  Machine machine = TestMachine();
+  const ResourceVector contention = InterferenceModel::Contention(machine, nullptr);
+  EXPECT_EQ(contention.cpu, 0.0);
+  EXPECT_EQ(contention.llc, 0.0);
+  EXPECT_EQ(contention.dram, 0.0);
+  EXPECT_EQ(contention.net, 0.0);
+  const ResourceVector sens{.cpu = 1.0, .llc = 1.0, .dram = 1.0, .net = 1.0, .freq = 1.0};
+  EXPECT_DOUBLE_EQ(InterferenceModel::Inflation(sens, machine, nullptr), 1.0);
+}
+
+TEST(InterferenceModelTest, SuspendedBeExertsNothing) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kStreamLlcBig);
+  be.LaunchInstance();
+  be.SuspendAll();
+  be.PublishActivity();
+  const ResourceVector contention = InterferenceModel::Contention(machine, &be);
+  EXPECT_EQ(contention.llc, 0.0);
+}
+
+TEST(InterferenceModelTest, LlcContentionScalesWithGrantedWays) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kStreamLlcBig);
+  be.LaunchInstance();
+  be.Grow();  // full 2-core demand.
+  be.PublishActivity();
+  const ResourceVector few = InterferenceModel::Contention(machine, &be);
+  // Hand more ways to the BE: contention on the LC must rise.
+  machine.cat().AllocateBeWays(10);
+  const ResourceVector many = InterferenceModel::Contention(machine, &be);
+  EXPECT_GT(many.llc, few.llc);
+}
+
+TEST(InterferenceModelTest, DramContentionRampsNearSaturation) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kStreamDramBig);
+  be.LaunchInstance();
+  for (int i = 0; i < 3; ++i) {
+    be.Grow();
+  }
+  machine.SetLcActivity(5.0, 5.0, 0.5);  // LC demands 5 GB/s.
+  be.PublishActivity();
+  const ResourceVector mild = InterferenceModel::Contention(machine, &be);
+  machine.SetLcActivity(10.0, 20.0, 0.5);  // LC demand up: total crosses peak.
+  be.PublishActivity();
+  const ResourceVector severe = InterferenceModel::Contention(machine, &be);
+  EXPECT_GT(severe.dram, mild.dram);
+  EXPECT_GT(severe.dram, 0.5);
+}
+
+TEST(InterferenceModelTest, CpuStressGentleUnderCpuset) {
+  // CPU-stress barely moves a cache/bandwidth-sensitive LC when cores are
+  // disjoint (paper §2 finds it the least disruptive stressor).
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kCpuStress);
+  be.LaunchInstance();
+  for (int i = 0; i < 3; ++i) {
+    be.Grow();
+  }
+  be.PublishActivity();
+  const ResourceVector sens{.cpu = 0.5, .llc = 1.4, .dram = 1.9, .net = 0.9, .freq = 0.4};
+  const double inflation = InterferenceModel::Inflation(sens, machine, &be);
+  EXPECT_LT(inflation, 1.25);
+  EXPECT_GT(inflation, 1.0);
+}
+
+TEST(InterferenceModelTest, InflationFromContentionFormula) {
+  const ResourceVector sens{.cpu = 0.5, .llc = 1.0, .dram = 2.0, .net = 0.0, .freq = 0.0};
+  const ResourceVector contention{.cpu = 0.2, .llc = 0.3, .dram = 0.5, .net = 0.9, .freq = 0.0};
+  const double expected = 1.0 + 0.5 * 0.2 + 1.0 * 0.3 + 2.0 * 0.5;
+  EXPECT_DOUBLE_EQ(InterferenceModel::InflationFromContention(sens, contention, 1.0), expected);
+}
+
+TEST(InterferenceModelTest, DvfsPenaltyForFrequencySensitiveComponent) {
+  const ResourceVector sens{.cpu = 0.0, .llc = 0.0, .dram = 0.0, .net = 0.0, .freq = 1.0};
+  const ResourceVector none;
+  // Running the LC at half frequency doubles compute time for a fully
+  // frequency-bound component.
+  EXPECT_DOUBLE_EQ(InterferenceModel::InflationFromContention(sens, none, 0.5), 2.0);
+  // Frequency-insensitive component ignores DVFS.
+  const ResourceVector insensitive{.freq = 0.0};
+  EXPECT_DOUBLE_EQ(InterferenceModel::InflationFromContention(insensitive, none, 0.5), 1.0);
+}
+
+TEST(InterferenceModelTest, SensitivityOrderingPreserved) {
+  // Same machine state, two components: the more sensitive one inflates
+  // more. This is the §2 differential the whole system rests on.
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kStreamDramBig);
+  be.LaunchInstance();
+  for (int i = 0; i < 3; ++i) {
+    be.Grow();
+  }
+  machine.SetLcActivity(10.0, 10.0, 0.5);
+  be.PublishActivity();
+  const ResourceVector mysql{.cpu = 0.7, .llc = 1.4, .dram = 1.9, .net = 0.9, .freq = 0.45};
+  const ResourceVector tomcat{.cpu = 0.5, .llc = 0.5, .dram = 0.35, .net = 0.2, .freq = 1.1};
+  EXPECT_GT(InterferenceModel::Inflation(mysql, machine, &be),
+            InterferenceModel::Inflation(tomcat, machine, &be));
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,121 @@
+// Property sweeps over the interference model: monotonicity on every axis.
+// These guard the calibration — a contention curve that dips as pressure
+// rises would let the controller oscillate around a non-monotone response.
+
+#include <gtest/gtest.h>
+
+#include "src/interference/interference_model.h"
+
+namespace rhythm {
+namespace {
+
+Machine TestMachine() {
+  MachineSpec spec;
+  LcReservation reservation;
+  reservation.cores = 16;
+  reservation.min_llc_ways = 2;
+  reservation.memory_gb = 24.0;
+  return Machine("m", spec, reservation);
+}
+
+const ResourceVector kUniformSensitivity{.cpu = 1.0, .llc = 1.0, .dram = 1.0, .net = 1.0,
+                                         .freq = 1.0};
+
+class BeKindProperty : public ::testing::TestWithParam<BeJobKind> {};
+
+TEST_P(BeKindProperty, InflationMonotoneInGrowthSteps) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, GetParam());
+  ASSERT_TRUE(be.LaunchInstance());
+  machine.SetLcActivity(8.0, 10.0, 1.0);
+  be.PublishActivity();
+  double prev = InterferenceModel::Inflation(kUniformSensitivity, machine, &be);
+  EXPECT_GE(prev, 1.0);
+  for (int step = 0; step < 10; ++step) {
+    if (!be.GrowInstance(0)) {
+      break;
+    }
+    be.PublishActivity();
+    const double current = InterferenceModel::Inflation(kUniformSensitivity, machine, &be);
+    EXPECT_GE(current, prev - 1e-9) << "step " << step;
+    prev = current;
+  }
+}
+
+TEST_P(BeKindProperty, InflationMonotoneInInstanceCount) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, GetParam());
+  machine.SetLcActivity(8.0, 10.0, 1.0);
+  double prev = 1.0;
+  for (int n = 0; n < 4; ++n) {
+    if (!be.LaunchInstance()) {
+      break;
+    }
+    be.PublishActivity();
+    const double current = InterferenceModel::Inflation(kUniformSensitivity, machine, &be);
+    EXPECT_GE(current, prev - 1e-9) << "instances " << n + 1;
+    prev = current;
+  }
+}
+
+TEST_P(BeKindProperty, SuspensionRemovesAllInterference) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, GetParam());
+  be.LaunchInstance();
+  be.GrowInstance(0);
+  machine.SetLcActivity(8.0, 10.0, 1.0);
+  be.PublishActivity();
+  be.SuspendAll();
+  be.PublishActivity();
+  EXPECT_DOUBLE_EQ(InterferenceModel::Inflation(kUniformSensitivity, machine, &be), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBeKinds, BeKindProperty, ::testing::ValuesIn(AllBeJobKinds()));
+
+TEST(InterferencePropertyTest, InflationLinearInSensitivity) {
+  // Doubling every sensitivity doubles the additive part of the inflation.
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kStreamDramBig);
+  be.LaunchInstance();
+  for (int i = 0; i < 3; ++i) {
+    be.GrowInstance(0);
+  }
+  machine.SetLcActivity(8.0, 10.0, 1.0);
+  be.PublishActivity();
+  const ResourceVector half{.cpu = 0.5, .llc = 0.5, .dram = 0.5, .net = 0.5, .freq = 0.0};
+  const ResourceVector full{.cpu = 1.0, .llc = 1.0, .dram = 1.0, .net = 1.0, .freq = 0.0};
+  const double inflation_half = InterferenceModel::Inflation(half, machine, &be);
+  const double inflation_full = InterferenceModel::Inflation(full, machine, &be);
+  EXPECT_NEAR(inflation_full - 1.0, 2.0 * (inflation_half - 1.0), 1e-9);
+}
+
+TEST(InterferencePropertyTest, DramContentionMonotoneInLcDemand) {
+  Machine machine = TestMachine();
+  BeRuntime be(&machine, BeJobKind::kStreamDramBig);
+  be.LaunchInstance();
+  for (int i = 0; i < 3; ++i) {
+    be.GrowInstance(0);
+  }
+  double prev = 0.0;
+  for (double lc_demand = 0.0; lc_demand <= 30.0; lc_demand += 5.0) {
+    machine.SetLcActivity(8.0, lc_demand, 1.0);
+    be.PublishActivity();
+    const double dram = InterferenceModel::Contention(machine, &be).dram;
+    EXPECT_GE(dram, prev - 1e-9) << "lc_demand " << lc_demand;
+    prev = dram;
+  }
+}
+
+TEST(InterferencePropertyTest, FreqPenaltyMonotoneInDeficit) {
+  const ResourceVector sens{.freq = 1.0};
+  const ResourceVector none;
+  double prev = 1.0;
+  for (double factor = 1.0; factor >= 0.5; factor -= 0.05) {
+    const double inflation = InterferenceModel::InflationFromContention(sens, none, factor);
+    EXPECT_GE(inflation, prev - 1e-12);
+    prev = inflation;
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

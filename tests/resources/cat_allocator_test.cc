@@ -1,0 +1,53 @@
+#include "src/resources/cat_allocator.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(CatAllocatorTest, InitialAllWaysToLc) {
+  CatAllocator cat(20, 4);
+  EXPECT_EQ(cat.total_ways(), 20);
+  EXPECT_EQ(cat.lc_ways(), 20);
+  EXPECT_EQ(cat.be_ways(), 0);
+  EXPECT_DOUBLE_EQ(cat.lc_fraction(), 1.0);
+}
+
+TEST(CatAllocatorTest, AllocateRespectsLcFloor) {
+  CatAllocator cat(20, 4);
+  EXPECT_EQ(cat.AllocateBeWays(100), 16);
+  EXPECT_EQ(cat.lc_ways(), 4);
+  EXPECT_EQ(cat.AllocateBeWays(1), 0);
+}
+
+TEST(CatAllocatorTest, StepwiseAllocation) {
+  CatAllocator cat(20, 4);
+  EXPECT_EQ(cat.AllocateBeWays(2), 2);
+  EXPECT_EQ(cat.AllocateBeWays(2), 2);
+  EXPECT_EQ(cat.be_ways(), 4);
+  EXPECT_DOUBLE_EQ(cat.lc_fraction(), 0.8);
+}
+
+TEST(CatAllocatorTest, ReleaseCapped) {
+  CatAllocator cat(20, 4);
+  cat.AllocateBeWays(6);
+  EXPECT_EQ(cat.ReleaseBeWays(10), 6);
+  EXPECT_EQ(cat.be_ways(), 0);
+}
+
+TEST(CatAllocatorTest, ReleaseAll) {
+  CatAllocator cat(20, 0);
+  cat.AllocateBeWays(20);
+  EXPECT_EQ(cat.lc_ways(), 0);
+  cat.ReleaseAllBeWays();
+  EXPECT_EQ(cat.lc_ways(), 20);
+}
+
+TEST(CatAllocatorTest, ZeroFloorAllowsFullGrant) {
+  CatAllocator cat(20, 0);
+  EXPECT_EQ(cat.AllocateBeWays(20), 20);
+  EXPECT_DOUBLE_EQ(cat.lc_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,58 @@
+#include "src/resources/core_allocator.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(CoreAllocatorTest, InitialPartition) {
+  CoreAllocator cores(40, 20);
+  EXPECT_EQ(cores.total_cores(), 40);
+  EXPECT_EQ(cores.lc_cores(), 20);
+  EXPECT_EQ(cores.be_cores(), 0);
+  EXPECT_EQ(cores.free_cores(), 20);
+}
+
+TEST(CoreAllocatorTest, AllocateWithinFree) {
+  CoreAllocator cores(40, 20);
+  EXPECT_EQ(cores.AllocateBeCores(5), 5);
+  EXPECT_EQ(cores.be_cores(), 5);
+  EXPECT_EQ(cores.free_cores(), 15);
+}
+
+TEST(CoreAllocatorTest, AllocationCappedAtFree) {
+  CoreAllocator cores(40, 30);
+  EXPECT_EQ(cores.AllocateBeCores(100), 10);
+  EXPECT_EQ(cores.free_cores(), 0);
+  EXPECT_EQ(cores.AllocateBeCores(1), 0);
+}
+
+TEST(CoreAllocatorTest, NegativeRequestsIgnored) {
+  CoreAllocator cores(40, 20);
+  EXPECT_EQ(cores.AllocateBeCores(-3), 0);
+  EXPECT_EQ(cores.ReleaseBeCores(-3), 0);
+}
+
+TEST(CoreAllocatorTest, ReleaseCappedAtHeld) {
+  CoreAllocator cores(40, 20);
+  cores.AllocateBeCores(8);
+  EXPECT_EQ(cores.ReleaseBeCores(20), 8);
+  EXPECT_EQ(cores.be_cores(), 0);
+}
+
+TEST(CoreAllocatorTest, ReleaseAll) {
+  CoreAllocator cores(40, 20);
+  cores.AllocateBeCores(12);
+  cores.ReleaseAllBeCores();
+  EXPECT_EQ(cores.be_cores(), 0);
+  EXPECT_EQ(cores.free_cores(), 20);
+}
+
+TEST(CoreAllocatorTest, LcReservationNeverTouched) {
+  CoreAllocator cores(10, 10);
+  EXPECT_EQ(cores.AllocateBeCores(1), 0);
+  EXPECT_EQ(cores.lc_cores(), 10);
+}
+
+}  // namespace
+}  // namespace rhythm

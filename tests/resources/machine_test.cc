@@ -1,0 +1,65 @@
+#include "src/resources/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+Machine TestMachine() {
+  MachineSpec spec;
+  LcReservation reservation;
+  reservation.cores = 20;
+  reservation.min_llc_ways = 4;
+  reservation.memory_gb = 32.0;
+  return Machine("m0", spec, reservation);
+}
+
+TEST(MachineTest, ReservationWiring) {
+  Machine machine = TestMachine();
+  EXPECT_EQ(machine.cores().lc_cores(), 20);
+  EXPECT_EQ(machine.cores().free_cores(), 20);
+  EXPECT_EQ(machine.cat().lc_ways(), 20);
+  EXPECT_DOUBLE_EQ(machine.memory().lc_reserved_gb(), 32.0);
+}
+
+TEST(MachineTest, CpuUtilizationCombinesLcAndBe) {
+  Machine machine = TestMachine();
+  machine.SetLcActivity(10.0, 5.0, 1.0);
+  EXPECT_DOUBLE_EQ(machine.CpuUtilization(), 10.0 / 40.0);
+  machine.cores().AllocateBeCores(8);
+  machine.SetBeActivity(8.0, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(machine.CpuUtilization(), 18.0 / 40.0);
+}
+
+TEST(MachineTest, LcActivityClampedToReservation) {
+  Machine machine = TestMachine();
+  machine.SetLcActivity(100.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(machine.lc_busy_cores(), 20.0);
+}
+
+TEST(MachineTest, BeActivityClampedToAllocatedCores) {
+  Machine machine = TestMachine();
+  machine.cores().AllocateBeCores(4);
+  machine.SetBeActivity(10.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(machine.be_busy_cores(), 4.0);
+}
+
+TEST(MachineTest, ActivityFeedsAccountants) {
+  Machine machine = TestMachine();
+  machine.SetLcActivity(5.0, 12.0, 2.0);
+  EXPECT_DOUBLE_EQ(machine.membw().lc_demand_gbs(), 12.0);
+  EXPECT_DOUBLE_EQ(machine.network().lc_traffic_gbps(), 2.0);
+  machine.cores().AllocateBeCores(10);
+  machine.SetBeActivity(6.0, 20.0, 1.0);
+  EXPECT_DOUBLE_EQ(machine.membw().be_demand_gbs(), 20.0);
+  EXPECT_DOUBLE_EQ(machine.MembwUtilization(), 32.0 / machine.spec().dram_bw_gbs);
+}
+
+TEST(MachineTest, PowerSeesActivity) {
+  Machine machine = TestMachine();
+  machine.SetLcActivity(20.0, 0.0, 0.0);
+  EXPECT_GT(machine.power().PackagePowerWatts(), machine.spec().idle_watts);
+}
+
+}  // namespace
+}  // namespace rhythm

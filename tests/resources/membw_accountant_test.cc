@@ -1,0 +1,55 @@
+#include "src/resources/membw_accountant.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(MembwAccountantTest, IdleState) {
+  MembwAccountant bw(60.0);
+  EXPECT_DOUBLE_EQ(bw.utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(bw.saturation(), 0.0);
+  EXPECT_DOUBLE_EQ(bw.be_grant_fraction(), 1.0);
+}
+
+TEST(MembwAccountantTest, UtilizationUnderCapacity) {
+  MembwAccountant bw(60.0);
+  bw.SetLcDemand(12.0);
+  bw.SetBeDemand(18.0);
+  EXPECT_DOUBLE_EQ(bw.total_delivered_gbs(), 30.0);
+  EXPECT_DOUBLE_EQ(bw.utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(bw.saturation(), 0.0);
+  EXPECT_DOUBLE_EQ(bw.be_grant_fraction(), 1.0);
+}
+
+TEST(MembwAccountantTest, DeliveryCappedAtCapacity) {
+  MembwAccountant bw(60.0);
+  bw.SetLcDemand(40.0);
+  bw.SetBeDemand(50.0);
+  EXPECT_DOUBLE_EQ(bw.total_delivered_gbs(), 60.0);
+  EXPECT_DOUBLE_EQ(bw.utilization(), 1.0);
+  EXPECT_NEAR(bw.saturation(), 30.0 / 60.0, 1e-12);
+}
+
+TEST(MembwAccountantTest, GrantFractionUnderOversubscription) {
+  MembwAccountant bw(60.0);
+  bw.SetLcDemand(60.0);
+  bw.SetBeDemand(60.0);
+  EXPECT_DOUBLE_EQ(bw.be_grant_fraction(), 0.5);
+}
+
+TEST(MembwAccountantTest, NegativeDemandClampedToZero) {
+  MembwAccountant bw(60.0);
+  bw.SetLcDemand(-5.0);
+  bw.SetBeDemand(-5.0);
+  EXPECT_DOUBLE_EQ(bw.utilization(), 0.0);
+}
+
+TEST(MembwAccountantTest, GrantFractionWithoutBeDemandIsOne) {
+  MembwAccountant bw(60.0);
+  bw.SetLcDemand(100.0);
+  EXPECT_DOUBLE_EQ(bw.be_grant_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace rhythm

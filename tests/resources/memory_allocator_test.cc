@@ -1,0 +1,44 @@
+#include "src/resources/memory_allocator.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(MemoryAllocatorTest, InitialState) {
+  MemoryAllocator mem(64.0, 32.0);
+  EXPECT_DOUBLE_EQ(mem.free_gb(), 32.0);
+  EXPECT_DOUBLE_EQ(mem.be_gb(), 0.0);
+  EXPECT_DOUBLE_EQ(mem.utilization(), 0.5);
+}
+
+TEST(MemoryAllocatorTest, AllocateAndRelease) {
+  MemoryAllocator mem(64.0, 32.0);
+  EXPECT_DOUBLE_EQ(mem.AllocateBeGb(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(mem.be_gb(), 2.0);
+  EXPECT_DOUBLE_EQ(mem.ReleaseBeGb(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(mem.be_gb(), 1.5);
+}
+
+TEST(MemoryAllocatorTest, AllocationCappedAtFree) {
+  MemoryAllocator mem(64.0, 60.0);
+  EXPECT_DOUBLE_EQ(mem.AllocateBeGb(10.0), 4.0);
+  EXPECT_DOUBLE_EQ(mem.AllocateBeGb(1.0), 0.0);
+}
+
+TEST(MemoryAllocatorTest, ReleaseCappedAtHeld) {
+  MemoryAllocator mem(64.0, 32.0);
+  mem.AllocateBeGb(4.0);
+  EXPECT_DOUBLE_EQ(mem.ReleaseBeGb(100.0), 4.0);
+}
+
+TEST(MemoryAllocatorTest, ReleaseAll) {
+  MemoryAllocator mem(64.0, 32.0);
+  mem.AllocateBeGb(8.0);
+  mem.ReleaseAllBeGb();
+  EXPECT_DOUBLE_EQ(mem.be_gb(), 0.0);
+  EXPECT_DOUBLE_EQ(mem.utilization(), 0.5);
+}
+
+}  // namespace
+}  // namespace rhythm

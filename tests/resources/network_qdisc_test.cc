@@ -1,0 +1,58 @@
+#include "src/resources/network_qdisc.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(NetworkQdiscTest, FullAllocationWhenLcIdle) {
+  NetworkQdisc net(10.0);
+  EXPECT_DOUBLE_EQ(net.be_allocation_gbps(), 10.0);
+}
+
+TEST(NetworkQdiscTest, PaperAllocationFormula) {
+  // B_BE = B_link - 1.2 * B_LC (paper §3.5.2).
+  NetworkQdisc net(10.0);
+  net.SetLcTraffic(5.0);
+  EXPECT_DOUBLE_EQ(net.be_allocation_gbps(), 10.0 - 1.2 * 5.0);
+}
+
+TEST(NetworkQdiscTest, AllocationNeverNegative) {
+  NetworkQdisc net(10.0);
+  net.SetLcTraffic(9.0);
+  EXPECT_DOUBLE_EQ(net.be_allocation_gbps(), 0.0);
+}
+
+TEST(NetworkQdiscTest, BeDeliveryShapedToAllocation) {
+  NetworkQdisc net(10.0);
+  net.SetLcTraffic(5.0);  // allocation = 4.
+  net.SetBeOffered(9.0);
+  EXPECT_DOUBLE_EQ(net.be_delivered_gbps(), 4.0);
+  net.SetBeOffered(2.0);
+  EXPECT_DOUBLE_EQ(net.be_delivered_gbps(), 2.0);
+}
+
+TEST(NetworkQdiscTest, NoContentionBelowHeadroom) {
+  NetworkQdisc net(10.0);
+  net.SetLcTraffic(3.0);
+  net.SetBeOffered(4.0);  // total 7.0 < 0.8 * 10.
+  EXPECT_DOUBLE_EQ(net.lc_contention(), 0.0);
+}
+
+TEST(NetworkQdiscTest, ContentionGrowsNearLineRate) {
+  NetworkQdisc net(10.0);
+  net.SetLcTraffic(6.0);   // allocation = 2.8.
+  net.SetBeOffered(10.0);  // delivered 2.8; total 8.8.
+  EXPECT_GT(net.lc_contention(), 0.0);
+  EXPECT_LE(net.lc_contention(), 1.0);
+}
+
+TEST(NetworkQdiscTest, UtilizationCappedAtOne) {
+  NetworkQdisc net(10.0);
+  net.SetLcTraffic(9.0);
+  net.SetBeOffered(9.0);
+  EXPECT_LE(net.utilization(), 1.0);
+}
+
+}  // namespace
+}  // namespace rhythm

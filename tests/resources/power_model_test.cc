@@ -1,0 +1,75 @@
+#include "src/resources/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+MachineSpec TestSpec() {
+  MachineSpec spec;
+  spec.total_cores = 40;
+  spec.tdp_watts = 115.0;
+  spec.idle_watts = 35.0;
+  spec.base_freq_ghz = 2.0;
+  spec.min_freq_ghz = 1.0;
+  return spec;
+}
+
+TEST(PowerModelTest, IdlePower) {
+  PowerModel power(TestSpec());
+  EXPECT_DOUBLE_EQ(power.PackagePowerWatts(), 35.0);
+}
+
+TEST(PowerModelTest, FullLoadReachesTdp) {
+  PowerModel power(TestSpec());
+  power.SetActivity(40, 1.0, 0, 0.0);
+  EXPECT_NEAR(power.PackagePowerWatts(), 115.0, 1e-9);
+  EXPECT_NEAR(power.TdpFraction(), 1.0, 1e-9);
+}
+
+TEST(PowerModelTest, BeFrequencyReductionCutsPower) {
+  PowerModel power(TestSpec());
+  power.SetActivity(20, 1.0, 20, 1.0);
+  const double before = power.PackagePowerWatts();
+  power.SetBeFrequency(1.0);
+  const double after = power.PackagePowerWatts();
+  EXPECT_LT(after, before);
+  // Dynamic power ~ f^2: halving frequency quarters the BE half's dynamic
+  // term.
+  const double be_dynamic_before = (before - 35.0) / 2.0;
+  EXPECT_NEAR(after, 35.0 + be_dynamic_before + be_dynamic_before / 4.0, 1e-9);
+}
+
+TEST(PowerModelTest, FrequencyClampedToRange) {
+  PowerModel power(TestSpec());
+  power.SetBeFrequency(0.2);
+  EXPECT_DOUBLE_EQ(power.be_frequency_ghz(), 1.0);
+  power.SetBeFrequency(5.0);
+  EXPECT_DOUBLE_EQ(power.be_frequency_ghz(), 2.0);
+  power.SetLcFrequency(0.0);
+  EXPECT_DOUBLE_EQ(power.lc_frequency_ghz(), 1.0);
+}
+
+TEST(PowerModelTest, SpeedFactors) {
+  PowerModel power(TestSpec());
+  EXPECT_DOUBLE_EQ(power.LcSpeedFactor(), 1.0);
+  power.SetLcFrequency(1.5);
+  EXPECT_DOUBLE_EQ(power.LcSpeedFactor(), 0.75);
+  power.SetBeFrequency(1.0);
+  EXPECT_DOUBLE_EQ(power.BeSpeedFactor(), 0.5);
+}
+
+TEST(PowerModelTest, IntensityScalesPower) {
+  PowerModel power(TestSpec());
+  power.SetActivity(40, 0.5, 0, 0.0);
+  EXPECT_NEAR(power.PackagePowerWatts(), 35.0 + 0.5 * 80.0, 1e-9);
+}
+
+TEST(PowerModelTest, ActivityClamped) {
+  PowerModel power(TestSpec());
+  power.SetActivity(-5, 2.0, -1, -3.0);
+  EXPECT_DOUBLE_EQ(power.PackagePowerWatts(), 35.0);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,47 @@
+#include "src/scheduler/be_backlog.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(BeBacklogTest, InfiniteModeAlwaysHasWork) {
+  BeBacklog backlog(true);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(backlog.TryTakeJob());
+  }
+  EXPECT_EQ(backlog.taken(), 100u);
+  EXPECT_GT(backlog.pending(), 0u);
+}
+
+TEST(BeBacklogTest, FiniteModeDrains) {
+  BeBacklog backlog(false);
+  backlog.SubmitJobs(3);
+  EXPECT_EQ(backlog.pending(), 3u);
+  EXPECT_TRUE(backlog.TryTakeJob());
+  EXPECT_TRUE(backlog.TryTakeJob());
+  EXPECT_TRUE(backlog.TryTakeJob());
+  EXPECT_FALSE(backlog.TryTakeJob());
+  EXPECT_EQ(backlog.pending(), 0u);
+  EXPECT_EQ(backlog.taken(), 3u);
+}
+
+TEST(BeBacklogTest, RefillAfterDrain) {
+  BeBacklog backlog(false);
+  backlog.SubmitJobs(1);
+  EXPECT_TRUE(backlog.TryTakeJob());
+  EXPECT_FALSE(backlog.TryTakeJob());
+  backlog.SubmitJobs(2);
+  EXPECT_TRUE(backlog.TryTakeJob());
+  EXPECT_EQ(backlog.pending(), 1u);
+}
+
+TEST(BeBacklogTest, ModeSwitch) {
+  BeBacklog backlog(true);
+  backlog.set_infinite(false);
+  EXPECT_FALSE(backlog.TryTakeJob());
+  EXPECT_EQ(backlog.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,174 @@
+#include "src/scheduler/be_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace rhythm {
+namespace {
+
+struct Rig {
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<BeRuntime> be;
+  std::unique_ptr<MachineAgent> agent;
+};
+
+Rig MakeRig() {
+  Rig rig;
+  MachineSpec spec;
+  LcReservation reservation;
+  rig.machine = std::make_unique<Machine>("m", spec, reservation);
+  rig.be = std::make_unique<BeRuntime>(rig.machine.get(), BeJobKind::kCpuStress);
+  rig.agent = std::make_unique<MachineAgent>(rig.machine.get(), rig.be.get(),
+                                             ServpodThresholds{0.85, 0.10}, 200.0);
+  return rig;
+}
+
+TEST(BeSchedulerTest, DispatchesToAcceptingMachine) {
+  BeBacklog backlog(false);
+  backlog.SubmitJobs(2);
+  Rig rig = MakeRig();
+  rig.be->SetBacklog(&backlog);
+  rig.be->set_self_launch_allowed(false);
+  BeScheduler scheduler(&backlog);
+  scheduler.AddMachine({rig.machine.get(), rig.be.get(), rig.agent.get()});
+
+  // Ample slack: the agent's last decision allows growth.
+  rig.agent->Tick(0.3, 100.0);
+  EXPECT_EQ(scheduler.DispatchRound(), 1);
+  EXPECT_EQ(rig.be->instance_count(), 1);
+  EXPECT_EQ(backlog.pending(), 1u);
+  EXPECT_EQ(scheduler.stats().dispatched, 1u);
+}
+
+TEST(BeSchedulerTest, SkipsDecliningMachine) {
+  BeBacklog backlog(false);
+  backlog.SubmitJobs(5);
+  Rig rig = MakeRig();
+  rig.be->SetBacklog(&backlog);
+  rig.be->set_self_launch_allowed(false);
+  BeScheduler scheduler(&backlog);
+  scheduler.AddMachine({rig.machine.get(), rig.be.get(), rig.agent.get()});
+
+  // Load above the limit: SuspendBE decision -> machine declines new work.
+  rig.agent->Tick(0.95, 100.0);
+  EXPECT_EQ(scheduler.DispatchRound(), 0);
+  EXPECT_EQ(rig.be->instance_count(), 0);
+  EXPECT_EQ(backlog.pending(), 5u);
+  EXPECT_GT(scheduler.stats().skipped_declined, 0u);
+}
+
+TEST(BeSchedulerTest, UncontrolledMachineAlwaysAccepts) {
+  BeBacklog backlog(false);
+  backlog.SubmitJobs(1);
+  Rig rig = MakeRig();
+  rig.be->SetBacklog(&backlog);
+  BeScheduler scheduler(&backlog);
+  scheduler.AddMachine({rig.machine.get(), rig.be.get(), /*agent=*/nullptr});
+  EXPECT_EQ(scheduler.DispatchRound(), 1);
+}
+
+TEST(BeSchedulerTest, EmptyQueueDispatchesNothing) {
+  BeBacklog backlog(false);
+  Rig rig = MakeRig();
+  rig.be->SetBacklog(&backlog);
+  BeScheduler scheduler(&backlog);
+  scheduler.AddMachine({rig.machine.get(), rig.be.get(), nullptr});
+  EXPECT_EQ(scheduler.DispatchRound(), 0);
+}
+
+TEST(BeSchedulerTest, RoundRobinAcrossMachines) {
+  BeBacklog backlog(false);
+  backlog.SubmitJobs(4);
+  Rig a = MakeRig();
+  Rig b = MakeRig();
+  a.be->SetBacklog(&backlog);
+  b.be->SetBacklog(&backlog);
+  BeScheduler scheduler(&backlog);
+  scheduler.AddMachine({a.machine.get(), a.be.get(), nullptr});
+  scheduler.AddMachine({b.machine.get(), b.be.get(), nullptr});
+  EXPECT_EQ(scheduler.DispatchRound(), 2);  // one per machine per round.
+  EXPECT_EQ(a.be->instance_count(), 1);
+  EXPECT_EQ(b.be->instance_count(), 1);
+  EXPECT_EQ(scheduler.DispatchRound(), 2);
+  EXPECT_EQ(backlog.pending(), 0u);
+}
+
+TEST(BeSchedulerTest, FullMachineRejected) {
+  BeBacklog backlog(false);
+  backlog.SubmitJobs(3);
+  MachineSpec spec;
+  LcReservation reservation;
+  reservation.cores = spec.total_cores;  // no free cores at all.
+  Machine machine("full", spec, reservation);
+  BeRuntime be(&machine, BeJobKind::kCpuStress);
+  be.SetBacklog(&backlog);
+  BeScheduler scheduler(&backlog);
+  scheduler.AddMachine({&machine, &be, nullptr});
+  EXPECT_EQ(scheduler.DispatchRound(), 0);
+  EXPECT_GT(scheduler.stats().rejected_full, 0u);
+}
+
+TEST(BeRuntimeBacklogTest, SelfLaunchBlockedWhenDisabled) {
+  MachineSpec spec;
+  LcReservation reservation;
+  Machine machine("m", spec, reservation);
+  BeRuntime be(&machine, BeJobKind::kCpuStress);
+  be.set_self_launch_allowed(false);
+  EXPECT_FALSE(be.LaunchInstance());
+  EXPECT_TRUE(be.AdmitInstance());
+  EXPECT_EQ(be.instance_count(), 1);
+}
+
+TEST(BeRuntimeBacklogTest, InstanceIdlesWhenQueueDrains) {
+  MachineSpec spec;
+  LcReservation reservation;
+  Machine machine("m", spec, reservation);
+  BeBacklog backlog(false);
+  backlog.SubmitJobs(1);
+  BeRuntime be(&machine, BeJobKind::kIperf);  // 60 s solo duration.
+  be.SetBacklog(&backlog);
+  ASSERT_TRUE(be.AdmitInstance());
+  EXPECT_FALSE(be.instances()[0].idle);  // took the only job.
+  // Run long enough to complete the job; queue is now empty.
+  be.Step(400.0);
+  EXPECT_EQ(be.completions(), 1u);
+  EXPECT_TRUE(be.instances()[0].idle);
+  const double progress_after_first = be.progress_units();
+  be.Step(100.0);
+  EXPECT_DOUBLE_EQ(be.progress_units(), progress_after_first);  // parked.
+  // New work arrives: the instance resumes on the next step.
+  backlog.SubmitJobs(1);
+  be.Step(10.0);
+  EXPECT_FALSE(be.instances()[0].idle);
+  EXPECT_GT(be.progress_units(), progress_after_first);
+}
+
+TEST(BeRuntimeBacklogTest, IdleInstancesExertNoPressure) {
+  MachineSpec spec;
+  LcReservation reservation;
+  Machine machine("m", spec, reservation);
+  BeBacklog backlog(false);  // empty queue.
+  BeRuntime be(&machine, BeJobKind::kStreamDramBig);
+  be.SetBacklog(&backlog);
+  ASSERT_TRUE(be.AdmitInstance());
+  EXPECT_TRUE(be.instances()[0].idle);
+  EXPECT_EQ(be.ExertedPressure().dram, 0.0);
+  EXPECT_EQ(be.MembwDemand(), 0.0);
+  EXPECT_EQ(be.running_count(), 0);
+}
+
+TEST(BeRuntimeBacklogTest, KilledInstanceForfeitsProgress) {
+  MachineSpec spec;
+  LcReservation reservation;
+  Machine machine("m", spec, reservation);
+  BeRuntime be(&machine, BeJobKind::kCpuStress);
+  ASSERT_TRUE(be.LaunchInstance());
+  be.Step(30.0);  // partial progress, no completion (120 s solo).
+  EXPECT_GT(be.progress_units(), 0.0);
+  be.StopAll();
+  EXPECT_NEAR(be.progress_units(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rhythm

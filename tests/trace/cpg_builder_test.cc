@@ -1,0 +1,117 @@
+#include "src/trace/cpg_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+ContextId Ctx(int pod, uint32_t tid = 0) {
+  return ContextId{.host_ip = 0x0a000001u + static_cast<uint32_t>(pod),
+                   .program = 100u + static_cast<uint32_t>(pod),
+                   .process_id = 1000u + static_cast<uint32_t>(pod),
+                   .thread_id = tid};
+}
+
+KernelEvent Event(EventType type, double t, int pod, const MessageId& msg, uint32_t tid = 0) {
+  return KernelEvent{.type = type, .timestamp = t, .context = Ctx(pod, tid), .message = msg};
+}
+
+TracerConfig Config(int pods) { return TracerConfig{.program_base = 100, .num_pods = pods}; }
+
+// A two-pod request like Figure 4's structure: client -> pod0 -> pod1.
+std::vector<KernelEvent> TwoPodRequest(double start, uint16_t client_port, uint32_t tid) {
+  const MessageId in{.sender_ip = 0x0a0000ffu, .sender_port = client_port,
+                     .receiver_ip = 0x0a000001u, .receiver_port = 8000, .message_size = 64};
+  const MessageId hop{.sender_ip = 0x0a000001u,
+                      .sender_port = static_cast<uint16_t>(client_port + 1000),
+                      .receiver_ip = 0x0a000002u, .receiver_port = 8001, .message_size = 32};
+  const MessageId hop_reply{.sender_ip = 0x0a000002u, .sender_port = 8001,
+                            .receiver_ip = 0x0a000001u,
+                            .receiver_port = static_cast<uint16_t>(client_port + 1000),
+                            .message_size = 33};
+  const MessageId reply{.sender_ip = 0x0a000001u, .sender_port = 8000,
+                        .receiver_ip = 0x0a0000ffu, .receiver_port = client_port,
+                        .message_size = 65};
+  return {
+      Event(EventType::kAccept, start + 0.00, 0, in, tid),
+      Event(EventType::kSend, start + 0.10, 0, hop, tid),
+      Event(EventType::kRecv, start + 0.10, 1, hop, tid),
+      Event(EventType::kSend, start + 0.30, 1, hop_reply, tid),
+      Event(EventType::kRecv, start + 0.30, 0, hop_reply, tid),
+      Event(EventType::kClose, start + 0.40, 0, reply, tid),
+  };
+}
+
+TEST(CpgBuilderTest, SingleRequestFullyConnected) {
+  const auto events = TwoPodRequest(0.0, 100, 1);
+  const CpgResult result = BuildCpgs(events, Config(2));
+  ASSERT_EQ(result.requests.size(), 1u);
+  const Cpg& cpg = result.requests[0];
+  // Every event is reachable from the ACCEPT.
+  EXPECT_EQ(cpg.event_indices.size(), 6u);
+  EXPECT_DOUBLE_EQ(cpg.start_time, 0.0);
+  EXPECT_DOUBLE_EQ(cpg.end_time, 0.4);
+  EXPECT_DOUBLE_EQ(cpg.LatencySeconds(), 0.4);
+}
+
+TEST(CpgBuilderTest, EdgeKindsPresent) {
+  const auto events = TwoPodRequest(0.0, 100, 1);
+  const CpgResult result = BuildCpgs(events, Config(2));
+  int context_edges = 0;
+  int message_edges = 0;
+  for (const CpgEdge& edge : result.edges) {
+    (edge.kind == CpgEdgeKind::kContext ? context_edges : message_edges) += 1;
+  }
+  // Context: ACCEPT->SEND(hop) at pod0, RECV(hop)->SEND(reply) at pod1,
+  // RECV(hop_reply)->CLOSE at pod0. Message: hop SEND->RECV, reply
+  // SEND->RECV.
+  EXPECT_EQ(context_edges, 3);
+  EXPECT_EQ(message_edges, 2);
+}
+
+TEST(CpgBuilderTest, TwoRequestsSeparateGraphs) {
+  auto events = TwoPodRequest(0.0, 100, 1);
+  const auto second = TwoPodRequest(10.0, 200, 2);
+  events.insert(events.end(), second.begin(), second.end());
+  const CpgResult result = BuildCpgs(events, Config(2));
+  ASSERT_EQ(result.requests.size(), 2u);
+  EXPECT_EQ(result.requests[0].event_indices.size(), 6u);
+  EXPECT_EQ(result.requests[1].event_indices.size(), 6u);
+  EXPECT_DOUBLE_EQ(result.requests[1].start_time, 10.0);
+}
+
+TEST(CpgBuilderTest, InterleavedRequestsOnDistinctThreadsStaySeparate) {
+  auto events = TwoPodRequest(0.0, 100, 1);
+  const auto second = TwoPodRequest(0.05, 200, 2);  // overlaps in time.
+  events.insert(events.end(), second.begin(), second.end());
+  const CpgResult result = BuildCpgs(events, Config(2));
+  ASSERT_EQ(result.requests.size(), 2u);
+  EXPECT_EQ(result.requests[0].event_indices.size(), 6u);
+  EXPECT_EQ(result.requests[1].event_indices.size(), 6u);
+}
+
+TEST(CpgBuilderTest, NoiseEventsDropped) {
+  auto events = TwoPodRequest(0.0, 100, 1);
+  KernelEvent noise = events[1];
+  noise.context.program = 999;
+  events.push_back(noise);
+  const CpgResult result = BuildCpgs(events, Config(2));
+  EXPECT_EQ(result.noise_filtered, 1u);
+  EXPECT_EQ(result.events.size(), 6u);
+}
+
+TEST(CpgBuilderTest, UnmatchedSendReported) {
+  std::vector<KernelEvent> events = TwoPodRequest(0.0, 100, 1);
+  events.erase(events.begin() + 2);  // drop pod1's RECV of the hop.
+  const CpgResult result = BuildCpgs(events, Config(2));
+  EXPECT_GE(result.unmatched_sends, 1u);
+}
+
+TEST(CpgBuilderTest, EmptyInput) {
+  const CpgResult result = BuildCpgs({}, Config(2));
+  EXPECT_TRUE(result.requests.empty());
+  EXPECT_TRUE(result.events.empty());
+}
+
+}  // namespace
+}  // namespace rhythm

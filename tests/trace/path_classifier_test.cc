@@ -1,0 +1,71 @@
+#include "src/trace/path_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+#include "src/trace/event_log.h"
+#include "src/workload/lc_service.h"
+
+namespace rhythm {
+namespace {
+
+CpgResult CaptureAndBuild(const AppSpec& app, double seconds, const TracerConfig& tracer) {
+  Simulator sim;
+  EventLog log;
+  LcService::Config config;
+  config.seed = 91;
+  config.sink = &log;
+  LcService service(&sim, app, config);
+  ConstantLoad profile(0.2);
+  service.SetLoadProfile(&profile);
+  service.Start();
+  sim.RunUntil(seconds);
+  return BuildCpgs(log.events(), tracer);
+}
+
+TEST(PathClassifierTest, SinglePathAppHasOneClass) {
+  const AppSpec app = MakeApp(LcAppKind::kSolr);
+  const TracerConfig tracer{.program_base = 100, .num_pods = 2};
+  const CpgResult result = CaptureAndBuild(app, 5.0, tracer);
+  const auto classes = ClassifyPaths(result, tracer);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0].pods, (std::vector<int>{0, 1}));
+  EXPECT_EQ(classes[0].requests, result.requests.size());
+  EXPECT_GT(classes[0].mean_latency_s, 0.0);
+  EXPECT_GE(classes[0].max_latency_s, classes[0].mean_latency_s);
+}
+
+TEST(PathClassifierTest, CacheMixYieldsTwoClassesWithExpectedShares) {
+  const AppSpec app = MakeEcommerceWithCacheMix(0.3);
+  const TracerConfig tracer{.program_base = 100, .num_pods = 4};
+  const CpgResult result = CaptureAndBuild(app, 20.0, tracer);
+  const auto classes = ClassifyPaths(result, tracer);
+  ASSERT_EQ(classes.size(), 2u);
+  // Most frequent class first: the full chain (70%).
+  EXPECT_EQ(classes[0].pods, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(classes[1].pods, (std::vector<int>{0, 1}));
+  const double hit_share =
+      static_cast<double>(classes[1].requests) /
+      static_cast<double>(classes[0].requests + classes[1].requests);
+  EXPECT_NEAR(hit_share, 0.3, 0.04);
+  // Cache hits are much faster than full-chain requests.
+  EXPECT_LT(classes[1].mean_latency_s, 0.7 * classes[0].mean_latency_s);
+}
+
+TEST(PathClassifierTest, EmptyResult) {
+  const TracerConfig tracer{.program_base = 100, .num_pods = 2};
+  const auto classes = ClassifyPaths(CpgResult{}, tracer);
+  EXPECT_TRUE(classes.empty());
+}
+
+TEST(PathClassifierTest, MixVisitCountsWeighted) {
+  const AppSpec app = MakeEcommerceWithCacheMix(0.5);
+  const auto visits = app.VisitCounts();
+  EXPECT_DOUBLE_EQ(visits[0], 1.0);   // HAProxy on every path.
+  EXPECT_DOUBLE_EQ(visits[1], 1.0);   // Tomcat on every path.
+  EXPECT_DOUBLE_EQ(visits[2], 0.5);   // Amoeba only on misses.
+  EXPECT_DOUBLE_EQ(visits[3], 0.5);   // MySQL only on misses.
+}
+
+}  // namespace
+}  // namespace rhythm

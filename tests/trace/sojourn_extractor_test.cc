@@ -1,0 +1,159 @@
+#include "src/trace/sojourn_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rhythm {
+namespace {
+
+ContextId Ctx(int pod, uint32_t tid = 0) {
+  return ContextId{.host_ip = 0x0a000001u + static_cast<uint32_t>(pod),
+                   .program = 100u + static_cast<uint32_t>(pod),
+                   .process_id = 1000u + static_cast<uint32_t>(pod),
+                   .thread_id = tid};
+}
+
+MessageId ServerMsg(int pod, uint16_t sport = 1234) {
+  return MessageId{.sender_ip = 0x0a0000ffu,
+                   .sender_port = sport,
+                   .receiver_ip = 0x0a000001u + static_cast<uint32_t>(pod),
+                   .receiver_port = static_cast<uint16_t>(8000 + pod),
+                   .message_size = 100};
+}
+
+KernelEvent Event(EventType type, double t, int pod, const MessageId& msg, uint32_t tid = 0) {
+  return KernelEvent{.type = type, .timestamp = t, .context = Ctx(pod, tid), .message = msg};
+}
+
+TracerConfig Config(int pods) { return TracerConfig{.program_base = 100, .num_pods = pods}; }
+
+TEST(PodOfEventTest, MapsProgramsAndFiltersNoise) {
+  const TracerConfig config = Config(3);
+  KernelEvent event = Event(EventType::kRecv, 0.0, 1, ServerMsg(1));
+  EXPECT_EQ(PodOfEvent(event, config), 1);
+  event.context.program = 999;
+  EXPECT_EQ(PodOfEvent(event, config), -1);
+  event.context.program = 99;
+  EXPECT_EQ(PodOfEvent(event, config), -1);
+  event.context.program = 103;  // beyond num_pods.
+  EXPECT_EQ(PodOfEvent(event, config), -1);
+}
+
+TEST(ExtractMeanSojournsTest, SingleBlockingVisit) {
+  // Pod 0: ACCEPT at 1.0, CLOSE at 1.5 -> sojourn 0.5 s.
+  std::vector<KernelEvent> events = {
+      Event(EventType::kAccept, 1.0, 0, ServerMsg(0)),
+      Event(EventType::kClose, 1.5, 0, ServerMsg(0)),
+  };
+  const SojournSummary summary = ExtractMeanSojourns(events, Config(1));
+  EXPECT_EQ(summary.requests, 1u);
+  EXPECT_EQ(summary.visits[0], 1u);
+  EXPECT_NEAR(summary.mean_sojourn_s[0], 0.5, 1e-12);
+}
+
+TEST(ExtractMeanSojournsTest, MiddlePodExcludesDownstreamTime) {
+  // Pod 0 receives at 0, sends to pod 1 at 0.1 (0.1 local), pod 1 processes
+  // 0.3, pod 0 receives reply at 0.4 and responds at 0.45 (0.05 local).
+  const MessageId hop{.sender_ip = 1, .sender_port = 50, .receiver_ip = 2,
+                      .receiver_port = 8001, .message_size = 10};
+  // The reply to pod 0 lands on its *ephemeral* port (it is a downstream
+  // response, not a new visit on the server port).
+  const MessageId hop_reply{.sender_ip = 2, .sender_port = 8001, .receiver_ip = 1,
+                            .receiver_port = 50, .message_size = 11};
+  std::vector<KernelEvent> events = {
+      Event(EventType::kAccept, 0.0, 0, ServerMsg(0)),
+      Event(EventType::kSend, 0.1, 0, hop),
+      Event(EventType::kRecv, 0.1, 1, hop),
+      Event(EventType::kSend, 0.4, 1, hop_reply),
+      Event(EventType::kRecv, 0.4, 0, hop_reply),
+      Event(EventType::kClose, 0.45, 0, ServerMsg(0)),
+  };
+  const SojournSummary summary = ExtractMeanSojourns(events, Config(2));
+  EXPECT_NEAR(summary.mean_sojourn_s[0], 0.15, 1e-12);  // 0.1 + 0.05, not 0.45.
+  // Pod 1's inbound came in on the hop message (ephemeral receiver port),
+  // not its server port... the hop targets port 8001 == pod 1's server port.
+  EXPECT_EQ(summary.visits[1], 1u);
+  EXPECT_NEAR(summary.mean_sojourn_s[1], 0.3, 1e-12);
+}
+
+TEST(ExtractMeanSojournsTest, NoiseFiltered) {
+  std::vector<KernelEvent> events = {
+      Event(EventType::kAccept, 1.0, 0, ServerMsg(0)),
+      Event(EventType::kClose, 2.0, 0, ServerMsg(0)),
+  };
+  KernelEvent noise = Event(EventType::kSend, 1.5, 0, ServerMsg(0));
+  noise.context.program = 999;
+  events.push_back(noise);
+  const SojournSummary summary = ExtractMeanSojourns(events, Config(1));
+  EXPECT_EQ(summary.noise_filtered, 1u);
+  EXPECT_NEAR(summary.mean_sojourn_s[0], 1.0, 1e-12);
+}
+
+// The paper's §3.3 identity: with nonblocking threads the per-request
+// pairing can mismatch, but the mean over all requests is unaffected because
+// sum(SEND) - sum(RECV) is pairing-invariant.
+TEST(ExtractMeanSojournsTest, NonblockingMismatchImmunity) {
+  // Two requests interleave on one thread: A in at 0, B in at 0.1;
+  // B's reply out at 0.3, A's out at 0.6 (out-of-order completion).
+  std::vector<KernelEvent> events = {
+      Event(EventType::kAccept, 0.0, 0, ServerMsg(0, 10), /*tid=*/5),
+      Event(EventType::kAccept, 0.1, 0, ServerMsg(0, 11), /*tid=*/5),
+      Event(EventType::kClose, 0.3, 0, ServerMsg(0, 11), /*tid=*/5),
+      Event(EventType::kClose, 0.6, 0, ServerMsg(0, 10), /*tid=*/5),
+  };
+  const SojournSummary summary = ExtractMeanSojourns(events, Config(1));
+  // True sojourns: A = 0.6, B = 0.2; mean = 0.4 regardless of pairing.
+  EXPECT_EQ(summary.visits[0], 2u);
+  EXPECT_NEAR(summary.mean_sojourn_s[0], 0.4, 1e-12);
+}
+
+TEST(ExtractPairedSojournsTest, BlockingModeExact) {
+  std::vector<KernelEvent> events = {
+      Event(EventType::kAccept, 0.0, 0, ServerMsg(0, 10), /*tid=*/1),
+      Event(EventType::kClose, 0.5, 0, ServerMsg(0, 10), /*tid=*/1),
+      Event(EventType::kAccept, 1.0, 0, ServerMsg(0, 11), /*tid=*/2),
+      Event(EventType::kClose, 1.2, 0, ServerMsg(0, 11), /*tid=*/2),
+  };
+  const auto sojourns = ExtractPairedSojourns(events, Config(1));
+  ASSERT_EQ(sojourns[0].size(), 2u);
+  EXPECT_NEAR(sojourns[0][0], 0.5, 1e-12);
+  EXPECT_NEAR(sojourns[0][1], 0.2, 1e-12);
+}
+
+TEST(ExtractPairedSojournsTest, NonblockingMismatchPreservesSumAndMean) {
+  // Same interleaving as above, single context: order-based pairing yields
+  // A->0.3 and B->0.5 (both wrong individually) but the sum 0.8 is right.
+  std::vector<KernelEvent> events = {
+      Event(EventType::kAccept, 0.0, 0, ServerMsg(0, 10), /*tid=*/5),
+      Event(EventType::kAccept, 0.1, 0, ServerMsg(0, 11), /*tid=*/5),
+      Event(EventType::kClose, 0.3, 0, ServerMsg(0, 11), /*tid=*/5),
+      Event(EventType::kClose, 0.6, 0, ServerMsg(0, 10), /*tid=*/5),
+  };
+  const auto sojourns = ExtractPairedSojourns(events, Config(1));
+  ASSERT_EQ(sojourns[0].size(), 2u);
+  EXPECT_NEAR(sojourns[0][0], 0.3, 1e-12);  // mismatched pairing...
+  EXPECT_NEAR(sojourns[0][1], 0.5, 1e-12);
+  EXPECT_NEAR(sojourns[0][0] + sojourns[0][1], 0.8, 1e-12);  // ...sum exact.
+}
+
+TEST(ExtractPairedSojournsTest, UnmatchedOutboundIgnored) {
+  std::vector<KernelEvent> events = {
+      Event(EventType::kSend, 0.5, 0, ServerMsg(0)),  // truncated capture.
+      Event(EventType::kAccept, 1.0, 0, ServerMsg(0)),
+      Event(EventType::kClose, 1.4, 0, ServerMsg(0)),
+  };
+  const auto sojourns = ExtractPairedSojourns(events, Config(1));
+  ASSERT_EQ(sojourns[0].size(), 1u);
+  EXPECT_NEAR(sojourns[0][0], 0.4, 1e-12);
+}
+
+TEST(ExtractMeanSojournsTest, EmptyInput) {
+  const SojournSummary summary = ExtractMeanSojourns({}, Config(2));
+  EXPECT_EQ(summary.requests, 0u);
+  EXPECT_EQ(summary.mean_sojourn_s[0], 0.0);
+  EXPECT_EQ(summary.mean_sojourn_s[1], 0.0);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,113 @@
+#include "src/trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/trace/event_log.h"
+#include "src/trace/sojourn_extractor.h"
+#include "src/workload/lc_service.h"
+
+namespace rhythm {
+namespace {
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(TraceIoTest, RoundTripPreservesEvents) {
+  std::vector<KernelEvent> events = {
+      KernelEvent{.type = EventType::kAccept,
+                  .timestamp = 1.25,
+                  .context = {0x0a000001u, 100, 1000, 7},
+                  .message = {0x0a0000ffu, 12345, 0x0a000001u, 8000, 512}},
+      KernelEvent{.type = EventType::kClose,
+                  .timestamp = 1.50,
+                  .context = {0x0a000001u, 100, 1000, 7},
+                  .message = {0x0a000001u, 8000, 0x0a0000ffu, 12345, 513}},
+  };
+  const std::string path = TempPath("rhythm_trace_roundtrip.csv");
+  ASSERT_TRUE(WriteTraceFile(path, events));
+  std::vector<KernelEvent> loaded;
+  ASSERT_TRUE(ReadTraceFile(path, &loaded));
+  ASSERT_EQ(loaded.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(loaded[i].type, events[i].type);
+    EXPECT_DOUBLE_EQ(loaded[i].timestamp, events[i].timestamp);
+    EXPECT_EQ(loaded[i].context, events[i].context);
+    EXPECT_EQ(loaded[i].message, events[i].message);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  const std::string path = TempPath("rhythm_trace_empty.csv");
+  ASSERT_TRUE(WriteTraceFile(path, {}));
+  std::vector<KernelEvent> loaded;
+  ASSERT_TRUE(ReadTraceFile(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileFails) {
+  std::vector<KernelEvent> loaded;
+  EXPECT_FALSE(ReadTraceFile(TempPath("does_not_exist.csv"), &loaded));
+}
+
+TEST(TraceIoTest, BadHeaderRejected) {
+  const std::string path = TempPath("rhythm_trace_badheader.csv");
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fprintf(file, "not-a-trace\n0,1.0,1,2,3,4,5,6,7,8,9\n");
+  std::fclose(file);
+  std::vector<KernelEvent> loaded;
+  EXPECT_FALSE(ReadTraceFile(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MalformedRecordRejected) {
+  const std::string path = TempPath("rhythm_trace_malformed.csv");
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fprintf(file, "rhythm-trace v1\n0,1.0,oops\n");
+  std::fclose(file);
+  std::vector<KernelEvent> loaded;
+  EXPECT_FALSE(ReadTraceFile(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, CapturedTraceAnalyzesIdenticallyAfterReload) {
+  // Capture a real service trace, serialize it, reload it, and verify the
+  // sojourn analysis is unchanged — the archival use-case end to end.
+  Simulator sim;
+  EventLog log;
+  LcService::Config config;
+  config.seed = 77;
+  config.sink = &log;
+  LcService service(&sim, MakeApp(LcAppKind::kSolr), config);
+  ConstantLoad profile(0.3);
+  service.SetLoadProfile(&profile);
+  service.Start();
+  sim.RunUntil(5.0);
+
+  const std::string path = TempPath("rhythm_trace_live.csv");
+  ASSERT_TRUE(WriteTraceFile(path, log.events()));
+  std::vector<KernelEvent> loaded;
+  ASSERT_TRUE(ReadTraceFile(path, &loaded));
+  ASSERT_EQ(loaded.size(), log.size());
+
+  const TracerConfig tracer{.program_base = 100, .num_pods = 2};
+  const SojournSummary original = ExtractMeanSojourns(log.events(), tracer);
+  const SojournSummary reloaded = ExtractMeanSojourns(loaded, tracer);
+  EXPECT_EQ(original.requests, reloaded.requests);
+  for (int pod = 0; pod < 2; ++pod) {
+    EXPECT_NEAR(original.mean_sojourn_s[pod], reloaded.mean_sojourn_s[pod], 1e-8);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rhythm

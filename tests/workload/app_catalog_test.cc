@@ -1,0 +1,111 @@
+#include "src/workload/app_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(AppCatalogTest, SixApplications) {
+  EXPECT_EQ(AllLcAppKinds().size(), 6u);
+}
+
+class AppCatalogProperty : public ::testing::TestWithParam<LcAppKind> {};
+
+TEST_P(AppCatalogProperty, SaneSpec) {
+  const AppSpec app = MakeApp(GetParam());
+  EXPECT_FALSE(app.name.empty());
+  EXPECT_GT(app.maxload_qps, 0.0);
+  EXPECT_GT(app.sla_ms, 0.0);
+  EXPECT_GT(app.containers, 0);
+  EXPECT_GT(app.sim_qps_cap, 0.0);
+  EXPECT_LE(app.sim_qps_cap, app.maxload_qps);
+  EXPECT_GE(app.pod_count(), 2);
+  for (const ComponentSpec& comp : app.components) {
+    EXPECT_FALSE(comp.name.empty());
+    EXPECT_GT(comp.base_service_ms, 0.0);
+    EXPECT_GT(comp.sigma, 0.0);
+    EXPECT_GT(comp.workers, 0);
+    EXPECT_GT(comp.peak_busy_cores, 0.0);
+  }
+}
+
+TEST_P(AppCatalogProperty, EveryPodVisited) {
+  const AppSpec app = MakeApp(GetParam());
+  const std::vector<double> visits = app.VisitCounts();
+  for (int pod = 0; pod < app.pod_count(); ++pod) {
+    EXPECT_GE(visits[pod], 1.0) << app.components[pod].name;
+  }
+}
+
+TEST_P(AppCatalogProperty, BottleneckNotOverloadedSolo) {
+  // Worker sizing: at MaxLoad with no interference every pod must stay
+  // below saturation, else the solo SLA would be unbounded.
+  const AppSpec app = MakeApp(GetParam());
+  const std::vector<double> visits = app.VisitCounts();
+  for (int pod = 0; pod < app.pod_count(); ++pod) {
+    const ComponentModel model(app.components[pod]);
+    const double rho = model.Utilization(app.maxload_qps * visits[pod], 1.0, 1.0);
+    EXPECT_LT(rho, 1.0) << app.components[pod].name;
+    EXPECT_GT(rho, 0.05) << app.components[pod].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppCatalogProperty, ::testing::ValuesIn(AllLcAppKinds()));
+
+TEST(AppCatalogTest, Table1Values) {
+  const AppSpec ecom = MakeApp(LcAppKind::kEcommerce);
+  EXPECT_EQ(ecom.maxload_qps, 1300.0);
+  EXPECT_EQ(ecom.sla_ms, 250.0);
+  EXPECT_EQ(ecom.pod_count(), 4);
+  const AppSpec redis = MakeApp(LcAppKind::kRedis);
+  EXPECT_EQ(redis.maxload_qps, 86000.0);
+  EXPECT_EQ(redis.sla_ms, 1.15);
+  EXPECT_EQ(redis.pod_count(), 2);
+  const AppSpec snms = MakeApp(LcAppKind::kSnms);
+  EXPECT_EQ(snms.maxload_qps, 1500.0);
+  EXPECT_TRUE(snms.builtin_tracing);  // jaeger.
+  EXPECT_EQ(snms.pod_count(), 3);
+}
+
+TEST(AppCatalogTest, PodIndexLookup) {
+  const AppSpec app = MakeApp(LcAppKind::kEcommerce);
+  EXPECT_EQ(app.PodIndex("MySQL"), 3);
+  EXPECT_EQ(app.PodIndex("Haproxy"), 0);
+  EXPECT_EQ(app.PodIndex("missing"), -1);
+}
+
+TEST(AppCatalogTest, RedisFanOutStructure) {
+  const AppSpec app = MakeApp(LcAppKind::kRedis);
+  EXPECT_TRUE(app.call_root.parallel_children);
+  EXPECT_EQ(app.call_root.children.size(), 2u);
+  // Both shards hit the Slave pod: two visits per request.
+  EXPECT_DOUBLE_EQ(app.VisitCounts()[1], 2.0);
+}
+
+TEST(AppCatalogTest, SensitivityOrderingMatchesPaper) {
+  // §2: MySQL is more DRAM/LLC-sensitive than Tomcat; Tomcat more
+  // frequency-sensitive; Master more sensitive than Slave everywhere.
+  const AppSpec ecom = MakeApp(LcAppKind::kEcommerce);
+  const ComponentSpec& tomcat = ecom.components[1];
+  const ComponentSpec& mysql = ecom.components[3];
+  EXPECT_GT(mysql.sensitivity.dram, tomcat.sensitivity.dram);
+  EXPECT_GT(mysql.sensitivity.llc, tomcat.sensitivity.llc);
+  EXPECT_GT(tomcat.sensitivity.freq, mysql.sensitivity.freq);
+
+  const AppSpec redis = MakeApp(LcAppKind::kRedis);
+  const ComponentSpec& master = redis.components[0];
+  const ComponentSpec& slave = redis.components[1];
+  EXPECT_GT(master.sensitivity.llc, slave.sensitivity.llc);
+  EXPECT_GT(master.sensitivity.dram, slave.sensitivity.dram);
+  EXPECT_GT(master.sensitivity.net, slave.sensitivity.net);
+  EXPECT_GT(master.sensitivity.cpu, slave.sensitivity.cpu);
+}
+
+TEST(AppCatalogTest, KindNamesRoundTrip) {
+  for (LcAppKind kind : AllLcAppKinds()) {
+    EXPECT_STREQ(LcAppKindName(kind), MakeApp(kind).name.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,91 @@
+#include "src/workload/call_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+// Chain: 0 -> 1 -> 2.
+CallNode Chain() {
+  return CallNode{.component = 0,
+                  .children = {CallNode{
+                      .component = 1,
+                      .children = {CallNode{.component = 2}},
+                  }}};
+}
+
+// Fan-out: 0 -> {1, 2} in parallel.
+CallNode FanOut() {
+  return CallNode{.component = 0,
+                  .parallel_children = true,
+                  .children = {CallNode{.component = 1}, CallNode{.component = 2}}};
+}
+
+TEST(CallGraphTest, VisitsOnChain) {
+  std::vector<double> visits(3, 0.0);
+  AccumulateVisits(Chain(), visits);
+  EXPECT_EQ(visits, (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(CallGraphTest, VisitsCountRepeats) {
+  CallNode root{.component = 0,
+                .children = {CallNode{.component = 1}, CallNode{.component = 1}}};
+  std::vector<double> visits(2, 0.0);
+  AccumulateVisits(root, visits);
+  EXPECT_DOUBLE_EQ(visits[1], 2.0);
+}
+
+TEST(CallGraphTest, CriticalPathOnChainIsSum) {
+  const std::vector<double> values = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(CriticalPathValue(Chain(), values), 7.0);
+}
+
+TEST(CallGraphTest, CriticalPathOnFanOutIsMax) {
+  const std::vector<double> values = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(CriticalPathValue(FanOut(), values), 1.0 + 4.0);
+}
+
+TEST(CallGraphTest, CriticalPathMixed) {
+  // 0 -> parallel{1, 2 -> 3(sequential)}.
+  CallNode root{
+      .component = 0,
+      .parallel_children = true,
+      .children = {CallNode{.component = 1},
+                   CallNode{.component = 2, .children = {CallNode{.component = 3}}}},
+  };
+  const std::vector<double> values = {1.0, 10.0, 2.0, 3.0};
+  // Branch 1 costs 10; branch 2 costs 5. Critical: 1 + 10.
+  EXPECT_DOUBLE_EQ(CriticalPathValue(root, values), 11.0);
+}
+
+TEST(CallGraphTest, LongestPathThroughOnChainEqualsCritical) {
+  const std::vector<double> values = {1.0, 2.0, 4.0};
+  for (int pod = 0; pod < 3; ++pod) {
+    EXPECT_DOUBLE_EQ(LongestPathThrough(Chain(), pod, values), 7.0);
+  }
+}
+
+TEST(CallGraphTest, LongestPathThroughOffCriticalBranch) {
+  const std::vector<double> values = {1.0, 2.0, 4.0};
+  // Pod 1 is on the short branch of the fan-out: its longest path is 1+2.
+  EXPECT_DOUBLE_EQ(LongestPathThrough(FanOut(), 1, values), 3.0);
+  // Pod 2 is on the critical branch.
+  EXPECT_DOUBLE_EQ(LongestPathThrough(FanOut(), 2, values), 5.0);
+}
+
+TEST(CallGraphTest, LongestPathThroughMissingPodIsZero) {
+  const std::vector<double> values = {1.0, 2.0, 4.0, 9.0};
+  EXPECT_EQ(LongestPathThrough(FanOut(), 3, values), 0.0);
+}
+
+TEST(CallGraphTest, SequentialSiblingsStack) {
+  // 0 -> {1, 2} sequential: a path through 1 still includes 2's cost.
+  CallNode root{.component = 0,
+                .children = {CallNode{.component = 1}, CallNode{.component = 2}}};
+  const std::vector<double> values = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(LongestPathThrough(root, 1, values), 7.0);
+  EXPECT_DOUBLE_EQ(CriticalPathValue(root, values), 7.0);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,140 @@
+#include "src/workload/component.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace rhythm {
+namespace {
+
+ComponentSpec TestSpec() {
+  ComponentSpec spec;
+  spec.name = "test";
+  spec.base_service_ms = 10.0;
+  spec.sigma = 0.3;
+  spec.load_slope = 1.0;
+  spec.load_power = 2.0;
+  spec.workers = 10;
+  return spec;
+}
+
+TEST(ErlangCTest, SingleServerEqualsUtilization) {
+  // For M/M/1 the probability of waiting equals rho.
+  EXPECT_NEAR(ErlangC(1, 0.5), 0.5, 1e-9);
+  EXPECT_NEAR(ErlangC(1, 0.9), 0.9, 1e-9);
+}
+
+TEST(ErlangCTest, Boundaries) {
+  EXPECT_EQ(ErlangC(1, 0.0), 0.0);
+  EXPECT_EQ(ErlangC(5, 5.0), 1.0);  // rho >= 1.
+  EXPECT_EQ(ErlangC(0, 1.0), 1.0);
+}
+
+TEST(ErlangCTest, KnownMultiServerValue) {
+  // c=2, a=1 (rho=0.5): Erlang-B = 1/(1+... ) -> B = (1*1/2)/(1+1+0.5) =
+  // 0.2; C = B / (1 - rho(1-B)) = 0.2/(0.5+0.5*0.2) -> 1/3.
+  EXPECT_NEAR(ErlangC(2, 1.0), 1.0 / 3.0, 1e-9);
+}
+
+TEST(ErlangCTest, MonotoneInOfferedLoad) {
+  double prev = 0.0;
+  for (double a = 0.5; a < 9.5; a += 0.5) {
+    const double c = ErlangC(10, a);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(ComponentModelTest, EffectiveServiceAtZeroLoadIsBase) {
+  const ComponentModel model(TestSpec());
+  EXPECT_DOUBLE_EQ(model.EffectiveServiceMs(0.0, 1.0), 10.0);
+}
+
+TEST(ComponentModelTest, EffectiveServiceGrowsWithLoad) {
+  const ComponentModel model(TestSpec());
+  EXPECT_DOUBLE_EQ(model.EffectiveServiceMs(1.0, 1.0), 20.0);  // slope 1, power 2.
+  EXPECT_LT(model.EffectiveServiceMs(0.5, 1.0), model.EffectiveServiceMs(1.0, 1.0));
+}
+
+TEST(ComponentModelTest, InflationDilatesService) {
+  const ComponentModel model(TestSpec());
+  EXPECT_DOUBLE_EQ(model.EffectiveServiceMs(0.0, 2.0), 20.0);
+  // Inflation below 1 is clamped: interference cannot speed a service up.
+  EXPECT_DOUBLE_EQ(model.EffectiveServiceMs(0.0, 0.5), 10.0);
+}
+
+TEST(ComponentModelTest, UtilizationLittleLaw) {
+  const ComponentModel model(TestSpec());
+  // lambda=500/s, S=10ms, c=10 -> rho = 500*0.010/10 = 0.5.
+  EXPECT_NEAR(model.Utilization(500.0, 0.0, 1.0), 0.5, 1e-12);
+  // Inflation doubles service time -> doubles utilization.
+  EXPECT_NEAR(model.Utilization(500.0, 0.0, 2.0), 1.0, 1e-12);
+}
+
+TEST(ComponentModelTest, WaitNegligibleAtLowLoadSevereWhenOverloaded) {
+  const ComponentModel model(TestSpec());
+  const double low = model.ExpectedWaitMs(100.0, 0.0, 1.0);    // rho = 0.1.
+  const double high = model.ExpectedWaitMs(950.0, 0.0, 1.0);   // rho = 0.95.
+  const double over = model.ExpectedWaitMs(1500.0, 0.0, 1.0);  // rho = 1.5.
+  EXPECT_LT(low, 0.1);
+  EXPECT_GT(high, low);
+  EXPECT_GT(over, 10.0 * high);
+}
+
+TEST(ComponentModelTest, WaitMonotoneInLambda) {
+  const ComponentModel model(TestSpec());
+  double prev = 0.0;
+  for (double lambda = 50.0; lambda <= 2000.0; lambda += 50.0) {
+    const double w = model.ExpectedWaitMs(lambda, 0.0, 1.0);
+    EXPECT_GE(w, prev - 1e-12) << "lambda=" << lambda;
+    prev = w;
+  }
+}
+
+TEST(ComponentModelTest, SampleMeanTracksEffectiveService) {
+  const ComponentModel model(TestSpec());
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(model.SampleLocalMs(100.0, 0.3, 1.0, rng));
+  }
+  // At rho=0.1 the wait is negligible; mean ~ effective service at load 0.3.
+  EXPECT_NEAR(stats.mean(), model.EffectiveServiceMs(0.3, 1.0), 0.15);
+}
+
+TEST(ComponentModelTest, SamplesAlwaysPositive) {
+  const ComponentModel model(TestSpec());
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GT(model.SampleLocalMs(900.0, 0.9, 1.5, rng), 0.0);
+  }
+}
+
+TEST(ComponentModelTest, SigmaSlopeRaisesCovWithLoad) {
+  ComponentSpec spec = TestSpec();
+  spec.sigma_slope = 2.0;
+  spec.sigma_power = 4.0;
+  const ComponentModel model(spec);
+  Rng rng(13);
+  RunningStats low;
+  RunningStats high;
+  for (int i = 0; i < 50000; ++i) {
+    low.Add(model.SampleLocalMs(10.0, 0.1, 1.0, rng));
+    high.Add(model.SampleLocalMs(10.0, 0.95, 1.0, rng));
+  }
+  EXPECT_GT(high.cov(), low.cov() * 1.5);
+}
+
+TEST(ComponentModelTest, BusyCoresScalesWithLambda) {
+  ComponentSpec spec = TestSpec();
+  spec.peak_busy_cores = 10.0;  // == workers: one core per busy worker.
+  const ComponentModel model(spec);
+  // lambda=200/s at S=10ms -> 2 workers busy.
+  EXPECT_NEAR(model.BusyCores(200.0, 0.0, 1.0), 2.0, 1e-9);
+  // Capped at workers.
+  EXPECT_NEAR(model.BusyCores(100000.0, 0.0, 1.0), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rhythm

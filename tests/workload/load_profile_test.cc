@@ -1,0 +1,64 @@
+#include "src/workload/load_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(ConstantLoadTest, AlwaysSameValue) {
+  ConstantLoad load(0.6);
+  EXPECT_DOUBLE_EQ(load.LoadAt(0.0), 0.6);
+  EXPECT_DOUBLE_EQ(load.LoadAt(12345.0), 0.6);
+}
+
+TEST(DiurnalTraceTest, StaysInBounds) {
+  DiurnalTrace trace(3600.0, 0.15, 0.9);
+  for (double t = 0.0; t < 3600.0; t += 1.0) {
+    const double load = trace.LoadAt(t);
+    ASSERT_GE(load, 0.15);
+    ASSERT_LE(load, 0.9);
+  }
+}
+
+TEST(DiurnalTraceTest, FiveDaysCompressed) {
+  DiurnalTrace trace(3600.0, 0.1, 0.9);
+  EXPECT_DOUBLE_EQ(trace.day_length(), 720.0);
+}
+
+TEST(DiurnalTraceTest, PeriodicAcrossDays) {
+  DiurnalTrace trace(3600.0, 0.1, 0.9);
+  const double day = trace.day_length();
+  for (double t = 0.0; t < day; t += 37.0) {
+    EXPECT_NEAR(trace.LoadAt(t), trace.LoadAt(t + day), 1e-9);
+    EXPECT_NEAR(trace.LoadAt(t), trace.LoadAt(t + 4 * day), 1e-9);
+  }
+}
+
+TEST(DiurnalTraceTest, HasRealDailySwing) {
+  DiurnalTrace trace(3600.0, 0.1, 0.9);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (double t = 0.0; t < trace.day_length(); t += 1.0) {
+    lo = std::min(lo, trace.LoadAt(t));
+    hi = std::max(hi, trace.LoadAt(t));
+  }
+  EXPECT_LT(lo, 0.2);   // trough near min.
+  EXPECT_GT(hi, 0.8);   // peak near max.
+}
+
+TEST(DiurnalTraceTest, TroughAtMidnight) {
+  DiurnalTrace trace(3600.0, 0.1, 0.9);
+  EXPECT_LT(trace.LoadAt(0.0), 0.25);
+  EXPECT_GT(trace.LoadAt(trace.day_length() / 2.0), 0.7);
+}
+
+TEST(DiurnalTraceTest, Deterministic) {
+  DiurnalTrace a(3600.0, 0.1, 0.9);
+  DiurnalTrace b(3600.0, 0.1, 0.9);
+  for (double t = 0.0; t < 100.0; t += 3.3) {
+    EXPECT_EQ(a.LoadAt(t), b.LoadAt(t));
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,95 @@
+#include "src/workload/trace_file_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace rhythm {
+namespace {
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(TraceFileProfileTest, EmptyIsZeroLoad) {
+  TraceFileProfile profile;
+  EXPECT_EQ(profile.LoadAt(10.0), 0.0);
+  EXPECT_EQ(profile.size(), 0u);
+}
+
+TEST(TraceFileProfileTest, InterpolatesBetweenPoints) {
+  TraceFileProfile profile;
+  profile.AddPoint(0.0, 0.2);
+  profile.AddPoint(10.0, 0.8);
+  EXPECT_DOUBLE_EQ(profile.LoadAt(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(profile.LoadAt(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(profile.LoadAt(10.0), 0.8);
+}
+
+TEST(TraceFileProfileTest, ClampsOutsideRange) {
+  TraceFileProfile profile;
+  profile.AddPoint(5.0, 0.4);
+  profile.AddPoint(15.0, 0.6);
+  EXPECT_DOUBLE_EQ(profile.LoadAt(0.0), 0.4);    // before first point.
+  EXPECT_DOUBLE_EQ(profile.LoadAt(100.0), 0.6);  // after last point.
+}
+
+TEST(TraceFileProfileTest, LoadClampedToUnitInterval) {
+  TraceFileProfile profile;
+  profile.AddPoint(0.0, -0.5);
+  profile.AddPoint(1.0, 1.5);
+  EXPECT_DOUBLE_EQ(profile.LoadAt(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(profile.LoadAt(1.0), 1.0);
+}
+
+TEST(TraceFileProfileTest, SaveLoadRoundTrip) {
+  TraceFileProfile original;
+  original.AddPoint(0.0, 0.15);
+  original.AddPoint(60.0, 0.85);
+  original.AddPoint(120.0, 0.3);
+  const std::string path = TempPath("rhythm_load_roundtrip.csv");
+  ASSERT_TRUE(original.Save(path));
+  TraceFileProfile loaded;
+  ASSERT_TRUE(loaded.Load(path));
+  EXPECT_EQ(loaded.size(), 3u);
+  for (double t = 0.0; t <= 120.0; t += 7.0) {
+    EXPECT_NEAR(loaded.LoadAt(t), original.LoadAt(t), 1e-5) << t;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileProfileTest, TimeRescaling) {
+  // The paper's 5-days-to-6-hours compression: load the trace with a target
+  // duration and the shape is preserved on the compressed axis.
+  TraceFileProfile original;
+  original.AddPoint(0.0, 0.1);
+  original.AddPoint(432000.0, 0.9);  // five days.
+  const std::string path = TempPath("rhythm_load_rescale.csv");
+  ASSERT_TRUE(original.Save(path));
+  TraceFileProfile scaled;
+  ASSERT_TRUE(scaled.Load(path, 21600.0));  // six hours.
+  EXPECT_DOUBLE_EQ(scaled.duration(), 21600.0);
+  EXPECT_NEAR(scaled.LoadAt(10800.0), 0.5, 1e-9);  // midpoint keeps its shape.
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileProfileTest, RejectsBadFiles) {
+  TraceFileProfile profile;
+  EXPECT_FALSE(profile.Load(TempPath("missing_load.csv")));
+  const std::string path = TempPath("rhythm_load_bad.csv");
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  std::fprintf(file, "wrong header\n1,0.5\n");
+  std::fclose(file);
+  EXPECT_FALSE(profile.Load(path));
+  // Decreasing timestamps are rejected too.
+  file = std::fopen(path.c_str(), "w");
+  std::fprintf(file, "rhythm-load v1\n10,0.5\n5,0.6\n");
+  std::fclose(file);
+  EXPECT_FALSE(profile.Load(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rhythm

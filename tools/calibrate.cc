@@ -1,0 +1,37 @@
+// Calibration scratch tool: prints solo-run tail latency vs SLA for each app
+// across loads, plus interference sanity checks. Not part of the benches.
+
+#include <cstdio>
+
+#include "src/rhythm.h"
+
+using namespace rhythm;
+
+int main() {
+  for (LcAppKind kind : AllLcAppKinds()) {
+    const AppSpec app = MakeApp(kind);
+    std::printf("== %s (maxload=%.0f sla=%.2fms)\n", app.name.c_str(), app.maxload_qps,
+                app.sla_ms);
+    for (double load : {0.25, 0.50, 0.75, 0.90, 1.00}) {
+      DeploymentConfig config;
+      config.app_kind = kind;
+      config.enable_be = false;
+      config.record_sojourns = true;
+      config.tail_window_s = 60.0;
+      config.seed = 99;
+      Deployment d(config);
+      ConstantLoad profile(load);
+      d.Start(&profile);
+      d.RunFor(70.0);
+      std::printf("  load=%.2f p99=%8.2fms  (sla ratio %.2f)  sojourns:", load,
+                  d.service().TailLatencyMs(), d.service().TailLatencyMs() / app.sla_ms);
+      for (int pod = 0; pod < app.pod_count(); ++pod) {
+        std::printf(" %s=%.1f/cov%.2f", app.components[pod].name.c_str(),
+                    d.service().PodSojournStats(pod).mean(),
+                    d.service().PodSojournStats(pod).cov());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

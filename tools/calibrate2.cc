@@ -1,0 +1,55 @@
+// Interference + controller smoke checks.
+#include <cstdio>
+#include "src/rhythm.h"
+using namespace rhythm;
+
+static double SoloP99(LcAppKind kind, double load) {
+  DeploymentConfig c; c.app_kind=kind; c.enable_be=false; c.tail_window_s=60; c.seed=5;
+  Deployment d(c); ConstantLoad p(load); d.Start(&p); d.RunFor(70);
+  return d.service().TailLatencyMs();
+}
+
+int main() {
+  // Fig2-style: co-locate each BE with ONE pod of E-commerce (uncontrolled).
+  for (auto app : {LcAppKind::kEcommerce, LcAppKind::kRedis}) {
+    const AppSpec spec = MakeApp(app);
+    std::printf("== %s interference (p99 increase %% vs solo)\n", spec.name.c_str());
+    for (auto be : {BeJobKind::kStreamLlcBig, BeJobKind::kStreamDramBig, BeJobKind::kCpuStress, BeJobKind::kIperf}) {
+      std::printf("  %-18s", GetBeJobSpec(be).name.c_str());
+      for (int pod = 0; pod < spec.pod_count(); ++pod) {
+        double load = 0.6;
+        double solo = SoloP99(app, load);
+        DeploymentConfig c; c.app_kind=app; c.be_kind=be; c.enable_be=true;
+        c.controller=ControllerKind::kNone; c.tail_window_s=60; c.seed=5;
+        Deployment d(c); ConstantLoad p(load); d.Start(&p);
+        d.LaunchBeAtPod(pod, 4);
+        d.RunFor(70);
+        double inter = d.service().TailLatencyMs();
+        std::printf("  %s=+%.0f%%", spec.components[pod].name.c_str(), 100*(inter/solo-1));
+      }
+      std::printf("\n");
+    }
+  }
+  {
+    const AppThresholds& th = CachedAppThresholds(LcAppKind::kEcommerce);
+    const AppSpec spec = MakeApp(LcAppKind::kEcommerce);
+    for (int i = 0; i < spec.pod_count(); ++i)
+      std::printf("thresholds %-10s loadlimit=%.2f slacklimit=%.3f C=%.4f (P=%.2f rho=%.2f V=%.3f)\n",
+        spec.components[i].name.c_str(), th.pods[i].loadlimit, th.pods[i].slacklimit,
+        th.contributions[i].contribution, th.contributions[i].weight_p,
+        th.contributions[i].correlation_rho, th.contributions[i].varcoef_v);
+  }
+  // Controller comparison at load 0.45 with wordcount on E-commerce.
+  for (auto ctrl : {ControllerKind::kHeracles, ControllerKind::kRhythm}) {
+    ExperimentConfig e; e.app=LcAppKind::kEcommerce; e.be=BeJobKind::kWordcount;
+    e.controller=ctrl; e.warmup_s=30; e.measure_s=120;
+    RunSummary s = RunColocation(e, 0.45);
+    std::printf("%s: EMU=%.3f beThr=%.3f cpu=%.3f membw=%.3f worstTail=%.2f viol=%llu kills=%llu\n",
+      ControllerKindName(ctrl), s.emu, s.be_throughput, s.cpu_util, s.membw_util,
+      s.worst_tail_ratio, (unsigned long long)s.sla_violations, (unsigned long long)s.be_kills);
+    for (size_t i=0;i<s.pods.size();++i)
+      std::printf("   pod%zu beThr=%.3f cpu=%.2f membw=%.2f inst=%.1f\n", i,
+        s.pods[i].be_throughput, s.pods[i].cpu_util, s.pods[i].membw_util, s.pods[i].be_instances);
+  }
+  return 0;
+}

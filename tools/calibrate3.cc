@@ -1,0 +1,26 @@
+// Prints derived thresholds for every app, and the 85%-load comparison.
+#include <cstdio>
+#include "src/rhythm.h"
+using namespace rhythm;
+int main() {
+  for (LcAppKind kind : AllLcAppKinds()) {
+    const AppThresholds& th = CachedAppThresholds(kind);
+    const AppSpec spec = MakeApp(kind);
+    std::printf("== %s\n", spec.name.c_str());
+    for (int i = 0; i < spec.pod_count(); ++i)
+      std::printf("  %-14s loadlimit=%.2f slacklimit=%.3f C=%.4f\n",
+        spec.components[i].name.c_str(), th.pods[i].loadlimit, th.pods[i].slacklimit,
+        th.contributions[i].contribution);
+  }
+  // 85% load: Rhythm should still co-locate at tolerant pods, Heracles not.
+  for (auto ctrl : {ControllerKind::kHeracles, ControllerKind::kRhythm}) {
+    ExperimentConfig e; e.app=LcAppKind::kEcommerce; e.be=BeJobKind::kWordcount;
+    e.controller=ctrl; e.warmup_s=30; e.measure_s=120;
+    RunSummary s = RunColocation(e, 0.85);
+    std::printf("%s@0.85: EMU=%.3f beThr=%.3f worstTail=%.2f viol=%llu ", ControllerKindName(ctrl),
+      s.emu, s.be_throughput, s.worst_tail_ratio, (unsigned long long)s.sla_violations);
+    for (size_t i=0;i<s.pods.size();++i) std::printf(" p%zu=%.2f", i, s.pods[i].be_throughput);
+    std::printf("\n");
+  }
+  return 0;
+}

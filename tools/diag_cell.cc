@@ -1,0 +1,33 @@
+#include <cstdio>
+#include "src/rhythm.h"
+using namespace rhythm;
+static void Run(LcAppKind app, BeJobKind be, ControllerKind ctrl, double load) {
+  DeploymentConfig config;
+  config.app_kind = app; config.be_kind = be; config.controller = ctrl;
+  if (ctrl == ControllerKind::kRhythm) config.thresholds = CachedAppThresholds(app).pods;
+  config.seed = 11;
+  Deployment d(config);
+  ConstantLoad p(load); d.Start(&p);
+  d.RunFor(20.0);
+  const double t0 = d.sim().Now();
+  d.RunFor(90.0);
+  RunSummary s = Summarize(d, t0, d.sim().Now());
+  std::printf("%-9s EMU=%.3f beThr=%.3f tail=%.2f viol=%llu |", ControllerKindName(ctrl),
+              s.emu, s.be_throughput, s.worst_tail_ratio, (unsigned long long)s.sla_violations);
+  for (int pod = 0; pod < d.pod_count(); ++pod) {
+    const MachineAgent::Stats& st = d.agent(pod)->stats();
+    std::printf(" p%d[thr=%.2f inst=%.1f cores=%d g=%llu d=%llu c=%llu s=%llu guard=%llu]",
+      pod, s.pods[pod].be_throughput, s.pods[pod].be_instances, d.be(pod)->TotalCoresHeld(),
+      (unsigned long long)st.grows,(unsigned long long)st.disallows,(unsigned long long)st.cuts,
+      (unsigned long long)st.suspends,(unsigned long long)st.util_guard_trips);
+  }
+  std::printf("\n");
+}
+int main() {
+  for (auto ctrl : {ControllerKind::kHeracles, ControllerKind::kRhythm}) Run(LcAppKind::kRedis, BeJobKind::kCpuStress, ctrl, 0.45);
+  for (auto ctrl : {ControllerKind::kHeracles, ControllerKind::kRhythm}) Run(LcAppKind::kEcommerce, BeJobKind::kLstm, ctrl, 0.45);
+  for (auto ctrl : {ControllerKind::kHeracles, ControllerKind::kRhythm}) Run(LcAppKind::kEcommerce, BeJobKind::kLstm, ctrl, 0.65);
+  for (auto ctrl : {ControllerKind::kHeracles, ControllerKind::kRhythm}) Run(LcAppKind::kEcommerce, BeJobKind::kWordcount, ctrl, 0.65);
+  for (auto ctrl : {ControllerKind::kHeracles, ControllerKind::kRhythm}) Run(LcAppKind::kEcommerce, BeJobKind::kLstm, ctrl, 0.25);
+  return 0;
+}

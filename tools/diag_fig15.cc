@@ -1,0 +1,37 @@
+#include <cstdio>
+#include "src/rhythm.h"
+using namespace rhythm;
+int main() {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kSolr;
+  config.be_kind = BeJobKind::kStreamDramBig;
+  config.controller = ControllerKind::kRhythm;
+  config.thresholds = CachedAppThresholds(LcAppKind::kSolr).pods;
+  config.seed = 11;
+  Deployment d(config);
+  DiurnalTrace trace(900.0, 0.15, 0.85);
+  d.Start(&trace);
+  for (double t = 4; t <= 920; t += 4) {
+    d.RunFor(4.0);
+    double tail = d.service().TailLatencyMs();
+    if (t > 756 && t < 792) {
+      const ResourceVector c = InterferenceModel::Contention(d.machine(0), d.be(0));
+      std::printf("   contention cpu=%.3f llc=%.3f dram=%.3f net=%.3f | lcfreq=%.2f membw lc=%.1f be=%.1f inst=%d ways=%d\n",
+        c.cpu, c.llc, c.dram, c.net, d.machine(0).power().LcSpeedFactor(),
+        d.machine(0).membw().lc_demand_gbs(), d.machine(0).membw().be_demand_gbs(),
+        d.be(0)->instance_count(), d.be(0)->TotalWaysHeld());
+    }
+    if ((t > 700 && t < 800) || tail > 0.95 * d.sla_ms()) {
+      std::printf("t=%5.0f load=%.2f tail=%7.1f | solr: cores=%.0f util=%.2f infl=%.2f | zk: cores=%.0f infl=%.2f\n",
+        t, d.service().CurrentLoad(), tail,
+        d.pod_series(0).be_cores.ValueAt(t), d.service().PodUtilization(0),
+        d.service().PodInflation(0),
+        d.pod_series(1).be_cores.ValueAt(t), d.service().PodInflation(1));
+    }
+  }
+  std::printf("viol=%llu kills=%llu thresholds solr=%.2f/%.3f zk=%.2f/%.3f\n",
+    (unsigned long long)d.TotalSlaViolations(), (unsigned long long)d.TotalBeKills(),
+    config.thresholds[0].loadlimit, config.thresholds[0].slacklimit,
+    config.thresholds[1].loadlimit, config.thresholds[1].slacklimit);
+  return 0;
+}

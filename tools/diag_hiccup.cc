@@ -1,0 +1,27 @@
+// Measures the hiccup amplitude: the ratio of the worst to the mean
+// per-second 99th percentile of a solo run at high load. The slacklimit
+// guard floor in FindSlacklimits must exceed (ratio - 1), or derived
+// thresholds would let BEs ride within one hiccup of the SLA.
+
+#include <cstdio>
+
+#include "src/rhythm.h"
+
+using namespace rhythm;
+
+int main() {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kEcommerce;
+  config.enable_be = false;
+  config.seed = 3;
+  Deployment deployment(config);
+  ConstantLoad profile(0.8);
+  deployment.Start(&profile);
+  deployment.RunFor(150.0);
+  const double mean = deployment.tail_series().AverageIn(20.0, 150.0);
+  const double worst = deployment.tail_series().MaxIn(20.0, 150.0);
+  std::printf("solo @80%% load: mean p99 = %.1f ms, worst per-second p99 = %.1f ms, "
+              "hiccup amplitude = %.3f\n",
+              mean, worst, worst / mean);
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include <cstdio>
+#include "src/rhythm.h"
+using namespace rhythm;
+int main() {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kEcommerce;
+  config.be_kind = BeJobKind::kStreamDramBig;
+  config.controller = ControllerKind::kRhythm;
+  config.thresholds = CachedAppThresholds(LcAppKind::kEcommerce).pods;
+  config.seed = 11;
+  Deployment d(config);
+  ConstantLoad profile(0.45);
+  d.Start(&profile);
+  d.RunFor(140.0);
+  for (double t = 4; t <= 140; t += 4) {
+    std::printf("t=%5.0f tail=%6.1f slack=%+.3f cores:", t, d.tail_series().ValueAt(t),
+                d.slack_series().ValueAt(t));
+    for (int p = 0; p < 4; ++p)
+      std::printf(" %d:%.0f/u%.2f", p, d.pod_series(p).be_cores.ValueAt(t),
+                  d.service().PodUtilization(p));
+    std::printf("\n");
+  }
+  std::printf("viol=%llu kills=%llu\n", (unsigned long long)d.TotalSlaViolations(),
+              (unsigned long long)d.TotalBeKills());
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include <cstdio>
+#include "src/rhythm.h"
+using namespace rhythm;
+int main() {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kEcommerce;
+  config.be_kind = BeJobKind::kWordcount;
+  config.controller = ControllerKind::kRhythm;
+  config.thresholds = CachedAppThresholds(LcAppKind::kEcommerce).pods;
+  config.seed = 11;
+  Deployment d(config);
+  DiurnalTrace trace(1500.0, 0.15, 0.80);
+  d.Start(&trace);
+  d.RunFor(1500.0);
+  for (double t = 10; t <= 1500; t += 10) {
+    double tail = d.tail_series().ValueAt(t);
+    if (tail > 0.8 * d.sla_ms() || ((int)t % 100)==0) {
+      std::printf("t=%6.0f load=%.2f tail=%7.1f slack=%+.2f | cores:", t,
+        d.load_series().ValueAt(t), tail, d.slack_series().ValueAt(t));
+      for (int p = 0; p < 4; ++p) std::printf(" %d:%.0f", p, d.pod_series(p).be_cores.ValueAt(t));
+      std::printf("\n");
+    }
+  }
+  std::printf("violations=%llu kills=%llu\n", (unsigned long long)d.TotalSlaViolations(),
+              (unsigned long long)d.TotalBeKills());
+  return 0;
+}

@@ -1,0 +1,186 @@
+// rhythm_cli: flag-driven experiment runner.
+//
+//   rhythm_cli run --app=<name> --be=<name> --controller=<rhythm|heracles>
+//              [--load=0.45] [--measure=120] [--warmup=20] [--seed=11] [--csv]
+//   rhythm_cli thresholds --app=<name>
+//   rhythm_cli profile --app=<name> [--measure=30]
+//
+// App names: E-commerce | Redis | Solr | Elasticsearch | Elgg | SNMS
+// BE names:  CPU-stress | stream-llc(big) | stream-llc(small) |
+//            stream-dram(big) | stream-dram(small) | iperf | wordcount |
+//            imageClassify | LSTM
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/rhythm.h"
+
+using namespace rhythm;
+
+namespace {
+
+// Minimal --key=value parsing.
+std::optional<std::string> FlagValue(int argc, char** argv, const char* key) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+bool HasFlag(int argc, char** argv, const char* key) {
+  const std::string flag = std::string("--") + key;
+  for (int i = 2; i < argc; ++i) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double DoubleFlag(int argc, char** argv, const char* key, double fallback) {
+  const auto value = FlagValue(argc, argv, key);
+  return value.has_value() ? std::atof(value->c_str()) : fallback;
+}
+
+std::optional<LcAppKind> ParseApp(const std::string& name) {
+  for (LcAppKind kind : AllLcAppKinds()) {
+    if (name == LcAppKindName(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BeJobKind> ParseBe(const std::string& name) {
+  for (BeJobKind kind : AllBeJobKinds()) {
+    if (name == GetBeJobSpec(kind).name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+int CmdRun(int argc, char** argv) {
+  const auto app_name = FlagValue(argc, argv, "app");
+  const auto be_name = FlagValue(argc, argv, "be");
+  const auto controller_name = FlagValue(argc, argv, "controller");
+  if (!app_name || !be_name || !controller_name) {
+    std::fprintf(stderr, "run requires --app, --be and --controller\n");
+    return 2;
+  }
+  const auto app = ParseApp(*app_name);
+  const auto be = ParseBe(*be_name);
+  if (!app || !be) {
+    std::fprintf(stderr, "unknown app or BE name\n");
+    return 2;
+  }
+  ExperimentConfig config;
+  config.app = *app;
+  config.be = *be;
+  config.controller =
+      *controller_name == "heracles" ? ControllerKind::kHeracles : ControllerKind::kRhythm;
+  config.warmup_s = DoubleFlag(argc, argv, "warmup", 20.0);
+  config.measure_s = DoubleFlag(argc, argv, "measure", 120.0);
+  config.seed = static_cast<uint64_t>(DoubleFlag(argc, argv, "seed", 11.0));
+  const double load = DoubleFlag(argc, argv, "load", 0.45);
+
+  const RunSummary s = RunColocation(config, load);
+  if (HasFlag(argc, argv, "csv")) {
+    std::printf("app,be,controller,load,emu,be_throughput,cpu_util,membw_util,"
+                "worst_tail_ratio,sla_violations,be_kills\n");
+    std::printf("%s,%s,%s,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu\n", LcAppKindName(*app),
+                GetBeJobSpec(*be).name.c_str(), ControllerKindName(config.controller), load,
+                s.emu, s.be_throughput, s.cpu_util, s.membw_util, s.worst_tail_ratio,
+                (unsigned long long)s.sla_violations, (unsigned long long)s.be_kills);
+    return 0;
+  }
+  std::printf("%s + %s under %s at %.0f%% load (%.0fs window):\n", LcAppKindName(*app),
+              GetBeJobSpec(*be).name.c_str(), ControllerKindName(config.controller),
+              load * 100.0, config.measure_s);
+  std::printf("  EMU            %8.3f\n", s.emu);
+  std::printf("  BE throughput  %8.3f (normalized)\n", s.be_throughput);
+  std::printf("  CPU util       %8.3f\n", s.cpu_util);
+  std::printf("  MemBW util     %8.3f\n", s.membw_util);
+  std::printf("  worst tail     %8.2fx SLA\n", s.worst_tail_ratio);
+  std::printf("  SLA violations %8llu\n", (unsigned long long)s.sla_violations);
+  std::printf("  BE kills       %8llu\n", (unsigned long long)s.be_kills);
+  for (size_t pod = 0; pod < s.pods.size(); ++pod) {
+    std::printf("  pod %zu: beThr=%.3f cpu=%.3f membw=%.3f instances=%.1f\n", pod,
+                s.pods[pod].be_throughput, s.pods[pod].cpu_util, s.pods[pod].membw_util,
+                s.pods[pod].be_instances);
+  }
+  return 0;
+}
+
+int CmdThresholds(int argc, char** argv) {
+  const auto app_name = FlagValue(argc, argv, "app");
+  const auto app = app_name ? ParseApp(*app_name) : std::nullopt;
+  if (!app) {
+    std::fprintf(stderr, "thresholds requires --app=<name>\n");
+    return 2;
+  }
+  const AppSpec spec = MakeApp(*app);
+  const AppThresholds& thresholds = CachedAppThresholds(*app);
+  std::printf("%-16s %10s %10s %14s\n", "Servpod", "loadlimit", "slacklimit", "contribution");
+  for (int pod = 0; pod < spec.pod_count(); ++pod) {
+    std::printf("%-16s %10.2f %10.3f %14.5f\n", spec.components[pod].name.c_str(),
+                thresholds.pods[pod].loadlimit, thresholds.pods[pod].slacklimit,
+                thresholds.contributions[pod].contribution);
+  }
+  return 0;
+}
+
+int CmdProfile(int argc, char** argv) {
+  const auto app_name = FlagValue(argc, argv, "app");
+  const auto app = app_name ? ParseApp(*app_name) : std::nullopt;
+  if (!app) {
+    std::fprintf(stderr, "profile requires --app=<name>\n");
+    return 2;
+  }
+  ProfileOptions options;
+  options.measure_s = DoubleFlag(argc, argv, "measure", 30.0);
+  const ProfileResult profile = ProfileSolo(*app, DefaultProfileLevels(), options);
+  const AppSpec spec = MakeApp(*app);
+  std::printf("load");
+  for (int pod = 0; pod < spec.pod_count(); ++pod) {
+    std::printf(",%s_mean_ms,%s_cov", spec.components[pod].name.c_str(),
+                spec.components[pod].name.c_str());
+  }
+  std::printf(",p99_ms\n");
+  for (size_t level = 0; level < profile.levels.size(); ++level) {
+    std::printf("%.2f", profile.levels[level]);
+    for (int pod = 0; pod < spec.pod_count(); ++pod) {
+      std::printf(",%.3f,%.4f", profile.matrix.pod_sojourn_ms[pod][level],
+                  profile.pod_cov[pod][level]);
+    }
+    std::printf(",%.3f\n", profile.matrix.tail_ms[level]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "run") == 0) {
+    return CmdRun(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "thresholds") == 0) {
+    return CmdThresholds(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "profile") == 0) {
+    return CmdProfile(argc, argv);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rhythm_cli run --app=<name> --be=<name> --controller=<rhythm|heracles>\n"
+               "             [--load=0.45] [--measure=120] [--warmup=20] [--seed=11] [--csv]\n"
+               "  rhythm_cli thresholds --app=<name>\n"
+               "  rhythm_cli profile --app=<name> [--measure=30]\n");
+  return 2;
+}
