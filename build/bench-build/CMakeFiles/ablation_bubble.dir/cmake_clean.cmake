@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bubble"
+  "../bench/ablation_bubble.pdb"
+  "CMakeFiles/ablation_bubble.dir/ablation_bubble.cc.o"
+  "CMakeFiles/ablation_bubble.dir/ablation_bubble.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bubble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

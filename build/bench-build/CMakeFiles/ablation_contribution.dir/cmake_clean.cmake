@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_contribution"
+  "../bench/ablation_contribution.pdb"
+  "CMakeFiles/ablation_contribution.dir/ablation_contribution.cc.o"
+  "CMakeFiles/ablation_contribution.dir/ablation_contribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_interference"
+  "../bench/fig02_interference.pdb"
+  "CMakeFiles/fig02_interference.dir/fig02_interference.cc.o"
+  "CMakeFiles/fig02_interference.dir/fig02_interference.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

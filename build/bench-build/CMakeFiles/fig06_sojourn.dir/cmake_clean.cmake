@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_sojourn"
+  "../bench/fig06_sojourn.pdb"
+  "CMakeFiles/fig06_sojourn.dir/fig06_sojourn.cc.o"
+  "CMakeFiles/fig06_sojourn.dir/fig06_sojourn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sojourn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

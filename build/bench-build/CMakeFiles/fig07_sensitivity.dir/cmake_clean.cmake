@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_sensitivity"
+  "../bench/fig07_sensitivity.pdb"
+  "CMakeFiles/fig07_sensitivity.dir/fig07_sensitivity.cc.o"
+  "CMakeFiles/fig07_sensitivity.dir/fig07_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

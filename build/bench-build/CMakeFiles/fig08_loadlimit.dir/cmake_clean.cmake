@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_loadlimit"
+  "../bench/fig08_loadlimit.pdb"
+  "CMakeFiles/fig08_loadlimit.dir/fig08_loadlimit.cc.o"
+  "CMakeFiles/fig08_loadlimit.dir/fig08_loadlimit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_loadlimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

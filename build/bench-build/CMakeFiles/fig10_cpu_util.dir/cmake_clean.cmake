@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cpu_util"
+  "../bench/fig10_cpu_util.pdb"
+  "CMakeFiles/fig10_cpu_util.dir/fig10_cpu_util.cc.o"
+  "CMakeFiles/fig10_cpu_util.dir/fig10_cpu_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

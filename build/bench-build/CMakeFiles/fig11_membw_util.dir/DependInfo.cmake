@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_membw_util.cc" "bench-build/CMakeFiles/fig11_membw_util.dir/fig11_membw_util.cc.o" "gcc" "bench-build/CMakeFiles/fig11_membw_util.dir/fig11_membw_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/rhythm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rhythm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rhythm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/interference/CMakeFiles/rhythm_interference.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/rhythm_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/rhythm_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rhythm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bemodel/CMakeFiles/rhythm_bemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rhythm_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rhythm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rhythm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rhythm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

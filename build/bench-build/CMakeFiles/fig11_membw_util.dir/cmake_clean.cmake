@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_membw_util"
+  "../bench/fig11_membw_util.pdb"
+  "CMakeFiles/fig11_membw_util.dir/fig11_membw_util.cc.o"
+  "CMakeFiles/fig11_membw_util.dir/fig11_membw_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_membw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

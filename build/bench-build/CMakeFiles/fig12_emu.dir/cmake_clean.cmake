@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_emu"
+  "../bench/fig12_emu.pdb"
+  "CMakeFiles/fig12_emu.dir/fig12_emu.cc.o"
+  "CMakeFiles/fig12_emu.dir/fig12_emu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_cpu_improve"
+  "../bench/fig13_cpu_improve.pdb"
+  "CMakeFiles/fig13_cpu_improve.dir/fig13_cpu_improve.cc.o"
+  "CMakeFiles/fig13_cpu_improve.dir/fig13_cpu_improve.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cpu_improve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

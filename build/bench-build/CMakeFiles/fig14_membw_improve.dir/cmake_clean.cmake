@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_membw_improve"
+  "../bench/fig14_membw_improve.pdb"
+  "CMakeFiles/fig14_membw_improve.dir/fig14_membw_improve.cc.o"
+  "CMakeFiles/fig14_membw_improve.dir/fig14_membw_improve.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_membw_improve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_production"
+  "../bench/fig15_production.pdb"
+  "CMakeFiles/fig15_production.dir/fig15_production.cc.o"
+  "CMakeFiles/fig15_production.dir/fig15_production.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_microservice"
+  "../bench/fig16_microservice.pdb"
+  "CMakeFiles/fig16_microservice.dir/fig16_microservice.cc.o"
+  "CMakeFiles/fig16_microservice.dir/fig16_microservice.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_microservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_timeline"
+  "../bench/fig17_timeline.pdb"
+  "CMakeFiles/fig17_timeline.dir/fig17_timeline.cc.o"
+  "CMakeFiles/fig17_timeline.dir/fig17_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_threshold_tradeoff"
+  "../bench/fig18_threshold_tradeoff.pdb"
+  "CMakeFiles/fig18_threshold_tradeoff.dir/fig18_threshold_tradeoff.cc.o"
+  "CMakeFiles/fig18_threshold_tradeoff.dir/fig18_threshold_tradeoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_threshold_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

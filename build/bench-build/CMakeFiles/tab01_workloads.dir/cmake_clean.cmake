@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_workloads"
+  "../bench/tab01_workloads.pdb"
+  "CMakeFiles/tab01_workloads.dir/tab01_workloads.cc.o"
+  "CMakeFiles/tab01_workloads.dir/tab01_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

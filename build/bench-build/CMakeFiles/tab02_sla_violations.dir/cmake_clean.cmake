@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_sla_violations"
+  "../bench/tab02_sla_violations.pdb"
+  "CMakeFiles/tab02_sla_violations.dir/tab02_sla_violations.cc.o"
+  "CMakeFiles/tab02_sla_violations.dir/tab02_sla_violations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_sla_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

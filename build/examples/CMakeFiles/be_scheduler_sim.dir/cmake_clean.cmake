@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/be_scheduler_sim.dir/be_scheduler_sim.cpp.o"
+  "CMakeFiles/be_scheduler_sim.dir/be_scheduler_sim.cpp.o.d"
+  "be_scheduler_sim"
+  "be_scheduler_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/be_scheduler_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_mix_analysis.dir/path_mix_analysis.cpp.o"
+  "CMakeFiles/path_mix_analysis.dir/path_mix_analysis.cpp.o.d"
+  "path_mix_analysis"
+  "path_mix_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_mix_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_service.dir/profile_service.cpp.o"
+  "CMakeFiles/profile_service.dir/profile_service.cpp.o.d"
+  "profile_service"
+  "profile_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

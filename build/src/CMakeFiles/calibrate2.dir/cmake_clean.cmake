@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate2.dir/__/tools/calibrate2.cc.o"
+  "CMakeFiles/calibrate2.dir/__/tools/calibrate2.cc.o.d"
+  "calibrate2"
+  "calibrate2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

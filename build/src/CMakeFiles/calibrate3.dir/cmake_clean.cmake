@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate3.dir/__/tools/calibrate3.cc.o"
+  "CMakeFiles/calibrate3.dir/__/tools/calibrate3.cc.o.d"
+  "calibrate3"
+  "calibrate3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

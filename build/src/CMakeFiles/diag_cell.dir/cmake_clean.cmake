@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_cell.dir/__/tools/diag_cell.cc.o"
+  "CMakeFiles/diag_cell.dir/__/tools/diag_cell.cc.o.d"
+  "diag_cell"
+  "diag_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

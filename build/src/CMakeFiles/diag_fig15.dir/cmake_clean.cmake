@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_fig15.dir/__/tools/diag_fig15.cc.o"
+  "CMakeFiles/diag_fig15.dir/__/tools/diag_fig15.cc.o.d"
+  "diag_fig15"
+  "diag_fig15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_fig15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_hiccup.dir/__/tools/diag_hiccup.cc.o"
+  "CMakeFiles/diag_hiccup.dir/__/tools/diag_hiccup.cc.o.d"
+  "diag_hiccup"
+  "diag_hiccup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_hiccup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

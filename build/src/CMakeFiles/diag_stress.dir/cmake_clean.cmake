@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_stress.dir/__/tools/diag_stress.cc.o"
+  "CMakeFiles/diag_stress.dir/__/tools/diag_stress.cc.o.d"
+  "diag_stress"
+  "diag_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

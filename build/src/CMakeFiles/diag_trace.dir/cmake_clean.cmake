@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_trace.dir/__/tools/diag_trace.cc.o"
+  "CMakeFiles/diag_trace.dir/__/tools/diag_trace.cc.o.d"
+  "diag_trace"
+  "diag_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_cli.dir/__/tools/rhythm_cli.cc.o"
+  "CMakeFiles/rhythm_cli.dir/__/tools/rhythm_cli.cc.o.d"
+  "rhythm_cli"
+  "rhythm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

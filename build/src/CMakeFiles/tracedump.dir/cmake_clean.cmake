@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracedump.dir/__/tools/tracedump.cc.o"
+  "CMakeFiles/tracedump.dir/__/tools/tracedump.cc.o.d"
+  "tracedump"
+  "tracedump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracedump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_baseline.dir/heracles.cc.o"
+  "CMakeFiles/rhythm_baseline.dir/heracles.cc.o.d"
+  "librhythm_baseline.a"
+  "librhythm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

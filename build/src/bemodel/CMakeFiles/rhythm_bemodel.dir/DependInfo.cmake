@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bemodel/be_job_spec.cc" "src/bemodel/CMakeFiles/rhythm_bemodel.dir/be_job_spec.cc.o" "gcc" "src/bemodel/CMakeFiles/rhythm_bemodel.dir/be_job_spec.cc.o.d"
+  "/root/repo/src/bemodel/be_runtime.cc" "src/bemodel/CMakeFiles/rhythm_bemodel.dir/be_runtime.cc.o" "gcc" "src/bemodel/CMakeFiles/rhythm_bemodel.dir/be_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhythm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rhythm_resources.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

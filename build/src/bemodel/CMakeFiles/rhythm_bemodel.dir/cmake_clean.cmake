@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_bemodel.dir/be_job_spec.cc.o"
+  "CMakeFiles/rhythm_bemodel.dir/be_job_spec.cc.o.d"
+  "CMakeFiles/rhythm_bemodel.dir/be_runtime.cc.o"
+  "CMakeFiles/rhythm_bemodel.dir/be_runtime.cc.o.d"
+  "librhythm_bemodel.a"
+  "librhythm_bemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_bemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/app_thresholds.cc" "src/cluster/CMakeFiles/rhythm_cluster.dir/app_thresholds.cc.o" "gcc" "src/cluster/CMakeFiles/rhythm_cluster.dir/app_thresholds.cc.o.d"
+  "/root/repo/src/cluster/bubble_profiler.cc" "src/cluster/CMakeFiles/rhythm_cluster.dir/bubble_profiler.cc.o" "gcc" "src/cluster/CMakeFiles/rhythm_cluster.dir/bubble_profiler.cc.o.d"
+  "/root/repo/src/cluster/deployment.cc" "src/cluster/CMakeFiles/rhythm_cluster.dir/deployment.cc.o" "gcc" "src/cluster/CMakeFiles/rhythm_cluster.dir/deployment.cc.o.d"
+  "/root/repo/src/cluster/experiment.cc" "src/cluster/CMakeFiles/rhythm_cluster.dir/experiment.cc.o" "gcc" "src/cluster/CMakeFiles/rhythm_cluster.dir/experiment.cc.o.d"
+  "/root/repo/src/cluster/metrics.cc" "src/cluster/CMakeFiles/rhythm_cluster.dir/metrics.cc.o" "gcc" "src/cluster/CMakeFiles/rhythm_cluster.dir/metrics.cc.o.d"
+  "/root/repo/src/cluster/multi_lc.cc" "src/cluster/CMakeFiles/rhythm_cluster.dir/multi_lc.cc.o" "gcc" "src/cluster/CMakeFiles/rhythm_cluster.dir/multi_lc.cc.o.d"
+  "/root/repo/src/cluster/profiler.cc" "src/cluster/CMakeFiles/rhythm_cluster.dir/profiler.cc.o" "gcc" "src/cluster/CMakeFiles/rhythm_cluster.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/rhythm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rhythm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/rhythm_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/interference/CMakeFiles/rhythm_interference.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/rhythm_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rhythm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rhythm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rhythm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bemodel/CMakeFiles/rhythm_bemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rhythm_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rhythm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_cluster.dir/app_thresholds.cc.o"
+  "CMakeFiles/rhythm_cluster.dir/app_thresholds.cc.o.d"
+  "CMakeFiles/rhythm_cluster.dir/bubble_profiler.cc.o"
+  "CMakeFiles/rhythm_cluster.dir/bubble_profiler.cc.o.d"
+  "CMakeFiles/rhythm_cluster.dir/deployment.cc.o"
+  "CMakeFiles/rhythm_cluster.dir/deployment.cc.o.d"
+  "CMakeFiles/rhythm_cluster.dir/experiment.cc.o"
+  "CMakeFiles/rhythm_cluster.dir/experiment.cc.o.d"
+  "CMakeFiles/rhythm_cluster.dir/metrics.cc.o"
+  "CMakeFiles/rhythm_cluster.dir/metrics.cc.o.d"
+  "CMakeFiles/rhythm_cluster.dir/multi_lc.cc.o"
+  "CMakeFiles/rhythm_cluster.dir/multi_lc.cc.o.d"
+  "CMakeFiles/rhythm_cluster.dir/profiler.cc.o"
+  "CMakeFiles/rhythm_cluster.dir/profiler.cc.o.d"
+  "librhythm_cluster.a"
+  "librhythm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_common.dir/logging.cc.o"
+  "CMakeFiles/rhythm_common.dir/logging.cc.o.d"
+  "CMakeFiles/rhythm_common.dir/p2_quantile.cc.o"
+  "CMakeFiles/rhythm_common.dir/p2_quantile.cc.o.d"
+  "CMakeFiles/rhythm_common.dir/percentile_window.cc.o"
+  "CMakeFiles/rhythm_common.dir/percentile_window.cc.o.d"
+  "CMakeFiles/rhythm_common.dir/stats.cc.o"
+  "CMakeFiles/rhythm_common.dir/stats.cc.o.d"
+  "CMakeFiles/rhythm_common.dir/time_series.cc.o"
+  "CMakeFiles/rhythm_common.dir/time_series.cc.o.d"
+  "librhythm_common.a"
+  "librhythm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

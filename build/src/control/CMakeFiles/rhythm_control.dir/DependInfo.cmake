@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/machine_agent.cc" "src/control/CMakeFiles/rhythm_control.dir/machine_agent.cc.o" "gcc" "src/control/CMakeFiles/rhythm_control.dir/machine_agent.cc.o.d"
+  "/root/repo/src/control/thresholds.cc" "src/control/CMakeFiles/rhythm_control.dir/thresholds.cc.o" "gcc" "src/control/CMakeFiles/rhythm_control.dir/thresholds.cc.o.d"
+  "/root/repo/src/control/top_controller.cc" "src/control/CMakeFiles/rhythm_control.dir/top_controller.cc.o" "gcc" "src/control/CMakeFiles/rhythm_control.dir/top_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhythm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bemodel/CMakeFiles/rhythm_bemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rhythm_resources.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

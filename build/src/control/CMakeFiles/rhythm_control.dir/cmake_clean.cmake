@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_control.dir/machine_agent.cc.o"
+  "CMakeFiles/rhythm_control.dir/machine_agent.cc.o.d"
+  "CMakeFiles/rhythm_control.dir/thresholds.cc.o"
+  "CMakeFiles/rhythm_control.dir/thresholds.cc.o.d"
+  "CMakeFiles/rhythm_control.dir/top_controller.cc.o"
+  "CMakeFiles/rhythm_control.dir/top_controller.cc.o.d"
+  "librhythm_control.a"
+  "librhythm_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

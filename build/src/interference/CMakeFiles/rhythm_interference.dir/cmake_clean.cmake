@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_interference.dir/interference_model.cc.o"
+  "CMakeFiles/rhythm_interference.dir/interference_model.cc.o.d"
+  "librhythm_interference.a"
+  "librhythm_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

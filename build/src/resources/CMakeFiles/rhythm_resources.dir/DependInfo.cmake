@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resources/cat_allocator.cc" "src/resources/CMakeFiles/rhythm_resources.dir/cat_allocator.cc.o" "gcc" "src/resources/CMakeFiles/rhythm_resources.dir/cat_allocator.cc.o.d"
+  "/root/repo/src/resources/core_allocator.cc" "src/resources/CMakeFiles/rhythm_resources.dir/core_allocator.cc.o" "gcc" "src/resources/CMakeFiles/rhythm_resources.dir/core_allocator.cc.o.d"
+  "/root/repo/src/resources/machine.cc" "src/resources/CMakeFiles/rhythm_resources.dir/machine.cc.o" "gcc" "src/resources/CMakeFiles/rhythm_resources.dir/machine.cc.o.d"
+  "/root/repo/src/resources/membw_accountant.cc" "src/resources/CMakeFiles/rhythm_resources.dir/membw_accountant.cc.o" "gcc" "src/resources/CMakeFiles/rhythm_resources.dir/membw_accountant.cc.o.d"
+  "/root/repo/src/resources/memory_allocator.cc" "src/resources/CMakeFiles/rhythm_resources.dir/memory_allocator.cc.o" "gcc" "src/resources/CMakeFiles/rhythm_resources.dir/memory_allocator.cc.o.d"
+  "/root/repo/src/resources/network_qdisc.cc" "src/resources/CMakeFiles/rhythm_resources.dir/network_qdisc.cc.o" "gcc" "src/resources/CMakeFiles/rhythm_resources.dir/network_qdisc.cc.o.d"
+  "/root/repo/src/resources/power_model.cc" "src/resources/CMakeFiles/rhythm_resources.dir/power_model.cc.o" "gcc" "src/resources/CMakeFiles/rhythm_resources.dir/power_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhythm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_resources.dir/cat_allocator.cc.o"
+  "CMakeFiles/rhythm_resources.dir/cat_allocator.cc.o.d"
+  "CMakeFiles/rhythm_resources.dir/core_allocator.cc.o"
+  "CMakeFiles/rhythm_resources.dir/core_allocator.cc.o.d"
+  "CMakeFiles/rhythm_resources.dir/machine.cc.o"
+  "CMakeFiles/rhythm_resources.dir/machine.cc.o.d"
+  "CMakeFiles/rhythm_resources.dir/membw_accountant.cc.o"
+  "CMakeFiles/rhythm_resources.dir/membw_accountant.cc.o.d"
+  "CMakeFiles/rhythm_resources.dir/memory_allocator.cc.o"
+  "CMakeFiles/rhythm_resources.dir/memory_allocator.cc.o.d"
+  "CMakeFiles/rhythm_resources.dir/network_qdisc.cc.o"
+  "CMakeFiles/rhythm_resources.dir/network_qdisc.cc.o.d"
+  "CMakeFiles/rhythm_resources.dir/power_model.cc.o"
+  "CMakeFiles/rhythm_resources.dir/power_model.cc.o.d"
+  "librhythm_resources.a"
+  "librhythm_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduler/be_scheduler.cc" "src/scheduler/CMakeFiles/rhythm_scheduler.dir/be_scheduler.cc.o" "gcc" "src/scheduler/CMakeFiles/rhythm_scheduler.dir/be_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bemodel/CMakeFiles/rhythm_bemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/rhythm_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rhythm_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rhythm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

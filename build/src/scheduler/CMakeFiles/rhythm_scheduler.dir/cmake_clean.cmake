@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_scheduler.dir/be_scheduler.cc.o"
+  "CMakeFiles/rhythm_scheduler.dir/be_scheduler.cc.o.d"
+  "librhythm_scheduler.a"
+  "librhythm_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/cpg_builder.cc" "src/trace/CMakeFiles/rhythm_trace.dir/cpg_builder.cc.o" "gcc" "src/trace/CMakeFiles/rhythm_trace.dir/cpg_builder.cc.o.d"
+  "/root/repo/src/trace/events.cc" "src/trace/CMakeFiles/rhythm_trace.dir/events.cc.o" "gcc" "src/trace/CMakeFiles/rhythm_trace.dir/events.cc.o.d"
+  "/root/repo/src/trace/path_classifier.cc" "src/trace/CMakeFiles/rhythm_trace.dir/path_classifier.cc.o" "gcc" "src/trace/CMakeFiles/rhythm_trace.dir/path_classifier.cc.o.d"
+  "/root/repo/src/trace/sojourn_extractor.cc" "src/trace/CMakeFiles/rhythm_trace.dir/sojourn_extractor.cc.o" "gcc" "src/trace/CMakeFiles/rhythm_trace.dir/sojourn_extractor.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/rhythm_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/rhythm_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhythm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

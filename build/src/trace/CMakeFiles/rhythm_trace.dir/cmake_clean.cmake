@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_trace.dir/cpg_builder.cc.o"
+  "CMakeFiles/rhythm_trace.dir/cpg_builder.cc.o.d"
+  "CMakeFiles/rhythm_trace.dir/events.cc.o"
+  "CMakeFiles/rhythm_trace.dir/events.cc.o.d"
+  "CMakeFiles/rhythm_trace.dir/path_classifier.cc.o"
+  "CMakeFiles/rhythm_trace.dir/path_classifier.cc.o.d"
+  "CMakeFiles/rhythm_trace.dir/sojourn_extractor.cc.o"
+  "CMakeFiles/rhythm_trace.dir/sojourn_extractor.cc.o.d"
+  "CMakeFiles/rhythm_trace.dir/trace_io.cc.o"
+  "CMakeFiles/rhythm_trace.dir/trace_io.cc.o.d"
+  "librhythm_trace.a"
+  "librhythm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_catalog.cc" "src/workload/CMakeFiles/rhythm_workload.dir/app_catalog.cc.o" "gcc" "src/workload/CMakeFiles/rhythm_workload.dir/app_catalog.cc.o.d"
+  "/root/repo/src/workload/call_graph.cc" "src/workload/CMakeFiles/rhythm_workload.dir/call_graph.cc.o" "gcc" "src/workload/CMakeFiles/rhythm_workload.dir/call_graph.cc.o.d"
+  "/root/repo/src/workload/component.cc" "src/workload/CMakeFiles/rhythm_workload.dir/component.cc.o" "gcc" "src/workload/CMakeFiles/rhythm_workload.dir/component.cc.o.d"
+  "/root/repo/src/workload/lc_service.cc" "src/workload/CMakeFiles/rhythm_workload.dir/lc_service.cc.o" "gcc" "src/workload/CMakeFiles/rhythm_workload.dir/lc_service.cc.o.d"
+  "/root/repo/src/workload/load_profile.cc" "src/workload/CMakeFiles/rhythm_workload.dir/load_profile.cc.o" "gcc" "src/workload/CMakeFiles/rhythm_workload.dir/load_profile.cc.o.d"
+  "/root/repo/src/workload/trace_file_profile.cc" "src/workload/CMakeFiles/rhythm_workload.dir/trace_file_profile.cc.o" "gcc" "src/workload/CMakeFiles/rhythm_workload.dir/trace_file_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhythm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rhythm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bemodel/CMakeFiles/rhythm_bemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rhythm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/rhythm_resources.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

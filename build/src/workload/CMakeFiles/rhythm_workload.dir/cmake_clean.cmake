@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhythm_workload.dir/app_catalog.cc.o"
+  "CMakeFiles/rhythm_workload.dir/app_catalog.cc.o.d"
+  "CMakeFiles/rhythm_workload.dir/call_graph.cc.o"
+  "CMakeFiles/rhythm_workload.dir/call_graph.cc.o.d"
+  "CMakeFiles/rhythm_workload.dir/component.cc.o"
+  "CMakeFiles/rhythm_workload.dir/component.cc.o.d"
+  "CMakeFiles/rhythm_workload.dir/lc_service.cc.o"
+  "CMakeFiles/rhythm_workload.dir/lc_service.cc.o.d"
+  "CMakeFiles/rhythm_workload.dir/load_profile.cc.o"
+  "CMakeFiles/rhythm_workload.dir/load_profile.cc.o.d"
+  "CMakeFiles/rhythm_workload.dir/trace_file_profile.cc.o"
+  "CMakeFiles/rhythm_workload.dir/trace_file_profile.cc.o.d"
+  "librhythm_workload.a"
+  "librhythm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhythm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

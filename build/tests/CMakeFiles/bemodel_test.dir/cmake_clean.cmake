@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bemodel_test.dir/bemodel/be_job_spec_test.cc.o"
+  "CMakeFiles/bemodel_test.dir/bemodel/be_job_spec_test.cc.o.d"
+  "CMakeFiles/bemodel_test.dir/bemodel/be_runtime_test.cc.o"
+  "CMakeFiles/bemodel_test.dir/bemodel/be_runtime_test.cc.o.d"
+  "bemodel_test"
+  "bemodel_test.pdb"
+  "bemodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bemodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

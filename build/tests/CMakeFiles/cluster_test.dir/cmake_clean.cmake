@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_test.dir/cluster/app_thresholds_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/app_thresholds_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/bubble_profiler_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/bubble_profiler_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/deployment_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/deployment_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/experiment_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/experiment_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/metrics_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/metrics_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/multi_lc_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/multi_lc_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/per_app_thresholds_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/per_app_thresholds_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/profiler_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/profiler_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/scheduler_integration_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/scheduler_integration_test.cc.o.d"
+  "cluster_test"
+  "cluster_test.pdb"
+  "cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

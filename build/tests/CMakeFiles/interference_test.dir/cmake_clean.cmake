@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_test.dir/interference/interference_model_test.cc.o"
+  "CMakeFiles/interference_test.dir/interference/interference_model_test.cc.o.d"
+  "CMakeFiles/interference_test.dir/interference/interference_property_test.cc.o"
+  "CMakeFiles/interference_test.dir/interference/interference_property_test.cc.o.d"
+  "interference_test"
+  "interference_test.pdb"
+  "interference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

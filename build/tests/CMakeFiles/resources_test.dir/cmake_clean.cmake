@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resources_test.dir/resources/cat_allocator_test.cc.o"
+  "CMakeFiles/resources_test.dir/resources/cat_allocator_test.cc.o.d"
+  "CMakeFiles/resources_test.dir/resources/core_allocator_test.cc.o"
+  "CMakeFiles/resources_test.dir/resources/core_allocator_test.cc.o.d"
+  "CMakeFiles/resources_test.dir/resources/machine_test.cc.o"
+  "CMakeFiles/resources_test.dir/resources/machine_test.cc.o.d"
+  "CMakeFiles/resources_test.dir/resources/membw_accountant_test.cc.o"
+  "CMakeFiles/resources_test.dir/resources/membw_accountant_test.cc.o.d"
+  "CMakeFiles/resources_test.dir/resources/memory_allocator_test.cc.o"
+  "CMakeFiles/resources_test.dir/resources/memory_allocator_test.cc.o.d"
+  "CMakeFiles/resources_test.dir/resources/network_qdisc_test.cc.o"
+  "CMakeFiles/resources_test.dir/resources/network_qdisc_test.cc.o.d"
+  "CMakeFiles/resources_test.dir/resources/power_model_test.cc.o"
+  "CMakeFiles/resources_test.dir/resources/power_model_test.cc.o.d"
+  "resources_test"
+  "resources_test.pdb"
+  "resources_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_test.dir/scheduler/be_backlog_test.cc.o"
+  "CMakeFiles/scheduler_test.dir/scheduler/be_backlog_test.cc.o.d"
+  "CMakeFiles/scheduler_test.dir/scheduler/be_scheduler_test.cc.o"
+  "CMakeFiles/scheduler_test.dir/scheduler/be_scheduler_test.cc.o.d"
+  "scheduler_test"
+  "scheduler_test.pdb"
+  "scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

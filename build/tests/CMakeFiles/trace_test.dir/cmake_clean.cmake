@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_test.dir/trace/cpg_builder_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/cpg_builder_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/path_classifier_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/path_classifier_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/sojourn_extractor_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/sojourn_extractor_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/trace_io_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/trace_io_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/tracer_integration_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/tracer_integration_test.cc.o.d"
+  "trace_test"
+  "trace_test.pdb"
+  "trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
