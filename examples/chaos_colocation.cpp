@@ -1,0 +1,83 @@
+// Chaos co-location: the calibrated crash drill from the fault layer. The
+// MySQL machine dies mid-run and limps back on a 2x cold standby while the
+// survivors absorb failover load. Compare how each controller rides the
+// outage: Rhythm sheds BEs within seconds and re-admits them under
+// exponential backoff; an uncontrolled co-location grinds through the whole
+// window in SLA violation.
+//
+//   $ ./chaos_colocation [load-percent]    (default 60)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/rhythm.h"
+
+using namespace rhythm;
+
+namespace {
+
+constexpr double kCrashAt = 120.0;
+constexpr double kDownS = 60.0;
+constexpr double kDuration = 300.0;
+
+int OutageViolations(const Deployment& deployment) {
+  int violations = 0;
+  for (double t = kCrashAt + 1.0; t <= kCrashAt + kDownS; t += 1.0) {
+    if (deployment.slack_series().ValueAt(t) < 0.0) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double load = argc > 1 ? std::atof(argv[1]) / 100.0 : 0.60;
+  const AppSpec app = MakeApp(LcAppKind::kEcommerce);
+  const int mysql = app.PodIndex("MySQL");
+
+  FaultSchedule faults;
+  faults.Add({FaultKind::kPodCrash, mysql, kCrashAt, kDownS, /*magnitude=*/1.0});
+
+  std::printf("E-commerce + wordcount at %.0f%% load; MySQL machine down %.0f-%.0f s\n\n",
+              load * 100.0, kCrashAt, kCrashAt + kDownS);
+  std::printf("%-10s %10s %10s %10s %12s %8s\n", "controller", "outageViol", "recovery",
+              "backoffs", "crashLosses", "kills");
+
+  for (ControllerKind controller :
+       {ControllerKind::kRhythm, ControllerKind::kHeracles, ControllerKind::kNone}) {
+    DeploymentConfig config;
+    config.app_kind = LcAppKind::kEcommerce;
+    config.be_kind = BeJobKind::kWordcount;
+    config.controller = controller;
+    if (controller == ControllerKind::kRhythm) {
+      config.thresholds = CachedAppThresholds(config.app_kind).pods;
+    }
+    config.seed = 31;
+    config.faults = &faults;
+
+    Deployment deployment(config);
+    const ConstantLoad profile(load);
+    deployment.Start(&profile);
+    if (controller == ControllerKind::kNone) {
+      // No controller to admit BEs: pin one full-grown instance per pod.
+      for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+        deployment.LaunchBeAtPod(pod, 1);
+      }
+    }
+    deployment.RunFor(kDuration);
+
+    char recovery[32];
+    if (deployment.crash_count() > 0 && deployment.recovered()) {
+      std::snprintf(recovery, sizeof recovery, "%.0f s", deployment.max_recovery_s());
+    } else {
+      std::snprintf(recovery, sizeof recovery, "never");
+    }
+    std::printf("%-10s %7d/%-2.0f %10s %10llu %12llu %8llu\n",
+                ControllerKindName(controller), OutageViolations(deployment), kDownS, recovery,
+                (unsigned long long)deployment.TotalBackoffHolds(),
+                (unsigned long long)deployment.crash_be_losses(),
+                (unsigned long long)deployment.TotalBeKills());
+  }
+  std::printf("\noutageViol = seconds of negative SLA slack inside the outage window.\n");
+  return 0;
+}

@@ -16,6 +16,10 @@ int BeRuntime::LlcStepWays() const {
   return std::max(1, machine_->spec().llc_ways / 10);
 }
 
+bool BeRuntime::ActuationLost(const char* op) {
+  return actuation_gate_ && actuation_gate_(op);
+}
+
 bool BeRuntime::LaunchInstance() {
   if (!self_launch_allowed_) {
     return false;
@@ -24,6 +28,9 @@ bool BeRuntime::LaunchInstance() {
 }
 
 bool BeRuntime::AdmitInstance() {
+  if (admission_blocked_) {
+    return false;
+  }
   if (machine_->cores().AllocateBeCores(1) != 1) {
     return false;
   }
@@ -39,6 +46,9 @@ bool BeRuntime::AdmitInstance() {
 }
 
 bool BeRuntime::Grow() {
+  if (ActuationLost("grow")) {
+    return true;  // the command vanished; the caller believes it landed.
+  }
   // Prefer feeding the instance that is furthest below its core demand.
   int neediest = -1;
   double worst_ratio = 1.0;
@@ -80,6 +90,9 @@ bool BeRuntime::GrowInstance(int index) {
 }
 
 bool BeRuntime::Cut() {
+  if (ActuationLost("cut")) {
+    return true;  // the command vanished; the caller believes it landed.
+  }
   // Take from the richest instance first.
   BeInstance* richest = nullptr;
   for (BeInstance& inst : instances_) {
@@ -140,6 +153,9 @@ bool BeRuntime::CutMemoryStep() {
 }
 
 void BeRuntime::SuspendAll() {
+  if (ActuationLost("suspend")) {
+    return;
+  }
   for (BeInstance& inst : instances_) {
     inst.suspended = true;
   }
@@ -151,18 +167,31 @@ void BeRuntime::ResumeAll() {
   }
 }
 
+void BeRuntime::ReleaseInstance(const BeInstance& inst) {
+  machine_->cores().ReleaseBeCores(inst.cores);
+  machine_->cat().ReleaseBeWays(inst.llc_ways);
+  machine_->memory().ReleaseBeGb(inst.memory_gb);
+  // A killed batch job forfeits its in-flight work (the paper's BE
+  // throughput counts jobs *successfully finished*).
+  progress_units_ -= inst.progress;
+}
+
 int BeRuntime::StopAll() {
   const int killed = static_cast<int>(instances_.size());
   for (BeInstance& inst : instances_) {
-    machine_->cores().ReleaseBeCores(inst.cores);
-    machine_->cat().ReleaseBeWays(inst.llc_ways);
-    machine_->memory().ReleaseBeGb(inst.memory_gb);
-    // A killed batch job forfeits its in-flight work (the paper's BE
-    // throughput counts jobs *successfully finished*).
-    progress_units_ -= inst.progress;
+    ReleaseInstance(inst);
   }
   instances_.clear();
   return killed;
+}
+
+bool BeRuntime::FailOneInstance() {
+  if (instances_.empty()) {
+    return false;
+  }
+  ReleaseInstance(instances_.back());
+  instances_.pop_back();
+  return true;
 }
 
 double BeRuntime::InstanceSpeed(const BeInstance& inst) const {

@@ -10,6 +10,7 @@
 #define RHYTHM_SRC_BEMODEL_BE_RUNTIME_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/bemodel/be_job_spec.h"
@@ -49,6 +50,19 @@ class BeRuntime {
   void set_self_launch_allowed(bool allowed) { self_launch_allowed_ = allowed; }
   bool self_launch_allowed() const { return self_launch_allowed_; }
 
+  // Fault hook (fault-injection layer): when set and it returns true for an
+  // op ("grow", "cut", "suspend"), the command is silently lost — the call
+  // pretends success but changes nothing, as a dropped IPC to the machine
+  // daemon would. The controller detects the lie by verifying observable
+  // state and retries.
+  using ActuationGate = std::function<bool(const char* op)>;
+  void SetActuationGate(ActuationGate gate) { actuation_gate_ = std::move(gate); }
+
+  // Machine-down hook: while blocked, no instance can be created (neither
+  // self-launched nor scheduler-admitted).
+  void set_admission_blocked(bool blocked) { admission_blocked_ = blocked; }
+  bool admission_blocked() const { return admission_blocked_; }
+
   // -- Controller actions (paper §3.5.2) ------------------------------------
 
   // Starts one new instance configured with 1 core, 10% of the LLC and 2 GB
@@ -84,8 +98,15 @@ class BeRuntime {
   void ResumeAll();
 
   // StopBE: kills all instances, releasing every resource. Returns the
-  // number of instances killed.
+  // number of instances killed. Never gated: a kill is forced through the
+  // kernel, not asked of the job.
   int StopAll();
+
+  // Fault-injection path: one instance dies on its own (OOM, segfault,
+  // preemption) — resources free up, in-flight work is forfeited, and the
+  // controller only notices through accounting. Returns false when there was
+  // no instance to kill.
+  bool FailOneInstance();
 
   // -- Simulation ------------------------------------------------------------
 
@@ -143,12 +164,20 @@ class BeRuntime {
   BeJobSpec spec_;
   BeBacklog* backlog_ = nullptr;
   bool self_launch_allowed_ = true;
+  bool admission_blocked_ = false;
+  ActuationGate actuation_gate_;
   std::vector<BeInstance> instances_;
   uint64_t completions_ = 0;
   double progress_units_ = 0.0;
 
   // 10% of the LLC in CAT ways (>= 1).
   int LlcStepWays() const;
+
+  // True when the actuation gate swallows `op`.
+  bool ActuationLost(const char* op);
+
+  // Releases one instance's resources and forfeits its in-flight work.
+  void ReleaseInstance(const BeInstance& inst);
 };
 
 }  // namespace rhythm

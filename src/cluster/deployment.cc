@@ -78,11 +78,47 @@ Deployment::Deployment(const DeploymentConfig& config)
     }
   }
 
+  // Fault wiring: the injector owns its own RNG stream (derived from the run
+  // seed) so fault realizations are deterministic and fault-free runs draw
+  // nothing extra.
+  telemetry_.resize(pods);
+  if (config.faults != nullptr && !config.faults->empty()) {
+    const uint64_t fault_seed = config.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+    fault_ = std::make_unique<FaultInjector>(&sim_, *config.faults, pods, fault_seed);
+    fault_->set_crash_handler([this](int pod, bool online) {
+      if (online) {
+        OnPodReboot(pod);
+      } else {
+        OnPodCrash(pod);
+      }
+    });
+    fault_->set_be_failure_handler([this](int pod) {
+      BeRuntime* be = this->be(pod);
+      if (be != nullptr && be->FailOneInstance()) {
+        ++be_instance_failures_;
+        ++crash_be_losses_;
+        be->PublishActivity();
+      }
+    });
+    if (config.enable_be) {
+      for (int pod = 0; pod < pods; ++pod) {
+        be_runtimes_[pod]->SetActuationGate(
+            [this, pod](const char*) { return fault_->DropActuation(pod); });
+      }
+    }
+  }
+
   // Interference wiring: the LC's inflation at pod i comes from machine i's
-  // state and its BE runtime.
+  // state and its BE runtime; a crash failover multiplies in the cold-standby
+  // and survivor-absorption penalties.
   service_->SetInflationProvider([this](int pod) {
     const BeRuntime* be = be_runtimes_.empty() ? nullptr : be_runtimes_[pod].get();
-    return InterferenceModel::Inflation(app_.components[pod].sensitivity, *machines_[pod], be);
+    double inflation =
+        InterferenceModel::Inflation(app_.components[pod].sensitivity, *machines_[pod], be);
+    if (fault_ != nullptr) {
+      inflation *= fault_->FailoverInflation(pod);
+    }
+    return inflation;
   });
 }
 
@@ -96,6 +132,9 @@ void Deployment::Start(const LoadProfile* profile) {
   if (!agents_.empty()) {
     sim_.SchedulePeriodic(MachineAgent::kPeriodSeconds, MachineAgent::kPeriodSeconds,
                           [this] { ControllerTick(); });
+  }
+  if (fault_ != nullptr) {
+    fault_->Start();
   }
 }
 
@@ -120,13 +159,54 @@ void Deployment::AccountingTick() {
   load_series_.Add(now, load);
   const double tail = service_->TailLatencyMs();
   tail_series_.Add(now, tail);
-  slack_series_.Add(now, TopController::Slack(tail, app_.sla_ms));
+  const double slack = TopController::Slack(tail, app_.sla_ms);
+  slack_series_.Add(now, slack);
+
+  // Accounting-granularity violation counter: exists even when no agents run
+  // (kNone baselines), so fault runs can compare controllers against "do
+  // nothing" on the same measure.
+  if (slack < 0.0) {
+    ++slack_violation_ticks_;
+  }
+  if (awaiting_recovery_) {
+    if (slack < 0.0) {
+      // The crash's dent has reached the tail window; the clock runs until
+      // the next positive-slack tick.
+      recovery_dented_ = true;
+      max_recovery_s_ = std::max(max_recovery_s_, now - recovery_start_);
+    } else if (recovery_dented_) {
+      max_recovery_s_ = std::max(max_recovery_s_, now - recovery_start_);
+      awaiting_recovery_ = false;
+      recovery_dented_ = false;
+    } else if (fault_ == nullptr || !fault_->AnyPodOffline()) {
+      // Machine back and the slack never went negative: nothing to recover.
+      awaiting_recovery_ = false;
+    }
+  }
+
+  // Telemetry publication — what the controller agents will see. A blackout
+  // skips the update (the sample ages, which the stale detector catches); a
+  // freeze refreshes the timestamp under a stale value (undetectable — the
+  // guards must contain the damage).
+  for (int pod = 0; pod < pod_count(); ++pod) {
+    if (fault_ != nullptr && fault_->TelemetryBlackout(pod)) {
+      continue;
+    }
+    telemetry_[pod].sampled_at = now;
+    if (fault_ == nullptr || !fault_->TelemetryFrozen(pod)) {
+      telemetry_[pod].tail_ms = tail;
+    }
+  }
 
   const double elapsed_hours = now / 3600.0;
   for (int pod = 0; pod < pod_count(); ++pod) {
     Machine& machine = *machines_[pod];
-    machine.SetLcActivity(service_->PodBusyCores(pod), service_->PodMembwGbs(pod),
-                          service_->PodNetGbps(pod));
+    if (fault_ != nullptr && fault_->PodOffline(pod)) {
+      machine.SetLcActivity(0.0, 0.0, 0.0);  // dead machine, nothing runs.
+    } else {
+      machine.SetLcActivity(service_->PodBusyCores(pod), service_->PodMembwGbs(pod),
+                            service_->PodNetGbps(pod));
+    }
     BeRuntime* be = be_runtimes_.empty() ? nullptr : be_runtimes_[pod].get();
     if (be != nullptr) {
       be->Step(config_.accounting_period_s);
@@ -146,10 +226,24 @@ void Deployment::AccountingTick() {
 }
 
 void Deployment::ControllerTick() {
+  const double now = sim_.Now();
   const double load = service_->CurrentLoad();
   const double tail = service_->TailLatencyMs();
   for (int pod = 0; pod < pod_count(); ++pod) {
-    agents_[pod]->Tick(load, tail, service_->PodUtilization(pod));
+    if (fault_ != nullptr && fault_->PodOffline(pod)) {
+      continue;  // the agent died with its machine.
+    }
+    if (fault_ != nullptr) {
+      // Fault runs consume the *published* tail sample with its age, so
+      // telemetry faults reach the stale-signal detector.
+      agents_[pod]->Tick(MachineAgent::TelemetrySample{
+          .load = load,
+          .tail_ms = telemetry_[pod].tail_ms,
+          .tail_age_s = now - telemetry_[pod].sampled_at,
+          .lc_utilization = service_->PodUtilization(pod)});
+    } else {
+      agents_[pod]->Tick(load, tail, service_->PodUtilization(pod));
+    }
   }
   // Dispatch after the fresh decisions, paced like the agents' own growth so
   // admissions cannot outrun the tail window's feedback.
@@ -194,6 +288,64 @@ uint64_t Deployment::TotalSlaViolations() const {
     worst = std::max(worst, agent->stats().sla_violations);
   }
   return worst;
+}
+
+uint64_t Deployment::TotalStaleTicks() const {
+  uint64_t total = 0;
+  for (const auto& agent : agents_) {
+    total += agent->stats().stale_ticks;
+  }
+  return total;
+}
+
+uint64_t Deployment::TotalFailedActuations() const {
+  uint64_t total = 0;
+  for (const auto& agent : agents_) {
+    total += agent->stats().failed_actuations;
+  }
+  return total;
+}
+
+uint64_t Deployment::TotalBackoffHolds() const {
+  uint64_t total = 0;
+  for (const auto& agent : agents_) {
+    total += agent->stats().backoff_holds;
+  }
+  return total;
+}
+
+void Deployment::OnPodCrash(int pod) {
+  ++crash_count_;
+  if (!awaiting_recovery_) {
+    awaiting_recovery_ = true;
+    recovery_start_ = sim_.Now();
+  }
+  machines_[pod]->SetLcActivity(0.0, 0.0, 0.0);
+  BeRuntime* be = this->be(pod);
+  if (be != nullptr) {
+    // Instances die with the machine — these are crash losses, not kills.
+    crash_be_losses_ += be->StopAll();
+    be->set_admission_blocked(true);
+    be->PublishActivity();
+  }
+}
+
+void Deployment::OnPodReboot(int pod) {
+  BeRuntime* be = this->be(pod);
+  if (be != nullptr) {
+    be->set_admission_blocked(false);
+  }
+  // The rebooted machine re-registers with a fresh measurement, but its agent
+  // holds BE growth back while the pod warms up.
+  telemetry_[pod].tail_ms = service_->TailLatencyMs();
+  telemetry_[pod].sampled_at = sim_.Now();
+  if (!agents_.empty()) {
+    // A reboot is a heavier disruption than a single kill: arm the full
+    // exponential hold rather than entering at level one.
+    for (uint64_t i = 0; i < MachineAgent::kBackoffMaxLevel; ++i) {
+      agents_[pod]->TriggerBackoff();
+    }
+  }
 }
 
 }  // namespace rhythm

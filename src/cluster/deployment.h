@@ -9,7 +9,16 @@
 //   * an accounting task (1 s) publishes LC/BE activity into the machines,
 //     advances BE progress and samples metrics;
 //   * a controller task (2 s) runs each machine's agent (Rhythm thresholds
-//     per pod, Heracles uniform thresholds, or none).
+//     per pod, Heracles uniform thresholds, or none);
+//   * an optional fault schedule (src/fault) injects machine crashes with
+//     pod failover, telemetry dropouts, lost actuations and BE-instance
+//     deaths; the deployment tracks recovery time to positive slack.
+//
+// Telemetry path: with a fault schedule attached, agents consume the tail
+// sample the accounting task last *published* (with its age), so telemetry
+// faults are visible to the stale-signal detector. Without faults the agents
+// read the live signal, which keeps healthy runs bit-identical to the
+// pre-fault-layer behaviour.
 
 #ifndef RHYTHM_SRC_CLUSTER_DEPLOYMENT_H_
 #define RHYTHM_SRC_CLUSTER_DEPLOYMENT_H_
@@ -21,6 +30,8 @@
 #include "src/bemodel/be_runtime.h"
 #include "src/common/time_series.h"
 #include "src/control/machine_agent.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_schedule.h"
 #include "src/interference/interference_model.h"
 #include "src/resources/machine.h"
 #include "src/scheduler/be_backlog.h"
@@ -56,6 +67,9 @@ struct DeploymentConfig {
   // machines whose controllers accept BEs; machines may not self-launch.
   // 0 keeps the §5 evaluation setup (jobs always locally available).
   double be_arrival_rate_per_s = 0.0;
+  // Optional fault schedule (must outlive the deployment). Load-spike events
+  // are not applied here — wrap the profile in a SpikedLoadProfile.
+  const FaultSchedule* faults = nullptr;
 };
 
 // Per-pod metric series sampled by the accounting task.
@@ -115,11 +129,36 @@ class Deployment {
   uint64_t TotalBeKills() const;
   uint64_t TotalSlaViolations() const;
 
+  // Hardening counters summed across agents.
+  uint64_t TotalStaleTicks() const;
+  uint64_t TotalFailedActuations() const;
+  uint64_t TotalBackoffHolds() const;
+
+  // Fault state (null without a schedule).
+  const FaultInjector* fault() const { return fault_.get(); }
+  bool PodOnline(int pod) const { return fault_ == nullptr || !fault_->PodOffline(pod); }
+  uint64_t crash_count() const { return crash_count_; }
+  // BE instances lost to machine crashes / instance failures (not controller
+  // kills).
+  uint64_t crash_be_losses() const { return crash_be_losses_; }
+  uint64_t be_instance_failures() const { return be_instance_failures_; }
+  // Accounting ticks observed with negative slack — a violation measure that
+  // exists even without controller agents (kNone baselines).
+  uint64_t slack_violation_ticks() const { return slack_violation_ticks_; }
+  // Worst time from a crash to the next accounting tick with positive slack,
+  // counted only once the crash actually dented the slack; 0 when none did.
+  // False `recovered` means a dent was still unhealed when the run ended
+  // (the elapsed time so far is reported).
+  double max_recovery_s() const { return max_recovery_s_; }
+  bool recovered() const { return !awaiting_recovery_; }
+
   double sla_ms() const { return app_.sla_ms; }
 
  private:
   void AccountingTick();
   void ControllerTick();
+  void OnPodCrash(int pod);
+  void OnPodReboot(int pod);
 
   DeploymentConfig config_;
   AppSpec app_;
@@ -137,6 +176,24 @@ class Deployment {
   TimeSeries tail_series_;
   TimeSeries slack_series_;
   bool started_ = false;
+
+  // Fault wiring.
+  std::unique_ptr<FaultInjector> fault_;
+  // Tail telemetry as last published per pod (the controller's view).
+  struct PodTelemetry {
+    double tail_ms = 0.0;
+    double sampled_at = 0.0;
+  };
+  std::vector<PodTelemetry> telemetry_;
+  uint64_t crash_count_ = 0;
+  uint64_t crash_be_losses_ = 0;
+  uint64_t be_instance_failures_ = 0;
+  uint64_t slack_violation_ticks_ = 0;
+  // Recovery-to-positive-slack tracking for the earliest unhealed crash.
+  bool awaiting_recovery_ = false;
+  bool recovery_dented_ = false;   // slack has gone negative since the crash.
+  double recovery_start_ = 0.0;
+  double max_recovery_s_ = 0.0;
 };
 
 }  // namespace rhythm

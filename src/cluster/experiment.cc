@@ -13,6 +13,7 @@ RunSummary RunWithProfile(const ExperimentConfig& config, const LoadProfile& pro
   deployment_config.be_kind = config.be;
   deployment_config.controller = config.controller;
   deployment_config.seed = config.seed;
+  deployment_config.faults = config.faults;
   if (config.controller == ControllerKind::kRhythm) {
     deployment_config.thresholds =
         config.thresholds.empty() ? CachedAppThresholds(config.app).pods : config.thresholds;

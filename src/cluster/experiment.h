@@ -21,6 +21,9 @@ struct ExperimentConfig {
   uint64_t seed = 11;
   double warmup_s = 20.0;
   double measure_s = 120.0;
+  // Optional fault schedule (must outlive the run). Wrap the load profile in
+  // a SpikedLoadProfile yourself if the schedule carries kLoadSpike events.
+  const FaultSchedule* faults = nullptr;
 };
 
 // Constant-load run.

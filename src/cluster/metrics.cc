@@ -46,6 +46,14 @@ RunSummary Summarize(const Deployment& deployment, double t0, double t1,
       deployment.sla_ms() > 0.0 ? summary.worst_tail_ms / deployment.sla_ms() : 0.0;
   summary.sla_violations = deployment.TotalSlaViolations() - violations_before;
   summary.be_kills = deployment.TotalBeKills() - kills_before;
+  summary.crashes = deployment.crash_count();
+  summary.crash_be_losses = deployment.crash_be_losses();
+  summary.stale_ticks = deployment.TotalStaleTicks();
+  summary.failed_actuations = deployment.TotalFailedActuations();
+  summary.backoff_holds = deployment.TotalBackoffHolds();
+  summary.slack_violation_ticks = deployment.slack_violation_ticks();
+  summary.recovery_s = deployment.max_recovery_s();
+  summary.recovered = deployment.recovered();
   return summary;
 }
 

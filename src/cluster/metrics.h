@@ -31,6 +31,16 @@ struct RunSummary {
   double worst_tail_ratio = 0.0;  // worst_tail / SLA.
   uint64_t sla_violations = 0;    // controller ticks with negative slack.
   uint64_t be_kills = 0;          // BE instances destroyed by StopBE.
+
+  // Fault / hardening counters (whole run, zero for fault-free runs).
+  uint64_t crashes = 0;             // machine crash events fired.
+  uint64_t crash_be_losses = 0;     // BE instances lost to crashes/failures.
+  uint64_t stale_ticks = 0;         // agent ticks on the fail-safe path.
+  uint64_t failed_actuations = 0;   // verification caught a lost command.
+  uint64_t backoff_holds = 0;       // growth ticks held by kill backoff.
+  uint64_t slack_violation_ticks = 0;  // accounting ticks with negative slack.
+  double recovery_s = 0.0;          // worst crash-to-positive-slack time.
+  bool recovered = true;            // false: a crash was unhealed at run end.
 };
 
 // Summarizes a deployment over [t0, t1]. `kills_before` / `violations_before`

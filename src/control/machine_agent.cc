@@ -1,5 +1,8 @@
 #include "src/control/machine_agent.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/common/logging.h"
 
 namespace rhythm {
@@ -15,18 +18,113 @@ MachineAgent::MachineAgent(Machine* machine, BeRuntime* be, const ServpodThresho
   RHYTHM_CHECK(be != nullptr);
 }
 
-void MachineAgent::Tick(double load, double tail_ms, double lc_utilization) {
+void MachineAgent::Tick(const TelemetrySample& sample) {
   ++stats_.ticks;
-  const double slack = TopController::Slack(tail_ms, sla_ms_);
+  // Stale-signal detector: no fresh tail sample (accounting silent for
+  // several periods) or NaN telemetry means the slack is unknowable. Fail
+  // safe — assume zero slack and suspend rather than grow blind; memory
+  // stays resident so recovery is cheap once the signal returns.
+  const bool invalid = std::isnan(sample.tail_ms) || std::isnan(sample.load);
+  if (invalid || sample.tail_age_s > kStaleTailLimitS) {
+    ++stats_.stale_ticks;
+    Apply(BeAction::kSuspendBe, /*slack=*/0.0, sample.lc_utilization);
+    stats_.last_action = BeAction::kSuspendBe;
+    RunFrequencySubcontroller();
+    RunNetworkSubcontroller();
+    be_->PublishActivity();
+    return;
+  }
+  const double slack = TopController::Slack(sample.tail_ms, sla_ms_);
   if (slack < 0.0) {
     ++stats_.sla_violations;
   }
-  const BeAction action = top_.Decide(load, tail_ms, sla_ms_);
-  Apply(action, slack, lc_utilization);
+  BeAction action = top_.Decide(sample.load, sample.tail_ms, sla_ms_);
+  if (action == BeAction::kAllowGrowth && stats_.ticks < backoff_until_tick_) {
+    // Kill backoff: the slack band says grow, but this pod recently killed
+    // (or lost) its BEs — re-admission waits out the hold.
+    ++stats_.backoff_holds;
+    action = BeAction::kDisallowGrowth;
+  }
+  Apply(action, slack, sample.lc_utilization);
   stats_.last_action = action;
+  UpdateBackoff(slack);
   RunFrequencySubcontroller();
   RunNetworkSubcontroller();
   be_->PublishActivity();
+}
+
+void MachineAgent::TriggerBackoff() {
+  backoff_level_ = std::min(backoff_level_ + 1, kBackoffMaxLevel);
+  backoff_until_tick_ = stats_.ticks + (kBackoffBaseTicks << (backoff_level_ - 1));
+  healthy_ticks_ = 0;
+}
+
+void MachineAgent::UpdateBackoff(double slack) {
+  if (slack < top_.thresholds().slacklimit) {
+    healthy_ticks_ = 0;
+    return;
+  }
+  if (backoff_level_ > 0 && ++healthy_ticks_ >= kBackoffDecayTicks) {
+    --backoff_level_;
+    healthy_ticks_ = 0;
+  }
+}
+
+bool MachineAgent::SuspendVerified() {
+  be_->SuspendAll();
+  if (be_->all_suspended()) {
+    return true;
+  }
+  // The suspend was silently dropped; re-issue once now rather than leaving
+  // BEs running a full period against a thin slack.
+  ++stats_.failed_actuations;
+  ++stats_.actuation_retries;
+  be_->SuspendAll();
+  if (be_->all_suspended()) {
+    return true;
+  }
+  ++stats_.failed_actuations;
+  return false;
+}
+
+bool MachineAgent::CutVerified() {
+  const int before = be_->TotalCoresHeld() + be_->TotalWaysHeld();
+  if (!be_->Cut()) {
+    return false;  // nothing held — honest refusal, not a lost command.
+  }
+  if (be_->TotalCoresHeld() + be_->TotalWaysHeld() < before) {
+    return true;
+  }
+  ++stats_.failed_actuations;
+  ++stats_.actuation_retries;
+  if (be_->Cut() && be_->TotalCoresHeld() + be_->TotalWaysHeld() < before) {
+    return true;
+  }
+  ++stats_.failed_actuations;
+  return false;
+}
+
+bool MachineAgent::GrowVerified() {
+  const int cores_before = be_->TotalCoresHeld();
+  const int ways_before = be_->TotalWaysHeld();
+  const int count_before = be_->instance_count();
+  if (!be_->Grow()) {
+    return false;  // machine full — honest refusal.
+  }
+  auto grew = [&] {
+    return be_->TotalCoresHeld() > cores_before || be_->TotalWaysHeld() > ways_before ||
+           be_->instance_count() > count_before;
+  };
+  if (grew()) {
+    return true;
+  }
+  ++stats_.failed_actuations;
+  ++stats_.actuation_retries;
+  if (be_->Grow() && grew()) {
+    return true;
+  }
+  ++stats_.failed_actuations;
+  return false;
 }
 
 void MachineAgent::Apply(BeAction action, double slack, double lc_utilization) {
@@ -34,20 +132,23 @@ void MachineAgent::Apply(BeAction action, double slack, double lc_utilization) {
     case BeAction::kStopBe:
       ++stats_.stops;
       stats_.be_kills += be_->StopAll();
+      // Thrash guard: the pod just proved hostile to BEs; make re-admission
+      // earn its way back with an exponentially growing hold.
+      TriggerBackoff();
       break;
     case BeAction::kSuspendBe:
       ++stats_.suspends;
-      be_->SuspendAll();
+      SuspendVerified();
       break;
     case BeAction::kCutBe:
       ++stats_.cuts;
       be_->ResumeAll();  // load is back under the limit; jobs may run again.
-      be_->Cut();
+      CutVerified();
       be_->CutMemoryStep();
       if (slack < top_.thresholds().slacklimit / 4.0) {
         // Deep in the red band: shed a second step so a fast load ramp (or a
         // burst) cannot outrun the 2-second control cadence.
-        be_->Cut();
+        CutVerified();
       }
       break;
     case BeAction::kDisallowGrowth:
@@ -80,7 +181,7 @@ void MachineAgent::Apply(BeAction action, double slack, double lc_utilization) {
       if ((stats_.ticks + stagger_) % kGrowthPeriodTicks != 0) {
         break;  // paced growth: not this machine's turn.
       }
-      be_->Grow();
+      GrowVerified();
       be_->GrowMemoryStep();
       break;
   }
@@ -91,11 +192,11 @@ void MachineAgent::Apply(BeAction action, double slack, double lc_utilization) {
   if (lc_utilization > kUtilShedGuard && action != BeAction::kStopBe &&
       action != BeAction::kSuspendBe) {
     ++stats_.util_guard_trips;
-    be_->Cut();
-    be_->Cut();
+    CutVerified();
+    CutVerified();
     if (lc_utilization > kUtilEmergencyGuard) {
-      be_->Cut();
-      be_->Cut();
+      CutVerified();
+      CutVerified();
     }
   }
 }

@@ -7,6 +7,17 @@
 //   frequency — DVFS: drops BE frequency 100 MHz when power > 80% TDP;
 //   memory   — grows/cuts BE memory in 100 MB steps;
 //   network  — maintains the qdisc allocation B_link - 1.2 * B_LC.
+//
+// Fail-safe hardening beyond the paper's healthy-testbed assumptions:
+//   * stale-signal detector — a tail sample older than kStaleTailLimitS (or
+//     NaN) is treated as zero slack: the agent suspends BEs instead of
+//     acting on fiction;
+//   * actuation verification — every Grow/Cut/Suspend is checked against the
+//     runtime's observable state and retried once when the command was
+//     silently lost (dropped IPC to the machine daemon);
+//   * kill backoff — after a StopBE (or an externally signalled disruption
+//     such as a machine reboot) BE re-admission waits out an exponentially
+//     growing hold, so work does not thrash back into a still-degraded pod.
 
 #ifndef RHYTHM_SRC_CONTROL_MACHINE_AGENT_H_
 #define RHYTHM_SRC_CONTROL_MACHINE_AGENT_H_
@@ -50,6 +61,18 @@ class MachineAgent {
   // deliberately gradual in Heracles for the same reason).
   static constexpr uint64_t kGrowthPeriodTicks = 2;
 
+  // Stale-signal detector: a tail sample older than this is no basis for
+  // action — several accounting periods have silently failed to publish.
+  static constexpr double kStaleTailLimitS = 5.0;
+
+  // Kill backoff: after a StopBE, growth stays held for
+  // kBackoffBaseTicks << (level - 1) ticks, the level rising with every kill
+  // up to kBackoffMaxLevel (2, 4, 8 ticks = 4..16 s at the 2 s cadence) and
+  // decaying one step per kBackoffDecayTicks consecutive healthy ticks.
+  static constexpr uint64_t kBackoffBaseTicks = 2;
+  static constexpr uint64_t kBackoffMaxLevel = 3;
+  static constexpr uint64_t kBackoffDecayTicks = 15;
+
   struct Stats {
     uint64_t ticks = 0;
     uint64_t be_kills = 0;         // instances destroyed by StopBE.
@@ -60,17 +83,41 @@ class MachineAgent {
     uint64_t disallows = 0;
     uint64_t grows = 0;
     uint64_t util_guard_trips = 0;  // subcontroller overrode the top action.
+    uint64_t stale_ticks = 0;        // ticks decided on the fail-safe path.
+    uint64_t failed_actuations = 0;  // verification caught a lost command.
+    uint64_t actuation_retries = 0;  // immediate re-issues after a loss.
+    uint64_t backoff_holds = 0;      // growth ticks converted to holds.
     BeAction last_action = BeAction::kAllowGrowth;
+  };
+
+  // Telemetry as the control loop actually receives it: the tail sample
+  // carries its age (time since the accounting daemon published it); load
+  // and utilization are measured locally and always fresh.
+  struct TelemetrySample {
+    double load = 0.0;
+    double tail_ms = 0.0;
+    double tail_age_s = 0.0;
+    double lc_utilization = 0.0;
   };
 
   // `stagger` phase-offsets this machine's growth ticks (use the pod index).
   MachineAgent(Machine* machine, BeRuntime* be, const ServpodThresholds& thresholds,
                double sla_ms, int stagger = 0);
 
-  // One control period: decide and actuate. `load` is the LC load fraction,
-  // `tail_ms` the current windowed tail latency, `lc_utilization` the local
-  // Servpod's station utilization (0 disables the headroom guard).
-  void Tick(double load, double tail_ms, double lc_utilization = 0.0);
+  // One control period: decide and actuate on the published telemetry.
+  void Tick(const TelemetrySample& sample);
+
+  // Fresh-sample convenience overload (the healthy-testbed call sites).
+  void Tick(double load, double tail_ms, double lc_utilization = 0.0) {
+    Tick(TelemetrySample{.load = load, .tail_ms = tail_ms, .lc_utilization = lc_utilization});
+  }
+
+  // External disruption (machine reboot, failover): arm the same backoff a
+  // kill would, so BE work does not rush back into a pod still warming up.
+  void TriggerBackoff();
+  uint64_t backoff_ticks_remaining() const {
+    return backoff_until_tick_ > stats_.ticks ? backoff_until_tick_ - stats_.ticks : 0;
+  }
 
   const Stats& stats() const { return stats_; }
   const TopController& top() const { return top_; }
@@ -80,12 +127,21 @@ class MachineAgent {
   void Apply(BeAction action, double slack, double lc_utilization);
   void RunFrequencySubcontroller();
   void RunNetworkSubcontroller();
+  // Verified actuations: issue the command, compare observable state, retry
+  // once when the command was lost. Return whether the effect landed.
+  bool SuspendVerified();
+  bool CutVerified();
+  bool GrowVerified();
+  void UpdateBackoff(double slack);
 
   Machine* machine_;
   BeRuntime* be_;
   TopController top_;
   double sla_ms_;
   uint64_t stagger_;
+  uint64_t backoff_level_ = 0;
+  uint64_t backoff_until_tick_ = 0;
+  uint64_t healthy_ticks_ = 0;
   Stats stats_;
 };
 

@@ -19,6 +19,12 @@ const char* BeActionName(BeAction action) {
 }
 
 BeAction TopController::Decide(double load, double tail_ms, double sla_ms) const {
+  // Fail safe on degenerate inputs: with no meaningful slack signal the
+  // controller must not grow blind, and killing on garbage would forfeit BE
+  // work for what may be a telemetry glitch — SuspendBE holds the line.
+  if (!(sla_ms > 0.0) || std::isnan(tail_ms) || std::isnan(load)) {
+    return BeAction::kSuspendBe;
+  }
   const double slack = Slack(tail_ms, sla_ms);
   if (slack < 0.0) {
     return BeAction::kStopBe;

@@ -9,9 +9,15 @@
 //   0 < slack < slacklimit/2          -> CutBE           (shrink resources)
 //   slacklimit/2 < slack < slacklimit -> DisallowBEGrowth
 //   otherwise                         -> AllowBEGrowth
+//
+// Degenerate inputs — an unconfigured SLA (<= 0 or NaN) or NaN telemetry —
+// have no meaningful slack; Decide fails safe with SuspendBE rather than
+// letting a silently-zero slack admit blind growth.
 
 #ifndef RHYTHM_SRC_CONTROL_TOP_CONTROLLER_H_
 #define RHYTHM_SRC_CONTROL_TOP_CONTROLLER_H_
+
+#include <cmath>
 
 #include "src/control/thresholds.h"
 
@@ -28,8 +34,14 @@ class TopController {
   // Pure decision function: load in [0,1], tail and SLA in ms.
   BeAction Decide(double load, double tail_ms, double sla_ms) const;
 
+  // Neutral 0.0 on degenerate inputs (sla <= 0, NaN tail/SLA): callers
+  // banding on slack must not see NaN poison a comparison chain; the
+  // fail-safe action for such inputs lives in Decide.
   static double Slack(double tail_ms, double sla_ms) {
-    return sla_ms > 0.0 ? (sla_ms - tail_ms) / sla_ms : 0.0;
+    if (!(sla_ms > 0.0) || std::isnan(tail_ms)) {
+      return 0.0;
+    }
+    return (sla_ms - tail_ms) / sla_ms;
   }
 
   const ServpodThresholds& thresholds() const { return thresholds_; }

@@ -1,0 +1,138 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+FaultInjector::FaultInjector(Simulator* sim, const FaultSchedule& schedule, int pod_count,
+                             uint64_t seed)
+    : sim_(sim),
+      events_(schedule.Sorted()),
+      rng_(seed),
+      offline_depth_(static_cast<size_t>(pod_count), 0),
+      blackout_depth_(static_cast<size_t>(pod_count), 0),
+      frozen_depth_(static_cast<size_t>(pod_count), 0),
+      drop_depth_(static_cast<size_t>(pod_count), 0),
+      drop_probability_(static_cast<size_t>(pod_count), 0.0),
+      failover_magnitude_(static_cast<size_t>(pod_count), 0.0) {
+  RHYTHM_CHECK(sim != nullptr);
+  RHYTHM_CHECK(pod_count > 0);
+}
+
+void FaultInjector::Start() {
+  RHYTHM_CHECK(!started_);
+  started_ = true;
+  for (const FaultEvent& event : events_) {
+    if (event.kind == FaultKind::kLoadSpike) {
+      continue;  // handled by SpikedLoadProfile, not by cluster state.
+    }
+    sim_->ScheduleAt(event.start_s, [this, event] { Activate(event); });
+    if (event.kind != FaultKind::kBeInstanceFailure && event.duration_s > 0.0) {
+      sim_->ScheduleAt(event.start_s + event.duration_s, [this, event] { Deactivate(event); });
+    }
+  }
+}
+
+void FaultInjector::Activate(const FaultEvent& event) {
+  if (!ValidPod(event.pod)) {
+    return;
+  }
+  switch (event.kind) {
+    case FaultKind::kPodCrash:
+      if (offline_depth_[event.pod]++ == 0) {
+        failover_magnitude_[event.pod] = std::max(event.magnitude, 0.0);
+        ++counts_.crashes;
+        if (crash_handler_) {
+          crash_handler_(event.pod, /*online=*/false);
+        }
+      }
+      break;
+    case FaultKind::kTelemetryDropout:
+      ++blackout_depth_[event.pod];
+      break;
+    case FaultKind::kTelemetryFreeze:
+      ++frozen_depth_[event.pod];
+      break;
+    case FaultKind::kActuationDrop:
+      ++drop_depth_[event.pod];
+      drop_probability_[event.pod] = std::clamp(event.magnitude, 0.0, 1.0);
+      break;
+    case FaultKind::kBeInstanceFailure:
+      ++counts_.be_failures;
+      if (be_failure_handler_) {
+        be_failure_handler_(event.pod);
+      }
+      break;
+    case FaultKind::kLoadSpike:
+      break;
+  }
+}
+
+void FaultInjector::Deactivate(const FaultEvent& event) {
+  if (!ValidPod(event.pod)) {
+    return;
+  }
+  switch (event.kind) {
+    case FaultKind::kPodCrash:
+      if (--offline_depth_[event.pod] == 0) {
+        failover_magnitude_[event.pod] = 0.0;
+        ++counts_.reboots;
+        if (crash_handler_) {
+          crash_handler_(event.pod, /*online=*/true);
+        }
+      }
+      break;
+    case FaultKind::kTelemetryDropout:
+      --blackout_depth_[event.pod];
+      break;
+    case FaultKind::kTelemetryFreeze:
+      --frozen_depth_[event.pod];
+      break;
+    case FaultKind::kActuationDrop:
+      if (--drop_depth_[event.pod] == 0) {
+        drop_probability_[event.pod] = 0.0;
+      }
+      break;
+    case FaultKind::kBeInstanceFailure:
+    case FaultKind::kLoadSpike:
+      break;
+  }
+}
+
+bool FaultInjector::DropActuation(int pod) {
+  if (!ValidPod(pod) || drop_depth_[pod] == 0) {
+    return false;
+  }
+  const double p = drop_probability_[pod];
+  const bool dropped = p >= 1.0 ? true : rng_.Bernoulli(p);
+  if (dropped) {
+    ++counts_.dropped_actuations;
+  }
+  return dropped;
+}
+
+double FaultInjector::FailoverInflation(int pod) const {
+  if (!ValidPod(pod)) {
+    return 1.0;
+  }
+  if (PodOffline(pod)) {
+    return 1.0 + failover_magnitude_[pod];
+  }
+  // Survivors absorb a share of every concurrently-down pod's traffic.
+  double spread = 0.0;
+  for (int other = 0; other < pod_count(); ++other) {
+    if (other != pod && PodOffline(other)) {
+      spread += kFailoverSpreadFraction * failover_magnitude_[other];
+    }
+  }
+  return 1.0 + spread;
+}
+
+bool FaultInjector::AnyPodOffline() const {
+  return std::any_of(offline_depth_.begin(), offline_depth_.end(),
+                     [](int depth) { return depth > 0; });
+}
+
+}  // namespace rhythm

@@ -1,0 +1,97 @@
+// Drives a FaultSchedule through the simulator.
+//
+// The injector turns the schedule's windows into per-pod state the cluster
+// queries every tick — is the machine down, is telemetry silent or frozen,
+// does this actuation get lost — plus callbacks for the edge-triggered
+// transitions (crash, reboot, BE-instance death) the deployment must wire
+// into machines and runtimes. Probabilistic actuation drops draw from a
+// dedicated seeded Rng, so the whole fault realization is a deterministic
+// function of (schedule, seed).
+
+#ifndef RHYTHM_SRC_FAULT_FAULT_INJECTOR_H_
+#define RHYTHM_SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fault/fault_schedule.h"
+#include "src/sim/simulator.h"
+
+namespace rhythm {
+
+class FaultInjector {
+ public:
+  struct Counts {
+    uint64_t crashes = 0;
+    uint64_t reboots = 0;
+    uint64_t be_failures = 0;            // kBeInstanceFailure events fired.
+    uint64_t dropped_actuations = 0;     // commands the gate swallowed.
+  };
+
+  // Survivors absorb the failed-over component's traffic: every online pod's
+  // inflation rises by this fraction of the crashed pod's failover
+  // magnitude, per concurrently-down pod.
+  static constexpr double kFailoverSpreadFraction = 0.25;
+
+  FaultInjector(Simulator* sim, const FaultSchedule& schedule, int pod_count, uint64_t seed);
+
+  // Edge-triggered wiring; set before Start(). The crash handler fires with
+  // online=false at the crash and online=true at the reboot.
+  void set_crash_handler(std::function<void(int pod, bool online)> handler) {
+    crash_handler_ = std::move(handler);
+  }
+  void set_be_failure_handler(std::function<void(int pod)> handler) {
+    be_failure_handler_ = std::move(handler);
+  }
+
+  // Schedules every window transition into the simulator. Call once.
+  void Start();
+
+  // -- Level-triggered state, queried by the cluster ------------------------
+
+  bool PodOffline(int pod) const { return offline_depth_[pod] > 0; }
+  bool TelemetryBlackout(int pod) const {
+    return blackout_depth_[pod] > 0 || PodOffline(pod);
+  }
+  bool TelemetryFrozen(int pod) const { return frozen_depth_[pod] > 0; }
+
+  // Consulted by the BE runtime's actuation gate: true when the command is
+  // lost. Consumes an RNG draw only while a drop window is active, so runs
+  // without actuation faults never touch the stream.
+  bool DropActuation(int pod);
+
+  // Service-time inflation the crash failover imposes on `pod`'s component:
+  // the crashed component runs on its cold standby (1 + magnitude), and
+  // surviving pods absorb a share of the spread traffic.
+  double FailoverInflation(int pod) const;
+
+  bool AnyPodOffline() const;
+  const Counts& counts() const { return counts_; }
+  int pod_count() const { return static_cast<int>(offline_depth_.size()); }
+
+ private:
+  void Activate(const FaultEvent& event);
+  void Deactivate(const FaultEvent& event);
+  bool ValidPod(int pod) const { return pod >= 0 && pod < pod_count(); }
+
+  Simulator* sim_;
+  std::vector<FaultEvent> events_;
+  Rng rng_;
+  std::function<void(int pod, bool online)> crash_handler_;
+  std::function<void(int pod)> be_failure_handler_;
+  // Depth counters tolerate overlapping windows of the same kind.
+  std::vector<int> offline_depth_;
+  std::vector<int> blackout_depth_;
+  std::vector<int> frozen_depth_;
+  std::vector<int> drop_depth_;
+  std::vector<double> drop_probability_;   // of the innermost active window.
+  std::vector<double> failover_magnitude_;  // of the active crash, per pod.
+  Counts counts_;
+  bool started_ = false;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,100 @@
+#include "src/fault/fault_schedule.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace rhythm {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPodCrash:
+      return "PodCrash";
+    case FaultKind::kTelemetryDropout:
+      return "TelemetryDropout";
+    case FaultKind::kTelemetryFreeze:
+      return "TelemetryFreeze";
+    case FaultKind::kActuationDrop:
+      return "ActuationDrop";
+    case FaultKind::kBeInstanceFailure:
+      return "BeInstanceFailure";
+    case FaultKind::kLoadSpike:
+      return "LoadSpike";
+  }
+  return "?";
+}
+
+std::vector<FaultEvent> FaultSchedule::Sorted() const {
+  std::vector<FaultEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    if (a.start_s != b.start_s) {
+      return a.start_s < b.start_s;
+    }
+    if (a.pod != b.pod) {
+      return a.pod < b.pod;
+    }
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+  return sorted;
+}
+
+namespace {
+
+// Draws `expected` events on average, each placed uniformly in the middle
+// 80% of the run (faults at the very edges test nothing: no steady state
+// before, no recovery window after).
+template <typename MakeEvent>
+void DrawEvents(FaultSchedule& schedule, Rng& rng, double duration_s, double expected,
+                MakeEvent make_event) {
+  const uint64_t count = rng.Poisson(expected);
+  for (uint64_t i = 0; i < count; ++i) {
+    const double start = rng.Uniform(0.1 * duration_s, 0.9 * duration_s);
+    schedule.Add(make_event(start));
+  }
+}
+
+}  // namespace
+
+FaultSchedule RandomFaultSchedule(const ChaosConfig& config, uint64_t seed) {
+  FaultSchedule schedule;
+  Rng rng(seed);
+  const int pods = std::max(config.pod_count, 1);
+  auto pick_pod = [&] { return static_cast<int>(rng.UniformInt(static_cast<uint64_t>(pods))); };
+
+  DrawEvents(schedule, rng, config.duration_s, config.expected_crashes, [&](double start) {
+    return FaultEvent{.kind = FaultKind::kPodCrash,
+                      .pod = pick_pod(),
+                      .start_s = start,
+                      .duration_s = rng.Uniform(config.crash_min_down_s, config.crash_max_down_s),
+                      .magnitude = config.crash_failover_inflation};
+  });
+  DrawEvents(schedule, rng, config.duration_s, config.expected_telemetry_dropouts,
+             [&](double start) {
+               return FaultEvent{
+                   .kind = rng.Bernoulli(0.5) ? FaultKind::kTelemetryDropout
+                                              : FaultKind::kTelemetryFreeze,
+                   .pod = pick_pod(),
+                   .start_s = start,
+                   .duration_s = rng.Uniform(config.dropout_min_s, config.dropout_max_s)};
+             });
+  DrawEvents(schedule, rng, config.duration_s, config.expected_actuation_windows,
+             [&](double start) {
+               return FaultEvent{.kind = FaultKind::kActuationDrop,
+                                 .pod = pick_pod(),
+                                 .start_s = start,
+                                 .duration_s = config.actuation_window_s,
+                                 .magnitude = config.actuation_drop_probability};
+             });
+  DrawEvents(schedule, rng, config.duration_s, config.expected_be_failures, [&](double start) {
+    return FaultEvent{.kind = FaultKind::kBeInstanceFailure, .pod = pick_pod(), .start_s = start};
+  });
+  DrawEvents(schedule, rng, config.duration_s, config.expected_load_spikes, [&](double start) {
+    return FaultEvent{.kind = FaultKind::kLoadSpike,
+                      .start_s = start,
+                      .duration_s = config.spike_duration_s,
+                      .magnitude = rng.Uniform(config.spike_min_boost, config.spike_max_boost)};
+  });
+  return schedule;
+}
+
+}  // namespace rhythm

@@ -1,0 +1,93 @@
+// Deterministic schedules of injectable fault events.
+//
+// A FaultSchedule is a plain list of timed events — machine crashes,
+// telemetry dropouts, lost actuations, BE-instance failures and flash-crowd
+// load spikes — that the FaultInjector replays through the simulator. A
+// schedule is data, not behaviour: the same schedule plus the same seed
+// always reproduces the same run bit-for-bit, so chaos tests can assert
+// exact recovery trajectories.
+
+#ifndef RHYTHM_SRC_FAULT_FAULT_SCHEDULE_H_
+#define RHYTHM_SRC_FAULT_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rhythm {
+
+enum class FaultKind {
+  // Machine hosting the Servpod goes down for [start, start+duration): its
+  // BE instances are lost, the LC component fails over to a less-provisioned
+  // standby (magnitude = extra relative service-time inflation on the
+  // component while failed over, e.g. 0.3 -> 1.3x), and its telemetry goes
+  // silent. At start+duration the machine reboots empty.
+  kPodCrash,
+  // The accounting tick publishes no tail sample for the pod during the
+  // window; the controller's copy ages until the stale detector fails safe.
+  kTelemetryDropout,
+  // The accounting tick keeps republishing the value captured at window
+  // start with a *fresh* timestamp — undetectable staleness; the guards must
+  // contain whatever the controller does with the poisoned signal.
+  kTelemetryFreeze,
+  // Grow/Cut/Suspend commands issued inside the window are silently dropped
+  // by the machine with probability `magnitude` (1.0 = every command lost).
+  kActuationDrop,
+  // One BE instance on the pod dies at `start` (duration ignored): its
+  // resources free up but its in-flight work is forfeited.
+  kBeInstanceFailure,
+  // Flash crowd layered onto the load profile: load jumps by `magnitude`
+  // at `start` and decays linearly to zero over `duration`. `pod` ignored
+  // (load is a service-wide signal). Applied via SpikedLoadProfile.
+  kLoadSpike,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kPodCrash;
+  int pod = 0;              // target Servpod; ignored by kLoadSpike.
+  double start_s = 0.0;
+  double duration_s = 0.0;  // ignored by kBeInstanceFailure.
+  double magnitude = 0.0;   // kind-specific, see FaultKind comments.
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  void Add(const FaultEvent& event) { events.push_back(event); }
+  bool empty() const { return events.empty(); }
+
+  // Events ordered by (start, pod, kind) — the injector consumes this so
+  // insertion order never affects the run.
+  std::vector<FaultEvent> Sorted() const;
+};
+
+// Knobs for drawing a random chaos schedule. Rates are expected event counts
+// over the whole duration (a Poisson draw per kind); windows are uniform
+// within the configured bounds. All draws flow through one seeded Rng, so
+// the schedule is a pure function of (config, seed).
+struct ChaosConfig {
+  double duration_s = 600.0;
+  int pod_count = 1;
+  double expected_crashes = 1.0;
+  double crash_min_down_s = 20.0;
+  double crash_max_down_s = 60.0;
+  double crash_failover_inflation = 0.3;
+  double expected_telemetry_dropouts = 1.0;
+  double dropout_min_s = 10.0;
+  double dropout_max_s = 30.0;
+  double expected_actuation_windows = 1.0;
+  double actuation_window_s = 20.0;
+  double actuation_drop_probability = 0.5;
+  double expected_be_failures = 2.0;
+  double expected_load_spikes = 1.0;
+  double spike_min_boost = 0.15;
+  double spike_max_boost = 0.35;
+  double spike_duration_s = 30.0;
+};
+
+FaultSchedule RandomFaultSchedule(const ChaosConfig& config, uint64_t seed);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_FAULT_FAULT_SCHEDULE_H_

@@ -1,0 +1,34 @@
+#include "src/fault/spiked_load_profile.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+SpikedLoadProfile::SpikedLoadProfile(const LoadProfile* base, const FaultSchedule& schedule)
+    : base_(base) {
+  RHYTHM_CHECK(base != nullptr);
+  for (const FaultEvent& event : schedule.Sorted()) {
+    if (event.kind == FaultKind::kLoadSpike) {
+      spikes_.push_back(event);
+    }
+  }
+}
+
+double SpikedLoadProfile::SpikeBoostAt(const FaultEvent& spike, double t) {
+  if (spike.duration_s <= 0.0 || t < spike.start_s || t >= spike.start_s + spike.duration_s) {
+    return 0.0;
+  }
+  return spike.magnitude * (1.0 - (t - spike.start_s) / spike.duration_s);
+}
+
+double SpikedLoadProfile::LoadAt(double t) const {
+  double load = base_->LoadAt(t);
+  for (const FaultEvent& spike : spikes_) {
+    load += SpikeBoostAt(spike, t);
+  }
+  return std::clamp(load, 0.0, 1.0);
+}
+
+}  // namespace rhythm

@@ -1,0 +1,40 @@
+// Flash-crowd decorator over any LoadProfile.
+//
+// Layers the kLoadSpike events of a FaultSchedule onto a base profile: the
+// offered load jumps by the spike's magnitude at its start and drains
+// linearly over its duration (crowds arrive abruptly and disperse
+// gradually). Pure function of time — wrapping a profile never perturbs any
+// RNG stream, so spiked runs stay bit-reproducible.
+
+#ifndef RHYTHM_SRC_FAULT_SPIKED_LOAD_PROFILE_H_
+#define RHYTHM_SRC_FAULT_SPIKED_LOAD_PROFILE_H_
+
+#include <vector>
+
+#include "src/fault/fault_schedule.h"
+#include "src/workload/load_profile.h"
+
+namespace rhythm {
+
+class SpikedLoadProfile : public LoadProfile {
+ public:
+  // Keeps only the kLoadSpike events of `schedule`. `base` must outlive this
+  // profile.
+  SpikedLoadProfile(const LoadProfile* base, const FaultSchedule& schedule);
+
+  double LoadAt(double t) const override;
+
+  // Additive boost contributed by one spike at time t (0 outside its
+  // window).
+  static double SpikeBoostAt(const FaultEvent& spike, double t);
+
+  int spike_count() const { return static_cast<int>(spikes_.size()); }
+
+ private:
+  const LoadProfile* base_;
+  std::vector<FaultEvent> spikes_;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_FAULT_SPIKED_LOAD_PROFILE_H_

@@ -31,6 +31,9 @@
 #include "src/control/machine_agent.h"
 #include "src/control/thresholds.h"
 #include "src/control/top_controller.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_schedule.h"
+#include "src/fault/spiked_load_profile.h"
 #include "src/interference/interference_model.h"
 #include "src/resources/machine.h"
 #include "src/scheduler/be_backlog.h"

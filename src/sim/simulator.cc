@@ -24,7 +24,9 @@ uint64_t Simulator::SchedulePeriodic(double start, double period, Action action)
 
 void Simulator::ArmPeriodic(uint64_t id, double time, double period, Action action) {
   ScheduleAt(time, [this, id, time, period, action = std::move(action)]() {
-    if (IsCancelled(id)) {
+    // A periodic task has exactly one event in flight, so this firing is the
+    // cancelled task's last: drop the bookkeeping entry with it.
+    if (cancelled_periodics_.erase(id) > 0) {
       return;
     }
     action();
@@ -32,11 +34,14 @@ void Simulator::ArmPeriodic(uint64_t id, double time, double period, Action acti
   });
 }
 
-void Simulator::CancelPeriodic(uint64_t id) { cancelled_periodics_.push_back(id); }
-
-bool Simulator::IsCancelled(uint64_t id) const {
-  return std::find(cancelled_periodics_.begin(), cancelled_periodics_.end(), id) !=
-         cancelled_periodics_.end();
+void Simulator::CancelPeriodic(uint64_t id) {
+  // Ignore ids never handed out: a bogus id has no pending firing to drain
+  // the entry, and would pin it (and possibly suppress a future task with
+  // the same id after Reset) forever.
+  if (id == 0 || id >= next_periodic_id_) {
+    return;
+  }
+  cancelled_periodics_.insert(id);
 }
 
 void Simulator::RunUntil(double end_time) {
@@ -66,7 +71,11 @@ void Simulator::Reset() {
   }
   now_ = 0.0;
   next_seq_ = 0;
+  next_periodic_id_ = 1;
   executed_ = 0;
+  // Dropping the queue above discarded every pending firing, so no entry can
+  // drain naturally — clear them with it. Periodic ids restart at 1; a stale
+  // cancellation must not suppress a reused id.
   cancelled_periodics_.clear();
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace rhythm {
@@ -40,7 +41,9 @@ class Simulator {
   uint64_t SchedulePeriodic(double start, double period, Action action);
 
   // Cancels a periodic task. Pending one-shot firings of the task are
-  // suppressed.
+  // suppressed. The bookkeeping entry is compacted away when the task's last
+  // pending firing drains (each periodic has exactly one event in flight),
+  // so cancellations never accumulate across a long run.
   void CancelPeriodic(uint64_t id);
 
   // Runs events until the queue is empty or the clock passes `end_time`.
@@ -55,6 +58,9 @@ class Simulator {
 
   size_t pending_events() const { return queue_.size(); }
   uint64_t executed_events() const { return executed_; }
+  // Cancelled periodic ids whose final pending firing has not drained yet
+  // (exposed so tests can assert the bookkeeping compacts).
+  size_t cancelled_pending_count() const { return cancelled_periodics_.size(); }
 
  private:
   struct Event {
@@ -77,9 +83,8 @@ class Simulator {
   uint64_t next_periodic_id_ = 1;
   uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
-  std::vector<uint64_t> cancelled_periodics_;
+  std::unordered_set<uint64_t> cancelled_periodics_;
 
-  bool IsCancelled(uint64_t id) const;
   void ArmPeriodic(uint64_t id, double time, double period, Action action);
 };
 

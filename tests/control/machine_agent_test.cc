@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 namespace rhythm {
@@ -146,6 +147,107 @@ TEST(MachineAgentTest, TickCountsActions) {
   EXPECT_EQ(rig.agent->stats().grows, 1u);
   EXPECT_EQ(rig.agent->stats().suspends, 1u);
   EXPECT_EQ(rig.agent->stats().stops, 1u);
+}
+
+TEST(MachineAgentTest, StaleTailSampleFailsSafeToSuspend) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(0.3, 100.0);  // healthy: one instance launched.
+  ASSERT_GT(rig.be->instance_count(), 0);
+  // Telemetry older than the stale limit: the slack is unknowable — the
+  // agent must suspend rather than keep acting on the generous old sample.
+  rig.agent->Tick(MachineAgent::TelemetrySample{
+      .load = 0.3, .tail_ms = 100.0, .tail_age_s = MachineAgent::kStaleTailLimitS + 1.0});
+  EXPECT_EQ(rig.agent->stats().stale_ticks, 1u);
+  EXPECT_EQ(rig.agent->stats().last_action, BeAction::kSuspendBe);
+  EXPECT_TRUE(rig.be->all_suspended());
+  // Memory stays resident: suspension, not a kill.
+  EXPECT_EQ(rig.agent->stats().be_kills, 0u);
+  EXPECT_GT(rig.be->instance_count(), 0);
+}
+
+TEST(MachineAgentTest, NanTelemetryFailsSafeToSuspend) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(0.3, 100.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  rig.agent->Tick(MachineAgent::TelemetrySample{.load = 0.3, .tail_ms = nan});
+  EXPECT_EQ(rig.agent->stats().stale_ticks, 1u);
+  EXPECT_TRUE(rig.be->all_suspended());
+  rig.agent->Tick(MachineAgent::TelemetrySample{.load = nan, .tail_ms = 100.0});
+  EXPECT_EQ(rig.agent->stats().stale_ticks, 2u);
+}
+
+TEST(MachineAgentTest, FreshSampleRecoversFromStaleSuspension) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(0.3, 100.0);
+  rig.agent->Tick(MachineAgent::TelemetrySample{
+      .load = 0.3, .tail_ms = 100.0, .tail_age_s = MachineAgent::kStaleTailLimitS + 1.0});
+  ASSERT_TRUE(rig.be->all_suspended());
+  // Signal returns (age under the limit): normal control resumes.
+  rig.agent->Tick(MachineAgent::TelemetrySample{
+      .load = 0.3, .tail_ms = 100.0, .tail_age_s = MachineAgent::kStaleTailLimitS - 1.0});
+  EXPECT_FALSE(rig.be->all_suspended());
+  EXPECT_EQ(rig.agent->stats().stale_ticks, 1u);
+}
+
+TEST(MachineAgentTest, KillArmsBackoffAgainstReadmission) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(0.3, 100.0);  // tick 1: launch.
+  rig.agent->Tick(0.3, 300.0);  // tick 2: StopBE -> backoff armed (2 ticks).
+  ASSERT_EQ(rig.be->instance_count(), 0);
+  EXPECT_EQ(rig.agent->backoff_ticks_remaining(), MachineAgent::kBackoffBaseTicks);
+  rig.agent->Tick(0.3, 100.0);  // tick 3: slack band says grow, hold wins.
+  EXPECT_EQ(rig.agent->stats().backoff_holds, 1u);
+  EXPECT_EQ(rig.be->instance_count(), 0);
+  rig.agent->Tick(0.3, 100.0);  // tick 4: hold expired, growth resumes.
+  EXPECT_EQ(rig.be->instance_count(), 1);
+}
+
+TEST(MachineAgentTest, RepeatedKillsGrowTheBackoffExponentially) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(0.3, 100.0);
+  rig.agent->Tick(0.3, 300.0);  // first kill: level 1 -> 2-tick hold.
+  EXPECT_EQ(rig.agent->backoff_ticks_remaining(), MachineAgent::kBackoffBaseTicks);
+  rig.agent->Tick(0.3, 100.0);  // held.
+  rig.agent->Tick(0.3, 100.0);  // re-admitted.
+  ASSERT_EQ(rig.be->instance_count(), 1);
+  rig.agent->Tick(0.3, 300.0);  // second kill: level 2 -> 4-tick hold.
+  EXPECT_EQ(rig.agent->backoff_ticks_remaining(), 2 * MachineAgent::kBackoffBaseTicks);
+}
+
+TEST(MachineAgentTest, TriggerBackoffHoldsGrowthExternally) {
+  Rig rig = MakeRig();
+  rig.agent->TriggerBackoff();  // e.g. the machine just rebooted.
+  rig.agent->Tick(0.3, 100.0);
+  EXPECT_EQ(rig.agent->stats().backoff_holds, 1u);
+  EXPECT_EQ(rig.be->instance_count(), 0);
+  rig.agent->Tick(0.3, 100.0);
+  EXPECT_EQ(rig.be->instance_count(), 1);
+}
+
+TEST(MachineAgentTest, DroppedSuspendIsRetriedAndVerified) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(0.3, 100.0);
+  ASSERT_GT(rig.be->instance_count(), 0);
+  // Gate that swallows exactly the first command: the lost suspend must be
+  // detected against observable state and re-issued within the same tick.
+  int calls = 0;
+  rig.be->SetActuationGate([&](const char*) { return ++calls == 1; });
+  rig.agent->Tick(0.9, 100.0);  // load above limit: SuspendBE.
+  EXPECT_TRUE(rig.be->all_suspended());
+  EXPECT_EQ(rig.agent->stats().failed_actuations, 1u);
+  EXPECT_EQ(rig.agent->stats().actuation_retries, 1u);
+}
+
+TEST(MachineAgentTest, PersistentActuationLossIsCounted) {
+  Rig rig = MakeRig();
+  rig.agent->Tick(0.3, 100.0);
+  ASSERT_GT(rig.be->instance_count(), 0);
+  rig.be->SetActuationGate([](const char*) { return true; });  // every command lost.
+  rig.agent->Tick(0.9, 100.0);
+  EXPECT_FALSE(rig.be->all_suspended());
+  // Original plus one retry, both lost.
+  EXPECT_EQ(rig.agent->stats().failed_actuations, 2u);
+  EXPECT_EQ(rig.agent->stats().actuation_retries, 1u);
 }
 
 }  // namespace

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace rhythm {
 namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 
 TopController Controller(double loadlimit = 0.85, double slacklimit = 0.10) {
   return TopController(ServpodThresholds{.loadlimit = loadlimit, .slacklimit = slacklimit});
@@ -13,6 +17,23 @@ TEST(TopControllerTest, SlackFormula) {
   EXPECT_DOUBLE_EQ(TopController::Slack(100.0, 200.0), 0.5);
   EXPECT_DOUBLE_EQ(TopController::Slack(300.0, 200.0), -0.5);
   EXPECT_DOUBLE_EQ(TopController::Slack(100.0, 0.0), 0.0);
+}
+
+TEST(TopControllerTest, DegenerateInputsFailSafe) {
+  // A corrupted SLA or NaN telemetry is no basis for growing BEs: the
+  // fail-safe answer is SuspendBE (cheap to recover from, cannot hurt the
+  // LC), never StopBE (destroys work) and never growth (acts on fiction).
+  EXPECT_EQ(Controller().Decide(0.5, 100.0, 0.0), BeAction::kSuspendBe);
+  EXPECT_EQ(Controller().Decide(0.5, 100.0, -5.0), BeAction::kSuspendBe);
+  EXPECT_EQ(Controller().Decide(0.5, 100.0, kNan), BeAction::kSuspendBe);
+  EXPECT_EQ(Controller().Decide(0.5, kNan, 200.0), BeAction::kSuspendBe);
+  EXPECT_EQ(Controller().Decide(kNan, 100.0, 200.0), BeAction::kSuspendBe);
+}
+
+TEST(TopControllerTest, SlackGuardsDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(TopController::Slack(kNan, 200.0), 0.0);
+  EXPECT_DOUBLE_EQ(TopController::Slack(100.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(TopController::Slack(100.0, kNan), 0.0);
 }
 
 TEST(TopControllerTest, NegativeSlackStopsBe) {

@@ -1,0 +1,162 @@
+#include "src/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace rhythm {
+namespace {
+
+TEST(FaultInjectorTest, CrashWindowTogglesOfflineState) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kPodCrash, 1, 10.0, 20.0, 0.4});
+  FaultInjector injector(&sim, schedule, /*pod_count=*/3, /*seed=*/5);
+  injector.Start();
+
+  sim.RunUntil(9.0);
+  EXPECT_FALSE(injector.PodOffline(1));
+  sim.RunUntil(10.0);
+  EXPECT_TRUE(injector.PodOffline(1));
+  EXPECT_FALSE(injector.PodOffline(0));
+  EXPECT_TRUE(injector.AnyPodOffline());
+  // A crashed machine publishes nothing: blackout implied.
+  EXPECT_TRUE(injector.TelemetryBlackout(1));
+  sim.RunUntil(30.0);
+  EXPECT_FALSE(injector.PodOffline(1));
+  EXPECT_EQ(injector.counts().crashes, 1u);
+  EXPECT_EQ(injector.counts().reboots, 1u);
+}
+
+TEST(FaultInjectorTest, CrashHandlerFiresOnBothEdges) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kPodCrash, 0, 5.0, 10.0, 0.4});
+  FaultInjector injector(&sim, schedule, 2, 5);
+  std::vector<std::pair<int, bool>> edges;
+  injector.set_crash_handler([&](int pod, bool online) { edges.push_back({pod, online}); });
+  injector.Start();
+  sim.RunUntil(30.0);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (std::pair<int, bool>{0, false}));
+  EXPECT_EQ(edges[1], (std::pair<int, bool>{0, true}));
+}
+
+TEST(FaultInjectorTest, FailoverInflationHitsStandbyAndSurvivors) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kPodCrash, 0, 10.0, 20.0, 0.8});
+  FaultInjector injector(&sim, schedule, 3, 5);
+  injector.Start();
+  EXPECT_DOUBLE_EQ(injector.FailoverInflation(0), 1.0);
+  sim.RunUntil(10.0);
+  // Crashed component runs on its cold standby...
+  EXPECT_DOUBLE_EQ(injector.FailoverInflation(0), 1.8);
+  // ...and every survivor absorbs a quarter of the magnitude.
+  EXPECT_DOUBLE_EQ(injector.FailoverInflation(1),
+                   1.0 + FaultInjector::kFailoverSpreadFraction * 0.8);
+  sim.RunUntil(30.0);
+  EXPECT_DOUBLE_EQ(injector.FailoverInflation(0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.FailoverInflation(1), 1.0);
+}
+
+TEST(FaultInjectorTest, TelemetryWindowsAreLevelTriggered) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kTelemetryDropout, 0, 5.0, 10.0, 0.0});
+  schedule.Add({FaultKind::kTelemetryFreeze, 1, 8.0, 4.0, 0.0});
+  FaultInjector injector(&sim, schedule, 2, 5);
+  injector.Start();
+  sim.RunUntil(6.0);
+  EXPECT_TRUE(injector.TelemetryBlackout(0));
+  EXPECT_FALSE(injector.TelemetryFrozen(0));
+  EXPECT_FALSE(injector.PodOffline(0));  // silent, not dead.
+  sim.RunUntil(9.0);
+  EXPECT_TRUE(injector.TelemetryFrozen(1));
+  EXPECT_FALSE(injector.TelemetryBlackout(1));
+  sim.RunUntil(20.0);
+  EXPECT_FALSE(injector.TelemetryBlackout(0));
+  EXPECT_FALSE(injector.TelemetryFrozen(1));
+}
+
+TEST(FaultInjectorTest, OverlappingWindowsNeedBothToEnd) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kTelemetryDropout, 0, 5.0, 10.0, 0.0});
+  schedule.Add({FaultKind::kTelemetryDropout, 0, 10.0, 10.0, 0.0});
+  FaultInjector injector(&sim, schedule, 1, 5);
+  injector.Start();
+  sim.RunUntil(16.0);  // first window over, second still active.
+  EXPECT_TRUE(injector.TelemetryBlackout(0));
+  sim.RunUntil(20.0);
+  EXPECT_FALSE(injector.TelemetryBlackout(0));
+}
+
+TEST(FaultInjectorTest, ActuationsDropOnlyInsideWindows) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kActuationDrop, 0, 10.0, 10.0, 1.0});
+  FaultInjector injector(&sim, schedule, 1, 5);
+  injector.Start();
+  EXPECT_FALSE(injector.DropActuation(0));
+  sim.RunUntil(10.0);
+  EXPECT_TRUE(injector.DropActuation(0));
+  EXPECT_TRUE(injector.DropActuation(0));
+  sim.RunUntil(20.0);
+  EXPECT_FALSE(injector.DropActuation(0));
+  EXPECT_EQ(injector.counts().dropped_actuations, 2u);
+}
+
+TEST(FaultInjectorTest, ProbabilisticDropsAreDeterministicPerSeed) {
+  auto draw = [](uint64_t seed) {
+    Simulator sim;
+    FaultSchedule schedule;
+    schedule.Add({FaultKind::kActuationDrop, 0, 0.0, 100.0, 0.5});
+    FaultInjector injector(&sim, schedule, 1, seed);
+    injector.Start();
+    sim.RunUntil(1.0);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(injector.DropActuation(0));
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(draw(9), draw(9));
+  EXPECT_NE(draw(9), draw(10));
+}
+
+TEST(FaultInjectorTest, BeFailureFiresHandlerOnce) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kBeInstanceFailure, 2, 7.0, 0.0, 0.0});
+  FaultInjector injector(&sim, schedule, 3, 5);
+  int fired = 0;
+  int target = -1;
+  injector.set_be_failure_handler([&](int pod) {
+    ++fired;
+    target = pod;
+  });
+  injector.Start();
+  sim.RunUntil(30.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(target, 2);
+  EXPECT_EQ(injector.counts().be_failures, 1u);
+}
+
+TEST(FaultInjectorTest, OutOfRangePodsAreIgnored) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kPodCrash, 7, 5.0, 10.0, 0.4});  // no such pod.
+  FaultInjector injector(&sim, schedule, 2, 5);
+  injector.Start();
+  sim.RunUntil(20.0);
+  EXPECT_EQ(injector.counts().crashes, 0u);
+  EXPECT_FALSE(injector.AnyPodOffline());
+  EXPECT_FALSE(injector.DropActuation(7));
+  EXPECT_DOUBLE_EQ(injector.FailoverInflation(7), 1.0);
+}
+
+}  // namespace
+}  // namespace rhythm

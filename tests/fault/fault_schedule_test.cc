@@ -1,0 +1,118 @@
+#include "src/fault/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fault/spiked_load_profile.h"
+#include "src/workload/load_profile.h"
+
+namespace rhythm {
+namespace {
+
+TEST(FaultScheduleTest, SortedOrdersByStartPodKind) {
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kTelemetryDropout, 1, 50.0, 10.0, 0.0});
+  schedule.Add({FaultKind::kPodCrash, 0, 10.0, 30.0, 0.5});
+  schedule.Add({FaultKind::kPodCrash, 2, 50.0, 30.0, 0.5});
+  const auto sorted = schedule.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_DOUBLE_EQ(sorted[0].start_s, 10.0);
+  EXPECT_EQ(sorted[1].pod, 1);
+  EXPECT_EQ(sorted[2].pod, 2);
+}
+
+TEST(FaultScheduleTest, KindNamesAreDistinct) {
+  EXPECT_STRNE(FaultKindName(FaultKind::kPodCrash),
+               FaultKindName(FaultKind::kTelemetryDropout));
+  EXPECT_STRNE(FaultKindName(FaultKind::kTelemetryFreeze),
+               FaultKindName(FaultKind::kActuationDrop));
+  EXPECT_STRNE(FaultKindName(FaultKind::kBeInstanceFailure),
+               FaultKindName(FaultKind::kLoadSpike));
+}
+
+TEST(FaultScheduleTest, RandomScheduleIsDeterministicPerSeed) {
+  ChaosConfig config;
+  config.duration_s = 900.0;
+  config.pod_count = 4;
+  config.expected_crashes = 2.0;
+  const FaultSchedule a = RandomFaultSchedule(config, 7);
+  const FaultSchedule b = RandomFaultSchedule(config, 7);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].pod, b.events[i].pod);
+    EXPECT_DOUBLE_EQ(a.events[i].start_s, b.events[i].start_s);
+    EXPECT_DOUBLE_EQ(a.events[i].duration_s, b.events[i].duration_s);
+    EXPECT_DOUBLE_EQ(a.events[i].magnitude, b.events[i].magnitude);
+  }
+}
+
+TEST(FaultScheduleTest, DifferentSeedsDiffer) {
+  ChaosConfig config;
+  config.duration_s = 900.0;
+  config.pod_count = 4;
+  config.expected_crashes = 3.0;
+  config.expected_be_failures = 3.0;
+  const FaultSchedule a = RandomFaultSchedule(config, 1);
+  const FaultSchedule b = RandomFaultSchedule(config, 2);
+  bool differs = a.events.size() != b.events.size();
+  for (size_t i = 0; !differs && i < a.events.size(); ++i) {
+    differs = a.events[i].start_s != b.events[i].start_s || a.events[i].pod != b.events[i].pod;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultScheduleTest, RandomEventsRespectBounds) {
+  ChaosConfig config;
+  config.duration_s = 600.0;
+  config.pod_count = 3;
+  config.expected_crashes = 4.0;
+  config.crash_min_down_s = 15.0;
+  config.crash_max_down_s = 45.0;
+  const FaultSchedule schedule = RandomFaultSchedule(config, 13);
+  for (const FaultEvent& event : schedule.events) {
+    EXPECT_GE(event.pod, 0);
+    EXPECT_LT(event.pod, config.pod_count);
+    EXPECT_GE(event.start_s, 0.0);
+    EXPECT_LE(event.start_s, config.duration_s);
+    if (event.kind == FaultKind::kPodCrash) {
+      EXPECT_GE(event.duration_s, config.crash_min_down_s);
+      EXPECT_LE(event.duration_s, config.crash_max_down_s);
+      EXPECT_DOUBLE_EQ(event.magnitude, config.crash_failover_inflation);
+    }
+  }
+}
+
+TEST(SpikedLoadProfileTest, BoostDecaysLinearlyInsideWindow) {
+  const FaultEvent spike{FaultKind::kLoadSpike, 0, 100.0, 40.0, 0.2};
+  EXPECT_DOUBLE_EQ(SpikedLoadProfile::SpikeBoostAt(spike, 99.0), 0.0);
+  EXPECT_DOUBLE_EQ(SpikedLoadProfile::SpikeBoostAt(spike, 100.0), 0.2);
+  EXPECT_DOUBLE_EQ(SpikedLoadProfile::SpikeBoostAt(spike, 120.0), 0.1);
+  EXPECT_DOUBLE_EQ(SpikedLoadProfile::SpikeBoostAt(spike, 140.0), 0.0);
+  EXPECT_DOUBLE_EQ(SpikedLoadProfile::SpikeBoostAt(spike, 141.0), 0.0);
+}
+
+TEST(SpikedLoadProfileTest, LayersOnBaseAndClamps) {
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kLoadSpike, 0, 10.0, 20.0, 0.5});
+  // Non-spike events must be ignored by the profile.
+  schedule.Add({FaultKind::kPodCrash, 0, 5.0, 30.0, 0.5});
+  const ConstantLoad base(0.7);
+  const SpikedLoadProfile profile(&base, schedule);
+  EXPECT_EQ(profile.spike_count(), 1);
+  EXPECT_DOUBLE_EQ(profile.LoadAt(5.0), 0.7);
+  EXPECT_DOUBLE_EQ(profile.LoadAt(10.0), 1.0);  // 0.7 + 0.5 clamped.
+  EXPECT_DOUBLE_EQ(profile.LoadAt(20.0), 0.95);
+  EXPECT_DOUBLE_EQ(profile.LoadAt(40.0), 0.7);
+}
+
+TEST(SpikedLoadProfileTest, OverlappingSpikesAdd) {
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kLoadSpike, 0, 0.0, 100.0, 0.1});
+  schedule.Add({FaultKind::kLoadSpike, 0, 50.0, 100.0, 0.1});
+  const ConstantLoad base(0.2);
+  const SpikedLoadProfile profile(&base, schedule);
+  EXPECT_DOUBLE_EQ(profile.LoadAt(50.0), 0.2 + 0.05 + 0.1);
+}
+
+}  // namespace
+}  // namespace rhythm

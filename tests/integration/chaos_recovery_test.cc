@@ -1,0 +1,225 @@
+// Chaos scenarios end to end: machine crash -> failover -> reboot recovery,
+// telemetry staleness failing safe, lost actuations retried, and
+// bit-reproducibility of whole fault runs.
+
+#include <gtest/gtest.h>
+
+#include "src/rhythm.h"
+
+namespace rhythm {
+namespace {
+
+// The calibrated crash scenario (see tools/diag_chaos.cc): ecommerce +
+// wordcount at 60% load, the MySQL machine down for 60 s mid-run with a 2.0x
+// cold-standby inflation. Rhythm sheds BEs and recovers to positive slack
+// during the outage; an uncontrolled co-location rides the whole outage in
+// violation.
+constexpr double kLoad = 0.6;
+constexpr double kCrashAt = 120.0;
+constexpr double kDownS = 60.0;
+constexpr double kDuration = 300.0;
+
+DeploymentConfig MakeChaosConfig(ControllerKind controller, const FaultSchedule* faults) {
+  DeploymentConfig config;
+  config.app_kind = LcAppKind::kEcommerce;
+  config.be_kind = BeJobKind::kWordcount;
+  config.controller = controller;
+  if (controller == ControllerKind::kRhythm) {
+    config.thresholds = CachedAppThresholds(config.app_kind).pods;
+  }
+  config.seed = 31;
+  config.faults = faults;
+  return config;
+}
+
+int OutageViolations(const Deployment& deployment) {
+  int violations = 0;
+  for (double t = kCrashAt + 1.0; t <= kCrashAt + kDownS; t += 1.0) {
+    if (deployment.slack_series().ValueAt(t) < 0.0) {
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+TEST(ChaosRecoveryTest, RhythmRecoversWhereNoControllerViolates) {
+  const AppSpec app = MakeApp(LcAppKind::kEcommerce);
+  const int mysql = app.PodIndex("MySQL");
+  FaultSchedule faults;
+  faults.Add({FaultKind::kPodCrash, mysql, kCrashAt, kDownS, 1.0});
+  const ConstantLoad profile(kLoad);
+
+  Deployment rhythm(MakeChaosConfig(ControllerKind::kRhythm, &faults));
+  rhythm.Start(&profile);
+  rhythm.RunFor(kCrashAt + kDownS / 2.0);  // mid-outage.
+  EXPECT_FALSE(rhythm.PodOnline(mysql));
+  EXPECT_EQ(rhythm.be(mysql)->instance_count(), 0);  // died with the machine.
+  EXPECT_TRUE(rhythm.be(mysql)->admission_blocked());
+  rhythm.RunFor(kDuration - kCrashAt - kDownS / 2.0);
+  EXPECT_TRUE(rhythm.PodOnline(mysql));
+
+  Deployment none(MakeChaosConfig(ControllerKind::kNone, &faults));
+  none.Start(&profile);
+  for (int pod = 0; pod < none.pod_count(); ++pod) {
+    none.LaunchBeAtPod(pod, 1);
+  }
+  none.RunFor(kDuration);
+
+  // Both saw the same crash.
+  EXPECT_EQ(rhythm.crash_count(), 1u);
+  EXPECT_EQ(none.crash_count(), 1u);
+  EXPECT_GE(rhythm.crash_be_losses(), 1u);
+
+  // Rhythm heals to positive slack well inside the outage window; the
+  // uncontrolled run keeps its BEs grinding against the failover.
+  EXPECT_TRUE(rhythm.recovered());
+  EXPECT_LT(rhythm.max_recovery_s(), kDownS / 2.0);
+  const int rhythm_violations = OutageViolations(rhythm);
+  const int none_violations = OutageViolations(none);
+  EXPECT_GT(none_violations, static_cast<int>(kDownS) / 2);  // sustained.
+  EXPECT_LT(rhythm_violations, none_violations / 2);
+
+  // Re-admission after the reboot happens, and happens under backoff.
+  EXPECT_GT(rhythm.TotalBackoffHolds(), 0u);
+  double final_instances = 0.0;
+  for (int pod = 0; pod < rhythm.pod_count(); ++pod) {
+    final_instances += rhythm.pod_series(pod).be_instances.ValueAt(kDuration);
+  }
+  EXPECT_GT(final_instances, 0.0);
+}
+
+TEST(ChaosRecoveryTest, CrashLossesAreNotControllerKills) {
+  const AppSpec app = MakeApp(LcAppKind::kEcommerce);
+  FaultSchedule faults;
+  faults.Add({FaultKind::kPodCrash, app.PodIndex("Tomcat"), 50.0, 30.0, 0.3});
+  DeploymentConfig config = MakeChaosConfig(ControllerKind::kNone, &faults);
+  Deployment deployment(config);
+  const ConstantLoad profile(0.3);
+  deployment.Start(&profile);
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    deployment.LaunchBeAtPod(pod, 1);
+  }
+  deployment.RunFor(100.0);
+  EXPECT_GE(deployment.crash_be_losses(), 1u);
+  EXPECT_EQ(deployment.TotalBeKills(), 0u);  // no controller, no kills.
+}
+
+TEST(ChaosRecoveryTest, TelemetryDropoutFailsSafeThenRecovers) {
+  const AppSpec app = MakeApp(LcAppKind::kEcommerce);
+  const int tomcat = app.PodIndex("Tomcat");
+  FaultSchedule faults;
+  faults.Add({FaultKind::kTelemetryDropout, tomcat, 60.0, 20.0, 0.0});
+  Deployment deployment(MakeChaosConfig(ControllerKind::kRhythm, &faults));
+  const ConstantLoad profile(0.4);
+  deployment.Start(&profile);
+  // Deep in the blackout the published sample is stale: the Tomcat agent
+  // must be suspending, while pods with live telemetry keep running BEs.
+  deployment.RunFor(75.0);
+  EXPECT_TRUE(deployment.be(tomcat)->all_suspended());
+  EXPECT_EQ(deployment.agent(tomcat)->stats().last_action, BeAction::kSuspendBe);
+  EXPECT_GT(deployment.agent(tomcat)->stats().stale_ticks, 0u);
+  // The fail-safe is local: some other pod still runs unsuspended BEs.
+  bool other_active = false;
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    if (pod != tomcat && deployment.be(pod)->instance_count() > 0 &&
+        !deployment.be(pod)->all_suspended()) {
+      other_active = true;
+    }
+  }
+  EXPECT_TRUE(other_active);
+  // Signal returns: the suspension lifts.
+  deployment.RunFor(75.0);
+  EXPECT_FALSE(deployment.be(tomcat)->all_suspended());
+  EXPECT_EQ(deployment.TotalStaleTicks(), deployment.agent(tomcat)->stats().stale_ticks);
+}
+
+TEST(ChaosRecoveryTest, DroppedActuationsAreDetectedAndRetried) {
+  const AppSpec app = MakeApp(LcAppKind::kEcommerce);
+  const int tomcat = app.PodIndex("Tomcat");
+  FaultSchedule faults;
+  // Every command to the Tomcat machine is lost for 30 s.
+  faults.Add({FaultKind::kActuationDrop, tomcat, 40.0, 30.0, 1.0});
+  Deployment deployment(MakeChaosConfig(ControllerKind::kRhythm, &faults));
+  const ConstantLoad profile(0.5);
+  deployment.Start(&profile);
+  deployment.RunFor(120.0);
+  EXPECT_GT(deployment.TotalFailedActuations(), 0u);
+  EXPECT_GT(deployment.fault()->counts().dropped_actuations, 0u);
+  // Losses are confined to the windowed pod.
+  EXPECT_EQ(deployment.TotalFailedActuations(),
+            deployment.agent(tomcat)->stats().failed_actuations);
+}
+
+TEST(ChaosRecoveryTest, FaultRunsAreBitReproducible) {
+  ChaosConfig chaos;
+  chaos.duration_s = 240.0;
+  chaos.pod_count = 4;
+  chaos.expected_crashes = 1.0;
+  chaos.crash_min_down_s = 20.0;
+  chaos.crash_max_down_s = 40.0;
+  chaos.expected_telemetry_dropouts = 1.0;
+  chaos.expected_actuation_windows = 1.0;
+  chaos.expected_be_failures = 1.0;
+  chaos.expected_load_spikes = 1.0;
+  const FaultSchedule faults = RandomFaultSchedule(chaos, 17);
+  ASSERT_FALSE(faults.empty());
+
+  auto run = [&faults] {
+    Deployment deployment(MakeChaosConfig(ControllerKind::kRhythm, &faults));
+    const ConstantLoad base(0.55);
+    const SpikedLoadProfile profile(&base, faults);
+    deployment.Start(&profile);
+    deployment.RunFor(240.0);
+    return Summarize(deployment, 0.0, 240.0);
+  };
+  const RunSummary a = run();
+  const RunSummary b = run();
+  EXPECT_EQ(a.worst_tail_ms, b.worst_tail_ms);  // bitwise: no tolerance.
+  EXPECT_EQ(a.lc_throughput, b.lc_throughput);
+  EXPECT_EQ(a.be_throughput, b.be_throughput);
+  EXPECT_EQ(a.emu, b.emu);
+  EXPECT_EQ(a.sla_violations, b.sla_violations);
+  EXPECT_EQ(a.be_kills, b.be_kills);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.crash_be_losses, b.crash_be_losses);
+  EXPECT_EQ(a.stale_ticks, b.stale_ticks);
+  EXPECT_EQ(a.failed_actuations, b.failed_actuations);
+  EXPECT_EQ(a.backoff_holds, b.backoff_holds);
+  EXPECT_EQ(a.slack_violation_ticks, b.slack_violation_ticks);
+  EXPECT_EQ(a.recovery_s, b.recovery_s);
+  EXPECT_EQ(a.recovered, b.recovered);
+  for (size_t pod = 0; pod < a.pods.size(); ++pod) {
+    EXPECT_EQ(a.pods[pod].be_throughput, b.pods[pod].be_throughput);
+    EXPECT_EQ(a.pods[pod].cpu_util, b.pods[pod].cpu_util);
+  }
+}
+
+TEST(ChaosRecoveryTest, NoOpSchedulesDoNotPerturbTheRun) {
+  // Two different schedules whose windows never fire inside the run must
+  // produce bitwise-identical results: dormant fault state consumes no RNG
+  // draws and leaves no trace beyond the (shared) published-telemetry path.
+  FaultSchedule a;
+  a.Add({FaultKind::kTelemetryDropout, 0, 1e9, 1.0, 0.0});
+  FaultSchedule b;
+  b.Add({FaultKind::kActuationDrop, 1, 2e9, 5.0, 1.0});
+  b.Add({FaultKind::kPodCrash, 2, 3e9, 30.0, 0.5});
+  auto run = [](const FaultSchedule* schedule) {
+    Deployment deployment(MakeChaosConfig(ControllerKind::kRhythm, schedule));
+    const ConstantLoad profile(0.5);
+    deployment.Start(&profile);
+    deployment.RunFor(120.0);
+    return Summarize(deployment, 0.0, 120.0);
+  };
+  const RunSummary with_a = run(&a);
+  const RunSummary with_b = run(&b);
+  EXPECT_EQ(with_a.worst_tail_ms, with_b.worst_tail_ms);
+  EXPECT_EQ(with_a.be_throughput, with_b.be_throughput);
+  EXPECT_EQ(with_a.be_kills, with_b.be_kills);
+  EXPECT_EQ(with_a.sla_violations, with_b.sla_violations);
+  EXPECT_EQ(with_a.crashes, 0u);
+  EXPECT_EQ(with_a.stale_ticks, 0u);
+  EXPECT_EQ(with_a.failed_actuations, 0u);
+}
+
+}  // namespace
+}  // namespace rhythm

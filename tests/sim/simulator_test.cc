@@ -143,5 +143,52 @@ TEST(SimulatorTest, ResetClearsEverything) {
   EXPECT_EQ(sim.executed_events(), 0u);
 }
 
+TEST(SimulatorTest, CancelledBookkeepingCompactsWhenLastFiringDrains) {
+  Simulator sim;
+  const uint64_t id = sim.SchedulePeriodic(1.0, 1.0, [] {});
+  sim.RunUntil(2.0);
+  sim.CancelPeriodic(id);
+  EXPECT_EQ(sim.cancelled_pending_count(), 1u);
+  // The task's one in-flight event (armed for t=3) drains the entry.
+  sim.RunUntil(3.0);
+  EXPECT_EQ(sim.cancelled_pending_count(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancellationsDoNotAccumulateAcrossLongRuns) {
+  Simulator sim;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t id = sim.SchedulePeriodic(sim.Now() + 1.0, 1.0, [] {});
+    sim.CancelPeriodic(id);
+    sim.RunUntil(sim.Now() + 2.0);
+  }
+  EXPECT_EQ(sim.cancelled_pending_count(), 0u);
+}
+
+TEST(SimulatorTest, CancelBogusIdIsIgnored) {
+  Simulator sim;
+  sim.CancelPeriodic(0);
+  sim.CancelPeriodic(42);  // never handed out — nothing to suppress.
+  EXPECT_EQ(sim.cancelled_pending_count(), 0u);
+  int count = 0;
+  sim.SchedulePeriodic(1.0, 1.0, [&] { ++count; });
+  sim.RunUntil(3.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, CancelThenResetThenReusedIdStillFires) {
+  // Regression: ids restart at 1 after Reset; a cancellation from before the
+  // Reset must not silently suppress the reused id.
+  Simulator sim;
+  const uint64_t id = sim.SchedulePeriodic(1.0, 1.0, [] {});
+  sim.CancelPeriodic(id);
+  sim.Reset();
+  int count = 0;
+  const uint64_t reused = sim.SchedulePeriodic(1.0, 1.0, [&] { ++count; });
+  EXPECT_EQ(reused, id);
+  sim.RunUntil(3.0);
+  EXPECT_EQ(count, 3);
+}
+
 }  // namespace
 }  // namespace rhythm

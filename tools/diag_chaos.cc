@@ -1,0 +1,97 @@
+// Chaos calibration: one mid-run machine crash under steady load, replayed
+// against each controller. Prints the slack trajectory around the crash plus
+// the recovery/violation counters, so the crash magnitude and load level can
+// be tuned until the acceptance shape holds: Rhythm recovers to positive
+// slack during the outage while the uncontrolled baseline stays in
+// violation.
+//
+// Usage: diag_chaos [load] [inflation] [down_s]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/rhythm.h"
+
+using namespace rhythm;
+
+int main(int argc, char** argv) {
+  const double load = argc > 1 ? std::atof(argv[1]) : 0.6;
+  const double inflation = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const double down_s = argc > 3 ? std::atof(argv[3]) : 60.0;
+
+  const LcAppKind app_kind = LcAppKind::kEcommerce;
+  const AppSpec app = MakeApp(app_kind);
+  const int crash_pod = app.PodIndex("MySQL");
+  const double crash_at = 120.0;
+  const double duration = 300.0;
+
+  FaultSchedule faults;
+  faults.Add({FaultKind::kPodCrash, crash_pod, crash_at, down_s, inflation});
+
+  std::printf("chaos: crash pod %d (%s) at t=%.0fs for %.0fs, inflation %.2f, load %.2f\n",
+              crash_pod, app.components[crash_pod].name.c_str(), crash_at, down_s, inflation,
+              load);
+  const AppThresholds& thresholds = CachedAppThresholds(app_kind);
+  for (int pod = 0; pod < static_cast<int>(thresholds.pods.size()); ++pod) {
+    std::printf("  pod %d %-10s loadlimit %.2f slacklimit %.3f\n", pod,
+                app.components[pod].name.c_str(), thresholds.pods[pod].loadlimit,
+                thresholds.pods[pod].slacklimit);
+  }
+  std::printf("\n");
+
+  for (ControllerKind controller :
+       {ControllerKind::kRhythm, ControllerKind::kHeracles, ControllerKind::kNone}) {
+    DeploymentConfig config;
+    config.app_kind = app_kind;
+    config.be_kind = BeJobKind::kWordcount;
+    config.controller = controller;
+    if (controller == ControllerKind::kRhythm) {
+      config.thresholds = CachedAppThresholds(app_kind).pods;
+    }
+    config.seed = 31;
+    config.faults = &faults;
+    Deployment deployment(config);
+    ConstantLoad profile(load);
+    deployment.Start(&profile);
+    if (controller == ControllerKind::kNone) {
+      // Uncontrolled co-location: one full-demand BE per pod — light enough
+      // that the pre-crash state is healthy, so the violations that follow
+      // are the crash's doing.
+      for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+        deployment.LaunchBeAtPod(pod, 1);
+      }
+    }
+    deployment.RunFor(duration);
+
+    std::printf("--- %s ---\n", ControllerKindName(controller));
+    std::printf("%8s %7s %7s %9s\n", "t(s)", "slack", "tail", "be_inst");
+    for (double t = crash_at - 20.0; t <= crash_at + down_s + 60.0; t += 10.0) {
+      double instances = 0.0;
+      for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+        instances += deployment.pod_series(pod).be_instances.ValueAt(t);
+      }
+      std::printf("%8.0f %7.2f %7.1f %9.1f\n", t, deployment.slack_series().ValueAt(t),
+                  deployment.tail_series().ValueAt(t), instances);
+    }
+    int outage_violations = 0;
+    for (double t = crash_at + 1.0; t <= crash_at + down_s; t += 1.0) {
+      if (deployment.slack_series().ValueAt(t) < 0.0) {
+        ++outage_violations;
+      }
+    }
+    std::printf("outage violations: %d / %.0f ticks\n", outage_violations, down_s);
+    const RunSummary summary = Summarize(deployment, 0.0, duration);
+    std::printf("recovery_s=%.1f recovered=%d slack_violation_ticks=%llu crashes=%llu "
+                "crash_be_losses=%llu stale_ticks=%llu failed_actuations=%llu "
+                "backoff_holds=%llu kills=%llu\n\n",
+                summary.recovery_s, summary.recovered ? 1 : 0,
+                (unsigned long long)summary.slack_violation_ticks,
+                (unsigned long long)summary.crashes,
+                (unsigned long long)summary.crash_be_losses,
+                (unsigned long long)summary.stale_ticks,
+                (unsigned long long)summary.failed_actuations,
+                (unsigned long long)summary.backoff_holds,
+                (unsigned long long)summary.be_kills);
+  }
+  return 0;
+}
