@@ -1,9 +1,12 @@
 // Shared helpers for the figure/table reproduction binaries.
 //
 // Each bench prints the rows/series of one table or figure from the paper's
-// evaluation. Set RHYTHM_FAST=1 for a reduced sweep (CI scale); set
-// RHYTHM_THRESHOLD_CACHE=<dir> to share the one-time characterization across
-// binaries.
+// evaluation. Sweeps are built as declarative RunPlans and executed through
+// the ParallelRunner, so a many-core box fans the whole figure out; results
+// (and therefore printed rows) are bit-identical at any worker count.
+// Set RHYTHM_FAST=1 for a reduced sweep (CI scale), RHYTHM_JOBS=N to pick
+// the worker count, and RHYTHM_THRESHOLD_CACHE=<dir> to share the one-time
+// characterization across binaries.
 
 #ifndef RHYTHM_BENCH_BENCH_UTIL_H_
 #define RHYTHM_BENCH_BENCH_UTIL_H_
@@ -15,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/rhythm.h"
 
 namespace rhythm_bench {
@@ -67,17 +71,31 @@ inline std::vector<double> GridLoads() {
 inline double GridWarmup() { return FastMode() ? 10.0 : 20.0; }
 inline double GridMeasure() { return FastMode() ? 50.0 : 90.0; }
 
-// One grid cell: app x BE x controller x load.
+// One grid cell: app x BE x controller x load, as a declarative request.
+inline RunRequest GridRequest(LcAppKind app, BeJobKind be, ControllerKind controller,
+                              double load, uint64_t seed = 11) {
+  RunRequest request;
+  request.app = app;
+  request.be = be;
+  request.controller = controller;
+  request.seed = seed;
+  request.warmup_s = GridWarmup();
+  request.measure_s = GridMeasure();
+  request.load = load;
+  return request;
+}
+
+// Runs a grid cell inline (single trial; prefer batching cells into a
+// RunPlan and calling RunMany so the sweep parallelizes).
 inline RunSummary GridRun(LcAppKind app, BeJobKind be, ControllerKind controller, double load,
                           uint64_t seed = 11) {
-  ExperimentConfig config;
-  config.app = app;
-  config.be = be;
-  config.controller = controller;
-  config.seed = seed;
-  config.warmup_s = GridWarmup();
-  config.measure_s = GridMeasure();
-  return RunColocation(config, load);
+  return Run(GridRequest(app, be, controller, load, seed));
+}
+
+// Executes a whole plan across the RHYTHM_JOBS thread pool; results come
+// back in plan order regardless of the worker count.
+inline std::vector<RunSummary> RunMany(const RunPlan& plan) {
+  return ParallelRunner().RunAll(plan);
 }
 
 inline void PrintHeaderLoads(const std::vector<double>& loads) {

@@ -25,29 +25,39 @@ int main() {
 
   const std::vector<double> loads =
       FastMode() ? std::vector<double>{0.4, 0.8} : std::vector<double>{0.2, 0.4, 0.6, 0.8, 0.95};
+  const std::vector<ControllerKind> controllers = {ControllerKind::kNone,
+                                                   ControllerKind::kHeracles,
+                                                   ControllerKind::kRhythm};
+
+  // One trial per (BE, operating point, load); the three metric panels read
+  // from the same summary instead of re-running the cell.
+  RunPlan plan;
+  for (BeJobKind be : EvaluationBeJobKinds()) {
+    for (ControllerKind controller : controllers) {
+      for (double load : loads) {
+        if (controller == ControllerKind::kNone) {
+          // LC alone: no BE deployment at all (loadlimit 0 under Rhythm).
+          RunRequest request = GridRequest(app, be, ControllerKind::kRhythm, load);
+          request.thresholds.assign(spec.pod_count(), ServpodThresholds{0.0, 1.0});
+          plan.Add(std::move(request));
+        } else {
+          plan.Add(GridRequest(app, be, controller, load));
+        }
+      }
+    }
+  }
+  const std::vector<RunSummary> summaries = RunMany(plan);
+
+  size_t group = 0;
   for (BeJobKind be : EvaluationBeJobKinds()) {
     std::printf("\n--- %s: EMU | CPU | MemBW (LC-only / Heracles / Rhythm) ---\n",
                 BeJobKindName(be));
     PrintHeaderLoads(loads);
     for (const char* metric : {"EMU", "CPU", "MemBW"}) {
-      for (ControllerKind controller :
-           {ControllerKind::kNone, ControllerKind::kHeracles, ControllerKind::kRhythm}) {
-        std::printf("%-12s %-9s", metric, ControllerKindName(controller));
-        for (double load : loads) {
-          RunSummary summary;
-          if (controller == ControllerKind::kNone) {
-            // LC alone: no BE deployment at all.
-            ExperimentConfig config;
-            config.app = app;
-            config.be = be;
-            config.controller = ControllerKind::kRhythm;
-            config.thresholds.assign(spec.pod_count(), ServpodThresholds{0.0, 1.0});
-            config.warmup_s = GridWarmup();
-            config.measure_s = GridMeasure();
-            summary = RunColocation(config, load);
-          } else {
-            summary = GridRun(app, be, controller, load);
-          }
+      for (size_t c = 0; c < controllers.size(); ++c) {
+        std::printf("%-12s %-9s", metric, ControllerKindName(controllers[c]));
+        for (size_t l = 0; l < loads.size(); ++l) {
+          const RunSummary& summary = summaries[group + c * loads.size() + l];
           const double value = std::string(metric) == "EMU"    ? summary.emu
                                : std::string(metric) == "CPU" ? summary.cpu_util
                                                               : summary.membw_util;
@@ -56,6 +66,7 @@ int main() {
         std::printf("\n");
       }
     }
+    group += controllers.size() * loads.size();
   }
   std::printf("\nExpected shape: Rhythm > Heracles > LC-only on every metric; the\n"
               "gains come from the mediaservice and frontend Servpods (paper: +14.3%%\n"

@@ -9,31 +9,45 @@ using namespace rhythm_bench;
 
 namespace {
 
-RunSummary RunWithScaledThreshold(bool scale_slacklimit, double level) {
+const std::vector<double>& Levels() {
+  static const std::vector<double> levels = {0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3};
+  return levels;
+}
+
+RunRequest ScaledThresholdRequest(bool scale_slacklimit, double level) {
   const LcAppKind app_kind = LcAppKind::kEcommerce;
   const AppThresholds& base = CachedAppThresholds(app_kind);
-  ExperimentConfig config;
-  config.app = app_kind;
-  config.be = BeJobKind::kWordcount;
-  config.controller = ControllerKind::kRhythm;
-  config.thresholds = base.pods;
+  RunRequest request;
+  request.app = app_kind;
+  request.be = BeJobKind::kWordcount;
+  request.controller = ControllerKind::kRhythm;
+  request.thresholds = base.pods;
   const int mysql = 3;
   if (scale_slacklimit) {
-    config.thresholds[mysql].slacklimit = base.pods[mysql].slacklimit * level;
+    request.thresholds[mysql].slacklimit = base.pods[mysql].slacklimit * level;
   } else {
-    config.thresholds[mysql].loadlimit = std::min(0.99, base.pods[mysql].loadlimit * level);
+    request.thresholds[mysql].loadlimit = std::min(0.99, base.pods[mysql].loadlimit * level);
   }
-  config.warmup_s = 20.0;
-  config.measure_s = FastMode() ? 60.0 : 150.0;
-  config.seed = 29;
+  request.warmup_s = 20.0;
+  request.measure_s = FastMode() ? 60.0 : 150.0;
+  request.seed = 29;
   // Run near MySQL's loadlimit so both thresholds bind.
-  return RunColocation(config, 0.7);
+  request.load = 0.7;
+  return request;
 }
 
 }  // namespace
 
 int main() {
   const AppThresholds& base = CachedAppThresholds(LcAppKind::kEcommerce);
+
+  RunPlan plan;
+  for (double level : Levels()) {
+    plan.Add(ScaledThresholdRequest(/*scale_slacklimit=*/true, level));
+    plan.Add(ScaledThresholdRequest(/*scale_slacklimit=*/false, level));
+  }
+  const std::vector<RunSummary> summaries = RunMany(plan);
+
   std::printf("=== Figure 18: threshold level vs normalized BE throughput ===\n");
   std::printf("(MySQL derived values: loadlimit %.2f, slacklimit %.3f; load 70%%)\n\n",
               base.pods[3].loadlimit, base.pods[3].slacklimit);
@@ -41,10 +55,10 @@ int main() {
 
   double reference = 0.0;
   std::vector<std::pair<double, double>> rows;
-  for (double level : {0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3}) {
-    const RunSummary vary_slack = RunWithScaledThreshold(true, level);
-    const RunSummary vary_load = RunWithScaledThreshold(false, level);
-    if (level == 1.0) {
+  for (size_t i = 0; i < Levels().size(); ++i) {
+    const RunSummary& vary_slack = summaries[2 * i];
+    const RunSummary& vary_load = summaries[2 * i + 1];
+    if (Levels()[i] == 1.0) {
       reference = vary_slack.be_throughput;
     }
     rows.push_back({vary_slack.be_throughput, vary_load.be_throughput});
@@ -53,7 +67,7 @@ int main() {
     reference = 1.0;
   }
   int i = 0;
-  for (double level : {0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3}) {
+  for (double level : Levels()) {
     std::printf("%9.0f%% %28.3f %28.3f\n", level * 100.0, rows[i].first / reference,
                 rows[i].second / reference);
     ++i;

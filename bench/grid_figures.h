@@ -6,6 +6,10 @@
 //   fig 9: BE throughput, fig 10: CPU utilization, fig 11: MemBW utilization.
 // Figures 12-14 report the whole-service relative improvement
 // (Rhythm - Heracles) / Heracles of EMU / CPU / MemBW on the same grid.
+//
+// Each driver declares the whole grid as one RunPlan and fans it out through
+// the ParallelRunner before printing — cells are independent trials, so the
+// printed rows are identical at any RHYTHM_JOBS setting.
 
 #ifndef RHYTHM_BENCH_GRID_FIGURES_H_
 #define RHYTHM_BENCH_GRID_FIGURES_H_
@@ -22,6 +26,20 @@ using AppMetric = std::function<double(const RunSummary&)>;
 // Figures 9-11: per-Servpod metric, both controllers printed side by side.
 inline void RunPodGrid(const char* title, const PodMetric& metric) {
   const std::vector<double> loads = GridLoads();
+
+  RunPlan plan;
+  for (const FigurePod& figure_pod : Figure9Pods()) {
+    for (BeJobKind be : EvaluationBeJobKinds()) {
+      for (ControllerKind controller : {ControllerKind::kRhythm, ControllerKind::kHeracles}) {
+        for (double load : loads) {
+          plan.Add(GridRequest(figure_pod.app, be, controller, load));
+        }
+      }
+    }
+  }
+  const std::vector<RunSummary> summaries = RunMany(plan);
+
+  size_t cell = 0;
   std::printf("=== %s ===\n", title);
   for (const FigurePod& figure_pod : Figure9Pods()) {
     const AppSpec app = MakeApp(figure_pod.app);
@@ -31,9 +49,8 @@ inline void RunPodGrid(const char* title, const PodMetric& metric) {
     for (BeJobKind be : EvaluationBeJobKinds()) {
       for (ControllerKind controller : {ControllerKind::kRhythm, ControllerKind::kHeracles}) {
         std::printf("%-12s %-9s", BeJobKindName(be), ControllerKindName(controller));
-        for (double load : loads) {
-          const RunSummary summary = GridRun(figure_pod.app, be, controller, load);
-          std::printf(" %8.3f", metric(summary, pod));
+        for (size_t i = 0; i < loads.size(); ++i) {
+          std::printf(" %8.3f", metric(summaries[cell++], pod));
         }
         std::printf("\n");
       }
@@ -47,15 +64,28 @@ inline void RunImprovementGrid(const char* title, const AppMetric& metric) {
   const std::vector<LcAppKind> apps = {LcAppKind::kEcommerce, LcAppKind::kRedis,
                                        LcAppKind::kSolr, LcAppKind::kElgg,
                                        LcAppKind::kElasticsearch};
+
+  RunPlan plan;
+  for (LcAppKind app : apps) {
+    for (BeJobKind be : EvaluationBeJobKinds()) {
+      for (double load : loads) {
+        plan.Add(GridRequest(app, be, ControllerKind::kRhythm, load));
+        plan.Add(GridRequest(app, be, ControllerKind::kHeracles, load));
+      }
+    }
+  }
+  const std::vector<RunSummary> summaries = RunMany(plan);
+
+  size_t cell = 0;
   std::printf("=== %s ===\n", title);
   for (LcAppKind app : apps) {
     std::printf("\n--- %s: (Rhythm - Heracles) / Heracles, %% ---\n", LcAppKindName(app));
     PrintHeaderLoads(loads);
     for (BeJobKind be : EvaluationBeJobKinds()) {
       std::printf("%-22s", BeJobKindName(be));
-      for (double load : loads) {
-        const RunSummary rhythm = GridRun(app, be, ControllerKind::kRhythm, load);
-        const RunSummary heracles = GridRun(app, be, ControllerKind::kHeracles, load);
+      for (size_t i = 0; i < loads.size(); ++i) {
+        const RunSummary& rhythm = summaries[cell++];
+        const RunSummary& heracles = summaries[cell++];
         std::printf(" %8.1f", 100.0 * RelativeImprovement(metric(rhythm), metric(heracles)));
       }
       std::printf("\n");

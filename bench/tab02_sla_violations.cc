@@ -9,54 +9,62 @@ using namespace rhythm_bench;
 
 namespace {
 
-struct Outcome {
-  double threshold;
-  uint64_t violations;
-  uint64_t kills;
-};
+const std::vector<double>& Levels() {
+  static const std::vector<double> levels = {0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3};
+  return levels;
+}
 
-Outcome RunLevel(bool scale_slacklimit, double level) {
+RunRequest LevelRequest(bool scale_slacklimit, double level) {
   const LcAppKind app_kind = LcAppKind::kEcommerce;
   const AppThresholds& base = CachedAppThresholds(app_kind);
-  ExperimentConfig config;
-  config.app = app_kind;
-  config.be = BeJobKind::kWordcount;
-  config.controller = ControllerKind::kRhythm;
-  config.thresholds = base.pods;
+  RunRequest request;
+  request.app = app_kind;
+  request.be = BeJobKind::kWordcount;
+  request.controller = ControllerKind::kRhythm;
+  request.thresholds = base.pods;
   const int mysql = 3;
-  Outcome outcome;
   if (scale_slacklimit) {
-    config.thresholds[mysql].slacklimit = base.pods[mysql].slacklimit * level;
-    outcome.threshold = config.thresholds[mysql].slacklimit;
+    request.thresholds[mysql].slacklimit = base.pods[mysql].slacklimit * level;
   } else {
-    config.thresholds[mysql].loadlimit = std::min(0.99, base.pods[mysql].loadlimit * level);
-    outcome.threshold = config.thresholds[mysql].loadlimit;
+    request.thresholds[mysql].loadlimit = std::min(0.99, base.pods[mysql].loadlimit * level);
   }
-  config.warmup_s = 20.0;
-  config.measure_s = FastMode() ? 60.0 : 150.0;
-  config.seed = 37;
-  const RunSummary summary = RunColocation(config, 0.7);
-  outcome.violations = summary.sla_violations;
-  outcome.kills = summary.be_kills;
-  return outcome;
+  request.warmup_s = 20.0;
+  request.measure_s = FastMode() ? 60.0 : 150.0;
+  request.seed = 37;
+  request.load = 0.7;
+  return request;
 }
 
 }  // namespace
 
 int main() {
+  // The whole sweep as one plan: per level, the slacklimit variant then the
+  // loadlimit variant.
+  RunPlan plan;
+  for (double level : Levels()) {
+    plan.Add(LevelRequest(/*scale_slacklimit=*/true, level));
+    plan.Add(LevelRequest(/*scale_slacklimit=*/false, level));
+  }
+  const std::vector<RunSummary> summaries = RunMany(plan);
+
   std::printf("=== Table 2: SLA violations and BE kills vs threshold level ===\n");
   std::printf("(E-commerce + wordcount at 70%% load; MySQL threshold scaled)\n\n");
   std::printf("%-8s | %-34s | %-34s\n", "", "fixed loadlimit, vary slacklimit",
               "fixed slacklimit, vary loadlimit");
   std::printf("%-8s | %10s %10s %10s | %10s %10s %10s\n", "Level", "slacklim", "violations",
               "BE kills", "loadlim", "violations", "BE kills");
-  for (double level : {0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3}) {
-    const Outcome slack = RunLevel(true, level);
-    const Outcome load = RunLevel(false, level);
+  const int mysql = 3;
+  size_t cell = 0;
+  for (double level : Levels()) {
+    const RunRequest& slack_request = plan.requests[cell];
+    const RunSummary& slack = summaries[cell++];
+    const RunRequest& load_request = plan.requests[cell];
+    const RunSummary& load = summaries[cell++];
     std::printf("%6.0f%% | %10.3f %10llu %10llu | %10.3f %10llu %10llu\n", level * 100.0,
-                slack.threshold, (unsigned long long)slack.violations,
-                (unsigned long long)slack.kills, load.threshold,
-                (unsigned long long)load.violations, (unsigned long long)load.kills);
+                slack_request.thresholds[mysql].slacklimit,
+                (unsigned long long)slack.sla_violations, (unsigned long long)slack.be_kills,
+                load_request.thresholds[mysql].loadlimit,
+                (unsigned long long)load.sla_violations, (unsigned long long)load.be_kills);
   }
   std::printf("\nExpected shape: zero violations at and above the 100%% level for the\n"
               "slacklimit sweep (paper: 22/16/13 violations at 70/80/90%%); the\n"

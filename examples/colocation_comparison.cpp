@@ -1,6 +1,7 @@
 // Co-location shoot-out: sweep every evaluation BE workload against one LC
-// service under no controller / Heracles / Rhythm, at a chosen load — a
-// miniature of the paper's §5.2 grids with all three operating points.
+// service under Heracles and Rhythm at a chosen load — a miniature of the
+// paper's §5.2 grids, declared as one RunPlan and fanned out across the
+// RHYTHM_JOBS thread pool (rows print in plan order either way).
 //
 //   $ ./colocation_comparison [load-percent]    (default 45)
 
@@ -14,19 +15,33 @@ using namespace rhythm;
 int main(int argc, char** argv) {
   const double load = argc > 1 ? std::atof(argv[1]) / 100.0 : 0.45;
   const LcAppKind app = LcAppKind::kEcommerce;
-  std::printf("E-commerce at %.0f%% of MaxLoad, 120 s windows\n\n", load * 100.0);
-  std::printf("%-18s %-10s %8s %8s %8s %10s %6s\n", "BE workload", "controller", "EMU",
-              "CPU", "MemBW", "worstTail", "viol");
 
+  RunPlan plan;
   for (BeJobKind be : EvaluationBeJobKinds()) {
     for (ControllerKind controller : {ControllerKind::kHeracles, ControllerKind::kRhythm}) {
-      ExperimentConfig config;
-      config.app = app;
-      config.be = be;
-      config.controller = controller;
-      config.warmup_s = 20.0;
-      config.measure_s = 120.0;
-      const RunSummary s = RunColocation(config, load);
+      RunRequest request;
+      request.app = app;
+      request.be = be;
+      request.controller = controller;
+      request.warmup_s = 20.0;
+      request.measure_s = 120.0;
+      request.load = load;
+      request.label = std::string(BeJobKindName(be)) + "/" + ControllerKindName(controller);
+      plan.Add(std::move(request));
+    }
+  }
+
+  const ParallelRunner runner;
+  std::printf("E-commerce at %.0f%% of MaxLoad, 120 s windows, %d worker thread(s)\n\n",
+              load * 100.0, runner.jobs());
+  const std::vector<RunSummary> summaries = runner.RunAll(plan);
+
+  std::printf("%-18s %-10s %8s %8s %8s %10s %6s\n", "BE workload", "controller", "EMU",
+              "CPU", "MemBW", "worstTail", "viol");
+  size_t cell = 0;
+  for (BeJobKind be : EvaluationBeJobKinds()) {
+    for (ControllerKind controller : {ControllerKind::kHeracles, ControllerKind::kRhythm}) {
+      const RunSummary& s = summaries[cell++];
       std::printf("%-18s %-10s %8.3f %8.3f %8.3f %9.2fx %6llu\n", BeJobKindName(be),
                   ControllerKindName(controller), s.emu, s.cpu_util, s.membw_util,
                   s.worst_tail_ratio, (unsigned long long)s.sla_violations);

@@ -7,7 +7,9 @@
 // This walks the library's three-step workflow:
 //   1. CachedAppThresholds(app)  — profile the solo service, analyze each
 //      Servpod's tail-latency contribution, derive loadlimit/slacklimit.
-//   2. RunColocation(config, load) — run the co-location under a controller.
+//   2. Run(request) — describe a co-location trial as a RunRequest and run
+//      it under a controller (batch trials into a RunPlan and use
+//      ParallelRunner to fan a sweep across cores).
 //   3. Read the RunSummary — EMU, utilizations, SLA safety.
 
 #include <cstdio>
@@ -39,13 +41,14 @@ int main() {
   std::printf("%-10s %8s %8s %8s %8s %10s %6s %6s\n", "controller", "EMU", "BEthr", "CPU",
               "MemBW", "worstTail", "viol", "kills");
   for (ControllerKind controller : {ControllerKind::kHeracles, ControllerKind::kRhythm}) {
-    ExperimentConfig config;
-    config.app = app;
-    config.be = BeJobKind::kWordcount;
-    config.controller = controller;
-    config.warmup_s = 20.0;
-    config.measure_s = 120.0;
-    const RunSummary s = RunColocation(config, 0.45);
+    RunRequest request;
+    request.app = app;
+    request.be = BeJobKind::kWordcount;
+    request.controller = controller;
+    request.warmup_s = 20.0;
+    request.measure_s = 120.0;
+    request.load = 0.45;
+    const RunSummary s = Run(request);
     std::printf("%-10s %8.3f %8.3f %8.3f %8.3f %9.2fx %6llu %6llu\n",
                 ControllerKindName(controller), s.emu, s.be_throughput, s.cpu_util,
                 s.membw_util, s.worst_tail_ratio, (unsigned long long)s.sla_violations,

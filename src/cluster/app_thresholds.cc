@@ -1,5 +1,8 @@
 #include "src/cluster/app_thresholds.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -110,18 +113,20 @@ uint64_t SpecFingerprint(const AppSpec& app) {
   return hash;
 }
 
-std::string DiskCachePath(LcAppKind app, uint64_t fingerprint) {
+}  // namespace
+
+std::string ThresholdDiskCachePath(LcAppKind app) {
   const char* dir = std::getenv("RHYTHM_THRESHOLD_CACHE");
   if (dir == nullptr || dir[0] == '\0') {
     return {};
   }
   char name[256];
   std::snprintf(name, sizeof(name), "%s/%s-%016llx.thresholds", dir, LcAppKindName(app),
-                static_cast<unsigned long long>(fingerprint));
+                static_cast<unsigned long long>(SpecFingerprint(MakeApp(app))));
   return name;
 }
 
-bool LoadFromDisk(const std::string& path, int pods, AppThresholds* out) {
+bool LoadThresholdsFromDisk(const std::string& path, int pods, AppThresholds* out) {
   std::FILE* file = std::fopen(path.c_str(), "r");
   if (file == nullptr) {
     return false;
@@ -141,8 +146,18 @@ bool LoadFromDisk(const std::string& path, int pods, AppThresholds* out) {
   return ok;
 }
 
-void SaveToDisk(const std::string& path, const AppThresholds& thresholds) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
+void SaveThresholdsToDisk(const std::string& path, const AppThresholds& thresholds) {
+  // Stage the entry next to its final name and rename into place: rename(2)
+  // is atomic within a filesystem, so a reader racing this writer — another
+  // thread of this process or another bench process sharing the cache
+  // directory — always opens a complete file. The staging name carries pid
+  // plus a process-local counter so concurrent writers never collide.
+  static std::atomic<uint64_t> sequence{0};
+  char staging[320];
+  std::snprintf(staging, sizeof(staging), "%s.tmp.%ld.%llu", path.c_str(),
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(sequence.fetch_add(1)));
+  std::FILE* file = std::fopen(staging, "w");
   if (file == nullptr) {
     return;
   }
@@ -155,33 +170,42 @@ void SaveToDisk(const std::string& path, const AppThresholds& thresholds) {
                  thresholds.contributions[pod].varcoef_v, thresholds.contributions[pod].alpha);
   }
   std::fclose(file);
+  if (std::rename(staging, path.c_str()) != 0) {
+    std::remove(staging);
+  }
 }
 
-}  // namespace
-
 const AppThresholds& CachedAppThresholds(LcAppKind app) {
+  // Per-app slots under a short-lived map lock, each filled exactly once:
+  // callers racing on the same app block on its call_once while callers for
+  // different apps load or derive concurrently — a RunPlan touching five
+  // services characterizes them all in parallel. Slots are node-stable, so
+  // returned references stay valid for the process lifetime.
+  struct Slot {
+    std::once_flag once;
+    AppThresholds value;
+  };
   static std::mutex mutex;
-  static std::map<LcAppKind, AppThresholds>* cache = new std::map<LcAppKind, AppThresholds>();
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache->find(app);
-  if (it != cache->end()) {
-    return it->second;
+  static std::map<LcAppKind, Slot>* cache = new std::map<LcAppKind, Slot>();
+  Slot* slot;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    slot = &(*cache)[app];
   }
-  const AppSpec spec = MakeApp(app);
-  const std::string path = DiskCachePath(app, SpecFingerprint(spec));
-  if (!path.empty()) {
-    AppThresholds loaded;
-    if (LoadFromDisk(path, spec.pod_count(), &loaded)) {
+  std::call_once(slot->once, [app, slot] {
+    const AppSpec spec = MakeApp(app);
+    const std::string path = ThresholdDiskCachePath(app);
+    if (!path.empty() && LoadThresholdsFromDisk(path, spec.pod_count(), &slot->value)) {
       RHYTHM_LOG(kInfo) << "Loaded thresholds for " << LcAppKindName(app) << " from " << path;
-      return cache->emplace(app, std::move(loaded)).first->second;
+      return;
     }
-  }
-  RHYTHM_LOG(kInfo) << "Deriving thresholds for " << LcAppKindName(app);
-  it = cache->emplace(app, DeriveAppThresholds(app)).first;
-  if (!path.empty()) {
-    SaveToDisk(path, it->second);
-  }
-  return it->second;
+    RHYTHM_LOG(kInfo) << "Deriving thresholds for " << LcAppKindName(app);
+    slot->value = DeriveAppThresholds(app);
+    if (!path.empty()) {
+      SaveThresholdsToDisk(path, slot->value);
+    }
+  });
+  return slot->value;
 }
 
 }  // namespace rhythm

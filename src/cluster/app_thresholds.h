@@ -6,6 +6,7 @@
 #ifndef RHYTHM_SRC_CLUSTER_APP_THRESHOLDS_H_
 #define RHYTHM_SRC_CLUSTER_APP_THRESHOLDS_H_
 
+#include <string>
 #include <vector>
 
 #include "src/analysis/contribution.h"
@@ -45,7 +46,20 @@ AppThresholds DeriveAppThresholds(LcAppKind app, const ThresholdOptions& options
 // the application's model parameters — so separate bench binaries share one
 // characterization pass. Disk-cached entries carry thresholds and
 // contributions but no profile matrix.
+//
+// Thread-safe: concurrent callers for the same app block until one of them
+// finishes the load-or-derive exactly once; callers for different apps
+// derive in parallel (the parallel experiment runner depends on this).
 const AppThresholds& CachedAppThresholds(LcAppKind app);
+
+// Disk-cache plumbing behind CachedAppThresholds, exposed so tests and
+// tools can exercise it directly. Writers stage to a temp file and rename,
+// so a concurrent reader sees either the old complete entry or the new one,
+// never a torn write — within a process or across bench processes sharing
+// one cache directory.
+std::string ThresholdDiskCachePath(LcAppKind app);  // "" when cache disabled.
+bool LoadThresholdsFromDisk(const std::string& path, int pods, AppThresholds* out);
+void SaveThresholdsToDisk(const std::string& path, const AppThresholds& thresholds);
 
 }  // namespace rhythm
 

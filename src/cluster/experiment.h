@@ -1,5 +1,13 @@
-// Convenience experiment runner: one co-location run (app x BE x controller
-// x load profile) -> RunSummary. All evaluation benches are built on this.
+// DEPRECATED compatibility shim. The experiment entry points moved to the
+// declarative runner API:
+//
+//   RunColocation(config, load)                  ->  Run(RunRequest)
+//   RunColocationProfile(config, profile, dur)   ->  Run(RunRequest)
+//   FastMode()                                   ->  src/common/env.h
+//
+// See src/runner/runner.h (single-trial Run and the ParallelRunner that
+// executes whole RunPlans across a thread pool). The wrappers below keep
+// out-of-tree callers compiling; new code should build RunRequests.
 
 #ifndef RHYTHM_SRC_CLUSTER_EXPERIMENT_H_
 #define RHYTHM_SRC_CLUSTER_EXPERIMENT_H_
@@ -9,9 +17,15 @@
 #include "src/cluster/app_thresholds.h"
 #include "src/cluster/deployment.h"
 #include "src/cluster/metrics.h"
+#include "src/common/env.h"
+#include "src/runner/runner.h"
 
 namespace rhythm {
 
+// DEPRECATED: describe trials with RunRequest instead. Unlike RunRequest,
+// this struct holds its fault schedule by raw pointer (must outlive the
+// run). The forwarding wrappers below route through Run(), so kLoadSpike
+// events are applied automatically like everywhere else.
 struct ExperimentConfig {
   LcAppKind app = LcAppKind::kEcommerce;
   BeJobKind be = BeJobKind::kCpuStress;
@@ -21,22 +35,39 @@ struct ExperimentConfig {
   uint64_t seed = 11;
   double warmup_s = 20.0;
   double measure_s = 120.0;
-  // Optional fault schedule (must outlive the run). Wrap the load profile in
-  // a SpikedLoadProfile yourself if the schedule carries kLoadSpike events.
   const FaultSchedule* faults = nullptr;
 };
 
-// Constant-load run.
-RunSummary RunColocation(const ExperimentConfig& config, double load);
+inline RunRequest ToRunRequest(const ExperimentConfig& config) {
+  RunRequest request;
+  request.app = config.app;
+  request.be = config.be;
+  request.controller = config.controller;
+  request.thresholds = config.thresholds;
+  request.seed = config.seed;
+  request.warmup_s = config.warmup_s;
+  request.measure_s = config.measure_s;
+  request.faults = UnownedFaults(config.faults);
+  return request;
+}
 
-// Arbitrary profile (production trace); `duration_s` of measurement after
-// warmup.
-RunSummary RunColocationProfile(const ExperimentConfig& config, const LoadProfile& profile,
-                                double duration_s);
+// DEPRECATED: use Run(RunRequest). Constant-load run.
+inline RunSummary RunColocation(const ExperimentConfig& config, double load) {
+  RunRequest request = ToRunRequest(config);
+  request.load = load;
+  return Run(request);
+}
 
-// True when the environment requests a fast (CI-scale) run; benches shrink
-// their sweeps accordingly. Controlled by RHYTHM_FAST=1.
-bool FastMode();
+// DEPRECATED: use Run(RunRequest) with an owning profile. Note the profile
+// is borrowed here and must outlive the call; `duration_s` of measurement
+// after warmup.
+inline RunSummary RunColocationProfile(const ExperimentConfig& config,
+                                       const LoadProfile& profile, double duration_s) {
+  RunRequest request = ToRunRequest(config);
+  request.profile = std::shared_ptr<const LoadProfile>(&profile, [](const LoadProfile*) {});
+  request.measure_s = duration_s;
+  return Run(request);
+}
 
 }  // namespace rhythm
 

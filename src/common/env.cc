@@ -1,0 +1,37 @@
+#include "src/common/env.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace rhythm {
+
+bool EnvFlag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] == '1';
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value) {
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
+bool FastMode() { return EnvFlag("RHYTHM_FAST"); }
+
+int DefaultJobCount() {
+  const int jobs = EnvInt("RHYTHM_JOBS", 0);
+  if (jobs > 0) {
+    return jobs;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+}  // namespace rhythm

@@ -24,6 +24,11 @@ const char* FaultKindName(FaultKind kind) {
   return "?";
 }
 
+bool FaultSchedule::HasKind(FaultKind kind) const {
+  return std::any_of(events.begin(), events.end(),
+                     [kind](const FaultEvent& event) { return event.kind == kind; });
+}
+
 std::vector<FaultEvent> FaultSchedule::Sorted() const {
   std::vector<FaultEvent> sorted = events;
   std::stable_sort(sorted.begin(), sorted.end(), [](const FaultEvent& a, const FaultEvent& b) {

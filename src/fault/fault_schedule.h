@@ -57,6 +57,10 @@ struct FaultSchedule {
   void Add(const FaultEvent& event) { events.push_back(event); }
   bool empty() const { return events.empty(); }
 
+  // True when any event has the given kind (e.g. whether kLoadSpike events
+  // require a SpikedLoadProfile wrap — the runner checks this).
+  bool HasKind(FaultKind kind) const;
+
   // Events ordered by (start, pod, kind) — the injector consumes this so
   // insertion order never affects the run.
   std::vector<FaultEvent> Sorted() const;

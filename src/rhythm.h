@@ -4,8 +4,10 @@
 //
 // Typical usage (see examples/quickstart.cc):
 //   1. Derive per-Servpod thresholds once:   CachedAppThresholds(app)
-//   2. Run a co-location:                    RunColocation(config, load)
-//   3. Compare against Heracles by flipping  config.controller.
+//   2. Describe co-location trials:          RunRequest / RunPlan
+//   3. Run one:                              Run(request)
+//      ... or a whole plan across a pool:    ParallelRunner().RunAll(plan)
+//   4. Compare against Heracles by flipping  request.controller.
 
 #ifndef RHYTHM_SRC_RHYTHM_H_
 #define RHYTHM_SRC_RHYTHM_H_
@@ -22,6 +24,7 @@
 #include "src/cluster/metrics.h"
 #include "src/cluster/multi_lc.h"
 #include "src/cluster/profiler.h"
+#include "src/common/env.h"
 #include "src/common/logging.h"
 #include "src/common/p2_quantile.h"
 #include "src/common/percentile_window.h"
@@ -36,6 +39,8 @@
 #include "src/fault/spiked_load_profile.h"
 #include "src/interference/interference_model.h"
 #include "src/resources/machine.h"
+#include "src/runner/run_request.h"
+#include "src/runner/runner.h"
 #include "src/scheduler/be_backlog.h"
 #include "src/scheduler/be_scheduler.h"
 #include "src/sim/simulator.h"

@@ -1,0 +1,29 @@
+#include "src/runner/run_request.h"
+
+#include "src/common/rng.h"
+
+namespace rhythm {
+
+std::shared_ptr<const FaultSchedule> UnownedFaults(const FaultSchedule* faults) {
+  if (faults == nullptr) {
+    return nullptr;
+  }
+  return std::shared_ptr<const FaultSchedule>(faults, [](const FaultSchedule*) {});
+}
+
+uint64_t DeriveTrialSeed(uint64_t base_seed, uint64_t index) {
+  // Element `index` of the SplitMix64 stream seeded at base_seed; computed
+  // directly from the stream's fixed increment so derivation is O(1).
+  SplitMix64 sm(base_seed + index * 0x9e3779b97f4a7c15ULL);
+  return sm.Next();
+}
+
+void RunPlan::AddTrials(const RunRequest& prototype, int count, uint64_t base_seed) {
+  for (int i = 0; i < count; ++i) {
+    RunRequest request = prototype;
+    request.seed = DeriveTrialSeed(base_seed, static_cast<uint64_t>(i));
+    requests.push_back(std::move(request));
+  }
+}
+
+}  // namespace rhythm

@@ -1,0 +1,80 @@
+// Declarative experiment descriptions: RunRequest captures everything one
+// co-location trial needs (app x BE x controller x thresholds x seed x load
+// or profile x fault schedule x windows) as a self-contained value, and a
+// RunPlan is an ordered batch of them. Because a request owns (or shares)
+// its load profile and fault schedule, a plan can be built up front and
+// executed later on any thread — the seam the parallel runner, grid benches
+// and future sharding/grid-search layers all build on.
+
+#ifndef RHYTHM_SRC_RUNNER_RUN_REQUEST_H_
+#define RHYTHM_SRC_RUNNER_RUN_REQUEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/deployment.h"
+#include "src/control/thresholds.h"
+#include "src/fault/fault_schedule.h"
+#include "src/workload/app_catalog.h"
+#include "src/workload/load_profile.h"
+
+namespace rhythm {
+
+// One co-location trial. Plain data: copying a request copies the
+// description, not any running state, and shared profiles/schedules are
+// immutable so concurrent trials may alias them freely.
+struct RunRequest {
+  LcAppKind app = LcAppKind::kEcommerce;
+  BeJobKind be = BeJobKind::kCpuStress;
+  ControllerKind controller = ControllerKind::kRhythm;
+  // Rhythm's per-pod thresholds; taken from CachedAppThresholds when empty.
+  std::vector<ServpodThresholds> thresholds;
+  uint64_t seed = 11;
+  double warmup_s = 20.0;
+  double measure_s = 120.0;
+  // Offered load: a constant fraction of MaxLoad, unless `profile` is set,
+  // in which case the profile drives the run and `load` is ignored.
+  double load = 0.45;
+  std::shared_ptr<const LoadProfile> profile;
+  // Optional fault schedule, owned by the request. The runner applies
+  // kLoadSpike events automatically by wrapping the load profile in a
+  // SpikedLoadProfile — callers no longer wrap by hand.
+  std::shared_ptr<const FaultSchedule> faults;
+  // Free-form tag carried through for the caller's bookkeeping (e.g. which
+  // figure cell this trial fills); never interpreted by the runner.
+  std::string label;
+};
+
+// Wraps a caller-owned schedule (which must outlive every run using the
+// request) without taking ownership — the bridge from the deprecated
+// raw-pointer ExperimentConfig::faults field.
+std::shared_ptr<const FaultSchedule> UnownedFaults(const FaultSchedule* faults);
+
+// Seed for trial `index` of a batch keyed by `base_seed`: element `index` of
+// the SplitMix64 sequence started at `base_seed`. Stable across runner
+// versions and thread counts — replications are reproducible one-by-one.
+uint64_t DeriveTrialSeed(uint64_t base_seed, uint64_t index);
+
+// An ordered batch of trials. Execution order is unspecified (the parallel
+// runner interleaves trials), but results always come back in plan order.
+struct RunPlan {
+  std::vector<RunRequest> requests;
+
+  RunRequest& Add(RunRequest request) {
+    requests.push_back(std::move(request));
+    return requests.back();
+  }
+
+  // Adds `count` replications of `prototype` whose seeds are derived from
+  // `base_seed` via DeriveTrialSeed(base_seed, 0..count-1).
+  void AddTrials(const RunRequest& prototype, int count, uint64_t base_seed);
+
+  size_t size() const { return requests.size(); }
+  bool empty() const { return requests.empty(); }
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_RUNNER_RUN_REQUEST_H_

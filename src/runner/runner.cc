@@ -1,0 +1,137 @@
+#include "src/runner/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "src/cluster/app_thresholds.h"
+#include "src/common/env.h"
+#include "src/fault/spiked_load_profile.h"
+
+namespace rhythm {
+
+namespace {
+
+void Validate(const RunRequest& request) {
+  if (request.warmup_s < 0.0 || !std::isfinite(request.warmup_s)) {
+    throw std::invalid_argument("RunRequest: warmup_s must be finite and >= 0");
+  }
+  if (request.measure_s <= 0.0 || !std::isfinite(request.measure_s)) {
+    throw std::invalid_argument("RunRequest: measure_s must be finite and > 0");
+  }
+  if (request.profile == nullptr && (request.load < 0.0 || !std::isfinite(request.load))) {
+    throw std::invalid_argument("RunRequest: load must be finite and >= 0");
+  }
+  if (request.controller == ControllerKind::kRhythm && !request.thresholds.empty()) {
+    const int pods = MakeApp(request.app).pod_count();
+    if (static_cast<int>(request.thresholds.size()) != pods) {
+      throw std::invalid_argument("RunRequest: " + std::string(LcAppKindName(request.app)) +
+                                  " has " + std::to_string(pods) + " pods but " +
+                                  std::to_string(request.thresholds.size()) +
+                                  " thresholds were given");
+    }
+  }
+}
+
+}  // namespace
+
+RunSummary Run(const RunRequest& request) {
+  Validate(request);
+
+  DeploymentConfig config;
+  config.app_kind = request.app;
+  config.be_kind = request.be;
+  config.controller = request.controller;
+  config.seed = request.seed;
+  config.faults = request.faults.get();
+  if (request.controller == ControllerKind::kRhythm) {
+    config.thresholds = request.thresholds.empty() ? CachedAppThresholds(request.app).pods
+                                                   : request.thresholds;
+  }
+
+  // Resolve the load profile, layering flash-crowd spikes from the fault
+  // schedule on top — previously every caller had to remember this wrap.
+  const ConstantLoad constant(request.load);
+  const LoadProfile* profile =
+      request.profile != nullptr ? request.profile.get() : &constant;
+  std::unique_ptr<SpikedLoadProfile> spiked;
+  if (request.faults != nullptr && request.faults->HasKind(FaultKind::kLoadSpike)) {
+    spiked = std::make_unique<SpikedLoadProfile>(profile, *request.faults);
+    profile = spiked.get();
+  }
+
+  Deployment deployment(config);
+  deployment.Start(profile);
+  deployment.RunFor(request.warmup_s);
+  const double t0 = deployment.sim().Now();
+  const uint64_t kills_before = deployment.TotalBeKills();
+  const uint64_t violations_before = deployment.TotalSlaViolations();
+  deployment.RunFor(request.measure_s);
+  const double t1 = deployment.sim().Now();
+  return Summarize(deployment, t0, t1, kills_before, violations_before);
+}
+
+ParallelRunner::ParallelRunner(const RunnerOptions& options)
+    : jobs_(options.jobs > 0 ? options.jobs : DefaultJobCount()) {}
+
+std::vector<RunSummary> ParallelRunner::RunAll(const RunPlan& plan) const {
+  const size_t trials = plan.size();
+  std::vector<RunSummary> results(trials);
+  if (trials == 0) {
+    return results;
+  }
+
+  const int workers = static_cast<int>(std::min<size_t>(jobs_, trials));
+  if (workers <= 1) {
+    for (size_t i = 0; i < trials; ++i) {
+      results[i] = Run(plan.requests[i]);
+    }
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  // Lowest plan index that failed so far; trials past it are not started
+  // (those already in flight finish), and its exception is rethrown.
+  std::atomic<size_t> first_error{trials};
+  std::vector<std::exception_ptr> error_by_trial(trials);
+
+  const auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials || i >= first_error.load(std::memory_order_acquire)) {
+        return;
+      }
+      try {
+        results[i] = Run(plan.requests[i]);
+      } catch (...) {
+        error_by_trial[i] = std::current_exception();
+        size_t expected = first_error.load(std::memory_order_acquire);
+        while (i < expected &&
+               !first_error.compare_exchange_weak(expected, i, std::memory_order_acq_rel)) {
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+
+  const size_t failed = first_error.load(std::memory_order_acquire);
+  if (failed < trials) {
+    std::rethrow_exception(error_by_trial[failed]);
+  }
+  return results;
+}
+
+}  // namespace rhythm

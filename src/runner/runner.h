@@ -1,0 +1,54 @@
+// Experiment execution: Run() plays one RunRequest to completion and a
+// ParallelRunner fans a whole RunPlan out across a std::thread pool.
+//
+// Guarantees:
+//   * Determinism — each trial is a pure function of its request, so
+//     RunAll() returns bit-identical summaries regardless of the worker
+//     count or how trials interleave. Results come back in plan order.
+//   * Shared state — trials only share the process-wide threshold cache
+//     (CachedAppThresholds, which is thread-safe and derives at most once
+//     per app) and immutable profiles/schedules aliased by the requests.
+//   * Errors — a malformed request throws std::invalid_argument; RunAll()
+//     stops scheduling new trials on the first failure and rethrows the
+//     failing trial with the lowest plan index (first-error propagation).
+//
+// Worker count: RunnerOptions::jobs, else RHYTHM_JOBS, else
+// hardware_concurrency (see src/common/env.h).
+
+#ifndef RHYTHM_SRC_RUNNER_RUNNER_H_
+#define RHYTHM_SRC_RUNNER_RUNNER_H_
+
+#include <vector>
+
+#include "src/cluster/metrics.h"
+#include "src/runner/run_request.h"
+
+namespace rhythm {
+
+// Runs one co-location trial: constant load or profile, optional faults
+// (kLoadSpike events are applied by wrapping the profile automatically),
+// thresholds from the request or the per-app cache. Thread-safe.
+RunSummary Run(const RunRequest& request);
+
+struct RunnerOptions {
+  // Worker threads; <= 0 means RHYTHM_JOBS, else hardware_concurrency.
+  int jobs = 0;
+};
+
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(const RunnerOptions& options = {});
+
+  // Executes every trial of the plan and returns summaries in plan order.
+  // Never spawns more workers than the plan has trials.
+  std::vector<RunSummary> RunAll(const RunPlan& plan) const;
+
+  int jobs() const { return jobs_; }
+
+ private:
+  int jobs_;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_RUNNER_RUNNER_H_

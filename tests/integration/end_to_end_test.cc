@@ -10,14 +10,15 @@ namespace rhythm {
 namespace {
 
 RunSummary RunExperiment(ControllerKind controller, BeJobKind be, double load, uint64_t seed = 11) {
-  ExperimentConfig config;
-  config.app = LcAppKind::kEcommerce;
-  config.be = be;
-  config.controller = controller;
-  config.seed = seed;
-  config.warmup_s = 20.0;
-  config.measure_s = 120.0;
-  return RunColocation(config, load);
+  RunRequest request;
+  request.app = LcAppKind::kEcommerce;
+  request.be = be;
+  request.controller = controller;
+  request.seed = seed;
+  request.warmup_s = 20.0;
+  request.measure_s = 120.0;
+  request.load = load;
+  return Run(request);
 }
 
 TEST(EndToEndTest, RhythmBeatsHeraclesOnEmuAtMidLoad) {
@@ -60,15 +61,16 @@ TEST(EndToEndTest, StressorsThrottledHarderThanMildBes) {
 
 TEST(EndToEndTest, ProductionTraceKeepsSla) {
   // Scaled-down §5.3 production run: diurnal load, Rhythm controller.
-  ExperimentConfig config;
-  config.app = LcAppKind::kEcommerce;
-  config.be = BeJobKind::kWordcount;
-  config.controller = ControllerKind::kRhythm;
-  config.warmup_s = 20.0;
+  RunRequest request;
+  request.app = LcAppKind::kEcommerce;
+  request.be = BeJobKind::kWordcount;
+  request.controller = ControllerKind::kRhythm;
+  request.warmup_s = 20.0;
   // Five compressed days; the ramp rate stays within what a 2-second
   // control cadence can shed (the paper's trace spreads a day over 72 min).
-  const DiurnalTrace trace(1500.0, 0.15, 0.80);
-  const RunSummary summary = RunColocationProfile(config, trace, 1480.0);
+  request.profile = std::make_shared<const DiurnalTrace>(1500.0, 0.15, 0.80);
+  request.measure_s = 1480.0;
+  const RunSummary summary = rhythm::Run(request);
   EXPECT_LE(summary.worst_tail_ratio, 1.0);
   EXPECT_GT(summary.be_throughput, 0.0);
 }

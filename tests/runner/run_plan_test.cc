@@ -1,0 +1,248 @@
+// The declarative runner: RunPlan construction, seed derivation, bit-exact
+// determinism across worker counts, deprecated-wrapper equivalence, fault
+// auto-wrapping and first-error propagation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/rhythm.h"
+
+namespace rhythm {
+namespace {
+
+// Explicit thresholds so no trial triggers the (expensive) one-time
+// characterization — this file tests the runner, not the deriver.
+std::vector<ServpodThresholds> FixedThresholds(LcAppKind app) {
+  const int pods = MakeApp(app).pod_count();
+  std::vector<ServpodThresholds> thresholds(pods);
+  for (int pod = 0; pod < pods; ++pod) {
+    thresholds[pod] = ServpodThresholds{0.8 - 0.05 * pod, 0.10 + 0.02 * pod};
+  }
+  return thresholds;
+}
+
+RunRequest ShortTrial(LcAppKind app, BeJobKind be, ControllerKind controller, double load,
+                      uint64_t seed) {
+  RunRequest request;
+  request.app = app;
+  request.be = be;
+  request.controller = controller;
+  if (controller == ControllerKind::kRhythm) {
+    request.thresholds = FixedThresholds(app);
+  }
+  request.seed = seed;
+  request.warmup_s = 5.0;
+  request.measure_s = 30.0;
+  request.load = load;
+  return request;
+}
+
+void ExpectBitIdentical(const RunSummary& a, const RunSummary& b) {
+  EXPECT_EQ(a.lc_throughput, b.lc_throughput);
+  EXPECT_EQ(a.be_throughput, b.be_throughput);
+  EXPECT_EQ(a.emu, b.emu);
+  EXPECT_EQ(a.cpu_util, b.cpu_util);
+  EXPECT_EQ(a.membw_util, b.membw_util);
+  EXPECT_EQ(a.worst_tail_ms, b.worst_tail_ms);
+  EXPECT_EQ(a.worst_tail_ratio, b.worst_tail_ratio);
+  EXPECT_EQ(a.sla_violations, b.sla_violations);
+  EXPECT_EQ(a.be_kills, b.be_kills);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.crash_be_losses, b.crash_be_losses);
+  EXPECT_EQ(a.stale_ticks, b.stale_ticks);
+  EXPECT_EQ(a.failed_actuations, b.failed_actuations);
+  EXPECT_EQ(a.backoff_holds, b.backoff_holds);
+  EXPECT_EQ(a.slack_violation_ticks, b.slack_violation_ticks);
+  EXPECT_EQ(a.recovery_s, b.recovery_s);
+  EXPECT_EQ(a.recovered, b.recovered);
+  ASSERT_EQ(a.pods.size(), b.pods.size());
+  for (size_t pod = 0; pod < a.pods.size(); ++pod) {
+    EXPECT_EQ(a.pods[pod].be_throughput, b.pods[pod].be_throughput);
+    EXPECT_EQ(a.pods[pod].cpu_util, b.pods[pod].cpu_util);
+    EXPECT_EQ(a.pods[pod].membw_util, b.pods[pod].membw_util);
+    EXPECT_EQ(a.pods[pod].be_instances, b.pods[pod].be_instances);
+  }
+}
+
+// A deliberately heterogeneous plan: constant loads, replications, a diurnal
+// profile and a faulted trial, across two apps and both controllers.
+RunPlan MixedPlan() {
+  RunPlan plan;
+  plan.Add(ShortTrial(LcAppKind::kEcommerce, BeJobKind::kWordcount, ControllerKind::kRhythm,
+                      0.45, 11));
+  plan.Add(ShortTrial(LcAppKind::kEcommerce, BeJobKind::kWordcount, ControllerKind::kHeracles,
+                      0.45, 11));
+  plan.Add(
+      ShortTrial(LcAppKind::kRedis, BeJobKind::kCpuStress, ControllerKind::kRhythm, 0.70, 21));
+  plan.AddTrials(ShortTrial(LcAppKind::kEcommerce, BeJobKind::kStreamDramBig,
+                            ControllerKind::kRhythm, 0.60, 0),
+                 3, 99);
+
+  RunRequest profiled =
+      ShortTrial(LcAppKind::kEcommerce, BeJobKind::kLstm, ControllerKind::kRhythm, 0.0, 31);
+  profiled.profile = std::make_shared<const DiurnalTrace>(40.0, 0.2, 0.7);
+  plan.Add(std::move(profiled));
+
+  RunRequest faulted =
+      ShortTrial(LcAppKind::kRedis, BeJobKind::kIperf, ControllerKind::kRhythm, 0.50, 41);
+  auto faults = std::make_shared<FaultSchedule>();
+  faults->Add({FaultKind::kLoadSpike, 0, 10.0, 15.0, 0.3});
+  faults->Add({FaultKind::kBeInstanceFailure, 0, 20.0, 0.0, 0.0});
+  faulted.faults = std::move(faults);
+  plan.Add(std::move(faulted));
+  return plan;
+}
+
+TEST(RunPlanTest, DeriveTrialSeedMatchesSplitMixStream) {
+  // Trial i of a batch gets element i of the SplitMix64 stream seeded at the
+  // base — so replications can be reproduced one-by-one without the batch.
+  SplitMix64 stream(1234);
+  for (uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(DeriveTrialSeed(1234, i), stream.Next()) << "index " << i;
+  }
+}
+
+TEST(RunPlanTest, DeriveTrialSeedsDistinct) {
+  std::set<uint64_t> seeds;
+  for (uint64_t base : {0ULL, 11ULL, 99ULL, ~0ULL}) {
+    for (uint64_t i = 0; i < 64; ++i) {
+      seeds.insert(DeriveTrialSeed(base, i));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 4u * 64u);
+}
+
+TEST(RunPlanTest, AddTrialsCopiesPrototypeAndDerivesSeeds) {
+  RunPlan plan;
+  RunRequest prototype = ShortTrial(LcAppKind::kEcommerce, BeJobKind::kWordcount,
+                                    ControllerKind::kRhythm, 0.55, 0);
+  prototype.label = "replication";
+  plan.AddTrials(prototype, 4, 77);
+  ASSERT_EQ(plan.size(), 4u);
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const RunRequest& request = plan.requests[i];
+    EXPECT_EQ(request.seed, DeriveTrialSeed(77, i));
+    EXPECT_EQ(request.load, 0.55);
+    EXPECT_EQ(request.label, "replication");
+    EXPECT_EQ(request.thresholds.size(), prototype.thresholds.size());
+  }
+}
+
+TEST(RunPlanTest, UnownedFaultsOfNullIsNull) {
+  EXPECT_EQ(UnownedFaults(nullptr), nullptr);
+}
+
+TEST(ParallelRunnerTest, EmptyPlanReturnsNoSummaries) {
+  EXPECT_TRUE(ParallelRunner().RunAll(RunPlan{}).empty());
+}
+
+TEST(ParallelRunnerTest, WorkerCountDoesNotChangeResults) {
+  // The API's core guarantee: a trial is a pure function of its request, so
+  // the same plan yields bit-identical summaries at any worker count.
+  const RunPlan plan = MixedPlan();
+  RunnerOptions serial;
+  serial.jobs = 1;
+  RunnerOptions wide;
+  wide.jobs = 8;
+  const std::vector<RunSummary> a = ParallelRunner(serial).RunAll(plan);
+  const std::vector<RunSummary> b = ParallelRunner(wide).RunAll(plan);
+  ASSERT_EQ(a.size(), plan.size());
+  ASSERT_EQ(b.size(), plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    SCOPED_TRACE("trial " + std::to_string(i));
+    ExpectBitIdentical(a[i], b[i]);
+  }
+}
+
+TEST(ParallelRunnerTest, LowestIndexErrorPropagates) {
+  RunPlan plan;
+  RunRequest bad_first = ShortTrial(LcAppKind::kEcommerce, BeJobKind::kWordcount,
+                                    ControllerKind::kRhythm, 0.45, 1);
+  bad_first.measure_s = -1.0;
+  plan.Add(std::move(bad_first));
+  for (int i = 0; i < 3; ++i) {
+    RunRequest healthy = ShortTrial(LcAppKind::kEcommerce, BeJobKind::kWordcount,
+                                    ControllerKind::kHeracles, 0.30, 50 + i);
+    healthy.warmup_s = 0.0;
+    healthy.measure_s = 1.0;
+    plan.Add(std::move(healthy));
+  }
+  RunRequest bad_last = ShortTrial(LcAppKind::kEcommerce, BeJobKind::kWordcount,
+                                   ControllerKind::kRhythm, 0.45, 2);
+  bad_last.warmup_s = -5.0;
+  plan.Add(std::move(bad_last));
+
+  RunnerOptions options;
+  options.jobs = 4;
+  try {
+    ParallelRunner(options).RunAll(plan);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    // Trial 0 is always started, so its failure is the one rethrown even
+    // when the later bad trial races it.
+    EXPECT_NE(std::string(error.what()).find("measure_s"), std::string::npos) << error.what();
+  }
+}
+
+TEST(RunTest, RejectsThresholdCountMismatch) {
+  RunRequest request = ShortTrial(LcAppKind::kEcommerce, BeJobKind::kWordcount,
+                                  ControllerKind::kRhythm, 0.45, 3);
+  request.thresholds.pop_back();
+  EXPECT_THROW(rhythm::Run(request), std::invalid_argument);
+}
+
+TEST(RunTest, LoadSpikeFaultRaisesOfferedLoad) {
+  // Satellite guarantee: a schedule with kLoadSpike events is applied by
+  // Run() itself (SpikedLoadProfile wrap), no hand-wiring by the caller.
+  const RunRequest plain = ShortTrial(LcAppKind::kEcommerce, BeJobKind::kWordcount,
+                                      ControllerKind::kRhythm, 0.40, 7);
+  RunRequest spiked = plain;
+  auto faults = std::make_shared<FaultSchedule>();
+  faults->Add({FaultKind::kLoadSpike, 0, 0.0, 40.0, 0.4});
+  spiked.faults = std::move(faults);
+  const RunSummary base = rhythm::Run(plain);
+  const RunSummary boosted = rhythm::Run(spiked);
+  EXPECT_GT(boosted.lc_throughput, base.lc_throughput);
+}
+
+TEST(DeprecatedWrapperTest, RunColocationMatchesRun) {
+  ExperimentConfig config;
+  config.app = LcAppKind::kEcommerce;
+  config.be = BeJobKind::kWordcount;
+  config.controller = ControllerKind::kRhythm;
+  config.thresholds = FixedThresholds(config.app);
+  config.warmup_s = 5.0;
+  config.measure_s = 30.0;
+  config.seed = 13;
+  const RunSummary wrapped = RunColocation(config, 0.5);
+
+  RunRequest request = ToRunRequest(config);
+  request.load = 0.5;
+  ExpectBitIdentical(wrapped, rhythm::Run(request));
+}
+
+TEST(DeprecatedWrapperTest, RunColocationProfileMatchesRun) {
+  ExperimentConfig config;
+  config.app = LcAppKind::kEcommerce;
+  config.be = BeJobKind::kCpuStress;
+  config.controller = ControllerKind::kHeracles;
+  config.warmup_s = 5.0;
+  config.seed = 17;
+  const DiurnalTrace trace(40.0, 0.2, 0.7);
+  const RunSummary wrapped = RunColocationProfile(config, trace, 30.0);
+
+  RunRequest request = ToRunRequest(config);
+  request.profile = std::shared_ptr<const LoadProfile>(&trace, [](const LoadProfile*) {});
+  request.measure_s = 30.0;
+  ExpectBitIdentical(wrapped, rhythm::Run(request));
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,208 @@
+// CachedAppThresholds and the RHYTHM_THRESHOLD_CACHE disk cache under
+// concurrency: many threads resolving the same and different apps must share
+// one load-or-derive per app, and readers racing the stage-then-rename
+// writers must never observe a torn cache entry. Entries are pre-seeded on
+// disk so no test pays for a real characterization pass (and so the cached
+// values are recognizably synthetic).
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/rhythm.h"
+
+namespace rhythm {
+namespace {
+
+AppThresholds SyntheticThresholds(int pods, double loadlimit, double slacklimit) {
+  AppThresholds thresholds;
+  thresholds.pods.assign(pods, ServpodThresholds{loadlimit, slacklimit});
+  thresholds.contributions.resize(pods);
+  for (int pod = 0; pod < pods; ++pod) {
+    thresholds.contributions[pod].contribution = 1.0 / pods;
+    thresholds.contributions[pod].weight_p = 0.5;
+    thresholds.contributions[pod].correlation_rho = 0.25;
+    thresholds.contributions[pod].varcoef_v = 0.1;
+    thresholds.contributions[pod].alpha = 1.0;
+  }
+  return thresholds;
+}
+
+int StagingFilesIn(const std::string& dir) {
+  int count = 0;
+  if (DIR* handle = ::opendir(dir.c_str())) {
+    while (const dirent* entry = ::readdir(handle)) {
+      if (std::string(entry->d_name).find(".tmp.") != std::string::npos) {
+        ++count;
+      }
+    }
+    ::closedir(handle);
+  }
+  return count;
+}
+
+class ThresholdCacheConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A private cache directory: the synthetic entries must not pollute the
+    // suite-wide characterization cache (nor be shadowed by it).
+    dir_ = ::testing::TempDir() + "rhythm_threshold_cache_test";
+    ::mkdir(dir_.c_str(), 0755);
+    ::setenv("RHYTHM_THRESHOLD_CACHE", dir_.c_str(), 1);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ThresholdCacheConcurrencyTest, DiskRoundTripIsExact) {
+  // %.17g round-trips every double exactly — a bench re-reading its own
+  // cache entry computes bit-identical rows.
+  const std::string path = dir_ + "/roundtrip.thresholds";
+  AppThresholds saved = SyntheticThresholds(3, 0.1 + 0.2 / 3.0, 1.0 / 7.0);
+  saved.contributions[1].contribution = 0.30000000000000004;
+  SaveThresholdsToDisk(path, saved);
+
+  AppThresholds loaded;
+  ASSERT_TRUE(LoadThresholdsFromDisk(path, 3, &loaded));
+  ASSERT_EQ(loaded.pods.size(), saved.pods.size());
+  for (size_t pod = 0; pod < saved.pods.size(); ++pod) {
+    EXPECT_EQ(loaded.pods[pod].loadlimit, saved.pods[pod].loadlimit);
+    EXPECT_EQ(loaded.pods[pod].slacklimit, saved.pods[pod].slacklimit);
+    EXPECT_EQ(loaded.contributions[pod].contribution, saved.contributions[pod].contribution);
+    EXPECT_EQ(loaded.contributions[pod].weight_p, saved.contributions[pod].weight_p);
+    EXPECT_EQ(loaded.contributions[pod].correlation_rho,
+              saved.contributions[pod].correlation_rho);
+    EXPECT_EQ(loaded.contributions[pod].varcoef_v, saved.contributions[pod].varcoef_v);
+    EXPECT_EQ(loaded.contributions[pod].alpha, saved.contributions[pod].alpha);
+  }
+}
+
+TEST_F(ThresholdCacheConcurrencyTest, CachePathEmptyWhenDisabled) {
+  ::unsetenv("RHYTHM_THRESHOLD_CACHE");
+  EXPECT_TRUE(ThresholdDiskCachePath(LcAppKind::kEcommerce).empty());
+}
+
+TEST_F(ThresholdCacheConcurrencyTest, ConcurrentCallersShareOneEntry) {
+  // Pre-seed the disk entry so CachedAppThresholds takes the load path, then
+  // hammer it: every caller must get the same node-stable slot with the
+  // synthetic values (i.e. exactly one load, zero derivations).
+  const LcAppKind app = LcAppKind::kElgg;
+  const int pods = MakeApp(app).pod_count();
+  SaveThresholdsToDisk(ThresholdDiskCachePath(app), SyntheticThresholds(pods, 0.33, 0.055));
+
+  constexpr int kThreads = 16;
+  std::vector<const AppThresholds*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&seen, t, app] { seen[t] = &CachedAppThresholds(app); });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(seen[t], nullptr);
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  ASSERT_EQ(static_cast<int>(seen[0]->pods.size()), pods);
+  for (int pod = 0; pod < pods; ++pod) {
+    EXPECT_EQ(seen[0]->pods[pod].loadlimit, 0.33);
+    EXPECT_EQ(seen[0]->pods[pod].slacklimit, 0.055);
+  }
+}
+
+TEST_F(ThresholdCacheConcurrencyTest, DifferentAppsResolveInParallel) {
+  // Callers for different apps must not serialize on (or corrupt) each
+  // other's slots — the parallel runner characterizes apps concurrently.
+  const LcAppKind apps[] = {LcAppKind::kElasticsearch, LcAppKind::kSnms};
+  const double loadlimits[] = {0.41, 0.62};
+  for (int a = 0; a < 2; ++a) {
+    SaveThresholdsToDisk(ThresholdDiskCachePath(apps[a]),
+                         SyntheticThresholds(MakeApp(apps[a]).pod_count(), loadlimits[a], 0.05));
+  }
+
+  constexpr int kThreadsPerApp = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int a = 0; a < 2; ++a) {
+    for (int t = 0; t < kThreadsPerApp; ++t) {
+      threads.emplace_back([&mismatches, app = apps[a], expected = loadlimits[a]] {
+        const AppThresholds& thresholds = CachedAppThresholds(app);
+        for (const ServpodThresholds& pod : thresholds.pods) {
+          if (pod.loadlimit != expected) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ThresholdCacheConcurrencyTest, RacingWritersNeverTearAnEntry) {
+  // Writers stage to a temp file and rename; readers must only ever see a
+  // complete low- or high-variant entry, never a mix or a partial file.
+  const std::string path = dir_ + "/race.thresholds";
+  const int pods = 4;
+  const AppThresholds low = SyntheticThresholds(pods, 0.25, 0.01);
+  const AppThresholds high = SyntheticThresholds(pods, 0.75, 0.09);
+  SaveThresholdsToDisk(path, low);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&low, &high, &path, w] {
+      for (int i = 0; i < 50; ++i) {
+        SaveThresholdsToDisk(path, (i + w) % 2 == 0 ? low : high);
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&stop, &torn, &path] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        AppThresholds loaded;
+        if (!LoadThresholdsFromDisk(path, pods, &loaded)) {
+          torn.fetch_add(1);
+          continue;
+        }
+        const double first = loaded.pods[0].loadlimit;
+        if (first != 0.25 && first != 0.75) {
+          torn.fetch_add(1);
+        }
+        for (int pod = 1; pod < pods; ++pod) {
+          if (loaded.pods[pod].loadlimit != first) {
+            torn.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+
+  EXPECT_EQ(torn.load(), 0);
+  // Every staging file was renamed into place (or cleaned up on failure).
+  EXPECT_EQ(StagingFilesIn(dir_), 0);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -80,29 +80,31 @@ int CmdRun(int argc, char** argv) {
     std::fprintf(stderr, "unknown app or BE name\n");
     return 2;
   }
-  ExperimentConfig config;
-  config.app = *app;
-  config.be = *be;
-  config.controller =
+  RunRequest request;
+  request.app = *app;
+  request.be = *be;
+  request.controller =
       *controller_name == "heracles" ? ControllerKind::kHeracles : ControllerKind::kRhythm;
-  config.warmup_s = DoubleFlag(argc, argv, "warmup", 20.0);
-  config.measure_s = DoubleFlag(argc, argv, "measure", 120.0);
-  config.seed = static_cast<uint64_t>(DoubleFlag(argc, argv, "seed", 11.0));
-  const double load = DoubleFlag(argc, argv, "load", 0.45);
+  request.warmup_s = DoubleFlag(argc, argv, "warmup", 20.0);
+  request.measure_s = DoubleFlag(argc, argv, "measure", 120.0);
+  request.seed = static_cast<uint64_t>(DoubleFlag(argc, argv, "seed", 11.0));
+  request.load = DoubleFlag(argc, argv, "load", 0.45);
+  const double load = request.load;
+  const ControllerKind controller = request.controller;
 
-  const RunSummary s = RunColocation(config, load);
+  const RunSummary s = Run(request);
   if (HasFlag(argc, argv, "csv")) {
     std::printf("app,be,controller,load,emu,be_throughput,cpu_util,membw_util,"
                 "worst_tail_ratio,sla_violations,be_kills\n");
     std::printf("%s,%s,%s,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu\n", LcAppKindName(*app),
-                GetBeJobSpec(*be).name.c_str(), ControllerKindName(config.controller), load,
+                GetBeJobSpec(*be).name.c_str(), ControllerKindName(controller), load,
                 s.emu, s.be_throughput, s.cpu_util, s.membw_util, s.worst_tail_ratio,
                 (unsigned long long)s.sla_violations, (unsigned long long)s.be_kills);
     return 0;
   }
   std::printf("%s + %s under %s at %.0f%% load (%.0fs window):\n", LcAppKindName(*app),
-              GetBeJobSpec(*be).name.c_str(), ControllerKindName(config.controller),
-              load * 100.0, config.measure_s);
+              GetBeJobSpec(*be).name.c_str(), ControllerKindName(controller),
+              load * 100.0, request.measure_s);
   std::printf("  EMU            %8.3f\n", s.emu);
   std::printf("  BE throughput  %8.3f (normalized)\n", s.be_throughput);
   std::printf("  CPU util       %8.3f\n", s.cpu_util);
