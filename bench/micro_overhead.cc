@@ -149,6 +149,8 @@ void BM_LatencySample(benchmark::State& state) {
 BENCHMARK(BM_LatencySample);
 
 void BM_PercentileWindowQuantile(benchmark::State& state) {
+  // Repeated query at one instant: after the first selection this measures
+  // the per-(timestamp, q) memo the tick handlers lean on.
   PercentileWindow window(10.0);
   Rng rng(43);
   double now = 0.0;
@@ -159,8 +161,64 @@ void BM_PercentileWindowQuantile(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(window.Quantile(now, 0.99));
   }
+  state.counters["memo_hits"] =
+      static_cast<double>(window.query_stats().memo_hits);
 }
 BENCHMARK(BM_PercentileWindowQuantile);
+
+void BM_PercentileWindowAddQuery(benchmark::State& state) {
+  // The control-plane steady state: samples stream in, the quantile is
+  // re-asked at a fresh timestamp each time (no memo). Pre-overhaul each
+  // query copied and nth_element-ed the entire window.
+  PercentileWindow window(10.0);
+  Rng rng(44);
+  double now = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    now += 0.001;
+    window.Add(now, rng.Exponential(10.0));
+  }
+  for (auto _ : state) {
+    now += 0.001;
+    window.Add(now, rng.Exponential(10.0));
+    benchmark::DoNotOptimize(window.Quantile(now, 0.99));
+  }
+  state.counters["chunks_scanned"] =
+      static_cast<double>(window.query_stats().last_chunks_scanned);
+  state.counters["window_n"] = static_cast<double>(window.size());
+}
+BENCHMARK(BM_PercentileWindowAddQuery);
+
+void BM_SimulatorPeriodicReArm(benchmark::State& state) {
+  // One firing of a periodic task per iteration: dequeue, run the action,
+  // advance next_time, re-arm. Pre-overhaul the re-arm copied the stored
+  // std::function each firing.
+  Simulator sim;
+  uint64_t ticks = 0;
+  double payload[4] = {1.0, 2.0, 3.0, 4.0};
+  sim.SchedulePeriodic(0.0, 1.0, [&ticks, payload] {
+    ticks += static_cast<uint64_t>(payload[0]);
+  });
+  for (auto _ : state) {
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(ticks);
+  state.counters["heap_allocations"] =
+      static_cast<double>(InlineFunction::heap_allocations());
+}
+BENCHMARK(BM_SimulatorPeriodicReArm);
+
+void BM_LatencySampleMemoized(benchmark::State& state) {
+  // The per-request fast path: parameters fixed between ticks, so only the
+  // two or three RNG draws remain per sample.
+  const AppSpec app = MakeApp(LcAppKind::kEcommerce);
+  const ComponentModel model(app.components[3]);
+  const ComponentModel::LocalParams params = model.ComputeLocalParams(700.0, 0.6, 1.2);
+  Rng rng(41);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComponentModel::SampleWithParams(params, rng));
+  }
+}
+BENCHMARK(BM_LatencySampleMemoized);
 
 }  // namespace
 }  // namespace rhythm

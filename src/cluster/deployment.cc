@@ -1,6 +1,7 @@
 #include "src/cluster/deployment.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/common/logging.h"
 
@@ -19,7 +20,9 @@ const char* ControllerKindName(ControllerKind kind) {
 }
 
 Deployment::Deployment(const DeploymentConfig& config)
-    : config_(config), app_(MakeApp(config.app_kind)) {
+    : config_(config),
+      app_(MakeApp(config.app_kind)),
+      tail_sampled_at_(std::numeric_limits<double>::quiet_NaN()) {
   const int pods = app_.pod_count();
   pod_series_.resize(pods);
 
@@ -140,6 +143,15 @@ void Deployment::Start(const LoadProfile* profile) {
 
 void Deployment::RunFor(double seconds) { sim_.RunUntil(sim_.Now() + seconds); }
 
+double Deployment::SampledTailMs() {
+  const double now = sim_.Now();
+  if (tail_sampled_at_ != now) {  // NaN seed never matches: first call samples.
+    tail_sample_ = service_->TailLatencyMs();
+    tail_sampled_at_ = now;
+  }
+  return tail_sample_;
+}
+
 void Deployment::AccountingTick() {
   const double now = sim_.Now();
   if (scheduler_ != nullptr) {
@@ -157,7 +169,7 @@ void Deployment::AccountingTick() {
   }
   const double load = service_->CurrentLoad();
   load_series_.Add(now, load);
-  const double tail = service_->TailLatencyMs();
+  const double tail = SampledTailMs();
   tail_series_.Add(now, tail);
   const double slack = TopController::Slack(tail, app_.sla_ms);
   slack_series_.Add(now, slack);
@@ -228,7 +240,7 @@ void Deployment::AccountingTick() {
 void Deployment::ControllerTick() {
   const double now = sim_.Now();
   const double load = service_->CurrentLoad();
-  const double tail = service_->TailLatencyMs();
+  const double tail = SampledTailMs();
   for (int pod = 0; pod < pod_count(); ++pod) {
     if (fault_ != nullptr && fault_->PodOffline(pod)) {
       continue;  // the agent died with its machine.
@@ -337,7 +349,7 @@ void Deployment::OnPodReboot(int pod) {
   }
   // The rebooted machine re-registers with a fresh measurement, but its agent
   // holds BE growth back while the pod warms up.
-  telemetry_[pod].tail_ms = service_->TailLatencyMs();
+  telemetry_[pod].tail_ms = SampledTailMs();
   telemetry_[pod].sampled_at = sim_.Now();
   if (!agents_.empty()) {
     // A reboot is a heavier disruption than a single kill: arm the full

@@ -159,6 +159,12 @@ class Deployment {
   void ControllerTick();
   void OnPodCrash(int pod);
   void OnPodReboot(int pod);
+  // The windowed tail, sampled at most once per simulated instant: the
+  // accounting tick, controller tick and reboot handler all run at tick
+  // timestamps and previously each recomputed the quantile; one sample per
+  // instant also guarantees telemetry publication and controller decisions
+  // within a tick observe the same value.
+  double SampledTailMs();
 
   DeploymentConfig config_;
   AppSpec app_;
@@ -171,6 +177,9 @@ class Deployment {
   std::unique_ptr<BeScheduler> scheduler_;
   double arrival_accumulator_ = 0.0;
   uint64_t controller_ticks_ = 0;
+  // SampledTailMs memo (tail_sampled_at_ is NaN until the first sample).
+  double tail_sample_ = 0.0;
+  double tail_sampled_at_;
   std::vector<PodSeries> pod_series_;
   TimeSeries load_series_;
   TimeSeries tail_series_;

@@ -3,16 +3,74 @@
 // The paper measures the 99th percentile latency per second over a sliding
 // window; the controllers consume that signal every 2 s. This tracker keeps
 // the samples of the last `window` seconds and answers percentile queries
-// exactly (the windows are small enough — thousands of requests — that an
-// exact answer is cheaper and simpler than a sketch).
+// exactly.
+//
+// Implementation: alongside the FIFO used for expiration, samples live in a
+// SortedChunkIndex — a sorted ring of bounded chunks maintained
+// incrementally on add/expire — so a quantile query selects the needed order
+// statistics by walking chunk counts instead of copying and nth_element-ing
+// the whole window (the pre-overhaul behaviour: O(window) copy + partition
+// per query, several times per simulated second). A per-(timestamp, q) memo
+// makes the accounting tick, controller tick and reboot handler reads at the
+// same simulated instant pay for one selection only. Results are
+// bit-identical to the old sort-based math: the same interpolation formula
+// runs on the same order statistics.
 
 #ifndef RHYTHM_SRC_COMMON_PERCENTILE_WINDOW_H_
 #define RHYTHM_SRC_COMMON_PERCENTILE_WINDOW_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <memory>
+#include <vector>
 
 namespace rhythm {
+
+// An incrementally ordered multiset of doubles: a vector of sorted chunks,
+// every element of chunk i <= every element of chunk i+1. Insert and erase
+// cost one binary search plus an O(chunk) shift; selecting the k-th order
+// statistic walks chunk headers (O(size / chunk capacity)) instead of the
+// elements themselves. Emptied chunks are pooled, so steady-state
+// add/expire/select cycles perform no heap allocation.
+class SortedChunkIndex {
+ public:
+  // Split threshold: chunks hold at most this many values.
+  static constexpr size_t kMaxChunk = 256;
+  // Merge hysteresis: a chunk shrinking below kMergeBelow joins a neighbour
+  // when the pair fits in kMergeTarget, bounding fragmentation from erases.
+  static constexpr size_t kMergeBelow = kMaxChunk / 4;
+  static constexpr size_t kMergeTarget = (kMaxChunk * 3) / 4;
+
+  void Insert(double value);
+  // Erases one instance of `value`, which must be present.
+  void Erase(double value);
+  // k-th smallest value, 0-based; k must be < size(). `chunks_scanned`, when
+  // non-null, is incremented by the number of chunk headers walked (the
+  // query's cost certificate).
+  double SelectKth(size_t k, uint64_t* chunks_scanned = nullptr) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t chunk_count() const { return chunks_.size(); }
+  void Clear();
+
+ private:
+  using Chunk = std::vector<double>;
+
+  // Index of the first chunk whose maximum is >= value (== chunks_.size()
+  // when value exceeds every maximum). If `value` is present anywhere, this
+  // chunk holds an instance of it.
+  size_t FindChunk(double value) const;
+  std::unique_ptr<Chunk> TakeChunk();
+  void RetireChunk(std::unique_ptr<Chunk> chunk);
+  void SplitChunk(size_t index);
+  void MaybeMergeAround(size_t index);
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::unique_ptr<Chunk>> free_chunks_;
+  size_t size_ = 0;
+};
 
 class PercentileWindow {
  public:
@@ -32,6 +90,16 @@ class PercentileWindow {
   bool empty() const { return samples_.empty(); }
   double window_seconds() const { return window_; }
 
+  // Query-cost introspection for tests and micro-benchmarks.
+  struct QueryStats {
+    uint64_t queries = 0;          // Quantile calls on a non-empty window.
+    uint64_t memo_hits = 0;        // answered from the per-timestamp memo.
+    uint64_t last_chunks_scanned = 0;  // chunk headers walked by the last
+                                       // uncached query (certifies the scan
+                                       // is O(size / kMaxChunk), not O(size)).
+  };
+  const QueryStats& query_stats() const { return query_stats_; }
+
  private:
   struct Sample {
     double time;
@@ -39,7 +107,16 @@ class PercentileWindow {
   };
 
   double window_;
-  std::deque<Sample> samples_;
+  std::deque<Sample> samples_;  // FIFO, in insertion order (for expiration).
+  SortedChunkIndex index_;      // same latencies, kept ordered.
+
+  // Memo of the last computed quantile: valid until samples change.
+  bool memo_valid_ = false;
+  double memo_now_ = 0.0;
+  double memo_q_ = 0.0;
+  double memo_value_ = 0.0;
+
+  QueryStats query_stats_;
 };
 
 }  // namespace rhythm

@@ -18,30 +18,59 @@ void Simulator::ScheduleAt(double time, Action action) {
 uint64_t Simulator::SchedulePeriodic(double start, double period, Action action) {
   RHYTHM_CHECK(period > 0.0);
   const uint64_t id = next_periodic_id_++;
-  ArmPeriodic(id, std::max(start, now_), period, std::move(action));
+  periodics_.emplace(id, PeriodicTask{std::max(start, now_), period, std::move(action)});
+  ArmPeriodic(id, std::max(start, now_));
   return id;
 }
 
-void Simulator::ArmPeriodic(uint64_t id, double time, double period, Action action) {
-  ScheduleAt(time, [this, id, time, period, action = std::move(action)]() {
-    // A periodic task has exactly one event in flight, so this firing is the
-    // cancelled task's last: drop the bookkeeping entry with it.
-    if (cancelled_periodics_.erase(id) > 0) {
-      return;
-    }
-    action();
-    ArmPeriodic(id, time + period, period, action);
-  });
+void Simulator::ArmPeriodic(uint64_t id, double time) {
+  ScheduleAt(time, [this, id] { FirePeriodic(id); });
+}
+
+void Simulator::FirePeriodic(uint64_t id) {
+  auto it = periodics_.find(id);
+  if (it == periodics_.end()) {
+    return;
+  }
+  // A periodic task has exactly one event in flight, so this firing is a
+  // cancelled task's last: drop the table entry with it.
+  if (it->second.cancelled) {
+    periodics_.erase(it);
+    return;
+  }
+  it->second.action();
+  // The action may have cancelled tasks or scheduled new periodics (which
+  // can rehash the table) — re-find before re-arming in place.
+  it = periodics_.find(id);
+  if (it == periodics_.end()) {
+    return;
+  }
+  it->second.next_time += it->second.period;
+  ArmPeriodic(id, it->second.next_time);
 }
 
 void Simulator::CancelPeriodic(uint64_t id) {
-  // Ignore ids never handed out: a bogus id has no pending firing to drain
-  // the entry, and would pin it (and possibly suppress a future task with
-  // the same id after Reset) forever.
-  if (id == 0 || id >= next_periodic_id_) {
-    return;
+  // Ids never handed out — or whose last firing already drained — have no
+  // table entry; marking nothing keeps bogus cancels from suppressing a
+  // future task that reuses the id after Reset.
+  const auto it = periodics_.find(id);
+  if (it != periodics_.end()) {
+    it->second.cancelled = true;
   }
-  cancelled_periodics_.insert(id);
+}
+
+size_t Simulator::cancelled_pending_count() const {
+  size_t count = 0;
+  for (const auto& [id, task] : periodics_) {
+    if (task.cancelled) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t Simulator::periodic_task_count() const {
+  return periodics_.size() - cancelled_pending_count();
 }
 
 void Simulator::RunUntil(double end_time) {
@@ -74,9 +103,9 @@ void Simulator::Reset() {
   next_periodic_id_ = 1;
   executed_ = 0;
   // Dropping the queue above discarded every pending firing, so no entry can
-  // drain naturally — clear them with it. Periodic ids restart at 1; a stale
-  // cancellation must not suppress a reused id.
-  cancelled_periodics_.clear();
+  // drain naturally — clear the table with it. Periodic ids restart at 1; a
+  // stale cancellation must not suppress a reused id.
+  periodics_.clear();
 }
 
 }  // namespace rhythm

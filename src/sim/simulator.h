@@ -4,21 +4,27 @@
 // (time, sequence). Sequence numbers break ties deterministically in FIFO
 // order, which keeps runs bit-reproducible regardless of how many events
 // share a timestamp.
+//
+// Events carry their closures in a small-buffer-optimized InlineFunction, so
+// scheduling a typical arrival-chain or tick closure performs no heap
+// allocation. Periodic tasks live in a side table and the in-flight firing
+// only references the task id: re-arming never copies the captured action.
 
 #ifndef RHYTHM_SRC_SIM_SIMULATOR_H_
 #define RHYTHM_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
+
+#include "src/common/inline_callable.h"
 
 namespace rhythm {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineFunction;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -41,7 +47,7 @@ class Simulator {
   uint64_t SchedulePeriodic(double start, double period, Action action);
 
   // Cancels a periodic task. Pending one-shot firings of the task are
-  // suppressed. The bookkeeping entry is compacted away when the task's last
+  // suppressed. The task's table entry is compacted away when its last
   // pending firing drains (each periodic has exactly one event in flight),
   // so cancellations never accumulate across a long run.
   void CancelPeriodic(uint64_t id);
@@ -60,7 +66,9 @@ class Simulator {
   uint64_t executed_events() const { return executed_; }
   // Cancelled periodic ids whose final pending firing has not drained yet
   // (exposed so tests can assert the bookkeeping compacts).
-  size_t cancelled_pending_count() const { return cancelled_periodics_.size(); }
+  size_t cancelled_pending_count() const;
+  // Live (armed, not cancelled) periodic tasks.
+  size_t periodic_task_count() const;
 
  private:
   struct Event {
@@ -78,14 +86,24 @@ class Simulator {
     }
   };
 
+  // One self-re-arming task. The action is stored here exactly once; the
+  // queued firing captures only [this, id].
+  struct PeriodicTask {
+    double next_time;
+    double period;
+    Action action;
+    bool cancelled = false;
+  };
+
   double now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t next_periodic_id_ = 1;
   uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
-  std::unordered_set<uint64_t> cancelled_periodics_;
+  std::unordered_map<uint64_t, PeriodicTask> periodics_;
 
-  void ArmPeriodic(uint64_t id, double time, double period, Action action);
+  void ArmPeriodic(uint64_t id, double time);
+  void FirePeriodic(uint64_t id);
 };
 
 }  // namespace rhythm

@@ -58,14 +58,25 @@ double ComponentModel::ExpectedWaitMs(double lambda_rps, double load, double inf
   return wait_cap + excess * 40.0 * service_ms;
 }
 
+ComponentModel::LocalParams ComponentModel::ComputeLocalParams(double lambda_rps, double load,
+                                                               double inflation) const {
+  LocalParams params;
+  params.sigma_eff =
+      spec_.sigma * (1.0 + spec_.sigma_slope * std::pow(std::max(load, 0.0), spec_.sigma_power));
+  params.eff_service_ms = EffectiveServiceMs(load, inflation);
+  params.mean_wait_ms = ExpectedWaitMs(lambda_rps, load, inflation);
+  return params;
+}
+
+double ComponentModel::SampleWithParams(const LocalParams& params, Rng& rng) {
+  const double service = rng.LognormalMean(params.eff_service_ms, params.sigma_eff);
+  const double wait = params.mean_wait_ms > 0.0 ? rng.Exponential(params.mean_wait_ms) : 0.0;
+  return service + wait;
+}
+
 double ComponentModel::SampleLocalMs(double lambda_rps, double load, double inflation,
                                      Rng& rng) const {
-  const double sigma_eff =
-      spec_.sigma * (1.0 + spec_.sigma_slope * std::pow(std::max(load, 0.0), spec_.sigma_power));
-  const double service = rng.LognormalMean(EffectiveServiceMs(load, inflation), sigma_eff);
-  const double mean_wait = ExpectedWaitMs(lambda_rps, load, inflation);
-  const double wait = mean_wait > 0.0 ? rng.Exponential(mean_wait) : 0.0;
-  return service + wait;
+  return SampleWithParams(ComputeLocalParams(lambda_rps, load, inflation), rng);
 }
 
 double ComponentModel::BusyCores(double lambda_rps, double load, double inflation) const {

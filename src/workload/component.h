@@ -74,8 +74,27 @@ class ComponentModel {
   // in practice).
   double ExpectedWaitMs(double lambda_rps, double load, double inflation) const;
 
+  // The deterministic inputs of a local-time draw: everything SampleLocalMs
+  // derives from (lambda, load, inflation) before touching the RNG. Pure, so
+  // callers on the per-request fast path may cache one per component and
+  // recompute only when an input changes — the Erlang-C iteration and pow()
+  // calls drop out of the per-request cost while every drawn sample stays
+  // bit-identical.
+  struct LocalParams {
+    double eff_service_ms = 0.0;
+    double sigma_eff = 0.0;
+    double mean_wait_ms = 0.0;
+  };
+  LocalParams ComputeLocalParams(double lambda_rps, double load, double inflation) const;
+
+  // The stochastic half of SampleLocalMs: one lognormal service draw plus an
+  // exponential wait draw (skipped when the mean wait is zero, matching the
+  // uncached draw sequence).
+  static double SampleWithParams(const LocalParams& params, Rng& rng);
+
   // Samples a request's local time (ms): lognormal service draw dilated by
   // `inflation`, plus an exponential wait draw with the Erlang-C mean.
+  // Equivalent to SampleWithParams(ComputeLocalParams(...), rng).
   double SampleLocalMs(double lambda_rps, double load, double inflation, Rng& rng) const;
 
   // Mean busy cores at the given load (Little's law, capped by workers),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/common/logging.h"
 
@@ -18,6 +19,20 @@ LcService::LcService(Simulator* sim, AppSpec app, const Config& config)
   sojourns_.resize(app_.components.size());
   hiccup_until_.assign(app_.components.size(), -1.0);
   hiccup_factor_.assign(app_.components.size(), 1.0);
+  models_.reserve(app_.components.size());
+  for (const ComponentSpec& spec : app_.components) {
+    models_.emplace_back(spec);
+  }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  pod_math_.assign(app_.components.size(), PodMath{nan, nan, nan, {}});
+  sojourn_scratch_.assign(app_.components.size(), 0.0);
+  // The summation order matches the old per-arrival loop, so the Uniform
+  // draw's upper bound is the identical double.
+  mix_table_.reserve(app_.request_mix.size());
+  for (const auto& [weight, node] : app_.request_mix) {
+    mix_total_weight_ += weight;
+    mix_table_.emplace_back(weight, &node);
+  }
 }
 
 void LcService::Start() {
@@ -68,13 +83,11 @@ double LcService::PodInflation(int pod) const {
 }
 
 double LcService::PodUtilization(int pod) const {
-  const ComponentModel model(app_.components[pod]);
-  return model.Utilization(PodLambda(pod), CurrentLoad(), PodInflation(pod));
+  return models_[pod].Utilization(PodLambda(pod), CurrentLoad(), PodInflation(pod));
 }
 
 double LcService::PodBusyCores(int pod) const {
-  const ComponentModel model(app_.components[pod]);
-  return model.BusyCores(PodLambda(pod), CurrentLoad(), PodInflation(pod));
+  return models_[pod].BusyCores(PodLambda(pod), CurrentLoad(), PodInflation(pod));
 }
 
 double LcService::PodMembwGbs(int pod) const {
@@ -104,20 +117,19 @@ void LcService::HandleArrival() {
   const double now = sim_->Now();
   const double load = CurrentLoad();
   const uint64_t request_id = next_request_id_++;
-  std::vector<double> sojourn_acc(app_.components.size(), 0.0);
+  std::vector<double>& sojourn_acc = sojourn_scratch_;
+  std::fill(sojourn_acc.begin(), sojourn_acc.end(), 0.0);
   // Pick the request's call path: the single catalog path, or a weighted
-  // class from the request mix.
+  // class from the request mix. The sequential-subtraction walk is kept
+  // bit-for-bit (prefix-sum comparisons round differently at the margins);
+  // only the total, which the old code re-summed per arrival, is hoisted.
   const CallNode* root = &app_.call_root;
-  if (!app_.request_mix.empty()) {
-    double total_weight = 0.0;
-    for (const auto& [weight, node] : app_.request_mix) {
-      total_weight += weight;
-    }
-    double draw = rng_.Uniform(0.0, total_weight);
-    for (const auto& [weight, node] : app_.request_mix) {
+  if (!mix_table_.empty()) {
+    double draw = rng_.Uniform(0.0, mix_total_weight_);
+    for (const auto& [weight, node] : mix_table_) {
       draw -= weight;
       if (draw <= 0.0) {
-        root = &node;
+        root = node;
         break;
       }
     }
@@ -167,13 +179,23 @@ double LcService::WalkNode(const CallNode& node, double start, double load,
                            std::vector<double>& sojourn_acc, uint64_t request_id,
                            int parent_pod, const MessageId* in_msg) {
   const int pod = node.component;
-  const ComponentModel model(app_.components[pod]);
-  const double lambda = CurrentLoad() * app_.maxload_qps * visits_[pod];
+  // `load` is the arrival's CurrentLoad(): the clock does not advance inside
+  // a walk, so re-reading the profile per node (as the pre-overhaul code
+  // did) returned the identical value.
+  const double lambda = load * app_.maxload_qps * visits_[pod];
+  const double inflation = PodInflation(pod);
+  PodMath& math = pod_math_[pod];
+  if (math.load != load || math.inflation != inflation || math.lambda != lambda) {
+    math.params = models_[pod].ComputeLocalParams(lambda, load, inflation);
+    math.load = load;
+    math.inflation = inflation;
+    math.lambda = lambda;
+  }
   // A hiccup stalls requests in flight (GC pause, compaction): it dilates
   // the sampled local time directly rather than the station's equilibrium
   // (a sub-second burst does not move the queueing operating point).
   const double local_ms =
-      model.SampleLocalMs(lambda, load, PodInflation(pod), rng_) * PodHiccupFactor(pod);
+      ComponentModel::SampleWithParams(math.params, rng_) * PodHiccupFactor(pod);
   const double local_s = local_ms / 1000.0;
   sojourn_acc[pod] += local_s;
 

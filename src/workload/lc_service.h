@@ -136,6 +136,29 @@ class LcService {
   const LoadProfile* profile_ = nullptr;
   std::function<double(int pod)> inflation_;
   std::vector<double> visits_;
+  // One model per Servpod, built once — constructing a ComponentModel copies
+  // the spec (including its name string), which the pre-overhaul WalkNode
+  // paid per node visit.
+  std::vector<ComponentModel> models_;
+  // Per-pod memo of the deterministic local-time parameters keyed on the
+  // exact (load, inflation, lambda) inputs; recomputed only when the machine
+  // state or offered load actually changes (tick granularity), not per
+  // request. NaN keys never compare equal, so the first visit always fills.
+  struct PodMath {
+    double load;
+    double inflation;
+    double lambda;
+    ComponentModel::LocalParams params;
+  };
+  std::vector<PodMath> pod_math_;
+  // Request-mix selection table: weights and stable node pointers flattened
+  // from app_.request_mix, plus the total weight summed once at construction
+  // (the pre-overhaul arrival path re-summed it per request).
+  std::vector<std::pair<double, const CallNode*>> mix_table_;
+  double mix_total_weight_ = 0.0;
+  // Scratch sojourn accumulator reused across arrivals (zeroed per request)
+  // instead of a fresh heap allocation each time.
+  std::vector<double> sojourn_scratch_;
   std::vector<double> hiccup_until_;
   std::vector<double> hiccup_factor_;
   std::vector<RunningStats> sojourns_;

@@ -1,0 +1,107 @@
+#include "src/common/inline_callable.h"
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(InlineFunctionTest, DefaultIsEmpty) {
+  InlineFunction f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunctionTest, InvokesSmallClosureWithoutHeapAllocation) {
+  InlineFunction::ResetHeapAllocationCount();
+  int calls = 0;
+  double a = 1.5, b = 2.5;
+  InlineFunction f([&calls, a, b] { calls += static_cast<int>(a + b); });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(calls, 8);
+  EXPECT_EQ(InlineFunction::heap_allocations(), 0u);
+}
+
+TEST(InlineFunctionTest, ClosureAtCapacityStaysInline) {
+  InlineFunction::ResetHeapAllocationCount();
+  std::array<char, InlineFunction::kInlineCapacity> payload{};
+  payload[0] = 7;
+  int sink = 0;
+  InlineFunction f([payload, &sink]() mutable { sink += payload[0]; });
+  // [48-byte array + reference] exceeds capacity; just under does not.
+  std::array<char, InlineFunction::kInlineCapacity - sizeof(void*)> small{};
+  small[0] = 3;
+  InlineFunction g([small, &sink] { sink += small[0]; });
+  g();
+  EXPECT_EQ(sink, 3);
+  EXPECT_EQ(InlineFunction::heap_allocations(), 1u);  // only the oversized one.
+  f();
+  EXPECT_EQ(sink, 10);
+  InlineFunction::ResetHeapAllocationCount();
+}
+
+TEST(InlineFunctionTest, OversizedClosureBoxesAndStillWorks) {
+  InlineFunction::ResetHeapAllocationCount();
+  std::array<double, 16> big{};  // 128 bytes: forced heap fallback.
+  big[15] = 4.0;
+  double sink = 0.0;
+  InlineFunction f([big, &sink] { sink += big[15]; });
+  EXPECT_EQ(InlineFunction::heap_allocations(), 1u);
+  InlineFunction g(std::move(f));  // relocate moves the box pointer only.
+  EXPECT_EQ(InlineFunction::heap_allocations(), 1u);
+  g();
+  EXPECT_EQ(sink, 4.0);
+  InlineFunction::ResetHeapAllocationCount();
+}
+
+TEST(InlineFunctionTest, MoveTransfersTargetAndEmptiesSource) {
+  int calls = 0;
+  InlineFunction f([&calls] { ++calls; });
+  InlineFunction g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(calls, 1);
+  InlineFunction h;
+  h = std::move(g);
+  EXPECT_FALSE(static_cast<bool>(g));  // NOLINT(bugprone-use-after-move)
+  h();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCapturesAreSupported) {
+  auto value = std::make_unique<int>(41);
+  int got = 0;
+  InlineFunction f([v = std::move(value), &got] { got = *v + 1; });
+  InlineFunction g(std::move(f));
+  g();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(InlineFunctionTest, AssignmentDestroysPreviousTarget) {
+  int destroyed = 0;
+  struct CountDtor {
+    int* counter;
+    bool armed = true;
+    CountDtor(int* c) : counter(c) {}
+    CountDtor(CountDtor&& o) noexcept : counter(o.counter), armed(o.armed) { o.armed = false; }
+    ~CountDtor() {
+      if (armed) ++*counter;
+    }
+    void operator()() {}
+  };
+  {
+    InlineFunction f{CountDtor(&destroyed)};
+    EXPECT_EQ(destroyed, 0);
+    f = InlineFunction([] {});
+    EXPECT_EQ(destroyed, 1);  // old target destroyed on assignment.
+  }
+  EXPECT_EQ(destroyed, 1);  // the lambda replacement has no counter.
+}
+
+}  // namespace
+}  // namespace rhythm

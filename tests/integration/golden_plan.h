@@ -1,0 +1,88 @@
+// The fixed-seed mixed RunPlan behind the golden bit-identity test.
+//
+// The plan crosses loads x controllers x faults so it exercises every hot
+// path the performance work touches: the event engine (arrivals, periodic
+// ticks, fault timers), the tail-latency window (controller + accounting
+// reads), and the per-request fast path (single-path and request-mix walks).
+// The expected summaries in golden_bitidentity_test.cc were captured from
+// the pre-overhaul implementation; any optimization must reproduce them
+// byte-for-byte.
+
+#ifndef RHYTHM_TESTS_INTEGRATION_GOLDEN_PLAN_H_
+#define RHYTHM_TESTS_INTEGRATION_GOLDEN_PLAN_H_
+
+#include <memory>
+
+#include "src/rhythm.h"
+
+namespace rhythm {
+
+inline RunPlan GoldenPlan() {
+  RunPlan plan;
+
+  {
+    RunRequest r;
+    r.app = LcAppKind::kEcommerce;
+    r.be = BeJobKind::kWordcount;
+    r.controller = ControllerKind::kRhythm;
+    r.seed = 11;
+    r.load = 0.45;
+    r.warmup_s = 10.0;
+    r.measure_s = 30.0;
+    r.label = "ecom-rhythm-mid";
+    plan.Add(r);
+  }
+  {
+    RunRequest r;
+    r.app = LcAppKind::kRedis;
+    r.be = BeJobKind::kCpuStress;
+    r.controller = ControllerKind::kHeracles;
+    r.seed = 12;
+    r.load = 0.65;
+    r.warmup_s = 10.0;
+    r.measure_s = 30.0;
+    r.label = "redis-heracles";
+    plan.Add(r);
+  }
+  {
+    RunRequest r;
+    r.app = LcAppKind::kSolr;
+    r.be = BeJobKind::kStreamDramSmall;
+    r.controller = ControllerKind::kNone;
+    r.seed = 13;
+    r.load = 0.85;
+    r.warmup_s = 10.0;
+    r.measure_s = 30.0;
+    r.label = "solr-none-high";
+    plan.Add(r);
+  }
+  {
+    // Fault trial: crash + telemetry dropout + BE death + flash crowd, all
+    // deterministic, on the controller-managed e-commerce deployment.
+    auto faults = std::make_shared<FaultSchedule>();
+    faults->Add({.kind = FaultKind::kPodCrash, .pod = 1, .start_s = 30.0,
+                 .duration_s = 20.0, .magnitude = 0.3});
+    faults->Add({.kind = FaultKind::kTelemetryDropout, .pod = 2, .start_s = 42.0,
+                 .duration_s = 10.0});
+    faults->Add({.kind = FaultKind::kBeInstanceFailure, .pod = 0, .start_s = 36.0});
+    faults->Add({.kind = FaultKind::kLoadSpike, .start_s = 55.0, .duration_s = 20.0,
+                 .magnitude = 0.25});
+    RunRequest r;
+    r.app = LcAppKind::kEcommerce;
+    r.be = BeJobKind::kWordcount;
+    r.controller = ControllerKind::kRhythm;
+    r.seed = 14;
+    r.load = 0.7;
+    r.warmup_s = 10.0;
+    r.measure_s = 70.0;
+    r.faults = faults;
+    r.label = "ecom-rhythm-chaos";
+    plan.Add(r);
+  }
+
+  return plan;
+}
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_TESTS_INTEGRATION_GOLDEN_PLAN_H_

@@ -1,0 +1,169 @@
+// Stress tests for the event engine after the allocation-free overhaul:
+// the (time, seq) ordering contract and the CancelPeriodic semantics must
+// survive the switch from std::function events to InlineFunction plus the
+// periodic-task side table.
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+
+namespace rhythm {
+namespace {
+
+// A large randomized schedule with heavy timestamp collisions: events must
+// run sorted by time, and within a timestamp in exact scheduling order.
+TEST(SimulatorStressTest, RandomizedScheduleRunsInTimeThenSeqOrder) {
+  Simulator sim;
+  Rng rng(2024);
+  constexpr int kEvents = 20000;
+  std::vector<std::pair<double, int>> expected;
+  std::vector<int> ran;
+  expected.reserve(kEvents);
+  ran.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    // Coarse grid => many exact ties; FIFO within a tie is the contract.
+    const double t = static_cast<double>(rng.UniformInt(64)) * 0.25;
+    expected.emplace_back(t, i);
+    sim.ScheduleAt(t, [&ran, i] { ran.push_back(i); });
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  sim.RunUntil(1e9);
+  ASSERT_EQ(ran.size(), expected.size());
+  for (size_t i = 0; i < ran.size(); ++i) {
+    EXPECT_EQ(ran[i], expected[i].second) << "at position " << i;
+  }
+}
+
+// Events scheduled from inside running events (the arrival-chain pattern)
+// interleave with pre-scheduled ones by the same (time, seq) rule: a child
+// scheduled at the current timestamp runs after everything already queued
+// there.
+TEST(SimulatorStressTest, NestedSchedulingKeepsFifoWithinTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(1.0, [&] {
+    order.push_back(1);
+    sim.ScheduleAt(1.0, [&] { order.push_back(3); });  // same instant, later seq
+  });
+  sim.ScheduleAt(1.0, [&] { order.push_back(2); });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// Many periodic tasks armed at randomized phases with frequent cancels and
+// re-schedules: per-task firing counts must match exact arithmetic and the
+// side table must end compact.
+TEST(SimulatorStressTest, PeriodicChurnKeepsCountsExactAndTableCompact) {
+  Simulator sim;
+  constexpr int kTasks = 200;
+  std::vector<int> fired(kTasks, 0);
+  std::vector<uint64_t> ids;
+  ids.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    const double start = 0.1 * (i % 7);
+    const double period = 0.5 + 0.01 * (i % 11);
+    ids.push_back(sim.SchedulePeriodic(start, period, [&fired, i] { ++fired[i]; }));
+  }
+  sim.RunUntil(10.0);
+  // Cancel every third task, run on, and cancel the rest at the end.
+  for (int i = 0; i < kTasks; i += 3) {
+    sim.CancelPeriodic(ids[i]);
+  }
+  std::vector<int> at_cancel = fired;
+  sim.RunUntil(20.0);
+  for (int i = 0; i < kTasks; ++i) {
+    const double start = 0.1 * (i % 7);
+    const double period = 0.5 + 0.01 * (i % 11);
+    const double horizon = (i % 3 == 0) ? 10.0 : 20.0;
+    // Firings at start, start+period, ... <= horizon, accumulated the same
+    // way the engine advances next_time (repeated addition, not k*period).
+    int expect = 0;
+    for (double t = start; t <= horizon; t += period) {
+      ++expect;
+    }
+    EXPECT_EQ(fired[i], expect) << "task " << i;
+    if (i % 3 == 0) {
+      EXPECT_EQ(fired[i], at_cancel[i]) << "cancelled task " << i << " fired after cancel";
+    }
+  }
+  for (uint64_t id : ids) {
+    sim.CancelPeriodic(id);
+  }
+  sim.RunUntil(21.0);
+  EXPECT_EQ(sim.periodic_task_count(), 0u);
+  EXPECT_EQ(sim.cancelled_pending_count(), 0u);
+}
+
+// A periodic action cancelling its own id mid-firing must stop the task
+// without tripping the table bookkeeping (the firing in flight is the one
+// that erases the entry).
+TEST(SimulatorStressTest, PeriodicSelfCancelStopsAndCompacts) {
+  Simulator sim;
+  int fired = 0;
+  uint64_t id = 0;
+  id = sim.SchedulePeriodic(1.0, 1.0, [&] {
+    ++fired;
+    if (fired == 3) {
+      sim.CancelPeriodic(id);
+    }
+  });
+  sim.RunUntil(50.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.periodic_task_count(), 0u);
+  EXPECT_EQ(sim.cancelled_pending_count(), 0u);
+}
+
+// A periodic action scheduling enough one-shot events to force queue growth
+// (rehash/reallocation under the hood) while other periodics fire: exercises
+// the side table being mutated while a firing is on the stack.
+TEST(SimulatorStressTest, PeriodicSurvivesQueueGrowthDuringFiring) {
+  Simulator sim;
+  int ticks = 0;
+  int shots = 0;
+  uint64_t tick_id = 0;
+  std::vector<uint64_t> spawned;
+  tick_id = sim.SchedulePeriodic(0.5, 0.5, [&] {
+    ++ticks;
+    for (int i = 0; i < 50; ++i) {
+      sim.Schedule(0.01 * (i + 1), [&shots] { ++shots; });
+    }
+    // Spawning new periodics from inside a firing rehashes the task table
+    // while FirePeriodic holds an iterator position.
+    spawned.push_back(sim.SchedulePeriodic(sim.Now() + 0.1, 100.0, [] {}));
+    if (ticks == 20) {
+      sim.CancelPeriodic(tick_id);
+    }
+  });
+  // Run well past the last tick so every spawned one-shot drains.
+  sim.RunUntil(12.0);
+  EXPECT_EQ(ticks, 20);
+  EXPECT_EQ(shots, 20 * 50);
+  EXPECT_EQ(sim.periodic_task_count(), spawned.size());
+  EXPECT_EQ(sim.cancelled_pending_count(), 0u);
+}
+
+// The scheduling hot path must not touch the heap for the closures the
+// control plane actually uses (a this-pointer plus a couple of scalars).
+TEST(SimulatorStressTest, SmallClosuresScheduleWithoutHeapAllocation) {
+  Simulator sim;
+  uint64_t sink = 0;
+  double a = 1.0, b = 2.0, c = 3.0;
+  InlineFunction::ResetHeapAllocationCount();
+  for (int i = 0; i < 1000; ++i) {
+    sim.Schedule(0.001 * i, [&sink, a, b, c] { sink += static_cast<uint64_t>(a + b + c); });
+  }
+  sim.SchedulePeriodic(0.0, 0.1, [&sink] { ++sink; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(InlineFunction::heap_allocations(), 0u);
+  EXPECT_GT(sink, 0u);
+}
+
+}  // namespace
+}  // namespace rhythm
