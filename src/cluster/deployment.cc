@@ -235,6 +235,9 @@ void Deployment::AccountingTick() {
       series.be_throughput.Add(now, be->NormalizedThroughput(elapsed_hours));
     }
   }
+  if (config_.observer != nullptr) {
+    config_.observer->AfterAccountingTick(*this);
+  }
 }
 
 void Deployment::ControllerTick() {
@@ -245,23 +248,32 @@ void Deployment::ControllerTick() {
     if (fault_ != nullptr && fault_->PodOffline(pod)) {
       continue;  // the agent died with its machine.
     }
-    if (fault_ != nullptr) {
-      // Fault runs consume the *published* tail sample with its age, so
-      // telemetry faults reach the stale-signal detector.
-      agents_[pod]->Tick(MachineAgent::TelemetrySample{
-          .load = load,
-          .tail_ms = telemetry_[pod].tail_ms,
-          .tail_age_s = now - telemetry_[pod].sampled_at,
-          .lc_utilization = service_->PodUtilization(pod)});
-    } else {
-      agents_[pod]->Tick(load, tail, service_->PodUtilization(pod));
+    // Fault runs consume the *published* tail sample with its age, so
+    // telemetry faults reach the stale-signal detector; healthy runs read
+    // the live signal with zero age.
+    const MachineAgent::TelemetrySample sample =
+        fault_ != nullptr ? MachineAgent::TelemetrySample{
+                                .load = load,
+                                .tail_ms = telemetry_[pod].tail_ms,
+                                .tail_age_s = now - telemetry_[pod].sampled_at,
+                                .lc_utilization = service_->PodUtilization(pod)}
+                          : MachineAgent::TelemetrySample{
+                                .load = load,
+                                .tail_ms = tail,
+                                .lc_utilization = service_->PodUtilization(pod)};
+    if (config_.observer != nullptr) {
+      config_.observer->BeforeAgentTick(*this, pod, sample);
     }
+    agents_[pod]->Tick(sample);
   }
   // Dispatch after the fresh decisions, paced like the agents' own growth so
   // admissions cannot outrun the tail window's feedback.
   ++controller_ticks_;
   if (scheduler_ != nullptr && controller_ticks_ % MachineAgent::kGrowthPeriodTicks == 0) {
     scheduler_->DispatchRound();
+  }
+  if (config_.observer != nullptr) {
+    config_.observer->AfterControllerTick(*this);
   }
 }
 
@@ -340,6 +352,9 @@ void Deployment::OnPodCrash(int pod) {
     be->set_admission_blocked(true);
     be->PublishActivity();
   }
+  if (config_.observer != nullptr) {
+    config_.observer->OnPodCrash(*this, pod);
+  }
 }
 
 void Deployment::OnPodReboot(int pod) {
@@ -357,6 +372,9 @@ void Deployment::OnPodReboot(int pod) {
     for (uint64_t i = 0; i < MachineAgent::kBackoffMaxLevel; ++i) {
       agents_[pod]->TriggerBackoff();
     }
+  }
+  if (config_.observer != nullptr) {
+    config_.observer->OnPodReboot(*this, pod);
   }
 }
 

@@ -37,6 +37,7 @@
 #include "src/scheduler/be_backlog.h"
 #include "src/scheduler/be_scheduler.h"
 #include "src/sim/simulator.h"
+#include "src/verify/deployment_observer.h"
 #include "src/workload/app_catalog.h"
 #include "src/workload/lc_service.h"
 #include "src/workload/load_profile.h"
@@ -70,6 +71,10 @@ struct DeploymentConfig {
   // Optional fault schedule (must outlive the deployment). Load-spike events
   // are not applied here — wrap the profile in a SpikedLoadProfile.
   const FaultSchedule* faults = nullptr;
+  // Optional read-only observer (must outlive the deployment), notified at
+  // tick boundaries and crash edges — the invariant monitor's hook. An
+  // attached observer must never perturb the run (no mutation, no RNG).
+  DeploymentObserver* observer = nullptr;
 };
 
 // Per-pod metric series sampled by the accounting task.
@@ -95,6 +100,7 @@ class Deployment {
   void RunFor(double seconds);
 
   Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
   LcService& service() { return *service_; }
   const AppSpec& app() const { return app_; }
   int pod_count() const { return app_.pod_count(); }
@@ -136,6 +142,9 @@ class Deployment {
 
   // Fault state (null without a schedule).
   const FaultInjector* fault() const { return fault_.get(); }
+  // The schedule this deployment was configured with (null without faults);
+  // observers use it to locate the last fault window for liveness checks.
+  const FaultSchedule* fault_schedule() const { return config_.faults; }
   bool PodOnline(int pod) const { return fault_ == nullptr || !fault_->PodOffline(pod); }
   uint64_t crash_count() const { return crash_count_; }
   // BE instances lost to machine crashes / instance failures (not controller
@@ -153,6 +162,14 @@ class Deployment {
   bool recovered() const { return !awaiting_recovery_; }
 
   double sla_ms() const { return app_.sla_ms; }
+
+  // Tail telemetry as last published per pod (the controller's view; ages
+  // during blackouts). Exposed read-only for observers.
+  struct PodTelemetry {
+    double tail_ms = 0.0;
+    double sampled_at = 0.0;
+  };
+  const PodTelemetry& published_telemetry(int pod) const { return telemetry_[pod]; }
 
  private:
   void AccountingTick();
@@ -188,11 +205,6 @@ class Deployment {
 
   // Fault wiring.
   std::unique_ptr<FaultInjector> fault_;
-  // Tail telemetry as last published per pod (the controller's view).
-  struct PodTelemetry {
-    double tail_ms = 0.0;
-    double sampled_at = 0.0;
-  };
   std::vector<PodTelemetry> telemetry_;
   uint64_t crash_count_ = 0;
   uint64_t crash_be_losses_ = 0;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/cluster/deployment.h"
+#include "src/verify/invariant_types.h"
 
 namespace rhythm {
 
@@ -41,6 +42,13 @@ struct RunSummary {
   uint64_t slack_violation_ticks = 0;  // accounting ticks with negative slack.
   double recovery_s = 0.0;          // worst crash-to-positive-slack time.
   bool recovered = true;            // false: a crash was unhealed at run end.
+
+  // Invariant-monitor findings (empty unless the request attached a monitor;
+  // see RunRequest::verify). `invariant_violations` holds the recorded
+  // breaches, first-occurrence order; `invariant_violations_total` counts
+  // every breach including those past the monitor's storage cap.
+  std::vector<InvariantViolation> invariant_violations;
+  uint64_t invariant_violations_total = 0;
 };
 
 // Summarizes a deployment over [t0, t1]. `kills_before` / `violations_before`

@@ -1,6 +1,8 @@
 #include "src/fault/fault_injector.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "src/common/logging.h"
 
@@ -19,6 +21,15 @@ FaultInjector::FaultInjector(Simulator* sim, const FaultSchedule& schedule, int 
       failover_magnitude_(static_cast<size_t>(pod_count), 0.0) {
   RHYTHM_CHECK(sim != nullptr);
   RHYTHM_CHECK(pod_count > 0);
+  // A malformed event used to no-op (out-of-range pod) or quietly misbehave
+  // (negative window, off-scale magnitude); reject it up front so the
+  // mistake surfaces at wiring time, not as a silently different run.
+  for (const FaultEvent& event : events_) {
+    const std::string error = FaultEventError(event, pod_count);
+    if (!error.empty()) {
+      throw std::invalid_argument("FaultInjector: " + error);
+    }
+  }
 }
 
 void FaultInjector::Start() {

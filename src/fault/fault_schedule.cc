@@ -1,6 +1,8 @@
 #include "src/fault/fault_schedule.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "src/common/rng.h"
 
@@ -38,9 +40,66 @@ std::vector<FaultEvent> FaultSchedule::Sorted() const {
     if (a.pod != b.pod) {
       return a.pod < b.pod;
     }
-    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    if (a.kind != b.kind) {
+      return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    }
+    if (a.duration_s != b.duration_s) {
+      return a.duration_s < b.duration_s;
+    }
+    return a.magnitude < b.magnitude;
   });
   return sorted;
+}
+
+std::string FaultEventError(const FaultEvent& event, int pod_count) {
+  const std::string prefix = std::string(FaultKindName(event.kind)) + " event: ";
+  if (!std::isfinite(event.start_s) || event.start_s < 0.0) {
+    return prefix + "start_s must be finite and >= 0 (got " + std::to_string(event.start_s) + ")";
+  }
+  if (!std::isfinite(event.duration_s) || event.duration_s < 0.0) {
+    return prefix + "duration_s must be finite and >= 0 (got " +
+           std::to_string(event.duration_s) + ")";
+  }
+  if (!std::isfinite(event.magnitude)) {
+    return prefix + "magnitude must be finite";
+  }
+  const bool windowed = event.kind == FaultKind::kPodCrash ||
+                        event.kind == FaultKind::kTelemetryDropout ||
+                        event.kind == FaultKind::kTelemetryFreeze ||
+                        event.kind == FaultKind::kActuationDrop;
+  if (windowed && event.duration_s <= 0.0) {
+    return prefix + "duration_s must be > 0 for windowed faults";
+  }
+  if (event.kind != FaultKind::kLoadSpike && (event.pod < 0 || event.pod >= pod_count)) {
+    return prefix + "pod " + std::to_string(event.pod) + " out of range [0, " +
+           std::to_string(pod_count) + ")";
+  }
+  switch (event.kind) {
+    case FaultKind::kPodCrash:
+      if (event.magnitude < 0.0 || event.magnitude > kMaxCrashInflation) {
+        return prefix + "failover inflation must lie in [0, " +
+               std::to_string(kMaxCrashInflation) + "] (got " + std::to_string(event.magnitude) +
+               ")";
+      }
+      break;
+    case FaultKind::kActuationDrop:
+      if (event.magnitude < 0.0 || event.magnitude > 1.0) {
+        return prefix + "drop probability must lie in [0, 1] (got " +
+               std::to_string(event.magnitude) + ")";
+      }
+      break;
+    case FaultKind::kLoadSpike:
+      if (event.magnitude < 0.0 || event.magnitude > 1.0) {
+        return prefix + "load boost must lie in [0, 1] (got " + std::to_string(event.magnitude) +
+               ")";
+      }
+      break;
+    case FaultKind::kTelemetryDropout:
+    case FaultKind::kTelemetryFreeze:
+    case FaultKind::kBeInstanceFailure:
+      break;  // magnitude ignored; finiteness already checked.
+  }
+  return "";
 }
 
 namespace {

@@ -11,6 +11,7 @@
 #define RHYTHM_SRC_FAULT_FAULT_SCHEDULE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace rhythm {
@@ -51,6 +52,21 @@ struct FaultEvent {
   double magnitude = 0.0;   // kind-specific, see FaultKind comments.
 };
 
+// Validates one event against a deployment of `pod_count` Servpods. Returns
+// an empty string for a well-formed event, else a description of the defect.
+// Bounds are kind-specific: every event needs a finite start_s >= 0 and a
+// finite duration_s >= 0; windowed kinds (crash, dropout, freeze, actuation
+// drop) need duration_s > 0; pod must be in [0, pod_count) except for
+// kLoadSpike, which ignores it; kActuationDrop and kLoadSpike magnitudes
+// must lie in [0, 1] (a drop probability / a load-fraction boost) and
+// kPodCrash inflation in [0, kMaxCrashInflation].
+std::string FaultEventError(const FaultEvent& event, int pod_count);
+
+// Largest accepted kPodCrash failover inflation (a 10x service-time blowup
+// is already far past anything a cold standby exhibits; beyond it, treat the
+// schedule as malformed rather than simulate nonsense).
+inline constexpr double kMaxCrashInflation = 10.0;
+
 struct FaultSchedule {
   std::vector<FaultEvent> events;
 
@@ -61,8 +77,9 @@ struct FaultSchedule {
   // require a SpikedLoadProfile wrap — the runner checks this).
   bool HasKind(FaultKind kind) const;
 
-  // Events ordered by (start, pod, kind) — the injector consumes this so
-  // insertion order never affects the run.
+  // Events ordered by the full (start, pod, kind, duration, magnitude)
+  // tuple — the injector consumes this, so insertion order never affects the
+  // run, even for schedules holding duplicate (start, pod, kind) events.
   std::vector<FaultEvent> Sorted() const;
 };
 

@@ -1,0 +1,104 @@
+#include "src/fault/fault_schedule_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rhythm {
+
+namespace {
+
+constexpr FaultKind kAllKinds[] = {
+    FaultKind::kPodCrash,        FaultKind::kTelemetryDropout, FaultKind::kTelemetryFreeze,
+    FaultKind::kActuationDrop,   FaultKind::kBeInstanceFailure, FaultKind::kLoadSpike,
+};
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+bool ParseFaultKind(const std::string& name, FaultKind* kind) {
+  for (FaultKind candidate : kAllKinds) {
+    if (name == FaultKindName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultScheduleToText(const FaultSchedule& schedule) {
+  std::ostringstream out;
+  out << "# rhythm-fault-schedule v1\n";
+  out << "# kind pod start_s duration_s magnitude\n";
+  for (const FaultEvent& event : schedule.events) {
+    out << FaultKindName(event.kind) << ' ' << event.pod << ' ' << FormatDouble(event.start_s)
+        << ' ' << FormatDouble(event.duration_s) << ' ' << FormatDouble(event.magnitude) << '\n';
+  }
+  return out.str();
+}
+
+FaultSchedule FaultScheduleFromText(const std::string& text) {
+  FaultSchedule schedule;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip trailing CR (files may round-trip through CRLF tooling).
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string kind_name;
+    FaultEvent event;
+    if (!(fields >> kind_name >> event.pod >> event.start_s >> event.duration_s >>
+          event.magnitude)) {
+      throw std::invalid_argument("FaultScheduleFromText: line " + std::to_string(line_number) +
+                                  " is not 'kind pod start duration magnitude': " + line);
+    }
+    if (!ParseFaultKind(kind_name, &event.kind)) {
+      throw std::invalid_argument("FaultScheduleFromText: line " + std::to_string(line_number) +
+                                  " has unknown fault kind '" + kind_name + "'");
+    }
+    std::string rest;
+    if (fields >> rest) {
+      throw std::invalid_argument("FaultScheduleFromText: line " + std::to_string(line_number) +
+                                  " has trailing content '" + rest + "'");
+    }
+    schedule.Add(event);
+  }
+  return schedule;
+}
+
+void SaveFaultSchedule(const FaultSchedule& schedule, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("SaveFaultSchedule: cannot open " + path);
+  }
+  out << FaultScheduleToText(schedule);
+  if (!out.flush()) {
+    throw std::runtime_error("SaveFaultSchedule: write failed for " + path);
+  }
+}
+
+FaultSchedule LoadFaultSchedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("LoadFaultSchedule: cannot open " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return FaultScheduleFromText(text.str());
+}
+
+}  // namespace rhythm

@@ -36,6 +36,7 @@
 #include "src/control/top_controller.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_schedule.h"
+#include "src/fault/fault_schedule_io.h"
 #include "src/fault/spiked_load_profile.h"
 #include "src/interference/interference_model.h"
 #include "src/resources/machine.h"
@@ -45,6 +46,12 @@
 #include "src/scheduler/be_scheduler.h"
 #include "src/sim/simulator.h"
 #include "src/trace/cpg_builder.h"
+#include "src/verify/chaos_fuzzer.h"
+#include "src/verify/deployment_observer.h"
+#include "src/verify/invariant_monitor.h"
+#include "src/verify/invariant_types.h"
+#include "src/verify/repro_io.h"
+#include "src/verify/schedule_minimizer.h"
 #include "src/trace/path_classifier.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/event_log.h"

@@ -17,6 +17,7 @@
 #include "src/cluster/deployment.h"
 #include "src/control/thresholds.h"
 #include "src/fault/fault_schedule.h"
+#include "src/verify/invariant_types.h"
 #include "src/workload/app_catalog.h"
 #include "src/workload/load_profile.h"
 
@@ -42,6 +43,12 @@ struct RunRequest {
   // kLoadSpike events automatically by wrapping the load profile in a
   // SpikedLoadProfile — callers no longer wrap by hand.
   std::shared_ptr<const FaultSchedule> faults;
+  // Invariant monitoring (src/verify). kOff (the default) attaches nothing;
+  // kCollect records violations into RunSummary::invariant_violations;
+  // kFailFast makes Run() throw InvariantViolationError at the first breach.
+  // The monitor is read-only and draws no randomness, so enabling it leaves
+  // the summary metrics bit-identical.
+  InvariantOptions verify;
   // Free-form tag carried through for the caller's bookkeeping (e.g. which
   // figure cell this trial fills); never interpreted by the runner.
   std::string label;

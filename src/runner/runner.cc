@@ -12,6 +12,7 @@
 #include "src/cluster/app_thresholds.h"
 #include "src/common/env.h"
 #include "src/fault/spiked_load_profile.h"
+#include "src/verify/invariant_monitor.h"
 
 namespace rhythm {
 
@@ -36,11 +37,24 @@ void Validate(const RunRequest& request) {
                                   " thresholds were given");
     }
   }
+  // Reject malformed fault events here, with the request's context, rather
+  // than letting the FaultInjector throw from deep inside deployment setup.
+  if (request.faults != nullptr) {
+    const int pods = MakeApp(request.app).pod_count();
+    for (const FaultEvent& event : request.faults->events) {
+      const std::string error = FaultEventError(event, pods);
+      if (!error.empty()) {
+        throw std::invalid_argument("RunRequest: " + error);
+      }
+    }
+  }
 }
 
 }  // namespace
 
-RunSummary Run(const RunRequest& request) {
+RunSummary Run(const RunRequest& request) { return Run(request, TrialHooks{}); }
+
+RunSummary Run(const RunRequest& request, const TrialHooks& hooks) {
   Validate(request);
 
   DeploymentConfig config;
@@ -52,6 +66,13 @@ RunSummary Run(const RunRequest& request) {
   if (request.controller == ControllerKind::kRhythm) {
     config.thresholds = request.thresholds.empty() ? CachedAppThresholds(request.app).pods
                                                    : request.thresholds;
+  }
+
+  // Invariant monitor, attached as a read-only observer when requested.
+  std::unique_ptr<InvariantMonitor> monitor;
+  if (request.verify.mode != InvariantMode::kOff) {
+    monitor = std::make_unique<InvariantMonitor>(request.verify);
+    config.observer = monitor.get();
   }
 
   // Resolve the load profile, layering flash-crowd spikes from the fault
@@ -67,13 +88,27 @@ RunSummary Run(const RunRequest& request) {
 
   Deployment deployment(config);
   deployment.Start(profile);
+  if (hooks.after_start) {
+    hooks.after_start(deployment);
+  }
   deployment.RunFor(request.warmup_s);
   const double t0 = deployment.sim().Now();
   const uint64_t kills_before = deployment.TotalBeKills();
   const uint64_t violations_before = deployment.TotalSlaViolations();
   deployment.RunFor(request.measure_s);
   const double t1 = deployment.sim().Now();
-  return Summarize(deployment, t0, t1, kills_before, violations_before);
+  if (monitor != nullptr) {
+    monitor->Finalize(deployment);  // throws in fail-fast mode on a breach.
+  }
+  RunSummary summary = Summarize(deployment, t0, t1, kills_before, violations_before);
+  if (monitor != nullptr) {
+    summary.invariant_violations = monitor->violations();
+    summary.invariant_violations_total = monitor->total_violations();
+  }
+  if (hooks.inspect) {
+    hooks.inspect(deployment, summary);
+  }
+  return summary;
 }
 
 ParallelRunner::ParallelRunner(const RunnerOptions& options)

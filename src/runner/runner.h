@@ -18,6 +18,7 @@
 #ifndef RHYTHM_SRC_RUNNER_RUNNER_H_
 #define RHYTHM_SRC_RUNNER_RUNNER_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/cluster/metrics.h"
@@ -27,8 +28,23 @@ namespace rhythm {
 
 // Runs one co-location trial: constant load or profile, optional faults
 // (kLoadSpike events are applied by wrapping the profile automatically),
-// thresholds from the request or the per-app cache. Thread-safe.
+// thresholds from the request or the per-app cache. When the request enables
+// invariant monitoring (RunRequest::verify), the monitor rides along and its
+// findings land in the summary. Thread-safe.
 RunSummary Run(const RunRequest& request);
+
+// Observation hooks into one trial — the seam diagnostics build on instead
+// of re-assembling the Deployment setup by hand. `after_start` fires right
+// after Deployment::Start (it may mutate, e.g. LaunchBeAtPod for
+// uncontrolled co-location runs); `inspect` fires after the measurement
+// window on the still-live deployment, alongside the summary about to be
+// returned. Either may be empty.
+struct TrialHooks {
+  std::function<void(Deployment&)> after_start;
+  std::function<void(const Deployment&, const RunSummary&)> inspect;
+};
+
+RunSummary Run(const RunRequest& request, const TrialHooks& hooks);
 
 struct RunnerOptions {
   // Worker threads; <= 0 means RHYTHM_JOBS, else hardware_concurrency.

@@ -1,0 +1,85 @@
+#include "src/verify/chaos_fuzzer.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+namespace rhythm {
+
+namespace {
+
+constexpr LcAppKind kAppRotation[] = {LcAppKind::kEcommerce,      LcAppKind::kRedis,
+                                      LcAppKind::kSolr,           LcAppKind::kElasticsearch,
+                                      LcAppKind::kElgg,           LcAppKind::kSnms};
+constexpr int kAppRotationSize = static_cast<int>(sizeof(kAppRotation) / sizeof(kAppRotation[0]));
+
+}  // namespace
+
+RunRequest FuzzTrialRequest(const FuzzOptions& options, int index) {
+  const LcAppKind app = kAppRotation[index % kAppRotationSize];
+  const uint64_t schedule_seed = DeriveTrialSeed(options.seed, 2 * static_cast<uint64_t>(index));
+  const uint64_t run_seed = DeriveTrialSeed(options.seed, 2 * static_cast<uint64_t>(index) + 1);
+
+  ChaosConfig chaos = options.chaos;
+  chaos.pod_count = MakeApp(app).pod_count();
+
+  RunRequest request;
+  request.app = app;
+  request.be = options.be;
+  request.controller = options.controller;
+  request.seed = run_seed;
+  request.load = options.load;
+  request.warmup_s = options.warmup_s;
+  request.measure_s = options.measure_s;
+  request.faults = std::make_shared<FaultSchedule>(RandomFaultSchedule(chaos, schedule_seed));
+  request.verify = options.verify;
+  request.verify.mode = InvariantMode::kCollect;
+  request.label = "fuzz#" + std::to_string(index) + " " + LcAppKindName(app) +
+                  " sched_seed=" + std::to_string(schedule_seed) +
+                  " run_seed=" + std::to_string(run_seed);
+  return request;
+}
+
+FuzzReport FuzzChaos(const FuzzOptions& options) {
+  FuzzReport report;
+  if (options.trials <= 0) {
+    return report;
+  }
+
+  const ParallelRunner runner(RunnerOptions{.jobs = options.jobs});
+  // Chunked execution: full parallelism inside a chunk, a fail-fast decision
+  // point between chunks.
+  const int chunk_size = std::max(1, runner.jobs());
+
+  for (int begin = 0; begin < options.trials; begin += chunk_size) {
+    const int end = std::min(options.trials, begin + chunk_size);
+    RunPlan plan;
+    for (int trial = begin; trial < end; ++trial) {
+      plan.Add(FuzzTrialRequest(options, trial));
+    }
+    const std::vector<RunSummary> summaries = runner.RunAll(plan);
+    for (int trial = begin; trial < end; ++trial) {
+      ++report.trials_run;
+      const RunSummary& summary = summaries[static_cast<size_t>(trial - begin)];
+      if (summary.invariant_violations_total == 0) {
+        continue;
+      }
+      ++report.violating_trials;
+      FuzzFinding finding;
+      finding.trial = trial;
+      finding.app = kAppRotation[trial % kAppRotationSize];
+      finding.schedule_seed = DeriveTrialSeed(options.seed, 2 * static_cast<uint64_t>(trial));
+      finding.run_seed = DeriveTrialSeed(options.seed, 2 * static_cast<uint64_t>(trial) + 1);
+      finding.schedule = *plan.requests[static_cast<size_t>(trial - begin)].faults;
+      finding.violations = summary.invariant_violations;
+      finding.violations_total = summary.invariant_violations_total;
+      report.findings.push_back(std::move(finding));
+    }
+    if (options.fail_fast && report.violating_trials > 0) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace rhythm

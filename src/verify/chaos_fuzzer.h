@@ -1,0 +1,79 @@
+// Chaos fuzzer: sweeps seeded random fault schedules through full runs with
+// the invariant monitor attached (collect mode) and reports every trial that
+// breached an invariant, keyed by the (config, seed) pair that reproduces it.
+//
+// Determinism contract: trial `i` of a sweep is a pure function of
+// (FuzzOptions, i) — the schedule comes from
+// RandomFaultSchedule(chaos, DeriveTrialSeed(seed, 2i)) and the run seed is
+// DeriveTrialSeed(seed, 2i+1) — so any finding replays exactly from its
+// trial index alone, on any machine, with any worker count. The minimizer
+// and the checked-in repro files both lean on FuzzTrialRequest() for this.
+
+#ifndef RHYTHM_SRC_VERIFY_CHAOS_FUZZER_H_
+#define RHYTHM_SRC_VERIFY_CHAOS_FUZZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/fault_schedule.h"
+#include "src/runner/runner.h"
+#include "src/verify/invariant_types.h"
+
+namespace rhythm {
+
+struct FuzzOptions {
+  int trials = 200;
+  uint64_t seed = 1;
+  int jobs = 0;  // ParallelRunner worker count; <= 0 means auto.
+  // Stop launching new trials once a violating one is found (the sweep still
+  // reports it). false scans every trial regardless.
+  bool fail_fast = true;
+
+  // Trial shape. Apps rotate round-robin through the whole catalog so every
+  // trial mix exercises each pod topology; the chaos knobs are shared, with
+  // pod_count overridden per app.
+  double load = 0.6;
+  BeJobKind be = BeJobKind::kWordcount;
+  ControllerKind controller = ControllerKind::kRhythm;
+  double warmup_s = 20.0;
+  // Long enough past the chaos window for live.recovery to be judged with
+  // the default 120 s horizon (chaos duration 240 s + horizon + slop).
+  double measure_s = 420.0;
+  ChaosConfig chaos{.duration_s = 240.0};
+
+  // Monitor knobs for each trial. The mode is forced to kCollect inside the
+  // sweep — fail-fast there would abort mid-run and lose the violation list;
+  // `fail_fast` above governs the sweep instead.
+  InvariantOptions verify;
+};
+
+// One violating trial: everything needed to replay or minimize it.
+struct FuzzFinding {
+  int trial = -1;
+  LcAppKind app = LcAppKind::kEcommerce;
+  uint64_t schedule_seed = 0;
+  uint64_t run_seed = 0;
+  FaultSchedule schedule;
+  std::vector<InvariantViolation> violations;
+  uint64_t violations_total = 0;
+};
+
+struct FuzzReport {
+  int trials_run = 0;
+  int violating_trials = 0;
+  std::vector<FuzzFinding> findings;  // in trial order; first is the repro seed.
+  bool clean() const { return violating_trials == 0; }
+};
+
+// The exact request sweep trial `index` executes (schedule drawn, seeds
+// derived, monitor in collect mode). Exposed so findings can be replayed and
+// minimized outside the sweep.
+RunRequest FuzzTrialRequest(const FuzzOptions& options, int index);
+
+// Runs the sweep. Trials execute in parallel chunks; with fail_fast, no new
+// chunk starts once a violation has been seen.
+FuzzReport FuzzChaos(const FuzzOptions& options);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_VERIFY_CHAOS_FUZZER_H_

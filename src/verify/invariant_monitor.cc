@@ -1,0 +1,337 @@
+#include "src/verify/invariant_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/cluster/deployment.h"
+
+namespace rhythm {
+
+namespace {
+
+// Slop for double-precision resource accounting (memory GB sums).
+constexpr double kGbTolerance = 1e-6;
+
+bool FiniteNonNegative(double value) { return std::isfinite(value) && value >= 0.0; }
+
+std::string Fmt(const char* format, double a, double b = 0.0) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), format, a, b);
+  return buffer;
+}
+
+double SumInstanceMemoryGb(const BeRuntime& be) {
+  double total = 0.0;
+  for (const BeInstance& inst : be.instances()) {
+    total += inst.memory_gb;
+  }
+  return total;
+}
+
+}  // namespace
+
+InvariantViolationError::InvariantViolationError(InvariantViolation violation)
+    : std::runtime_error("invariant " + violation.id + " violated at t=" +
+                         std::to_string(violation.time_s) +
+                         (violation.machine >= 0
+                              ? " machine " + std::to_string(violation.machine)
+                              : std::string()) +
+                         ": " + violation.detail),
+      violation_(std::move(violation)) {}
+
+InvariantMonitor::InvariantMonitor(const InvariantOptions& options) : options_(options) {}
+
+bool InvariantMonitor::AlreadyRecorded(const char* id, int machine) const {
+  for (const InvariantViolation& v : violations_) {
+    if (v.machine == machine && v.id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void InvariantMonitor::Report(double time_s, int machine, const char* id, std::string detail) {
+  ++total_;
+  InvariantViolation violation{time_s, machine, id, std::move(detail)};
+  if (options_.mode == InvariantMode::kFailFast) {
+    throw InvariantViolationError(std::move(violation));
+  }
+  if (violations_.size() < kMaxStoredViolations && !AlreadyRecorded(id, machine)) {
+    violations_.push_back(std::move(violation));
+  }
+}
+
+void InvariantMonitor::EnsureInitialized(const Deployment& deployment) {
+  if (initialized_) {
+    return;
+  }
+  initialized_ = true;
+  pods_.resize(static_cast<size_t>(deployment.pod_count()));
+  const FaultSchedule* schedule = deployment.fault_schedule();
+  if (schedule != nullptr && !schedule->events.empty()) {
+    has_faults_ = true;
+    first_fault_start_s_ = schedule->events.front().start_s;
+    last_fault_end_s_ = 0.0;
+    for (const FaultEvent& event : schedule->events) {
+      first_fault_start_s_ = std::min(first_fault_start_s_, event.start_s);
+      last_fault_end_s_ = std::max(last_fault_end_s_, event.start_s + event.duration_s);
+    }
+  }
+}
+
+void InvariantMonitor::CheckMachineResources(const Deployment& deployment, double now) {
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    const Machine& machine = deployment.machine(pod);
+    const BeRuntime* be = deployment.be(pod);
+
+    // res.cores — conservation and no cpuset overlap: the allocator's BE
+    // share is exactly the cores the instances hold, and nothing is
+    // over-committed past the machine's core count.
+    const CoreAllocator& cores = machine.cores();
+    if (cores.free_cores() < 0 || cores.be_cores() < 0) {
+      Report(now, pod, "res.cores",
+             Fmt("core allocator over-committed: free=%.0f be=%.0f",
+                 static_cast<double>(cores.free_cores()), static_cast<double>(cores.be_cores())));
+    }
+    if (be != nullptr && be->TotalCoresHeld() != cores.be_cores()) {
+      Report(now, pod, "res.cores",
+             Fmt("BE instances hold %.0f cores but allocator granted %.0f",
+                 static_cast<double>(be->TotalCoresHeld()),
+                 static_cast<double>(cores.be_cores())));
+    }
+
+    // res.llc — way conservation and the CAT floor for the LC.
+    const CatAllocator& cat = machine.cat();
+    if (cat.be_ways() < 0 || cat.lc_ways() < machine.lc_reservation().min_llc_ways) {
+      Report(now, pod, "res.llc",
+             Fmt("LLC partition breached the LC floor: lc_ways=%.0f floor=%.0f",
+                 static_cast<double>(cat.lc_ways()),
+                 static_cast<double>(machine.lc_reservation().min_llc_ways)));
+    }
+    if (be != nullptr && be->TotalWaysHeld() != cat.be_ways()) {
+      Report(now, pod, "res.llc",
+             Fmt("BE instances hold %.0f ways but allocator granted %.0f",
+                 static_cast<double>(be->TotalWaysHeld()), static_cast<double>(cat.be_ways())));
+    }
+
+    // res.mem — the BE memory book matches the instances; nothing negative.
+    const MemoryAllocator& memory = machine.memory();
+    if (memory.free_gb() < -kGbTolerance || memory.be_gb() < -kGbTolerance) {
+      Report(now, pod, "res.mem",
+             Fmt("memory over-committed: free=%.3f GB be=%.3f GB", memory.free_gb(),
+                 memory.be_gb()));
+    }
+    if (be != nullptr) {
+      const double held = SumInstanceMemoryGb(*be);
+      if (std::fabs(held - memory.be_gb()) > kGbTolerance) {
+        Report(now, pod, "res.mem",
+               Fmt("BE instances hold %.6f GB but allocator granted %.6f GB", held,
+                   memory.be_gb()));
+      }
+    }
+
+    // res.membw — demand accounting stays finite and non-negative (the
+    // saturation model divides by capacity; a NaN here poisons every tail).
+    const MembwAccountant& membw = machine.membw();
+    if (!FiniteNonNegative(membw.lc_demand_gbs()) || !FiniteNonNegative(membw.be_demand_gbs())) {
+      Report(now, pod, "res.membw",
+             Fmt("bandwidth demand not finite/non-negative: lc=%g be=%g", membw.lc_demand_gbs(),
+                 membw.be_demand_gbs()));
+    }
+  }
+}
+
+void InvariantMonitor::CheckOfflinePods(const Deployment& deployment, double now) {
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    if (deployment.PodOnline(pod)) {
+      continue;
+    }
+    const BeRuntime* be = deployment.be(pod);
+    if (be != nullptr && be->instance_count() != 0) {
+      Report(now, pod, "ctrl.offline",
+             Fmt("%.0f BE instances alive on a crashed machine",
+                 static_cast<double>(be->instance_count())));
+    }
+    const Machine& machine = deployment.machine(pod);
+    if (machine.lc_busy_cores() != 0.0 || machine.be_busy_cores() != 0.0) {
+      Report(now, pod, "ctrl.offline",
+             Fmt("crashed machine reports activity: lc=%.3f be=%.3f cores",
+                 machine.lc_busy_cores(), machine.be_busy_cores()));
+    }
+    // The agent died with its machine: its actuation counters must not move
+    // until the reboot edge.
+    const PodState& state = pods_[static_cast<size_t>(pod)];
+    const MachineAgent* agent = deployment.agent(pod);
+    if (agent != nullptr && state.frozen_valid) {
+      const MachineAgent::Stats& s = agent->stats();
+      const MachineAgent::Stats& f = state.frozen_stats;
+      if (s.ticks != f.ticks || s.grows != f.grows || s.cuts != f.cuts ||
+          s.suspends != f.suspends || s.stops != f.stops || s.be_kills != f.be_kills) {
+        Report(now, pod, "ctrl.offline",
+               Fmt("agent acted while its machine was down (ticks %.0f -> %.0f)",
+                   static_cast<double>(f.ticks), static_cast<double>(s.ticks)));
+      }
+    }
+  }
+}
+
+void InvariantMonitor::CheckSuspendSemantics(const Deployment& deployment, double now) {
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    const BeRuntime* be = deployment.be(pod);
+    if (be == nullptr || be->instance_count() == 0 || !be->all_suspended()) {
+      continue;
+    }
+    if (be->BusyCores() != 0.0 || be->MembwDemand() != 0.0) {
+      Report(now, pod, "ctrl.suspend",
+             Fmt("suspended runtime still active: busy=%.3f cores, membw=%.3f GB/s",
+                 be->BusyCores(), be->MembwDemand()));
+    }
+  }
+}
+
+void InvariantMonitor::CheckTelemetry(const Deployment& deployment, double now) {
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    const Deployment::PodTelemetry& telemetry = deployment.published_telemetry(pod);
+    if (!FiniteNonNegative(telemetry.tail_ms)) {
+      Report(now, pod, "tele.finite", Fmt("published tail is %g ms", telemetry.tail_ms));
+    }
+    if (!std::isfinite(telemetry.sampled_at) || telemetry.sampled_at > now + 1e-9) {
+      Report(now, pod, "tele.finite",
+             Fmt("published sample timestamped %.3f in the future of t=%.3f",
+                 telemetry.sampled_at, now));
+    }
+  }
+  if (!deployment.tail_series().empty()) {
+    const double tail = deployment.tail_series().points().back().value;
+    if (!FiniteNonNegative(tail)) {
+      Report(now, -1, "tele.finite", Fmt("sampled tail series holds %g ms", tail));
+    } else if (tail > options_.synthetic_tail_tripwire_ms) {
+      Report(now, -1, "syn.tail-tripwire",
+             Fmt("sampled tail %.3f ms exceeds the %.3f ms tripwire", tail,
+                 options_.synthetic_tail_tripwire_ms));
+    }
+  }
+}
+
+void InvariantMonitor::AfterAccountingTick(const Deployment& deployment) {
+  EnsureInitialized(deployment);
+  const double now = deployment.sim().Now();
+  if (has_faults_ && !be_before_faults_ && now < first_fault_start_s_) {
+    for (int pod = 0; pod < deployment.pod_count() && !be_before_faults_; ++pod) {
+      const BeRuntime* be = deployment.be(pod);
+      be_before_faults_ = be != nullptr && be->instance_count() > 0;
+    }
+  }
+  CheckMachineResources(deployment, now);
+  CheckOfflinePods(deployment, now);
+  CheckSuspendSemantics(deployment, now);
+  CheckTelemetry(deployment, now);
+}
+
+void InvariantMonitor::BeforeAgentTick(const Deployment& deployment, int pod,
+                                       const MachineAgent::TelemetrySample& sample) {
+  EnsureInitialized(deployment);
+  const double now = deployment.sim().Now();
+  // The controller loop skips crashed machines; an agent tick on one means a
+  // command is about to land on hardware that is not there.
+  if (!deployment.PodOnline(pod)) {
+    Report(now, pod, "ctrl.offline", "controller ticked an agent whose machine is down");
+  }
+  if (!FiniteNonNegative(sample.load) || !FiniteNonNegative(sample.tail_ms) ||
+      !FiniteNonNegative(sample.tail_age_s) || !FiniteNonNegative(sample.lc_utilization)) {
+    Report(now, pod, "tele.finite",
+           Fmt("agent input not finite/non-negative: load=%g tail=%g ms", sample.load,
+               sample.tail_ms));
+  }
+}
+
+void InvariantMonitor::AfterControllerTick(const Deployment& deployment) {
+  EnsureInitialized(deployment);
+  const double now = deployment.sim().Now();
+  // Actuations and scheduler dispatch just ran: re-sweep the resource books
+  // and suspend semantics at the same instant.
+  CheckMachineResources(deployment, now);
+  CheckOfflinePods(deployment, now);
+  CheckSuspendSemantics(deployment, now);
+}
+
+void InvariantMonitor::OnPodCrash(const Deployment& deployment, int pod) {
+  EnsureInitialized(deployment);
+  const double now = deployment.sim().Now();
+  PodState& state = pods_[static_cast<size_t>(pod)];
+  state.offline = true;
+  const MachineAgent* agent = deployment.agent(pod);
+  if (agent != nullptr) {
+    state.frozen_stats = agent->stats();
+    state.frozen_valid = true;
+  }
+  // The deployment tears BEs down before notifying: the pod must already be
+  // clean at the crash edge.
+  const BeRuntime* be = deployment.be(pod);
+  if (be != nullptr && be->instance_count() != 0) {
+    Report(now, pod, "ctrl.offline",
+           Fmt("%.0f BE instances survived the crash teardown",
+               static_cast<double>(be->instance_count())));
+  }
+}
+
+void InvariantMonitor::OnPodReboot(const Deployment& deployment, int pod) {
+  EnsureInitialized(deployment);
+  PodState& state = pods_[static_cast<size_t>(pod)];
+  state.offline = false;
+  state.frozen_valid = false;
+}
+
+void InvariantMonitor::Finalize(const Deployment& deployment) {
+  EnsureInitialized(deployment);
+  if (!has_faults_) {
+    return;
+  }
+  const double now = deployment.sim().Now();
+  const double horizon = options_.recovery_horizon_s;
+  if (now < last_fault_end_s_ + horizon) {
+    return;  // the run ended inside the grace window; liveness not judgeable.
+  }
+  const double window_start = now - horizon;
+  if (!deployment.recovered()) {
+    Report(now, -1, "live.recovery",
+           Fmt("a crash dent was still unhealed %.0f s after the last fault window",
+               now - last_fault_end_s_));
+  }
+  bool positive_slack = false;
+  for (const TimeSeries::Point& point : deployment.slack_series().points()) {
+    if (point.time >= window_start && point.value > 0.0) {
+      positive_slack = true;
+      break;
+    }
+  }
+  if (!positive_slack) {
+    Report(now, -1, "live.recovery",
+           Fmt("no positive-slack accounting tick in the final %.0f s horizon", horizon));
+  }
+  if (be_before_faults_) {
+    bool be_readmitted = false;
+    for (int pod = 0; pod < deployment.pod_count() && !be_readmitted; ++pod) {
+      const BeRuntime* be = deployment.be(pod);
+      if (be != nullptr && be->instance_count() > 0) {
+        be_readmitted = true;
+        break;
+      }
+      for (const TimeSeries::Point& point : deployment.pod_series(pod).be_instances.points()) {
+        if (point.time >= window_start && point.value > 0.0) {
+          be_readmitted = true;
+          break;
+        }
+      }
+    }
+    if (!be_readmitted) {
+      Report(now, -1, "live.recovery",
+             Fmt("BE work ran before the faults but none was re-admitted in the final %.0f s",
+                 horizon));
+    }
+  }
+}
+
+}  // namespace rhythm

@@ -1,0 +1,120 @@
+// Runtime invariant monitor: a DeploymentObserver that checks machine-level
+// safety invariants at every simulated accounting/controller instant.
+//
+// The catalogue (full statements in DESIGN.md §9):
+//   res.cores   — core conservation: free >= 0 and the allocator's BE share
+//                 equals the sum held by BE instances (no cpuset overlap).
+//   res.llc     — LLC-way conservation and the CAT floor: the LC always keeps
+//                 at least its reserved ways.
+//   res.mem     — BE memory accounting matches the instances; free >= 0.
+//   res.membw   — bandwidth demands are finite and non-negative.
+//   tele.finite — no NaN / negative tail, load or age in published telemetry
+//                 or in the sample handed to MachineAgent::Tick.
+//   ctrl.offline— a crashed machine hosts no BE instances, reports no BE
+//                 activity and its agent never acts (stats frozen); the
+//                 controller loop never ticks an offline agent.
+//   ctrl.suspend— SuspendBE semantics: when every instance is suspended the
+//                 runtime burns no cores and demands no bandwidth.
+//   syn.tail-   — synthetic tripwire on the sampled tail (disabled by
+//   tripwire      default); the deterministic target for fuzz/minimize demos.
+//   live.recovery — bounded recovery: once the run extends a horizon past the
+//                 last fault window, crash dents healed, slack went positive
+//                 and (if BEs ran before the faults) BE work was re-admitted.
+//
+// The monitor is strictly read-only and draws no randomness: attaching it in
+// kCollect mode leaves a run bit-identical (the golden bit-identity test
+// asserts this). kFailFast throws InvariantViolationError from inside the
+// offending tick, which aborts the simulation at the first breach.
+
+#ifndef RHYTHM_SRC_VERIFY_INVARIANT_MONITOR_H_
+#define RHYTHM_SRC_VERIFY_INVARIANT_MONITOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/control/machine_agent.h"
+#include "src/verify/deployment_observer.h"
+#include "src/verify/invariant_types.h"
+
+namespace rhythm {
+
+class Deployment;
+
+// Thrown in kFailFast mode; carries the violation that tripped it.
+class InvariantViolationError : public std::runtime_error {
+ public:
+  explicit InvariantViolationError(InvariantViolation violation);
+  const InvariantViolation& violation() const { return violation_; }
+
+ private:
+  InvariantViolation violation_;
+};
+
+class InvariantMonitor : public DeploymentObserver {
+ public:
+  // First-occurrence records kept per distinct (id, machine); repeats of an
+  // already-recorded breach only bump the total counter so a persistently
+  // violated invariant cannot flood memory on a long run.
+  static constexpr size_t kMaxStoredViolations = 100;
+
+  explicit InvariantMonitor(const InvariantOptions& options);
+
+  // DeploymentObserver hooks (read-only checks, see the catalogue above).
+  void AfterAccountingTick(const Deployment& deployment) override;
+  void BeforeAgentTick(const Deployment& deployment, int pod,
+                       const MachineAgent::TelemetrySample& sample) override;
+  void AfterControllerTick(const Deployment& deployment) override;
+  void OnPodCrash(const Deployment& deployment, int pod) override;
+  void OnPodReboot(const Deployment& deployment, int pod) override;
+
+  // End-of-run liveness check ("live.recovery"). Call once after the last
+  // RunFor; in kFailFast mode this may throw like any other check.
+  void Finalize(const Deployment& deployment);
+
+  // Recorded first occurrences (capped) and the uncapped breach count.
+  const std::vector<InvariantViolation>& violations() const { return violations_; }
+  uint64_t total_violations() const { return total_; }
+  bool clean() const { return total_ == 0; }
+
+  const InvariantOptions& options() const { return options_; }
+
+ private:
+  // Records (or in kFailFast mode, throws) one breach.
+  void Report(double time_s, int machine, const char* id, std::string detail);
+  bool AlreadyRecorded(const char* id, int machine) const;
+
+  // Per-instant sweeps, shared by the accounting and controller hooks.
+  void CheckMachineResources(const Deployment& deployment, double now);
+  void CheckOfflinePods(const Deployment& deployment, double now);
+  void CheckSuspendSemantics(const Deployment& deployment, double now);
+  void CheckTelemetry(const Deployment& deployment, double now);
+
+  void EnsureInitialized(const Deployment& deployment);
+
+  InvariantOptions options_;
+  std::vector<InvariantViolation> violations_;
+  uint64_t total_ = 0;
+
+  struct PodState {
+    bool offline = false;
+    // Agent actuation counters snapshotted at the crash edge; they must not
+    // move while the machine is down ("ctrl.offline").
+    MachineAgent::Stats frozen_stats;
+    bool frozen_valid = false;
+  };
+  std::vector<PodState> pods_;
+  bool initialized_ = false;
+  // Fault-window bounds from the deployment's schedule (for live.recovery)
+  // and whether BE work was ever observed before the first fault.
+  double first_fault_start_s_ = 0.0;
+  double last_fault_end_s_ = 0.0;
+  bool has_faults_ = false;
+  bool be_before_faults_ = false;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_VERIFY_INVARIANT_MONITOR_H_

@@ -1,0 +1,53 @@
+// Plain value types shared by the invariant monitor and everything that
+// surfaces its findings (RunSummary, the chaos fuzzer, the minimizer, repro
+// files). Header-only and dependency-free so lower layers (src/cluster) can
+// carry these records without linking against the verify library.
+
+#ifndef RHYTHM_SRC_VERIFY_INVARIANT_TYPES_H_
+#define RHYTHM_SRC_VERIFY_INVARIANT_TYPES_H_
+
+#include <limits>
+#include <string>
+
+namespace rhythm {
+
+// One observed breach of a machine-level safety invariant. `id` is a stable
+// dotted identifier from the catalogue in DESIGN.md §9 (e.g. "res.cores",
+// "ctrl.offline", "live.recovery"); `detail` is human-readable context with
+// the observed values.
+struct InvariantViolation {
+  double time_s = 0.0;
+  int machine = -1;  // pod index; -1 for deployment-wide invariants.
+  std::string id;
+  std::string detail;
+};
+
+enum class InvariantMode {
+  kOff,       // no monitor attached (the default; zero overhead).
+  kCollect,   // record every violation, never interfere with the run.
+  kFailFast,  // throw InvariantViolationError at the first violation.
+};
+
+// Per-run monitor configuration, carried by RunRequest. Plain data: copying
+// a request copies these knobs.
+struct InvariantOptions {
+  InvariantMode mode = InvariantMode::kOff;
+
+  // Bounded-recovery liveness ("live.recovery"): once the run extends at
+  // least this far past the end of the last fault window, the final horizon
+  // must contain a positive-slack accounting tick, every crash dent must
+  // have healed, and (when BEs were admitted before the faults) BE work must
+  // have been re-admitted.
+  double recovery_horizon_s = 120.0;
+
+  // Synthetic tripwire ("syn.tail-tripwire"): fires whenever the sampled
+  // tail exceeds this many milliseconds. Infinite (the default) disables it.
+  // This is not a safety invariant of the system — it exists to give the
+  // fuzz -> minimize -> repro pipeline a deterministic target in tests,
+  // demos and checked-in regression schedules.
+  double synthetic_tail_tripwire_ms = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_VERIFY_INVARIANT_TYPES_H_

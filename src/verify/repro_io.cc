@@ -1,0 +1,187 @@
+#include "src/verify/repro_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/fault/fault_schedule_io.h"
+
+namespace rhythm {
+
+namespace {
+
+std::string Num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+int ParseEnumInt(const std::string& value, int limit, const char* key) {
+  std::istringstream in(value);
+  int parsed = -1;
+  if (!(in >> parsed) || parsed < 0 || parsed >= limit) {
+    throw std::invalid_argument("ChaosRepro: directive '" + std::string(key) +
+                                "' out of range: " + value);
+  }
+  return parsed;
+}
+
+double ParseDouble(const std::string& value, const char* key) {
+  std::istringstream in(value);
+  double parsed = 0.0;
+  if (!(in >> parsed)) {
+    throw std::invalid_argument("ChaosRepro: directive '" + std::string(key) +
+                                "' is not a number: " + value);
+  }
+  return parsed;
+}
+
+uint64_t ParseU64(const std::string& value, const char* key) {
+  std::istringstream in(value);
+  uint64_t parsed = 0;
+  if (!(in >> parsed)) {
+    throw std::invalid_argument("ChaosRepro: directive '" + std::string(key) +
+                                "' is not an unsigned integer: " + value);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+RunRequest ReproToRequest(const ChaosRepro& repro) {
+  RunRequest request;
+  request.app = repro.app;
+  request.be = repro.be;
+  request.controller = repro.controller;
+  request.seed = repro.run_seed;
+  request.load = repro.load;
+  request.warmup_s = repro.warmup_s;
+  request.measure_s = repro.measure_s;
+  request.faults = std::make_shared<FaultSchedule>(repro.schedule);
+  request.verify.mode = InvariantMode::kCollect;
+  request.verify.synthetic_tail_tripwire_ms = repro.tripwire_ms;
+  request.verify.recovery_horizon_s = repro.recovery_horizon_s;
+  request.label = std::string("repro ") + LcAppKindName(repro.app) +
+                  " seed=" + std::to_string(repro.run_seed);
+  return request;
+}
+
+ChaosRepro ReproFromRequest(const RunRequest& request) {
+  if (request.faults == nullptr) {
+    throw std::invalid_argument("ReproFromRequest: the request carries no fault schedule");
+  }
+  ChaosRepro repro;
+  repro.app = request.app;
+  repro.be = request.be;
+  repro.controller = request.controller;
+  repro.run_seed = request.seed;
+  repro.load = request.load;
+  repro.warmup_s = request.warmup_s;
+  repro.measure_s = request.measure_s;
+  repro.tripwire_ms = request.verify.synthetic_tail_tripwire_ms;
+  repro.recovery_horizon_s = request.verify.recovery_horizon_s;
+  repro.schedule = *request.faults;
+  return repro;
+}
+
+std::string ChaosReproToText(const ChaosRepro& repro) {
+  std::ostringstream out;
+  out << "# rhythm-fault-schedule v1\n";
+  out << "# chaos repro: " << LcAppKindName(repro.app) << " + " << BeJobKindName(repro.be)
+      << " under " << ControllerKindName(repro.controller) << "\n";
+  out << "#! app " << static_cast<int>(repro.app) << "\n";
+  out << "#! be " << static_cast<int>(repro.be) << "\n";
+  out << "#! controller " << static_cast<int>(repro.controller) << "\n";
+  out << "#! run_seed " << repro.run_seed << "\n";
+  out << "#! load " << Num(repro.load) << "\n";
+  out << "#! warmup_s " << Num(repro.warmup_s) << "\n";
+  out << "#! measure_s " << Num(repro.measure_s) << "\n";
+  // An infinite tripwire (monitor default) is expressed by omission — stream
+  // round-trips of "inf" are not portable.
+  if (std::isfinite(repro.tripwire_ms)) {
+    out << "#! tripwire_ms " << Num(repro.tripwire_ms) << "\n";
+  }
+  out << "#! recovery_horizon_s " << Num(repro.recovery_horizon_s) << "\n";
+  out << "# kind pod start_s duration_s magnitude\n";
+  for (const FaultEvent& event : repro.schedule.events) {
+    out << FaultKindName(event.kind) << ' ' << event.pod << ' ' << Num(event.start_s) << ' '
+        << Num(event.duration_s) << ' ' << Num(event.magnitude) << '\n';
+  }
+  return out.str();
+}
+
+ChaosRepro ChaosReproFromText(const std::string& text) {
+  ChaosRepro repro;
+  // Event lines first (the schedule parser skips every '#' line, directives
+  // included), then the directives layered on top.
+  repro.schedule = FaultScheduleFromText(text);
+
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line.compare(first, 2, "#!") != 0) {
+      continue;
+    }
+    std::istringstream fields(line.substr(first + 2));
+    std::string key, value;
+    if (!(fields >> key >> value)) {
+      throw std::invalid_argument("ChaosRepro: line " + std::to_string(line_number) +
+                                  " is not '#! key value': " + line);
+    }
+    if (key == "app") {
+      repro.app = static_cast<LcAppKind>(ParseEnumInt(value, 6, "app"));
+    } else if (key == "be") {
+      repro.be = static_cast<BeJobKind>(ParseEnumInt(value, 9, "be"));
+    } else if (key == "controller") {
+      repro.controller = static_cast<ControllerKind>(ParseEnumInt(value, 3, "controller"));
+    } else if (key == "run_seed") {
+      repro.run_seed = ParseU64(value, "run_seed");
+    } else if (key == "load") {
+      repro.load = ParseDouble(value, "load");
+    } else if (key == "warmup_s") {
+      repro.warmup_s = ParseDouble(value, "warmup_s");
+    } else if (key == "measure_s") {
+      repro.measure_s = ParseDouble(value, "measure_s");
+    } else if (key == "tripwire_ms") {
+      repro.tripwire_ms = ParseDouble(value, "tripwire_ms");
+    } else if (key == "recovery_horizon_s") {
+      repro.recovery_horizon_s = ParseDouble(value, "recovery_horizon_s");
+    } else {
+      throw std::invalid_argument("ChaosRepro: line " + std::to_string(line_number) +
+                                  " has unknown directive '" + key + "'");
+    }
+  }
+  return repro;
+}
+
+void SaveChaosRepro(const ChaosRepro& repro, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("SaveChaosRepro: cannot open " + path);
+  }
+  out << ChaosReproToText(repro);
+  if (!out.flush()) {
+    throw std::runtime_error("SaveChaosRepro: write failed for " + path);
+  }
+}
+
+ChaosRepro LoadChaosRepro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("LoadChaosRepro: cannot open " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ChaosReproFromText(text.str());
+}
+
+}  // namespace rhythm

@@ -1,0 +1,64 @@
+// Chaos repro files: a minimized failing schedule plus the trial context
+// needed to replay it — app, BE kind, controller, run seed, load, windows
+// and monitor knobs. Layered on the fault-schedule text format: the trial
+// context rides in `#! key value` directive lines, which the plain schedule
+// parser skips as comments, so a repro file is also a valid FaultSchedule
+// file. Example:
+//
+//   # rhythm-fault-schedule v1
+//   #! app 0
+//   #! be 6
+//   #! controller 1
+//   #! run_seed 1234
+//   #! load 0.6
+//   #! warmup_s 20
+//   #! measure_s 420
+//   #! tripwire_ms 40
+//   PodCrash 1 30 20 0.3
+//
+// Files under tests/fault/repros/ are replayed by chaos_repro_test: each
+// must still trigger its violation, pinning every fuzz-found bug forever.
+
+#ifndef RHYTHM_SRC_VERIFY_REPRO_IO_H_
+#define RHYTHM_SRC_VERIFY_REPRO_IO_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/fault/fault_schedule.h"
+#include "src/runner/run_request.h"
+
+namespace rhythm {
+
+struct ChaosRepro {
+  LcAppKind app = LcAppKind::kEcommerce;
+  BeJobKind be = BeJobKind::kWordcount;
+  ControllerKind controller = ControllerKind::kRhythm;
+  uint64_t run_seed = 1;
+  double load = 0.6;
+  double warmup_s = 20.0;
+  double measure_s = 420.0;
+  // Monitor knobs the violation was found under.
+  double tripwire_ms = std::numeric_limits<double>::infinity();
+  double recovery_horizon_s = 120.0;
+  FaultSchedule schedule;
+};
+
+// The runnable trial: monitor attached in collect mode with the repro's
+// knobs, schedule owned by the request.
+RunRequest ReproToRequest(const ChaosRepro& repro);
+
+// Builds a repro from a violating request (inverse of ReproToRequest).
+ChaosRepro ReproFromRequest(const RunRequest& request);
+
+std::string ChaosReproToText(const ChaosRepro& repro);
+// Throws std::invalid_argument on malformed directives or schedule lines.
+ChaosRepro ChaosReproFromText(const std::string& text);
+
+void SaveChaosRepro(const ChaosRepro& repro, const std::string& path);
+ChaosRepro LoadChaosRepro(const std::string& path);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_VERIFY_REPRO_IO_H_

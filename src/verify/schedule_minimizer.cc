@@ -1,0 +1,132 @@
+#include "src/verify/schedule_minimizer.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace rhythm {
+
+namespace {
+
+// Replays one candidate event list through the full run and reports whether
+// the invariant monitor still fires. Counts candidates against the budget;
+// an exhausted budget answers "clean" so the search settles on its current
+// best instead of exploring further.
+class Probe {
+ public:
+  Probe(const RunRequest& base, int budget) : base_(base), budget_(budget) {
+    base_.verify.mode = InvariantMode::kCollect;
+  }
+
+  bool Violates(const std::vector<FaultEvent>& events) {
+    if (tried_ >= budget_) {
+      return false;
+    }
+    ++tried_;
+    RunRequest candidate = base_;
+    auto schedule = std::make_shared<FaultSchedule>();
+    schedule->events = events;
+    candidate.faults = std::move(schedule);
+    const RunSummary summary = Run(candidate);
+    if (summary.invariant_violations_total > 0) {
+      last_violations_ = summary.invariant_violations;
+      return true;
+    }
+    return false;
+  }
+
+  int tried() const { return tried_; }
+  const std::vector<InvariantViolation>& last_violations() const { return last_violations_; }
+
+ private:
+  RunRequest base_;
+  int budget_;
+  int tried_ = 0;
+  std::vector<InvariantViolation> last_violations_;
+};
+
+// Classic ddmin restricted to complement removal: repeatedly partition the
+// event list into n chunks and keep any complement that still fails,
+// refining the granularity until single-event removal no longer helps.
+std::vector<FaultEvent> DdminEvents(std::vector<FaultEvent> events, Probe& probe) {
+  size_t n = 2;
+  while (events.size() >= 2 && n <= events.size()) {
+    const size_t chunk = (events.size() + n - 1) / n;
+    bool reduced = false;
+    for (size_t start = 0; start < events.size(); start += chunk) {
+      std::vector<FaultEvent> complement;
+      complement.reserve(events.size());
+      for (size_t i = 0; i < events.size(); ++i) {
+        if (i < start || i >= start + chunk) {
+          complement.push_back(events[i]);
+        }
+      }
+      if (complement.empty()) {
+        continue;
+      }
+      if (probe.Violates(complement)) {
+        events = std::move(complement);
+        n = std::max<size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= events.size()) {
+        break;
+      }
+      n = std::min(events.size(), n * 2);
+    }
+  }
+  return events;
+}
+
+// Halves one double field toward zero while the failure persists.
+void ShrinkField(std::vector<FaultEvent>& events, size_t index, double FaultEvent::* field,
+                 double floor, Probe& probe) {
+  for (;;) {
+    const double current = events[index].*field;
+    const double halved = current / 2.0;
+    if (current - halved < floor) {
+      return;
+    }
+    std::vector<FaultEvent> candidate = events;
+    candidate[index].*field = halved;
+    if (!probe.Violates(candidate)) {
+      return;
+    }
+    events = std::move(candidate);
+  }
+}
+
+}  // namespace
+
+MinimizeResult MinimizeSchedule(const RunRequest& request, const MinimizeOptions& options) {
+  if (request.faults == nullptr || request.faults->empty()) {
+    throw std::invalid_argument("MinimizeSchedule: the request carries no fault schedule");
+  }
+  Probe probe(request, options.max_candidates);
+  std::vector<FaultEvent> events = request.faults->events;
+  if (!probe.Violates(events)) {
+    throw std::invalid_argument(
+        "MinimizeSchedule: the request does not reproduce an invariant violation");
+  }
+
+  MinimizeResult result;
+  result.events_before = static_cast<int>(events.size());
+
+  events = DdminEvents(std::move(events), probe);
+  for (size_t i = 0; i < events.size(); ++i) {
+    ShrinkField(events, i, &FaultEvent::duration_s, options.shrink_floor, probe);
+    ShrinkField(events, i, &FaultEvent::magnitude, options.shrink_floor, probe);
+  }
+
+  result.events_after = static_cast<int>(events.size());
+  result.candidates_tried = probe.tried();
+  result.violations = probe.last_violations();
+  result.schedule.events = std::move(events);
+  return result;
+}
+
+}  // namespace rhythm

@@ -1,0 +1,53 @@
+// Automatic failing-schedule minimization (delta debugging).
+//
+// Given a trial whose fault schedule provokes an invariant violation, shrink
+// the schedule while the violation persists:
+//   1. ddmin over the event list — repeatedly drop complements at
+//      progressively finer granularity until no single removal keeps the
+//      failure (a 1-minimal event set);
+//   2. value shrinking — halve each surviving event's duration and magnitude
+//      toward zero while the violation still reproduces, so the repro
+//      documents the smallest perturbation that matters.
+//
+// Every candidate is evaluated by replaying the full run with the monitor in
+// collect mode; determinism of the runner makes the predicate stable, so the
+// search needs no retries.
+
+#ifndef RHYTHM_SRC_VERIFY_SCHEDULE_MINIMIZER_H_
+#define RHYTHM_SRC_VERIFY_SCHEDULE_MINIMIZER_H_
+
+#include <vector>
+
+#include "src/fault/fault_schedule.h"
+#include "src/runner/runner.h"
+#include "src/verify/invariant_types.h"
+
+namespace rhythm {
+
+struct MinimizeOptions {
+  // Cap on candidate runs across both phases; the search returns the best
+  // schedule found so far when the budget runs out. Each candidate replays
+  // one full trial, so this bounds wall-clock.
+  int max_candidates = 256;
+  // Value shrinking stops once a halved duration/magnitude would change the
+  // event by less than this (absolute).
+  double shrink_floor = 0.01;
+};
+
+struct MinimizeResult {
+  FaultSchedule schedule;  // minimal schedule that still violates.
+  int events_before = 0;
+  int events_after = 0;
+  int candidates_tried = 0;
+  // Violations recorded by the final replay of the minimal schedule.
+  std::vector<InvariantViolation> violations;
+};
+
+// Minimizes `request.faults`. The request must reproduce a violation as
+// given (the monitor mode is forced to kCollect for the search); throws
+// std::invalid_argument when the initial replay is already clean.
+MinimizeResult MinimizeSchedule(const RunRequest& request, const MinimizeOptions& options = {});
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_VERIFY_SCHEDULE_MINIMIZER_H_

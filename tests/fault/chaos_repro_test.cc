@@ -1,0 +1,70 @@
+// Replays every checked-in minimized chaos repro under tests/fault/repros/.
+// Each file is a ChaosRepro produced by `chaos_fuzz --minimize --repro-out`;
+// replaying it must re-trigger the invariant violation it was minimized for.
+// A repro that stops reproducing means a behavior change silently absorbed
+// the failure mode — the file (and the fix it documents) must be revisited.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/runner/runner.h"
+#include "src/verify/repro_io.h"
+
+#ifndef RHYTHM_REPRO_DIR
+#error "RHYTHM_REPRO_DIR must point at tests/fault/repros"
+#endif
+
+namespace rhythm {
+namespace {
+
+std::vector<std::string> ReproFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(RHYTHM_REPRO_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".txt") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ChaosReproTest, ReproDirectoryIsNotEmpty) {
+  EXPECT_FALSE(ReproFiles().empty())
+      << "no .txt repros under " << RHYTHM_REPRO_DIR;
+}
+
+TEST(ChaosReproTest, EveryCheckedInReproStillTriggers) {
+  for (const std::string& path : ReproFiles()) {
+    SCOPED_TRACE(path);
+    const ChaosRepro repro = LoadChaosRepro(path);
+    EXPECT_FALSE(repro.schedule.events.empty());
+    const RunSummary summary = rhythm::Run(ReproToRequest(repro));
+    EXPECT_GT(summary.invariant_violations_total, 0u)
+        << "repro no longer reproduces its violation";
+    ASSERT_FALSE(summary.invariant_violations.empty());
+  }
+}
+
+TEST(ChaosReproTest, ReprosSurviveASaveLoadCycle) {
+  for (const std::string& path : ReproFiles()) {
+    SCOPED_TRACE(path);
+    const ChaosRepro repro = LoadChaosRepro(path);
+    const ChaosRepro again = ChaosReproFromText(ChaosReproToText(repro));
+    EXPECT_EQ(again.app, repro.app);
+    EXPECT_EQ(again.run_seed, repro.run_seed);
+    EXPECT_EQ(again.load, repro.load);
+    EXPECT_EQ(again.tripwire_ms, repro.tripwire_ms);
+    ASSERT_EQ(again.schedule.events.size(), repro.schedule.events.size());
+    for (size_t i = 0; i < repro.schedule.events.size(); ++i) {
+      EXPECT_EQ(again.schedule.events[i].start_s, repro.schedule.events[i].start_s);
+      EXPECT_EQ(again.schedule.events[i].magnitude, repro.schedule.events[i].magnitude);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -145,17 +146,48 @@ TEST(FaultInjectorTest, BeFailureFiresHandlerOnce) {
   EXPECT_EQ(injector.counts().be_failures, 1u);
 }
 
-TEST(FaultInjectorTest, OutOfRangePodsAreIgnored) {
+TEST(FaultInjectorTest, OutOfRangePodIsRejectedAtConstruction) {
+  // Silently ignoring a bad pod index used to hide schedule typos; the
+  // injector now validates every event up front.
   Simulator sim;
   FaultSchedule schedule;
   schedule.Add({FaultKind::kPodCrash, 7, 5.0, 10.0, 0.4});  // no such pod.
+  EXPECT_THROW(FaultInjector(&sim, schedule, 2, 5), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, NegativeStartIsRejected) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kPodCrash, 0, -1.0, 10.0, 0.4});
+  EXPECT_THROW(FaultInjector(&sim, schedule, 2, 5), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, NegativeDurationIsRejected) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kTelemetryDropout, 0, 5.0, -10.0, 0.0});
+  EXPECT_THROW(FaultInjector(&sim, schedule, 2, 5), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, OutOfBoundsMagnitudeIsRejected) {
+  Simulator sim;
+  FaultSchedule drop;
+  drop.Add({FaultKind::kActuationDrop, 0, 5.0, 10.0, 1.5});  // probability > 1.
+  EXPECT_THROW(FaultInjector(&sim, drop, 2, 5), std::invalid_argument);
+  FaultSchedule crash;
+  crash.Add({FaultKind::kPodCrash, 0, 5.0, 10.0, -0.1});  // negative inflation.
+  EXPECT_THROW(FaultInjector(&sim, crash, 2, 5), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, ValidScheduleStillConstructs) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kPodCrash, 1, 5.0, 10.0, 0.4});
+  schedule.Add({FaultKind::kLoadSpike, 99, 5.0, 10.0, 0.2});  // pod ignored for spikes.
   FaultInjector injector(&sim, schedule, 2, 5);
   injector.Start();
   sim.RunUntil(20.0);
-  EXPECT_EQ(injector.counts().crashes, 0u);
-  EXPECT_FALSE(injector.AnyPodOffline());
-  EXPECT_FALSE(injector.DropActuation(7));
-  EXPECT_DOUBLE_EQ(injector.FailoverInflation(7), 1.0);
+  EXPECT_EQ(injector.counts().crashes, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+#include "src/fault/fault_schedule_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace rhythm {
+namespace {
+
+FaultSchedule SampleSchedule() {
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kPodCrash, 1, 30.0, 20.0, 0.3});
+  schedule.Add({FaultKind::kTelemetryDropout, 2, 42.5, 10.0, 0.0});
+  schedule.Add({FaultKind::kActuationDrop, 0, 18.25, 20.0, 0.5});
+  schedule.Add({FaultKind::kBeInstanceFailure, 0, 36.0, 0.0, 0.0});
+  // Awkward doubles must survive the %.17g round-trip bit-exactly.
+  schedule.Add({FaultKind::kLoadSpike, 0, 55.000000000000007, 20.0, 0.2500000000000001});
+  return schedule;
+}
+
+void ExpectSameEvents(const FaultSchedule& a, const FaultSchedule& b) {
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind) << "event " << i;
+    EXPECT_EQ(a.events[i].pod, b.events[i].pod) << "event " << i;
+    EXPECT_EQ(a.events[i].start_s, b.events[i].start_s) << "event " << i;
+    EXPECT_EQ(a.events[i].duration_s, b.events[i].duration_s) << "event " << i;
+    EXPECT_EQ(a.events[i].magnitude, b.events[i].magnitude) << "event " << i;
+  }
+}
+
+TEST(FaultScheduleIoTest, TextRoundTripIsBitExact) {
+  const FaultSchedule original = SampleSchedule();
+  const FaultSchedule reloaded = FaultScheduleFromText(FaultScheduleToText(original));
+  ExpectSameEvents(original, reloaded);
+}
+
+TEST(FaultScheduleIoTest, FileRoundTripIsBitExact) {
+  const FaultSchedule original = SampleSchedule();
+  const std::string path = ::testing::TempDir() + "/schedule_roundtrip.txt";
+  SaveFaultSchedule(original, path);
+  const FaultSchedule reloaded = LoadFaultSchedule(path);
+  ExpectSameEvents(original, reloaded);
+  std::remove(path.c_str());
+}
+
+TEST(FaultScheduleIoTest, CommentsAndBlankLinesAreIgnored) {
+  const FaultSchedule schedule = FaultScheduleFromText(
+      "# header comment\n"
+      "\n"
+      "  \t \n"
+      "PodCrash 1 30 20 0.3\n"
+      "   # indented comment\n"
+      "LoadSpike 0 55 20 0.25\n");
+  ASSERT_EQ(schedule.events.size(), 2u);
+  EXPECT_EQ(schedule.events[0].kind, FaultKind::kPodCrash);
+  EXPECT_EQ(schedule.events[1].kind, FaultKind::kLoadSpike);
+}
+
+TEST(FaultScheduleIoTest, MalformedLinesNameTheLineNumber) {
+  try {
+    FaultScheduleFromText("PodCrash 1 30 20 0.3\nPodCrash 1 30\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(FaultScheduleIoTest, UnknownKindIsRejected) {
+  EXPECT_THROW(FaultScheduleFromText("MeteorStrike 0 1 2 3\n"), std::invalid_argument);
+}
+
+TEST(FaultScheduleIoTest, TrailingContentIsRejected) {
+  EXPECT_THROW(FaultScheduleFromText("PodCrash 1 30 20 0.3 oops\n"), std::invalid_argument);
+}
+
+TEST(FaultScheduleIoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadFaultSchedule("/nonexistent/dir/schedule.txt"), std::runtime_error);
+}
+
+TEST(FaultScheduleIoTest, ParseFaultKindInvertsNames) {
+  for (FaultKind kind : {FaultKind::kPodCrash, FaultKind::kTelemetryDropout,
+                         FaultKind::kTelemetryFreeze, FaultKind::kActuationDrop,
+                         FaultKind::kBeInstanceFailure, FaultKind::kLoadSpike}) {
+    FaultKind parsed;
+    ASSERT_TRUE(ParseFaultKind(FaultKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  FaultKind parsed;
+  EXPECT_FALSE(ParseFaultKind("NotAKind", &parsed));
+}
+
+}  // namespace
+}  // namespace rhythm

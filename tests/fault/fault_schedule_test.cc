@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "src/fault/spiked_load_profile.h"
 #include "src/workload/load_profile.h"
 
@@ -18,6 +21,84 @@ TEST(FaultScheduleTest, SortedOrdersByStartPodKind) {
   EXPECT_DOUBLE_EQ(sorted[0].start_s, 10.0);
   EXPECT_EQ(sorted[1].pod, 1);
   EXPECT_EQ(sorted[2].pod, 2);
+}
+
+TEST(FaultScheduleTest, SortedBreaksTiesOnDurationThenMagnitude) {
+  // Two events identical through (start, pod, kind) must still order
+  // deterministically regardless of insertion order — the injector replays
+  // Sorted(), so an unstable tie would make a run depend on build order.
+  FaultSchedule forward;
+  forward.Add({FaultKind::kActuationDrop, 0, 10.0, 5.0, 0.9});
+  forward.Add({FaultKind::kActuationDrop, 0, 10.0, 5.0, 0.1});
+  forward.Add({FaultKind::kActuationDrop, 0, 10.0, 2.0, 0.5});
+  FaultSchedule reversed;
+  reversed.Add({FaultKind::kActuationDrop, 0, 10.0, 2.0, 0.5});
+  reversed.Add({FaultKind::kActuationDrop, 0, 10.0, 5.0, 0.1});
+  reversed.Add({FaultKind::kActuationDrop, 0, 10.0, 5.0, 0.9});
+
+  const auto a = forward.Sorted();
+  const auto b = reversed.Sorted();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].duration_s, 2.0);
+  EXPECT_DOUBLE_EQ(a[1].magnitude, 0.1);
+  EXPECT_DOUBLE_EQ(a[2].magnitude, 0.9);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].duration_s, b[i].duration_s);
+    EXPECT_DOUBLE_EQ(a[i].magnitude, b[i].magnitude);
+  }
+}
+
+TEST(FaultEventErrorTest, AcceptsWellFormedEvents) {
+  EXPECT_EQ(FaultEventError({FaultKind::kPodCrash, 1, 30.0, 20.0, 0.3}, 4), "");
+  EXPECT_EQ(FaultEventError({FaultKind::kBeInstanceFailure, 0, 5.0, 0.0, 0.0}, 1), "");
+  // kLoadSpike ignores the pod index entirely.
+  EXPECT_EQ(FaultEventError({FaultKind::kLoadSpike, 42, 5.0, 10.0, 0.25}, 1), "");
+}
+
+TEST(FaultEventErrorTest, RejectsNegativeOrNonFiniteStart) {
+  EXPECT_NE(FaultEventError({FaultKind::kPodCrash, 0, -1.0, 20.0, 0.3}, 4), "");
+  EXPECT_NE(FaultEventError(
+                {FaultKind::kPodCrash, 0, std::numeric_limits<double>::quiet_NaN(), 20.0, 0.3},
+                4),
+            "");
+  EXPECT_NE(FaultEventError(
+                {FaultKind::kPodCrash, 0, std::numeric_limits<double>::infinity(), 20.0, 0.3}, 4),
+            "");
+}
+
+TEST(FaultEventErrorTest, RejectsBadDurations) {
+  EXPECT_NE(FaultEventError({FaultKind::kTelemetryDropout, 0, 5.0, -1.0, 0.0}, 4), "");
+  // Windowed kinds need a positive window; a zero-length crash is a typo.
+  EXPECT_NE(FaultEventError({FaultKind::kPodCrash, 0, 5.0, 0.0, 0.3}, 4), "");
+  EXPECT_NE(FaultEventError({FaultKind::kTelemetryFreeze, 0, 5.0, 0.0, 0.0}, 4), "");
+  // kBeInstanceFailure is instantaneous; zero duration is fine.
+  EXPECT_EQ(FaultEventError({FaultKind::kBeInstanceFailure, 0, 5.0, 0.0, 0.0}, 4), "");
+}
+
+TEST(FaultEventErrorTest, RejectsPodOutOfRange) {
+  EXPECT_NE(FaultEventError({FaultKind::kPodCrash, -1, 5.0, 10.0, 0.3}, 4), "");
+  EXPECT_NE(FaultEventError({FaultKind::kPodCrash, 4, 5.0, 10.0, 0.3}, 4), "");
+  EXPECT_NE(FaultEventError({FaultKind::kBeInstanceFailure, 9, 5.0, 0.0, 0.0}, 4), "");
+}
+
+TEST(FaultEventErrorTest, RejectsKindSpecificMagnitudes) {
+  // Drop probability and spike boost live in [0, 1].
+  EXPECT_NE(FaultEventError({FaultKind::kActuationDrop, 0, 5.0, 10.0, 1.01}, 4), "");
+  EXPECT_NE(FaultEventError({FaultKind::kActuationDrop, 0, 5.0, 10.0, -0.1}, 4), "");
+  EXPECT_NE(FaultEventError({FaultKind::kLoadSpike, 0, 5.0, 10.0, 1.5}, 4), "");
+  // Crash inflation is bounded by kMaxCrashInflation.
+  EXPECT_NE(
+      FaultEventError({FaultKind::kPodCrash, 0, 5.0, 10.0, kMaxCrashInflation + 1.0}, 4), "");
+  EXPECT_NE(FaultEventError(
+                {FaultKind::kPodCrash, 0, 5.0, 10.0, std::numeric_limits<double>::quiet_NaN()},
+                4),
+            "");
+  EXPECT_EQ(FaultEventError({FaultKind::kPodCrash, 0, 5.0, 10.0, kMaxCrashInflation}, 4), "");
+}
+
+TEST(FaultEventErrorTest, MessagesNameTheKind) {
+  const std::string error = FaultEventError({FaultKind::kActuationDrop, 0, 5.0, 10.0, 2.0}, 4);
+  EXPECT_NE(error.find(FaultKindName(FaultKind::kActuationDrop)), std::string::npos);
 }
 
 TEST(FaultScheduleTest, KindNamesAreDistinct) {

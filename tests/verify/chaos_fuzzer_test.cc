@@ -1,0 +1,89 @@
+#include "src/verify/chaos_fuzzer.h"
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+// Cheap sweep shape for tests: tiny windows, Redis-only rotation is not
+// possible (the rotation is fixed), so keep the simulated horizon short.
+FuzzOptions FastOptions() {
+  FuzzOptions options;
+  options.trials = 2;
+  options.seed = 7;
+  options.jobs = 1;
+  options.warmup_s = 5.0;
+  options.measure_s = 30.0;
+  options.chaos.duration_s = 25.0;
+  return options;
+}
+
+TEST(ChaosFuzzerTest, TrialRequestsAreDeterministic) {
+  const FuzzOptions options = FastOptions();
+  const RunRequest a = FuzzTrialRequest(options, 3);
+  const RunRequest b = FuzzTrialRequest(options, 3);
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.seed, b.seed);
+  ASSERT_EQ(a.faults->events.size(), b.faults->events.size());
+  for (size_t i = 0; i < a.faults->events.size(); ++i) {
+    EXPECT_EQ(a.faults->events[i].kind, b.faults->events[i].kind);
+    EXPECT_EQ(a.faults->events[i].pod, b.faults->events[i].pod);
+    EXPECT_DOUBLE_EQ(a.faults->events[i].start_s, b.faults->events[i].start_s);
+    EXPECT_DOUBLE_EQ(a.faults->events[i].duration_s, b.faults->events[i].duration_s);
+    EXPECT_DOUBLE_EQ(a.faults->events[i].magnitude, b.faults->events[i].magnitude);
+  }
+  // The monitor mode is forced to collect inside a sweep trial.
+  EXPECT_EQ(a.verify.mode, InvariantMode::kCollect);
+}
+
+TEST(ChaosFuzzerTest, TrialsRotateThroughTheAppCatalog) {
+  const FuzzOptions options = FastOptions();
+  EXPECT_EQ(FuzzTrialRequest(options, 0).app, LcAppKind::kEcommerce);
+  EXPECT_EQ(FuzzTrialRequest(options, 1).app, LcAppKind::kRedis);
+  EXPECT_EQ(FuzzTrialRequest(options, 5).app, LcAppKind::kSnms);
+  EXPECT_EQ(FuzzTrialRequest(options, 6).app, LcAppKind::kEcommerce);
+  // Distinct trials draw distinct seeds.
+  EXPECT_NE(FuzzTrialRequest(options, 0).seed, FuzzTrialRequest(options, 1).seed);
+}
+
+TEST(ChaosFuzzerTest, SmallSweepRunsClean) {
+  const FuzzReport report = FuzzChaos(FastOptions());
+  EXPECT_EQ(report.trials_run, 2);
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(ChaosFuzzerTest, FailFastStopsAtFirstViolatingChunk) {
+  FuzzOptions options = FastOptions();
+  options.trials = 5;
+  // Impossible tripwire: every trial violates at its first accounting tick.
+  options.verify.synthetic_tail_tripwire_ms = 0.0001;
+  const FuzzReport report = FuzzChaos(options);
+  EXPECT_EQ(report.trials_run, 1);  // jobs=1 -> chunk of one trial.
+  EXPECT_EQ(report.violating_trials, 1);
+  ASSERT_EQ(report.findings.size(), 1u);
+  const FuzzFinding& finding = report.findings.front();
+  EXPECT_EQ(finding.trial, 0);
+  EXPECT_EQ(finding.app, LcAppKind::kEcommerce);
+  EXPECT_GT(finding.violations_total, 0u);
+  ASSERT_FALSE(finding.violations.empty());
+  EXPECT_EQ(finding.violations.front().id, "syn.tail-tripwire");
+  // The finding carries the exact schedule the trial ran.
+  const RunRequest replay = FuzzTrialRequest(options, finding.trial);
+  EXPECT_EQ(replay.seed, finding.run_seed);
+  EXPECT_EQ(replay.faults->events.size(), finding.schedule.events.size());
+}
+
+TEST(ChaosFuzzerTest, ScanModeVisitsEveryTrial) {
+  FuzzOptions options = FastOptions();
+  options.trials = 3;
+  options.fail_fast = false;
+  options.verify.synthetic_tail_tripwire_ms = 0.0001;
+  const FuzzReport report = FuzzChaos(options);
+  EXPECT_EQ(report.trials_run, 3);
+  EXPECT_EQ(report.violating_trials, 3);
+  EXPECT_EQ(report.findings.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rhythm

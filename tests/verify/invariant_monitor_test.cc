@@ -1,0 +1,157 @@
+#include "src/verify/invariant_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "src/runner/runner.h"
+
+namespace rhythm {
+namespace {
+
+// Small, fast trial shape shared by the tests: Redis (2 pods) under Rhythm
+// control. 70 simulated seconds keep each case well under a second.
+RunRequest BaseRequest() {
+  RunRequest request;
+  request.app = LcAppKind::kRedis;
+  request.be = BeJobKind::kWordcount;
+  request.controller = ControllerKind::kRhythm;
+  request.seed = 9;
+  request.load = 0.5;
+  request.warmup_s = 10.0;
+  request.measure_s = 60.0;
+  request.verify.mode = InvariantMode::kCollect;
+  return request;
+}
+
+std::string Describe(const RunSummary& summary) {
+  std::string out;
+  for (const InvariantViolation& v : summary.invariant_violations) {
+    out += v.id + " @" + std::to_string(v.time_s) + ": " + v.detail + "\n";
+  }
+  return out;
+}
+
+TEST(InvariantMonitorTest, HealthyRunIsClean) {
+  const RunSummary summary = rhythm::Run(BaseRequest());
+  EXPECT_EQ(summary.invariant_violations_total, 0u) << Describe(summary);
+  EXPECT_TRUE(summary.invariant_violations.empty());
+}
+
+TEST(InvariantMonitorTest, FaultedRunIsCleanAcrossEveryKind) {
+  // One event of every kind, overlapping a crash window — the invariants
+  // must hold through teardown, blackout, dropped actuations and reboot.
+  RunRequest request = BaseRequest();
+  auto faults = std::make_shared<FaultSchedule>();
+  faults->Add({FaultKind::kPodCrash, 1, 20.0, 15.0, 0.3});
+  faults->Add({FaultKind::kTelemetryDropout, 0, 25.0, 10.0, 0.0});
+  faults->Add({FaultKind::kTelemetryFreeze, 0, 40.0, 8.0, 0.0});
+  faults->Add({FaultKind::kActuationDrop, 1, 18.0, 20.0, 1.0});
+  faults->Add({FaultKind::kBeInstanceFailure, 0, 30.0, 0.0, 0.0});
+  faults->Add({FaultKind::kLoadSpike, 0, 35.0, 10.0, 0.2});
+  request.faults = faults;
+  const RunSummary summary = rhythm::Run(request);
+  EXPECT_EQ(summary.invariant_violations_total, 0u) << Describe(summary);
+}
+
+TEST(InvariantMonitorTest, SyntheticTripwireFiresAndIsRecorded) {
+  RunRequest request = BaseRequest();
+  // Far below any real Redis tail, so every accounting tick breaches.
+  request.verify.synthetic_tail_tripwire_ms = 0.001;
+  const RunSummary summary = rhythm::Run(request);
+  EXPECT_GT(summary.invariant_violations_total, 0u);
+  ASSERT_FALSE(summary.invariant_violations.empty());
+  EXPECT_EQ(summary.invariant_violations.front().id, "syn.tail-tripwire");
+  EXPECT_EQ(summary.invariant_violations.front().machine, -1);
+  // Repeated breaches of the same (id, machine) are deduplicated in the
+  // stored list but all counted.
+  EXPECT_EQ(summary.invariant_violations.size(), 1u);
+  EXPECT_GT(summary.invariant_violations_total, 1u);
+}
+
+TEST(InvariantMonitorTest, FailFastThrowsStructuredError) {
+  RunRequest request = BaseRequest();
+  request.verify.mode = InvariantMode::kFailFast;
+  request.verify.synthetic_tail_tripwire_ms = 0.001;
+  try {
+    rhythm::Run(request);
+    FAIL() << "expected InvariantViolationError";
+  } catch (const InvariantViolationError& error) {
+    EXPECT_EQ(error.violation().id, "syn.tail-tripwire");
+    EXPECT_NE(std::string(error.what()).find("syn.tail-tripwire"), std::string::npos);
+  }
+}
+
+TEST(InvariantMonitorTest, CollectModeDoesNotPerturbTheRun) {
+  RunRequest off = BaseRequest();
+  off.verify.mode = InvariantMode::kOff;
+  RunRequest collect = BaseRequest();
+  const RunSummary a = rhythm::Run(off);
+  const RunSummary b = rhythm::Run(collect);
+  // Bitwise equality — the monitor observes, never steers.
+  EXPECT_EQ(a.worst_tail_ms, b.worst_tail_ms);
+  EXPECT_EQ(a.be_throughput, b.be_throughput);
+  EXPECT_EQ(a.emu, b.emu);
+  EXPECT_EQ(a.cpu_util, b.cpu_util);
+  EXPECT_EQ(a.be_kills, b.be_kills);
+  EXPECT_EQ(a.sla_violations, b.sla_violations);
+}
+
+// -- Property tests: fault-window composition ---------------------------------
+
+// Overlapping same-kind windows must compose deterministically: a dropout
+// nested entirely inside another dropout is absorbed by the outer window
+// (depth counting), so the run equals the outer-window-only run bit for bit.
+TEST(FaultCompositionTest, NestedTelemetryDropoutComposesDeterministically) {
+  RunRequest outer_only = BaseRequest();
+  auto outer = std::make_shared<FaultSchedule>();
+  outer->Add({FaultKind::kTelemetryDropout, 0, 20.0, 30.0, 0.0});
+  outer_only.faults = outer;
+
+  RunRequest nested = BaseRequest();
+  auto both = std::make_shared<FaultSchedule>();
+  both->Add({FaultKind::kTelemetryDropout, 0, 20.0, 30.0, 0.0});
+  both->Add({FaultKind::kTelemetryDropout, 0, 28.0, 10.0, 0.0});  // inside the outer window.
+  nested.faults = both;
+
+  const RunSummary a = rhythm::Run(outer_only);
+  const RunSummary b = rhythm::Run(nested);
+  EXPECT_EQ(a.worst_tail_ms, b.worst_tail_ms);
+  EXPECT_EQ(a.be_throughput, b.be_throughput);
+  EXPECT_EQ(a.stale_ticks, b.stale_ticks);
+  EXPECT_EQ(a.be_kills, b.be_kills);
+  EXPECT_EQ(a.invariant_violations_total, 0u) << Describe(a);
+  EXPECT_EQ(b.invariant_violations_total, 0u) << Describe(b);
+
+  // And insertion order of the overlapping events is immaterial.
+  RunRequest reversed = BaseRequest();
+  auto swapped = std::make_shared<FaultSchedule>();
+  swapped->Add({FaultKind::kTelemetryDropout, 0, 28.0, 10.0, 0.0});
+  swapped->Add({FaultKind::kTelemetryDropout, 0, 20.0, 30.0, 0.0});
+  reversed.faults = swapped;
+  const RunSummary c = rhythm::Run(reversed);
+  EXPECT_EQ(b.worst_tail_ms, c.worst_tail_ms);
+  EXPECT_EQ(b.be_throughput, c.be_throughput);
+}
+
+// A machine crash landing inside an actuation-drop window must not double-
+// free BE resources: the crash teardown force-releases every instance while
+// the drop window is still swallowing controller commands. The resource-
+// conservation invariants (res.cores / res.llc / res.mem) watch every tick.
+TEST(FaultCompositionTest, CrashOverlappingActuationDropNeverDoubleFrees) {
+  RunRequest request = BaseRequest();
+  auto faults = std::make_shared<FaultSchedule>();
+  faults->Add({FaultKind::kActuationDrop, 0, 15.0, 30.0, 1.0});  // every command lost.
+  faults->Add({FaultKind::kPodCrash, 0, 25.0, 20.0, 0.3});       // crash mid-window.
+  faults->Add({FaultKind::kActuationDrop, 1, 15.0, 30.0, 1.0});
+  faults->Add({FaultKind::kPodCrash, 1, 25.0, 20.0, 0.3});
+  request.faults = faults;
+  const RunSummary summary = rhythm::Run(request);
+  EXPECT_EQ(summary.invariant_violations_total, 0u) << Describe(summary);
+  EXPECT_EQ(summary.crashes, 2u);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,129 @@
+// Chaos fuzzer CLI: sweep seeded random fault schedules through full runs
+// with the invariant monitor attached, report the first violating
+// (config, seed), optionally ddmin-minimize it and write the repro file.
+//
+// Usage: chaos_fuzz [options]
+//   --trials N         sweep size (default 200)
+//   --seed S           base seed; trial schedules/runs derive from it (1)
+//   --jobs N           worker threads (default: RHYTHM_JOBS or all cores)
+//   --load F           offered LC load fraction (0.6)
+//   --scan             keep sweeping after a violation (default: fail fast)
+//   --tripwire-ms F    arm the synthetic tail tripwire at F ms (off)
+//   --horizon-s F      live.recovery horizon (120)
+//   --minimize         ddmin-shrink the first finding's schedule
+//   --repro-out PATH   write the (minimized) finding as a repro file
+//
+// Exit status: 0 sweep clean, 1 violations found, 2 usage/setup error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/rhythm.h"
+
+using namespace rhythm;
+
+namespace {
+
+void PrintViolations(const std::vector<InvariantViolation>& violations, uint64_t total) {
+  for (const InvariantViolation& v : violations) {
+    std::printf("    t=%8.1fs machine=%2d %-18s %s\n", v.time_s, v.machine, v.id.c_str(),
+                v.detail.c_str());
+  }
+  if (total > violations.size()) {
+    std::printf("    ... and %llu more breaches past the storage cap\n",
+                (unsigned long long)(total - violations.size()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  bool minimize = false;
+  std::string repro_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--trials" && has_value) {
+      options.trials = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && has_value) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--jobs" && has_value) {
+      options.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--load" && has_value) {
+      options.load = std::atof(argv[++i]);
+    } else if (arg == "--scan") {
+      options.fail_fast = false;
+    } else if (arg == "--tripwire-ms" && has_value) {
+      options.verify.synthetic_tail_tripwire_ms = std::atof(argv[++i]);
+    } else if (arg == "--horizon-s" && has_value) {
+      options.verify.recovery_horizon_s = std::atof(argv[++i]);
+    } else if (arg == "--minimize") {
+      minimize = true;
+    } else if (arg == "--repro-out" && has_value) {
+      repro_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "chaos_fuzz: unknown or incomplete option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (options.trials <= 0) {
+    std::fprintf(stderr, "chaos_fuzz: --trials must be positive\n");
+    return 2;
+  }
+
+  std::printf("chaos_fuzz: %d trials, seed %llu, load %.2f, %s\n", options.trials,
+              (unsigned long long)options.seed, options.load,
+              options.fail_fast ? "fail-fast" : "full scan");
+
+  FuzzReport report;
+  try {
+    report = FuzzChaos(options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "chaos_fuzz: sweep failed: %s\n", error.what());
+    return 2;
+  }
+
+  std::printf("trials run: %d, violating: %d\n", report.trials_run, report.violating_trials);
+  if (report.clean()) {
+    std::printf("sweep clean: every invariant held on all %d trials\n", report.trials_run);
+    return 0;
+  }
+
+  for (const FuzzFinding& finding : report.findings) {
+    std::printf("  trial #%d %s: %d events, sched_seed=%llu run_seed=%llu, %llu breaches\n",
+                finding.trial, LcAppKindName(finding.app),
+                (int)finding.schedule.events.size(), (unsigned long long)finding.schedule_seed,
+                (unsigned long long)finding.run_seed,
+                (unsigned long long)finding.violations_total);
+    PrintViolations(finding.violations, finding.violations_total);
+  }
+
+  const FuzzFinding& first = report.findings.front();
+  RunRequest repro_request = FuzzTrialRequest(options, first.trial);
+  if (minimize) {
+    try {
+      const MinimizeResult minimal = MinimizeSchedule(repro_request);
+      std::printf("minimized trial #%d: %d -> %d events in %d candidate runs\n", first.trial,
+                  minimal.events_before, minimal.events_after, minimal.candidates_tried);
+      PrintViolations(minimal.violations, minimal.violations.size());
+      repro_request.faults = std::make_shared<FaultSchedule>(minimal.schedule);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "chaos_fuzz: minimization failed: %s\n", error.what());
+      return 2;
+    }
+  }
+  if (!repro_out.empty()) {
+    try {
+      SaveChaosRepro(ReproFromRequest(repro_request), repro_out);
+      std::printf("repro written to %s\n", repro_out.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "chaos_fuzz: %s\n", error.what());
+      return 2;
+    }
+  }
+  return 1;
+}

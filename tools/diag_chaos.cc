@@ -5,6 +5,11 @@
 // slack during the outage while the uncontrolled baseline stays in
 // violation.
 //
+// Each replay is a plain RunRequest played through Run() with trial hooks —
+// the uncontrolled baseline seeds its BEs in after_start and the trajectory
+// print reads the live deployment in inspect — plus the invariant monitor in
+// collect mode, so a calibration run doubles as a safety check.
+//
 // Usage: diag_chaos [load] [inflation] [down_s]
 
 #include <cstdio>
@@ -16,8 +21,13 @@ using namespace rhythm;
 
 int main(int argc, char** argv) {
   const double load = argc > 1 ? std::atof(argv[1]) : 0.6;
-  const double inflation = argc > 2 ? std::atof(argv[2]) : 0.5;
-  const double down_s = argc > 3 ? std::atof(argv[3]) : 60.0;
+  double inflation = argc > 2 ? std::atof(argv[2]) : 0.5;
+  double down_s = argc > 3 ? std::atof(argv[3]) : 60.0;
+  // Garbage argv parses to 0 (atof); a zero-length crash window or an
+  // out-of-range inflation is rejected by fault validation, so fall back to
+  // legal values instead of aborting.
+  if (!(down_s > 0.0)) down_s = 60.0;
+  if (!(inflation >= 0.0 && inflation <= kMaxCrashInflation)) inflation = 0.5;
 
   const LcAppKind app_kind = LcAppKind::kEcommerce;
   const AppSpec app = MakeApp(app_kind);
@@ -25,8 +35,8 @@ int main(int argc, char** argv) {
   const double crash_at = 120.0;
   const double duration = 300.0;
 
-  FaultSchedule faults;
-  faults.Add({FaultKind::kPodCrash, crash_pod, crash_at, down_s, inflation});
+  auto faults = std::make_shared<FaultSchedule>();
+  faults->Add({FaultKind::kPodCrash, crash_pod, crash_at, down_s, inflation});
 
   std::printf("chaos: crash pod %d (%s) at t=%.0fs for %.0fs, inflation %.2f, load %.2f\n",
               crash_pod, app.components[crash_pod].name.c_str(), crash_at, down_s, inflation,
@@ -41,57 +51,65 @@ int main(int argc, char** argv) {
 
   for (ControllerKind controller :
        {ControllerKind::kRhythm, ControllerKind::kHeracles, ControllerKind::kNone}) {
-    DeploymentConfig config;
-    config.app_kind = app_kind;
-    config.be_kind = BeJobKind::kWordcount;
-    config.controller = controller;
-    if (controller == ControllerKind::kRhythm) {
-      config.thresholds = CachedAppThresholds(app_kind).pods;
-    }
-    config.seed = 31;
-    config.faults = &faults;
-    Deployment deployment(config);
-    ConstantLoad profile(load);
-    deployment.Start(&profile);
+    RunRequest request;
+    request.app = app_kind;
+    request.be = BeJobKind::kWordcount;
+    request.controller = controller;
+    request.seed = 31;
+    request.load = load;
+    request.warmup_s = 0.0;
+    request.measure_s = duration;
+    request.faults = faults;
+    request.verify.mode = InvariantMode::kCollect;
+
+    TrialHooks hooks;
     if (controller == ControllerKind::kNone) {
       // Uncontrolled co-location: one full-demand BE per pod — light enough
       // that the pre-crash state is healthy, so the violations that follow
       // are the crash's doing.
-      for (int pod = 0; pod < deployment.pod_count(); ++pod) {
-        deployment.LaunchBeAtPod(pod, 1);
-      }
+      hooks.after_start = [](Deployment& deployment) {
+        for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+          deployment.LaunchBeAtPod(pod, 1);
+        }
+      };
     }
-    deployment.RunFor(duration);
+    hooks.inspect = [&](const Deployment& deployment, const RunSummary& summary) {
+      std::printf("--- %s ---\n", ControllerKindName(controller));
+      std::printf("%8s %7s %7s %9s\n", "t(s)", "slack", "tail", "be_inst");
+      for (double t = crash_at - 20.0; t <= crash_at + down_s + 60.0; t += 10.0) {
+        double instances = 0.0;
+        for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+          instances += deployment.pod_series(pod).be_instances.ValueAt(t);
+        }
+        std::printf("%8.0f %7.2f %7.1f %9.1f\n", t, deployment.slack_series().ValueAt(t),
+                    deployment.tail_series().ValueAt(t), instances);
+      }
+      int outage_violations = 0;
+      for (double t = crash_at + 1.0; t <= crash_at + down_s; t += 1.0) {
+        if (deployment.slack_series().ValueAt(t) < 0.0) {
+          ++outage_violations;
+        }
+      }
+      std::printf("outage violations: %d / %.0f ticks\n", outage_violations, down_s);
+      std::printf("recovery_s=%.1f recovered=%d slack_violation_ticks=%llu crashes=%llu "
+                  "crash_be_losses=%llu stale_ticks=%llu failed_actuations=%llu "
+                  "backoff_holds=%llu kills=%llu invariant_breaches=%llu\n\n",
+                  summary.recovery_s, summary.recovered ? 1 : 0,
+                  (unsigned long long)summary.slack_violation_ticks,
+                  (unsigned long long)summary.crashes,
+                  (unsigned long long)summary.crash_be_losses,
+                  (unsigned long long)summary.stale_ticks,
+                  (unsigned long long)summary.failed_actuations,
+                  (unsigned long long)summary.backoff_holds,
+                  (unsigned long long)summary.be_kills,
+                  (unsigned long long)summary.invariant_violations_total);
+      for (const InvariantViolation& v : summary.invariant_violations) {
+        std::printf("  INVARIANT t=%.1fs machine=%d %s: %s\n", v.time_s, v.machine,
+                    v.id.c_str(), v.detail.c_str());
+      }
+    };
 
-    std::printf("--- %s ---\n", ControllerKindName(controller));
-    std::printf("%8s %7s %7s %9s\n", "t(s)", "slack", "tail", "be_inst");
-    for (double t = crash_at - 20.0; t <= crash_at + down_s + 60.0; t += 10.0) {
-      double instances = 0.0;
-      for (int pod = 0; pod < deployment.pod_count(); ++pod) {
-        instances += deployment.pod_series(pod).be_instances.ValueAt(t);
-      }
-      std::printf("%8.0f %7.2f %7.1f %9.1f\n", t, deployment.slack_series().ValueAt(t),
-                  deployment.tail_series().ValueAt(t), instances);
-    }
-    int outage_violations = 0;
-    for (double t = crash_at + 1.0; t <= crash_at + down_s; t += 1.0) {
-      if (deployment.slack_series().ValueAt(t) < 0.0) {
-        ++outage_violations;
-      }
-    }
-    std::printf("outage violations: %d / %.0f ticks\n", outage_violations, down_s);
-    const RunSummary summary = Summarize(deployment, 0.0, duration);
-    std::printf("recovery_s=%.1f recovered=%d slack_violation_ticks=%llu crashes=%llu "
-                "crash_be_losses=%llu stale_ticks=%llu failed_actuations=%llu "
-                "backoff_holds=%llu kills=%llu\n\n",
-                summary.recovery_s, summary.recovered ? 1 : 0,
-                (unsigned long long)summary.slack_violation_ticks,
-                (unsigned long long)summary.crashes,
-                (unsigned long long)summary.crash_be_losses,
-                (unsigned long long)summary.stale_ticks,
-                (unsigned long long)summary.failed_actuations,
-                (unsigned long long)summary.backoff_holds,
-                (unsigned long long)summary.be_kills);
+    Run(request, hooks);
   }
   return 0;
 }
