@@ -2,6 +2,15 @@
 // Servpods co-located with wordcount under the production load — request
 // load vs loadlimit, slack vs slacklimit, CPU utilization, BE LLC ways, BE
 // cores, BE instances and BE throughput, sampled over time.
+//
+// Built on the observability subsystem: the trial runs through Run() with a
+// flight recorder attached, and every printed row comes from the finished
+// Recording's metric timelines; the action summary comes from the recorded
+// decision events. `obs_query timeline` reproduces the same table offline
+// from the JSONL export.
+
+#include <map>
+#include <memory>
 
 #include "bench/bench_util.h"
 
@@ -14,49 +23,74 @@ int main() {
   const int tomcat = app.PodIndex("Tomcat");
   const int mysql = app.PodIndex("MySQL");
 
-  DeploymentConfig config;
-  config.app_kind = app_kind;
-  config.be_kind = BeJobKind::kWordcount;
-  config.controller = ControllerKind::kRhythm;
-  config.thresholds = thresholds.pods;
-  config.seed = 23;
-  Deployment deployment(config);
-
   const double duration = FastMode() ? 300.0 : 1200.0;
+
+  RunRequest request;
+  request.app = app_kind;
+  request.be = BeJobKind::kWordcount;
+  request.controller = ControllerKind::kRhythm;
+  request.thresholds = thresholds.pods;
+  request.seed = 23;
+  request.warmup_s = 0.0;
+  request.measure_s = duration;
   // One diurnal wave crossing the loadlimits near its peak.
-  const DiurnalTrace trace(duration * DiurnalTrace::kDays, 0.2, 0.97);
-  deployment.Start(&trace);
-  deployment.RunFor(duration);
+  request.profile =
+      std::make_shared<DiurnalTrace>(duration * DiurnalTrace::kDays, 0.2, 0.97);
+  request.obs.enabled = true;
 
-  std::printf("=== Figure 17: Rhythm running-process timeline (wordcount, production) ===\n");
-  std::printf("loadlimit: Tomcat %.2f, MySQL %.2f; slacklimit: Tomcat %.3f, MySQL %.3f\n\n",
-              thresholds.pods[tomcat].loadlimit, thresholds.pods[mysql].loadlimit,
-              thresholds.pods[tomcat].slacklimit, thresholds.pods[mysql].slacklimit);
-  std::printf("%8s %6s %7s | %7s %8s %8s %8s | %7s %8s %8s %8s\n", "t(min)", "load", "slack",
-              "T.cpu", "T.cores", "T.ways", "T.inst", "M.cpu", "M.cores", "M.ways", "M.inst");
+  TrialHooks hooks;
+  hooks.on_recording = [&](const Recording& recording) {
+    std::printf("=== Figure 17: Rhythm running-process timeline (wordcount, production) ===\n");
+    std::printf("loadlimit: Tomcat %.2f, MySQL %.2f; slacklimit: Tomcat %.3f, MySQL %.3f\n\n",
+                thresholds.pods[tomcat].loadlimit, thresholds.pods[mysql].loadlimit,
+                thresholds.pods[tomcat].slacklimit, thresholds.pods[mysql].slacklimit);
+    std::printf("%8s %6s %7s | %7s %8s %8s %8s | %7s %8s %8s %8s\n", "t(min)", "load",
+                "slack", "T.cpu", "T.cores", "T.ways", "T.inst", "M.cpu", "M.cores",
+                "M.ways", "M.inst");
 
-  const double step = duration / 40.0;
-  for (double t = step; t <= duration; t += step) {
-    const PodSeries& ts = deployment.pod_series(tomcat);
-    const PodSeries& ms = deployment.pod_series(mysql);
-    std::printf("%8.1f %6.2f %7.2f | %7.2f %8.0f %8.0f %8.0f | %7.2f %8.0f %8.0f %8.0f\n",
-                t / 60.0, deployment.load_series().ValueAt(t),
-                deployment.slack_series().ValueAt(t), ts.cpu_util.ValueAt(t),
-                ts.be_cores.ValueAt(t), ts.be_ways.ValueAt(t), ts.be_instances.ValueAt(t),
-                ms.cpu_util.ValueAt(t), ms.be_cores.ValueAt(t), ms.be_ways.ValueAt(t),
-                ms.be_instances.ValueAt(t));
-  }
+    const auto series = [&recording](int pod, const char* name) {
+      return recording.Metric("pod" + std::to_string(pod) + "." + name);
+    };
+    const TimeSeries* load = recording.Metric("load");
+    const TimeSeries* slack = recording.Metric("slack");
+    const double step = duration / 40.0;
+    for (double t = step; t <= duration; t += step) {
+      std::printf("%8.1f %6.2f %7.2f | %7.2f %8.0f %8.0f %8.0f | %7.2f %8.0f %8.0f %8.0f\n",
+                  t / 60.0, load->ValueAt(t), slack->ValueAt(t),
+                  series(tomcat, "cpu_util")->ValueAt(t),
+                  series(tomcat, "be_cores")->ValueAt(t),
+                  series(tomcat, "be_ways")->ValueAt(t),
+                  series(tomcat, "be_instances")->ValueAt(t),
+                  series(mysql, "cpu_util")->ValueAt(t),
+                  series(mysql, "be_cores")->ValueAt(t),
+                  series(mysql, "be_ways")->ValueAt(t),
+                  series(mysql, "be_instances")->ValueAt(t));
+    }
 
-  std::printf("\nController action counts over the window:\n");
-  for (int pod : {tomcat, mysql}) {
-    const MachineAgent::Stats& stats = deployment.agent(pod)->stats();
-    std::printf("  %-8s grows=%llu disallows=%llu cuts=%llu suspends=%llu stops=%llu\n",
-                app.components[pod].name.c_str(), (unsigned long long)stats.grows,
-                (unsigned long long)stats.disallows, (unsigned long long)stats.cuts,
-                (unsigned long long)stats.suspends, (unsigned long long)stats.stops);
-  }
-  std::printf("\nExpected shape: BE resources grow while slack is ample, SuspendBE as\n"
-              "the load wave crosses the loadlimit (MySQL first), CutBE on slack dips,\n"
-              "then renewed growth as the wave recedes.\n");
+    std::printf("\nController action counts over the window (from decision events):\n");
+    for (int pod : {tomcat, mysql}) {
+      std::map<uint8_t, uint64_t> by_action;
+      for (const ObsEvent& event : recording.Filter(ObsKind::kDecision, pod)) {
+        ++by_action[event.code];
+      }
+      const auto count = [&by_action](BeAction action) {
+        const auto it = by_action.find(static_cast<uint8_t>(action));
+        return it == by_action.end() ? 0ULL : (unsigned long long)it->second;
+      };
+      std::printf("  %-8s grows=%llu disallows=%llu cuts=%llu suspends=%llu stops=%llu\n",
+                  app.components[pod].name.c_str(), count(BeAction::kAllowGrowth),
+                  count(BeAction::kDisallowGrowth), count(BeAction::kCutBe),
+                  count(BeAction::kSuspendBe), count(BeAction::kStopBe));
+    }
+    const double first_kill = recording.FirstKillTime();
+    if (first_kill >= 0.0) {
+      std::printf("  first BE kill at t=%.1f s\n", first_kill);
+    }
+    std::printf("\nExpected shape: BE resources grow while slack is ample, SuspendBE as\n"
+                "the load wave crosses the loadlimit (MySQL first), CutBE on slack dips,\n"
+                "then renewed growth as the wave recedes.\n");
+  };
+
+  Run(request, hooks);
   return 0;
 }

@@ -66,18 +66,22 @@ Deployment::Deployment(const DeploymentConfig& config)
       agents_.push_back(std::make_unique<MachineAgent>(machines_[pod].get(),
                                                        be_runtimes_[pod].get(), thresholds,
                                                        app_.sla_ms, pod));
+      if (config.obs_sink != nullptr) {
+        agents_.back()->AttachObs(config.obs_sink, pod);
+      }
     }
   }
 
   if (config.be_arrival_rate_per_s > 0.0 && config.enable_be) {
     backlog_.set_infinite(false);
     scheduler_ = std::make_unique<BeScheduler>(&backlog_);
+    scheduler_->AttachObs(config.obs_sink);
     for (int pod = 0; pod < pods; ++pod) {
       be_runtimes_[pod]->SetBacklog(&backlog_);
       be_runtimes_[pod]->set_self_launch_allowed(false);
       scheduler_->AddMachine(BeScheduler::MachineSlot{
           machines_[pod].get(), be_runtimes_[pod].get(),
-          agents_.empty() ? nullptr : agents_[pod].get()});
+          agents_.empty() ? nullptr : agents_[pod].get(), pod});
     }
   }
 
@@ -88,6 +92,7 @@ Deployment::Deployment(const DeploymentConfig& config)
   if (config.faults != nullptr && !config.faults->empty()) {
     const uint64_t fault_seed = config.seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
     fault_ = std::make_unique<FaultInjector>(&sim_, *config.faults, pods, fault_seed);
+    fault_->AttachObs(config.obs_sink);
     fault_->set_crash_handler([this](int pod, bool online) {
       if (online) {
         OnPodReboot(pod);
@@ -101,6 +106,8 @@ Deployment::Deployment(const DeploymentConfig& config)
         ++be_instance_failures_;
         ++crash_be_losses_;
         be->PublishActivity();
+        EmitObs(ObsKind::kBeLifecycle, pod, static_cast<uint8_t>(ObsBeOp::kInstanceFailure),
+                0, 1.0);
       }
     });
     if (config.enable_be) {
@@ -164,6 +171,7 @@ void Deployment::AccountingTick() {
     }
     if (agents_.empty()) {
       // No controllers: dispatch freely.
+      scheduler_->set_obs_now(now);
       scheduler_->DispatchRound();
     }
   }
@@ -179,6 +187,8 @@ void Deployment::AccountingTick() {
   // nothing" on the same measure.
   if (slack < 0.0) {
     ++slack_violation_ticks_;
+    EmitObs(ObsKind::kSloViolation, /*machine=*/-1,
+            static_cast<uint8_t>(ObsSloScope::kAccounting), 0, slack, tail);
   }
   if (awaiting_recovery_) {
     if (slack < 0.0) {
@@ -264,12 +274,14 @@ void Deployment::ControllerTick() {
     if (config_.observer != nullptr) {
       config_.observer->BeforeAgentTick(*this, pod, sample);
     }
+    agents_[pod]->set_obs_now(now);
     agents_[pod]->Tick(sample);
   }
   // Dispatch after the fresh decisions, paced like the agents' own growth so
   // admissions cannot outrun the tail window's feedback.
   ++controller_ticks_;
   if (scheduler_ != nullptr && controller_ticks_ % MachineAgent::kGrowthPeriodTicks == 0) {
+    scheduler_->set_obs_now(now);
     scheduler_->DispatchRound();
   }
   if (config_.observer != nullptr) {
@@ -293,6 +305,22 @@ void Deployment::LaunchBeAtPod(int pod, int instances) {
     }
   }
   be->PublishActivity();
+}
+
+void Deployment::EmitObs(ObsKind kind, int machine, uint8_t code, uint8_t detail, double a,
+                         double b) {
+  if (config_.obs_sink == nullptr) {
+    return;
+  }
+  ObsEvent event;
+  event.time_s = sim_.Now();
+  event.machine = machine;
+  event.kind = kind;
+  event.code = code;
+  event.detail = detail;
+  event.a = a;
+  event.b = b;
+  config_.obs_sink->Record(event);
 }
 
 uint64_t Deployment::TotalBeKills() const {
@@ -348,9 +376,14 @@ void Deployment::OnPodCrash(int pod) {
   BeRuntime* be = this->be(pod);
   if (be != nullptr) {
     // Instances die with the machine — these are crash losses, not kills.
-    crash_be_losses_ += be->StopAll();
+    const int lost = be->StopAll();
+    crash_be_losses_ += static_cast<uint64_t>(lost);
     be->set_admission_blocked(true);
     be->PublishActivity();
+    if (lost > 0) {
+      EmitObs(ObsKind::kBeLifecycle, pod, static_cast<uint8_t>(ObsBeOp::kCrashLoss), 0,
+              static_cast<double>(lost));
+    }
   }
   if (config_.observer != nullptr) {
     config_.observer->OnPodCrash(*this, pod);

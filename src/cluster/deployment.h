@@ -33,6 +33,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_schedule.h"
 #include "src/interference/interference_model.h"
+#include "src/obs/obs_event.h"
 #include "src/resources/machine.h"
 #include "src/scheduler/be_backlog.h"
 #include "src/scheduler/be_scheduler.h"
@@ -75,6 +76,12 @@ struct DeploymentConfig {
   // tick boundaries and crash edges — the invariant monitor's hook. An
   // attached observer must never perturb the run (no mutation, no RNG).
   DeploymentObserver* observer = nullptr;
+  // Optional observability sink (must outlive the deployment). When set, the
+  // deployment distributes it to every instrumented layer — agents,
+  // scheduler, fault injector — and emits its own cluster-scope events
+  // (accounting SLO violations, crash BE losses). Like the observer, a sink
+  // must never perturb the run.
+  ObsSink* obs_sink = nullptr;
 };
 
 // Per-pod metric series sampled by the accounting task.
@@ -174,6 +181,9 @@ class Deployment {
  private:
   void AccountingTick();
   void ControllerTick();
+  // Cluster-scope event emission (no-op without an attached sink).
+  void EmitObs(ObsKind kind, int machine, uint8_t code, uint8_t detail, double a = 0.0,
+               double b = 0.0);
   void OnPodCrash(int pod);
   void OnPodReboot(int pod);
   // The windowed tail, sampled at most once per simulated instant: the

@@ -27,6 +27,10 @@ void MachineAgent::Tick(const TelemetrySample& sample) {
   const bool invalid = std::isnan(sample.tail_ms) || std::isnan(sample.load);
   if (invalid || sample.tail_age_s > kStaleTailLimitS) {
     ++stats_.stale_ticks;
+    Emit(ObsKind::kDecision, static_cast<uint8_t>(BeAction::kSuspendBe),
+         static_cast<uint8_t>(ObsDecisionPhase::kStaleFailsafe),
+         std::isnan(sample.load) ? -1.0 : sample.load, /*slack=*/0.0,
+         top_.thresholds().loadlimit, top_.thresholds().slacklimit);
     Apply(BeAction::kSuspendBe, /*slack=*/0.0, sample.lc_utilization);
     stats_.last_action = BeAction::kSuspendBe;
     RunFrequencySubcontroller();
@@ -37,14 +41,21 @@ void MachineAgent::Tick(const TelemetrySample& sample) {
   const double slack = TopController::Slack(sample.tail_ms, sla_ms_);
   if (slack < 0.0) {
     ++stats_.sla_violations;
+    Emit(ObsKind::kSloViolation, static_cast<uint8_t>(ObsSloScope::kController), 0, slack,
+         sample.tail_ms);
   }
-  BeAction action = top_.Decide(sample.load, sample.tail_ms, sla_ms_);
+  TopController::DecisionTrace trace;
+  BeAction action = top_.Decide(sample.load, sample.tail_ms, sla_ms_, &trace);
+  ObsDecisionPhase phase = ObsDecisionPhase::kNormal;
   if (action == BeAction::kAllowGrowth && stats_.ticks < backoff_until_tick_) {
     // Kill backoff: the slack band says grow, but this pod recently killed
     // (or lost) its BEs — re-admission waits out the hold.
     ++stats_.backoff_holds;
     action = BeAction::kDisallowGrowth;
+    phase = ObsDecisionPhase::kBackoffHold;
   }
+  Emit(ObsKind::kDecision, static_cast<uint8_t>(action), static_cast<uint8_t>(phase),
+       sample.load, trace.slack, trace.loadlimit, trace.slacklimit);
   Apply(action, slack, sample.lc_utilization);
   stats_.last_action = action;
   UpdateBackoff(slack);
@@ -71,8 +82,10 @@ void MachineAgent::UpdateBackoff(double slack) {
 }
 
 bool MachineAgent::SuspendVerified() {
+  const int affected = be_->instance_count();
   be_->SuspendAll();
   if (be_->all_suspended()) {
+    Emit(ObsKind::kActuation, static_cast<uint8_t>(ObsKnob::kSuspend), 1, affected);
     return true;
   }
   // The suspend was silently dropped; re-issue once now rather than leaving
@@ -81,27 +94,36 @@ bool MachineAgent::SuspendVerified() {
   ++stats_.actuation_retries;
   be_->SuspendAll();
   if (be_->all_suspended()) {
+    Emit(ObsKind::kActuation, static_cast<uint8_t>(ObsKnob::kSuspend), 1, affected);
     return true;
   }
   ++stats_.failed_actuations;
+  Emit(ObsKind::kActuation, static_cast<uint8_t>(ObsKnob::kSuspend), 0, affected);
   return false;
 }
 
 bool MachineAgent::CutVerified() {
-  const int before = be_->TotalCoresHeld() + be_->TotalWaysHeld();
+  const int cores_before = be_->TotalCoresHeld();
+  const int ways_before = be_->TotalWaysHeld();
+  const int before = cores_before + ways_before;
   if (!be_->Cut()) {
     return false;  // nothing held — honest refusal, not a lost command.
   }
+  const auto done = [&](uint8_t ok) {
+    Emit(ObsKind::kActuation, static_cast<uint8_t>(ObsKnob::kCpuLlc), ok,
+         be_->TotalCoresHeld() - cores_before, be_->TotalWaysHeld() - ways_before);
+    return ok != 0;
+  };
   if (be_->TotalCoresHeld() + be_->TotalWaysHeld() < before) {
-    return true;
+    return done(1);
   }
   ++stats_.failed_actuations;
   ++stats_.actuation_retries;
   if (be_->Cut() && be_->TotalCoresHeld() + be_->TotalWaysHeld() < before) {
-    return true;
+    return done(1);
   }
   ++stats_.failed_actuations;
-  return false;
+  return done(0);
 }
 
 bool MachineAgent::GrowVerified() {
@@ -115,36 +137,47 @@ bool MachineAgent::GrowVerified() {
     return be_->TotalCoresHeld() > cores_before || be_->TotalWaysHeld() > ways_before ||
            be_->instance_count() > count_before;
   };
+  const auto done = [&](uint8_t ok) {
+    Emit(ObsKind::kActuation, static_cast<uint8_t>(ObsKnob::kCpuLlc), ok,
+         be_->TotalCoresHeld() - cores_before, be_->TotalWaysHeld() - ways_before,
+         be_->instance_count() - count_before);
+    return ok != 0;
+  };
   if (grew()) {
-    return true;
+    return done(1);
   }
   ++stats_.failed_actuations;
   ++stats_.actuation_retries;
   if (be_->Grow() && grew()) {
-    return true;
+    return done(1);
   }
   ++stats_.failed_actuations;
-  return false;
+  return done(0);
 }
 
 void MachineAgent::Apply(BeAction action, double slack, double lc_utilization) {
   switch (action) {
-    case BeAction::kStopBe:
+    case BeAction::kStopBe: {
       ++stats_.stops;
-      stats_.be_kills += be_->StopAll();
+      const int killed = be_->StopAll();
+      stats_.be_kills += static_cast<uint64_t>(killed);
+      Emit(ObsKind::kActuation, static_cast<uint8_t>(ObsKnob::kStop), 1, killed);
       // Thrash guard: the pod just proved hostile to BEs; make re-admission
       // earn its way back with an exponentially growing hold.
       TriggerBackoff();
       break;
+    }
     case BeAction::kSuspendBe:
       ++stats_.suspends;
       SuspendVerified();
       break;
     case BeAction::kCutBe:
       ++stats_.cuts;
-      be_->ResumeAll();  // load is back under the limit; jobs may run again.
+      ResumeAllObserved();  // load is back under the limit; jobs may run again.
       CutVerified();
-      be_->CutMemoryStep();
+      if (be_->CutMemoryStep()) {
+        Emit(ObsKind::kActuation, static_cast<uint8_t>(ObsKnob::kMemory), 1, -0.1);
+      }
       if (slack < top_.thresholds().slacklimit / 4.0) {
         // Deep in the red band: shed a second step so a fast load ramp (or a
         // burst) cannot outrun the 2-second control cadence.
@@ -153,11 +186,11 @@ void MachineAgent::Apply(BeAction action, double slack, double lc_utilization) {
       break;
     case BeAction::kDisallowGrowth:
       ++stats_.disallows;
-      be_->ResumeAll();
+      ResumeAllObserved();
       break;
     case BeAction::kAllowGrowth:
       ++stats_.grows;
-      be_->ResumeAll();
+      ResumeAllObserved();
       if (lc_utilization > kUtilGrowthGuard) {
         // Heracles-style headroom check in the CPU/LLC subcontroller: the
         // slack band says grow, but the local station has no room.
@@ -175,14 +208,18 @@ void MachineAgent::Apply(BeAction action, double slack, double lc_utilization) {
         }
       }
       if (be_->instance_count() == 0) {
-        be_->LaunchInstance();
+        const bool launched = be_->LaunchInstance();
+        Emit(ObsKind::kActuation, static_cast<uint8_t>(ObsKnob::kLaunch), launched ? 1 : 0,
+             launched ? 1.0 : 0.0);
         break;
       }
       if ((stats_.ticks + stagger_) % kGrowthPeriodTicks != 0) {
         break;  // paced growth: not this machine's turn.
       }
       GrowVerified();
-      be_->GrowMemoryStep();
+      if (be_->GrowMemoryStep()) {
+        Emit(ObsKind::kActuation, static_cast<uint8_t>(ObsKnob::kMemory), 1, 0.1);
+      }
       break;
   }
   // Saturation shed: past the upper guard the station's queueing delay grows
@@ -203,12 +240,50 @@ void MachineAgent::Apply(BeAction action, double slack, double lc_utilization) {
 
 void MachineAgent::RunFrequencySubcontroller() {
   PowerModel& power = machine_->power();
+  const double before_ghz = power.be_frequency_ghz();
   if (power.TdpFraction() > kTdpThreshold) {
     power.SetBeFrequency(power.be_frequency_ghz() - kFreqStepGhz);
   } else if (power.TdpFraction() < kTdpThreshold - 0.1) {
     // Headroom returned: restore BE frequency gradually toward nominal.
     power.SetBeFrequency(power.be_frequency_ghz() + kFreqStepGhz);
   }
+  if (power.be_frequency_ghz() != before_ghz) {
+    Emit(ObsKind::kActuation, static_cast<uint8_t>(ObsKnob::kFrequency), 1,
+         power.be_frequency_ghz(), power.be_frequency_ghz() - before_ghz);
+  }
+}
+
+void MachineAgent::ResumeAllObserved() {
+  bool was_suspended = false;
+  for (const BeInstance& inst : be_->instances()) {
+    if (inst.suspended) {
+      was_suspended = true;
+      break;
+    }
+  }
+  be_->ResumeAll();
+  if (was_suspended) {
+    Emit(ObsKind::kActuation, static_cast<uint8_t>(ObsKnob::kResume), 1,
+         be_->instance_count());
+  }
+}
+
+void MachineAgent::Emit(ObsKind kind, uint8_t code, uint8_t detail, double a, double b,
+                        double c, double d) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  ObsEvent event;
+  event.time_s = obs_now_;
+  event.machine = obs_machine_;
+  event.kind = kind;
+  event.code = code;
+  event.detail = detail;
+  event.a = a;
+  event.b = b;
+  event.c = c;
+  event.d = d;
+  obs_->Record(event);
 }
 
 void MachineAgent::RunNetworkSubcontroller() {

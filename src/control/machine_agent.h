@@ -26,6 +26,7 @@
 
 #include "src/bemodel/be_runtime.h"
 #include "src/control/top_controller.h"
+#include "src/obs/obs_event.h"
 #include "src/resources/machine.h"
 
 namespace rhythm {
@@ -123,8 +124,24 @@ class MachineAgent {
   const TopController& top() const { return top_; }
   void set_thresholds(const ServpodThresholds& t) { top_.set_thresholds(t); }
 
+  // Observability (src/obs): when a sink is attached the agent emits one
+  // decision event per tick (with the inputs it banded on) and one actuation
+  // event per knob command. Events are stamped with the time last passed to
+  // set_obs_now — the deployment sets it right before Tick. Emission reads
+  // only state the agent already computed; it never perturbs the control
+  // path, so recorded runs stay byte-identical.
+  void AttachObs(ObsSink* sink, int machine_index) {
+    obs_ = sink;
+    obs_machine_ = machine_index;
+  }
+  void set_obs_now(double now_s) { obs_now_ = now_s; }
+
  private:
   void Apply(BeAction action, double slack, double lc_utilization);
+  // ResumeAll plus a kResume actuation event when instances were suspended.
+  void ResumeAllObserved();
+  void Emit(ObsKind kind, uint8_t code, uint8_t detail, double a = 0.0, double b = 0.0,
+            double c = 0.0, double d = 0.0);
   void RunFrequencySubcontroller();
   void RunNetworkSubcontroller();
   // Verified actuations: issue the command, compare observable state, retry
@@ -143,6 +160,9 @@ class MachineAgent {
   uint64_t backoff_until_tick_ = 0;
   uint64_t healthy_ticks_ = 0;
   Stats stats_;
+  ObsSink* obs_ = nullptr;
+  int32_t obs_machine_ = -1;
+  double obs_now_ = 0.0;
 };
 
 }  // namespace rhythm

@@ -19,10 +19,24 @@ const char* BeActionName(BeAction action) {
 }
 
 BeAction TopController::Decide(double load, double tail_ms, double sla_ms) const {
+  return Decide(load, tail_ms, sla_ms, nullptr);
+}
+
+BeAction TopController::Decide(double load, double tail_ms, double sla_ms,
+                               DecisionTrace* trace) const {
+  if (trace != nullptr) {
+    trace->slack = Slack(tail_ms, sla_ms);
+    trace->loadlimit = thresholds_.loadlimit;
+    trace->slacklimit = thresholds_.slacklimit;
+    trace->degenerate = false;
+  }
   // Fail safe on degenerate inputs: with no meaningful slack signal the
   // controller must not grow blind, and killing on garbage would forfeit BE
   // work for what may be a telemetry glitch — SuspendBE holds the line.
   if (!(sla_ms > 0.0) || std::isnan(tail_ms) || std::isnan(load)) {
+    if (trace != nullptr) {
+      trace->degenerate = true;
+    }
     return BeAction::kSuspendBe;
   }
   const double slack = Slack(tail_ms, sla_ms);

@@ -29,10 +29,23 @@ const char* BeActionName(BeAction action);
 
 class TopController {
  public:
+  // Everything a decision was based on — captured by the traced Decide
+  // overload so the observability layer can audit the band walk without
+  // re-deriving (and possibly mis-deriving) it.
+  struct DecisionTrace {
+    double slack = 0.0;
+    double loadlimit = 0.0;
+    double slacklimit = 0.0;
+    bool degenerate = false;  // fail-safe path: invalid SLA or NaN telemetry.
+  };
+
   explicit TopController(const ServpodThresholds& thresholds) : thresholds_(thresholds) {}
 
   // Pure decision function: load in [0,1], tail and SLA in ms.
   BeAction Decide(double load, double tail_ms, double sla_ms) const;
+
+  // Identical decision, plus the inputs it banded on. `trace` may be null.
+  BeAction Decide(double load, double tail_ms, double sla_ms, DecisionTrace* trace) const;
 
   // Neutral 0.0 on degenerate inputs (sla <= 0, NaN tail/SLA): callers
   // banding on slack must not see NaN poison a comparison chain; the

@@ -46,10 +46,29 @@ void FaultInjector::Start() {
   }
 }
 
+void FaultInjector::Emit(const FaultEvent& event, ObsFaultEdge edge) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  ObsEvent record;
+  record.time_s = sim_->Now();
+  record.machine = event.pod;
+  record.kind = ObsKind::kFault;
+  record.code = static_cast<uint8_t>(event.kind);
+  record.detail = static_cast<uint8_t>(edge);
+  record.a = event.magnitude;
+  record.b = event.duration_s;
+  obs_->Record(record);
+}
+
 void FaultInjector::Activate(const FaultEvent& event) {
   if (!ValidPod(event.pod)) {
     return;
   }
+  // Point faults record an instant; windows record their begin edge (before
+  // the handlers run, so the cause precedes its consequences in the log).
+  Emit(event, event.kind == FaultKind::kBeInstanceFailure ? ObsFaultEdge::kInstant
+                                                          : ObsFaultEdge::kBegin);
   switch (event.kind) {
     case FaultKind::kPodCrash:
       if (offline_depth_[event.pod]++ == 0) {
@@ -85,6 +104,7 @@ void FaultInjector::Deactivate(const FaultEvent& event) {
   if (!ValidPod(event.pod)) {
     return;
   }
+  Emit(event, ObsFaultEdge::kEnd);
   switch (event.kind) {
     case FaultKind::kPodCrash:
       if (--offline_depth_[event.pod] == 0) {
@@ -120,6 +140,16 @@ bool FaultInjector::DropActuation(int pod) {
   const bool dropped = p >= 1.0 ? true : rng_.Bernoulli(p);
   if (dropped) {
     ++counts_.dropped_actuations;
+    if (obs_ != nullptr) {
+      ObsEvent record;
+      record.time_s = sim_->Now();
+      record.machine = pod;
+      record.kind = ObsKind::kFault;
+      record.code = static_cast<uint8_t>(FaultKind::kActuationDrop);
+      record.detail = static_cast<uint8_t>(ObsFaultEdge::kInstant);
+      record.a = p;
+      obs_->Record(record);
+    }
   }
   return dropped;
 }

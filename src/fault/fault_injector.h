@@ -17,6 +17,7 @@
 
 #include "src/common/rng.h"
 #include "src/fault/fault_schedule.h"
+#include "src/obs/obs_event.h"
 #include "src/sim/simulator.h"
 
 namespace rhythm {
@@ -71,9 +72,14 @@ class FaultInjector {
   const Counts& counts() const { return counts_; }
   int pod_count() const { return static_cast<int>(offline_depth_.size()); }
 
+  // Observability: window edges and dropped actuations emit kFault events
+  // (stamped with the simulator clock; the injector already owns `sim`).
+  void AttachObs(ObsSink* sink) { obs_ = sink; }
+
  private:
   void Activate(const FaultEvent& event);
   void Deactivate(const FaultEvent& event);
+  void Emit(const FaultEvent& event, ObsFaultEdge edge);
   bool ValidPod(int pod) const { return pod >= 0 && pod < pod_count(); }
 
   Simulator* sim_;
@@ -90,6 +96,7 @@ class FaultInjector {
   std::vector<double> failover_magnitude_;  // of the active crash, per pod.
   Counts counts_;
   bool started_ = false;
+  ObsSink* obs_ = nullptr;
 };
 
 }  // namespace rhythm

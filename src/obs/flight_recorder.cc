@@ -1,0 +1,147 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "src/cluster/deployment.h"
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+FlightRecorder::FlightRecorder(const ObsOptions& options) : options_(options) {
+  RHYTHM_CHECK(options.ring_capacity > 0);
+  RHYTHM_CHECK(options.snapshot_period_s > 0.0);
+  ring_.reserve(options.ring_capacity);
+}
+
+void FlightRecorder::Record(const ObsEvent& event) {
+  if (ring_.size() < options_.ring_capacity) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % options_.ring_capacity;
+  }
+  ++events_total_;
+}
+
+void FlightRecorder::BindMetrics(const Deployment& deployment) {
+  if (metrics_bound_) {
+    return;
+  }
+  metrics_bound_ = true;
+  load_id_ = registry_.Gauge("load");
+  slack_id_ = registry_.Gauge("slack");
+  tail_id_ = registry_.Gauge("tail_ms");
+  tail_p99_id_ = registry_.Histogram("tail_ms_p99", 0.99);
+  kills_id_ = registry_.Counter("be_kills_total");
+  violations_id_ = registry_.Counter("slack_violation_ticks_total");
+  crashes_id_ = registry_.Counter("crashes_total");
+  stale_id_ = registry_.Counter("stale_ticks_total");
+  failed_act_id_ = registry_.Counter("failed_actuations_total");
+  backoff_id_ = registry_.Counter("backoff_holds_total");
+  pod_ids_.reserve(static_cast<size_t>(deployment.pod_count()));
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    const std::string prefix = "pod" + std::to_string(pod) + ".";
+    PodMetricIds ids;
+    ids.cpu_util = registry_.Gauge(prefix + "cpu_util");
+    ids.membw_util = registry_.Gauge(prefix + "membw_util");
+    ids.be_instances = registry_.Gauge(prefix + "be_instances");
+    ids.be_cores = registry_.Gauge(prefix + "be_cores");
+    ids.be_ways = registry_.Gauge(prefix + "be_ways");
+    ids.be_throughput = registry_.Gauge(prefix + "be_throughput");
+    pod_ids_.push_back(ids);
+  }
+}
+
+void FlightRecorder::AfterAccountingTick(const Deployment& deployment) {
+  BindMetrics(deployment);
+  // The accounting tick just appended to every series; read its samples back
+  // rather than recomputing anything (same values, zero perturbation).
+  const auto last = [](const TimeSeries& series) {
+    return series.empty() ? 0.0 : series.points().back().value;
+  };
+  const double tail = last(deployment.tail_series());
+  registry_.Set(load_id_, last(deployment.load_series()));
+  registry_.Set(slack_id_, last(deployment.slack_series()));
+  registry_.Set(tail_id_, tail);
+  registry_.Observe(tail_p99_id_, tail);
+  registry_.SetTotal(kills_id_, static_cast<double>(deployment.TotalBeKills()));
+  registry_.SetTotal(violations_id_,
+                     static_cast<double>(deployment.slack_violation_ticks()));
+  registry_.SetTotal(crashes_id_, static_cast<double>(deployment.crash_count()));
+  registry_.SetTotal(stale_id_, static_cast<double>(deployment.TotalStaleTicks()));
+  registry_.SetTotal(failed_act_id_,
+                     static_cast<double>(deployment.TotalFailedActuations()));
+  registry_.SetTotal(backoff_id_, static_cast<double>(deployment.TotalBackoffHolds()));
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    const PodSeries& series = deployment.pod_series(pod);
+    const PodMetricIds& ids = pod_ids_[static_cast<size_t>(pod)];
+    registry_.Set(ids.cpu_util, last(series.cpu_util));
+    registry_.Set(ids.membw_util, last(series.membw_util));
+    registry_.Set(ids.be_instances, last(series.be_instances));
+    registry_.Set(ids.be_cores, last(series.be_cores));
+    registry_.Set(ids.be_ways, last(series.be_ways));
+    registry_.Set(ids.be_throughput, last(series.be_throughput));
+  }
+}
+
+void FlightRecorder::ScheduleSnapshots(Deployment& deployment) {
+  Deployment* live = &deployment;
+  deployment.sim().SchedulePeriodic(options_.snapshot_period_s, options_.snapshot_period_s,
+                                    [this, live] {
+                                      BindMetrics(*live);
+                                      registry_.Snapshot(live->sim().Now());
+                                    });
+}
+
+void FlightRecorder::DescribeDeployment(const Deployment& deployment) {
+  meta_.app = deployment.app().name;
+  meta_.sla_ms = deployment.sla_ms();
+  meta_.controller_period_s = MachineAgent::kPeriodSeconds;
+  meta_.pods.clear();
+  for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+    meta_.pods.push_back(deployment.app().components[pod].name);
+  }
+}
+
+Recording FlightRecorder::TakeRecording() const {
+  Recording recording;
+  recording.meta = meta_;
+  recording.events_total = events_total_;
+  recording.events_dropped = events_dropped();
+  recording.events.reserve(ring_.size());
+  // Unwrap the ring: oldest surviving event first.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    recording.events.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  recording.metrics = registry_.metrics();
+  return recording;
+}
+
+// -- Recording helpers (declared in recording.h) -----------------------------
+
+std::vector<ObsEvent> Recording::Filter(ObsKind kind, int machine, double from,
+                                        double to) const {
+  std::vector<ObsEvent> out;
+  for (const ObsEvent& event : events) {
+    if (event.kind != kind || event.time_s < from || event.time_s > to) {
+      continue;
+    }
+    if (machine >= 0 && event.machine != machine) {
+      continue;
+    }
+    out.push_back(event);
+  }
+  return out;
+}
+
+double Recording::FirstKillTime() const {
+  for (const ObsEvent& event : events) {
+    if (event.kind == ObsKind::kActuation &&
+        event.code == static_cast<uint8_t>(ObsKnob::kStop) && event.a > 0.0) {
+      return event.time_s;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace rhythm

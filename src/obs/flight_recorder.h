@@ -1,0 +1,107 @@
+// FlightRecorder: the in-run half of the observability subsystem.
+//
+// One recorder observes one Deployment. It is simultaneously
+//   * an ObsSink — the instrumented layers (MachineAgent, BeScheduler,
+//     FaultInjector, Deployment) push structured ObsEvents into its
+//     fixed-capacity ring buffer (one allocation at construction, oldest
+//     events overwritten on overflow);
+//   * a DeploymentObserver — after every accounting tick it refreshes the
+//     standard metric set (load, slack, tail, per-pod utilization and BE
+//     allocation, hardening counters) in its MetricsRegistry;
+//   * the owner of a periodic snapshot task that samples every metric into
+//     its timeline at ObsOptions::snapshot_period_s.
+//
+// The recorder is strictly read-only over the simulation and draws no
+// randomness, so a recorded run is byte-identical to an unrecorded one — the
+// golden bit-identity test runs the golden plan with a recorder attached and
+// compares hexfloat-exact summaries to prove it.
+
+#ifndef RHYTHM_SRC_OBS_FLIGHT_RECORDER_H_
+#define RHYTHM_SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/metrics_registry.h"
+#include "src/obs/obs_event.h"
+#include "src/obs/recording.h"
+#include "src/verify/deployment_observer.h"
+
+namespace rhythm {
+
+class Deployment;
+
+class FlightRecorder final : public DeploymentObserver, public ObsSink {
+ public:
+  explicit FlightRecorder(const ObsOptions& options);
+
+  // ObsSink: stamps nothing, copies the event into the ring.
+  void Record(const ObsEvent& event) override;
+
+  // DeploymentObserver: refresh the standard metrics from the deployment's
+  // already-sampled series (never recomputes simulation state).
+  void AfterAccountingTick(const Deployment& deployment) override;
+
+  // Installs the periodic metric-snapshot task. Call once, after
+  // Deployment::Start() (Run() does this when the request enables obs).
+  void ScheduleSnapshots(Deployment& deployment);
+
+  // Fills the recording's run metadata (Run() knows the request; manual
+  // attachments may call DescribeDeployment instead).
+  void set_meta(const RecordingMeta& meta) { meta_ = meta; }
+  // Derives meta from the deployment itself (app/pod names, SLA, cadence);
+  // seed/be/controller fall back to what the deployment exposes.
+  void DescribeDeployment(const Deployment& deployment);
+
+  // Snapshot of everything recorded so far, events in chronological order.
+  Recording TakeRecording() const;
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  uint64_t events_total() const { return events_total_; }
+  uint64_t events_dropped() const {
+    return events_total_ > ring_.size() ? events_total_ - ring_.size() : 0;
+  }
+  const ObsOptions& options() const { return options_; }
+
+ private:
+  // Lazy standard-metric registration (needs the pod count).
+  void BindMetrics(const Deployment& deployment);
+
+  ObsOptions options_;
+  RecordingMeta meta_;
+  MetricsRegistry registry_;
+
+  // Ring buffer: next_ is the slot the next event lands in; once
+  // events_total_ exceeds capacity the ring holds the latest
+  // `capacity` events and next_ points at the oldest.
+  std::vector<ObsEvent> ring_;
+  size_t next_ = 0;
+  uint64_t events_total_ = 0;
+
+  bool metrics_bound_ = false;
+  // Standard metric ids (valid once metrics_bound_).
+  MetricsRegistry::MetricId load_id_ = 0;
+  MetricsRegistry::MetricId slack_id_ = 0;
+  MetricsRegistry::MetricId tail_id_ = 0;
+  MetricsRegistry::MetricId tail_p99_id_ = 0;
+  MetricsRegistry::MetricId kills_id_ = 0;
+  MetricsRegistry::MetricId violations_id_ = 0;
+  MetricsRegistry::MetricId crashes_id_ = 0;
+  MetricsRegistry::MetricId stale_id_ = 0;
+  MetricsRegistry::MetricId failed_act_id_ = 0;
+  MetricsRegistry::MetricId backoff_id_ = 0;
+  struct PodMetricIds {
+    MetricsRegistry::MetricId cpu_util;
+    MetricsRegistry::MetricId membw_util;
+    MetricsRegistry::MetricId be_instances;
+    MetricsRegistry::MetricId be_cores;
+    MetricsRegistry::MetricId be_ways;
+    MetricsRegistry::MetricId be_throughput;
+  };
+  std::vector<PodMetricIds> pod_ids_;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,113 @@
+#include "src/obs/metrics_registry.h"
+
+#include <stdexcept>
+
+#include "src/common/logging.h"
+
+namespace rhythm {
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry::MetricId MetricsRegistry::Register(const std::string& name, MetricType type,
+                                                    double quantile) {
+  MetricId existing;
+  if (Find(name, &existing)) {
+    if (metrics_[existing].type != type) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' re-registered with a different type");
+    }
+    return existing;
+  }
+  Metric metric;
+  metric.name = name;
+  metric.type = type;
+  metric.quantile = quantile;
+  metrics_.push_back(std::move(metric));
+  if (type == MetricType::kHistogram) {
+    sketch_of_metric_.push_back(sketches_.size());
+    sketches_.emplace_back(quantile);
+  } else {
+    sketch_of_metric_.push_back(static_cast<size_t>(-1));
+  }
+  return metrics_.size() - 1;
+}
+
+MetricsRegistry::MetricId MetricsRegistry::Counter(const std::string& name) {
+  return Register(name, MetricType::kCounter, 0.0);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::Gauge(const std::string& name) {
+  return Register(name, MetricType::kGauge, 0.0);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::Histogram(const std::string& name, double quantile) {
+  if (!(quantile > 0.0 && quantile < 1.0)) {
+    throw std::invalid_argument("MetricsRegistry: histogram quantile must be in (0, 1)");
+  }
+  return Register(name, MetricType::kHistogram, quantile);
+}
+
+void MetricsRegistry::Inc(MetricId id, double delta) {
+  RHYTHM_CHECK(id < metrics_.size());
+  metrics_[id].current += delta;
+}
+
+void MetricsRegistry::SetTotal(MetricId id, double total) {
+  RHYTHM_CHECK(id < metrics_.size());
+  // Monotone mirror: never move a counter backwards (a torn external read
+  // must not make the timeline lie about direction).
+  if (total > metrics_[id].current) {
+    metrics_[id].current = total;
+  }
+}
+
+void MetricsRegistry::Set(MetricId id, double value) {
+  RHYTHM_CHECK(id < metrics_.size());
+  metrics_[id].current = value;
+}
+
+void MetricsRegistry::Observe(MetricId id, double sample) {
+  RHYTHM_CHECK(id < metrics_.size());
+  Metric& metric = metrics_[id];
+  RHYTHM_CHECK(metric.type == MetricType::kHistogram);
+  sketches_[sketch_of_metric_[id]].Add(sample);
+  ++metric.observations;
+}
+
+double MetricsRegistry::Value(MetricId id) const {
+  RHYTHM_CHECK(id < metrics_.size());
+  const Metric& metric = metrics_[id];
+  if (metric.type == MetricType::kHistogram) {
+    return sketches_[sketch_of_metric_[id]].Value();
+  }
+  return metric.current;
+}
+
+void MetricsRegistry::Snapshot(double now) {
+  for (MetricId id = 0; id < metrics_.size(); ++id) {
+    metrics_[id].timeline.Add(now, Value(id));
+  }
+  ++snapshots_;
+}
+
+bool MetricsRegistry::Find(const std::string& name, MetricId* id) const {
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name == name) {
+      *id = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rhythm

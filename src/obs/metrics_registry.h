@@ -1,0 +1,82 @@
+// Named metrics with periodic snapshots: counters (monotone), gauges (last
+// value wins) and histograms (streaming P² quantile estimate, reusing
+// src/common/p2_quantile so a long run's tail costs O(1) memory).
+//
+// The registry separates *updates* (cheap, every accounting tick) from
+// *snapshots* (a periodic simulator task appends one point per metric to its
+// timeline). Exporters and the query CLI consume the timelines; the current
+// values answer "now" questions. Like every obs component, the registry is
+// passive — it never touches simulation state and draws no randomness.
+
+#ifndef RHYTHM_SRC_OBS_METRICS_REGISTRY_H_
+#define RHYTHM_SRC_OBS_METRICS_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/p2_quantile.h"
+#include "src/common/time_series.h"
+
+namespace rhythm {
+
+enum class MetricType : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+const char* MetricTypeName(MetricType type);
+
+class MetricsRegistry {
+ public:
+  using MetricId = size_t;
+
+  // Registration. Names must be unique; re-registering an existing name with
+  // the same type returns the existing id (so lazy per-pod registration is
+  // idempotent). Histograms track the given quantile via P².
+  MetricId Counter(const std::string& name);
+  MetricId Gauge(const std::string& name);
+  MetricId Histogram(const std::string& name, double quantile = 0.99);
+
+  // Updates.
+  void Inc(MetricId id, double delta = 1.0);    // counter
+  void SetTotal(MetricId id, double total);     // counter mirroring an
+                                                // external monotone total.
+  void Set(MetricId id, double value);          // gauge
+  void Observe(MetricId id, double sample);     // histogram
+
+  // Appends the current value of every metric to its timeline, stamped `now`.
+  // A histogram snapshots its P² quantile estimate.
+  void Snapshot(double now);
+
+  // Current value without snapshotting (histograms: the P² estimate).
+  double Value(MetricId id) const;
+
+  struct Metric {
+    std::string name;
+    MetricType type = MetricType::kGauge;
+    double quantile = 0.0;     // histograms only.
+    uint64_t observations = 0; // histogram sample count.
+    double current = 0.0;      // counters and gauges.
+    TimeSeries timeline;       // snapshot history.
+  };
+
+  const std::vector<Metric>& metrics() const { return metrics_; }
+  size_t size() const { return metrics_.size(); }
+  uint64_t snapshots_taken() const { return snapshots_; }
+
+  // Lookup by name; returns false when absent.
+  bool Find(const std::string& name, MetricId* id) const;
+
+ private:
+  MetricId Register(const std::string& name, MetricType type, double quantile);
+
+  std::vector<Metric> metrics_;
+  // P² sketches live beside the metric records (P2Quantile is not
+  // assignable, so Metric stays copyable for exporters).
+  std::vector<P2Quantile> sketches_;
+  std::vector<size_t> sketch_of_metric_;  // metric id -> sketch index.
+  uint64_t snapshots_ = 0;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_OBS_METRICS_REGISTRY_H_

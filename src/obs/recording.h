@@ -1,0 +1,77 @@
+// Recording: the self-contained, queryable artifact one observed run leaves
+// behind — run metadata, the flight recorder's event log in chronological
+// order, and every metric timeline. Plain data; the exporters serialize it
+// and tools/obs_query loads it back.
+
+#ifndef RHYTHM_SRC_OBS_RECORDING_H_
+#define RHYTHM_SRC_OBS_RECORDING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics_registry.h"
+#include "src/obs/obs_event.h"
+
+namespace rhythm {
+
+// Per-run observability knobs, carried by RunRequest. Plain data.
+struct ObsOptions {
+  // Master switch: false attaches nothing (zero overhead — every hook is a
+  // null-pointer test).
+  bool enabled = false;
+  // Flight-recorder ring capacity in events. When the run outgrows it the
+  // oldest events are overwritten (events_dropped counts them) — like a real
+  // flight recorder, the most recent window survives.
+  size_t ring_capacity = 65536;
+  // Metric snapshot cadence (simulated seconds).
+  double snapshot_period_s = 1.0;
+  // Export destinations written by Run() after the trial; empty = skip.
+  std::string export_jsonl;        // event + metric dump, one JSON per line.
+  std::string export_perfetto;     // Chrome/Perfetto trace-event JSON.
+  std::string export_metrics_csv;  // metric timelines as CSV.
+};
+
+struct RecordingMeta {
+  std::string app;         // LC application name.
+  std::string be;          // BE job kind name.
+  std::string controller;  // controller kind name.
+  uint64_t seed = 0;
+  double sla_ms = 0.0;
+  double controller_period_s = 0.0;  // decision cadence (slice width).
+  std::vector<std::string> pods;     // component name per machine index.
+};
+
+struct Recording {
+  RecordingMeta meta;
+  // Chronological; ring overflow drops from the front (oldest first).
+  std::vector<ObsEvent> events;
+  uint64_t events_total = 0;    // recorded into the ring, ever.
+  uint64_t events_dropped = 0;  // overwritten by ring wrap-around.
+  std::vector<MetricsRegistry::Metric> metrics;
+
+  int pod_count() const { return static_cast<int>(meta.pods.size()); }
+
+  // Timeline of metric `name`, or null when absent.
+  const TimeSeries* Metric(const std::string& name) const {
+    for (const auto& metric : metrics) {
+      if (metric.name == name) {
+        return &metric.timeline;
+      }
+    }
+    return nullptr;
+  }
+
+  // Events of `kind` on `machine` (machine < 0: any) within [from, to].
+  std::vector<ObsEvent> Filter(ObsKind kind, int machine = -1, double from = 0.0,
+                               double to = 1e300) const;
+
+  // Time of the first verified BE kill (a kStop actuation that destroyed at
+  // least one instance); negative when the run never killed.
+  double FirstKillTime() const;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_OBS_RECORDING_H_

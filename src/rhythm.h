@@ -39,6 +39,11 @@
 #include "src/fault/fault_schedule_io.h"
 #include "src/fault/spiked_load_profile.h"
 #include "src/interference/interference_model.h"
+#include "src/obs/exporters.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/obs_event.h"
+#include "src/obs/recording.h"
 #include "src/resources/machine.h"
 #include "src/runner/run_request.h"
 #include "src/runner/runner.h"

@@ -17,6 +17,7 @@
 #include "src/cluster/deployment.h"
 #include "src/control/thresholds.h"
 #include "src/fault/fault_schedule.h"
+#include "src/obs/recording.h"
 #include "src/verify/invariant_types.h"
 #include "src/workload/app_catalog.h"
 #include "src/workload/load_profile.h"
@@ -49,6 +50,12 @@ struct RunRequest {
   // The monitor is read-only and draws no randomness, so enabling it leaves
   // the summary metrics bit-identical.
   InvariantOptions verify;
+  // Observability (src/obs). Disabled by default; when enabled, Run()
+  // attaches a FlightRecorder (alongside any invariant monitor), hands the
+  // finished Recording to TrialHooks::on_recording and writes whatever
+  // export paths the options name. The recorder is read-only and draws no
+  // randomness, so an observed run stays bit-identical to an unobserved one.
+  ObsOptions obs;
   // Free-form tag carried through for the caller's bookkeeping (e.g. which
   // figure cell this trial fills); never interpreted by the runner.
   std::string label;

@@ -12,6 +12,8 @@
 #include "src/cluster/app_thresholds.h"
 #include "src/common/env.h"
 #include "src/fault/spiked_load_profile.h"
+#include "src/obs/exporters.h"
+#include "src/obs/flight_recorder.h"
 #include "src/verify/invariant_monitor.h"
 
 namespace rhythm {
@@ -68,11 +70,26 @@ RunSummary Run(const RunRequest& request, const TrialHooks& hooks) {
                                                    : request.thresholds;
   }
 
-  // Invariant monitor, attached as a read-only observer when requested.
+  // Invariant monitor and flight recorder, attached as read-only observers
+  // when requested; both at once ride through an observer chain (monitor
+  // first, preserving its standalone hook order).
   std::unique_ptr<InvariantMonitor> monitor;
   if (request.verify.mode != InvariantMode::kOff) {
     monitor = std::make_unique<InvariantMonitor>(request.verify);
     config.observer = monitor.get();
+  }
+  std::unique_ptr<FlightRecorder> recorder;
+  DeploymentObserverChain observer_chain;
+  if (request.obs.enabled) {
+    recorder = std::make_unique<FlightRecorder>(request.obs);
+    config.obs_sink = recorder.get();
+    if (monitor != nullptr) {
+      observer_chain.Add(monitor.get());
+      observer_chain.Add(recorder.get());
+      config.observer = &observer_chain;
+    } else {
+      config.observer = recorder.get();
+    }
   }
 
   // Resolve the load profile, layering flash-crowd spikes from the fault
@@ -88,6 +105,9 @@ RunSummary Run(const RunRequest& request, const TrialHooks& hooks) {
 
   Deployment deployment(config);
   deployment.Start(profile);
+  if (recorder != nullptr) {
+    recorder->ScheduleSnapshots(deployment);
+  }
   if (hooks.after_start) {
     hooks.after_start(deployment);
   }
@@ -107,6 +127,36 @@ RunSummary Run(const RunRequest& request, const TrialHooks& hooks) {
   }
   if (hooks.inspect) {
     hooks.inspect(deployment, summary);
+  }
+  if (recorder != nullptr) {
+    RecordingMeta meta;
+    meta.app = LcAppKindName(request.app);
+    meta.be = BeJobKindName(request.be);
+    meta.controller = ControllerKindName(request.controller);
+    meta.seed = request.seed;
+    meta.sla_ms = deployment.sla_ms();
+    meta.controller_period_s = MachineAgent::kPeriodSeconds;
+    for (int pod = 0; pod < deployment.pod_count(); ++pod) {
+      meta.pods.push_back(deployment.app().components[pod].name);
+    }
+    recorder->set_meta(meta);
+    const Recording recording = recorder->TakeRecording();
+    if (!request.obs.export_jsonl.empty() &&
+        !WriteJsonl(recording, request.obs.export_jsonl)) {
+      throw std::runtime_error("Run: cannot write recording to " + request.obs.export_jsonl);
+    }
+    if (!request.obs.export_perfetto.empty() &&
+        !WritePerfettoTrace(recording, request.obs.export_perfetto)) {
+      throw std::runtime_error("Run: cannot write trace to " + request.obs.export_perfetto);
+    }
+    if (!request.obs.export_metrics_csv.empty() &&
+        !WriteMetricsCsv(recording, request.obs.export_metrics_csv)) {
+      throw std::runtime_error("Run: cannot write metrics to " +
+                               request.obs.export_metrics_csv);
+    }
+    if (hooks.on_recording) {
+      hooks.on_recording(recording);
+    }
   }
   return summary;
 }

@@ -42,6 +42,11 @@ RunSummary Run(const RunRequest& request);
 struct TrialHooks {
   std::function<void(Deployment&)> after_start;
   std::function<void(const Deployment&, const RunSummary&)> inspect;
+  // Fires after `inspect` when the request enabled observability
+  // (RunRequest::obs.enabled), with the trial's finished Recording — events,
+  // metric timelines and run metadata. Exports named by the request's
+  // ObsOptions are written before this hook runs.
+  std::function<void(const Recording&)> on_recording;
 };
 
 RunSummary Run(const RunRequest& request, const TrialHooks& hooks);

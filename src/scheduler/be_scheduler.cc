@@ -33,6 +33,16 @@ int BeScheduler::DispatchRound() {
     if (slot.be->AdmitInstance()) {
       ++stats_.dispatched;
       ++launched;
+      if (obs_ != nullptr) {
+        ObsEvent event;
+        event.time_s = obs_now_;
+        event.machine = slot.pod;
+        event.kind = ObsKind::kBeLifecycle;
+        event.code = static_cast<uint8_t>(ObsBeOp::kDispatch);
+        event.a = 1.0;
+        event.b = static_cast<double>(backlog_->pending());
+        obs_->Record(event);
+      }
     } else {
       ++stats_.rejected_full;
     }

@@ -14,6 +14,7 @@
 
 #include "src/bemodel/be_runtime.h"
 #include "src/control/machine_agent.h"
+#include "src/obs/obs_event.h"
 #include "src/scheduler/be_backlog.h"
 
 namespace rhythm {
@@ -24,6 +25,7 @@ class BeScheduler {
     Machine* machine = nullptr;
     BeRuntime* be = nullptr;
     const MachineAgent* agent = nullptr;  // may be null (uncontrolled).
+    int pod = -1;  // machine index, stamped into dispatch events.
   };
 
   struct Stats {
@@ -47,11 +49,19 @@ class BeScheduler {
   // (or when it runs uncontrolled).
   static bool MachineAccepts(const MachineSlot& slot);
 
+  // Observability: each admission emits a kBeLifecycle/kDispatch event,
+  // stamped with the time last passed to set_obs_now (the deployment sets it
+  // before every dispatch round).
+  void AttachObs(ObsSink* sink) { obs_ = sink; }
+  void set_obs_now(double now_s) { obs_now_ = now_s; }
+
  private:
   BeBacklog* backlog_;
   std::vector<MachineSlot> machines_;
   Stats stats_;
   size_t next_machine_ = 0;  // round-robin fairness across machines.
+  ObsSink* obs_ = nullptr;
+  double obs_now_ = 0.0;
 };
 
 }  // namespace rhythm

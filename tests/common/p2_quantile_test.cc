@@ -81,5 +81,62 @@ TEST(P2QuantileTest, ConstantStream) {
   EXPECT_DOUBLE_EQ(p99.Value(), 7.0);
 }
 
+TEST(P2QuantileTest, FewerThanFiveSamplesIsExactNearestRank) {
+  // Below five samples the sketch has no markers yet; Value() must be the
+  // exact nearest-rank quantile (rank = round(q*(n-1))) of what was seen.
+  P2Quantile p99(0.99);
+  p99.Add(3.0);
+  p99.Add(1.0);
+  p99.Add(4.0);
+  p99.Add(2.0);
+  EXPECT_EQ(p99.count(), 4u);
+  EXPECT_DOUBLE_EQ(p99.Value(), 4.0);  // rank round(0.99*3)=3 -> max.
+
+  P2Quantile p25(0.25);
+  p25.Add(40.0);
+  p25.Add(10.0);
+  p25.Add(30.0);
+  p25.Add(20.0);
+  EXPECT_DOUBLE_EQ(p25.Value(), 20.0);  // rank round(0.25*3)=1.
+
+  P2Quantile p10(0.1);
+  p10.Add(5.0);
+  p10.Add(-5.0);
+  EXPECT_DOUBLE_EQ(p10.Value(), -5.0);  // rank round(0.1*1)=0 -> min.
+}
+
+TEST(P2QuantileTest, AllEqualSurvivesTheMarkerTransition) {
+  // Five equal samples put all five markers at the same height — every
+  // marker cell is degenerate (zero width). The adjustment step must not
+  // divide by zero or drift off the only value in the stream.
+  for (int extra : {0, 1, 100}) {
+    P2Quantile p90(0.9);
+    for (int i = 0; i < 5 + extra; ++i) {
+      p90.Add(7.0);
+    }
+    EXPECT_DOUBLE_EQ(p90.Value(), 7.0) << "after " << 5 + extra << " samples";
+  }
+}
+
+TEST(P2QuantileTest, MonotoneRampTracksTheExactQuantile) {
+  // An ascending ramp 1..N is the friendliest possible stream; the estimate
+  // must land within 2% of the exact quantile. A descending ramp feeds every
+  // sample below the current markers, the adversarial direction — allow a
+  // looser band but demand the same convergence.
+  const int n = 10000;
+  P2Quantile up(0.9);
+  for (int i = 1; i <= n; ++i) {
+    up.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(up.count(), static_cast<size_t>(n));
+  EXPECT_NEAR(up.Value(), 0.9 * n, 0.02 * n);
+
+  P2Quantile down(0.9);
+  for (int i = n; i >= 1; --i) {
+    down.Add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(down.Value(), 0.9 * n, 0.05 * n);
+}
+
 }  // namespace
 }  // namespace rhythm

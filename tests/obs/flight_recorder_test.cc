@@ -1,0 +1,94 @@
+#include "src/obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/obs_event.h"
+#include "src/obs/recording.h"
+
+namespace rhythm {
+namespace {
+
+ObsEvent Event(double t, int machine, ObsKind kind, uint8_t code = 0, double a = 0.0) {
+  ObsEvent event;
+  event.time_s = t;
+  event.machine = machine;
+  event.kind = kind;
+  event.code = code;
+  event.a = a;
+  return event;
+}
+
+TEST(FlightRecorder, RingKeepsTheLatestWindow) {
+  ObsOptions options;
+  options.enabled = true;
+  options.ring_capacity = 8;
+  FlightRecorder recorder(options);
+  for (int i = 0; i < 20; ++i) {
+    recorder.Record(Event(static_cast<double>(i), i % 3, ObsKind::kDecision));
+  }
+  EXPECT_EQ(recorder.events_total(), 20u);
+  EXPECT_EQ(recorder.events_dropped(), 12u);
+
+  const Recording recording = recorder.TakeRecording();
+  EXPECT_EQ(recording.events_total, 20u);
+  EXPECT_EQ(recording.events_dropped, 12u);
+  ASSERT_EQ(recording.events.size(), 8u);
+  // The ring holds the newest 8 events, unwrapped chronologically.
+  for (size_t i = 0; i < recording.events.size(); ++i) {
+    EXPECT_EQ(recording.events[i].time_s, 12.0 + static_cast<double>(i));
+  }
+}
+
+TEST(FlightRecorder, NoOverflowMeansNoDrops) {
+  ObsOptions options;
+  options.ring_capacity = 16;
+  FlightRecorder recorder(options);
+  for (int i = 0; i < 5; ++i) {
+    recorder.Record(Event(static_cast<double>(i), 0, ObsKind::kActuation));
+  }
+  EXPECT_EQ(recorder.events_dropped(), 0u);
+  const Recording recording = recorder.TakeRecording();
+  ASSERT_EQ(recording.events.size(), 5u);
+  EXPECT_EQ(recording.events.front().time_s, 0.0);
+  EXPECT_EQ(recording.events.back().time_s, 4.0);
+}
+
+TEST(Recording, FilterByKindMachineAndWindow) {
+  ObsOptions options;
+  FlightRecorder recorder(options);
+  recorder.Record(Event(1.0, 0, ObsKind::kDecision));
+  recorder.Record(Event(2.0, 1, ObsKind::kDecision));
+  recorder.Record(Event(3.0, 0, ObsKind::kActuation));
+  recorder.Record(Event(4.0, 0, ObsKind::kDecision));
+  recorder.Record(Event(5.0, -1, ObsKind::kSloViolation));
+  const Recording recording = recorder.TakeRecording();
+
+  EXPECT_EQ(recording.Filter(ObsKind::kDecision).size(), 3u);
+  EXPECT_EQ(recording.Filter(ObsKind::kDecision, 0).size(), 2u);
+  EXPECT_EQ(recording.Filter(ObsKind::kDecision, 1).size(), 1u);
+  EXPECT_EQ(recording.Filter(ObsKind::kDecision, 0, 2.0, 10.0).size(), 1u);
+  EXPECT_EQ(recording.Filter(ObsKind::kSloViolation).size(), 1u);
+  EXPECT_EQ(recording.Filter(ObsKind::kFault).size(), 0u);
+}
+
+TEST(Recording, FirstKillTimeWantsADestructiveStop) {
+  ObsOptions options;
+  FlightRecorder recorder(options);
+  // A stop that found nothing to kill does not count; the first stop with
+  // casualties does.
+  recorder.Record(Event(3.0, 0, ObsKind::kActuation,
+                        static_cast<uint8_t>(ObsKnob::kStop), /*a=*/0.0));
+  recorder.Record(Event(5.0, 1, ObsKind::kActuation,
+                        static_cast<uint8_t>(ObsKnob::kSuspend), /*a=*/4.0));
+  recorder.Record(Event(7.0, 1, ObsKind::kActuation,
+                        static_cast<uint8_t>(ObsKnob::kStop), /*a=*/2.0));
+  const Recording recording = recorder.TakeRecording();
+  EXPECT_EQ(recording.FirstKillTime(), 7.0);
+
+  FlightRecorder quiet(options);
+  quiet.Record(Event(1.0, 0, ObsKind::kDecision));
+  EXPECT_LT(quiet.TakeRecording().FirstKillTime(), 0.0);
+}
+
+}  // namespace
+}  // namespace rhythm

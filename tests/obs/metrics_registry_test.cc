@@ -1,0 +1,85 @@
+#include "src/obs/metrics_registry.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace rhythm {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulatesAndMirrorsTotals) {
+  MetricsRegistry registry;
+  const auto id = registry.Counter("kills");
+  EXPECT_EQ(registry.Value(id), 0.0);
+  registry.Inc(id);
+  registry.Inc(id, 3.0);
+  EXPECT_EQ(registry.Value(id), 4.0);
+  // SetTotal mirrors an external monotone total: moving forward works,
+  // moving backward is ignored (counters never decrease).
+  registry.SetTotal(id, 10.0);
+  EXPECT_EQ(registry.Value(id), 10.0);
+  registry.SetTotal(id, 7.0);
+  EXPECT_EQ(registry.Value(id), 10.0);
+}
+
+TEST(MetricsRegistry, GaugeLastValueWins) {
+  MetricsRegistry registry;
+  const auto id = registry.Gauge("slack");
+  registry.Set(id, 0.5);
+  registry.Set(id, -0.25);
+  EXPECT_EQ(registry.Value(id), -0.25);
+}
+
+TEST(MetricsRegistry, HistogramTracksQuantile) {
+  MetricsRegistry registry;
+  const auto id = registry.Histogram("tail", 0.5);
+  for (int i = 1; i <= 1001; ++i) {
+    registry.Observe(id, static_cast<double>(i));
+  }
+  // Median of 1..1001 is 501; P² is an estimate, so allow slack.
+  EXPECT_NEAR(registry.Value(id), 501.0, 25.0);
+  EXPECT_EQ(registry.metrics()[id].observations, 1001u);
+}
+
+TEST(MetricsRegistry, ReRegistrationIsIdempotentButTypeChecked) {
+  MetricsRegistry registry;
+  const auto id = registry.Gauge("load");
+  EXPECT_EQ(registry.Gauge("load"), id);
+  EXPECT_THROW(registry.Counter("load"), std::invalid_argument);
+  EXPECT_THROW(registry.Histogram("load", 0.9), std::invalid_argument);
+  EXPECT_THROW(registry.Histogram("h", 0.0), std::invalid_argument);
+  EXPECT_THROW(registry.Histogram("h", 1.0), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SnapshotAppendsOnePointPerMetric) {
+  MetricsRegistry registry;
+  const auto gauge = registry.Gauge("g");
+  const auto counter = registry.Counter("c");
+  registry.Set(gauge, 1.5);
+  registry.Inc(counter, 2.0);
+  registry.Snapshot(10.0);
+  registry.Set(gauge, 2.5);
+  registry.Snapshot(11.0);
+
+  EXPECT_EQ(registry.snapshots_taken(), 2u);
+  const auto& g = registry.metrics()[gauge].timeline;
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.points()[0].time, 10.0);
+  EXPECT_EQ(g.points()[0].value, 1.5);
+  EXPECT_EQ(g.points()[1].value, 2.5);
+  const auto& c = registry.metrics()[counter].timeline;
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.points()[1].value, 2.0);
+}
+
+TEST(MetricsRegistry, FindByName) {
+  MetricsRegistry registry;
+  const auto id = registry.Gauge("present");
+  MetricsRegistry::MetricId found = 999;
+  EXPECT_TRUE(registry.Find("present", &found));
+  EXPECT_EQ(found, id);
+  EXPECT_FALSE(registry.Find("absent", &found));
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,73 @@
+// End-to-end: a fault-injected Run() with obs enabled leaves behind a
+// Recording that survives the JSONL round trip and answers the queries the
+// subsystem was built for (events on a machine in a window, first kill,
+// metric timelines).
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/fault_schedule.h"
+#include "src/obs/exporters.h"
+#include "src/obs/recording.h"
+#include "src/runner/run_request.h"
+#include "src/runner/runner.h"
+
+namespace rhythm {
+namespace {
+
+TEST(RecordedRun, FaultedRunRoundTripsThroughJsonl) {
+  auto faults = std::make_shared<FaultSchedule>();
+  faults->Add({FaultKind::kPodCrash, 1, 40.0, 15.0, 0.3});
+
+  RunRequest request;
+  request.app = LcAppKind::kRedis;
+  request.be = BeJobKind::kWordcount;
+  request.controller = ControllerKind::kRhythm;
+  request.seed = 7;
+  request.load = 0.55;
+  request.warmup_s = 0.0;
+  request.measure_s = 90.0;
+  request.faults = faults;
+  request.obs.enabled = true;
+
+  Recording recording;
+  TrialHooks hooks;
+  hooks.on_recording = [&recording](const Recording& r) { recording = r; };
+  const RunSummary summary = ::rhythm::Run(request, hooks);
+  EXPECT_EQ(summary.crashes, 1u);
+
+  // The run left a substantive recording behind.
+  ASSERT_GT(recording.events_total, 0u);
+  EXPECT_EQ(recording.pod_count(), 2);
+  EXPECT_EQ(recording.meta.controller, "Rhythm");
+  EXPECT_FALSE(recording.Filter(ObsKind::kDecision).empty());
+  ASSERT_EQ(recording.Filter(ObsKind::kFault).size(), 2u);  // begin + end.
+  const ObsEvent begin = recording.Filter(ObsKind::kFault)[0];
+  EXPECT_EQ(begin.time_s, 40.0);
+  EXPECT_EQ(begin.machine, 1);
+  ASSERT_NE(recording.Metric("tail_ms"), nullptr);
+  EXPECT_GE(recording.Metric("tail_ms")->size(), 89u);
+
+  // Round trip: the serialized recording answers identically.
+  const Recording copy = FromJsonl(ToJsonl(recording));
+  EXPECT_EQ(copy.events.size(), recording.events.size());
+  EXPECT_EQ(copy.events_total, recording.events_total);
+  EXPECT_EQ(copy.metrics.size(), recording.metrics.size());
+  EXPECT_EQ(copy.Filter(ObsKind::kDecision, 1, 30.0, 60.0).size(),
+            recording.Filter(ObsKind::kDecision, 1, 30.0, 60.0).size());
+  EXPECT_EQ(copy.FirstKillTime(), recording.FirstKillTime());
+  ASSERT_NE(copy.Metric("slack"), nullptr);
+  EXPECT_EQ(copy.Metric("slack")->size(), recording.Metric("slack")->size());
+
+  // No decisions from the crashed machine while it was down: the decision
+  // stream on machine 1 must have a gap covering (40, 55).
+  for (const ObsEvent& event : recording.Filter(ObsKind::kDecision, 1)) {
+    EXPECT_FALSE(event.time_s > 40.0 && event.time_s < 55.0)
+        << "decision at t=" << event.time_s << " during the outage";
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

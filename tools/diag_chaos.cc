@@ -5,15 +5,19 @@
 // slack during the outage while the uncontrolled baseline stays in
 // violation.
 //
-// Each replay is a plain RunRequest played through Run() with trial hooks —
-// the uncontrolled baseline seeds its BEs in after_start and the trajectory
-// print reads the live deployment in inspect — plus the invariant monitor in
-// collect mode, so a calibration run doubles as a safety check.
+// Each replay is a plain RunRequest played through Run() with the invariant
+// monitor (collect mode) AND a flight recorder attached — the slack/tail
+// trajectory and the decision chain around the crash are printed from the
+// finished Recording, and the counters from the RunSummary. Set
+// RHYTHM_OBS_DIR=<dir> to also export each replay's recording
+// (chaos_<controller>.jsonl / .trace.json / .csv) for obs_query or Perfetto;
+// the CI obs smoke step drives exactly that path.
 //
 // Usage: diag_chaos [load] [inflation] [down_s]
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "src/rhythm.h"
 
@@ -34,6 +38,7 @@ int main(int argc, char** argv) {
   const int crash_pod = app.PodIndex("MySQL");
   const double crash_at = 120.0;
   const double duration = 300.0;
+  const char* obs_dir = std::getenv("RHYTHM_OBS_DIR");
 
   auto faults = std::make_shared<FaultSchedule>();
   faults->Add({FaultKind::kPodCrash, crash_pod, crash_at, down_s, inflation});
@@ -61,6 +66,14 @@ int main(int argc, char** argv) {
     request.measure_s = duration;
     request.faults = faults;
     request.verify.mode = InvariantMode::kCollect;
+    request.obs.enabled = true;
+    if (obs_dir != nullptr) {
+      const std::string stem =
+          std::string(obs_dir) + "/chaos_" + ControllerKindName(controller);
+      request.obs.export_jsonl = stem + ".jsonl";
+      request.obs.export_perfetto = stem + ".trace.json";
+      request.obs.export_metrics_csv = stem + ".csv";
+    }
 
     TrialHooks hooks;
     if (controller == ControllerKind::kNone) {
@@ -73,27 +86,33 @@ int main(int argc, char** argv) {
         }
       };
     }
-    hooks.inspect = [&](const Deployment& deployment, const RunSummary& summary) {
+    RunSummary summary;
+    hooks.inspect = [&summary](const Deployment&, const RunSummary& s) { summary = s; };
+    hooks.on_recording = [&](const Recording& recording) {
       std::printf("--- %s ---\n", ControllerKindName(controller));
+      const TimeSeries* slack = recording.Metric("slack");
+      const TimeSeries* tail = recording.Metric("tail_ms");
       std::printf("%8s %7s %7s %9s\n", "t(s)", "slack", "tail", "be_inst");
       for (double t = crash_at - 20.0; t <= crash_at + down_s + 60.0; t += 10.0) {
         double instances = 0.0;
-        for (int pod = 0; pod < deployment.pod_count(); ++pod) {
-          instances += deployment.pod_series(pod).be_instances.ValueAt(t);
+        for (int pod = 0; pod < recording.pod_count(); ++pod) {
+          const TimeSeries* inst =
+              recording.Metric("pod" + std::to_string(pod) + ".be_instances");
+          instances += inst != nullptr ? inst->ValueAt(t) : 0.0;
         }
-        std::printf("%8.0f %7.2f %7.1f %9.1f\n", t, deployment.slack_series().ValueAt(t),
-                    deployment.tail_series().ValueAt(t), instances);
+        std::printf("%8.0f %7.2f %7.1f %9.1f\n", t, slack->ValueAt(t), tail->ValueAt(t),
+                    instances);
       }
       int outage_violations = 0;
       for (double t = crash_at + 1.0; t <= crash_at + down_s; t += 1.0) {
-        if (deployment.slack_series().ValueAt(t) < 0.0) {
+        if (slack->ValueAt(t) < 0.0) {
           ++outage_violations;
         }
       }
       std::printf("outage violations: %d / %.0f ticks\n", outage_violations, down_s);
       std::printf("recovery_s=%.1f recovered=%d slack_violation_ticks=%llu crashes=%llu "
                   "crash_be_losses=%llu stale_ticks=%llu failed_actuations=%llu "
-                  "backoff_holds=%llu kills=%llu invariant_breaches=%llu\n\n",
+                  "backoff_holds=%llu kills=%llu invariant_breaches=%llu\n",
                   summary.recovery_s, summary.recovered ? 1 : 0,
                   (unsigned long long)summary.slack_violation_ticks,
                   (unsigned long long)summary.crashes,
@@ -107,6 +126,23 @@ int main(int argc, char** argv) {
         std::printf("  INVARIANT t=%.1fs machine=%d %s: %s\n", v.time_s, v.machine,
                     v.id.c_str(), v.detail.c_str());
       }
+      // Decision audit around the crash: what the crash pod's controller saw
+      // and did from just before the outage to just after the reboot.
+      std::printf("decision chain on pod %d around the crash:\n", crash_pod);
+      int printed = 0;
+      for (const ObsEvent& event :
+           recording.Filter(ObsKind::kDecision, crash_pod, crash_at - 10.0,
+                            crash_at + down_s + 20.0)) {
+        std::printf("  %s\n", DescribeEvent(event).c_str());
+        if (++printed >= 12) {
+          std::printf("  ...\n");
+          break;
+        }
+      }
+      std::printf("fault edges: %zu, events recorded: %llu (%llu dropped)\n\n",
+                  recording.Filter(ObsKind::kFault).size(),
+                  (unsigned long long)recording.events_total,
+                  (unsigned long long)recording.events_dropped);
     };
 
     Run(request, hooks);
