@@ -182,6 +182,31 @@ const std::vector<BeJobKind>& EvaluationBeJobKinds() {
 
 const char* BeJobKindName(BeJobKind kind) { return GetBeJobSpec(kind).name.c_str(); }
 
+BeJobSpec MakeAdversarialBeSpec(const ResourceVector& pressure) {
+  const auto clamp01 = [](double v) { return std::min(1.0, std::max(0.0, v)); };
+  const double cpu = clamp01(pressure.cpu);
+  const double llc = clamp01(pressure.llc);
+  const double dram = clamp01(pressure.dram);
+  const double net = clamp01(pressure.net);
+  BeJobSpec spec;
+  // The kind tags the instance records; everything behavioural reads the
+  // spec itself (BeRuntime::spec()), so any catalog kind works as the tag.
+  spec.kind = BeJobKind::kCpuStress;
+  spec.name = "adversarial";
+  spec.pressure = {.cpu = cpu, .llc = llc, .dram = dram, .net = net, .freq = 0.0};
+  // Demands interpolate across the catalog's ranges so the decoded job both
+  // exerts the pressure and competes for the matching allocation.
+  spec.cores_demand = 1.0 + 9.0 * cpu;
+  spec.llc_ways_demand = 1 + static_cast<int>(19.0 * llc);
+  spec.membw_demand_gbs = 1.0 + 54.0 * dram;
+  spec.net_demand_gbps = 9.0 * net;
+  spec.memory_gb = 2.0 + 8.0 * dram;
+  spec.solo_duration_s = 120.0;
+  spec.cpu_intensity = 0.4 + 0.6 * cpu;
+  spec.mixed = false;
+  return spec;
+}
+
 int SoloInstanceCount(const BeJobSpec& job, const MachineSpec& machine) {
   const double by_cores = machine.total_cores / job.cores_demand;
   const double by_membw = machine.dram_bw_gbs / std::max(job.membw_demand_gbs, 0.1);

@@ -68,6 +68,14 @@ const std::vector<BeJobKind>& AllBeJobKinds();
 const std::vector<BeJobKind>& EvaluationBeJobKinds();
 const char* BeJobKindName(BeJobKind kind);
 
+// Builds a synthetic BE spec from a raw pressure vector (each axis clamped
+// to [0, 1]). The adversarial search (src/verify/adversary) decodes genome
+// genes into one of these so it can explore pressure mixes the Table-1
+// catalog never exercises. Deterministic: equal vectors yield equal specs.
+// Resource demands scale with the pressure on each axis so an instance that
+// claims to thrash a resource also asks the machine for it.
+BeJobSpec MakeAdversarialBeSpec(const ResourceVector& pressure);
+
 // Number of instances of this job that fit on an idle machine, and the
 // corresponding solo completion rate (jobs/hour); used to normalize the
 // BE-throughput metric (paper §5.1, EMU definition).

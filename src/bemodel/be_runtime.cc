@@ -12,6 +12,11 @@ BeRuntime::BeRuntime(Machine* machine, BeJobKind kind)
   RHYTHM_CHECK(machine != nullptr);
 }
 
+BeRuntime::BeRuntime(Machine* machine, const BeJobSpec& spec)
+    : machine_(machine), kind_(spec.kind), spec_(spec) {
+  RHYTHM_CHECK(machine != nullptr);
+}
+
 int BeRuntime::LlcStepWays() const {
   return std::max(1, machine_->spec().llc_ways / 10);
 }

@@ -38,6 +38,10 @@ class BeRuntime {
   // co-locates one BE workload type per experiment).
   BeRuntime(Machine* machine, BeJobKind kind);
 
+  // Runs instances of a custom (non-catalog) spec — the adversarial search's
+  // decoded genomes. `spec.kind` still tags the instance records.
+  BeRuntime(Machine* machine, const BeJobSpec& spec);
+
   // Attaches a cluster job backlog (paper §4 scheduler integration). When
   // set, instances pull jobs from it: a drained queue idles instances until
   // work arrives. Without a backlog, jobs are always available (the §5
@@ -125,6 +129,10 @@ class BeRuntime {
   // throughput so a half-finished batch job is not counted as zero.
   double progress_units() const { return progress_units_; }
   BeJobKind kind() const { return kind_; }
+  // The spec instances run under — the catalog entry for `kind()`, unless
+  // the runtime was built from a custom spec. Throughput normalization and
+  // the interference model must read this, never re-look-up the catalog.
+  const BeJobSpec& spec() const { return spec_; }
   const std::vector<BeInstance>& instances() const { return instances_; }
 
   // Core-seconds per second currently burned by BE instances.

@@ -49,7 +49,10 @@ Deployment::Deployment(const DeploymentConfig& config)
 
   if (config.enable_be) {
     for (int pod = 0; pod < pods; ++pod) {
-      be_runtimes_.push_back(std::make_unique<BeRuntime>(machines_[pod].get(), config.be_kind));
+      be_runtimes_.push_back(
+          config.custom_be != nullptr
+              ? std::make_unique<BeRuntime>(machines_[pod].get(), *config.custom_be)
+              : std::make_unique<BeRuntime>(machines_[pod].get(), config.be_kind));
     }
   }
 
@@ -65,7 +68,7 @@ Deployment::Deployment(const DeploymentConfig& config)
       }
       agents_.push_back(std::make_unique<MachineAgent>(machines_[pod].get(),
                                                        be_runtimes_[pod].get(), thresholds,
-                                                       app_.sla_ms, pod));
+                                                       app_.sla_ms, pod, config.hardening));
       if (config.obs_sink != nullptr) {
         agents_.back()->AttachObs(config.obs_sink, pod);
       }
@@ -98,6 +101,25 @@ Deployment::Deployment(const DeploymentConfig& config)
         OnPodReboot(pod);
       } else {
         OnPodCrash(pod);
+      }
+    });
+    fault_->set_admission_hold_handler([this](int pod, bool held) {
+      BeRuntime* be = this->be(pod);
+      if (be == nullptr) {
+        return;
+      }
+      if (held) {
+        // The cluster withdraws BE work: instances stop (in-flight work
+        // forfeited), admission closes until the window ends.
+        const int lost = be->StopAll();
+        be_withdrawals_ += static_cast<uint64_t>(lost);
+        be->set_admission_blocked(true);
+        be->PublishActivity();
+        EmitObs(ObsKind::kBeLifecycle, pod, static_cast<uint8_t>(ObsBeOp::kWithdraw), 0,
+                static_cast<double>(lost));
+      } else if (PodOnline(pod)) {  // a concurrent crash keeps the pod closed.
+        be->set_admission_blocked(false);
+        EmitObs(ObsKind::kBeLifecycle, pod, static_cast<uint8_t>(ObsBeOp::kReadmit), 0, 0.0);
       }
     });
     fault_->set_be_failure_handler([this](int pod) {
@@ -366,6 +388,22 @@ uint64_t Deployment::TotalBackoffHolds() const {
   return total;
 }
 
+uint64_t Deployment::TotalJitterHolds() const {
+  uint64_t total = 0;
+  for (const auto& agent : agents_) {
+    total += agent->stats().jitter_holds;
+  }
+  return total;
+}
+
+uint64_t Deployment::TotalOscillationTrips() const {
+  uint64_t total = 0;
+  for (const auto& agent : agents_) {
+    total += agent->stats().oscillation_trips;
+  }
+  return total;
+}
+
 void Deployment::OnPodCrash(int pod) {
   ++crash_count_;
   if (!awaiting_recovery_) {
@@ -392,8 +430,8 @@ void Deployment::OnPodCrash(int pod) {
 
 void Deployment::OnPodReboot(int pod) {
   BeRuntime* be = this->be(pod);
-  if (be != nullptr) {
-    be->set_admission_blocked(false);
+  if (be != nullptr && (fault_ == nullptr || !fault_->AdmissionHeld(pod))) {
+    be->set_admission_blocked(false);  // an active hold keeps admission shut.
   }
   // The rebooted machine re-registers with a fresh measurement, but its agent
   // holds BE growth back while the pod warms up.

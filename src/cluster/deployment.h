@@ -52,10 +52,17 @@ const char* ControllerKindName(ControllerKind kind);
 struct DeploymentConfig {
   LcAppKind app_kind = LcAppKind::kEcommerce;
   BeJobKind be_kind = BeJobKind::kCpuStress;
+  // Optional non-catalog BE spec (must outlive the deployment). When set, BE
+  // runtimes run this spec and `be_kind` is ignored — the adversarial
+  // search's decoded genomes enter the cluster here.
+  const BeJobSpec* custom_be = nullptr;
   ControllerKind controller = ControllerKind::kNone;
   // Per-pod thresholds; required when controller == kRhythm. Heracles uses
   // its uniform thresholds regardless.
   std::vector<ServpodThresholds> thresholds;
+  // Opt-in controller fail-safes (default off — bit-identical baseline);
+  // applied to every machine agent.
+  ControlHardening hardening;
   uint64_t seed = 1;
   bool enable_be = true;               // false: solo LC run.
   bool record_sojourns = false;        // per-request sojourn stats.
@@ -146,6 +153,8 @@ class Deployment {
   uint64_t TotalStaleTicks() const;
   uint64_t TotalFailedActuations() const;
   uint64_t TotalBackoffHolds() const;
+  uint64_t TotalJitterHolds() const;
+  uint64_t TotalOscillationTrips() const;
 
   // Fault state (null without a schedule).
   const FaultInjector* fault() const { return fault_.get(); }
@@ -158,6 +167,9 @@ class Deployment {
   // kills).
   uint64_t crash_be_losses() const { return crash_be_losses_; }
   uint64_t be_instance_failures() const { return be_instance_failures_; }
+  // BE instances withdrawn by kBeAdmissionHold windows (cluster-side
+  // preemption, not controller kills and not crash losses).
+  uint64_t be_withdrawals() const { return be_withdrawals_; }
   // Accounting ticks observed with negative slack — a violation measure that
   // exists even without controller agents (kNone baselines).
   uint64_t slack_violation_ticks() const { return slack_violation_ticks_; }
@@ -219,6 +231,7 @@ class Deployment {
   uint64_t crash_count_ = 0;
   uint64_t crash_be_losses_ = 0;
   uint64_t be_instance_failures_ = 0;
+  uint64_t be_withdrawals_ = 0;
   uint64_t slack_violation_ticks_ = 0;
   // Recovery-to-positive-slack tracking for the earliest unhealed crash.
   bool awaiting_recovery_ = false;

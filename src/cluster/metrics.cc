@@ -27,8 +27,7 @@ RunSummary Summarize(const Deployment& deployment, double t0, double t1,
     if (be != nullptr) {
       const double completed =
           series.be_progress.ValueAt(t1) - series.be_progress.ValueAt(t0);
-      const double solo = SoloRatePerHour(GetBeJobSpec(be->kind()),
-                                          deployment.machine(pod).spec());
+      const double solo = SoloRatePerHour(be->spec(), deployment.machine(pod).spec());
       out.be_throughput = solo > 0.0 ? (completed / hours) / solo : 0.0;
     }
     be_sum += out.be_throughput;
@@ -48,9 +47,12 @@ RunSummary Summarize(const Deployment& deployment, double t0, double t1,
   summary.be_kills = deployment.TotalBeKills() - kills_before;
   summary.crashes = deployment.crash_count();
   summary.crash_be_losses = deployment.crash_be_losses();
+  summary.be_withdrawals = deployment.be_withdrawals();
   summary.stale_ticks = deployment.TotalStaleTicks();
   summary.failed_actuations = deployment.TotalFailedActuations();
   summary.backoff_holds = deployment.TotalBackoffHolds();
+  summary.jitter_holds = deployment.TotalJitterHolds();
+  summary.oscillation_trips = deployment.TotalOscillationTrips();
   summary.slack_violation_ticks = deployment.slack_violation_ticks();
   summary.recovery_s = deployment.max_recovery_s();
   summary.recovered = deployment.recovered();

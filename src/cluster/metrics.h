@@ -36,9 +36,12 @@ struct RunSummary {
   // Fault / hardening counters (whole run, zero for fault-free runs).
   uint64_t crashes = 0;             // machine crash events fired.
   uint64_t crash_be_losses = 0;     // BE instances lost to crashes/failures.
+  uint64_t be_withdrawals = 0;      // instances withdrawn by admission holds.
   uint64_t stale_ticks = 0;         // agent ticks on the fail-safe path.
   uint64_t failed_actuations = 0;   // verification caught a lost command.
   uint64_t backoff_holds = 0;       // growth ticks held by kill backoff.
+  uint64_t jitter_holds = 0;        // launches deferred by re-admission jitter.
+  uint64_t oscillation_trips = 0;   // oscillation-guard activations.
   uint64_t slack_violation_ticks = 0;  // accounting ticks with negative slack.
   double recovery_s = 0.0;          // worst crash-to-positive-slack time.
   bool recovered = true;            // false: a crash was unhealed at run end.

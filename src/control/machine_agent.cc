@@ -1,6 +1,7 @@
 #include "src/control/machine_agent.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "src/common/logging.h"
@@ -8,12 +9,13 @@
 namespace rhythm {
 
 MachineAgent::MachineAgent(Machine* machine, BeRuntime* be, const ServpodThresholds& thresholds,
-                           double sla_ms, int stagger)
+                           double sla_ms, int stagger, const ControlHardening& hardening)
     : machine_(machine),
       be_(be),
       top_(thresholds),
       sla_ms_(sla_ms),
-      stagger_(static_cast<uint64_t>(stagger)) {
+      stagger_(static_cast<uint64_t>(stagger)),
+      hardening_(hardening) {
   RHYTHM_CHECK(machine != nullptr);
   RHYTHM_CHECK(be != nullptr);
 }
@@ -53,6 +55,44 @@ void MachineAgent::Tick(const TelemetrySample& sample) {
     ++stats_.backoff_holds;
     action = BeAction::kDisallowGrowth;
     phase = ObsDecisionPhase::kBackoffHold;
+  }
+  if (hardening_.oscillation_guard) {
+    // Feed the flip window from the *band's* decision (pre-conversion):
+    // oscillation is a property of the slack walk, and the guard's own holds
+    // must not mask continued flipping. Bit i of the history marks a
+    // grow<->cut flip i ticks ago; kOscFlipsToTrip flips inside the last
+    // kOscWindowTicks ticks is denser than any benign band walk and trips
+    // the guard.
+    const int direction = action == BeAction::kAllowGrowth                         ? 1
+                          : action == BeAction::kCutBe || action == BeAction::kStopBe ? -1
+                                                                                      : 0;
+    osc_flip_history_ <<= 1;
+    if (direction != 0) {
+      if (osc_last_direction_ != 0 && direction != osc_last_direction_) {
+        osc_flip_history_ |= 1;
+      }
+      osc_last_direction_ = direction;
+    }
+    const uint64_t window_mask = (uint64_t{1} << kOscWindowTicks) - 1;
+    if (static_cast<uint64_t>(std::popcount(osc_flip_history_ & window_mask)) >=
+        kOscFlipsToTrip) {
+      ++stats_.oscillation_trips;
+      osc_hold_until_tick_ = stats_.ticks + kOscHoldTicks;
+      osc_flip_history_ = 0;  // re-arm: the next trip needs fresh flips.
+    }
+    if (action == BeAction::kAllowGrowth && stats_.ticks < osc_hold_until_tick_) {
+      action = BeAction::kDisallowGrowth;
+      phase = ObsDecisionPhase::kOscillationGuard;
+    }
+  }
+  if (hardening_.readmission_jitter && action == BeAction::kAllowGrowth &&
+      be_->instance_count() == 0 &&
+      (stats_.ticks + stagger_) % kReadmitJitterPeriodTicks != 0) {
+    // Re-admission jitter: an empty pod launches only on its stagger phase,
+    // so a cluster-wide hold release cannot re-admit every pod in one tick.
+    ++stats_.jitter_holds;
+    action = BeAction::kDisallowGrowth;
+    phase = ObsDecisionPhase::kReadmitJitter;
   }
   Emit(ObsKind::kDecision, static_cast<uint8_t>(action), static_cast<uint8_t>(phase),
        sample.load, trace.slack, trace.loadlimit, trace.slacklimit);

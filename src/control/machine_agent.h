@@ -31,6 +31,25 @@
 
 namespace rhythm {
 
+// Opt-in fail-safes closing weaknesses the adversarial search
+// (src/verify/adversary) demonstrated against the baseline controller. Both
+// default off so existing seeded runs stay bit-identical; the golden
+// bit-identity test pins that inertness.
+struct ControlHardening {
+  // Weakness: a cluster-wide admission-hold release re-admits BEs on every
+  // pod in the same control tick — aligned with a load ramp, all pods pay
+  // the launch interference inside one tail window. Fix: launches from an
+  // empty pod obey the same stagger phasing as growth, spread over
+  // kReadmitJitterPeriodTicks instead of firing simultaneously.
+  bool readmission_jitter = false;
+  // Weakness: pressure oscillating near the slack band edges makes the band
+  // walk alternate grow/cut at the controller's own cadence, thrashing
+  // resources while the tail stays degraded. Fix: a sliding-window detector
+  // trips when grow<->cut flips pack tighter than any benign band walk and
+  // holds growth until the band's decisions settle.
+  bool oscillation_guard = false;
+};
+
 class MachineAgent {
  public:
   // The paper's controller cadence.
@@ -74,6 +93,22 @@ class MachineAgent {
   static constexpr uint64_t kBackoffMaxLevel = 3;
   static constexpr uint64_t kBackoffDecayTicks = 15;
 
+  // Re-admission jitter (ControlHardening::readmission_jitter): an empty pod
+  // may launch only on its stagger phase of this period, spreading a
+  // synchronized re-admission over 4 ticks (8 s at the 2 s cadence).
+  static constexpr uint64_t kReadmitJitterPeriodTicks = 4;
+
+  // Oscillation guard (ControlHardening::oscillation_guard): grow<->cut band
+  // flips are counted over a sliding kOscWindowTicks-tick window;
+  // kOscFlipsToTrip flips inside one window trip the guard, which holds
+  // growth for kOscHoldTicks and re-arms the window. The thresholds sit well
+  // above benign band-walk density (the evaluation apps flip roughly once
+  // per 25 ticks per pod, so a 32-tick window holds 1-2 flips) but below
+  // burst- or pressure-driven thrash, which packs flips a few ticks apart.
+  static constexpr uint64_t kOscWindowTicks = 32;
+  static constexpr uint64_t kOscFlipsToTrip = 4;
+  static constexpr uint64_t kOscHoldTicks = 8;
+
   struct Stats {
     uint64_t ticks = 0;
     uint64_t be_kills = 0;         // instances destroyed by StopBE.
@@ -88,6 +123,8 @@ class MachineAgent {
     uint64_t failed_actuations = 0;  // verification caught a lost command.
     uint64_t actuation_retries = 0;  // immediate re-issues after a loss.
     uint64_t backoff_holds = 0;      // growth ticks converted to holds.
+    uint64_t jitter_holds = 0;       // empty-pod launches deferred off-phase.
+    uint64_t oscillation_trips = 0;  // oscillation guard activations.
     BeAction last_action = BeAction::kAllowGrowth;
   };
 
@@ -103,7 +140,8 @@ class MachineAgent {
 
   // `stagger` phase-offsets this machine's growth ticks (use the pod index).
   MachineAgent(Machine* machine, BeRuntime* be, const ServpodThresholds& thresholds,
-               double sla_ms, int stagger = 0);
+               double sla_ms, int stagger = 0,
+               const ControlHardening& hardening = ControlHardening{});
 
   // One control period: decide and actuate on the published telemetry.
   void Tick(const TelemetrySample& sample);
@@ -156,9 +194,14 @@ class MachineAgent {
   TopController top_;
   double sla_ms_;
   uint64_t stagger_;
+  ControlHardening hardening_;
   uint64_t backoff_level_ = 0;
   uint64_t backoff_until_tick_ = 0;
   uint64_t healthy_ticks_ = 0;
+  // Oscillation-guard state (all inert unless the guard is enabled).
+  int osc_last_direction_ = 0;       // +1 grow, -1 cut/stop, 0 none yet.
+  uint64_t osc_flip_history_ = 0;    // bit i set = band flip i ticks ago.
+  uint64_t osc_hold_until_tick_ = 0; // growth held while ticks < this.
   Stats stats_;
   ObsSink* obs_ = nullptr;
   int32_t obs_machine_ = -1;

@@ -17,6 +17,7 @@ FaultInjector::FaultInjector(Simulator* sim, const FaultSchedule& schedule, int 
       blackout_depth_(static_cast<size_t>(pod_count), 0),
       frozen_depth_(static_cast<size_t>(pod_count), 0),
       drop_depth_(static_cast<size_t>(pod_count), 0),
+      hold_depth_(static_cast<size_t>(pod_count), 0),
       drop_probability_(static_cast<size_t>(pod_count), 0.0),
       failover_magnitude_(static_cast<size_t>(pod_count), 0.0) {
   RHYTHM_CHECK(sim != nullptr);
@@ -95,6 +96,14 @@ void FaultInjector::Activate(const FaultEvent& event) {
         be_failure_handler_(event.pod);
       }
       break;
+    case FaultKind::kBeAdmissionHold:
+      if (hold_depth_[event.pod]++ == 0) {
+        ++counts_.admission_holds;
+        if (admission_hold_handler_) {
+          admission_hold_handler_(event.pod, /*held=*/true);
+        }
+      }
+      break;
     case FaultKind::kLoadSpike:
       break;
   }
@@ -124,6 +133,11 @@ void FaultInjector::Deactivate(const FaultEvent& event) {
     case FaultKind::kActuationDrop:
       if (--drop_depth_[event.pod] == 0) {
         drop_probability_[event.pod] = 0.0;
+      }
+      break;
+    case FaultKind::kBeAdmissionHold:
+      if (--hold_depth_[event.pod] == 0 && admission_hold_handler_) {
+        admission_hold_handler_(event.pod, /*held=*/false);
       }
       break;
     case FaultKind::kBeInstanceFailure:

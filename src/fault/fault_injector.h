@@ -29,6 +29,7 @@ class FaultInjector {
     uint64_t reboots = 0;
     uint64_t be_failures = 0;            // kBeInstanceFailure events fired.
     uint64_t dropped_actuations = 0;     // commands the gate swallowed.
+    uint64_t admission_holds = 0;        // kBeAdmissionHold windows opened.
   };
 
   // Survivors absorb the failed-over component's traffic: every online pod's
@@ -46,6 +47,12 @@ class FaultInjector {
   void set_be_failure_handler(std::function<void(int pod)> handler) {
     be_failure_handler_ = std::move(handler);
   }
+  // Fires with held=true when a kBeAdmissionHold window opens on the pod
+  // (outermost edge only) and held=false when the last window closes — the
+  // synchronized re-admission edge.
+  void set_admission_hold_handler(std::function<void(int pod, bool held)> handler) {
+    admission_hold_handler_ = std::move(handler);
+  }
 
   // Schedules every window transition into the simulator. Call once.
   void Start();
@@ -57,6 +64,7 @@ class FaultInjector {
     return blackout_depth_[pod] > 0 || PodOffline(pod);
   }
   bool TelemetryFrozen(int pod) const { return frozen_depth_[pod] > 0; }
+  bool AdmissionHeld(int pod) const { return hold_depth_[pod] > 0; }
 
   // Consulted by the BE runtime's actuation gate: true when the command is
   // lost. Consumes an RNG draw only while a drop window is active, so runs
@@ -87,11 +95,13 @@ class FaultInjector {
   Rng rng_;
   std::function<void(int pod, bool online)> crash_handler_;
   std::function<void(int pod)> be_failure_handler_;
+  std::function<void(int pod, bool held)> admission_hold_handler_;
   // Depth counters tolerate overlapping windows of the same kind.
   std::vector<int> offline_depth_;
   std::vector<int> blackout_depth_;
   std::vector<int> frozen_depth_;
   std::vector<int> drop_depth_;
+  std::vector<int> hold_depth_;
   std::vector<double> drop_probability_;   // of the innermost active window.
   std::vector<double> failover_magnitude_;  // of the active crash, per pod.
   Counts counts_;

@@ -22,6 +22,8 @@ const char* FaultKindName(FaultKind kind) {
       return "BeInstanceFailure";
     case FaultKind::kLoadSpike:
       return "LoadSpike";
+    case FaultKind::kBeAdmissionHold:
+      return "BeAdmissionHold";
   }
   return "?";
 }
@@ -66,7 +68,8 @@ std::string FaultEventError(const FaultEvent& event, int pod_count) {
   const bool windowed = event.kind == FaultKind::kPodCrash ||
                         event.kind == FaultKind::kTelemetryDropout ||
                         event.kind == FaultKind::kTelemetryFreeze ||
-                        event.kind == FaultKind::kActuationDrop;
+                        event.kind == FaultKind::kActuationDrop ||
+                        event.kind == FaultKind::kBeAdmissionHold;
   if (windowed && event.duration_s <= 0.0) {
     return prefix + "duration_s must be > 0 for windowed faults";
   }
@@ -97,6 +100,7 @@ std::string FaultEventError(const FaultEvent& event, int pod_count) {
     case FaultKind::kTelemetryDropout:
     case FaultKind::kTelemetryFreeze:
     case FaultKind::kBeInstanceFailure:
+    case FaultKind::kBeAdmissionHold:
       break;  // magnitude ignored; finiteness already checked.
   }
   return "";
@@ -152,6 +156,13 @@ FaultSchedule RandomFaultSchedule(const ChaosConfig& config, uint64_t seed) {
   DrawEvents(schedule, rng, config.duration_s, config.expected_be_failures, [&](double start) {
     return FaultEvent{.kind = FaultKind::kBeInstanceFailure, .pod = pick_pod(), .start_s = start};
   });
+  DrawEvents(schedule, rng, config.duration_s, config.expected_admission_holds,
+             [&](double start) {
+               return FaultEvent{.kind = FaultKind::kBeAdmissionHold,
+                                 .pod = pick_pod(),
+                                 .start_s = start,
+                                 .duration_s = rng.Uniform(config.hold_min_s, config.hold_max_s)};
+             });
   DrawEvents(schedule, rng, config.duration_s, config.expected_load_spikes, [&](double start) {
     return FaultEvent{.kind = FaultKind::kLoadSpike,
                       .start_s = start,

@@ -40,6 +40,13 @@ enum class FaultKind {
   // at `start` and decays linearly to zero over `duration`. `pod` ignored
   // (load is a service-wide signal). Applied via SpikedLoadProfile.
   kLoadSpike,
+  // The cluster withdraws BE work from the pod for [start, start+duration):
+  // running instances are stopped (in-flight work forfeited, resources
+  // freed) and no new instance may be created until the window closes. At
+  // the close, admission reopens *instantly* on every held pod — the
+  // synchronized re-admission edge the adversarial search exploits when it
+  // aligns the release with a load ramp. `magnitude` ignored.
+  kBeAdmissionHold,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -101,6 +108,11 @@ struct ChaosConfig {
   double actuation_window_s = 20.0;
   double actuation_drop_probability = 0.5;
   double expected_be_failures = 2.0;
+  // Admission-hold windows (kBeAdmissionHold). Default 0 keeps the draw
+  // sequence of pre-existing seeds untouched (Poisson(0) consumes nothing).
+  double expected_admission_holds = 0.0;
+  double hold_min_s = 10.0;
+  double hold_max_s = 60.0;
   double expected_load_spikes = 1.0;
   double spike_min_boost = 0.15;
   double spike_max_boost = 0.35;

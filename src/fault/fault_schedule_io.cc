@@ -10,8 +10,9 @@ namespace rhythm {
 namespace {
 
 constexpr FaultKind kAllKinds[] = {
-    FaultKind::kPodCrash,        FaultKind::kTelemetryDropout, FaultKind::kTelemetryFreeze,
+    FaultKind::kPodCrash,        FaultKind::kTelemetryDropout,  FaultKind::kTelemetryFreeze,
     FaultKind::kActuationDrop,   FaultKind::kBeInstanceFailure, FaultKind::kLoadSpike,
+    FaultKind::kBeAdmissionHold,
 };
 
 std::string FormatDouble(double value) {

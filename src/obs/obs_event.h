@@ -32,9 +32,11 @@ inline constexpr int kObsKindCount = 5;
 
 // kDecision: `code` carries the BeAction (cast), `detail` the decision path.
 enum class ObsDecisionPhase : uint8_t {
-  kNormal = 0,         // the slack-band walk of Algorithm 2.
-  kStaleFailsafe = 1,  // stale/NaN telemetry forced SuspendBE.
-  kBackoffHold = 2,    // band said grow, kill backoff converted it to hold.
+  kNormal = 0,           // the slack-band walk of Algorithm 2.
+  kStaleFailsafe = 1,    // stale/NaN telemetry forced SuspendBE.
+  kBackoffHold = 2,      // band said grow, kill backoff converted it to hold.
+  kReadmitJitter = 3,    // empty-pod launch deferred to its stagger phase.
+  kOscillationGuard = 4, // grow/cut thrash detector held growth.
 };
 
 // kActuation: `code` names the knob, `detail` is 1 on verified success and 0
@@ -67,6 +69,8 @@ enum class ObsBeOp : uint8_t {
   kDispatch = 0,         // cluster scheduler admitted an instance here.
   kCrashLoss = 1,        // instances died with their crashed machine.
   kInstanceFailure = 2,  // one instance died on its own (OOM/preempt).
+  kWithdraw = 3,         // admission hold opened: instances withdrawn.
+  kReadmit = 4,          // admission hold closed: the pod may admit again.
 };
 
 // One recorded event. Fixed 48-byte POD; `a..d` are payload fields whose
@@ -119,6 +123,10 @@ inline const char* ObsDecisionPhaseName(ObsDecisionPhase phase) {
       return "stale-failsafe";
     case ObsDecisionPhase::kBackoffHold:
       return "backoff-hold";
+    case ObsDecisionPhase::kReadmitJitter:
+      return "readmit-jitter";
+    case ObsDecisionPhase::kOscillationGuard:
+      return "oscillation-guard";
   }
   return "?";
 }
@@ -173,6 +181,10 @@ inline const char* ObsBeOpName(ObsBeOp op) {
       return "crash-loss";
     case ObsBeOp::kInstanceFailure:
       return "instance-failure";
+    case ObsBeOp::kWithdraw:
+      return "withdraw";
+    case ObsBeOp::kReadmit:
+      return "readmit";
   }
   return "?";
 }

@@ -51,6 +51,10 @@
 #include "src/scheduler/be_scheduler.h"
 #include "src/sim/simulator.h"
 #include "src/trace/cpg_builder.h"
+#include "src/verify/adversary/corpus.h"
+#include "src/verify/adversary/fitness.h"
+#include "src/verify/adversary/genome.h"
+#include "src/verify/adversary/search.h"
 #include "src/verify/chaos_fuzzer.h"
 #include "src/verify/deployment_observer.h"
 #include "src/verify/invariant_monitor.h"

@@ -30,9 +30,16 @@ namespace rhythm {
 struct RunRequest {
   LcAppKind app = LcAppKind::kEcommerce;
   BeJobKind be = BeJobKind::kCpuStress;
+  // Optional non-catalog BE spec, shared by the request like profiles and
+  // schedules are. When set, `be` is ignored and every pod's runtime runs
+  // this spec — how adversarial-search candidates reach the simulator.
+  std::shared_ptr<const BeJobSpec> custom_be;
   ControllerKind controller = ControllerKind::kRhythm;
   // Rhythm's per-pod thresholds; taken from CachedAppThresholds when empty.
   std::vector<ServpodThresholds> thresholds;
+  // Opt-in controller fail-safes (src/control); default off keeps runs
+  // bit-identical to the unhardened controller.
+  ControlHardening hardening;
   uint64_t seed = 11;
   double warmup_s = 20.0;
   double measure_s = 120.0;

@@ -62,7 +62,9 @@ RunSummary Run(const RunRequest& request, const TrialHooks& hooks) {
   DeploymentConfig config;
   config.app_kind = request.app;
   config.be_kind = request.be;
+  config.custom_be = request.custom_be.get();
   config.controller = request.controller;
+  config.hardening = request.hardening;
   config.seed = request.seed;
   config.faults = request.faults.get();
   if (request.controller == ControllerKind::kRhythm) {
@@ -131,7 +133,8 @@ RunSummary Run(const RunRequest& request, const TrialHooks& hooks) {
   if (recorder != nullptr) {
     RecordingMeta meta;
     meta.app = LcAppKindName(request.app);
-    meta.be = BeJobKindName(request.be);
+    meta.be = request.custom_be != nullptr ? request.custom_be->name
+                                           : BeJobKindName(request.be);
     meta.controller = ControllerKindName(request.controller);
     meta.seed = request.seed;
     meta.sla_ms = deployment.sla_ms();

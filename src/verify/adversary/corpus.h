@@ -1,0 +1,57 @@
+// Attack corpus: turns search champions into minimized, checked-in repro
+// files. Each attack is shrunk with ddmin + value shrinking under a
+// damage-retention predicate (the smaller schedule must keep at least a
+// configured fraction of the original SLO damage), classified into a
+// weakness class by which fault ingredients survived minimization, and
+// serialized as a ChaosRepro carrying %.17g-exact replay expectations that
+// the corpus test (tests/fault/repro_corpus_test.cc) asserts bit-for-bit.
+
+#ifndef RHYTHM_SRC_VERIFY_ADVERSARY_CORPUS_H_
+#define RHYTHM_SRC_VERIFY_ADVERSARY_CORPUS_H_
+
+#include <string>
+
+#include "src/verify/adversary/search.h"
+#include "src/verify/repro_io.h"
+#include "src/verify/schedule_minimizer.h"
+
+namespace rhythm {
+
+struct AttackCorpusOptions {
+  // A minimized candidate must retain at least this fraction of the original
+  // attack's damage to count as "the same attack, smaller".
+  double keep_damage_fraction = 0.6;
+  // Replay budget for the minimizer (each candidate is one full run).
+  int max_candidates = 200;
+};
+
+struct AttackReproResult {
+  ChaosRepro repro;          // minimized schedule + context + expectations.
+  MinimizeResult minimize;   // ddmin bookkeeping (events before/after, ...).
+  std::string weakness_class;
+  double original_damage = 0.0;
+  double minimized_damage = 0.0;
+};
+
+// Which weakness the surviving (minimized) ingredients demonstrate. The
+// classes drive which hardening fix (ControlHardening) is expected to blunt
+// the attack; DESIGN.md §11 holds the catalogue.
+std::string ClassifyWeakness(const FaultSchedule& schedule);
+
+// Minimizes `candidate` (as evaluated under `config`) and packages it as a
+// replayable repro with expectations stamped from a final verification run.
+// Throws std::invalid_argument when the candidate inflicted no damage.
+AttackReproResult MinimizeAttack(const AdversaryCandidate& candidate,
+                                 const AdversaryConfig& config,
+                                 const AttackCorpusOptions& options = {});
+
+// Replays a repro file's request and compares the summary against the
+// file's expectations with exact equality. Returns an empty string on
+// success, else a description of the first mismatch (with expected/actual
+// rendered %.17g). Repros without expectations fail — corpus files must pin
+// their outcome.
+std::string VerifyReproExpectations(const ChaosRepro& repro);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_VERIFY_ADVERSARY_CORPUS_H_

@@ -1,0 +1,20 @@
+#include "src/verify/adversary/fitness.h"
+
+#include <algorithm>
+
+namespace rhythm {
+
+double AttackDamage(const RunSummary& summary) {
+  return static_cast<double>(summary.slack_violation_ticks) +
+         kTailOverrunWeight * std::max(0.0, summary.worst_tail_ratio - 1.0);
+}
+
+double AttackCost(const RunSummary& attack, const RunSummary& baseline) {
+  return std::max(0.0, baseline.be_throughput - attack.be_throughput);
+}
+
+double AttackFitness(const RunSummary& attack, const RunSummary& baseline) {
+  return AttackDamage(attack) / (kCostEpsilon + AttackCost(attack, baseline));
+}
+
+}  // namespace rhythm

@@ -1,0 +1,40 @@
+// Attack fitness: SLO damage per unit of BE throughput given up.
+//
+// An attack that merely switches the BEs off trivially protects the LC —
+// zero damage AND zero BE work is not a weakness, it is the controller doing
+// its job. The interesting adversaries are the ones that hurt the LC *while
+// the cluster still believes it is harvesting BE throughput*, so fitness
+// divides the damage an attack inflicts by the BE throughput it sacrificed
+// relative to the same trial without the attack:
+//
+//   damage  = slack_violation_ticks + kTailOverrunWeight * max(0, ratio - 1)
+//   cost    = max(0, baseline_be_throughput - attack_be_throughput)
+//   fitness = damage / (kCostEpsilon + cost)
+//
+// kCostEpsilon keeps zero-cost attacks finite while still rewarding them
+// ~20x over attacks that burn a full unit of BE throughput.
+
+#ifndef RHYTHM_SRC_VERIFY_ADVERSARY_FITNESS_H_
+#define RHYTHM_SRC_VERIFY_ADVERSARY_FITNESS_H_
+
+#include "src/cluster/metrics.h"
+
+namespace rhythm {
+
+inline constexpr double kTailOverrunWeight = 20.0;
+inline constexpr double kCostEpsilon = 0.05;
+
+// SLO damage of one run: accounting ticks spent with negative slack plus a
+// weighted penalty for how far past the SLA the worst tail went.
+double AttackDamage(const RunSummary& summary);
+
+// BE throughput the attack gave up versus its no-fault baseline (floored at
+// zero: an attack that somehow *raises* BE throughput costs nothing).
+double AttackCost(const RunSummary& attack, const RunSummary& baseline);
+
+// Damage per unit of throughput given up; see the header comment.
+double AttackFitness(const RunSummary& attack, const RunSummary& baseline);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_VERIFY_ADVERSARY_FITNESS_H_

@@ -1,0 +1,87 @@
+// Adversarial genome: a fixed-width vector of genes in [0, 1] that decodes
+// into one complete attack scenario against the controller — which BE
+// workload to co-locate (a catalog kind or a custom pressure mix), where to
+// place flash-crowd bursts relative to the diurnal load, when the cluster
+// withdraws and re-admits BE work (kBeAdmissionHold), and when telemetry
+// freezes or actuations drop. Decoding is a pure function of (genome,
+// AdversaryConfig): equal inputs produce byte-identical RunRequests, which
+// is what makes the whole search replayable bit-for-bit.
+//
+// Gene layout (kSize = 24, all in [0, 1]):
+//   g[0]       BE selector: < 0.5 decodes g[1..4] into a custom spec via
+//              MakeAdversarialBeSpec; >= 0.5 picks an evaluation-catalog kind.
+//   g[1..4]    BE pressure vector (cpu, llc, dram, net).
+//   g[5..13]   three flash-crowd bursts x (phase, amplitude, duration).
+//   g[14..17]  two cluster admission holds x (phase, duration), applied to
+//              every pod so release is synchronized — the re-admission edge.
+//   g[18..20]  one telemetry freeze (phase, duration, pod selector).
+//   g[21..23]  one actuation-drop window (phase, duration, probability).
+
+#ifndef RHYTHM_SRC_VERIFY_ADVERSARY_GENOME_H_
+#define RHYTHM_SRC_VERIFY_ADVERSARY_GENOME_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/runner/run_request.h"
+
+namespace rhythm {
+
+struct AdversaryGenome {
+  static constexpr int kSize = 24;
+  std::array<double, kSize> genes{};
+
+  bool operator==(const AdversaryGenome& other) const { return genes == other.genes; }
+};
+
+// The fixed (non-evolved) frame every candidate runs in.
+struct AdversaryConfig {
+  LcAppKind app = LcAppKind::kEcommerce;
+  ControllerKind controller = ControllerKind::kRhythm;
+  uint64_t run_seed = 11;
+  double warmup_s = 20.0;
+  double measure_s = 300.0;
+  // Diurnal envelope the bursts ride on (DiurnalTrace over warmup+measure).
+  double diurnal_min = 0.25;
+  double diurnal_max = 0.8;
+  // Controller fail-safes candidates are evaluated against (off = attack the
+  // baseline controller; on = measure how much the hardening recovers).
+  ControlHardening hardening;
+};
+
+// Uniform-random genome from the stream (every gene one NextDouble draw).
+AdversaryGenome RandomGenome(Rng& rng);
+
+// Deterministic weakness-class archetypes seeded into the search's initial
+// population (the GA refines or discards them like any other member):
+//   0  synchronized re-admission under a load ramp — a cluster admission
+//      hold whose release coincides with a flash-crowd burst;
+//   1  pressure oscillation — an aggressive custom BE mix with no fault
+//      events at all, driving grow/cut flapping at the controller tick.
+inline constexpr int kArchetypeCount = 2;
+AdversaryGenome ArchetypeGenome(int index);
+
+// Uniform crossover: each gene from either parent with probability 1/2.
+AdversaryGenome CrossoverGenomes(const AdversaryGenome& a, const AdversaryGenome& b, Rng& rng);
+
+// Gaussian mutation: each gene perturbed with probability `rate` by
+// Normal(0, sigma), clamped back into [0, 1].
+AdversaryGenome MutateGenome(const AdversaryGenome& genome, double rate, double sigma, Rng& rng);
+
+// Decodes the genome into the runnable attack trial: diurnal profile,
+// BE spec (catalog or custom), fault schedule (bursts, admission holds,
+// telemetry freeze, actuation drops), seed and windows from the config.
+RunRequest DecodeGenome(const AdversaryGenome& genome, const AdversaryConfig& config);
+
+// The same trial with the fault schedule removed — the no-attack baseline
+// whose BE throughput anchors the fitness cost term.
+RunRequest DecodeBaseline(const AdversaryGenome& genome, const AdversaryConfig& config);
+
+// Compact `g0=...;g1=...` rendering (%.17g) for logs and BENCH artifacts.
+std::string GenomeToString(const AdversaryGenome& genome);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_VERIFY_ADVERSARY_GENOME_H_

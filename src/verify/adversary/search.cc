@@ -1,0 +1,278 @@
+#include "src/verify/adversary/search.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "src/runner/runner.h"
+#include "src/verify/adversary/fitness.h"
+
+namespace rhythm {
+
+namespace {
+
+AdversaryConfig WithDerivedSeed(const AdversaryConfig& config, uint64_t evaluation_index) {
+  AdversaryConfig derived = config;
+  derived.run_seed = DeriveTrialSeed(config.run_seed, evaluation_index);
+  return derived;
+}
+
+AdversaryCandidate MakeCandidate(const AdversaryGenome& genome, uint64_t evaluation_index,
+                                 const RunSummary& attack, const RunSummary& baseline) {
+  AdversaryCandidate candidate;
+  candidate.genome = genome;
+  candidate.evaluation_index = evaluation_index;
+  candidate.damage = AttackDamage(attack);
+  candidate.cost = AttackCost(attack, baseline);
+  candidate.fitness = AttackFitness(attack, baseline);
+  candidate.baseline_be_throughput = baseline.be_throughput;
+  candidate.attack = attack;
+  return candidate;
+}
+
+// Evaluates a batch of genomes through one RunPlan (attack and baseline
+// interleaved). ParallelRunner returns results in plan order at any worker
+// count, which is the whole batch's determinism story.
+std::vector<AdversaryCandidate> EvaluateBatch(const std::vector<AdversaryGenome>& genomes,
+                                              const AdversarySearchOptions& options,
+                                              uint64_t* next_evaluation_index) {
+  RunPlan plan;
+  std::vector<uint64_t> indices;
+  indices.reserve(genomes.size());
+  for (const AdversaryGenome& genome : genomes) {
+    const uint64_t index = (*next_evaluation_index)++;
+    indices.push_back(index);
+    const AdversaryConfig config = WithDerivedSeed(options.config, index);
+    plan.Add(DecodeGenome(genome, config));
+    plan.Add(DecodeBaseline(genome, config));
+  }
+  const ParallelRunner runner(RunnerOptions{.jobs = options.jobs});
+  const std::vector<RunSummary> results = runner.RunAll(plan);
+  std::vector<AdversaryCandidate> candidates;
+  candidates.reserve(genomes.size());
+  for (size_t i = 0; i < genomes.size(); ++i) {
+    candidates.push_back(
+        MakeCandidate(genomes[i], indices[i], results[2 * i], results[2 * i + 1]));
+  }
+  return candidates;
+}
+
+// Fitness-descending, ties broken toward the earlier evaluation — a total
+// order independent of evaluation concurrency.
+bool Better(const AdversaryCandidate& a, const AdversaryCandidate& b) {
+  if (a.fitness != b.fitness) {
+    return a.fitness > b.fitness;
+  }
+  return a.evaluation_index < b.evaluation_index;
+}
+
+void AdmitToHallOfFame(std::vector<AdversaryCandidate>& hall, const AdversaryCandidate& entry,
+                       int capacity) {
+  for (const AdversaryCandidate& held : hall) {
+    if (held.genome == entry.genome) {
+      return;  // elitism re-evaluates champions; keep the first sighting.
+    }
+  }
+  hall.push_back(entry);
+  std::sort(hall.begin(), hall.end(), Better);
+  if (static_cast<int>(hall.size()) > capacity) {
+    hall.resize(capacity);
+  }
+}
+
+}  // namespace
+
+AdversaryCandidate ReplayCandidate(const AdversaryGenome& genome, uint64_t evaluation_index,
+                                   const AdversaryConfig& config) {
+  const AdversaryConfig derived = WithDerivedSeed(config, evaluation_index);
+  const RunSummary attack = Run(DecodeGenome(genome, derived));
+  const RunSummary baseline = Run(DecodeBaseline(genome, derived));
+  return MakeCandidate(genome, evaluation_index, attack, baseline);
+}
+
+AdversarySearchResult AdversarySearch(const AdversarySearchOptions& options,
+                                      MetricsRegistry* metrics) {
+  if (options.population < 2) {
+    throw std::invalid_argument("AdversarySearch: population must be >= 2");
+  }
+  if (options.generations < 1) {
+    throw std::invalid_argument("AdversarySearch: generations must be >= 1");
+  }
+  const int elitism = std::min(options.elitism, options.population);
+  const int tournament = std::max(1, options.tournament);
+
+  MetricsRegistry::MetricId best_id = 0, gen_best_id = 0, gen_mean_id = 0, evals_id = 0;
+  if (metrics != nullptr) {
+    best_id = metrics->Gauge("adversary/best_fitness");
+    gen_best_id = metrics->Gauge("adversary/generation_best");
+    gen_mean_id = metrics->Gauge("adversary/generation_mean");
+    evals_id = metrics->Counter("adversary/evaluations");
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto over_budget = [&] {
+    if (options.wall_clock_budget_s <= 0.0) {
+      return false;
+    }
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
+    return elapsed.count() >= options.wall_clock_budget_s;
+  };
+
+  Rng master(options.seed);
+  uint64_t next_evaluation_index = 0;
+
+  // Generation 0: the known weakness-class archetypes first (so every search
+  // probes the catalogued failure modes), uniform-random genomes after. The
+  // GA treats archetypes like any other member — refine them or discard them.
+  std::vector<AdversaryGenome> population;
+  population.reserve(options.population);
+  for (int i = 0; i < options.population; ++i) {
+    population.push_back(i < kArchetypeCount && options.population > kArchetypeCount
+                             ? ArchetypeGenome(i)
+                             : RandomGenome(master));
+  }
+
+  AdversarySearchResult result;
+  std::vector<AdversaryCandidate> evaluated;
+  int stale_generations = 0;
+
+  const auto record_generation = [&](int generation,
+                                     const std::vector<AdversaryCandidate>& batch) {
+    AdversaryGenerationStats stats;
+    stats.generation = generation;
+    double sum = 0.0;
+    double batch_best = 0.0;
+    for (const AdversaryCandidate& candidate : batch) {
+      sum += candidate.fitness;
+      batch_best = std::max(batch_best, candidate.fitness);
+    }
+    stats.generation_best = batch_best;
+    stats.generation_mean = batch.empty() ? 0.0 : sum / static_cast<double>(batch.size());
+    stats.best_fitness = result.best.fitness;
+    stats.evaluations = next_evaluation_index;
+    result.generations.push_back(stats);
+    if (metrics != nullptr) {
+      metrics->Set(best_id, stats.best_fitness);
+      metrics->Set(gen_best_id, stats.generation_best);
+      metrics->Set(gen_mean_id, stats.generation_mean);
+      metrics->SetTotal(evals_id, static_cast<double>(stats.evaluations));
+      metrics->Snapshot(static_cast<double>(generation));
+    }
+  };
+
+  for (int generation = 0; generation < options.generations; ++generation) {
+    evaluated = EvaluateBatch(population, options, &next_evaluation_index);
+
+    bool improved = false;
+    for (const AdversaryCandidate& candidate : evaluated) {
+      if (result.evaluations == 0 && candidate.evaluation_index == 0) {
+        result.best = candidate;  // seed the incumbent with the first candidate.
+      }
+      if (Better(candidate, result.best)) {
+        result.best = candidate;
+        improved = true;
+      }
+      AdmitToHallOfFame(result.hall_of_fame, candidate, options.hall_of_fame);
+      ++result.evaluations;
+    }
+    record_generation(generation, evaluated);
+
+    stale_generations = improved ? 0 : stale_generations + 1;
+    if (options.plateau_generations > 0 && stale_generations >= options.plateau_generations) {
+      result.stopped_on_plateau = true;
+      break;
+    }
+    if (over_budget()) {
+      result.budget_exhausted = true;
+      break;
+    }
+    if (generation + 1 >= options.generations) {
+      break;  // no need to breed a population that will never run.
+    }
+
+    // Next generation: elites survive verbatim; the rest come from
+    // tournament-selected parents, crossed over and mutated.
+    std::vector<AdversaryCandidate> ranked = evaluated;
+    std::sort(ranked.begin(), ranked.end(), Better);
+    std::vector<AdversaryGenome> next;
+    next.reserve(options.population);
+    for (int i = 0; i < elitism; ++i) {
+      next.push_back(ranked[i].genome);
+    }
+    const auto select = [&]() -> const AdversaryGenome& {
+      const AdversaryCandidate* winner = nullptr;
+      for (int round = 0; round < tournament; ++round) {
+        const AdversaryCandidate& contender =
+            evaluated[master.UniformInt(evaluated.size())];
+        if (winner == nullptr || Better(contender, *winner)) {
+          winner = &contender;
+        }
+      }
+      return winner->genome;
+    };
+    while (static_cast<int>(next.size()) < options.population) {
+      const AdversaryGenome& a = select();
+      const AdversaryGenome& b = select();
+      AdversaryGenome child =
+          master.Bernoulli(options.crossover_rate) ? CrossoverGenomes(a, b, master) : a;
+      next.push_back(
+          MutateGenome(child, options.mutation_rate, options.mutation_sigma, master));
+    }
+    population = std::move(next);
+  }
+
+  // Coordinate hill-climb of the champion: one gene per step, accept on
+  // strict improvement. Draws are taken unconditionally so the master stream
+  // position after step k never depends on which steps were accepted.
+  if (options.hill_climb_steps > 0 && !result.budget_exhausted) {
+    double climb_best = result.best.fitness;
+    double climb_sum = 0.0;
+    int climb_evals = 0;
+    for (int step = 0; step < options.hill_climb_steps; ++step) {
+      if (over_budget()) {
+        result.budget_exhausted = true;
+        break;
+      }
+      const int gene = step % AdversaryGenome::kSize;
+      const double direction = master.Bernoulli(0.5) ? 1.0 : -1.0;
+      const double magnitude = master.Uniform(0.02, 0.25);
+      AdversaryGenome candidate_genome = result.best.genome;
+      candidate_genome.genes[gene] = std::min(
+          1.0, std::max(0.0, candidate_genome.genes[gene] + direction * magnitude));
+      if (candidate_genome == result.best.genome) {
+        continue;  // clamped into a no-op; skip the two runs.
+      }
+      const std::vector<AdversaryCandidate> batch =
+          EvaluateBatch({candidate_genome}, options, &next_evaluation_index);
+      const AdversaryCandidate& candidate = batch.front();
+      ++result.evaluations;
+      ++climb_evals;
+      climb_sum += candidate.fitness;
+      climb_best = std::max(climb_best, candidate.fitness);
+      AdmitToHallOfFame(result.hall_of_fame, candidate, options.hall_of_fame);
+      if (Better(candidate, result.best)) {
+        result.best = candidate;
+      }
+    }
+    if (climb_evals > 0) {
+      AdversaryGenerationStats stats;
+      stats.generation = static_cast<int>(result.generations.size());
+      stats.generation_best = climb_best;
+      stats.generation_mean = climb_sum / climb_evals;
+      stats.best_fitness = result.best.fitness;
+      stats.evaluations = next_evaluation_index;
+      result.generations.push_back(stats);
+      if (metrics != nullptr) {
+        metrics->Set(best_id, stats.best_fitness);
+        metrics->Set(gen_best_id, stats.generation_best);
+        metrics->Set(gen_mean_id, stats.generation_mean);
+        metrics->SetTotal(evals_id, static_cast<double>(stats.evaluations));
+        metrics->Snapshot(static_cast<double>(stats.generation));
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace rhythm

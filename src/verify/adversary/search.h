@@ -1,0 +1,100 @@
+// Seeded adversarial search over attack genomes: a small generational GA
+// (elitism + tournament selection + uniform crossover + gaussian mutation)
+// followed by an optional coordinate hill-climb of the champion.
+//
+// Determinism contract: the search result is a pure function of
+// AdversarySearchOptions. All GA randomness flows through one Rng seeded
+// with options.seed on the calling thread; candidate trials run through
+// ParallelRunner, whose results come back in plan order at any worker
+// count; and every candidate's run seed is DeriveTrialSeed(run_seed,
+// evaluation index), so any single candidate can be replayed outside the
+// search from its index alone. The only nondeterministic input — wall-clock
+// time — is consulted solely at generation boundaries as a safety cap;
+// searches that finish inside the budget are bit-identical to unbudgeted
+// ones. The deterministic stopping rule is the fitness plateau.
+
+#ifndef RHYTHM_SRC_VERIFY_ADVERSARY_SEARCH_H_
+#define RHYTHM_SRC_VERIFY_ADVERSARY_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/metrics.h"
+#include "src/obs/metrics_registry.h"
+#include "src/verify/adversary/genome.h"
+
+namespace rhythm {
+
+struct AdversarySearchOptions {
+  AdversaryConfig config;
+  // GA shape. Budget flags shared with tools/chaos_fuzz: --generations,
+  // --population, --wall-clock-budget-s map straight onto these.
+  int population = 12;
+  int generations = 6;
+  uint64_t seed = 1;  // GA randomness; config.run_seed seeds the trials.
+  int elitism = 2;
+  int tournament = 3;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.2;
+  double mutation_sigma = 0.15;
+  // Coordinate hill-climb steps applied to the GA champion (0 = skip).
+  int hill_climb_steps = 0;
+  // Deterministic early stop: quit after this many generations without the
+  // best fitness improving.
+  int plateau_generations = 3;
+  // Safety cap, seconds of wall clock; 0 = unlimited. Checked only at
+  // generation boundaries (see the determinism contract above).
+  double wall_clock_budget_s = 0.0;
+  int jobs = 0;  // ParallelRunner workers; <= 0 means auto.
+  int hall_of_fame = 6;  // distinct top candidates to retain.
+};
+
+// One evaluated attack: genome, its decoded trial's summary, and the fitness
+// decomposition against the matching no-fault baseline.
+struct AdversaryCandidate {
+  AdversaryGenome genome;
+  uint64_t evaluation_index = 0;  // DeriveTrialSeed index of its run seed.
+  double fitness = 0.0;
+  double damage = 0.0;
+  double cost = 0.0;
+  double baseline_be_throughput = 0.0;
+  RunSummary attack;
+};
+
+struct AdversaryGenerationStats {
+  int generation = 0;   // hill-climb phases report generations past the GA.
+  double best_fitness = 0.0;        // best seen so far (monotone).
+  double generation_best = 0.0;     // best within this generation.
+  double generation_mean = 0.0;
+  uint64_t evaluations = 0;         // cumulative candidate evaluations.
+};
+
+struct AdversarySearchResult {
+  AdversaryCandidate best;
+  // Top distinct candidates, fitness-descending — the minimization corpus
+  // draws from these so one dominant genome cannot crowd out a second
+  // weakness class.
+  std::vector<AdversaryCandidate> hall_of_fame;
+  std::vector<AdversaryGenerationStats> generations;
+  uint64_t evaluations = 0;
+  bool stopped_on_plateau = false;
+  bool budget_exhausted = false;
+};
+
+// Runs the search. When `metrics` is non-null, per-generation progress is
+// published through it (adversary/best_fitness, adversary/generation_best,
+// adversary/generation_mean gauges and the adversary/evaluations counter,
+// snapshotted once per generation) so obs_query can summarize a search run.
+AdversarySearchResult AdversarySearch(const AdversarySearchOptions& options,
+                                      MetricsRegistry* metrics = nullptr);
+
+// Replays one candidate exactly as the search evaluated it: decode, derive
+// the run seed from the evaluation index, run attack + baseline, recompute
+// the fitness decomposition. The bit-reproducibility test pins this against
+// the search's own records.
+AdversaryCandidate ReplayCandidate(const AdversaryGenome& genome, uint64_t evaluation_index,
+                                   const AdversaryConfig& config);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_VERIFY_ADVERSARY_SEARCH_H_

@@ -1,6 +1,7 @@
 #include "src/verify/chaos_fuzzer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -42,17 +43,28 @@ RunRequest FuzzTrialRequest(const FuzzOptions& options, int index) {
 
 FuzzReport FuzzChaos(const FuzzOptions& options) {
   FuzzReport report;
-  if (options.trials <= 0) {
+  const bool generational = options.generations > 0 && options.population > 0;
+  const int trials = generational ? options.generations * options.population : options.trials;
+  if (trials <= 0) {
     return report;
   }
 
   const ParallelRunner runner(RunnerOptions{.jobs = options.jobs});
-  // Chunked execution: full parallelism inside a chunk, a fail-fast decision
-  // point between chunks.
-  const int chunk_size = std::max(1, runner.jobs());
+  // Chunked execution: full parallelism inside a chunk, a fail-fast (and
+  // wall-clock) decision point between chunks. Generational budgets make the
+  // chunk one generation wide so the two tools pace identically.
+  const int chunk_size = generational ? options.population : std::max(1, runner.jobs());
+  const auto started = std::chrono::steady_clock::now();
 
-  for (int begin = 0; begin < options.trials; begin += chunk_size) {
-    const int end = std::min(options.trials, begin + chunk_size);
+  for (int begin = 0; begin < trials; begin += chunk_size) {
+    if (options.wall_clock_budget_s > 0.0 && begin > 0) {
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
+      if (elapsed.count() >= options.wall_clock_budget_s) {
+        report.budget_exhausted = true;
+        break;
+      }
+    }
+    const int end = std::min(trials, begin + chunk_size);
     RunPlan plan;
     for (int trial = begin; trial < end; ++trial) {
       plan.Add(FuzzTrialRequest(options, trial));

@@ -29,6 +29,19 @@ struct FuzzOptions {
   // reports it). false scans every trial regardless.
   bool fail_fast = true;
 
+  // Budget knobs shared with the adversarial search (tools/chaos_fuzz and
+  // tools/adversary_search take the same --generations / --population /
+  // --wall-clock-budget-s flags). When both generations and population are
+  // positive they override `trials` (= generations * population) and set the
+  // chunk width to one generation. A positive wall-clock budget stops
+  // launching new chunks once exceeded; like fail-fast it is checked only at
+  // chunk boundaries, so every trial that does run is bit-identical to the
+  // unbudgeted sweep — the deterministic early-stop is fail-fast, the clock
+  // is a safety cap.
+  int generations = 0;
+  int population = 0;
+  double wall_clock_budget_s = 0.0;
+
   // Trial shape. Apps rotate round-robin through the whole catalog so every
   // trial mix exercises each pod topology; the chaos knobs are shared, with
   // pod_count overridden per app.
@@ -62,6 +75,7 @@ struct FuzzReport {
   int trials_run = 0;
   int violating_trials = 0;
   std::vector<FuzzFinding> findings;  // in trial order; first is the repro seed.
+  bool budget_exhausted = false;      // wall clock stopped the sweep early.
   bool clean() const { return violating_trials == 0; }
 };
 

@@ -7,7 +7,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/bemodel/be_job_spec.h"
 #include "src/fault/fault_schedule_io.h"
+#include "src/workload/load_profile.h"
 
 namespace rhythm {
 
@@ -61,6 +63,14 @@ RunRequest ReproToRequest(const ChaosRepro& repro) {
   request.warmup_s = repro.warmup_s;
   request.measure_s = repro.measure_s;
   request.faults = std::make_shared<FaultSchedule>(repro.schedule);
+  if (repro.has_diurnal) {
+    request.profile = std::make_shared<DiurnalTrace>(repro.warmup_s + repro.measure_s,
+                                                     repro.diurnal_min, repro.diurnal_max);
+  }
+  if (repro.has_pressure) {
+    request.custom_be = std::make_shared<BeJobSpec>(MakeAdversarialBeSpec(repro.pressure));
+  }
+  request.hardening = repro.hardening;
   request.verify.mode = InvariantMode::kCollect;
   request.verify.synthetic_tail_tripwire_ms = repro.tripwire_ms;
   request.verify.recovery_horizon_s = repro.recovery_horizon_s;
@@ -83,6 +93,14 @@ ChaosRepro ReproFromRequest(const RunRequest& request) {
   repro.measure_s = request.measure_s;
   repro.tripwire_ms = request.verify.synthetic_tail_tripwire_ms;
   repro.recovery_horizon_s = request.verify.recovery_horizon_s;
+  repro.hardening = request.hardening;
+  if (request.custom_be != nullptr) {
+    repro.has_pressure = true;
+    repro.pressure = request.custom_be->pressure;
+  }
+  // A diurnal profile cannot be recovered from the abstract LoadProfile*;
+  // callers that drove the run with one set has_diurnal themselves (the
+  // adversary corpus does).
   repro.schedule = *request.faults;
   return repro;
 }
@@ -105,6 +123,24 @@ std::string ChaosReproToText(const ChaosRepro& repro) {
     out << "#! tripwire_ms " << Num(repro.tripwire_ms) << "\n";
   }
   out << "#! recovery_horizon_s " << Num(repro.recovery_horizon_s) << "\n";
+  if (repro.has_diurnal) {
+    out << "#! diurnal " << Num(repro.diurnal_min) << ' ' << Num(repro.diurnal_max) << "\n";
+  }
+  if (repro.has_pressure) {
+    out << "#! pressure " << Num(repro.pressure.cpu) << ' ' << Num(repro.pressure.llc) << ' '
+        << Num(repro.pressure.dram) << ' ' << Num(repro.pressure.net) << "\n";
+  }
+  if (repro.hardening.readmission_jitter) {
+    out << "#! harden_jitter 1\n";
+  }
+  if (repro.hardening.oscillation_guard) {
+    out << "#! harden_osc 1\n";
+  }
+  if (repro.has_expectations) {
+    out << "#! expect_slack_ticks " << repro.expect_slack_ticks << "\n";
+    out << "#! expect_worst_tail_ratio " << Num(repro.expect_worst_tail_ratio) << "\n";
+    out << "#! expect_be_throughput " << Num(repro.expect_be_throughput) << "\n";
+  }
   out << "# kind pod start_s duration_s magnitude\n";
   for (const FaultEvent& event : repro.schedule.events) {
     out << FaultKindName(event.kind) << ' ' << event.pod << ' ' << Num(event.start_s) << ' '
@@ -155,6 +191,39 @@ ChaosRepro ChaosReproFromText(const std::string& text) {
       repro.tripwire_ms = ParseDouble(value, "tripwire_ms");
     } else if (key == "recovery_horizon_s") {
       repro.recovery_horizon_s = ParseDouble(value, "recovery_horizon_s");
+    } else if (key == "diurnal") {
+      std::string max_value;
+      if (!(fields >> max_value)) {
+        throw std::invalid_argument("ChaosRepro: line " + std::to_string(line_number) +
+                                    " needs '#! diurnal <min> <max>'");
+      }
+      repro.has_diurnal = true;
+      repro.diurnal_min = ParseDouble(value, "diurnal");
+      repro.diurnal_max = ParseDouble(max_value, "diurnal");
+    } else if (key == "pressure") {
+      std::string llc, dram, net;
+      if (!(fields >> llc >> dram >> net)) {
+        throw std::invalid_argument("ChaosRepro: line " + std::to_string(line_number) +
+                                    " needs '#! pressure <cpu> <llc> <dram> <net>'");
+      }
+      repro.has_pressure = true;
+      repro.pressure.cpu = ParseDouble(value, "pressure");
+      repro.pressure.llc = ParseDouble(llc, "pressure");
+      repro.pressure.dram = ParseDouble(dram, "pressure");
+      repro.pressure.net = ParseDouble(net, "pressure");
+    } else if (key == "harden_jitter") {
+      repro.hardening.readmission_jitter = ParseEnumInt(value, 2, "harden_jitter") != 0;
+    } else if (key == "harden_osc") {
+      repro.hardening.oscillation_guard = ParseEnumInt(value, 2, "harden_osc") != 0;
+    } else if (key == "expect_slack_ticks") {
+      repro.has_expectations = true;
+      repro.expect_slack_ticks = ParseU64(value, "expect_slack_ticks");
+    } else if (key == "expect_worst_tail_ratio") {
+      repro.has_expectations = true;
+      repro.expect_worst_tail_ratio = ParseDouble(value, "expect_worst_tail_ratio");
+    } else if (key == "expect_be_throughput") {
+      repro.has_expectations = true;
+      repro.expect_be_throughput = ParseDouble(value, "expect_be_throughput");
     } else {
       throw std::invalid_argument("ChaosRepro: line " + std::to_string(line_number) +
                                   " has unknown directive '" + key + "'");

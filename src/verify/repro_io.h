@@ -42,6 +42,31 @@ struct ChaosRepro {
   // Monitor knobs the violation was found under.
   double tripwire_ms = std::numeric_limits<double>::infinity();
   double recovery_horizon_s = 120.0;
+
+  // -- Adversarial-trial context (all optional; absent directives leave the
+  //    plain chaos-repro behaviour untouched) --------------------------------
+
+  // `#! diurnal <min> <max>`: drive the run with a DiurnalTrace over
+  // warmup_s + measure_s instead of the constant `load`.
+  bool has_diurnal = false;
+  double diurnal_min = 0.25;
+  double diurnal_max = 0.95;
+  // `#! pressure <cpu> <llc> <dram> <net>`: run a custom adversarial BE spec
+  // decoded from this vector instead of the catalog kind `be`.
+  bool has_pressure = false;
+  ResourceVector pressure;
+  // `#! harden_jitter 1` / `#! harden_osc 1`: replay against the hardened
+  // controller (before/after comparisons keep two copies of one file).
+  ControlHardening hardening;
+  // `#! expect_slack_ticks N`, `#! expect_worst_tail_ratio X`,
+  // `#! expect_be_throughput X`: the summary the attack produced when it was
+  // minted, %.17g-exact. The corpus replay test asserts exact equality — the
+  // bit-reproducibility contract for checked-in attacks.
+  bool has_expectations = false;
+  uint64_t expect_slack_ticks = 0;
+  double expect_worst_tail_ratio = 0.0;
+  double expect_be_throughput = 0.0;
+
   FaultSchedule schedule;
 };
 

@@ -15,7 +15,8 @@ namespace {
 // best instead of exploring further.
 class Probe {
  public:
-  Probe(const RunRequest& base, int budget) : base_(base), budget_(budget) {
+  Probe(const RunRequest& base, SchedulePredicate keep, int budget)
+      : base_(base), keep_(std::move(keep)), budget_(budget) {
     base_.verify.mode = InvariantMode::kCollect;
   }
 
@@ -29,7 +30,7 @@ class Probe {
     schedule->events = events;
     candidate.faults = std::move(schedule);
     const RunSummary summary = Run(candidate);
-    if (summary.invariant_violations_total > 0) {
+    if (keep_(summary)) {
       last_violations_ = summary.invariant_violations;
       return true;
     }
@@ -41,6 +42,7 @@ class Probe {
 
  private:
   RunRequest base_;
+  SchedulePredicate keep_;
   int budget_;
   int tried_ = 0;
   std::vector<InvariantViolation> last_violations_;
@@ -103,14 +105,22 @@ void ShrinkField(std::vector<FaultEvent>& events, size_t index, double FaultEven
 }  // namespace
 
 MinimizeResult MinimizeSchedule(const RunRequest& request, const MinimizeOptions& options) {
+  return MinimizeScheduleWith(
+      request,
+      [](const RunSummary& summary) { return summary.invariant_violations_total > 0; },
+      options);
+}
+
+MinimizeResult MinimizeScheduleWith(const RunRequest& request, const SchedulePredicate& keep,
+                                    const MinimizeOptions& options) {
   if (request.faults == nullptr || request.faults->empty()) {
     throw std::invalid_argument("MinimizeSchedule: the request carries no fault schedule");
   }
-  Probe probe(request, options.max_candidates);
+  Probe probe(request, keep, options.max_candidates);
   std::vector<FaultEvent> events = request.faults->events;
   if (!probe.Violates(events)) {
     throw std::invalid_argument(
-        "MinimizeSchedule: the request does not reproduce an invariant violation");
+        "MinimizeSchedule: the request does not reproduce the failure predicate");
   }
 
   MinimizeResult result;

@@ -16,6 +16,7 @@
 #ifndef RHYTHM_SRC_VERIFY_SCHEDULE_MINIMIZER_H_
 #define RHYTHM_SRC_VERIFY_SCHEDULE_MINIMIZER_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/fault/fault_schedule.h"
@@ -47,6 +48,16 @@ struct MinimizeResult {
 // given (the monitor mode is forced to kCollect for the search); throws
 // std::invalid_argument when the initial replay is already clean.
 MinimizeResult MinimizeSchedule(const RunRequest& request, const MinimizeOptions& options = {});
+
+// Generalized minimization: the caller supplies the failure predicate. A
+// candidate schedule is kept when `keep(summary)` is true for its replay;
+// the adversarial search uses a damage-retention predicate ("the shrunken
+// attack still inflicts >= X% of the original SLO damage") where the
+// invariant monitor has nothing to say. Throws std::invalid_argument when
+// the initial replay does not satisfy the predicate.
+using SchedulePredicate = std::function<bool(const RunSummary&)>;
+MinimizeResult MinimizeScheduleWith(const RunRequest& request, const SchedulePredicate& keep,
+                                    const MinimizeOptions& options = {});
 
 }  // namespace rhythm
 

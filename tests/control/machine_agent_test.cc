@@ -224,6 +224,89 @@ TEST(MachineAgentTest, TriggerBackoffHoldsGrowthExternally) {
   EXPECT_EQ(rig.be->instance_count(), 1);
 }
 
+Rig MakeHardenedRig(const ControlHardening& hardening, int stagger = 0) {
+  Rig rig;
+  MachineSpec spec;
+  LcReservation reservation;
+  reservation.cores = 20;
+  reservation.min_llc_ways = 4;
+  reservation.memory_gb = 32.0;
+  rig.machine = std::make_unique<Machine>("m0", spec, reservation);
+  rig.be = std::make_unique<BeRuntime>(rig.machine.get(), BeJobKind::kWordcount);
+  rig.agent = std::make_unique<MachineAgent>(
+      rig.machine.get(), rig.be.get(),
+      ServpodThresholds{.loadlimit = 0.85, .slacklimit = 0.20}, 200.0, stagger, hardening);
+  return rig;
+}
+
+TEST(MachineAgentTest, HardeningOffByDefaultLeavesCountersAtZero) {
+  Rig rig = MakeRig();
+  for (int i = 0; i < 12; ++i) {
+    rig.agent->Tick(0.3, i % 2 == 0 ? 100.0 : 190.0);  // band flips every tick.
+  }
+  EXPECT_EQ(rig.agent->stats().jitter_holds, 0u);
+  EXPECT_EQ(rig.agent->stats().oscillation_trips, 0u);
+}
+
+TEST(MachineAgentTest, ReadmissionJitterStaggersEmptyPodLaunch) {
+  ControlHardening hardening;
+  hardening.readmission_jitter = true;
+  Rig rig = MakeHardenedRig(hardening, /*stagger=*/0);
+  // Ticks 1..3: (ticks + 0) % 4 != 0, the empty pod's launch is held.
+  for (int tick = 1; tick <= 3; ++tick) {
+    rig.agent->Tick(0.3, 100.0);
+    EXPECT_EQ(rig.be->instance_count(), 0) << "tick " << tick;
+  }
+  EXPECT_EQ(rig.agent->stats().jitter_holds, 3u);
+  // Tick 4 is this pod's phase: admission proceeds.
+  rig.agent->Tick(0.3, 100.0);
+  EXPECT_EQ(rig.be->instance_count(), 1);
+  // A populated pod is never jitter-held: the fix staggers *re-admission*,
+  // not steady-state growth.
+  rig.agent->Tick(0.3, 100.0);
+  EXPECT_EQ(rig.agent->stats().jitter_holds, 3u);
+}
+
+TEST(MachineAgentTest, ReadmissionJitterPhaseFollowsTheStagger) {
+  ControlHardening hardening;
+  hardening.readmission_jitter = true;
+  // stagger 3: (1 + 3) % 4 == 0 — this pod launches on its very first tick.
+  Rig rig = MakeHardenedRig(hardening, /*stagger=*/3);
+  rig.agent->Tick(0.3, 100.0);
+  EXPECT_EQ(rig.be->instance_count(), 1);
+  EXPECT_EQ(rig.agent->stats().jitter_holds, 0u);
+}
+
+TEST(MachineAgentTest, OscillationGuardTripsOnBandFlippingAndHoldsGrowth) {
+  ControlHardening hardening;
+  hardening.oscillation_guard = true;
+  Rig rig = MakeHardenedRig(hardening);
+  // Alternate grow (slack 0.5) and cut (slack 0.05) every tick — the
+  // controller-tick-frequency oscillation the guard exists for. The first
+  // flip lands on tick 2 (tick 1 only establishes a direction), so the
+  // fourth flip — the trip threshold — lands on tick 5 and re-arms the
+  // window; ticks 6-8 accumulate only three fresh flips.
+  for (int tick = 1; tick <= 8; ++tick) {
+    rig.agent->Tick(0.3, tick % 2 == 1 ? 100.0 : 190.0);
+  }
+  EXPECT_EQ(rig.agent->stats().oscillation_trips, 1u);
+  // During the hold window the grow half of the oscillation is suppressed.
+  const int held = rig.be->instance_count();
+  rig.agent->Tick(0.3, 100.0);  // band says grow; guard holds.
+  EXPECT_EQ(rig.be->instance_count(), held);
+}
+
+TEST(MachineAgentTest, OscillationGuardIgnoresSteadyGrowth) {
+  ControlHardening hardening;
+  hardening.oscillation_guard = true;
+  Rig rig = MakeHardenedRig(hardening);
+  for (int tick = 0; tick < 20; ++tick) {
+    rig.agent->Tick(0.3, 100.0);  // monotone growth regime: no flips.
+  }
+  EXPECT_EQ(rig.agent->stats().oscillation_trips, 0u);
+  EXPECT_GT(rig.be->instance_count(), 0);
+}
+
 TEST(MachineAgentTest, DroppedSuspendIsRetriedAndVerified) {
   Rig rig = MakeRig();
   rig.agent->Tick(0.3, 100.0);

@@ -1,0 +1,125 @@
+// Randomized round-trip fuzzing of the FaultSchedule text format: schedules
+// with arbitrary doubles must survive Save -> Load -> Save byte-identically
+// (the format's %.17g contract is what lets checked-in repros replay
+// bit-exactly), and truncated or corrupted files must be rejected loudly,
+// never half-parsed into a different schedule.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/fault/fault_schedule.h"
+#include "src/fault/fault_schedule_io.h"
+
+namespace rhythm {
+namespace {
+
+constexpr FaultKind kKinds[] = {
+    FaultKind::kPodCrash,        FaultKind::kTelemetryDropout, FaultKind::kTelemetryFreeze,
+    FaultKind::kActuationDrop,   FaultKind::kBeInstanceFailure, FaultKind::kLoadSpike,
+    FaultKind::kBeAdmissionHold,
+};
+constexpr int kKindCount = static_cast<int>(sizeof(kKinds) / sizeof(kKinds[0]));
+
+FaultSchedule RandomSchedule(Rng& rng) {
+  FaultSchedule schedule;
+  const int events = 1 + static_cast<int>(rng.Uniform(0.0, 12.0));
+  for (int i = 0; i < events; ++i) {
+    FaultEvent event;
+    event.kind = kKinds[static_cast<int>(rng.Uniform(0.0, kKindCount)) % kKindCount];
+    event.pod = static_cast<int>(rng.Uniform(0.0, 8.0));
+    // Deliberately awkward doubles: sums and quotients that do not print
+    // prettily, so the round trip is exercised on full-precision values.
+    event.start_s = rng.Uniform(0.0, 400.0) + rng.Uniform(0.0, 1.0) / 3.0;
+    event.duration_s = rng.Uniform(0.0, 120.0) / 7.0;
+    event.magnitude = rng.Uniform(-2.0, 2.0) / 9.0;
+    schedule.Add(event);
+  }
+  return schedule;
+}
+
+TEST(FaultIoFuzzTest, RandomSchedulesSaveLoadSaveByteIdentically) {
+  Rng rng(20260808u);
+  for (int trial = 0; trial < 200; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const FaultSchedule schedule = RandomSchedule(rng);
+    const std::string text = FaultScheduleToText(schedule);
+    const std::string again = FaultScheduleToText(FaultScheduleFromText(text));
+    ASSERT_EQ(again, text);
+  }
+}
+
+TEST(FaultIoFuzzTest, TruncatedFilesAreRejected) {
+  Rng rng(7u);
+  int rejected = 0;
+  int attempted = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string text = FaultScheduleToText(RandomSchedule(rng));
+    // Cut inside the final event line (not at a line boundary, where a
+    // shorter-but-valid file is legitimate).
+    const size_t last_line = text.rfind('\n', text.size() - 2) + 1;
+    const size_t line_len = text.size() - 1 - last_line;
+    if (line_len < 2) {
+      continue;
+    }
+    const size_t cut = last_line + 1 + static_cast<size_t>(rng.Uniform(0.0, 1.0) *
+                                                           static_cast<double>(line_len - 1));
+    const std::string truncated = text.substr(0, cut);
+    ++attempted;
+    try {
+      const FaultSchedule parsed = FaultScheduleFromText(truncated);
+      // A cut can land inside the trailing double ("0.25" -> "0.2"), which
+      // still parses; it must then differ only in that final field, never
+      // drop or reorder events.
+      ASSERT_EQ(parsed.events.size(), FaultScheduleFromText(text).events.size());
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  ASSERT_GT(attempted, 0);
+  EXPECT_GT(rejected, 0) << "no truncation was ever detected";
+}
+
+TEST(FaultIoFuzzTest, CorruptTokensAreRejected) {
+  const std::string text = FaultScheduleToText([] {
+    FaultSchedule schedule;
+    schedule.Add({FaultKind::kPodCrash, 1, 30.0, 20.0, 0.3});
+    schedule.Add({FaultKind::kBeAdmissionHold, 0, 55.25, 12.0, 0.0});
+    return schedule;
+  }());
+  // Corrupt the first character of each numeric token on every *event* line
+  // (comment lines are ignored by design, so corrupting them is benign).
+  int corrupted = 0;
+  size_t line_start = 0;
+  while (line_start < text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) {
+      line_end = text.size();
+    }
+    if (text[line_start] != '#' && line_end > line_start) {
+      for (size_t pos = line_start; pos + 1 < line_end; ++pos) {
+        if (text[pos] != ' ') {
+          continue;
+        }
+        std::string bad = text;
+        bad[pos + 1] = 'x';
+        EXPECT_THROW(FaultScheduleFromText(bad), std::invalid_argument)
+            << "corruption at offset " << pos + 1 << " was accepted:\n" << bad;
+        ++corrupted;
+      }
+    }
+    line_start = line_end + 1;
+  }
+  ASSERT_GT(corrupted, 0);
+}
+
+TEST(FaultIoFuzzTest, ExtraFieldsAndMissingFieldsAreRejected) {
+  EXPECT_THROW(FaultScheduleFromText("BeAdmissionHold 0 55 12\n"), std::invalid_argument);
+  EXPECT_THROW(FaultScheduleFromText("BeAdmissionHold 0 55 12 0 junk\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,88 @@
+// Replays the whole checked-in repro corpus under tests/fault/repros/ and
+// holds every file to its recorded outcome, bit-for-bit:
+//
+//   * adversary repros (files with `#! expect_*` directives, minted by
+//     `adversary_search --corpus-out`) must reproduce their recorded summary
+//     exactly — slack ticks, worst tail ratio and BE throughput compare with
+//     == on the replayed doubles;
+//   * fuzz repros (no expectations, minted by `chaos_fuzz --repro-out`) must
+//     still trigger the invariant violation they were minimized for.
+//
+// A mismatch fails with the repro's path: either a behavior change silently
+// shifted a pinned attack (regenerate the file deliberately, with the new
+// numbers reviewed) or determinism broke (fix that instead).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/runner/runner.h"
+#include "src/verify/adversary/corpus.h"
+#include "src/verify/repro_io.h"
+
+#ifndef RHYTHM_REPRO_DIR
+#error "RHYTHM_REPRO_DIR must point at tests/fault/repros"
+#endif
+
+namespace rhythm {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(RHYTHM_REPRO_DIR)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".txt") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ReproCorpusTest, EveryFileReplaysToItsRecordedOutcome) {
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    const ChaosRepro repro = LoadChaosRepro(path);
+    // Pressure-only attacks legitimately carry no fault events — the
+    // adversarial BE mix itself is the attack.
+    if (!repro.has_pressure) {
+      ASSERT_FALSE(repro.schedule.events.empty()) << path << ": empty schedule";
+    }
+    if (repro.has_expectations) {
+      const std::string mismatch = VerifyReproExpectations(repro);
+      EXPECT_TRUE(mismatch.empty()) << path << ": " << mismatch;
+    } else {
+      const RunSummary summary = rhythm::Run(ReproToRequest(repro));
+      EXPECT_GT(summary.invariant_violations_total, 0u)
+          << path << ": repro no longer triggers its invariant violation";
+    }
+  }
+}
+
+// The adversarial search must have left at least three minimized attacks in
+// the corpus (the hardening fixes are argued against them).
+TEST(ReproCorpusTest, CorpusHoldsMinimizedAdversarialAttacks) {
+  int adversarial = 0;
+  for (const std::string& path : CorpusFiles()) {
+    if (LoadChaosRepro(path).has_expectations) {
+      ++adversarial;
+    }
+  }
+  EXPECT_GE(adversarial, 3) << "expected >= 3 minimized attacks under " << RHYTHM_REPRO_DIR;
+}
+
+// Every adversary repro must survive its own text round-trip byte-identically
+// (the guarantee the %.17g format exists for).
+TEST(ReproCorpusTest, CorpusFilesRoundTripByteIdentically) {
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    const ChaosRepro repro = LoadChaosRepro(path);
+    const std::string text = ChaosReproToText(repro);
+    EXPECT_EQ(ChaosReproToText(ChaosReproFromText(text)), text);
+  }
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,187 @@
+// Adversarial search: genome operator determinism, fitness decomposition,
+// weakness classification, and the bit-reproducibility contract — the same
+// seed must produce the identical best genome and fitness at any worker
+// count, and any recorded candidate must replay to its recorded numbers from
+// (genome, evaluation_index) alone.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/metrics_registry.h"
+#include "src/verify/adversary/corpus.h"
+#include "src/verify/adversary/fitness.h"
+#include "src/verify/adversary/genome.h"
+#include "src/verify/adversary/search.h"
+
+namespace rhythm {
+namespace {
+
+// Small-but-real search shape shared by the expensive tests (each candidate
+// evaluation is two full simulated runs).
+AdversarySearchOptions SmokeOptions() {
+  AdversarySearchOptions options;
+  options.population = 4;
+  options.generations = 2;
+  options.seed = 3;
+  options.config.measure_s = 60.0;
+  options.hall_of_fame = 4;
+  return options;
+}
+
+TEST(AdversaryGenomeTest, RandomGenomeIsSeedDeterministicAndInRange) {
+  Rng a(42), b(42);
+  const AdversaryGenome ga = RandomGenome(a);
+  const AdversaryGenome gb = RandomGenome(b);
+  EXPECT_TRUE(ga == gb);
+  for (double gene : ga.genes) {
+    EXPECT_GE(gene, 0.0);
+    EXPECT_LE(gene, 1.0);
+  }
+}
+
+TEST(AdversaryGenomeTest, MutationIsSeedDeterministicAndStaysInRange) {
+  Rng seed_rng(7);
+  const AdversaryGenome base = RandomGenome(seed_rng);
+  Rng a(9), b(9);
+  const AdversaryGenome ma = MutateGenome(base, /*rate=*/0.5, /*sigma=*/0.4, a);
+  const AdversaryGenome mb = MutateGenome(base, 0.5, 0.4, b);
+  EXPECT_TRUE(ma == mb);
+  for (double gene : ma.genes) {
+    EXPECT_GE(gene, 0.0);
+    EXPECT_LE(gene, 1.0);
+  }
+}
+
+TEST(AdversaryGenomeTest, DecodeIsAPureFunction) {
+  Rng rng(5);
+  const AdversaryGenome genome = RandomGenome(rng);
+  const AdversaryConfig config;
+  const RunRequest once = DecodeGenome(genome, config);
+  const RunRequest twice = DecodeGenome(genome, config);
+  EXPECT_EQ(once.seed, twice.seed);
+  EXPECT_EQ(once.label, twice.label);
+  ASSERT_NE(once.faults, nullptr);
+  ASSERT_NE(twice.faults, nullptr);
+  ASSERT_EQ(once.faults->events.size(), twice.faults->events.size());
+  for (size_t i = 0; i < once.faults->events.size(); ++i) {
+    EXPECT_EQ(once.faults->events[i].kind, twice.faults->events[i].kind);
+    EXPECT_EQ(once.faults->events[i].start_s, twice.faults->events[i].start_s);
+    EXPECT_EQ(once.faults->events[i].magnitude, twice.faults->events[i].magnitude);
+  }
+  // The baseline is the same trial with the attack removed.
+  const RunRequest baseline = DecodeBaseline(genome, config);
+  EXPECT_EQ(baseline.faults, nullptr);
+  EXPECT_EQ(baseline.seed, once.seed);
+  EXPECT_EQ(baseline.app, once.app);
+}
+
+TEST(AdversaryFitnessTest, DecompositionMatchesItsDefinition) {
+  RunSummary attack;
+  attack.slack_violation_ticks = 12;
+  attack.worst_tail_ratio = 1.5;
+  attack.be_throughput = 0.2;
+  RunSummary baseline;
+  baseline.be_throughput = 0.5;
+  EXPECT_DOUBLE_EQ(AttackDamage(attack), 12.0 + kTailOverrunWeight * 0.5);
+  EXPECT_DOUBLE_EQ(AttackCost(attack, baseline), 0.3);
+  EXPECT_DOUBLE_EQ(AttackFitness(attack, baseline),
+                   (12.0 + kTailOverrunWeight * 0.5) / (kCostEpsilon + 0.3));
+  // Tail under the SLA contributes nothing; raised BE throughput costs nothing.
+  attack.worst_tail_ratio = 0.9;
+  attack.be_throughput = 0.9;
+  EXPECT_DOUBLE_EQ(AttackDamage(attack), 12.0);
+  EXPECT_DOUBLE_EQ(AttackCost(attack, baseline), 0.0);
+}
+
+TEST(AdversaryCorpusTest, WeaknessClassificationFollowsSurvivingIngredients) {
+  FaultSchedule holds;
+  holds.Add({FaultKind::kBeAdmissionHold, 0, 50.0, 20.0, 0.0});
+  EXPECT_EQ(ClassifyWeakness(holds), "synchronized-readmission");
+
+  FaultSchedule ramp = holds;
+  ramp.Add({FaultKind::kLoadSpike, 0, 70.0, 30.0, 0.3});
+  EXPECT_EQ(ClassifyWeakness(ramp), "readmission-load-ramp");
+
+  FaultSchedule freeze;
+  freeze.Add({FaultKind::kTelemetryFreeze, 1, 40.0, 30.0, 0.0});
+  EXPECT_EQ(ClassifyWeakness(freeze), "poisoned-telemetry");
+
+  FaultSchedule drops;
+  drops.Add({FaultKind::kActuationDrop, 0, 40.0, 30.0, 0.5});
+  EXPECT_EQ(ClassifyWeakness(drops), "actuation-loss");
+
+  FaultSchedule spikes;
+  spikes.Add({FaultKind::kLoadSpike, 0, 40.0, 20.0, 0.4});
+  EXPECT_EQ(ClassifyWeakness(spikes), "burst-alignment");
+
+  EXPECT_EQ(ClassifyWeakness(FaultSchedule{}), "pressure-only");
+}
+
+TEST(AdversarySearchTest, SearchIsBitReproducibleAcrossWorkerCounts) {
+  AdversarySearchOptions serial = SmokeOptions();
+  serial.jobs = 1;
+  AdversarySearchOptions parallel = SmokeOptions();
+  parallel.jobs = 3;
+
+  const AdversarySearchResult a = AdversarySearch(serial);
+  const AdversarySearchResult b = AdversarySearch(parallel);
+
+  EXPECT_TRUE(a.best.genome == b.best.genome);
+  EXPECT_EQ(a.best.fitness, b.best.fitness);
+  EXPECT_EQ(a.best.damage, b.best.damage);
+  EXPECT_EQ(a.best.evaluation_index, b.best.evaluation_index);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  ASSERT_EQ(a.generations.size(), b.generations.size());
+  for (size_t i = 0; i < a.generations.size(); ++i) {
+    EXPECT_EQ(a.generations[i].best_fitness, b.generations[i].best_fitness);
+    EXPECT_EQ(a.generations[i].generation_mean, b.generations[i].generation_mean);
+  }
+  ASSERT_EQ(a.hall_of_fame.size(), b.hall_of_fame.size());
+  for (size_t i = 0; i < a.hall_of_fame.size(); ++i) {
+    EXPECT_TRUE(a.hall_of_fame[i].genome == b.hall_of_fame[i].genome);
+    EXPECT_EQ(a.hall_of_fame[i].fitness, b.hall_of_fame[i].fitness);
+  }
+
+  // Any recorded candidate replays to its recorded numbers from (genome,
+  // evaluation_index) alone.
+  const AdversaryCandidate replayed =
+      ReplayCandidate(a.best.genome, a.best.evaluation_index, serial.config);
+  EXPECT_EQ(replayed.fitness, a.best.fitness);
+  EXPECT_EQ(replayed.damage, a.best.damage);
+  EXPECT_EQ(replayed.attack.slack_violation_ticks, a.best.attack.slack_violation_ticks);
+  EXPECT_EQ(replayed.attack.worst_tail_ratio, a.best.attack.worst_tail_ratio);
+  EXPECT_EQ(replayed.attack.be_throughput, a.best.attack.be_throughput);
+}
+
+TEST(AdversarySearchTest, SearchPublishesProgressMetrics) {
+  AdversarySearchOptions options = SmokeOptions();
+  options.population = 3;
+  MetricsRegistry metrics;
+  const AdversarySearchResult result = AdversarySearch(options, &metrics);
+
+  MetricsRegistry::MetricId id;
+  ASSERT_TRUE(metrics.Find("adversary/best_fitness", &id));
+  EXPECT_EQ(metrics.Value(id), result.best.fitness);
+  ASSERT_TRUE(metrics.Find("adversary/evaluations", &id));
+  EXPECT_EQ(metrics.Value(id), static_cast<double>(result.evaluations));
+  ASSERT_TRUE(metrics.Find("adversary/generation_best", &id));
+  ASSERT_TRUE(metrics.Find("adversary/generation_mean", &id));
+  // One snapshot per recorded generation: obs_query gets a timeline.
+  EXPECT_EQ(metrics.snapshots_taken(), result.generations.size());
+}
+
+TEST(AdversarySearchTest, PlateauStopIsDeterministic) {
+  AdversarySearchOptions options = SmokeOptions();
+  options.generations = 12;  // more than the plateau should allow.
+  options.plateau_generations = 1;
+  const AdversarySearchResult a = AdversarySearch(options);
+  const AdversarySearchResult b = AdversarySearch(options);
+  EXPECT_EQ(a.generations.size(), b.generations.size());
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_TRUE(a.best.genome == b.best.genome);
+  EXPECT_TRUE(a.stopped_on_plateau || a.generations.size() == 12u);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,381 @@
+// Adversarial BE workload search CLI: evolve attack genomes against the
+// controller, minimize the champions into checked-in repro files, and
+// measure how much of each attack's damage the ControlHardening fail-safes
+// recover.
+//
+// Usage: adversary_search [options]
+//   --seed S               GA seed (search is a pure function of it) (1)
+//   --run-seed S           base trial seed; candidates derive theirs (11)
+//   --generations N        GA generations (6)
+//   --population N         genomes per generation (12)
+//   --hill-climb N         coordinate hill-climb steps on the champion (0)
+//   --plateau N            stop after N stale generations (3)
+//   --wall-clock-budget-s F  safety cap, checked at generation bounds (off)
+//   --jobs N               worker threads (default: RHYTHM_JOBS or cores)
+//   --measure-s F          measured seconds per trial (300)
+//   --harden-jitter        evaluate against readmission-jitter hardening
+//   --harden-osc           evaluate against oscillation-guard hardening
+//   --corpus-out DIR       minimize top attacks into DIR as repro files
+//   --corpus-count N       attacks to minimize (3)
+//   --keep-damage F        minimizer damage-retention fraction (0.6)
+//   --bench-json PATH      write hardening before/after damage comparison
+//   --obs-out PATH         write search progress as a Recording JSONL
+//                          (obs_query summarizes it)
+//   --expect-best-fitness X  fail unless the best fitness prints exactly X
+//                          (%.17g) — the CI bit-reproducibility assertion
+//   --replay PATH          instead of searching: replay a repro file and
+//                          check its expect_* directives bit-exactly
+//   --probe PATH           instead of searching: replay a repro under every
+//                          hardening combination and print the damage split
+//
+// Budget flags (--generations/--population/--wall-clock-budget-s) are shared
+// with tools/chaos_fuzz; see tools/README.md.
+//
+// Exit status: 0 success, 1 replay/expectation mismatch, 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/rhythm.h"
+
+using namespace rhythm;
+
+namespace {
+
+std::string Num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void PrintCandidate(const char* tag, const AdversaryCandidate& candidate) {
+  std::printf("%s: fitness=%s damage=%s cost=%s slack_ticks=%llu tail_ratio=%.3f "
+              "be=%.4f (baseline %.4f) eval#%llu\n",
+              tag, Num(candidate.fitness).c_str(), Num(candidate.damage).c_str(),
+              Num(candidate.cost).c_str(),
+              (unsigned long long)candidate.attack.slack_violation_ticks,
+              candidate.attack.worst_tail_ratio, candidate.attack.be_throughput,
+              candidate.baseline_be_throughput, (unsigned long long)candidate.evaluation_index);
+}
+
+// Replays a repro with the given hardening and reports its damage split.
+struct HardeningProbe {
+  double damage = 0.0;
+  uint64_t slack_ticks = 0;
+  double tail_ratio = 0.0;
+  double be_throughput = 0.0;
+  uint64_t jitter_holds = 0;
+  uint64_t oscillation_trips = 0;
+};
+
+HardeningProbe ProbeRepro(ChaosRepro repro, const ControlHardening& hardening) {
+  repro.hardening = hardening;
+  const RunSummary summary = Run(ReproToRequest(repro));
+  HardeningProbe probe;
+  probe.damage = AttackDamage(summary);
+  probe.slack_ticks = summary.slack_violation_ticks;
+  probe.tail_ratio = summary.worst_tail_ratio;
+  probe.be_throughput = summary.be_throughput;
+  probe.jitter_holds = summary.jitter_holds;
+  probe.oscillation_trips = summary.oscillation_trips;
+  return probe;
+}
+
+void WriteProbeJson(FILE* out, const char* key, const HardeningProbe& probe) {
+  std::fprintf(out,
+               "    \"%s\": {\"damage\": %s, \"slack_ticks\": %llu, "
+               "\"tail_ratio\": %s, \"be_throughput\": %s}",
+               key, Num(probe.damage).c_str(), (unsigned long long)probe.slack_ticks,
+               Num(probe.tail_ratio).c_str(), Num(probe.be_throughput).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AdversarySearchOptions options;
+  AttackCorpusOptions corpus_options;
+  std::string corpus_out, bench_json, obs_out, replay_path, probe_path, expect_best;
+  int corpus_count = 3;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--seed" && has_value) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--run-seed" && has_value) {
+      options.config.run_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--generations" && has_value) {
+      options.generations = std::atoi(argv[++i]);
+    } else if (arg == "--population" && has_value) {
+      options.population = std::atoi(argv[++i]);
+    } else if (arg == "--hill-climb" && has_value) {
+      options.hill_climb_steps = std::atoi(argv[++i]);
+    } else if (arg == "--plateau" && has_value) {
+      options.plateau_generations = std::atoi(argv[++i]);
+    } else if (arg == "--wall-clock-budget-s" && has_value) {
+      options.wall_clock_budget_s = std::atof(argv[++i]);
+    } else if (arg == "--jobs" && has_value) {
+      options.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--measure-s" && has_value) {
+      options.config.measure_s = std::atof(argv[++i]);
+    } else if (arg == "--harden-jitter") {
+      options.config.hardening.readmission_jitter = true;
+    } else if (arg == "--harden-osc") {
+      options.config.hardening.oscillation_guard = true;
+    } else if (arg == "--corpus-out" && has_value) {
+      corpus_out = argv[++i];
+    } else if (arg == "--corpus-count" && has_value) {
+      corpus_count = std::atoi(argv[++i]);
+    } else if (arg == "--keep-damage" && has_value) {
+      corpus_options.keep_damage_fraction = std::atof(argv[++i]);
+    } else if (arg == "--bench-json" && has_value) {
+      bench_json = argv[++i];
+    } else if (arg == "--obs-out" && has_value) {
+      obs_out = argv[++i];
+    } else if (arg == "--expect-best-fitness" && has_value) {
+      expect_best = argv[++i];
+    } else if (arg == "--replay" && has_value) {
+      replay_path = argv[++i];
+    } else if (arg == "--probe" && has_value) {
+      probe_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "adversary_search: unknown or incomplete option '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  // Probe mode: replay one repro under every hardening combination and print
+  // the damage split plus how often each fail-safe fired.
+  if (!probe_path.empty()) {
+    try {
+      const ChaosRepro repro = LoadChaosRepro(probe_path);
+      const struct {
+        const char* name;
+        ControlHardening hardening;
+      } combos[] = {
+          {"unhardened", {}},
+          {"jitter", {.readmission_jitter = true}},
+          {"osc-guard", {.oscillation_guard = true}},
+          {"both", {.readmission_jitter = true, .oscillation_guard = true}},
+      };
+      for (const auto& combo : combos) {
+        const HardeningProbe probe = ProbeRepro(repro, combo.hardening);
+        std::printf("%-10s damage=%-22s slack_ticks=%-5llu tail_ratio=%-8.3f be=%-8.4f "
+                    "jitter_holds=%llu osc_trips=%llu\n",
+                    combo.name, Num(probe.damage).c_str(),
+                    (unsigned long long)probe.slack_ticks, probe.tail_ratio,
+                    probe.be_throughput, (unsigned long long)probe.jitter_holds,
+                    (unsigned long long)probe.oscillation_trips);
+      }
+      return 0;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "adversary_search: probe failed: %s\n", error.what());
+      return 2;
+    }
+  }
+
+  // Replay mode: verify one repro file's expectations bit-exactly.
+  if (!replay_path.empty()) {
+    try {
+      const ChaosRepro repro = LoadChaosRepro(replay_path);
+      const std::string mismatch = VerifyReproExpectations(repro);
+      if (!mismatch.empty()) {
+        std::fprintf(stderr, "adversary_search: %s: %s\n", replay_path.c_str(),
+                     mismatch.c_str());
+        return 1;
+      }
+      std::printf("replay ok: %s (%d events, %s)\n", replay_path.c_str(),
+                  (int)repro.schedule.events.size(),
+                  ClassifyWeakness(repro.schedule).c_str());
+      return 0;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "adversary_search: replay failed: %s\n", error.what());
+      return 2;
+    }
+  }
+
+  std::printf("adversary_search: seed %llu, %d generations x %d genomes, "
+              "run-seed %llu, hardening jitter=%d osc=%d\n",
+              (unsigned long long)options.seed, options.generations, options.population,
+              (unsigned long long)options.config.run_seed,
+              options.config.hardening.readmission_jitter ? 1 : 0,
+              options.config.hardening.oscillation_guard ? 1 : 0);
+
+  MetricsRegistry metrics;
+  AdversarySearchResult result;
+  try {
+    result = AdversarySearch(options, &metrics);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "adversary_search: search failed: %s\n", error.what());
+    return 2;
+  }
+
+  for (const AdversaryGenerationStats& stats : result.generations) {
+    std::printf("  gen %2d: best=%s gen_best=%s gen_mean=%s evals=%llu\n", stats.generation,
+                Num(stats.best_fitness).c_str(), Num(stats.generation_best).c_str(),
+                Num(stats.generation_mean).c_str(), (unsigned long long)stats.evaluations);
+  }
+  if (result.stopped_on_plateau) {
+    std::printf("stopped early: fitness plateau\n");
+  }
+  if (result.budget_exhausted) {
+    std::printf("wall-clock budget exhausted at a generation boundary\n");
+  }
+  PrintCandidate("best", result.best);
+  std::printf("best genome: %s\n", GenomeToString(result.best.genome).c_str());
+
+  if (!expect_best.empty() && Num(result.best.fitness) != expect_best) {
+    std::fprintf(stderr,
+                 "adversary_search: best fitness %s does not match expected %s — the "
+                 "search is no longer bit-reproducible\n",
+                 Num(result.best.fitness).c_str(), expect_best.c_str());
+    return 1;
+  }
+
+  if (!obs_out.empty()) {
+    Recording recording;
+    recording.meta.app = LcAppKindName(options.config.app);
+    recording.meta.be = "adversary-search";
+    recording.meta.controller = ControllerKindName(options.config.controller);
+    recording.meta.seed = options.seed;
+    recording.metrics = metrics.metrics();
+    if (!WriteJsonl(recording, obs_out)) {
+      std::fprintf(stderr, "adversary_search: cannot write %s\n", obs_out.c_str());
+      return 2;
+    }
+    std::printf("search progress written to %s (obs_query can summarize it)\n",
+                obs_out.c_str());
+  }
+
+  // Minimize the strongest attacks into repro files, one per weakness class:
+  // a single dominant attack family must not crowd the catalogued failure
+  // modes out of the corpus. The candidate pool is the hall of fame plus the
+  // generation-0 archetypes (evaluation indices 0..kArchetypeCount-1, cheap
+  // to replay deterministically) in case stronger genomes displaced them.
+  std::vector<AttackReproResult> minimized;
+  if (!corpus_out.empty()) {
+    std::vector<AdversaryCandidate> pool = result.hall_of_fame;
+    if (options.population > kArchetypeCount) {
+      for (int i = 0; i < kArchetypeCount; ++i) {
+        const AdversaryGenome archetype = ArchetypeGenome(i);
+        bool held = false;
+        for (const AdversaryCandidate& candidate : pool) {
+          held = held || candidate.genome == archetype;
+        }
+        if (!held) {
+          pool.push_back(
+              ReplayCandidate(archetype, static_cast<uint64_t>(i), options.config));
+        }
+      }
+    }
+    std::vector<std::string> classes_minted;
+    for (const AdversaryCandidate& candidate : pool) {
+      if (static_cast<int>(minimized.size()) >= corpus_count) {
+        break;
+      }
+      if (candidate.damage <= 0.0) {
+        continue;
+      }
+      try {
+        AttackReproResult attack = MinimizeAttack(candidate, options.config, corpus_options);
+        bool duplicate = false;
+        for (const std::string& minted : classes_minted) {
+          duplicate = duplicate || minted == attack.weakness_class;
+        }
+        if (duplicate) {
+          std::printf("skipping second %s attack (eval#%llu)\n",
+                      attack.weakness_class.c_str(),
+                      (unsigned long long)candidate.evaluation_index);
+          continue;
+        }
+        const std::string path = corpus_out + "/adversary_" + attack.weakness_class + "_" +
+                                 std::to_string(minimized.size()) + ".txt";
+        SaveChaosRepro(attack.repro, path);
+        std::printf("minimized attack -> %s: %d -> %d events, damage %s -> %s, class %s\n",
+                    path.c_str(), attack.minimize.events_before, attack.minimize.events_after,
+                    Num(attack.original_damage).c_str(), Num(attack.minimized_damage).c_str(),
+                    attack.weakness_class.c_str());
+        classes_minted.push_back(attack.weakness_class);
+        minimized.push_back(std::move(attack));
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "adversary_search: minimization skipped: %s\n", error.what());
+      }
+    }
+  }
+
+  if (!bench_json.empty()) {
+    FILE* out = std::fopen(bench_json.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "adversary_search: cannot write %s\n", bench_json.c_str());
+      return 2;
+    }
+    ControlHardening jitter_only, osc_only, both;
+    jitter_only.readmission_jitter = true;
+    osc_only.oscillation_guard = true;
+    both.readmission_jitter = true;
+    both.oscillation_guard = true;
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"seed\": %llu,\n", (unsigned long long)options.seed);
+    std::fprintf(out, "  \"run_seed\": %llu,\n", (unsigned long long)options.config.run_seed);
+    std::fprintf(out, "  \"generations_run\": %d,\n", (int)result.generations.size());
+    std::fprintf(out, "  \"evaluations\": %llu,\n", (unsigned long long)result.evaluations);
+    std::fprintf(out, "  \"best_fitness\": %s,\n", Num(result.best.fitness).c_str());
+    std::fprintf(out, "  \"best_damage\": %s,\n", Num(result.best.damage).c_str());
+    std::fprintf(out, "  \"best_genome\": \"%s\",\n",
+                 GenomeToString(result.best.genome).c_str());
+    std::fprintf(out, "  \"progress\": [");
+    for (size_t i = 0; i < result.generations.size(); ++i) {
+      const AdversaryGenerationStats& stats = result.generations[i];
+      std::fprintf(out,
+                   "%s\n    {\"generation\": %d, \"best\": %s, \"gen_best\": %s, "
+                   "\"gen_mean\": %s, \"evaluations\": %llu}",
+                   i == 0 ? "" : ",", stats.generation, Num(stats.best_fitness).c_str(),
+                   Num(stats.generation_best).c_str(), Num(stats.generation_mean).c_str(),
+                   (unsigned long long)stats.evaluations);
+    }
+    std::fprintf(out, "\n  ],\n");
+    std::fprintf(out, "  \"attacks\": [");
+    for (size_t i = 0; i < minimized.size(); ++i) {
+      const AttackReproResult& attack = minimized[i];
+      const HardeningProbe unhardened = ProbeRepro(attack.repro, ControlHardening{});
+      const HardeningProbe jittered = ProbeRepro(attack.repro, jitter_only);
+      const HardeningProbe guarded = ProbeRepro(attack.repro, osc_only);
+      const HardeningProbe hardened = ProbeRepro(attack.repro, both);
+      const auto reduction_pct = [&](const HardeningProbe& probe) {
+        return unhardened.damage > 0.0
+                   ? 100.0 * (unhardened.damage - probe.damage) / unhardened.damage
+                   : 0.0;
+      };
+      std::fprintf(out, "%s\n  {\n    \"weakness\": \"%s\",\n    \"events\": %d,\n",
+                   i == 0 ? "" : ",", attack.weakness_class.c_str(),
+                   (int)attack.repro.schedule.events.size());
+      WriteProbeJson(out, "unhardened", unhardened);
+      std::fprintf(out, ",\n");
+      WriteProbeJson(out, "readmission_jitter", jittered);
+      std::fprintf(out, ",\n");
+      WriteProbeJson(out, "oscillation_guard", guarded);
+      std::fprintf(out, ",\n");
+      WriteProbeJson(out, "both_fixes", hardened);
+      std::fprintf(out,
+                   ",\n    \"damage_reduction_pct\": {\"readmission_jitter\": %s, "
+                   "\"oscillation_guard\": %s, \"both_fixes\": %s}\n  }",
+                   Num(reduction_pct(jittered)).c_str(), Num(reduction_pct(guarded)).c_str(),
+                   Num(reduction_pct(hardened)).c_str());
+      std::printf("hardening on %s: damage %s | jitter %s (%.1f%%) | osc %s (%.1f%%) | "
+                  "both %s (%.1f%%)\n",
+                  attack.weakness_class.c_str(), Num(unhardened.damage).c_str(),
+                  Num(jittered.damage).c_str(), reduction_pct(jittered),
+                  Num(guarded.damage).c_str(), reduction_pct(guarded),
+                  Num(hardened.damage).c_str(), reduction_pct(hardened));
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("bench written to %s\n", bench_json.c_str());
+  }
+
+  return 0;
+}

@@ -13,6 +13,15 @@
 //   --minimize         ddmin-shrink the first finding's schedule
 //   --repro-out PATH   write the (minimized) finding as a repro file
 //
+// Budget flags shared with tools/adversary_search (see tools/README.md):
+//   --generations N        with --population: trials = N * population,
+//                          chunked one generation at a time
+//   --population N         trials per generation chunk
+//   --wall-clock-budget-s F  stop launching chunks after F seconds; checked
+//                          only between chunks, so completed trials stay
+//                          bit-identical to an unbudgeted sweep (fail-fast
+//                          is the deterministic early-stop)
+//
 // Exit status: 0 sweep clean, 1 violations found, 2 usage/setup error.
 
 #include <cstdio>
@@ -65,6 +74,12 @@ int main(int argc, char** argv) {
       minimize = true;
     } else if (arg == "--repro-out" && has_value) {
       repro_out = argv[++i];
+    } else if (arg == "--generations" && has_value) {
+      options.generations = std::atoi(argv[++i]);
+    } else if (arg == "--population" && has_value) {
+      options.population = std::atoi(argv[++i]);
+    } else if (arg == "--wall-clock-budget-s" && has_value) {
+      options.wall_clock_budget_s = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr, "chaos_fuzz: unknown or incomplete option '%s'\n", arg.c_str());
       return 2;
@@ -88,6 +103,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("trials run: %d, violating: %d\n", report.trials_run, report.violating_trials);
+  if (report.budget_exhausted) {
+    std::printf("wall-clock budget exhausted; sweep stopped at a chunk boundary\n");
+  }
   if (report.clean()) {
     std::printf("sweep clean: every invariant held on all %d trials\n", report.trials_run);
     return 0;
