@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/bemodel/be_job_spec.h"
 #include "src/control/top_controller.h"
 #include "src/fault/fault_schedule.h"
 
@@ -73,6 +74,8 @@ std::string CodeName(const ObsEvent& event) {
       return ObsSloScopeName(static_cast<ObsSloScope>(event.code));
     case ObsKind::kBeLifecycle:
       return ObsBeOpName(static_cast<ObsBeOp>(event.code));
+    case ObsKind::kPlacement:
+      return ObsPlacementOpName(static_cast<ObsPlacementOp>(event.code));
   }
   return "?";
 }
@@ -85,6 +88,19 @@ std::string DetailName(const ObsEvent& event) {
       return event.detail != 0 ? "ok" : "failed";
     case ObsKind::kFault:
       return ObsFaultEdgeName(static_cast<ObsFaultEdge>(event.detail));
+    case ObsKind::kPlacement:
+      // The co-located BE for placed/churned groups; empty for epoch marks,
+      // solo and unplaced groups (no BE landed).
+      switch (static_cast<ObsPlacementOp>(event.code)) {
+        case ObsPlacementOp::kGroupPlaced:
+        case ObsPlacementOp::kChurn:
+          return BeJobKindName(static_cast<BeJobKind>(event.detail));
+        case ObsPlacementOp::kEpochBegin:
+        case ObsPlacementOp::kGroupSolo:
+        case ObsPlacementOp::kGroupUnplaced:
+          return "";
+      }
+      return "";
     case ObsKind::kSloViolation:
     case ObsKind::kBeLifecycle:
       return "";
@@ -295,6 +311,18 @@ std::string DescribeEvent(const ObsEvent& event) {
         out << " pending=" << Short(event.b);
       }
       break;
+    case ObsKind::kPlacement:
+      if (static_cast<ObsPlacementOp>(event.code) == ObsPlacementOp::kEpochBegin) {
+        out << " epoch=" << Short(event.a) << " load_scale=" << Short(event.b);
+      } else {
+        const std::string be = DetailName(event);
+        if (!be.empty()) {
+          out << ' ' << be;
+        }
+        out << " group=" << Short(event.a) << " pods=" << Short(event.b)
+            << " score=" << Short(event.c) << " load=" << Short(event.d);
+      }
+      break;
   }
   return out.str();
 }
@@ -469,6 +497,13 @@ std::string ToPerfettoJson(const Recording& recording) {
         line << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":3,\"ts\":" << Num(ts)
              << ",\"cat\":\"be\",\"name\":\"be " << CodeName(event)
              << "\",\"args\":{\"count\":" << Num(event.a) << "}}";
+        break;
+      case ObsKind::kPlacement:
+        line << "{\"ph\":\"i\",\"s\":\"" << (event.machine >= 0 ? 'p' : 'g')
+             << "\",\"pid\":" << pid << ",\"tid\":3,\"ts\":" << Num(ts)
+             << ",\"cat\":\"placement\",\"name\":\"place " << CodeName(event)
+             << "\",\"args\":{\"group\":" << Num(event.a) << ",\"pods\":" << Num(event.b)
+             << ",\"score\":" << Num(event.c) << ",\"load\":" << Num(event.d) << "}}";
         break;
     }
     emit(line.str());

@@ -27,8 +27,9 @@ enum class ObsKind : uint8_t {
   kFault = 2,         // fault-injection edge (window begin/end or instant).
   kSloViolation = 3,  // negative slack observed (accounting or controller).
   kBeLifecycle = 4,   // BE instance population changes outside actuations.
+  kPlacement = 5,     // cluster placement decision (src/place).
 };
-inline constexpr int kObsKindCount = 5;
+inline constexpr int kObsKindCount = 6;
 
 // kDecision: `code` carries the BeAction (cast), `detail` the decision path.
 enum class ObsDecisionPhase : uint8_t {
@@ -73,6 +74,18 @@ enum class ObsBeOp : uint8_t {
   kReadmit = 4,          // admission hold closed: the pod may admit again.
 };
 
+// kPlacement: one cluster-placement decision (src/place). `code` carries the
+// op below, `detail` the BeJobKind (cast) for placed/churned groups.
+// Payload: a = group index, b = pod count, c = policy score, d = offered load.
+// `machine` is the group's first machine (-1 when unplaced / epoch-scope).
+enum class ObsPlacementOp : uint8_t {
+  kEpochBegin = 0,     // placement epoch boundary (a = epoch, b = load scale).
+  kGroupPlaced = 1,    // group landed with a co-located BE.
+  kGroupSolo = 2,      // group landed with BEs forbidden (threshold guard).
+  kGroupUnplaced = 3,  // no machines left for this group.
+  kChurn = 4,          // assignment changed vs the previous epoch.
+};
+
 // One recorded event. Fixed 48-byte POD; `a..d` are payload fields whose
 // meaning depends on (kind, code) — see the enums above and the JSONL
 // exporter, which labels them per kind.
@@ -111,6 +124,8 @@ inline const char* ObsKindName(ObsKind kind) {
       return "slo";
     case ObsKind::kBeLifecycle:
       return "be";
+    case ObsKind::kPlacement:
+      return "placement";
   }
   return "?";
 }
@@ -185,6 +200,22 @@ inline const char* ObsBeOpName(ObsBeOp op) {
       return "withdraw";
     case ObsBeOp::kReadmit:
       return "readmit";
+  }
+  return "?";
+}
+
+inline const char* ObsPlacementOpName(ObsPlacementOp op) {
+  switch (op) {
+    case ObsPlacementOp::kEpochBegin:
+      return "epoch-begin";
+    case ObsPlacementOp::kGroupPlaced:
+      return "placed";
+    case ObsPlacementOp::kGroupSolo:
+      return "solo";
+    case ObsPlacementOp::kGroupUnplaced:
+      return "unplaced";
+    case ObsPlacementOp::kChurn:
+      return "churn";
   }
   return "?";
 }

@@ -1,0 +1,434 @@
+#include "src/place/cluster_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "src/control/machine_agent.h"
+#include "src/obs/exporters.h"
+
+namespace rhythm {
+
+namespace {
+
+// Placement skeleton for one request: outcomes (summaries unfilled), the
+// placement event stream, and churn — everything that does not require
+// simulation. Pure function of the request.
+struct PlacedRequest {
+  std::vector<GroupOutcome> outcomes;  // epoch-major, group order within.
+  std::vector<ObsEvent> events;
+  int placement_churn = 0;
+  int machines_used = 0;
+};
+
+void ValidateRequest(const ClusterRunRequest& request) {
+  if (request.spec.machines <= 0) {
+    throw std::invalid_argument("ClusterRunRequest: machines must be positive");
+  }
+  if (request.spec.TotalGroups() <= 0) {
+    throw std::invalid_argument("ClusterRunRequest: lc_demand is empty");
+  }
+  if (request.epochs <= 0) {
+    throw std::invalid_argument("ClusterRunRequest: epochs must be positive");
+  }
+  if (request.warmup_s < 0.0 || request.measure_s <= 0.0) {
+    throw std::invalid_argument("ClusterRunRequest: bad trial windows");
+  }
+}
+
+double EpochLoadScale(const ClusterRunRequest& request, int epoch) {
+  if (epoch < static_cast<int>(request.epoch_load_scale.size())) {
+    return request.epoch_load_scale[epoch];
+  }
+  return 1.0;
+}
+
+ObsEvent PlacementEvent(double time_s, ObsPlacementOp op, int machine,
+                        double a, double b, double c, double d,
+                        uint8_t detail = 0) {
+  ObsEvent event;
+  event.time_s = time_s;
+  event.machine = machine;
+  event.kind = ObsKind::kPlacement;
+  event.code = static_cast<uint8_t>(op);
+  event.detail = detail;
+  event.a = a;
+  event.b = b;
+  event.c = c;
+  event.d = d;
+  return event;
+}
+
+PlacedRequest PlaceRequest(const ClusterRunRequest& request) {
+  const std::vector<PendingGroup> base_groups = ExpandGroups(request.spec);
+  const int groups_per_epoch = static_cast<int>(base_groups.size());
+  const double epoch_span_s = request.warmup_s + request.measure_s;
+
+  // Scoring models, resolved once per app and shared across epochs.
+  std::map<LcAppKind, AppPlacementModel> models;
+  auto model_of = [&](LcAppKind app) -> const AppPlacementModel& {
+    auto it = models.find(app);
+    if (it == models.end()) {
+      AppPlacementModel model = request.model_provider
+                                    ? request.model_provider(app)
+                                    : DefaultPlacementModel(app);
+      it = models.emplace(app, std::move(model)).first;
+    }
+    return it->second;
+  };
+
+  std::unique_ptr<PlacementPolicy> policy =
+      MakePlacementPolicy(request.policy, request.seed);
+
+  PlacedRequest placed;
+  placed.outcomes.reserve(static_cast<size_t>(groups_per_epoch) *
+                          request.epochs);
+  std::vector<GroupOutcome> previous;  // last epoch's outcomes, group order.
+
+  for (int epoch = 0; epoch < request.epochs; ++epoch) {
+    const double now_s = epoch * epoch_span_s;
+    const double scale = EpochLoadScale(request, epoch);
+
+    ClusterView view;
+    view.spec = &request.spec;
+    view.epoch = epoch;
+    view.load_scale = scale;
+    view.pending = base_groups;
+    for (PendingGroup& group : view.pending) {
+      group.load = std::clamp(group.load * scale, 0.0, 1.0);
+    }
+    view.be_quota = ExpandBeQuota(request.spec, groups_per_epoch);
+    view.model = model_of;
+
+    placed.events.push_back(PlacementEvent(now_s, ObsPlacementOp::kEpochBegin,
+                                           -1, epoch, scale, 0.0, 0.0));
+
+    policy->OnTick(view);
+    std::vector<PlacementDecision> decisions = policy->Decide(view);
+
+    // Contract checks: exactly one decision per pending group, BEs drawn
+    // from the quota multiset.
+    if (decisions.size() != view.pending.size()) {
+      throw std::invalid_argument("placement policy \"" + request.policy +
+                                  "\" returned " +
+                                  std::to_string(decisions.size()) +
+                                  " decisions for " +
+                                  std::to_string(view.pending.size()) +
+                                  " groups");
+    }
+    std::vector<bool> decided(view.pending.size(), false);
+    std::map<BeJobKind, int> quota_left;
+    for (BeJobKind be : view.be_quota) {
+      ++quota_left[be];
+    }
+    for (const PlacementDecision& decision : decisions) {
+      if (decision.group < 0 || decision.group >= groups_per_epoch ||
+          decided[decision.group]) {
+        throw std::invalid_argument(
+            "placement policy \"" + request.policy +
+            "\" decided group " + std::to_string(decision.group) +
+            " zero or multiple times");
+      }
+      decided[decision.group] = true;
+      if (!decision.run_solo && --quota_left[decision.be] < 0) {
+        throw std::invalid_argument("placement policy \"" + request.policy +
+                                    "\" overdraws the BE quota");
+      }
+    }
+
+    // Allocate machines in decision (priority) order; a decision that no
+    // longer fits is skipped, so smaller later groups may still land.
+    std::vector<GroupOutcome> epoch_outcomes(view.pending.size());
+    int cursor = 0;
+    for (const PlacementDecision& decision : decisions) {
+      const PendingGroup& group = view.pending[decision.group];
+      GroupOutcome& outcome = epoch_outcomes[decision.group];
+      outcome.epoch = epoch;
+      outcome.group = group.group;
+      outcome.app = group.app;
+      outcome.be = decision.be;
+      outcome.run_solo = decision.run_solo;
+      outcome.pods = group.pods;
+      outcome.load = group.load;
+      outcome.score = decision.score;
+      if (cursor + group.pods <= request.spec.machines) {
+        outcome.placed = true;
+        outcome.first_machine = cursor;
+        cursor += group.pods;
+      }
+      const ObsPlacementOp op = !outcome.placed ? ObsPlacementOp::kGroupUnplaced
+                                : outcome.run_solo ? ObsPlacementOp::kGroupSolo
+                                                   : ObsPlacementOp::kGroupPlaced;
+      const uint8_t detail = op == ObsPlacementOp::kGroupPlaced
+                                 ? static_cast<uint8_t>(decision.be)
+                                 : uint8_t{0};
+      placed.events.push_back(PlacementEvent(
+          now_s, op, outcome.first_machine, group.group, group.pods,
+          decision.score, group.load, detail));
+    }
+    placed.machines_used = std::max(placed.machines_used, cursor);
+
+    // Churn: any group whose effective assignment changed since last epoch.
+    if (!previous.empty()) {
+      for (size_t g = 0; g < epoch_outcomes.size(); ++g) {
+        const GroupOutcome& now = epoch_outcomes[g];
+        const GroupOutcome& was = previous[g];
+        const bool same = now.placed == was.placed &&
+                          now.run_solo == was.run_solo &&
+                          (now.run_solo || !now.placed || now.be == was.be);
+        if (!same) {
+          ++placed.placement_churn;
+          placed.events.push_back(PlacementEvent(
+              now_s, ObsPlacementOp::kChurn, now.first_machine, now.group,
+              now.pods, now.score, now.load,
+              now.placed && !now.run_solo ? static_cast<uint8_t>(now.be)
+                                          : uint8_t{0}));
+        }
+      }
+    }
+    previous = epoch_outcomes;
+    placed.outcomes.insert(placed.outcomes.end(), epoch_outcomes.begin(),
+                           epoch_outcomes.end());
+  }
+  return placed;
+}
+
+// Thresholds for one placed group's trial under the Rhythm controller:
+// the scoring model's per-pod thresholds (so injected stub models control
+// the trial too), or all-zero loadlimits for solo groups — loadlimit 0
+// forbids BE admission entirely.
+std::vector<ServpodThresholds> TrialThresholds(const AppPlacementModel& model,
+                                               const GroupOutcome& outcome) {
+  std::vector<ServpodThresholds> thresholds;
+  if (outcome.run_solo) {
+    thresholds.assign(static_cast<size_t>(outcome.pods),
+                      ServpodThresholds{0.0, 0.5});
+    return thresholds;
+  }
+  if (static_cast<int>(model.pods.size()) == outcome.pods) {
+    thresholds.reserve(model.pods.size());
+    for (const PodPlacementModel& pod : model.pods) {
+      thresholds.push_back(pod.thresholds);
+    }
+  }
+  return thresholds;  // empty: Run() falls back to CachedAppThresholds.
+}
+
+RunRequest TrialRequest(const ClusterRunRequest& request,
+                        const GroupOutcome& outcome, int groups_per_epoch) {
+  RunRequest trial;
+  trial.app = outcome.app;
+  trial.be = outcome.be;
+  trial.controller = request.controller;
+  trial.hardening = request.hardening;
+  trial.seed = DeriveGroupSeed(request.seed, outcome.epoch, groups_per_epoch,
+                               outcome.group);
+  trial.warmup_s = request.warmup_s;
+  trial.measure_s = request.measure_s;
+  trial.load = outcome.load;
+  trial.verify = request.verify;
+  if (request.controller == ControllerKind::kRhythm) {
+    AppPlacementModel model = request.model_provider
+                                  ? request.model_provider(outcome.app)
+                                  : DefaultPlacementModel(outcome.app);
+    trial.thresholds = TrialThresholds(model, outcome);
+  }
+  trial.label = (request.label.empty() ? request.policy : request.label) +
+                "/e" + std::to_string(outcome.epoch) + "/g" +
+                std::to_string(outcome.group);
+  return trial;
+}
+
+ClusterSummary SummarizeCluster(const ClusterRunRequest& request,
+                                PlacedRequest placed) {
+  const int groups_per_epoch = request.spec.TotalGroups();
+
+  ClusterSummary summary;
+  summary.policy = request.policy;
+  summary.label = request.label;
+  summary.machines = request.spec.machines;
+  summary.machines_used = placed.machines_used;
+  summary.epochs = request.epochs;
+  summary.groups_total = groups_per_epoch * request.epochs;
+  summary.placement_churn = placed.placement_churn;
+
+  const double machines = static_cast<double>(request.spec.machines);
+  std::map<LcAppKind, size_t> app_index;
+  double placed_pod_ticks = 0.0;  // pods * measure / period, summed.
+
+  for (const GroupOutcome& outcome : placed.outcomes) {
+    if (!outcome.placed) {
+      ++summary.groups_unplaced;
+    } else {
+      ++summary.groups_placed;
+      if (outcome.run_solo) {
+        ++summary.solo_groups;
+      }
+    }
+
+    auto it = app_index.find(outcome.app);
+    if (it == app_index.end()) {
+      it = app_index.emplace(outcome.app, summary.per_app.size()).first;
+      summary.per_app.push_back(AppClusterStats{});
+      summary.per_app.back().app = outcome.app;
+    }
+    AppClusterStats& app = summary.per_app[it->second];
+    if (!outcome.placed) {
+      ++app.unplaced;
+      continue;
+    }
+
+    const double weight = outcome.pods / machines;
+    summary.emu += weight * outcome.summary.emu;
+    summary.lc_throughput += weight * outcome.summary.lc_throughput;
+    summary.be_throughput += weight * outcome.summary.be_throughput;
+    summary.cpu_util += weight * outcome.summary.cpu_util;
+    summary.membw_util += weight * outcome.summary.membw_util;
+    summary.sla_violations += outcome.summary.sla_violations;
+    summary.be_kills += outcome.summary.be_kills;
+    summary.worst_tail_ratio =
+        std::max(summary.worst_tail_ratio, outcome.summary.worst_tail_ratio);
+    placed_pod_ticks +=
+        outcome.pods * request.measure_s / MachineAgent::kPeriodSeconds;
+
+    ++app.trials;
+    app.emu += outcome.summary.emu;
+    app.lc_throughput += outcome.summary.lc_throughput;
+    app.sla_violations += outcome.summary.sla_violations;
+    app.worst_tail_ratio =
+        std::max(app.worst_tail_ratio, outcome.summary.worst_tail_ratio);
+  }
+
+  // Machine-normalized quantities are per-epoch averages.
+  const double epochs = static_cast<double>(request.epochs);
+  summary.emu /= epochs;
+  summary.lc_throughput /= epochs;
+  summary.be_throughput /= epochs;
+  summary.cpu_util /= epochs;
+  summary.membw_util /= epochs;
+
+  if (placed_pod_ticks > 0.0) {
+    summary.slo_violation_rate =
+        static_cast<double>(summary.sla_violations) / placed_pod_ticks;
+  }
+  for (AppClusterStats& app : summary.per_app) {
+    if (app.trials > 0) {
+      app.emu /= app.trials;
+      app.lc_throughput /= app.trials;
+    }
+  }
+
+  summary.groups = std::move(placed.outcomes);
+
+  summary.recording.meta.app = "cluster";
+  summary.recording.meta.be = request.policy;
+  summary.recording.meta.controller = ControllerKindName(request.controller);
+  summary.recording.meta.seed = request.seed;
+  summary.recording.meta.controller_period_s =
+      request.warmup_s + request.measure_s;
+  summary.recording.events = std::move(placed.events);
+  summary.recording.events_total = summary.recording.events.size();
+  return summary;
+}
+
+// Per-app tick totals are finalized after the trial summaries are in.
+void FinalizeAppRates(const ClusterRunRequest& request,
+                      ClusterSummary& summary) {
+  std::map<LcAppKind, double> pod_ticks;
+  for (const GroupOutcome& outcome : summary.groups) {
+    if (outcome.placed) {
+      pod_ticks[outcome.app] +=
+          outcome.pods * request.measure_s / MachineAgent::kPeriodSeconds;
+    }
+  }
+  for (AppClusterStats& app : summary.per_app) {
+    const double ticks = pod_ticks[app.app];
+    app.slo_violation_rate =
+        ticks > 0.0 ? static_cast<double>(app.sla_violations) / ticks : 0.0;
+  }
+}
+
+void ExportRecording(const ClusterRunRequest& request,
+                     const Recording& recording) {
+  if (!request.obs.enabled) {
+    return;
+  }
+  if (!request.obs.export_jsonl.empty()) {
+    WriteJsonl(recording, request.obs.export_jsonl);
+  }
+  if (!request.obs.export_perfetto.empty()) {
+    WritePerfettoTrace(recording, request.obs.export_perfetto);
+  }
+  if (!request.obs.export_metrics_csv.empty()) {
+    WriteMetricsCsv(recording, request.obs.export_metrics_csv);
+  }
+}
+
+}  // namespace
+
+uint64_t DeriveGroupSeed(uint64_t base_seed, int epoch, int groups_per_epoch,
+                         int group) {
+  return DeriveTrialSeed(base_seed,
+                         static_cast<uint64_t>(epoch) *
+                                 static_cast<uint64_t>(groups_per_epoch) +
+                             static_cast<uint64_t>(group));
+}
+
+std::vector<ClusterSummary> RunClusterPlan(const ClusterRunPlan& plan,
+                                           const RunnerOptions& options) {
+  for (const ClusterRunRequest& request : plan.requests) {
+    ValidateRequest(request);
+  }
+
+  // Phase 1: place everything (serial, pure) and assemble one flat RunPlan.
+  struct TrialRef {
+    size_t request;
+    size_t outcome;
+  };
+  std::vector<PlacedRequest> placements;
+  placements.reserve(plan.requests.size());
+  RunPlan trials;
+  std::vector<TrialRef> refs;
+  for (size_t r = 0; r < plan.requests.size(); ++r) {
+    const ClusterRunRequest& request = plan.requests[r];
+    placements.push_back(PlaceRequest(request));
+    const int groups_per_epoch = request.spec.TotalGroups();
+    for (size_t o = 0; o < placements.back().outcomes.size(); ++o) {
+      const GroupOutcome& outcome = placements.back().outcomes[o];
+      if (!outcome.placed) {
+        continue;
+      }
+      trials.Add(TrialRequest(request, outcome, groups_per_epoch));
+      refs.push_back(TrialRef{r, o});
+    }
+  }
+
+  // Phase 2: one ParallelRunner over every group trial of the whole plan —
+  // plan-order results make the rollup independent of the worker count.
+  ParallelRunner runner(options);
+  const std::vector<RunSummary> results = runner.RunAll(trials);
+  for (size_t i = 0; i < refs.size(); ++i) {
+    placements[refs[i].request].outcomes[refs[i].outcome].summary = results[i];
+  }
+
+  // Phase 3: roll up.
+  std::vector<ClusterSummary> summaries;
+  summaries.reserve(plan.requests.size());
+  for (size_t r = 0; r < plan.requests.size(); ++r) {
+    summaries.push_back(
+        SummarizeCluster(plan.requests[r], std::move(placements[r])));
+    FinalizeAppRates(plan.requests[r], summaries.back());
+    ExportRecording(plan.requests[r], summaries.back().recording);
+  }
+  return summaries;
+}
+
+ClusterSummary RunCluster(const ClusterRunRequest& request,
+                          const RunnerOptions& options) {
+  ClusterRunPlan plan;
+  plan.Add(request);
+  return std::move(RunClusterPlan(plan, options).front());
+}
+
+}  // namespace rhythm

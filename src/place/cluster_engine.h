@@ -1,0 +1,158 @@
+// Cluster-level execution: ClusterRunRequest describes one policy evaluated
+// against one ClusterSpec (the same declarative value-type idiom as
+// RunRequest), RunCluster/RunClusterPlan execute it, and ClusterSummary is
+// the Fig. 12/15-style rollup — cluster EMU, per-app SLO violation rates,
+// placement churn.
+//
+// Execution model: placement is computed serially (a pure function of
+// spec x policy x seed x epoch), then every placed group across every epoch
+// of every request becomes one RunRequest in a single RunPlan executed by
+// one ParallelRunner — so a whole policy comparison inherits the runner's
+// guarantee of bit-identical results at any worker count. Placement
+// decisions are emitted as ObsKind::kPlacement events into a Recording
+// auditable with tools/obs_query.
+
+#ifndef RHYTHM_SRC_PLACE_CLUSTER_ENGINE_H_
+#define RHYTHM_SRC_PLACE_CLUSTER_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/place/cluster_spec.h"
+#include "src/place/placement_policy.h"
+#include "src/runner/runner.h"
+
+namespace rhythm {
+
+// One cluster evaluation: `policy` placing `spec` for `epochs` placement
+// rounds, every placed group simulated as a Deployment trial.
+struct ClusterRunRequest {
+  ClusterSpec spec;
+  std::string policy = kPolicyRhythmAware;
+  ControllerKind controller = ControllerKind::kRhythm;
+  ControlHardening hardening;
+  uint64_t seed = 11;
+  // Per-group trial windows (shorter than RunRequest defaults: a cluster run
+  // multiplies them by groups x epochs).
+  double warmup_s = 10.0;
+  double measure_s = 60.0;
+  // Placement rounds. Each epoch re-places the cluster and re-runs every
+  // group; churn counts assignment changes between consecutive epochs.
+  int epochs = 1;
+  // Optional per-epoch load multiplier (diurnal ramp); entry e scales every
+  // group's offered load in epoch e (clamped to [0, 1]). Missing entries
+  // default to 1. Policies see the scaled loads.
+  std::vector<double> epoch_load_scale;
+  // Scoring-model source for the policies. Null uses DefaultPlacementModel
+  // (catalog sensitivities + cached thresholds — derives thresholds once per
+  // app). Tests inject cheap stubs here.
+  std::function<AppPlacementModel(LcAppKind)> model_provider;
+  // Invariant monitoring forwarded to every group trial.
+  InvariantOptions verify;
+  // Placement observability. When enabled, the placement event stream is
+  // collected into ClusterSummary::recording and written to any export paths
+  // named here. Group trials themselves run unobserved (their summaries
+  // carry the metrics).
+  ObsOptions obs;
+  std::string label;
+};
+
+struct ClusterRunPlan {
+  std::vector<ClusterRunRequest> requests;
+
+  ClusterRunRequest& Add(ClusterRunRequest request) {
+    requests.push_back(std::move(request));
+    return requests.back();
+  }
+
+  size_t size() const { return requests.size(); }
+  bool empty() const { return requests.empty(); }
+};
+
+// What happened to one group in one epoch. Unplaced groups carry a
+// default-constructed summary (their demand went unserved).
+struct GroupOutcome {
+  int epoch = 0;
+  int group = 0;
+  LcAppKind app = LcAppKind::kEcommerce;
+  BeJobKind be = BeJobKind::kCpuStress;
+  bool placed = false;
+  bool run_solo = false;
+  int first_machine = -1;
+  int pods = 0;
+  double load = 0.0;   // offered load after the epoch scale.
+  double score = 0.0;  // the policy's predicted-interference score.
+  RunSummary summary;
+};
+
+// Per-application rollup across every epoch (placed trials only).
+struct AppClusterStats {
+  LcAppKind app = LcAppKind::kEcommerce;
+  int trials = 0;               // placed group-trials.
+  int unplaced = 0;             // group-epochs that went unserved.
+  double emu = 0.0;             // mean group EMU.
+  double lc_throughput = 0.0;   // mean group LC throughput.
+  uint64_t sla_violations = 0;  // summed controller SLO breaches.
+  double slo_violation_rate = 0.0;  // violations / controller ticks.
+  double worst_tail_ratio = 0.0;    // max over trials.
+};
+
+// The cluster-level metrics of one ClusterRunRequest. Machine-normalized
+// quantities (emu, throughputs, utilizations) divide by spec.machines and
+// average over epochs, so idle machines and unplaced groups count as zero —
+// a policy that fails to place demand pays for it.
+struct ClusterSummary {
+  std::string policy;
+  std::string label;
+  int machines = 0;
+  int machines_used = 0;  // max machines occupied in any epoch.
+  int epochs = 0;
+  int groups_total = 0;     // group-epochs demanded (groups x epochs).
+  int groups_placed = 0;    // group-epochs that landed.
+  int groups_unplaced = 0;  // group-epochs sacrificed for lack of machines.
+  int solo_groups = 0;      // placed group-epochs that ran BE-free.
+
+  double emu = 0.0;            // cluster EMU (the paper's §5.1 metric).
+  double lc_throughput = 0.0;  // machine-normalized LC throughput.
+  double be_throughput = 0.0;  // machine-normalized BE throughput.
+  double cpu_util = 0.0;
+  double membw_util = 0.0;
+  uint64_t sla_violations = 0;
+  uint64_t be_kills = 0;
+  // Violations per controller tick across placed trials: sla_violations /
+  // (placed trials x measure_s / MachineAgent::kPeriodSeconds).
+  double slo_violation_rate = 0.0;
+  double worst_tail_ratio = 0.0;
+  // Groups whose assignment (BE kind, solo flag or placed-ness) changed
+  // between consecutive epochs, summed; 0 for single-epoch runs.
+  int placement_churn = 0;
+
+  std::vector<AppClusterStats> per_app;  // ordered by first appearance.
+  std::vector<GroupOutcome> groups;      // epoch-major, group order within.
+  // Placement event stream (ObsKind::kPlacement), meta.app = "cluster",
+  // meta.be = policy. Always populated; exported when the request's
+  // ObsOptions name paths.
+  Recording recording;
+};
+
+// Seed for `group`'s trial in `epoch`: DeriveTrialSeed over the flattened
+// epoch-major index, so a group's trial is reproducible standalone with
+// plain Run() given the same derived seed.
+uint64_t DeriveGroupSeed(uint64_t base_seed, int epoch, int groups_per_epoch,
+                         int group);
+
+// Executes one cluster request / a batch of them. Plan results come back in
+// plan order, and all group trials across the whole plan run through a
+// single ParallelRunner — bit-identical at any worker count. Malformed
+// requests (unknown policy, empty demand, non-positive windows or epochs,
+// policy decisions that skip a group or overdraw the BE quota) throw
+// std::invalid_argument.
+ClusterSummary RunCluster(const ClusterRunRequest& request,
+                          const RunnerOptions& options = {});
+std::vector<ClusterSummary> RunClusterPlan(const ClusterRunPlan& plan,
+                                           const RunnerOptions& options = {});
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_PLACE_CLUSTER_ENGINE_H_

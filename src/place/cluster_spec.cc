@@ -1,0 +1,128 @@
+#include "src/place/cluster_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rhythm {
+
+int ClusterSpec::TotalGroups() const {
+  int groups = 0;
+  for (const LcGroupDemand& demand : lc_demand) {
+    groups += std::max(0, demand.count);
+  }
+  return groups;
+}
+
+int ClusterSpec::TotalPods() const {
+  int pods = 0;
+  for (const LcGroupDemand& demand : lc_demand) {
+    pods += std::max(0, demand.count) * MakeApp(demand.app).pod_count();
+  }
+  return pods;
+}
+
+std::vector<PendingGroup> ExpandGroups(const ClusterSpec& spec) {
+  std::vector<PendingGroup> groups;
+  groups.reserve(static_cast<size_t>(spec.TotalGroups()));
+  int next = 0;
+  for (const LcGroupDemand& demand : spec.lc_demand) {
+    const int pods = MakeApp(demand.app).pod_count();
+    for (int i = 0; i < demand.count; ++i) {
+      PendingGroup group;
+      group.group = next++;
+      group.app = demand.app;
+      group.load = demand.load;
+      group.pods = pods;
+      groups.push_back(group);
+    }
+  }
+  return groups;
+}
+
+std::vector<BeJobKind> ExpandBeQuota(const ClusterSpec& spec, int slots) {
+  std::vector<BeJobKind> quota;
+  if (slots <= 0 || spec.be_backlog.empty()) {
+    return quota;
+  }
+  double total_weight = 0.0;
+  for (const BeBacklogShare& share : spec.be_backlog) {
+    total_weight += std::max(0.0, share.weight);
+  }
+  if (total_weight <= 0.0) {
+    return quota;
+  }
+
+  // Largest-remainder apportionment: floor every share, then hand the
+  // leftover slots to the largest fractional remainders, declaration order
+  // breaking ties. Deterministic and exact (counts sum to `slots`).
+  struct Cut {
+    size_t index;
+    int count;
+    double remainder;
+  };
+  std::vector<Cut> cuts;
+  cuts.reserve(spec.be_backlog.size());
+  int assigned = 0;
+  for (size_t i = 0; i < spec.be_backlog.size(); ++i) {
+    const double exact =
+        slots * std::max(0.0, spec.be_backlog[i].weight) / total_weight;
+    Cut cut;
+    cut.index = i;
+    cut.count = static_cast<int>(std::floor(exact));
+    cut.remainder = exact - cut.count;
+    assigned += cut.count;
+    cuts.push_back(cut);
+  }
+  std::vector<size_t> order(cuts.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&cuts](size_t a, size_t b) {
+    return cuts[a].remainder > cuts[b].remainder;
+  });
+  for (size_t i = 0; assigned < slots && i < order.size(); ++i, ++assigned) {
+    ++cuts[order[i]].count;
+  }
+  // Still short (all-zero remainders with few backlog entries): round-robin.
+  for (size_t i = 0; assigned < slots; i = (i + 1) % cuts.size(), ++assigned) {
+    ++cuts[i].count;
+  }
+
+  quota.reserve(static_cast<size_t>(slots));
+  for (const Cut& cut : cuts) {
+    for (int n = 0; n < cut.count; ++n) {
+      quota.push_back(spec.be_backlog[cut.index].be);
+    }
+  }
+  return quota;
+}
+
+ClusterSpec DefaultEvalClusterSpec(int machines) {
+  ClusterSpec spec;
+  spec.machines = machines;
+  // Heterogeneous demand: tolerant low-load groups that profit from heavy
+  // BEs next to tight high-load groups that any pressure tips over their
+  // thresholds — the pairing problem the threshold-aware policy exists for.
+  spec.lc_demand = {
+      {LcAppKind::kEcommerce, 2, 0.45},     // 4 pods each, moderate.
+      {LcAppKind::kEcommerce, 1, 0.85},     // 4 pods, above MySQL's loadlimit.
+      {LcAppKind::kRedis, 2, 0.65},         // 2 pods each, latency-critical.
+      {LcAppKind::kSolr, 2, 0.35},          // 2 pods each, tolerant.
+      {LcAppKind::kElasticsearch, 1, 0.80}, // 2 pods, tight.
+      {LcAppKind::kElgg, 1, 0.55},          // 3 pods, middling.
+  };
+  // Backlog mixing one heavy stressor per roughly two gentle application
+  // BEs; quota for 9 groups: 2 dram + 1 llc + 2 cpu + 2 wordcount + 1 lstm
+  // + 1 imageClassify.
+  spec.be_backlog = {
+      {BeJobKind::kStreamDramBig, 2.0},
+      {BeJobKind::kStreamLlcBig, 1.0},
+      {BeJobKind::kCpuStress, 2.0},
+      {BeJobKind::kWordcount, 2.0},
+      {BeJobKind::kLstm, 1.0},
+      {BeJobKind::kImageClassify, 1.0},
+  };
+  return spec;
+}
+
+}  // namespace rhythm

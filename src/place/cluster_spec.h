@@ -1,0 +1,77 @@
+// ClusterSpec: the declarative description of a cluster-level placement
+// problem — a machine population, an LC app catalog demand (how many
+// deployments of each application at which offered load), and a BE backlog
+// mix (which best-effort jobs are waiting, weighted by share).
+//
+// Plain data, like RunRequest: copying a spec copies the description only,
+// and every derived quantity (group expansion, BE quota) is a pure function
+// of the spec, so placement policies evaluated against the same spec see
+// exactly the same problem regardless of thread or call order.
+
+#ifndef RHYTHM_SRC_PLACE_CLUSTER_SPEC_H_
+#define RHYTHM_SRC_PLACE_CLUSTER_SPEC_H_
+
+#include <vector>
+
+#include "src/bemodel/be_job_spec.h"
+#include "src/resources/machine_spec.h"
+#include "src/workload/app_catalog.h"
+
+namespace rhythm {
+
+// Demand for one LC application: `count` independent Servpod-group
+// deployments, each offered a constant `load` fraction of MaxLoad.
+struct LcGroupDemand {
+  LcAppKind app = LcAppKind::kEcommerce;
+  int count = 1;
+  double load = 0.45;
+};
+
+// One BE job class waiting in the cluster backlog. Weights are relative
+// shares of the placement quota (they need not sum to anything).
+struct BeBacklogShare {
+  BeJobKind be = BeJobKind::kCpuStress;
+  double weight = 1.0;
+};
+
+struct ClusterSpec {
+  int machines = 64;
+  MachineSpec machine_spec;  // homogeneous population, like the testbed.
+  std::vector<LcGroupDemand> lc_demand;
+  std::vector<BeBacklogShare> be_backlog;
+
+  // Total Servpod groups demanded (sum of counts).
+  int TotalGroups() const;
+  // Total machines demanded when every group lands (one machine per pod).
+  int TotalPods() const;
+};
+
+// One group awaiting placement. Groups are expanded from the demand list in
+// declaration order and numbered 0..TotalGroups()-1 — the stable identity
+// placement decisions, seeds and churn accounting all key on.
+struct PendingGroup {
+  int group = 0;
+  LcAppKind app = LcAppKind::kEcommerce;
+  double load = 0.45;
+  int pods = 0;
+};
+
+// Expands the demand into per-group entries (pure function of the spec).
+std::vector<PendingGroup> ExpandGroups(const ClusterSpec& spec);
+
+// Expands the BE backlog into exactly `slots` job assignments by weight,
+// using largest-remainder apportionment with declaration order breaking
+// ties — deterministic, and every slot is filled as long as the backlog is
+// non-empty. Policies draw from this multiset; they may not invent BEs.
+std::vector<BeJobKind> ExpandBeQuota(const ClusterSpec& spec, int slots);
+
+// The evaluation cluster used by tools/place_eval and bench/bench_placement:
+// a heterogeneous LC mix (tight high-load groups next to tolerant low-load
+// ones) over a heavy/gentle BE backlog, sized to oversubscribe `machines`
+// slightly so placement order matters. Fig. 12/15-style policy comparisons
+// run against this spec.
+ClusterSpec DefaultEvalClusterSpec(int machines = 32);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_PLACE_CLUSTER_SPEC_H_

@@ -1,0 +1,119 @@
+#include "src/place/interference_score.h"
+
+#include <algorithm>
+
+#include "src/analysis/contribution.h"
+#include "src/cluster/app_thresholds.h"
+
+namespace rhythm {
+
+AppPlacementModel DefaultPlacementModel(LcAppKind app) {
+  const AppSpec spec = MakeApp(app);
+  const AppThresholds& thresholds = CachedAppThresholds(app);
+  const std::vector<double> weights = NormalizedContributions(thresholds.contributions);
+
+  AppPlacementModel model;
+  model.app = app;
+  model.pods.reserve(spec.components.size());
+  for (size_t pod = 0; pod < spec.components.size(); ++pod) {
+    PodPlacementModel entry;
+    entry.name = spec.components[pod].name;
+    entry.sensitivity = spec.components[pod].sensitivity;
+    entry.thresholds = thresholds.pods[pod];
+    entry.contribution = pod < weights.size() ? weights[pod] : 0.0;
+    model.pods.push_back(std::move(entry));
+  }
+  return model;
+}
+
+double PodInterferenceScore(const ResourceVector& sensitivity,
+                            const ResourceVector& pressure) {
+  return sensitivity.cpu * pressure.cpu + sensitivity.llc * pressure.llc +
+         sensitivity.dram * pressure.dram + sensitivity.net * pressure.net +
+         sensitivity.freq * pressure.freq;
+}
+
+namespace {
+
+// Per-pod weights: normalized contributions, or uniform when the model
+// carries none (all-zero contributions).
+double PodWeight(const AppPlacementModel& model, size_t pod) {
+  double total = 0.0;
+  for (const PodPlacementModel& entry : model.pods) {
+    total += std::max(0.0, entry.contribution);
+  }
+  if (total <= 0.0) {
+    return model.pods.empty() ? 0.0 : 1.0 / static_cast<double>(model.pods.size());
+  }
+  return std::max(0.0, model.pods[pod].contribution) / total;
+}
+
+}  // namespace
+
+double GroupInterferenceScore(const AppPlacementModel& model,
+                              const ResourceVector& pressure) {
+  double score = 0.0;
+  for (size_t pod = 0; pod < model.pods.size(); ++pod) {
+    score += PodWeight(model, pod) *
+             PodInterferenceScore(model.pods[pod].sensitivity, pressure);
+  }
+  return score;
+}
+
+double RhythmPlacementScore(const AppPlacementModel& model,
+                            const ResourceVector& pressure, double load) {
+  double score = 0.0;
+  for (size_t pod = 0; pod < model.pods.size(); ++pod) {
+    const PodPlacementModel& entry = model.pods[pod];
+    const double raw = PodInterferenceScore(entry.sensitivity, pressure);
+    // Tightness in [0,1]: how far up this pod's loadlimit the offered load
+    // sits. The floor keeps a degenerate loadlimit of 0 from dividing away.
+    const double tightness =
+        std::min(1.0, std::max(0.0, load) / std::max(entry.thresholds.loadlimit, 0.05));
+    // Slack headroom: a slacklimit near 1 means BE growth must stop almost
+    // immediately, so the same raw pressure costs more.
+    const double headroom = std::max(0.05, 1.0 - entry.thresholds.slacklimit);
+    score += PodWeight(model, pod) * raw * (0.25 + tightness) / headroom;
+  }
+  return score;
+}
+
+double ResidualFitFraction(const MachineSpec& machine, BeJobKind be,
+                           double load) {
+  const BeJobSpec& job = GetBeJobSpec(be);
+  const double bounded = std::clamp(load, 0.0, 1.0);
+  // What the LC leaves behind on each axis. The core pool is the scarcest:
+  // the machine agent keeps a load-proportional reservation plus headroom,
+  // so BEs see roughly half the idle cores even at low load. LLC ways and
+  // memory bandwidth drain more gently with load; DRAM capacity is not
+  // load-dependent.
+  const double cores = 0.5 * (1.0 - bounded) * machine.total_cores;
+  const double ways = (1.0 - 0.5 * bounded) * machine.llc_ways;
+  const double bandwidth = (1.0 - 0.75 * bounded) * machine.dram_bw_gbs;
+  const double fit =
+      std::min({cores / std::max(job.cores_demand, 0.1),
+                ways / std::max(static_cast<double>(job.llc_ways_demand), 1.0),
+                bandwidth / std::max(job.membw_demand_gbs, 0.1),
+                machine.dram_gb / std::max(job.memory_gb, 0.1)});
+  return std::max(0.0, fit) / SoloInstanceCount(job, machine);
+}
+
+bool LoadAboveAnyLoadlimit(const AppPlacementModel& model, double load) {
+  for (const PodPlacementModel& entry : model.pods) {
+    if (load >= entry.thresholds.loadlimit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LoadAboveAllLoadlimits(const AppPlacementModel& model, double load) {
+  for (const PodPlacementModel& entry : model.pods) {
+    if (load < entry.thresholds.loadlimit) {
+      return false;
+    }
+  }
+  return !model.pods.empty();
+}
+
+}  // namespace rhythm

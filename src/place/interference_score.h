@@ -1,0 +1,95 @@
+// Predicted-interference scoring for placement candidates.
+//
+// A placement policy cannot afford to simulate every candidate pairing, so
+// it scores them from the data Rhythm already derives per component: the
+// profiler's sensitivity vectors (§2 characterization, carried on
+// ComponentSpec), the per-pod tail contributions (§3.4), and the per-pod
+// loadlimit/slacklimit thresholds (§3.5). The raw score is the
+// sensitivity-weighted dot product of the candidate BE's pressure vector —
+// the same form the interference model uses for service-time inflation —
+// and the threshold-aware variant additionally scales each pod's term by
+// how close the group's offered load sits to that pod's loadlimit and how
+// little slack its slacklimit leaves.
+//
+// Contract (locked by the monotonicity property test): every score is
+// >= 0, exactly 0 for an all-zero pressure vector, monotone non-decreasing
+// in each pressure axis, and RhythmPlacementScore is additionally monotone
+// non-decreasing in the offered load.
+
+#ifndef RHYTHM_SRC_PLACE_INTERFERENCE_SCORE_H_
+#define RHYTHM_SRC_PLACE_INTERFERENCE_SCORE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bemodel/be_job_spec.h"
+#include "src/control/thresholds.h"
+#include "src/workload/app_catalog.h"
+
+namespace rhythm {
+
+// What a policy knows about one Servpod when scoring: its sensitivity
+// vector, its Rhythm thresholds, and its (normalized) tail contribution.
+struct PodPlacementModel {
+  std::string name;
+  ResourceVector sensitivity;
+  ServpodThresholds thresholds;
+  double contribution = 0.0;  // normalized across the app's pods.
+};
+
+struct AppPlacementModel {
+  LcAppKind app = LcAppKind::kEcommerce;
+  std::vector<PodPlacementModel> pods;
+};
+
+// Model from the catalog's sensitivity vectors plus the cached one-time
+// characterization (CachedAppThresholds): thresholds and normalized
+// contributions per pod. Derives thresholds on first use per app — tests
+// that must stay cheap inject stub models instead (see
+// ClusterRunRequest::model_provider).
+AppPlacementModel DefaultPlacementModel(LcAppKind app);
+
+// Raw predicted interference of `pressure` against one pod: the
+// sensitivity-weighted sum over the shared-resource axes.
+double PodInterferenceScore(const ResourceVector& sensitivity,
+                            const ResourceVector& pressure);
+
+// Contribution-weighted sum of the pod scores — the threshold-blind group
+// score the greedy policy minimizes. Pods that drive the tail (high C_i)
+// dominate; a uniform weighting is used when every contribution is zero.
+double GroupInterferenceScore(const AppPlacementModel& model,
+                              const ResourceVector& pressure);
+
+// Threshold-aware score: each pod's contribution-weighted raw score is
+// scaled by (0.25 + tightness) / max(0.05, 1 - slacklimit), where
+// tightness = min(1, load / loadlimit). A pod already near its loadlimit,
+// or one whose slacklimit leaves little room before BE growth must stop,
+// makes the same BE pressure much more expensive.
+double RhythmPlacementScore(const AppPlacementModel& model,
+                            const ResourceVector& pressure, double load);
+
+// Predicted fraction of `be`'s solo throughput that survives on a machine
+// already serving an LC pod at `load`: the leftover capacity on each
+// resource axis (cores, LLC ways, memory bandwidth, DRAM) divided by the
+// job's per-instance demand, bottleneck axis taken, relative to the job's
+// idle-machine SoloInstanceCount. The LC's reservations are modelled
+// coarsely — cores halve at zero load and shrink linearly to zero at full
+// load, LLC ways and bandwidth scale with load — because only the *ranking*
+// across BE kinds feeds placement. In [0, inf), non-increasing in load.
+double ResidualFitFraction(const MachineSpec& machine, BeJobKind be,
+                           double load);
+
+// True when `load` is at or above any pod's loadlimit — the tightest pod's
+// machine would suspend its BEs (§3.5's loadlimit semantics).
+bool LoadAboveAnyLoadlimit(const AppPlacementModel& model, double load);
+
+// True when `load` is at or above every pod's loadlimit: each machine the
+// group would occupy suspends BEs outright, so co-locating gains nothing
+// and the threshold-aware policy places the group solo. (Above only *some*
+// loadlimits, the per-machine controller handles the tight pods while the
+// rest still absorb BE work — soloing there would forfeit that headroom.)
+bool LoadAboveAllLoadlimits(const AppPlacementModel& model, double load);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_PLACE_INTERFERENCE_SCORE_H_

@@ -1,0 +1,338 @@
+// The four built-in placement policies. Registered lazily by the registry
+// (placement_policy.cc) so a static-library build cannot drop them.
+//
+// All four are pure functions of (view, construction seed): sorts are
+// stable with the group index as the implicit tiebreaker, and BE-slot ties
+// resolve to the lowest quota index, so every run of the same problem
+// produces byte-identical decisions.
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/place/placement_policy.h"
+
+namespace rhythm {
+namespace {
+
+const ResourceVector kUnitPressure = {1.0, 1.0, 1.0, 1.0, 1.0};
+
+double TotalPressure(BeJobKind be) {
+  const ResourceVector& p = GetBeJobSpec(be).pressure;
+  return p.cpu + p.llc + p.dram + p.net + p.freq;
+}
+
+// Indices 0..n-1 sorted by `less`, stable (ties keep ascending index).
+template <typename Less>
+std::vector<size_t> SortedIndices(size_t n, Less less) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), less);
+  return order;
+}
+
+// Takes the BE from the remaining quota that minimizes `cost`; ties go to
+// the lowest quota index. Marks the slot used; false when the quota is
+// exhausted (the caller places the group solo).
+template <typename Cost>
+bool TakeBestSlot(const std::vector<BeJobKind>& quota, std::vector<bool>& used,
+                  Cost cost, BeJobKind* be, double* best_cost) {
+  size_t best = quota.size();
+  double best_value = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < quota.size(); ++i) {
+    if (used[i]) {
+      continue;
+    }
+    const double value = cost(quota[i]);
+    if (best == quota.size() || value < best_value) {
+      best = i;
+      best_value = value;
+    }
+  }
+  if (best == quota.size()) {
+    return false;
+  }
+  used[best] = true;
+  *be = quota[best];
+  if (best_cost != nullptr) {
+    *best_cost = best_value;
+  }
+  return true;
+}
+
+// -- bin-packing ------------------------------------------------------------
+// The interference-blind consolidator: biggest groups first (first-fit
+// decreasing over machine runs), heaviest BEs onto the biggest groups so
+// every machine is as busy as possible. Exactly the policy the paper's
+// baseline cluster schedulers approximate — it never looks at sensitivity
+// or thresholds.
+class BinPackingPolicy final : public PlacementPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = kPolicyBinPacking;
+    return kName;
+  }
+
+  std::vector<PlacementDecision> Decide(const ClusterView& view) override {
+    const std::vector<size_t> group_order = SortedIndices(
+        view.pending.size(), [&view](size_t a, size_t b) {
+          return view.pending[a].pods > view.pending[b].pods;
+        });
+    const std::vector<size_t> quota_order = SortedIndices(
+        view.be_quota.size(), [&view](size_t a, size_t b) {
+          return TotalPressure(view.be_quota[a]) > TotalPressure(view.be_quota[b]);
+        });
+    std::vector<PlacementDecision> decisions;
+    decisions.reserve(view.pending.size());
+    for (size_t i = 0; i < group_order.size(); ++i) {
+      const PendingGroup& group = view.pending[group_order[i]];
+      PlacementDecision decision;
+      decision.group = group.group;
+      if (quota_order.empty()) {
+        decision.run_solo = true;
+      } else {
+        decision.be = view.be_quota[quota_order[i % quota_order.size()]];
+        decision.score = TotalPressure(decision.be);
+      }
+      decisions.push_back(decision);
+    }
+    return decisions;
+  }
+};
+
+// -- random -----------------------------------------------------------------
+// The null hypothesis: a fresh sub-seeded shuffle of both the group priority
+// and the BE assignment every epoch. Re-shuffling per epoch is what makes
+// this baseline churn — the same group rarely keeps its neighbor.
+class RandomPolicy final : public PlacementPolicy {
+ public:
+  explicit RandomPolicy(uint64_t seed) : seed_(seed) {}
+
+  const std::string& name() const override {
+    static const std::string kName = kPolicyRandom;
+    return kName;
+  }
+
+  std::vector<PlacementDecision> Decide(const ClusterView& view) override {
+    Rng rng(SplitMix64(seed_ + static_cast<uint64_t>(view.epoch) *
+                                   0x9e3779b97f4a7c15ULL)
+                .Next());
+    std::vector<size_t> group_order(view.pending.size());
+    std::iota(group_order.begin(), group_order.end(), size_t{0});
+    Shuffle(group_order, rng);
+    std::vector<size_t> quota_order(view.be_quota.size());
+    std::iota(quota_order.begin(), quota_order.end(), size_t{0});
+    Shuffle(quota_order, rng);
+
+    std::vector<PlacementDecision> decisions;
+    decisions.reserve(view.pending.size());
+    for (size_t i = 0; i < group_order.size(); ++i) {
+      PlacementDecision decision;
+      decision.group = view.pending[group_order[i]].group;
+      if (quota_order.empty()) {
+        decision.run_solo = true;
+      } else {
+        decision.be = view.be_quota[quota_order[i % quota_order.size()]];
+      }
+      decisions.push_back(decision);
+    }
+    return decisions;
+  }
+
+ private:
+  // Fisher-Yates with our own Rng: std::shuffle's draw sequence is not
+  // pinned by the standard, and bit-reproducibility across toolchains is.
+  static void Shuffle(std::vector<size_t>& values, Rng& rng) {
+    for (size_t i = values.size(); i > 1; --i) {
+      std::swap(values[i - 1], values[rng.UniformInt(i)]);
+    }
+  }
+
+  uint64_t seed_;
+};
+
+// -- greedy-interference ----------------------------------------------------
+// Sensitivity-aware but threshold-blind: the most sensitive groups pick
+// first, and each takes the remaining BE with the lowest
+// contribution-weighted interference score. What a scheduler built on
+// profiler data alone (no Rhythm thresholds) can do.
+class GreedyInterferencePolicy final : public PlacementPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = kPolicyGreedy;
+    return kName;
+  }
+
+  std::vector<PlacementDecision> Decide(const ClusterView& view) override {
+    std::vector<double> sensitivity(view.pending.size());
+    for (size_t i = 0; i < view.pending.size(); ++i) {
+      sensitivity[i] =
+          GroupInterferenceScore(view.model(view.pending[i].app), kUnitPressure);
+    }
+    const std::vector<size_t> group_order = SortedIndices(
+        view.pending.size(), [&sensitivity](size_t a, size_t b) {
+          return sensitivity[a] > sensitivity[b];
+        });
+
+    std::vector<bool> used(view.be_quota.size(), false);
+    std::vector<PlacementDecision> decisions;
+    decisions.reserve(view.pending.size());
+    for (size_t index : group_order) {
+      const PendingGroup& group = view.pending[index];
+      const AppPlacementModel& model = view.model(group.app);
+      PlacementDecision decision;
+      decision.group = group.group;
+      decision.run_solo = !TakeBestSlot(
+          view.be_quota, used,
+          [&model](BeJobKind be) {
+            return GroupInterferenceScore(model, GetBeJobSpec(be).pressure);
+          },
+          &decision.be, &decision.score);
+      decisions.push_back(decision);
+    }
+    return decisions;
+  }
+};
+
+// -- rhythm-aware -----------------------------------------------------------
+// The full Rhythm-informed policy. It maximizes predicted cluster BE
+// throughput instead of minimizing a per-group cost: the value of pairing a
+// group with a BE is
+//
+//   pods x residual-fit(BE at the group's load) / (1 + 0.2 x Rhythm score)
+//
+// where residual-fit estimates what fraction of the BE's solo rate survives
+// next to the LC (leftover cores / LLC ways / memory bandwidth on each of
+// the group's machines divided by the job's per-instance demands, relative
+// to its idle-machine SoloInstanceCount), and the threshold-aware score
+// discounts pairings the per-machine controller would throttle. Pairs are
+// taken globally best-first, so a scarce high-yield BE goes to the big
+// lightly-loaded group where it earns the most — the information advantage
+// over greedy-interference, which hands the least-interfering BE to the
+// most sensitive group regardless of what that slot is worth elsewhere.
+// A group at or above every pod's loadlimit runs solo (each of its machines
+// would suspend BEs outright, the paper's loadlimit-0 switch).
+class RhythmAwarePolicy final : public PlacementPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = kPolicyRhythmAware;
+    return kName;
+  }
+
+  std::vector<PlacementDecision> Decide(const ClusterView& view) override {
+    const MachineSpec& machine = view.spec->machine_spec;
+
+    // Remaining quota per BE kind (map: deterministic kind order).
+    std::map<BeJobKind, int> remaining;
+    for (BeJobKind be : view.be_quota) {
+      ++remaining[be];
+    }
+
+    std::vector<double> risk(view.pending.size());
+    std::vector<char> solo(view.pending.size(), 0);
+    for (size_t i = 0; i < view.pending.size(); ++i) {
+      const PendingGroup& group = view.pending[i];
+      const AppPlacementModel& model = view.model(group.app);
+      risk[i] = RhythmPlacementScore(model, kUnitPressure, group.load);
+      solo[i] = LoadAboveAllLoadlimits(model, group.load) ? 1 : 0;
+    }
+
+    // Every (colocatable group, quota kind) pairing, best value first; ties
+    // break to the lower group index then the lower BE enum value.
+    struct Candidate {
+      double value;
+      size_t group;
+      BeJobKind be;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(view.pending.size() * remaining.size());
+    for (size_t i = 0; i < view.pending.size(); ++i) {
+      if (solo[i]) {
+        continue;
+      }
+      const PendingGroup& group = view.pending[i];
+      const AppPlacementModel& model = view.model(group.app);
+      for (const auto& [be, count] : remaining) {
+        const double fit = ResidualFitFraction(machine, be, group.load);
+        const double score =
+            RhythmPlacementScore(model, GetBeJobSpec(be).pressure, group.load);
+        candidates.push_back(
+            {group.pods * fit / (1.0 + 0.2 * score), i, be});
+      }
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       if (a.value != b.value) {
+                         return a.value > b.value;
+                       }
+                       if (a.group != b.group) {
+                         return a.group < b.group;
+                       }
+                       return a.be < b.be;
+                     });
+
+    // Global best-pair-first matching; decision order is pick order so the
+    // highest-value pairings also get machines first when they are scarce.
+    std::vector<char> matched(view.pending.size(), 0);
+    std::vector<PlacementDecision> decisions;
+    decisions.reserve(view.pending.size());
+    for (const Candidate& candidate : candidates) {
+      auto slot = remaining.find(candidate.be);
+      if (matched[candidate.group] || slot->second == 0) {
+        continue;
+      }
+      --slot->second;
+      matched[candidate.group] = 1;
+      PlacementDecision decision;
+      decision.group = view.pending[candidate.group].group;
+      decision.be = candidate.be;
+      decision.score = candidate.value;
+      decisions.push_back(decision);
+    }
+
+    // Solo groups and quota-starved leftovers run without a BE, riskiest
+    // first (stable on the group index).
+    const std::vector<size_t> rest_order =
+        SortedIndices(view.pending.size(), [&risk](size_t a, size_t b) {
+          return risk[a] > risk[b];
+        });
+    for (size_t index : rest_order) {
+      if (matched[index]) {
+        continue;
+      }
+      PlacementDecision decision;
+      decision.group = view.pending[index].group;
+      decision.run_solo = true;
+      decision.score = risk[index];
+      decisions.push_back(decision);
+    }
+    return decisions;
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+void RegisterBuiltinPoliciesLocked(
+    std::map<std::string, PlacementPolicyFactory>& registry) {
+  registry.emplace(kPolicyBinPacking, [](uint64_t) {
+    return std::make_unique<BinPackingPolicy>();
+  });
+  registry.emplace(kPolicyRandom, [](uint64_t seed) {
+    return std::make_unique<RandomPolicy>(seed);
+  });
+  registry.emplace(kPolicyGreedy, [](uint64_t) {
+    return std::make_unique<GreedyInterferencePolicy>();
+  });
+  registry.emplace(kPolicyRhythmAware, [](uint64_t) {
+    return std::make_unique<RhythmAwarePolicy>();
+  });
+}
+
+}  // namespace internal
+}  // namespace rhythm

@@ -20,7 +20,6 @@
 #include "src/cluster/app_thresholds.h"
 #include "src/cluster/bubble_profiler.h"
 #include "src/cluster/deployment.h"
-#include "src/cluster/experiment.h"
 #include "src/cluster/metrics.h"
 #include "src/cluster/multi_lc.h"
 #include "src/cluster/profiler.h"
@@ -44,6 +43,10 @@
 #include "src/obs/metrics_registry.h"
 #include "src/obs/obs_event.h"
 #include "src/obs/recording.h"
+#include "src/place/cluster_engine.h"
+#include "src/place/cluster_spec.h"
+#include "src/place/interference_score.h"
+#include "src/place/placement_policy.h"
 #include "src/resources/machine.h"
 #include "src/runner/run_request.h"
 #include "src/runner/runner.h"

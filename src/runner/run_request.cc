@@ -4,13 +4,6 @@
 
 namespace rhythm {
 
-std::shared_ptr<const FaultSchedule> UnownedFaults(const FaultSchedule* faults) {
-  if (faults == nullptr) {
-    return nullptr;
-  }
-  return std::shared_ptr<const FaultSchedule>(faults, [](const FaultSchedule*) {});
-}
-
 uint64_t DeriveTrialSeed(uint64_t base_seed, uint64_t index) {
   // Element `index` of the SplitMix64 stream seeded at base_seed; computed
   // directly from the stream's fixed increment so derivation is O(1).

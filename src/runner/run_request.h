@@ -68,11 +68,6 @@ struct RunRequest {
   std::string label;
 };
 
-// Wraps a caller-owned schedule (which must outlive every run using the
-// request) without taking ownership — the bridge from the deprecated
-// raw-pointer ExperimentConfig::faults field.
-std::shared_ptr<const FaultSchedule> UnownedFaults(const FaultSchedule* faults);
-
 // Seed for trial `index` of a batch keyed by `base_seed`: element `index` of
 // the SplitMix64 sequence started at `base_seed`. Stable across runner
 // versions and thread counts — replications are reproducible one-by-one.

@@ -1,0 +1,63 @@
+// Single-trial Run() behavior at the cluster layer: summary shape, explicit
+// threshold override, profile-driven runs, fast-mode env stability.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/env.h"
+#include "src/runner/runner.h"
+
+namespace rhythm {
+namespace {
+
+TEST(ColocationRunTest, HeraclesRunProducesSummary) {
+  RunRequest request;
+  request.app = LcAppKind::kSolr;
+  request.be = BeJobKind::kCpuStress;
+  request.controller = ControllerKind::kHeracles;
+  request.warmup_s = 10.0;
+  request.measure_s = 60.0;
+  request.load = 0.3;
+  const RunSummary summary = rhythm::Run(request);
+  EXPECT_NEAR(summary.lc_throughput, 0.3, 1e-9);
+  EXPECT_GT(summary.be_throughput, 0.0);
+  EXPECT_NEAR(summary.emu, summary.lc_throughput + summary.be_throughput, 1e-9);
+  EXPECT_EQ(summary.pods.size(), 2u);
+}
+
+TEST(ColocationRunTest, ExplicitThresholdsOverrideCache) {
+  RunRequest request;
+  request.app = LcAppKind::kSolr;
+  request.be = BeJobKind::kCpuStress;
+  request.controller = ControllerKind::kRhythm;
+  // Forbid BEs outright via loadlimit 0: nothing should run.
+  request.thresholds = {ServpodThresholds{0.0, 0.5}, ServpodThresholds{0.0, 0.5}};
+  request.warmup_s = 5.0;
+  request.measure_s = 30.0;
+  request.load = 0.3;
+  const RunSummary summary = rhythm::Run(request);
+  EXPECT_EQ(summary.be_throughput, 0.0);
+}
+
+TEST(ColocationRunTest, ProfileRunUsesTrace) {
+  RunRequest request;
+  request.app = LcAppKind::kSolr;
+  request.be = BeJobKind::kCpuStress;
+  request.controller = ControllerKind::kHeracles;
+  request.warmup_s = 10.0;
+  request.measure_s = 290.0;
+  request.profile = std::make_shared<const DiurnalTrace>(300.0, 0.2, 0.8);
+  const RunSummary summary = rhythm::Run(request);
+  // Mean load of the diurnal shape sits between its bounds.
+  EXPECT_GT(summary.lc_throughput, 0.25);
+  EXPECT_LT(summary.lc_throughput, 0.75);
+}
+
+TEST(ColocationRunTest, FastModeReadsEnvironment) {
+  // Whatever the ambient value, the call must be stable within a process.
+  EXPECT_EQ(FastMode(), FastMode());
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,315 @@
+// The placement layer's pure pieces: spec expansion and BE-quota
+// apportionment, the policy registry round-trip, the interference-score
+// contract (non-negative, zero at zero pressure, monotone per axis and in
+// load), and the per-policy decision contract (full coverage, quota
+// discipline, determinism) for all four built-ins.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/place/cluster_spec.h"
+#include "src/place/interference_score.h"
+#include "src/place/placement_policy.h"
+
+namespace rhythm {
+namespace {
+
+// Stub scoring model: catalog sensitivities, fixed thresholds, uniform
+// contributions — no CachedAppThresholds derivation, so the tests stay
+// cheap and hermetic.
+AppPlacementModel StubModel(LcAppKind app) {
+  const AppSpec spec = MakeApp(app);
+  AppPlacementModel model;
+  model.app = app;
+  for (size_t pod = 0; pod < spec.components.size(); ++pod) {
+    PodPlacementModel entry;
+    entry.name = spec.components[pod].name;
+    entry.sensitivity = spec.components[pod].sensitivity;
+    entry.thresholds = ServpodThresholds{0.75 - 0.05 * pod, 0.10 + 0.02 * pod};
+    entry.contribution = 1.0;
+    model.pods.push_back(entry);
+  }
+  return model;
+}
+
+ClusterSpec SmallSpec() {
+  ClusterSpec spec;
+  spec.machines = 16;
+  spec.lc_demand = {
+      {LcAppKind::kEcommerce, 1, 0.45},
+      {LcAppKind::kRedis, 2, 0.65},
+      {LcAppKind::kSolr, 1, 0.90},
+  };
+  spec.be_backlog = {
+      {BeJobKind::kCpuStress, 2.0},
+      {BeJobKind::kStreamDramBig, 1.0},
+      {BeJobKind::kWordcount, 1.0},
+  };
+  return spec;
+}
+
+ClusterView ViewOf(const ClusterSpec& spec,
+                   std::map<LcAppKind, AppPlacementModel>& models,
+                   int epoch = 0) {
+  ClusterView view;
+  view.spec = &spec;
+  view.epoch = epoch;
+  view.pending = ExpandGroups(spec);
+  view.be_quota = ExpandBeQuota(spec, static_cast<int>(view.pending.size()));
+  view.model = [&models](LcAppKind app) -> const AppPlacementModel& {
+    auto it = models.find(app);
+    if (it == models.end()) {
+      it = models.emplace(app, StubModel(app)).first;
+    }
+    return it->second;
+  };
+  return view;
+}
+
+// -- spec expansion ----------------------------------------------------------
+
+TEST(ClusterSpecTest, ExpandGroupsNumbersGroupsStably) {
+  const ClusterSpec spec = SmallSpec();
+  const std::vector<PendingGroup> groups = ExpandGroups(spec);
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(spec.TotalGroups(), 4);
+  for (size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_EQ(groups[i].group, static_cast<int>(i));
+    EXPECT_EQ(groups[i].pods, MakeApp(groups[i].app).pod_count());
+  }
+  EXPECT_EQ(groups[0].app, LcAppKind::kEcommerce);
+  EXPECT_EQ(groups[1].app, LcAppKind::kRedis);
+  EXPECT_EQ(groups[2].app, LcAppKind::kRedis);
+  EXPECT_EQ(groups[3].app, LcAppKind::kSolr);
+  EXPECT_EQ(spec.TotalPods(), 4 + 2 + 2 + 2);
+}
+
+TEST(ClusterSpecTest, BeQuotaIsExactAndDeterministic) {
+  const ClusterSpec spec = SmallSpec();
+  for (int slots : {1, 3, 4, 9, 100}) {
+    const std::vector<BeJobKind> quota = ExpandBeQuota(spec, slots);
+    ASSERT_EQ(quota.size(), static_cast<size_t>(slots)) << slots;
+    EXPECT_EQ(quota, ExpandBeQuota(spec, slots)) << slots;
+  }
+  // Weights 2:1:1 over 4 slots: exact apportionment, no remainders.
+  const std::vector<BeJobKind> quota = ExpandBeQuota(spec, 4);
+  EXPECT_EQ(std::count(quota.begin(), quota.end(), BeJobKind::kCpuStress), 2);
+  EXPECT_EQ(std::count(quota.begin(), quota.end(), BeJobKind::kStreamDramBig), 1);
+  EXPECT_EQ(std::count(quota.begin(), quota.end(), BeJobKind::kWordcount), 1);
+}
+
+TEST(ClusterSpecTest, EmptyBacklogYieldsEmptyQuota) {
+  ClusterSpec spec = SmallSpec();
+  spec.be_backlog.clear();
+  EXPECT_TRUE(ExpandBeQuota(spec, 4).empty());
+}
+
+// -- registry ----------------------------------------------------------------
+
+TEST(PolicyRegistryTest, BuiltinsAreRegistered) {
+  const std::vector<std::string> names = PlacementPolicyNames();
+  for (const char* expected : {kPolicyBinPacking, kPolicyRandom, kPolicyGreedy,
+                               kPolicyRhythmAware}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(PolicyRegistryTest, RoundTripAndErrors) {
+  // Make every registered policy; its name() must round-trip.
+  for (const std::string& name : PlacementPolicyNames()) {
+    EXPECT_EQ(MakePlacementPolicy(name, 7)->name(), name);
+  }
+  EXPECT_THROW(MakePlacementPolicy("no-such-policy", 7), std::invalid_argument);
+  // Re-registering a taken name is refused and leaves the entry alone.
+  EXPECT_FALSE(RegisterPlacementPolicy(
+      kPolicyRandom, [](uint64_t) -> std::unique_ptr<PlacementPolicy> {
+        return nullptr;
+      }));
+  EXPECT_NE(MakePlacementPolicy(kPolicyRandom, 7), nullptr);
+}
+
+TEST(PolicyRegistryTest, CustomRegistrationIsVisible) {
+  class EchoPolicy final : public PlacementPolicy {
+   public:
+    const std::string& name() const override {
+      static const std::string kName = "test-echo";
+      return kName;
+    }
+    std::vector<PlacementDecision> Decide(const ClusterView& view) override {
+      std::vector<PlacementDecision> decisions;
+      for (size_t i = 0; i < view.pending.size(); ++i) {
+        PlacementDecision decision;
+        decision.group = view.pending[i].group;
+        decision.be = view.be_quota[i];
+        decisions.push_back(decision);
+      }
+      return decisions;
+    }
+  };
+  EXPECT_TRUE(RegisterPlacementPolicy("test-echo", [](uint64_t) {
+    return std::make_unique<EchoPolicy>();
+  }));
+  EXPECT_EQ(MakePlacementPolicy("test-echo", 1)->name(), "test-echo");
+  const std::vector<std::string> names = PlacementPolicyNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test-echo"), names.end());
+}
+
+// -- interference-score contract ---------------------------------------------
+
+TEST(InterferenceScoreTest, ZeroPressureScoresZero) {
+  const AppPlacementModel model = StubModel(LcAppKind::kRedis);
+  EXPECT_EQ(GroupInterferenceScore(model, ResourceVector{}), 0.0);
+  EXPECT_EQ(RhythmPlacementScore(model, ResourceVector{}, 0.5), 0.0);
+}
+
+TEST(InterferenceScoreTest, MonotonePerPressureAxisAndLoad) {
+  // Property test: for seeded random pressure vectors, raising any one axis
+  // never lowers either score, and raising the load never lowers the
+  // threshold-aware score.
+  Rng rng(2024);
+  for (LcAppKind app : {LcAppKind::kEcommerce, LcAppKind::kRedis,
+                        LcAppKind::kElasticsearch}) {
+    const AppPlacementModel model = StubModel(app);
+    for (int trial = 0; trial < 64; ++trial) {
+      ResourceVector pressure;
+      pressure.cpu = rng.NextDouble();
+      pressure.llc = rng.NextDouble();
+      pressure.dram = rng.NextDouble();
+      pressure.net = rng.NextDouble();
+      pressure.freq = rng.NextDouble();
+      const double load = rng.NextDouble();
+      const double group = GroupInterferenceScore(model, pressure);
+      const double rhythm = RhythmPlacementScore(model, pressure, load);
+      EXPECT_GE(group, 0.0);
+      EXPECT_GE(rhythm, 0.0);
+
+      const double bump = rng.Uniform(0.01, 0.5);
+      double ResourceVector::* axes[] = {
+          &ResourceVector::cpu, &ResourceVector::llc, &ResourceVector::dram,
+          &ResourceVector::net, &ResourceVector::freq};
+      for (auto axis : axes) {
+        ResourceVector raised = pressure;
+        raised.*axis += bump;
+        EXPECT_GE(GroupInterferenceScore(model, raised), group);
+        EXPECT_GE(RhythmPlacementScore(model, raised, load), rhythm);
+      }
+      EXPECT_GE(RhythmPlacementScore(model, pressure,
+                                     std::min(1.0, load + bump)),
+                rhythm);
+    }
+  }
+}
+
+TEST(InterferenceScoreTest, LoadAboveAnyLoadlimitTracksTightestPod) {
+  AppPlacementModel model = StubModel(LcAppKind::kRedis);
+  model.pods[0].thresholds.loadlimit = 0.8;
+  model.pods[1].thresholds.loadlimit = 0.6;
+  EXPECT_FALSE(LoadAboveAnyLoadlimit(model, 0.55));
+  EXPECT_TRUE(LoadAboveAnyLoadlimit(model, 0.6));
+  EXPECT_TRUE(LoadAboveAnyLoadlimit(model, 0.95));
+  // The solo switch needs every pod above its limit, not just the tightest.
+  EXPECT_FALSE(LoadAboveAllLoadlimits(model, 0.6));
+  EXPECT_TRUE(LoadAboveAllLoadlimits(model, 0.8));
+  AppPlacementModel empty;
+  EXPECT_FALSE(LoadAboveAllLoadlimits(empty, 1.0));
+}
+
+// -- policy decision contract ------------------------------------------------
+
+void ExpectDecisionContract(const std::string& policy_name, uint64_t seed) {
+  const ClusterSpec spec = SmallSpec();
+  std::map<LcAppKind, AppPlacementModel> models;
+  ClusterView view = ViewOf(spec, models);
+  auto policy = MakePlacementPolicy(policy_name, seed);
+  policy->OnTick(view);
+  const std::vector<PlacementDecision> decisions = policy->Decide(view);
+
+  // Exactly one decision per group.
+  ASSERT_EQ(decisions.size(), view.pending.size()) << policy_name;
+  std::set<int> groups;
+  for (const PlacementDecision& decision : decisions) {
+    EXPECT_TRUE(groups.insert(decision.group).second) << policy_name;
+    EXPECT_GE(decision.group, 0);
+    EXPECT_LT(decision.group, static_cast<int>(view.pending.size()));
+  }
+
+  // Non-solo BEs drawn from the quota multiset.
+  std::map<BeJobKind, int> quota;
+  for (BeJobKind be : view.be_quota) {
+    ++quota[be];
+  }
+  for (const PlacementDecision& decision : decisions) {
+    if (!decision.run_solo) {
+      EXPECT_GE(--quota[decision.be], 0) << policy_name;
+    }
+  }
+
+  // Determinism: a fresh instance decides identically.
+  auto again = MakePlacementPolicy(policy_name, seed);
+  again->OnTick(view);
+  const std::vector<PlacementDecision> repeat = again->Decide(view);
+  ASSERT_EQ(repeat.size(), decisions.size()) << policy_name;
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    EXPECT_EQ(repeat[i].group, decisions[i].group) << policy_name;
+    EXPECT_EQ(repeat[i].be, decisions[i].be) << policy_name;
+    EXPECT_EQ(repeat[i].run_solo, decisions[i].run_solo) << policy_name;
+    EXPECT_EQ(repeat[i].score, decisions[i].score) << policy_name;
+  }
+}
+
+TEST(PlacementPolicyTest, AllBuiltinsHonorTheDecisionContract) {
+  for (const char* name : {kPolicyBinPacking, kPolicyRandom, kPolicyGreedy,
+                           kPolicyRhythmAware}) {
+    SCOPED_TRACE(name);
+    ExpectDecisionContract(name, 11);
+    ExpectDecisionContract(name, 42);
+  }
+}
+
+TEST(PlacementPolicyTest, RhythmAwareSolosGroupsAboveLoadlimit) {
+  // SmallSpec's solr group runs at 0.90 offered load, above every stub
+  // loadlimit — the threshold-aware policy must park it solo.
+  const ClusterSpec spec = SmallSpec();
+  std::map<LcAppKind, AppPlacementModel> models;
+  ClusterView view = ViewOf(spec, models);
+  auto policy = MakePlacementPolicy(kPolicyRhythmAware, 11);
+  for (const PlacementDecision& decision : policy->Decide(view)) {
+    if (view.pending[decision.group].app == LcAppKind::kSolr) {
+      EXPECT_TRUE(decision.run_solo);
+    } else {
+      EXPECT_FALSE(decision.run_solo);
+    }
+  }
+}
+
+TEST(PlacementPolicyTest, RandomChangesAssignmentAcrossEpochs) {
+  // The random baseline reshuffles every epoch (that is what makes it
+  // churn); two epochs must not produce identical assignments for every
+  // group across a handful of seeds.
+  const ClusterSpec spec = SmallSpec();
+  std::map<LcAppKind, AppPlacementModel> models;
+  bool any_difference = false;
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto policy = MakePlacementPolicy(kPolicyRandom, seed);
+    ClusterView epoch0 = ViewOf(spec, models, 0);
+    ClusterView epoch1 = ViewOf(spec, models, 1);
+    const auto a = policy->Decide(epoch0);
+    const auto b = policy->Decide(epoch1);
+    for (size_t i = 0; i < a.size(); ++i) {
+      any_difference = any_difference || a[i].group != b[i].group ||
+                       a[i].be != b[i].be;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace rhythm

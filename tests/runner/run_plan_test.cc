@@ -1,6 +1,6 @@
 // The declarative runner: RunPlan construction, seed derivation, bit-exact
-// determinism across worker counts, deprecated-wrapper equivalence, fault
-// auto-wrapping and first-error propagation.
+// determinism across worker counts, fault auto-wrapping and first-error
+// propagation.
 
 #include <gtest/gtest.h>
 
@@ -135,10 +135,6 @@ TEST(RunPlanTest, AddTrialsCopiesPrototypeAndDerivesSeeds) {
   }
 }
 
-TEST(RunPlanTest, UnownedFaultsOfNullIsNull) {
-  EXPECT_EQ(UnownedFaults(nullptr), nullptr);
-}
-
 TEST(ParallelRunnerTest, EmptyPlanReturnsNoSummaries) {
   EXPECT_TRUE(ParallelRunner().RunAll(RunPlan{}).empty());
 }
@@ -210,38 +206,6 @@ TEST(RunTest, LoadSpikeFaultRaisesOfferedLoad) {
   const RunSummary base = rhythm::Run(plain);
   const RunSummary boosted = rhythm::Run(spiked);
   EXPECT_GT(boosted.lc_throughput, base.lc_throughput);
-}
-
-TEST(DeprecatedWrapperTest, RunColocationMatchesRun) {
-  ExperimentConfig config;
-  config.app = LcAppKind::kEcommerce;
-  config.be = BeJobKind::kWordcount;
-  config.controller = ControllerKind::kRhythm;
-  config.thresholds = FixedThresholds(config.app);
-  config.warmup_s = 5.0;
-  config.measure_s = 30.0;
-  config.seed = 13;
-  const RunSummary wrapped = RunColocation(config, 0.5);
-
-  RunRequest request = ToRunRequest(config);
-  request.load = 0.5;
-  ExpectBitIdentical(wrapped, rhythm::Run(request));
-}
-
-TEST(DeprecatedWrapperTest, RunColocationProfileMatchesRun) {
-  ExperimentConfig config;
-  config.app = LcAppKind::kEcommerce;
-  config.be = BeJobKind::kCpuStress;
-  config.controller = ControllerKind::kHeracles;
-  config.warmup_s = 5.0;
-  config.seed = 17;
-  const DiurnalTrace trace(40.0, 0.2, 0.7);
-  const RunSummary wrapped = RunColocationProfile(config, trace, 30.0);
-
-  RunRequest request = ToRunRequest(config);
-  request.profile = std::shared_ptr<const LoadProfile>(&trace, [](const LoadProfile*) {});
-  request.measure_s = 30.0;
-  ExpectBitIdentical(wrapped, rhythm::Run(request));
 }
 
 }  // namespace

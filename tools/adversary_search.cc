@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/rhythm.h"
+#include "tools/common_flags.h"
 
 using namespace rhythm;
 
@@ -100,50 +101,33 @@ int main(int argc, char** argv) {
   std::string corpus_out, bench_json, obs_out, replay_path, probe_path, expect_best;
   int corpus_count = 3;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const bool has_value = i + 1 < argc;
-    if (arg == "--seed" && has_value) {
-      options.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--run-seed" && has_value) {
-      options.config.run_seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--generations" && has_value) {
-      options.generations = std::atoi(argv[++i]);
-    } else if (arg == "--population" && has_value) {
-      options.population = std::atoi(argv[++i]);
-    } else if (arg == "--hill-climb" && has_value) {
-      options.hill_climb_steps = std::atoi(argv[++i]);
-    } else if (arg == "--plateau" && has_value) {
-      options.plateau_generations = std::atoi(argv[++i]);
-    } else if (arg == "--wall-clock-budget-s" && has_value) {
-      options.wall_clock_budget_s = std::atof(argv[++i]);
-    } else if (arg == "--jobs" && has_value) {
-      options.jobs = std::atoi(argv[++i]);
-    } else if (arg == "--measure-s" && has_value) {
-      options.config.measure_s = std::atof(argv[++i]);
-    } else if (arg == "--harden-jitter") {
+  FlagParser flags(argc, argv);
+  while (flags.Next()) {
+    if (flags.U64("--seed", &options.seed) ||
+        flags.U64("--run-seed", &options.config.run_seed) ||
+        MatchBudgetFlags(flags, &options.generations, &options.population,
+                         &options.wall_clock_budget_s) ||
+        flags.Int("--hill-climb", &options.hill_climb_steps) ||
+        flags.Int("--plateau", &options.plateau_generations) ||
+        flags.Int("--jobs", &options.jobs) ||
+        flags.Double("--measure-s", &options.config.measure_s) ||
+        flags.Str("--corpus-out", &corpus_out) ||
+        flags.Int("--corpus-count", &corpus_count) ||
+        flags.Double("--keep-damage", &corpus_options.keep_damage_fraction) ||
+        flags.Str("--bench-json", &bench_json) ||
+        flags.Str("--obs-out", &obs_out) ||
+        flags.Str("--expect-best-fitness", &expect_best) ||
+        flags.Str("--replay", &replay_path) ||
+        flags.Str("--probe", &probe_path)) {
+      continue;
+    }
+    if (flags.Is("--harden-jitter")) {
       options.config.hardening.readmission_jitter = true;
-    } else if (arg == "--harden-osc") {
+    } else if (flags.Is("--harden-osc")) {
       options.config.hardening.oscillation_guard = true;
-    } else if (arg == "--corpus-out" && has_value) {
-      corpus_out = argv[++i];
-    } else if (arg == "--corpus-count" && has_value) {
-      corpus_count = std::atoi(argv[++i]);
-    } else if (arg == "--keep-damage" && has_value) {
-      corpus_options.keep_damage_fraction = std::atof(argv[++i]);
-    } else if (arg == "--bench-json" && has_value) {
-      bench_json = argv[++i];
-    } else if (arg == "--obs-out" && has_value) {
-      obs_out = argv[++i];
-    } else if (arg == "--expect-best-fitness" && has_value) {
-      expect_best = argv[++i];
-    } else if (arg == "--replay" && has_value) {
-      replay_path = argv[++i];
-    } else if (arg == "--probe" && has_value) {
-      probe_path = argv[++i];
     } else {
       std::fprintf(stderr, "adversary_search: unknown or incomplete option '%s'\n",
-                   arg.c_str());
+                   flags.arg().c_str());
       return 2;
     }
   }

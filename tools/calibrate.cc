@@ -115,13 +115,14 @@ void CmdCompare(double load) {
   // Rhythm should still co-locate at tolerant pods near the loadlimit;
   // Heracles's app-granularity gate shuts every pod down together.
   for (ControllerKind ctrl : {ControllerKind::kHeracles, ControllerKind::kRhythm}) {
-    ExperimentConfig e;
-    e.app = LcAppKind::kEcommerce;
-    e.be = BeJobKind::kWordcount;
-    e.controller = ctrl;
-    e.warmup_s = 30.0;
-    e.measure_s = 120.0;
-    RunSummary s = RunColocation(e, load);
+    RunRequest request;
+    request.app = LcAppKind::kEcommerce;
+    request.be = BeJobKind::kWordcount;
+    request.controller = ctrl;
+    request.warmup_s = 30.0;
+    request.measure_s = 120.0;
+    request.load = load;
+    RunSummary s = Run(request);
     std::printf("%s@%.2f: EMU=%.3f beThr=%.3f cpu=%.3f membw=%.3f worstTail=%.2f "
                 "viol=%llu kills=%llu\n",
                 ControllerKindName(ctrl), load, s.emu, s.be_throughput, s.cpu_util,

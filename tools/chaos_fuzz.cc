@@ -30,6 +30,7 @@
 #include <string>
 
 #include "src/rhythm.h"
+#include "tools/common_flags.h"
 
 using namespace rhythm;
 
@@ -53,35 +54,26 @@ int main(int argc, char** argv) {
   bool minimize = false;
   std::string repro_out;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const bool has_value = i + 1 < argc;
-    if (arg == "--trials" && has_value) {
-      options.trials = std::atoi(argv[++i]);
-    } else if (arg == "--seed" && has_value) {
-      options.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--jobs" && has_value) {
-      options.jobs = std::atoi(argv[++i]);
-    } else if (arg == "--load" && has_value) {
-      options.load = std::atof(argv[++i]);
-    } else if (arg == "--scan") {
+  FlagParser flags(argc, argv);
+  while (flags.Next()) {
+    if (flags.Int("--trials", &options.trials) ||
+        flags.U64("--seed", &options.seed) ||
+        flags.Int("--jobs", &options.jobs) ||
+        flags.Double("--load", &options.load) ||
+        flags.Double("--tripwire-ms", &options.verify.synthetic_tail_tripwire_ms) ||
+        flags.Double("--horizon-s", &options.verify.recovery_horizon_s) ||
+        flags.Str("--repro-out", &repro_out) ||
+        MatchBudgetFlags(flags, &options.generations, &options.population,
+                         &options.wall_clock_budget_s)) {
+      continue;
+    }
+    if (flags.Is("--scan")) {
       options.fail_fast = false;
-    } else if (arg == "--tripwire-ms" && has_value) {
-      options.verify.synthetic_tail_tripwire_ms = std::atof(argv[++i]);
-    } else if (arg == "--horizon-s" && has_value) {
-      options.verify.recovery_horizon_s = std::atof(argv[++i]);
-    } else if (arg == "--minimize") {
+    } else if (flags.Is("--minimize")) {
       minimize = true;
-    } else if (arg == "--repro-out" && has_value) {
-      repro_out = argv[++i];
-    } else if (arg == "--generations" && has_value) {
-      options.generations = std::atoi(argv[++i]);
-    } else if (arg == "--population" && has_value) {
-      options.population = std::atoi(argv[++i]);
-    } else if (arg == "--wall-clock-budget-s" && has_value) {
-      options.wall_clock_budget_s = std::atof(argv[++i]);
     } else {
-      std::fprintf(stderr, "chaos_fuzz: unknown or incomplete option '%s'\n", arg.c_str());
+      std::fprintf(stderr, "chaos_fuzz: unknown or incomplete option '%s'\n",
+                   flags.arg().c_str());
       return 2;
     }
   }

@@ -1,0 +1,115 @@
+// Shared command-line parsing for the tools/ CLIs.
+//
+// Every tool parses flags the same way — walk argv once, `--flag value`
+// pairs plus a few valueless switches, reject anything unrecognized with
+// exit status 2 — and several of them share whole flag families (the search
+// budget of adversary_search and chaos_fuzz, seed/jobs/output paths).
+// FlagParser centralizes the walk; the Match* helpers bundle the shared
+// families so the tools cannot drift apart on spelling or semantics.
+//
+// Usage:
+//   FlagParser flags(argc, argv);
+//   while (flags.Next()) {
+//     if (flags.U64("--seed", &seed) || flags.Int("--jobs", &jobs)) {
+//       continue;
+//     }
+//     if (flags.Is("--scan")) { fail_fast = false; continue; }
+//     std::fprintf(stderr, "tool: unknown or incomplete option '%s'\n",
+//                  flags.arg().c_str());
+//     return 2;
+//   }
+//
+// A typed matcher returns false both for a non-matching argument and for a
+// matching flag with no value left to consume — either way the caller's
+// fall-through prints the same "unknown or incomplete option" diagnostic the
+// tools have always emitted.
+
+#ifndef RHYTHM_TOOLS_COMMON_FLAGS_H_
+#define RHYTHM_TOOLS_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace rhythm {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  // Advances to the next argument; false when argv is exhausted.
+  bool Next() { return ++index_ < argc_; }
+
+  // The current argument, for diagnostics.
+  std::string arg() const { return argv_[index_]; }
+
+  // Valueless switch.
+  bool Is(const char* flag) const {
+    return std::strcmp(argv_[index_], flag) == 0;
+  }
+
+  // `--flag value` matchers: on match they consume the value and return
+  // true; a matching flag missing its value is NOT consumed (false).
+  bool Int(const char* flag, int* out) {
+    const char* value = Value(flag);
+    if (value == nullptr) {
+      return false;
+    }
+    *out = std::atoi(value);
+    return true;
+  }
+
+  bool U64(const char* flag, uint64_t* out) {
+    const char* value = Value(flag);
+    if (value == nullptr) {
+      return false;
+    }
+    *out = std::strtoull(value, nullptr, 10);
+    return true;
+  }
+
+  bool Double(const char* flag, double* out) {
+    const char* value = Value(flag);
+    if (value == nullptr) {
+      return false;
+    }
+    *out = std::atof(value);
+    return true;
+  }
+
+  bool Str(const char* flag, std::string* out) {
+    const char* value = Value(flag);
+    if (value == nullptr) {
+      return false;
+    }
+    *out = value;
+    return true;
+  }
+
+ private:
+  const char* Value(const char* flag) {
+    if (!Is(flag) || index_ + 1 >= argc_) {
+      return nullptr;
+    }
+    return argv_[++index_];
+  }
+
+  int argc_;
+  char** argv_;
+  int index_ = 0;
+};
+
+// The search-budget family shared by adversary_search and chaos_fuzz (and
+// any future sweeping tool): generations x population sizes the work,
+// wall-clock-budget-s caps it at chunk boundaries (see tools/README.md).
+inline bool MatchBudgetFlags(FlagParser& flags, int* generations,
+                             int* population, double* wall_clock_budget_s) {
+  return flags.Int("--generations", generations) ||
+         flags.Int("--population", population) ||
+         flags.Double("--wall-clock-budget-s", wall_clock_budget_s);
+}
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_TOOLS_COMMON_FLAGS_H_

@@ -1,0 +1,266 @@
+// Cluster placement-policy comparison CLI (Fig. 12/15-style): run the same
+// ClusterSpec under several PlacementPolicies and print cluster EMU,
+// SLO-violation rate and churn side by side.
+//
+// Usage: place_eval [options]
+//   --policies A,B,C   comma-separated policy names (default: all registered)
+//   --machines N       cluster machine population (32)
+//   --seed S           base seed; group trials derive theirs (11)
+//   --jobs N           worker threads (default: RHYTHM_JOBS or all cores)
+//   --epochs N         placement rounds (1)
+//   --warmup-s F       per-group warmup window (10)
+//   --measure-s F      per-group measurement window (60)
+//   --ramp F           ramp epoch load scale linearly from 1.0 to F (1.0)
+//   --bench-json PATH  write the comparison as BENCH_placement.json
+//   --obs-out PATH     write each policy's placement Recording as JSONL
+//                      (multi-policy runs insert the policy name before the
+//                      extension; obs_query can summarize the stream)
+//   --assert-order     fail unless rhythm-aware >= greedy-interference >=
+//                      random on EMU, rhythm-aware beats bin-packing and
+//                      random outright, and rhythm-aware's SLO-violation
+//                      rate is no worse than bin-packing's or random's —
+//                      the CI regression gate
+//
+// All output is deterministic for a fixed seed (%.17g metrics, no
+// wall-clock or worker-count dependence), so CI diffs RHYTHM_JOBS=1
+// against RHYTHM_JOBS=4 byte-for-byte.
+//
+// Exit status: 0 success, 1 assertion failure, 2 usage/setup error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/rhythm.h"
+#include "tools/common_flags.h"
+
+using namespace rhythm;
+
+namespace {
+
+std::string Num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::vector<std::string> SplitPolicies(const std::string& csv) {
+  std::vector<std::string> names;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) {
+      names.push_back(csv.substr(start, end - start));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return names;
+}
+
+// out.jsonl -> out.rhythm-aware.jsonl when several policies share one path.
+std::string PolicyPath(const std::string& path, const std::string& policy,
+                       bool multi) {
+  if (!multi) {
+    return path;
+  }
+  const size_t dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "." + policy;
+  }
+  return path.substr(0, dot) + "." + policy + path.substr(dot);
+}
+
+const ClusterSummary* FindPolicy(const std::vector<ClusterSummary>& summaries,
+                                 const char* policy) {
+  for (const ClusterSummary& summary : summaries) {
+    if (summary.policy == policy) {
+      return &summary;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string policies_csv, bench_json, obs_out;
+  int machines = 32;
+  uint64_t seed = 11;
+  int jobs = 0;
+  int epochs = 1;
+  double warmup_s = 10.0;
+  double measure_s = 60.0;
+  double ramp = 1.0;
+  bool assert_order = false;
+
+  FlagParser flags(argc, argv);
+  while (flags.Next()) {
+    if (flags.Str("--policies", &policies_csv) ||
+        flags.Int("--machines", &machines) || flags.U64("--seed", &seed) ||
+        flags.Int("--jobs", &jobs) || flags.Int("--epochs", &epochs) ||
+        flags.Double("--warmup-s", &warmup_s) ||
+        flags.Double("--measure-s", &measure_s) ||
+        flags.Double("--ramp", &ramp) ||
+        flags.Str("--bench-json", &bench_json) ||
+        flags.Str("--obs-out", &obs_out)) {
+      continue;
+    }
+    if (flags.Is("--assert-order")) {
+      assert_order = true;
+    } else {
+      std::fprintf(stderr, "place_eval: unknown or incomplete option '%s'\n",
+                   flags.arg().c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> policies =
+      policies_csv.empty() ? PlacementPolicyNames()
+                           : SplitPolicies(policies_csv);
+  if (policies.empty()) {
+    std::fprintf(stderr, "place_eval: no policies selected\n");
+    return 2;
+  }
+
+  const ClusterSpec spec = DefaultEvalClusterSpec(machines);
+  std::printf("place_eval: %d machines, %d groups (%d pods), seed %llu, "
+              "%d epoch(s), warmup %g s + measure %g s, ramp %g\n",
+              spec.machines, spec.TotalGroups(), spec.TotalPods(),
+              (unsigned long long)seed, epochs, warmup_s, measure_s, ramp);
+
+  ClusterRunPlan plan;
+  for (const std::string& policy : policies) {
+    ClusterRunRequest request;
+    request.spec = spec;
+    request.policy = policy;
+    request.seed = seed;
+    request.epochs = epochs;
+    request.warmup_s = warmup_s;
+    request.measure_s = measure_s;
+    for (int e = 0; e < epochs; ++e) {
+      const double t = epochs > 1 ? static_cast<double>(e) / (epochs - 1) : 0.0;
+      request.epoch_load_scale.push_back(1.0 + (ramp - 1.0) * t);
+    }
+    if (!obs_out.empty()) {
+      request.obs.enabled = true;
+      request.obs.export_jsonl =
+          PolicyPath(obs_out, policy, policies.size() > 1);
+    }
+    plan.Add(std::move(request));
+  }
+
+  std::vector<ClusterSummary> summaries;
+  try {
+    RunnerOptions options;
+    options.jobs = jobs;
+    summaries = RunClusterPlan(plan, options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "place_eval: %s\n", error.what());
+    return 2;
+  }
+
+  std::printf("%-20s %-10s %-10s %-10s %-10s %-6s %-6s %-5s %-5s %-6s %-5s\n",
+              "policy", "emu", "lc", "be", "slo_rate", "viol", "kills",
+              "solo", "unpl", "churn", "used");
+  for (const ClusterSummary& summary : summaries) {
+    std::printf("%-20s %-10.4f %-10.4f %-10.4f %-10.6f %-6llu %-6llu %-5d "
+                "%-5d %-6d %-5d\n",
+                summary.policy.c_str(), summary.emu, summary.lc_throughput,
+                summary.be_throughput, summary.slo_violation_rate,
+                (unsigned long long)summary.sla_violations,
+                (unsigned long long)summary.be_kills, summary.solo_groups,
+                summary.groups_unplaced, summary.placement_churn,
+                summary.machines_used);
+  }
+  for (const ClusterSummary& summary : summaries) {
+    std::printf("raw %s emu=%s slo_rate=%s tail_ratio=%s\n",
+                summary.policy.c_str(), Num(summary.emu).c_str(),
+                Num(summary.slo_violation_rate).c_str(),
+                Num(summary.worst_tail_ratio).c_str());
+  }
+  if (!obs_out.empty()) {
+    std::printf("placement recordings written to %s\n", obs_out.c_str());
+  }
+
+  if (!bench_json.empty()) {
+    FILE* out = std::fopen(bench_json.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "place_eval: cannot write %s\n", bench_json.c_str());
+      return 2;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"machines\": %d,\n", spec.machines);
+    std::fprintf(out, "  \"groups\": %d,\n", spec.TotalGroups());
+    std::fprintf(out, "  \"pods\": %d,\n", spec.TotalPods());
+    std::fprintf(out, "  \"seed\": %llu,\n", (unsigned long long)seed);
+    std::fprintf(out, "  \"epochs\": %d,\n", epochs);
+    std::fprintf(out, "  \"warmup_s\": %s,\n", Num(warmup_s).c_str());
+    std::fprintf(out, "  \"measure_s\": %s,\n", Num(measure_s).c_str());
+    std::fprintf(out, "  \"policies\": [");
+    for (size_t i = 0; i < summaries.size(); ++i) {
+      const ClusterSummary& s = summaries[i];
+      std::fprintf(out,
+                   "%s\n    {\"policy\": \"%s\", \"emu\": %s, "
+                   "\"lc_throughput\": %s, \"be_throughput\": %s, "
+                   "\"cpu_util\": %s, \"membw_util\": %s, "
+                   "\"slo_violation_rate\": %s, \"sla_violations\": %llu, "
+                   "\"be_kills\": %llu, \"worst_tail_ratio\": %s, "
+                   "\"groups_placed\": %d, \"groups_unplaced\": %d, "
+                   "\"solo_groups\": %d, \"machines_used\": %d, "
+                   "\"placement_churn\": %d}",
+                   i == 0 ? "" : ",", s.policy.c_str(), Num(s.emu).c_str(),
+                   Num(s.lc_throughput).c_str(), Num(s.be_throughput).c_str(),
+                   Num(s.cpu_util).c_str(), Num(s.membw_util).c_str(),
+                   Num(s.slo_violation_rate).c_str(),
+                   (unsigned long long)s.sla_violations,
+                   (unsigned long long)s.be_kills,
+                   Num(s.worst_tail_ratio).c_str(), s.groups_placed,
+                   s.groups_unplaced, s.solo_groups, s.machines_used,
+                   s.placement_churn);
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("bench written to %s\n", bench_json.c_str());
+  }
+
+  if (assert_order) {
+    const ClusterSummary* rhythm = FindPolicy(summaries, kPolicyRhythmAware);
+    const ClusterSummary* greedy = FindPolicy(summaries, kPolicyGreedy);
+    const ClusterSummary* random = FindPolicy(summaries, kPolicyRandom);
+    const ClusterSummary* packing = FindPolicy(summaries, kPolicyBinPacking);
+    int failures = 0;
+    const auto expect = [&failures](bool ok, const char* what) {
+      if (!ok) {
+        std::fprintf(stderr, "place_eval: order violated: %s\n", what);
+        ++failures;
+      }
+    };
+    if (rhythm != nullptr && greedy != nullptr) {
+      expect(rhythm->emu >= greedy->emu,
+             "emu(rhythm-aware) >= emu(greedy-interference)");
+    }
+    if (greedy != nullptr && random != nullptr) {
+      expect(greedy->emu >= random->emu,
+             "emu(greedy-interference) >= emu(random)");
+    }
+    if (rhythm != nullptr && packing != nullptr) {
+      expect(rhythm->emu > packing->emu, "emu(rhythm-aware) > emu(bin-packing)");
+      expect(rhythm->slo_violation_rate <= packing->slo_violation_rate,
+             "slo_rate(rhythm-aware) <= slo_rate(bin-packing)");
+    }
+    if (rhythm != nullptr && random != nullptr) {
+      expect(rhythm->emu > random->emu, "emu(rhythm-aware) > emu(random)");
+      expect(rhythm->slo_violation_rate <= random->slo_violation_rate,
+             "slo_rate(rhythm-aware) <= slo_rate(random)");
+    }
+    if (failures > 0) {
+      return 1;
+    }
+    std::printf("policy ordering holds\n");
+  }
+  return 0;
+}
