@@ -45,6 +45,8 @@
 
 namespace rhythm {
 
+struct SimArena;
+
 enum class ControllerKind { kNone, kRhythm, kHeracles };
 
 const char* ControllerKindName(ControllerKind kind);
@@ -89,6 +91,14 @@ struct DeploymentConfig {
   // (accounting SLO violations, crash BE losses). Like the observer, a sink
   // must never perturb the run.
   ObsSink* obs_sink = nullptr;
+  // Optional reusable simulation state (src/sim/sim_arena.h, must outlive
+  // the deployment). When set, the deployment runs on the arena's simulator
+  // (Reset() at construction — bit-identical to a fresh one, but the event
+  // queue keeps its capacity) and the LC tail window draws chunk buffers
+  // from the arena's pool. The partitioned cluster engine lends one arena
+  // per group slot so back-to-back epochs reuse memory instead of
+  // reallocating it.
+  SimArena* arena = nullptr;
 };
 
 // Per-pod metric series sampled by the accounting task.
@@ -113,8 +123,8 @@ class Deployment {
   // Advances the simulation `seconds` further.
   void RunFor(double seconds);
 
-  Simulator& sim() { return sim_; }
-  const Simulator& sim() const { return sim_; }
+  Simulator& sim() { return *sim_; }
+  const Simulator& sim() const { return *sim_; }
   LcService& service() { return *service_; }
   const AppSpec& app() const { return app_; }
   int pod_count() const { return app_.pod_count(); }
@@ -207,7 +217,11 @@ class Deployment {
 
   DeploymentConfig config_;
   AppSpec app_;
-  Simulator sim_;
+  // The event engine: own_sim_ unless the config lends an arena, in which
+  // case sim_ points at the arena's (reset) simulator and own_sim_ stays
+  // null.
+  std::unique_ptr<Simulator> own_sim_;
+  Simulator* sim_ = nullptr;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::unique_ptr<LcService> service_;
   std::vector<std::unique_ptr<BeRuntime>> be_runtimes_;

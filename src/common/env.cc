@@ -34,4 +34,9 @@ int DefaultJobCount() {
   return hardware > 0 ? static_cast<int>(hardware) : 1;
 }
 
+int DefaultShardCount() {
+  const int shards = EnvInt("RHYTHM_SHARDS", 0);
+  return shards > 0 ? shards : DefaultJobCount();
+}
+
 }  // namespace rhythm

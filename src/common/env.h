@@ -4,6 +4,10 @@
 //   RHYTHM_FAST=1    fast (CI-scale) mode — benches shrink their sweeps.
 //   RHYTHM_JOBS=N    worker threads for the parallel experiment runner;
 //                    unset or 0 means hardware_concurrency.
+//   RHYTHM_SHARDS=N  machine shards for the partitioned cluster engine
+//                    (intra-trial parallelism); unset or 0 falls back to
+//                    RHYTHM_JOBS, then hardware_concurrency. Results are
+//                    bit-identical at any value.
 //
 // RHYTHM_THRESHOLD_CACHE (a directory for the one-time characterization
 // cache) is consumed by src/cluster/app_thresholds directly.
@@ -27,6 +31,11 @@ bool FastMode();
 // set to a positive value, otherwise std::thread::hardware_concurrency()
 // (floored at 1 when the hardware cannot be queried).
 int DefaultJobCount();
+
+// Shard count for the partitioned cluster engine: RHYTHM_SHARDS when set to
+// a positive value, otherwise DefaultJobCount(). Shard count never changes
+// results, only how machines are spread over worker threads.
+int DefaultShardCount();
 
 }  // namespace rhythm
 

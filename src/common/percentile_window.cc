@@ -7,7 +7,37 @@
 namespace rhythm {
 
 // ---------------------------------------------------------------------------
+// ChunkPool
+
+std::unique_ptr<ChunkPool::Chunk> ChunkPool::Take() {
+  if (free_.empty()) {
+    return nullptr;
+  }
+  std::unique_ptr<Chunk> chunk = std::move(free_.back());
+  free_.pop_back();
+  ++reuses_;
+  return chunk;
+}
+
+void ChunkPool::Put(std::unique_ptr<Chunk> chunk) {
+  chunk->clear();
+  free_.push_back(std::move(chunk));
+}
+
+// ---------------------------------------------------------------------------
 // SortedChunkIndex
+
+SortedChunkIndex::~SortedChunkIndex() {
+  if (pool_ == nullptr) {
+    return;
+  }
+  for (std::unique_ptr<Chunk>& chunk : chunks_) {
+    pool_->Put(std::move(chunk));
+  }
+  for (std::unique_ptr<Chunk>& chunk : free_chunks_) {
+    pool_->Put(std::move(chunk));
+  }
+}
 
 size_t SortedChunkIndex::FindChunk(double value) const {
   size_t lo = 0;
@@ -28,6 +58,13 @@ std::unique_ptr<SortedChunkIndex::Chunk> SortedChunkIndex::TakeChunk() {
     std::unique_ptr<Chunk> chunk = std::move(free_chunks_.back());
     free_chunks_.pop_back();
     return chunk;
+  }
+  if (pool_ != nullptr) {
+    std::unique_ptr<Chunk> chunk = pool_->Take();
+    if (chunk != nullptr) {
+      chunk->reserve(kMaxChunk + 1);
+      return chunk;
+    }
   }
   auto chunk = std::make_unique<Chunk>();
   chunk->reserve(kMaxChunk + 1);

@@ -27,6 +27,32 @@
 
 namespace rhythm {
 
+// A free-list of chunk buffers shared *across* SortedChunkIndex instances,
+// so tearing one window down and building the next (e.g. per-epoch trials
+// in the partitioned cluster engine) reuses buffers instead of returning
+// them to the heap. Single-threaded: a pool must only be shared by indexes
+// that live on the same shard. The pool must outlive every index wired to
+// it — a dying index hands its chunks back.
+class ChunkPool {
+ public:
+  using Chunk = std::vector<double>;
+
+  // A pooled buffer, or null when the pool is empty.
+  std::unique_ptr<Chunk> Take();
+  // Accepts a buffer back; the buffer's capacity is retained, its contents
+  // dropped.
+  void Put(std::unique_ptr<Chunk> chunk);
+
+  size_t size() const { return free_.size(); }
+  // Buffers handed out minus buffers returned that came from the heap —
+  // i.e. how many allocations the pool has absorbed (for tests/benches).
+  uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::vector<std::unique_ptr<Chunk>> free_;
+  uint64_t reuses_ = 0;
+};
+
 // An incrementally ordered multiset of doubles: a vector of sorted chunks,
 // every element of chunk i <= every element of chunk i+1. Insert and erase
 // cost one binary search plus an O(chunk) shift; selecting the k-th order
@@ -35,6 +61,9 @@ namespace rhythm {
 // add/expire/select cycles perform no heap allocation.
 class SortedChunkIndex {
  public:
+  SortedChunkIndex() = default;
+  ~SortedChunkIndex();
+
   // Split threshold: chunks hold at most this many values.
   static constexpr size_t kMaxChunk = 256;
   // Merge hysteresis: a chunk shrinking below kMergeBelow joins a neighbour
@@ -55,6 +84,13 @@ class SortedChunkIndex {
   size_t chunk_count() const { return chunks_.size(); }
   void Clear();
 
+  // Wires a shared buffer pool: TakeChunk draws from it before touching the
+  // heap, and retired chunks (including everything held at destruction) go
+  // back to it. Must be set before the first Insert; the pool must outlive
+  // this index. Pooling only changes where buffers come from — the values
+  // stored and every query answer are bit-identical with or without it.
+  void set_pool(ChunkPool* pool) { pool_ = pool; }
+
  private:
   using Chunk = std::vector<double>;
 
@@ -69,13 +105,22 @@ class SortedChunkIndex {
 
   std::vector<std::unique_ptr<Chunk>> chunks_;
   std::vector<std::unique_ptr<Chunk>> free_chunks_;
+  ChunkPool* pool_ = nullptr;
   size_t size_ = 0;
 };
 
 class PercentileWindow {
  public:
-  // window: horizon in seconds over which samples are retained.
-  explicit PercentileWindow(double window_seconds = 10.0) : window_(window_seconds) {}
+  // window: horizon in seconds over which samples are retained. `pool`, when
+  // non-null, backs the chunk index with a shared buffer pool (see
+  // ChunkPool; the pool must outlive the window).
+  explicit PercentileWindow(double window_seconds = 10.0,
+                            ChunkPool* pool = nullptr)
+      : window_(window_seconds) {
+    if (pool != nullptr) {
+      index_.set_pool(pool);
+    }
+  }
 
   // Records a latency sample observed at simulated time `now` (seconds).
   void Add(double now, double latency);

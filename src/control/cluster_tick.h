@@ -1,0 +1,52 @@
+// Cluster tick boundary: what a top-level controller sees at the partitioned
+// engine's conservative-window barrier.
+//
+// Between barriers, machine-local controllers act independently on their own
+// islands; at every window boundary (aligned to MachineAgent::kPeriodSeconds,
+// the controller tick) the engine pauses all shards and assembles this
+// snapshot by merging island state in slot order on the coordinating thread.
+// A ClusterTickHook is therefore the seam for top-controller logic — global
+// admission, load shedding, placement feedback — that needs a consistent
+// cluster-wide view.
+//
+// Determinism contract: the snapshot is assembled from plain counter reads
+// (no RNG, no mutation, no quantile queries that could compact windows) and
+// the merge order is logical slot order, never physical shard order — so a
+// hook observes bit-identical snapshots at any RHYTHM_SHARDS value.
+
+#ifndef RHYTHM_SRC_CONTROL_CLUSTER_TICK_H_
+#define RHYTHM_SRC_CONTROL_CLUSTER_TICK_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace rhythm {
+
+struct ClusterTickSnapshot {
+  // Cluster timeline: epoch * (warmup_s + measure_s) + window_end_s.
+  double time_s = 0.0;
+  // Placement epoch this window belongs to, and the window's end on the
+  // epoch-local clock (every running group rests exactly here).
+  int epoch = 0;
+  double window_end_s = 0.0;
+  // Windows completed so far across the whole cluster run (1-based at the
+  // first hook firing).
+  uint64_t window = 0;
+  // Placed groups currently running in this epoch.
+  int groups_running = 0;
+  // Merged (slot-order summed) counters across running groups, cumulative
+  // since each group's trial began — warmup included, exactly what the
+  // groups' own counters say at the barrier.
+  uint64_t sla_violations = 0;
+  uint64_t be_kills = 0;
+  uint64_t slack_violation_ticks = 0;
+  uint64_t crashes = 0;
+};
+
+// Fired on the coordinating thread after every window's barrier, while all
+// shards rest. The hook must treat the cluster as read-only.
+using ClusterTickHook = std::function<void(const ClusterTickSnapshot&)>;
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_CONTROL_CLUSTER_TICK_H_

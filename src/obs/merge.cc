@@ -1,0 +1,57 @@
+#include "src/obs/merge.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+
+namespace rhythm {
+
+namespace {
+
+struct Head {
+  double time_s;
+  size_t stream;
+  size_t offset;
+};
+
+// Min-heap order: earliest time first, lowest stream index breaking ties.
+// (std::priority_queue is a max-heap, so the comparator is reversed.)
+struct HeadAfter {
+  bool operator()(const Head& a, const Head& b) const {
+    if (a.time_s != b.time_s) {
+      return a.time_s > b.time_s;
+    }
+    return a.stream > b.stream;
+  }
+};
+
+}  // namespace
+
+std::vector<ObsEvent> MergeEventStreams(
+    const std::vector<std::vector<ObsEvent>>& streams) {
+  size_t total = 0;
+  for (const std::vector<ObsEvent>& stream : streams) {
+    total += stream.size();
+  }
+  std::vector<ObsEvent> merged;
+  merged.reserve(total);
+
+  std::priority_queue<Head, std::vector<Head>, HeadAfter> heads;
+  for (size_t s = 0; s < streams.size(); ++s) {
+    if (!streams[s].empty()) {
+      heads.push(Head{streams[s][0].time_s, s, 0});
+    }
+  }
+  while (!heads.empty()) {
+    const Head head = heads.top();
+    heads.pop();
+    merged.push_back(streams[head.stream][head.offset]);
+    const size_t next = head.offset + 1;
+    if (next < streams[head.stream].size()) {
+      heads.push(Head{streams[head.stream][next].time_s, head.stream, next});
+    }
+  }
+  return merged;
+}
+
+}  // namespace rhythm

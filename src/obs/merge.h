@@ -1,0 +1,29 @@
+// Deterministic merge of per-shard / per-slot event streams.
+//
+// The partitioned cluster engine gives every logical slot its own event
+// buffer — written only by whichever shard happens to own the slot, so
+// emission is contention-free — and reconciles them after the run with
+// MergeEventStreams. The merge is a pure function of the streams' *contents*
+// and their order in the input vector: time-sorted, ties broken by stream
+// index then intra-stream order. Callers pass streams in slot order, so the
+// merged sequence is bit-identical at any shard count — the physical thread
+// that wrote a buffer never influences the result.
+
+#ifndef RHYTHM_SRC_OBS_MERGE_H_
+#define RHYTHM_SRC_OBS_MERGE_H_
+
+#include <vector>
+
+#include "src/obs/obs_event.h"
+
+namespace rhythm {
+
+// K-way stable merge. Each input stream must be sorted by time_s
+// (non-decreasing); events with equal timestamps keep stream order (lower
+// input index first) and, within one stream, emission order.
+std::vector<ObsEvent> MergeEventStreams(
+    const std::vector<std::vector<ObsEvent>>& streams);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_OBS_MERGE_H_

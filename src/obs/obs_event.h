@@ -84,6 +84,11 @@ enum class ObsPlacementOp : uint8_t {
   kGroupSolo = 2,      // group landed with BEs forbidden (threshold guard).
   kGroupUnplaced = 3,  // no machines left for this group.
   kChurn = 4,          // assignment changed vs the previous epoch.
+  // Conservative-window barrier sample from the partitioned cluster engine
+  // (opt-in via ClusterRunRequest::record_tick_events). One event per placed
+  // group per window: a = group index, b = SLA violations so far, c = BE
+  // kills so far, d = the group's local clock at the barrier.
+  kTickBarrier = 5,
 };
 
 // One recorded event. Fixed 48-byte POD; `a..d` are payload fields whose
@@ -216,6 +221,8 @@ inline const char* ObsPlacementOpName(ObsPlacementOp op) {
       return "unplaced";
     case ObsPlacementOp::kChurn:
       return "churn";
+    case ObsPlacementOp::kTickBarrier:
+      return "tick";
   }
   return "?";
 }

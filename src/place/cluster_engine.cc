@@ -1,12 +1,19 @@
 #include "src/place/cluster_engine.h"
 
 #include <algorithm>
+#include <exception>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "src/common/env.h"
+#include "src/common/shard_pool.h"
 #include "src/control/machine_agent.h"
 #include "src/obs/exporters.h"
+#include "src/obs/merge.h"
+#include "src/runner/trial.h"
+#include "src/sim/sharded_engine.h"
 
 namespace rhythm {
 
@@ -240,6 +247,141 @@ RunRequest TrialRequest(const ClusterRunRequest& request,
   return trial;
 }
 
+// Phase 2 executor: one placed request's group trials on the partitioned
+// engine. Each group index owns a logical slot whose arena (simulator +
+// chunk pool) persists across epochs; every epoch rebuilds the slot's trial,
+// the engine advances all of them in conservative windows between barriers,
+// and summaries are harvested in slot order. Fills
+// placed.outcomes[...].summary and (with record_tick_events) folds the
+// per-slot barrier event streams into placed.events.
+void SimulatePlaced(const ClusterRunRequest& request, PlacedRequest& placed,
+                    ShardedEngine& engine) {
+  const int groups_per_epoch = request.spec.TotalGroups();
+  const double epoch_span_s = request.warmup_s + request.measure_s;
+
+  struct GroupSlot {
+    SimArena arena;
+    RunRequest trial_request;
+    std::unique_ptr<Trial> trial;
+    size_t outcome = 0;  // into placed.outcomes (epoch-major).
+    std::exception_ptr error;
+    std::vector<ObsEvent> tick_events;  // written only by the owning shard.
+  };
+  std::vector<GroupSlot> slots(static_cast<size_t>(groups_per_epoch));
+
+  for (int epoch = 0; epoch < request.epochs; ++epoch) {
+    // Build this epoch's trials serially in slot order, so validation
+    // errors surface lowest slot first — the flat runner's first-error
+    // order.
+    std::vector<ShardUnit> units;
+    units.reserve(slots.size());
+    for (int g = 0; g < groups_per_epoch; ++g) {
+      GroupSlot& slot = slots[g];
+      slot.trial.reset();  // the old trial references the old request.
+      const size_t index =
+          static_cast<size_t>(epoch) * static_cast<size_t>(groups_per_epoch) + g;
+      const GroupOutcome& outcome = placed.outcomes[index];
+      if (!outcome.placed) {
+        continue;
+      }
+      slot.outcome = index;
+      slot.trial_request = TrialRequest(request, outcome, groups_per_epoch);
+      slot.trial = std::make_unique<Trial>(slot.trial_request, TrialHooks{},
+                                           &slot.arena);
+      slot.trial->Start();
+
+      ShardUnit unit;
+      unit.slot = g;
+      unit.weight = static_cast<double>(outcome.pods);
+      Trial* trial = slot.trial.get();
+      GroupSlot* home = &slot;
+      const int group = outcome.group;
+      const int first_machine = outcome.first_machine;
+      const double epoch_base_s = epoch * epoch_span_s;
+      const bool ticks = request.record_tick_events;
+      unit.advance = [trial, home, group, first_machine, epoch_base_s,
+                      ticks](double end_time) {
+        if (home->error != nullptr) {
+          return;  // failed earlier; hold the island at its failure point.
+        }
+        try {
+          trial->AdvanceTo(end_time);
+          if (ticks) {
+            // Plain counter reads only — emission must not perturb the run.
+            ObsEvent event;
+            event.time_s = epoch_base_s + end_time;
+            event.machine = first_machine;
+            event.kind = ObsKind::kPlacement;
+            event.code = static_cast<uint8_t>(ObsPlacementOp::kTickBarrier);
+            event.a = static_cast<double>(group);
+            event.b =
+                static_cast<double>(trial->deployment().TotalSlaViolations());
+            event.c = static_cast<double>(trial->deployment().TotalBeKills());
+            event.d = trial->now();
+            home->tick_events.push_back(event);
+          }
+        } catch (...) {
+          home->error = std::current_exception();
+        }
+      };
+      units.push_back(std::move(unit));
+    }
+
+    engine.Advance(
+        units, 0.0, epoch_span_s, MachineAgent::kPeriodSeconds,
+        [&](double window_end) {
+          // First-error propagation, lowest slot first, checked while every
+          // shard rests at the barrier.
+          for (GroupSlot& slot : slots) {
+            if (slot.error != nullptr) {
+              std::rethrow_exception(slot.error);
+            }
+          }
+          if (request.on_tick) {
+            ClusterTickSnapshot snap;
+            snap.time_s = epoch * epoch_span_s + window_end;
+            snap.epoch = epoch;
+            snap.window_end_s = window_end;
+            snap.window = engine.windows_run();
+            for (const GroupSlot& slot : slots) {  // slot-order merge.
+              if (slot.trial == nullptr) {
+                continue;
+              }
+              const Deployment& deployment = slot.trial->deployment();
+              ++snap.groups_running;
+              snap.sla_violations += deployment.TotalSlaViolations();
+              snap.be_kills += deployment.TotalBeKills();
+              snap.slack_violation_ticks += deployment.slack_violation_ticks();
+              snap.crashes += deployment.crash_count();
+            }
+            request.on_tick(snap);
+          }
+        });
+
+    // Harvest in slot order. Trials stay alive until the next epoch rebuilds
+    // them; the last epoch's die with `slots`.
+    for (GroupSlot& slot : slots) {
+      if (slot.trial != nullptr) {
+        placed.outcomes[slot.outcome].summary = slot.trial->Finish();
+      }
+    }
+  }
+
+  if (request.record_tick_events) {
+    // Slot streams in slot order, placement events last — equal-timestamp
+    // ties put an epoch's final barrier ticks before the next epoch's
+    // placement events, and the merged timeline is independent of the shard
+    // layout.
+    std::vector<std::vector<ObsEvent>> streams;
+    streams.reserve(slots.size() + 1);
+    for (GroupSlot& slot : slots) {
+      streams.push_back(std::move(slot.tick_events));
+    }
+    streams.push_back(std::move(placed.events));
+    placed.events = MergeEventStreams(streams);
+  }
+}
+
 ClusterSummary SummarizeCluster(const ClusterRunRequest& request,
                                 PlacedRequest placed) {
   const int groups_per_epoch = request.spec.TotalGroups();
@@ -375,41 +517,35 @@ uint64_t DeriveGroupSeed(uint64_t base_seed, int epoch, int groups_per_epoch,
                              static_cast<uint64_t>(group));
 }
 
+uint64_t DeriveShardSeed(uint64_t base_seed, uint64_t slot) {
+  // The salt (SplitMix64's first mixing multiplier; any fixed odd constant
+  // works) moves the base into a family the unsalted trial/group streams
+  // never draw from.
+  return DeriveTrialSeed(base_seed ^ 0xbf58476d1ce4e5b9ULL, slot);
+}
+
 std::vector<ClusterSummary> RunClusterPlan(const ClusterRunPlan& plan,
                                            const RunnerOptions& options) {
   for (const ClusterRunRequest& request : plan.requests) {
     ValidateRequest(request);
   }
 
-  // Phase 1: place everything (serial, pure) and assemble one flat RunPlan.
-  struct TrialRef {
-    size_t request;
-    size_t outcome;
-  };
+  // Phase 1: place everything (serial, pure).
   std::vector<PlacedRequest> placements;
   placements.reserve(plan.requests.size());
-  RunPlan trials;
-  std::vector<TrialRef> refs;
-  for (size_t r = 0; r < plan.requests.size(); ++r) {
-    const ClusterRunRequest& request = plan.requests[r];
+  for (const ClusterRunRequest& request : plan.requests) {
     placements.push_back(PlaceRequest(request));
-    const int groups_per_epoch = request.spec.TotalGroups();
-    for (size_t o = 0; o < placements.back().outcomes.size(); ++o) {
-      const GroupOutcome& outcome = placements.back().outcomes[o];
-      if (!outcome.placed) {
-        continue;
-      }
-      trials.Add(TrialRequest(request, outcome, groups_per_epoch));
-      refs.push_back(TrialRef{r, o});
-    }
   }
 
-  // Phase 2: one ParallelRunner over every group trial of the whole plan —
-  // plan-order results make the rollup independent of the worker count.
-  ParallelRunner runner(options);
-  const std::vector<RunSummary> results = runner.RunAll(trials);
-  for (size_t i = 0; i < refs.size(); ++i) {
-    placements[refs[i].request].outcomes[refs[i].outcome].summary = results[i];
+  // Phase 2: the partitioned engine. One shard pool serves the whole plan;
+  // each request's epochs run their placed groups concurrently between
+  // conservative-window barriers. Shard count is a performance knob only —
+  // summaries are bit-identical at any value.
+  const int shards = options.shards > 0 ? options.shards : DefaultShardCount();
+  ShardPool pool(shards);
+  ShardedEngine engine(&pool);
+  for (size_t r = 0; r < plan.requests.size(); ++r) {
+    SimulatePlaced(plan.requests[r], placements[r], engine);
   }
 
   // Phase 3: roll up.

@@ -5,12 +5,18 @@
 // placement churn.
 //
 // Execution model: placement is computed serially (a pure function of
-// spec x policy x seed x epoch), then every placed group across every epoch
-// of every request becomes one RunRequest in a single RunPlan executed by
-// one ParallelRunner — so a whole policy comparison inherits the runner's
-// guarantee of bit-identical results at any worker count. Placement
-// decisions are emitted as ObsKind::kPlacement events into a Recording
-// auditable with tools/obs_query.
+// spec x policy x seed x epoch), then each epoch's placed groups run
+// *concurrently inside the trial* on the partitioned cluster engine
+// (src/sim/sharded_engine.h): every group is a simulation island pinned to a
+// logical slot, islands are weight-balanced across RunnerOptions::shards
+// worker shards, and all of them advance in lockstep conservative time
+// windows aligned to the controller tick, with a full barrier between
+// windows. Because every island's RNG stream and trial seed derive from its
+// logical slot (DeriveGroupSeed / DeriveShardSeed) — never from the physical
+// shard — and barrier merges run in slot order, results are bit-identical at
+// any shard count, including 1. Placement decisions are emitted as
+// ObsKind::kPlacement events into a Recording auditable with
+// tools/obs_query; barrier snapshots feed the optional ClusterTickHook.
 
 #ifndef RHYTHM_SRC_PLACE_CLUSTER_ENGINE_H_
 #define RHYTHM_SRC_PLACE_CLUSTER_ENGINE_H_
@@ -19,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/control/cluster_tick.h"
 #include "src/place/cluster_spec.h"
 #include "src/place/placement_policy.h"
 #include "src/runner/runner.h"
@@ -55,6 +62,14 @@ struct ClusterRunRequest {
   // named here. Group trials themselves run unobserved (their summaries
   // carry the metrics).
   ObsOptions obs;
+  // Top-controller seam: fired on the coordinating thread after every
+  // conservative-window barrier with a slot-order-merged snapshot of the
+  // running groups. Must be read-only; see src/control/cluster_tick.h.
+  ClusterTickHook on_tick;
+  // Opt-in per-group barrier events (ObsPlacementOp::kTickBarrier) merged
+  // into the recording. Off by default: a long run emits one event per
+  // placed group per 2 s window.
+  bool record_tick_events = false;
   std::string label;
 };
 
@@ -142,12 +157,21 @@ struct ClusterSummary {
 uint64_t DeriveGroupSeed(uint64_t base_seed, int epoch, int groups_per_epoch,
                          int group);
 
+// Seed for slot-local engine streams (synthetic spec generation, per-slot
+// jitter sources): a stream family separated from DeriveTrialSeed /
+// DeriveGroupSeed by salting the base seed before derivation, so engine-side
+// draws can never collide with a trial's stream. Keyed by logical slot,
+// never by physical shard — any RHYTHM_SHARDS value sees identical streams.
+uint64_t DeriveShardSeed(uint64_t base_seed, uint64_t slot);
+
 // Executes one cluster request / a batch of them. Plan results come back in
-// plan order, and all group trials across the whole plan run through a
-// single ParallelRunner — bit-identical at any worker count. Malformed
-// requests (unknown policy, empty demand, non-positive windows or epochs,
-// policy decisions that skip a group or overdraw the BE quota) throw
-// std::invalid_argument.
+// plan order; every request runs on one shared shard pool sized by
+// RunnerOptions::shards (<= 0: RHYTHM_SHARDS, then the jobs resolution) —
+// bit-identical at any shard count. Malformed requests (unknown policy,
+// empty demand, non-positive windows or epochs, policy decisions that skip
+// a group or overdraw the BE quota) throw std::invalid_argument; trial
+// errors propagate lowest slot first, matching the flat runner's
+// first-error contract.
 ClusterSummary RunCluster(const ClusterRunRequest& request,
                           const RunnerOptions& options = {});
 std::vector<ClusterSummary> RunClusterPlan(const ClusterRunPlan& plan,

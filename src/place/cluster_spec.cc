@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/rng.h"
+#include "src/place/cluster_engine.h"
+
 namespace rhythm {
 
 int ClusterSpec::TotalGroups() const {
@@ -122,6 +125,68 @@ ClusterSpec DefaultEvalClusterSpec(int machines) {
       {BeJobKind::kLstm, 1.0},
       {BeJobKind::kImageClassify, 1.0},
   };
+  return spec;
+}
+
+ClusterSpec SyntheticClusterSpec(int machines, uint64_t seed) {
+  ClusterSpec spec;
+  spec.machines = std::max(1, machines);
+
+  // Demand archetypes, weighted like a trace-style mix: mostly moderate web
+  // and cache tiers, a tolerant analytics tier, and a minority of tight
+  // high-load groups that punish careless packing.
+  struct Archetype {
+    LcAppKind app;
+    double weight;
+    double load_lo;
+    double load_hi;
+  };
+  const Archetype kMix[] = {
+      {LcAppKind::kEcommerce, 3.0, 0.35, 0.55},
+      {LcAppKind::kRedis, 3.0, 0.50, 0.70},
+      {LcAppKind::kSolr, 2.0, 0.25, 0.45},
+      {LcAppKind::kElgg, 1.0, 0.45, 0.60},
+      {LcAppKind::kElasticsearch, 1.0, 0.70, 0.85},
+  };
+  double total_weight = 0.0;
+  for (const Archetype& archetype : kMix) {
+    total_weight += archetype.weight;
+  }
+
+  // Engine-side stream family (never collides with trial seeds): stream 0
+  // drives the demand draw, stream 1 the backlog weights.
+  Rng demand_rng(DeriveShardSeed(seed, 0));
+  // Mild oversubscription (~5%) so placement order matters at every size.
+  const int target_pods = spec.machines + std::max(1, spec.machines / 20);
+  int pods = 0;
+  while (pods < target_pods) {
+    double pick = demand_rng.Uniform(0.0, total_weight);
+    const Archetype* chosen = &kMix[0];
+    for (const Archetype& archetype : kMix) {
+      chosen = &archetype;
+      pick -= archetype.weight;
+      if (pick < 0.0) {
+        break;
+      }
+    }
+    // Loads rounded to 0.01 keep specs printable without changing the draw
+    // count.
+    const double load = std::round(demand_rng.Uniform(chosen->load_lo,
+                                                      chosen->load_hi) *
+                                   100.0) /
+                        100.0;
+    spec.lc_demand.push_back(LcGroupDemand{chosen->app, 1, load});
+    pods += MakeApp(chosen->app).pod_count();
+  }
+
+  Rng backlog_rng(DeriveShardSeed(seed, 1));
+  const BeJobKind kJobs[] = {BeJobKind::kStreamDramBig, BeJobKind::kStreamLlcBig,
+                             BeJobKind::kCpuStress,     BeJobKind::kWordcount,
+                             BeJobKind::kLstm,          BeJobKind::kImageClassify};
+  for (BeJobKind job : kJobs) {
+    spec.be_backlog.push_back(
+        BeBacklogShare{job, backlog_rng.Uniform(0.5, 2.5)});
+  }
   return spec;
 }
 

@@ -72,6 +72,15 @@ std::vector<BeJobKind> ExpandBeQuota(const ClusterSpec& spec, int slots);
 // run against this spec.
 ClusterSpec DefaultEvalClusterSpec(int machines = 32);
 
+// Datacenter-scale synthetic population for the partitioned engine's
+// 1000+-machine runs: Alibaba-trace-style demand (many moderate-load web /
+// cache groups, a minority of tight high-load ones) generated from
+// DeriveShardSeed(seed, ...) streams, sized so the expanded groups demand
+// roughly `machines` pods with mild oversubscription. Pure function of
+// (machines, seed): the same arguments always yield the same spec, at any
+// shard count.
+ClusterSpec SyntheticClusterSpec(int machines, uint64_t seed = 1);
+
 }  // namespace rhythm
 
 #endif  // RHYTHM_SRC_PLACE_CLUSTER_SPEC_H_

@@ -2,170 +2,43 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
 #include <exception>
-#include <mutex>
-#include <stdexcept>
-#include <string>
-#include <thread>
+#include <vector>
 
-#include "src/cluster/app_thresholds.h"
 #include "src/common/env.h"
-#include "src/fault/spiked_load_profile.h"
-#include "src/obs/exporters.h"
-#include "src/obs/flight_recorder.h"
-#include "src/verify/invariant_monitor.h"
+#include "src/common/shard_pool.h"
+#include "src/runner/trial.h"
 
 namespace rhythm {
-
-namespace {
-
-void Validate(const RunRequest& request) {
-  if (request.warmup_s < 0.0 || !std::isfinite(request.warmup_s)) {
-    throw std::invalid_argument("RunRequest: warmup_s must be finite and >= 0");
-  }
-  if (request.measure_s <= 0.0 || !std::isfinite(request.measure_s)) {
-    throw std::invalid_argument("RunRequest: measure_s must be finite and > 0");
-  }
-  if (request.profile == nullptr && (request.load < 0.0 || !std::isfinite(request.load))) {
-    throw std::invalid_argument("RunRequest: load must be finite and >= 0");
-  }
-  if (request.controller == ControllerKind::kRhythm && !request.thresholds.empty()) {
-    const int pods = MakeApp(request.app).pod_count();
-    if (static_cast<int>(request.thresholds.size()) != pods) {
-      throw std::invalid_argument("RunRequest: " + std::string(LcAppKindName(request.app)) +
-                                  " has " + std::to_string(pods) + " pods but " +
-                                  std::to_string(request.thresholds.size()) +
-                                  " thresholds were given");
-    }
-  }
-  // Reject malformed fault events here, with the request's context, rather
-  // than letting the FaultInjector throw from deep inside deployment setup.
-  if (request.faults != nullptr) {
-    const int pods = MakeApp(request.app).pod_count();
-    for (const FaultEvent& event : request.faults->events) {
-      const std::string error = FaultEventError(event, pods);
-      if (!error.empty()) {
-        throw std::invalid_argument("RunRequest: " + error);
-      }
-    }
-  }
-}
-
-}  // namespace
 
 RunSummary Run(const RunRequest& request) { return Run(request, TrialHooks{}); }
 
 RunSummary Run(const RunRequest& request, const TrialHooks& hooks) {
-  Validate(request);
-
-  DeploymentConfig config;
-  config.app_kind = request.app;
-  config.be_kind = request.be;
-  config.custom_be = request.custom_be.get();
-  config.controller = request.controller;
-  config.hardening = request.hardening;
-  config.seed = request.seed;
-  config.faults = request.faults.get();
-  if (request.controller == ControllerKind::kRhythm) {
-    config.thresholds = request.thresholds.empty() ? CachedAppThresholds(request.app).pods
-                                                   : request.thresholds;
-  }
-
-  // Invariant monitor and flight recorder, attached as read-only observers
-  // when requested; both at once ride through an observer chain (monitor
-  // first, preserving its standalone hook order).
-  std::unique_ptr<InvariantMonitor> monitor;
-  if (request.verify.mode != InvariantMode::kOff) {
-    monitor = std::make_unique<InvariantMonitor>(request.verify);
-    config.observer = monitor.get();
-  }
-  std::unique_ptr<FlightRecorder> recorder;
-  DeploymentObserverChain observer_chain;
-  if (request.obs.enabled) {
-    recorder = std::make_unique<FlightRecorder>(request.obs);
-    config.obs_sink = recorder.get();
-    if (monitor != nullptr) {
-      observer_chain.Add(monitor.get());
-      observer_chain.Add(recorder.get());
-      config.observer = &observer_chain;
-    } else {
-      config.observer = recorder.get();
-    }
-  }
-
-  // Resolve the load profile, layering flash-crowd spikes from the fault
-  // schedule on top — previously every caller had to remember this wrap.
-  const ConstantLoad constant(request.load);
-  const LoadProfile* profile =
-      request.profile != nullptr ? request.profile.get() : &constant;
-  std::unique_ptr<SpikedLoadProfile> spiked;
-  if (request.faults != nullptr && request.faults->HasKind(FaultKind::kLoadSpike)) {
-    spiked = std::make_unique<SpikedLoadProfile>(profile, *request.faults);
-    profile = spiked.get();
-  }
-
-  Deployment deployment(config);
-  deployment.Start(profile);
-  if (recorder != nullptr) {
-    recorder->ScheduleSnapshots(deployment);
-  }
-  if (hooks.after_start) {
-    hooks.after_start(deployment);
-  }
-  deployment.RunFor(request.warmup_s);
-  const double t0 = deployment.sim().Now();
-  const uint64_t kills_before = deployment.TotalBeKills();
-  const uint64_t violations_before = deployment.TotalSlaViolations();
-  deployment.RunFor(request.measure_s);
-  const double t1 = deployment.sim().Now();
-  if (monitor != nullptr) {
-    monitor->Finalize(deployment);  // throws in fail-fast mode on a breach.
-  }
-  RunSummary summary = Summarize(deployment, t0, t1, kills_before, violations_before);
-  if (monitor != nullptr) {
-    summary.invariant_violations = monitor->violations();
-    summary.invariant_violations_total = monitor->total_violations();
-  }
-  if (hooks.inspect) {
-    hooks.inspect(deployment, summary);
-  }
-  if (recorder != nullptr) {
-    RecordingMeta meta;
-    meta.app = LcAppKindName(request.app);
-    meta.be = request.custom_be != nullptr ? request.custom_be->name
-                                           : BeJobKindName(request.be);
-    meta.controller = ControllerKindName(request.controller);
-    meta.seed = request.seed;
-    meta.sla_ms = deployment.sla_ms();
-    meta.controller_period_s = MachineAgent::kPeriodSeconds;
-    for (int pod = 0; pod < deployment.pod_count(); ++pod) {
-      meta.pods.push_back(deployment.app().components[pod].name);
-    }
-    recorder->set_meta(meta);
-    const Recording recording = recorder->TakeRecording();
-    if (!request.obs.export_jsonl.empty() &&
-        !WriteJsonl(recording, request.obs.export_jsonl)) {
-      throw std::runtime_error("Run: cannot write recording to " + request.obs.export_jsonl);
-    }
-    if (!request.obs.export_perfetto.empty() &&
-        !WritePerfettoTrace(recording, request.obs.export_perfetto)) {
-      throw std::runtime_error("Run: cannot write trace to " + request.obs.export_perfetto);
-    }
-    if (!request.obs.export_metrics_csv.empty() &&
-        !WriteMetricsCsv(recording, request.obs.export_metrics_csv)) {
-      throw std::runtime_error("Run: cannot write metrics to " +
-                               request.obs.export_metrics_csv);
-    }
-    if (hooks.on_recording) {
-      hooks.on_recording(recording);
-    }
-  }
-  return summary;
+  // The whole trial lifecycle lives in Trial (src/runner/trial.h) so the
+  // partitioned cluster engine can drive the identical code path window by
+  // window; this is the single-call form.
+  Trial trial(request, hooks);
+  trial.Start();
+  trial.AdvanceTo(trial.end_time());
+  return trial.Finish();
 }
 
 ParallelRunner::ParallelRunner(const RunnerOptions& options)
     : jobs_(options.jobs > 0 ? options.jobs : DefaultJobCount()) {}
+
+namespace {
+
+// Trials a worker claims per atomic increment. Plans of a few long trials
+// get chunk 1 (maximum balance, identical to pre-chunking claiming);
+// thousand-entry plans of tiny group trials get bigger chunks so workers
+// are not serialized on the shared counter — with ~8 chunks per worker the
+// tail imbalance stays under ~1/8 of a worker's share.
+size_t ChunkSizeFor(size_t trials, int workers) {
+  const size_t chunk = trials / (static_cast<size_t>(workers) * 8);
+  return std::clamp<size_t>(chunk, 1, 32);
+}
+
+}  // namespace
 
 std::vector<RunSummary> ParallelRunner::RunAll(const RunPlan& plan) const {
   const size_t trials = plan.size();
@@ -182,38 +55,38 @@ std::vector<RunSummary> ParallelRunner::RunAll(const RunPlan& plan) const {
     return results;
   }
 
+  const size_t chunk = ChunkSizeFor(trials, workers);
   std::atomic<size_t> next{0};
   // Lowest plan index that failed so far; trials past it are not started
   // (those already in flight finish), and its exception is rethrown.
   std::atomic<size_t> first_error{trials};
   std::vector<std::exception_ptr> error_by_trial(trials);
 
-  const auto worker = [&] {
+  ShardPool pool(workers);
+  pool.RunPhase([&](int) {
     for (;;) {
-      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= trials || i >= first_error.load(std::memory_order_acquire)) {
+      const size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= trials) {
         return;
       }
-      try {
-        results[i] = Run(plan.requests[i]);
-      } catch (...) {
-        error_by_trial[i] = std::current_exception();
-        size_t expected = first_error.load(std::memory_order_acquire);
-        while (i < expected &&
-               !first_error.compare_exchange_weak(expected, i, std::memory_order_acq_rel)) {
+      const size_t end = std::min(begin + chunk, trials);
+      for (size_t i = begin; i < end; ++i) {
+        if (i >= first_error.load(std::memory_order_acquire)) {
+          return;
+        }
+        try {
+          results[i] = Run(plan.requests[i]);
+        } catch (...) {
+          error_by_trial[i] = std::current_exception();
+          size_t expected = first_error.load(std::memory_order_acquire);
+          while (i < expected &&
+                 !first_error.compare_exchange_weak(expected, i,
+                                                    std::memory_order_acq_rel)) {
+          }
         }
       }
     }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back(worker);
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
+  });
 
   const size_t failed = first_error.load(std::memory_order_acquire);
   if (failed < trials) {

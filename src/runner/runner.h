@@ -54,6 +54,11 @@ RunSummary Run(const RunRequest& request, const TrialHooks& hooks);
 struct RunnerOptions {
   // Worker threads; <= 0 means RHYTHM_JOBS, else hardware_concurrency.
   int jobs = 0;
+  // Machine shards for the partitioned cluster engine (RunClusterPlan):
+  // <= 0 means RHYTHM_SHARDS, then the jobs resolution above. Shard count
+  // is a performance knob only — cluster results are bit-identical at any
+  // value. Ignored by ParallelRunner::RunAll, which shards across trials.
+  int shards = 0;
 };
 
 class ParallelRunner {

@@ -1,0 +1,37 @@
+// SimArena: the reusable per-slot simulation state of the partitioned
+// cluster engine. A slot (one machine group's home in the shard layout)
+// runs one trial per epoch; instead of reallocating the event queue and the
+// tail window's chunk buffers every epoch, the slot keeps this arena alive
+// and each new trial resets and reuses it:
+//
+//   * `sim` — the discrete-event engine. Reset() drops events and restarts
+//     the clock/sequence counters exactly as a fresh Simulator would, but
+//     the priority queue's backing vector keeps its capacity.
+//   * `chunk_pool` — buffer free-list for the tail-latency window's
+//     SortedChunkIndex (src/common/percentile_window.h); chunks retired by
+//     epoch e's window feed epoch e+1's.
+//
+// Reuse never changes results: Reset() restores the simulator's observable
+// state bit-exactly, and pooled chunks only recycle capacity. The arena is
+// single-threaded — it belongs to one shard slot and must outlive any
+// deployment wired to it.
+
+#ifndef RHYTHM_SRC_SIM_SIM_ARENA_H_
+#define RHYTHM_SRC_SIM_SIM_ARENA_H_
+
+#include "src/common/percentile_window.h"
+#include "src/sim/simulator.h"
+
+namespace rhythm {
+
+struct SimArena {
+  Simulator sim;
+  ChunkPool chunk_pool;
+
+  // Readies the arena for the next trial. Pooled chunks stay pooled.
+  void Reset() { sim.Reset(); }
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_SIM_SIM_ARENA_H_

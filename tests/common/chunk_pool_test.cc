@@ -1,0 +1,86 @@
+// ChunkPool and pooled SortedChunkIndex/PercentileWindow: buffers recycle
+// across instances, and pooling is invisible in every query answer — the
+// partitioned engine's per-slot memory bound rests on both properties.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/percentile_window.h"
+#include "src/common/rng.h"
+
+namespace rhythm {
+namespace {
+
+TEST(ChunkPoolTest, TakeReturnsNullWhenEmptyAndRecyclesPuts) {
+  ChunkPool pool;
+  EXPECT_EQ(pool.Take(), nullptr);
+  EXPECT_EQ(pool.size(), 0u);
+
+  auto chunk = std::make_unique<ChunkPool::Chunk>();
+  chunk->assign({1.0, 2.0, 3.0});
+  const double* data = chunk->data();
+  pool.Put(std::move(chunk));
+  EXPECT_EQ(pool.size(), 1u);
+
+  auto back = pool.Take();
+  ASSERT_NE(back, nullptr);
+  EXPECT_TRUE(back->empty());          // contents dropped...
+  EXPECT_EQ(back->data(), data);       // ...capacity (same buffer) retained.
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.reuses(), 1u);
+}
+
+TEST(ChunkPoolTest, DyingIndexHandsChunksBack) {
+  ChunkPool pool;
+  {
+    SortedChunkIndex index;
+    index.set_pool(&pool);
+    for (int i = 0; i < 2000; ++i) {
+      index.Insert(static_cast<double>(i % 97));
+    }
+    EXPECT_GT(index.chunk_count(), 1u);
+  }
+  // Everything the index held came back to the pool at destruction.
+  EXPECT_GT(pool.size(), 1u);
+
+  // A successor index reuses them instead of allocating.
+  SortedChunkIndex next;
+  next.set_pool(&pool);
+  for (int i = 0; i < 2000; ++i) {
+    next.Insert(static_cast<double>(i % 89));
+  }
+  EXPECT_GT(pool.reuses(), 0u);
+}
+
+TEST(ChunkPoolTest, PooledWindowIsBitIdenticalToFresh) {
+  // The same sample stream through a pooled window — including one whose
+  // pool is warm from a previous window's retirement — answers every
+  // quantile query with the exact same doubles as an unpooled window.
+  ChunkPool pool;
+  {
+    PercentileWindow warmup(5.0, &pool);
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+      warmup.Add(i * 0.01, rng.LognormalMean(10.0, 0.8));
+    }
+  }
+  EXPECT_GT(pool.size(), 0u);  // warm pool.
+
+  PercentileWindow plain(5.0);
+  PercentileWindow pooled(5.0, &pool);
+  Rng rng_a(42), rng_b(42);
+  for (int i = 0; i < 20000; ++i) {
+    const double now = i * 0.003;
+    plain.Add(now, rng_a.LognormalMean(10.0, 0.8));
+    pooled.Add(now, rng_b.LognormalMean(10.0, 0.8));
+    if (i % 37 == 0) {
+      EXPECT_EQ(plain.Quantile(now, 0.99), pooled.Quantile(now, 0.99));
+      EXPECT_EQ(plain.Quantile(now, 0.50), pooled.Quantile(now, 0.50));
+    }
+  }
+  EXPECT_EQ(plain.size(), pooled.size());
+}
+
+}  // namespace
+}  // namespace rhythm

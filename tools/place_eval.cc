@@ -5,8 +5,14 @@
 // Usage: place_eval [options]
 //   --policies A,B,C   comma-separated policy names (default: all registered)
 //   --machines N       cluster machine population (32)
+//   --synthetic        use SyntheticClusterSpec instead of the default eval
+//                      spec — the datacenter-scale preset (pair with
+//                      --machines 1000)
 //   --seed S           base seed; group trials derive theirs (11)
 //   --jobs N           worker threads (default: RHYTHM_JOBS or all cores)
+//   --shards N         machine shards inside each cluster trial (default:
+//                      RHYTHM_SHARDS, then the jobs resolution); results are
+//                      bit-identical at any value
 //   --epochs N         placement rounds (1)
 //   --warmup-s F       per-group warmup window (10)
 //   --measure-s F      per-group measurement window (60)
@@ -23,7 +29,8 @@
 //
 // All output is deterministic for a fixed seed (%.17g metrics, no
 // wall-clock or worker-count dependence), so CI diffs RHYTHM_JOBS=1
-// against RHYTHM_JOBS=4 byte-for-byte.
+// against RHYTHM_JOBS=4 — and --shards 1 against --shards 4 —
+// byte-for-byte.
 //
 // Exit status: 0 success, 1 assertion failure, 2 usage/setup error.
 
@@ -91,7 +98,9 @@ int main(int argc, char** argv) {
   int machines = 32;
   uint64_t seed = 11;
   int jobs = 0;
+  int shards = 0;
   int epochs = 1;
+  bool synthetic = false;
   double warmup_s = 10.0;
   double measure_s = 60.0;
   double ramp = 1.0;
@@ -101,7 +110,8 @@ int main(int argc, char** argv) {
   while (flags.Next()) {
     if (flags.Str("--policies", &policies_csv) ||
         flags.Int("--machines", &machines) || flags.U64("--seed", &seed) ||
-        flags.Int("--jobs", &jobs) || flags.Int("--epochs", &epochs) ||
+        flags.Int("--jobs", &jobs) || flags.Int("--shards", &shards) ||
+        flags.Int("--epochs", &epochs) ||
         flags.Double("--warmup-s", &warmup_s) ||
         flags.Double("--measure-s", &measure_s) ||
         flags.Double("--ramp", &ramp) ||
@@ -111,6 +121,8 @@ int main(int argc, char** argv) {
     }
     if (flags.Is("--assert-order")) {
       assert_order = true;
+    } else if (flags.Is("--synthetic")) {
+      synthetic = true;
     } else {
       std::fprintf(stderr, "place_eval: unknown or incomplete option '%s'\n",
                    flags.arg().c_str());
@@ -126,7 +138,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const ClusterSpec spec = DefaultEvalClusterSpec(machines);
+  const ClusterSpec spec = synthetic ? SyntheticClusterSpec(machines, seed)
+                                     : DefaultEvalClusterSpec(machines);
   std::printf("place_eval: %d machines, %d groups (%d pods), seed %llu, "
               "%d epoch(s), warmup %g s + measure %g s, ramp %g\n",
               spec.machines, spec.TotalGroups(), spec.TotalPods(),
@@ -157,6 +170,7 @@ int main(int argc, char** argv) {
   try {
     RunnerOptions options;
     options.jobs = jobs;
+    options.shards = shards;
     summaries = RunClusterPlan(plan, options);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "place_eval: %s\n", error.what());
