@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace rhythm {
 
@@ -41,6 +42,20 @@ struct ClusterTickSnapshot {
   uint64_t be_kills = 0;
   uint64_t slack_violation_ticks = 0;
   uint64_t crashes = 0;
+  // -- Failure domains (DESIGN.md §14). All zero/empty when the request
+  // schedules no machine faults, so pre-existing hooks see unchanged data. --
+  int machines_total = 0;
+  int machines_alive = 0;
+  int machines_down = 0;
+  // Machine indices whose loss/rejoin was enacted at *this* barrier, sorted
+  // ascending. Most barriers leave both empty.
+  std::vector<int> lost_machines;
+  std::vector<int> rejoined_machines;
+  // Placed groups currently down: disrupted this epoch and not (yet)
+  // failed over.
+  int groups_down = 0;
+  // The supervisor's degraded mode (BE suspended cluster-wide) is active.
+  bool degraded = false;
 };
 
 // Fired on the coordinating thread after every window's barrier, while all

@@ -26,6 +26,13 @@ FaultInjector::FaultInjector(Simulator* sim, const FaultSchedule& schedule, int 
   // (negative window, off-scale magnitude); reject it up front so the
   // mistake surfaces at wiring time, not as a silently different run.
   for (const FaultEvent& event : events_) {
+    if (IsClusterScopeFault(event.kind)) {
+      // Machine loss targets a ClusterRunRequest's roster; a lone deployment
+      // has no machine list to kill. The cluster engine strips these events
+      // before building per-group trials, so reaching here is a wiring bug.
+      throw std::invalid_argument(std::string("FaultInjector: ") + FaultKindName(event.kind) +
+                                  " is cluster-scope; inject it via a ClusterRunRequest");
+    }
     const std::string error = FaultEventError(event, pod_count);
     if (!error.empty()) {
       throw std::invalid_argument("FaultInjector: " + error);

@@ -24,8 +24,16 @@ const char* FaultKindName(FaultKind kind) {
       return "LoadSpike";
     case FaultKind::kBeAdmissionHold:
       return "BeAdmissionHold";
+    case FaultKind::kMachineFailure:
+      return "MachineFailure";
+    case FaultKind::kMachineRestart:
+      return "MachineRestart";
   }
   return "?";
+}
+
+bool IsClusterScopeFault(FaultKind kind) {
+  return kind == FaultKind::kMachineFailure || kind == FaultKind::kMachineRestart;
 }
 
 bool FaultSchedule::HasKind(FaultKind kind) const {
@@ -69,12 +77,14 @@ std::string FaultEventError(const FaultEvent& event, int pod_count) {
                         event.kind == FaultKind::kTelemetryDropout ||
                         event.kind == FaultKind::kTelemetryFreeze ||
                         event.kind == FaultKind::kActuationDrop ||
-                        event.kind == FaultKind::kBeAdmissionHold;
+                        event.kind == FaultKind::kBeAdmissionHold ||
+                        event.kind == FaultKind::kMachineRestart;
   if (windowed && event.duration_s <= 0.0) {
     return prefix + "duration_s must be > 0 for windowed faults";
   }
   if (event.kind != FaultKind::kLoadSpike && (event.pod < 0 || event.pod >= pod_count)) {
-    return prefix + "pod " + std::to_string(event.pod) + " out of range [0, " +
+    const char* target = IsClusterScopeFault(event.kind) ? "machine " : "pod ";
+    return prefix + target + std::to_string(event.pod) + " out of range [0, " +
            std::to_string(pod_count) + ")";
   }
   switch (event.kind) {
@@ -101,6 +111,8 @@ std::string FaultEventError(const FaultEvent& event, int pod_count) {
     case FaultKind::kTelemetryFreeze:
     case FaultKind::kBeInstanceFailure:
     case FaultKind::kBeAdmissionHold:
+    case FaultKind::kMachineFailure:
+    case FaultKind::kMachineRestart:
       break;  // magnitude ignored; finiteness already checked.
   }
   return "";
@@ -169,6 +181,28 @@ FaultSchedule RandomFaultSchedule(const ChaosConfig& config, uint64_t seed) {
                       .duration_s = config.spike_duration_s,
                       .magnitude = rng.Uniform(config.spike_min_boost, config.spike_max_boost)};
   });
+  // Cluster-scope machine losses draw last so every pre-existing (config,
+  // seed) pair keeps its exact schedule when these rates stay at their 0
+  // defaults.
+  if (config.machine_count > 0) {
+    const uint64_t machines = static_cast<uint64_t>(config.machine_count);
+    auto pick_machine = [&] { return static_cast<int>(rng.UniformInt(machines)); };
+    DrawEvents(schedule, rng, config.duration_s, config.expected_machine_failures,
+               [&](double start) {
+                 return FaultEvent{.kind = FaultKind::kMachineFailure,
+                                   .pod = pick_machine(),
+                                   .start_s = start};
+               });
+    DrawEvents(schedule, rng, config.duration_s, config.expected_machine_restarts,
+               [&](double start) {
+                 return FaultEvent{
+                     .kind = FaultKind::kMachineRestart,
+                     .pod = pick_machine(),
+                     .start_s = start,
+                     .duration_s =
+                         rng.Uniform(config.restart_min_down_s, config.restart_max_down_s)};
+               });
+  }
   return schedule;
 }
 

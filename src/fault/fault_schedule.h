@@ -47,26 +47,45 @@ enum class FaultKind {
   // synchronized re-admission edge the adversarial search exploits when it
   // aligns the release with a load ramp. `magnitude` ignored.
   kBeAdmissionHold,
+  // Cluster-scope: the machine at index `pod` (a *machine* index into the
+  // ClusterRunRequest's spec, not a Servpod index) is lost permanently at
+  // `start`. Every group with a pod on the machine is disrupted; the
+  // ClusterSupervisor (when enabled) fails the groups over to surviving
+  // machines at the next barrier. duration_s and magnitude ignored. Only the
+  // cluster engine consumes this kind — a single-trial FaultInjector rejects
+  // it (a lone deployment has no machine roster to kill).
+  kMachineFailure,
+  // Cluster-scope: machine `pod` is lost at `start` and rejoins empty at
+  // `start + duration_s` (duration must be > 0). Rejoined machines are
+  // eligible for placement again from the next epoch. magnitude ignored.
+  kMachineRestart,
 };
 
 const char* FaultKindName(FaultKind kind);
 
+// True for fault kinds that target a cluster machine roster rather than one
+// deployment's Servpods (kMachineFailure / kMachineRestart). Such events are
+// only meaningful to the cluster engine; Trial/FaultInjector reject them.
+bool IsClusterScopeFault(FaultKind kind);
+
 struct FaultEvent {
   FaultKind kind = FaultKind::kPodCrash;
-  int pod = 0;              // target Servpod; ignored by kLoadSpike.
+  int pod = 0;              // target Servpod (machine index for cluster-scope
+                            // kinds); ignored by kLoadSpike.
   double start_s = 0.0;
-  double duration_s = 0.0;  // ignored by kBeInstanceFailure.
+  double duration_s = 0.0;  // ignored by kBeInstanceFailure/kMachineFailure.
   double magnitude = 0.0;   // kind-specific, see FaultKind comments.
 };
 
-// Validates one event against a deployment of `pod_count` Servpods. Returns
-// an empty string for a well-formed event, else a description of the defect.
-// Bounds are kind-specific: every event needs a finite start_s >= 0 and a
-// finite duration_s >= 0; windowed kinds (crash, dropout, freeze, actuation
-// drop) need duration_s > 0; pod must be in [0, pod_count) except for
-// kLoadSpike, which ignores it; kActuationDrop and kLoadSpike magnitudes
-// must lie in [0, 1] (a drop probability / a load-fraction boost) and
-// kPodCrash inflation in [0, kMaxCrashInflation].
+// Validates one event against a deployment of `pod_count` Servpods (for
+// cluster-scope kinds, pass the *machine* count). Returns an empty string
+// for a well-formed event, else a description of the defect. Bounds are
+// kind-specific: every event needs a finite start_s >= 0 and a finite
+// duration_s >= 0; windowed kinds (crash, dropout, freeze, actuation drop,
+// admission hold, machine restart) need duration_s > 0; pod must be in
+// [0, pod_count) except for kLoadSpike, which ignores it; kActuationDrop and
+// kLoadSpike magnitudes must lie in [0, 1] (a drop probability / a
+// load-fraction boost) and kPodCrash inflation in [0, kMaxCrashInflation].
 std::string FaultEventError(const FaultEvent& event, int pod_count);
 
 // Largest accepted kPodCrash failover inflation (a 10x service-time blowup
@@ -117,6 +136,15 @@ struct ChaosConfig {
   double spike_min_boost = 0.15;
   double spike_max_boost = 0.35;
   double spike_duration_s = 30.0;
+  // Cluster-scope machine loss (kMachineFailure / kMachineRestart). Targets
+  // are drawn from [0, machine_count); machine_count <= 0 disables both
+  // draws even if the expected rates are set. Defaults 0 keep the draw
+  // sequence of pre-existing seeds untouched (Poisson(0) consumes nothing).
+  int machine_count = 0;
+  double expected_machine_failures = 0.0;
+  double expected_machine_restarts = 0.0;
+  double restart_min_down_s = 10.0;
+  double restart_max_down_s = 40.0;
 };
 
 FaultSchedule RandomFaultSchedule(const ChaosConfig& config, uint64_t seed);

@@ -12,7 +12,7 @@ namespace {
 constexpr FaultKind kAllKinds[] = {
     FaultKind::kPodCrash,        FaultKind::kTelemetryDropout,  FaultKind::kTelemetryFreeze,
     FaultKind::kActuationDrop,   FaultKind::kBeInstanceFailure, FaultKind::kLoadSpike,
-    FaultKind::kBeAdmissionHold,
+    FaultKind::kBeAdmissionHold, FaultKind::kMachineFailure,    FaultKind::kMachineRestart,
 };
 
 std::string FormatDouble(double value) {

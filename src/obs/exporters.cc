@@ -94,10 +94,17 @@ std::string DetailName(const ObsEvent& event) {
       switch (static_cast<ObsPlacementOp>(event.code)) {
         case ObsPlacementOp::kGroupPlaced:
         case ObsPlacementOp::kChurn:
+        case ObsPlacementOp::kFailover:
           return BeJobKindName(static_cast<BeJobKind>(event.detail));
+        case ObsPlacementOp::kDegraded:
+          return event.detail != 0 ? "enter" : "exit";
         case ObsPlacementOp::kEpochBegin:
         case ObsPlacementOp::kGroupSolo:
         case ObsPlacementOp::kGroupUnplaced:
+        case ObsPlacementOp::kTickBarrier:
+        case ObsPlacementOp::kMachineDown:
+        case ObsPlacementOp::kMachineUp:
+        case ObsPlacementOp::kGroupDown:
           return "";
       }
       return "";
@@ -312,15 +319,42 @@ std::string DescribeEvent(const ObsEvent& event) {
       }
       break;
     case ObsKind::kPlacement:
-      if (static_cast<ObsPlacementOp>(event.code) == ObsPlacementOp::kEpochBegin) {
-        out << " epoch=" << Short(event.a) << " load_scale=" << Short(event.b);
-      } else {
-        const std::string be = DetailName(event);
-        if (!be.empty()) {
-          out << ' ' << be;
+      switch (static_cast<ObsPlacementOp>(event.code)) {
+        case ObsPlacementOp::kEpochBegin:
+          out << " epoch=" << Short(event.a) << " load_scale=" << Short(event.b);
+          break;
+        case ObsPlacementOp::kMachineDown:
+          out << " start=" << Short(event.a) << " downtime=" << Short(event.b);
+          break;
+        case ObsPlacementOp::kMachineUp:
+          out << " rejoin=" << Short(event.a);
+          break;
+        case ObsPlacementOp::kFailover: {
+          const std::string be = DetailName(event);
+          if (!be.empty()) {
+            out << ' ' << be;
+          }
+          out << " group=" << Short(event.a) << " pods=" << Short(event.b)
+              << " incarnation=" << Short(event.c)
+              << " latency_s=" << Short(event.d);
+          break;
         }
-        out << " group=" << Short(event.a) << " pods=" << Short(event.b)
-            << " score=" << Short(event.c) << " load=" << Short(event.d);
+        case ObsPlacementOp::kGroupDown:
+          out << " group=" << Short(event.a) << " pods=" << Short(event.b);
+          break;
+        case ObsPlacementOp::kDegraded:
+          out << ' ' << DetailName(event) << " down=" << Short(event.a)
+              << " dead_fraction=" << Short(event.b);
+          break;
+        default: {
+          const std::string be = DetailName(event);
+          if (!be.empty()) {
+            out << ' ' << be;
+          }
+          out << " group=" << Short(event.a) << " pods=" << Short(event.b)
+              << " score=" << Short(event.c) << " load=" << Short(event.d);
+          break;
+        }
       }
       break;
   }

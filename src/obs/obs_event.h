@@ -89,6 +89,25 @@ enum class ObsPlacementOp : uint8_t {
   // group per window: a = group index, b = SLA violations so far, c = BE
   // kills so far, d = the group's local clock at the barrier.
   kTickBarrier = 5,
+  // -- Failure-domain edges (cluster-scope machine faults, DESIGN.md §14) --
+  // Machine lost at a barrier. machine = index, a = the schedule's start_s,
+  // b = planned downtime seconds (0 = permanent kMachineFailure).
+  kMachineDown = 6,
+  // Machine rejoined empty. machine = index, a = the scheduled rejoin time.
+  kMachineUp = 7,
+  // A disrupted group re-placed by the ClusterSupervisor. machine = the
+  // replacement's first machine, a = group index, b = pod count,
+  // c = incarnation number, d = failover latency seconds (barrier time minus
+  // the loss event's start_s); detail = BeJobKind unless the replacement
+  // runs solo.
+  kFailover = 8,
+  // A disrupted group that could not be re-placed (budget or capacity).
+  // machine = the dead first machine, a = group index, b = pod count.
+  kGroupDown = 9,
+  // Degraded-mode transition (dead fraction crossed the survivability
+  // threshold). machine = -1, a = machines down, b = dead fraction,
+  // detail = 1 entering, 0 leaving.
+  kDegraded = 10,
 };
 
 // One recorded event. Fixed 48-byte POD; `a..d` are payload fields whose
@@ -223,6 +242,16 @@ inline const char* ObsPlacementOpName(ObsPlacementOp op) {
       return "churn";
     case ObsPlacementOp::kTickBarrier:
       return "tick";
+    case ObsPlacementOp::kMachineDown:
+      return "machine-down";
+    case ObsPlacementOp::kMachineUp:
+      return "machine-up";
+    case ObsPlacementOp::kFailover:
+      return "failover";
+    case ObsPlacementOp::kGroupDown:
+      return "group-down";
+    case ObsPlacementOp::kDegraded:
+      return "degraded";
   }
   return "?";
 }

@@ -1,7 +1,9 @@
 #include "src/place/cluster_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
+#include <limits>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -14,20 +16,11 @@
 #include "src/obs/merge.h"
 #include "src/runner/trial.h"
 #include "src/sim/sharded_engine.h"
+#include "src/verify/cluster_invariants.h"
 
 namespace rhythm {
 
 namespace {
-
-// Placement skeleton for one request: outcomes (summaries unfilled), the
-// placement event stream, and churn — everything that does not require
-// simulation. Pure function of the request.
-struct PlacedRequest {
-  std::vector<GroupOutcome> outcomes;  // epoch-major, group order within.
-  std::vector<ObsEvent> events;
-  int placement_churn = 0;
-  int machines_used = 0;
-};
 
 void ValidateRequest(const ClusterRunRequest& request) {
   if (request.spec.machines <= 0) {
@@ -41,6 +34,21 @@ void ValidateRequest(const ClusterRunRequest& request) {
   }
   if (request.warmup_s < 0.0 || request.measure_s <= 0.0) {
     throw std::invalid_argument("ClusterRunRequest: bad trial windows");
+  }
+  if (request.faults != nullptr) {
+    for (const FaultEvent& event : request.faults->events) {
+      if (!IsClusterScopeFault(event.kind)) {
+        throw std::invalid_argument(
+            std::string("ClusterRunRequest: ") + FaultKindName(event.kind) +
+            " is a per-deployment fault; cluster schedules accept only "
+            "machine-scope kinds (MachineFailure, MachineRestart)");
+      }
+      const std::string error =
+          FaultEventError(event, request.spec.machines);
+      if (!error.empty()) {
+        throw std::invalid_argument("ClusterRunRequest: " + error);
+      }
+    }
   }
 }
 
@@ -67,138 +75,116 @@ ObsEvent PlacementEvent(double time_s, ObsPlacementOp op, int machine,
   return event;
 }
 
-PlacedRequest PlaceRequest(const ClusterRunRequest& request) {
-  const std::vector<PendingGroup> base_groups = ExpandGroups(request.spec);
-  const int groups_per_epoch = static_cast<int>(base_groups.size());
-  const double epoch_span_s = request.warmup_s + request.measure_s;
+// One scheduled machine-liveness edge, quantized to its enactment barrier.
+// Barriers are the conservative-window boundaries: epoch-local multiples of
+// MachineAgent::kPeriodSeconds, plus every epoch start. An edge lands at the
+// first barrier at/after its scheduled time; an edge that would land at/after
+// the epoch's final barrier defers to the next epoch's start (the epoch-end
+// barrier only harvests — by then the trials are already over), and edges
+// past the run horizon never enact.
+struct MachineTransition {
+  int machine = 0;
+  bool rejoin = false;
+  int event_id = 0;         // pairs a restart's loss with its rejoin.
+  double scheduled_s = 0.0;  // the schedule's edge time (cluster clock).
+  double downtime_s = 0.0;   // loss edges: planned downtime (0 = permanent).
+  int epoch = 0;             // enactment barrier.
+  double window_s = 0.0;     // epoch-local; an exact multiple of the window.
+};
 
-  // Scoring models, resolved once per app and shared across epochs.
-  std::map<LcAppKind, AppPlacementModel> models;
-  auto model_of = [&](LcAppKind app) -> const AppPlacementModel& {
-    auto it = models.find(app);
-    if (it == models.end()) {
-      AppPlacementModel model = request.model_provider
-                                    ? request.model_provider(app)
-                                    : DefaultPlacementModel(app);
-      it = models.emplace(app, std::move(model)).first;
+std::vector<MachineTransition> BuildTransitions(
+    const ClusterRunRequest& request, double epoch_span_s) {
+  std::vector<MachineTransition> transitions;
+  if (request.faults == nullptr || request.faults->empty()) {
+    return transitions;
+  }
+  const double window = MachineAgent::kPeriodSeconds;
+
+  // Quantization is guarded against float error in both directions: k is the
+  // smallest integer with k * window >= local, found by division and then
+  // corrected by comparison — the comparisons, not the division, decide.
+  auto quantize = [&](double time_s, MachineTransition& out) {
+    int epoch = static_cast<int>(time_s / epoch_span_s);
+    double local = time_s - epoch * epoch_span_s;
+    if (local < 0.0) {
+      --epoch;
+      local = time_s - epoch * epoch_span_s;
     }
-    return it->second;
+    int k = static_cast<int>(std::ceil(local / window));
+    if (k < 0) {
+      k = 0;
+    }
+    while (k * window < local) {
+      ++k;
+    }
+    while (k > 0 && (k - 1) * window >= local) {
+      --k;
+    }
+    if (k * window >= epoch_span_s) {
+      ++epoch;
+      k = 0;
+    }
+    if (epoch >= request.epochs) {
+      return false;  // past the horizon: inert.
+    }
+    out.epoch = epoch;
+    out.window_s = k * window;
+    return true;
   };
 
-  std::unique_ptr<PlacementPolicy> policy =
-      MakePlacementPolicy(request.policy, request.seed);
-
-  PlacedRequest placed;
-  placed.outcomes.reserve(static_cast<size_t>(groups_per_epoch) *
-                          request.epochs);
-  std::vector<GroupOutcome> previous;  // last epoch's outcomes, group order.
-
-  for (int epoch = 0; epoch < request.epochs; ++epoch) {
-    const double now_s = epoch * epoch_span_s;
-    const double scale = EpochLoadScale(request, epoch);
-
-    ClusterView view;
-    view.spec = &request.spec;
-    view.epoch = epoch;
-    view.load_scale = scale;
-    view.pending = base_groups;
-    for (PendingGroup& group : view.pending) {
-      group.load = std::clamp(group.load * scale, 0.0, 1.0);
-    }
-    view.be_quota = ExpandBeQuota(request.spec, groups_per_epoch);
-    view.model = model_of;
-
-    placed.events.push_back(PlacementEvent(now_s, ObsPlacementOp::kEpochBegin,
-                                           -1, epoch, scale, 0.0, 0.0));
-
-    policy->OnTick(view);
-    std::vector<PlacementDecision> decisions = policy->Decide(view);
-
-    // Contract checks: exactly one decision per pending group, BEs drawn
-    // from the quota multiset.
-    if (decisions.size() != view.pending.size()) {
-      throw std::invalid_argument("placement policy \"" + request.policy +
-                                  "\" returned " +
-                                  std::to_string(decisions.size()) +
-                                  " decisions for " +
-                                  std::to_string(view.pending.size()) +
-                                  " groups");
-    }
-    std::vector<bool> decided(view.pending.size(), false);
-    std::map<BeJobKind, int> quota_left;
-    for (BeJobKind be : view.be_quota) {
-      ++quota_left[be];
-    }
-    for (const PlacementDecision& decision : decisions) {
-      if (decision.group < 0 || decision.group >= groups_per_epoch ||
-          decided[decision.group]) {
-        throw std::invalid_argument(
-            "placement policy \"" + request.policy +
-            "\" decided group " + std::to_string(decision.group) +
-            " zero or multiple times");
-      }
-      decided[decision.group] = true;
-      if (!decision.run_solo && --quota_left[decision.be] < 0) {
-        throw std::invalid_argument("placement policy \"" + request.policy +
-                                    "\" overdraws the BE quota");
-      }
-    }
-
-    // Allocate machines in decision (priority) order; a decision that no
-    // longer fits is skipped, so smaller later groups may still land.
-    std::vector<GroupOutcome> epoch_outcomes(view.pending.size());
-    int cursor = 0;
-    for (const PlacementDecision& decision : decisions) {
-      const PendingGroup& group = view.pending[decision.group];
-      GroupOutcome& outcome = epoch_outcomes[decision.group];
-      outcome.epoch = epoch;
-      outcome.group = group.group;
-      outcome.app = group.app;
-      outcome.be = decision.be;
-      outcome.run_solo = decision.run_solo;
-      outcome.pods = group.pods;
-      outcome.load = group.load;
-      outcome.score = decision.score;
-      if (cursor + group.pods <= request.spec.machines) {
-        outcome.placed = true;
-        outcome.first_machine = cursor;
-        cursor += group.pods;
-      }
-      const ObsPlacementOp op = !outcome.placed ? ObsPlacementOp::kGroupUnplaced
-                                : outcome.run_solo ? ObsPlacementOp::kGroupSolo
-                                                   : ObsPlacementOp::kGroupPlaced;
-      const uint8_t detail = op == ObsPlacementOp::kGroupPlaced
-                                 ? static_cast<uint8_t>(decision.be)
-                                 : uint8_t{0};
-      placed.events.push_back(PlacementEvent(
-          now_s, op, outcome.first_machine, group.group, group.pods,
-          decision.score, group.load, detail));
-    }
-    placed.machines_used = std::max(placed.machines_used, cursor);
-
-    // Churn: any group whose effective assignment changed since last epoch.
-    if (!previous.empty()) {
-      for (size_t g = 0; g < epoch_outcomes.size(); ++g) {
-        const GroupOutcome& now = epoch_outcomes[g];
-        const GroupOutcome& was = previous[g];
-        const bool same = now.placed == was.placed &&
-                          now.run_solo == was.run_solo &&
-                          (now.run_solo || !now.placed || now.be == was.be);
-        if (!same) {
-          ++placed.placement_churn;
-          placed.events.push_back(PlacementEvent(
-              now_s, ObsPlacementOp::kChurn, now.first_machine, now.group,
-              now.pods, now.score, now.load,
-              now.placed && !now.run_solo ? static_cast<uint8_t>(now.be)
-                                          : uint8_t{0}));
+  int event_id = 0;
+  for (const FaultEvent& event : request.faults->Sorted()) {
+    MachineTransition loss;
+    loss.machine = event.pod;
+    loss.event_id = event_id;
+    loss.scheduled_s = event.start_s;
+    loss.downtime_s =
+        event.kind == FaultKind::kMachineRestart ? event.duration_s : 0.0;
+    const bool loss_live = quantize(event.start_s, loss);
+    if (event.kind == FaultKind::kMachineRestart) {
+      MachineTransition up;
+      up.machine = event.pod;
+      up.rejoin = true;
+      up.event_id = event_id;
+      up.scheduled_s = event.start_s + event.duration_s;
+      const bool up_live = loss_live && quantize(up.scheduled_s, up);
+      // A downtime shorter than one window quantizes loss and rejoin onto
+      // the same barrier — invisible at barrier granularity, so the whole
+      // restart degrades to a no-op rather than a spurious permanent loss.
+      const bool same_barrier =
+          up_live && up.epoch == loss.epoch && up.window_s == loss.window_s;
+      if (loss_live && !same_barrier) {
+        transitions.push_back(loss);
+        if (up_live) {
+          transitions.push_back(up);
         }
       }
+    } else if (loss_live) {
+      transitions.push_back(loss);
     }
-    previous = epoch_outcomes;
-    placed.outcomes.insert(placed.outcomes.end(), epoch_outcomes.begin(),
-                           epoch_outcomes.end());
+    ++event_id;
   }
-  return placed;
+
+  // Barrier order; within one barrier, rejoins enact before losses (a
+  // machine freed and re-lost at the same instant ends up down, owned by
+  // the loss), then machine, then schedule order.
+  std::stable_sort(transitions.begin(), transitions.end(),
+                   [](const MachineTransition& a, const MachineTransition& b) {
+                     if (a.epoch != b.epoch) {
+                       return a.epoch < b.epoch;
+                     }
+                     if (a.window_s != b.window_s) {
+                       return a.window_s < b.window_s;
+                     }
+                     if (a.rejoin != b.rejoin) {
+                       return a.rejoin;
+                     }
+                     if (a.machine != b.machine) {
+                       return a.machine < b.machine;
+                     }
+                     return a.event_id < b.event_id;
+                   });
+  return transitions;
 }
 
 // Thresholds for one placed group's trial under the Rhythm controller:
@@ -247,49 +233,374 @@ RunRequest TrialRequest(const ClusterRunRequest& request,
   return trial;
 }
 
-// Phase 2 executor: one placed request's group trials on the partitioned
-// engine. Each group index owns a logical slot whose arena (simulator +
-// chunk pool) persists across epochs; every epoch rebuilds the slot's trial,
-// the engine advances all of them in conservative windows between barriers,
-// and summaries are harvested in slot order. Fills
-// placed.outcomes[...].summary and (with record_tick_events) folds the
-// per-slot barrier event streams into placed.events.
-void SimulatePlaced(const ClusterRunRequest& request, PlacedRequest& placed,
-                    ShardedEngine& engine) {
-  const int groups_per_epoch = request.spec.TotalGroups();
-  const double epoch_span_s = request.warmup_s + request.measure_s;
+// Executes one validated ClusterRunRequest on the partitioned engine:
+// per-epoch placement over the machine roster, windowed simulation split
+// into segments at machine-loss barriers, supervisor failover, and the
+// cluster-scope invariant checks. Everything here runs on the coordinating
+// thread between Advance calls and draws no randomness, so results stay
+// bit-identical at any shard count; with no machine faults scheduled the
+// execution reduces exactly to the pre-failure-domain engine (one segment
+// per epoch, first-fit allocation == the old cursor, served fractions
+// exactly 1.0).
+class RequestExecution {
+ public:
+  explicit RequestExecution(const ClusterRunRequest& request)
+      : request_(request),
+        groups_per_epoch_(request.spec.TotalGroups()),
+        epoch_span_s_(request.warmup_s + request.measure_s),
+        policy_(MakePlacementPolicy(request.policy, request.seed)),
+        supervisor_(request.spec.machines, request.supervisor),
+        checker_(request.verify, request.spec.machines),
+        transitions_(BuildTransitions(request, epoch_span_s_)),
+        loss_owner_(static_cast<size_t>(request.spec.machines), -1),
+        slots_(static_cast<size_t>(request.spec.TotalGroups())) {
+    model_of_ = [this](LcAppKind app) -> const AppPlacementModel& {
+      auto it = models_.find(app);
+      if (it == models_.end()) {
+        AppPlacementModel model = request_.model_provider
+                                      ? request_.model_provider(app)
+                                      : DefaultPlacementModel(app);
+        it = models_.emplace(app, std::move(model)).first;
+      }
+      return it->second;
+    };
+  }
 
+  void Run(ShardedEngine& engine) {
+    engine_ = &engine;
+    size_t next = 0;
+    for (int epoch = 0; epoch < request_.epochs; ++epoch) {
+      BeginEpoch(epoch, next);
+      double from = 0.0;
+      while (true) {
+        double barrier = epoch_span_s_;
+        bool enact = false;
+        if (next < transitions_.size() && transitions_[next].epoch == epoch) {
+          barrier = transitions_[next].window_s;
+          enact = true;
+        }
+        AdvanceSegment(epoch, from, barrier, enact);
+        if (!enact) {
+          break;
+        }
+        EnactBarrier(epoch, barrier, next);
+        from = barrier;
+      }
+      HarvestEpoch(epoch);
+    }
+
+    if (request_.record_tick_events) {
+      // Slot streams in slot order, placement events last — equal-timestamp
+      // ties put an epoch's final barrier ticks before the next epoch's
+      // placement events, and the merged timeline is independent of the
+      // shard layout.
+      std::vector<std::vector<ObsEvent>> streams;
+      streams.reserve(slots_.size() + 1);
+      for (GroupSlot& slot : slots_) {
+        streams.push_back(std::move(slot.tick_events));
+      }
+      streams.push_back(std::move(events_));
+      events_ = MergeEventStreams(streams);
+    }
+  }
+
+  ClusterSummary Summarize() {
+    // Failover incarnations were appended as they started; present them
+    // epoch-major with each group's incarnations together.
+    std::stable_sort(outcomes_.begin(), outcomes_.end(),
+                     [](const GroupOutcome& a, const GroupOutcome& b) {
+                       if (a.epoch != b.epoch) {
+                         return a.epoch < b.epoch;
+                       }
+                       if (a.group != b.group) {
+                         return a.group < b.group;
+                       }
+                       return a.incarnation < b.incarnation;
+                     });
+
+    ClusterSummary summary;
+    summary.policy = request_.policy;
+    summary.label = request_.label;
+    summary.machines = request_.spec.machines;
+    summary.machines_used = machines_used_;
+    summary.epochs = request_.epochs;
+    summary.groups_total = groups_per_epoch_ * request_.epochs;
+    summary.placement_churn = placement_churn_;
+
+    const double machines = static_cast<double>(request_.spec.machines);
+    std::map<LcAppKind, size_t> app_index;
+    std::vector<double> app_weight;  // served-fraction sums, per app entry.
+    double placed_pod_ticks = 0.0;   // pods * served / period, summed.
+
+    for (const GroupOutcome& outcome : outcomes_) {
+      if (outcome.incarnation == 0) {
+        if (!outcome.placed) {
+          ++summary.groups_unplaced;
+        } else {
+          ++summary.groups_placed;
+          if (outcome.run_solo) {
+            ++summary.solo_groups;
+          }
+        }
+      }
+
+      auto it = app_index.find(outcome.app);
+      if (it == app_index.end()) {
+        it = app_index.emplace(outcome.app, summary.per_app.size()).first;
+        summary.per_app.push_back(AppClusterStats{});
+        summary.per_app.back().app = outcome.app;
+        app_weight.push_back(0.0);
+      }
+      AppClusterStats& app = summary.per_app[it->second];
+      if (!outcome.placed) {
+        ++app.unplaced;
+        continue;
+      }
+
+      // A disrupted incarnation only served part of the epoch's measurement
+      // window; weight its rates by the served fraction. Undisrupted epoch
+      // placements carry served == measure_s, so the fraction is exactly 1.0
+      // and fault-free arithmetic is bit-identical to the pre-failure-domain
+      // rollup.
+      const double fraction = outcome.served_measure_s / request_.measure_s;
+      const double weight = fraction * (outcome.pods / machines);
+      summary.emu += weight * outcome.summary.emu;
+      summary.lc_throughput += weight * outcome.summary.lc_throughput;
+      summary.be_throughput += weight * outcome.summary.be_throughput;
+      summary.cpu_util += weight * outcome.summary.cpu_util;
+      summary.membw_util += weight * outcome.summary.membw_util;
+      summary.sla_violations += outcome.summary.sla_violations;
+      summary.be_kills += outcome.summary.be_kills;
+      summary.worst_tail_ratio =
+          std::max(summary.worst_tail_ratio, outcome.summary.worst_tail_ratio);
+      placed_pod_ticks += outcome.pods * outcome.served_measure_s /
+                          MachineAgent::kPeriodSeconds;
+
+      ++app.trials;
+      app_weight[it->second] += fraction;
+      app.emu += fraction * outcome.summary.emu;
+      app.lc_throughput += fraction * outcome.summary.lc_throughput;
+      app.sla_violations += outcome.summary.sla_violations;
+      app.worst_tail_ratio =
+          std::max(app.worst_tail_ratio, outcome.summary.worst_tail_ratio);
+    }
+
+    // Machine-normalized quantities are per-epoch averages.
+    const double epochs = static_cast<double>(request_.epochs);
+    summary.emu /= epochs;
+    summary.lc_throughput /= epochs;
+    summary.be_throughput /= epochs;
+    summary.cpu_util /= epochs;
+    summary.membw_util /= epochs;
+
+    if (placed_pod_ticks > 0.0) {
+      summary.slo_violation_rate =
+          static_cast<double>(summary.sla_violations) / placed_pod_ticks;
+    }
+    for (size_t a = 0; a < summary.per_app.size(); ++a) {
+      AppClusterStats& app = summary.per_app[a];
+      if (app_weight[a] > 0.0) {
+        app.emu /= app_weight[a];
+        app.lc_throughput /= app_weight[a];
+      }
+    }
+
+    // Failure-domain accounting.
+    summary.machines_failed = machines_failed_;
+    summary.machines_restarted = machines_restarted_;
+    summary.machines_down_end = supervisor_.roster().down();
+    summary.groups_disrupted = groups_disrupted_;
+    summary.groups_failed_over = groups_failed_over_;
+    summary.groups_lost = groups_lost_;
+    summary.pods_migrated = pods_migrated_;
+    summary.down_group_seconds = down_group_seconds_;
+    summary.worst_failover_latency_s = worst_failover_latency_s_;
+    summary.degraded_barriers = supervisor_.degraded_barriers();
+    summary.cluster_invariant_violations = checker_.violations();
+    summary.cluster_invariant_violations_total = checker_.total_violations();
+
+    summary.groups = std::move(outcomes_);
+
+    summary.recording.meta.app = "cluster";
+    summary.recording.meta.be = request_.policy;
+    summary.recording.meta.controller = ControllerKindName(request_.controller);
+    summary.recording.meta.seed = request_.seed;
+    summary.recording.meta.controller_period_s = epoch_span_s_;
+    summary.recording.events = std::move(events_);
+    summary.recording.events_total = summary.recording.events.size();
+    return summary;
+  }
+
+ private:
   struct GroupSlot {
     SimArena arena;
     RunRequest trial_request;
     std::unique_ptr<Trial> trial;
-    size_t outcome = 0;  // into placed.outcomes (epoch-major).
+    size_t outcome = 0;   // into outcomes_ — the live incarnation.
+    double start_s = 0.0;  // epoch-local start of the live incarnation.
+    int incarnations = 0;  // replacements started this epoch.
     std::exception_ptr error;
     std::vector<ObsEvent> tick_events;  // written only by the owning shard.
   };
-  std::vector<GroupSlot> slots(static_cast<size_t>(groups_per_epoch));
 
-  for (int epoch = 0; epoch < request.epochs; ++epoch) {
+  void BeginEpoch(int epoch, size_t& next) {
+    supervisor_.roster().ReleaseAll();
+    epoch_disrupted_ = 0;
+    epoch_failed_over_ = 0;
+    epoch_lost_ = 0;
+    epoch_outcomes_begin_ = outcomes_.size();
+    for (GroupSlot& slot : slots_) {
+      slot.trial.reset();  // the old trial references the old request.
+      slot.incarnations = 0;
+      slot.start_s = 0.0;
+    }
+
+    // Losses/rejoins quantized to this epoch's start enact before placement,
+    // so the policy's epoch never lands groups on machines already gone.
+    EnactTransitions(epoch, 0.0, next);
+
+    const double now_s = epoch * epoch_span_s_;
+    const double scale = EpochLoadScale(request_, epoch);
+
+    ClusterView view;
+    view.spec = &request_.spec;
+    view.epoch = epoch;
+    view.load_scale = scale;
+    view.pending = ExpandGroups(request_.spec);
+    for (PendingGroup& group : view.pending) {
+      group.load = std::clamp(group.load * scale, 0.0, 1.0);
+    }
+    view.be_quota = ExpandBeQuota(request_.spec, groups_per_epoch_);
+    view.model = model_of_;
+
+    events_.push_back(PlacementEvent(now_s, ObsPlacementOp::kEpochBegin, -1,
+                                     epoch, scale, 0.0, 0.0));
+
+    policy_->OnTick(view);
+    std::vector<PlacementDecision> decisions = policy_->Decide(view);
+
+    // Contract checks: exactly one decision per pending group, BEs drawn
+    // from the quota multiset.
+    if (decisions.size() != view.pending.size()) {
+      throw std::invalid_argument("placement policy \"" + request_.policy +
+                                  "\" returned " +
+                                  std::to_string(decisions.size()) +
+                                  " decisions for " +
+                                  std::to_string(view.pending.size()) +
+                                  " groups");
+    }
+    std::vector<bool> decided(view.pending.size(), false);
+    std::map<BeJobKind, int> quota_left;
+    for (BeJobKind be : view.be_quota) {
+      ++quota_left[be];
+    }
+    for (const PlacementDecision& decision : decisions) {
+      if (decision.group < 0 || decision.group >= groups_per_epoch_ ||
+          decided[decision.group]) {
+        throw std::invalid_argument(
+            "placement policy \"" + request_.policy +
+            "\" decided group " + std::to_string(decision.group) +
+            " zero or multiple times");
+      }
+      decided[decision.group] = true;
+      if (!decision.run_solo && --quota_left[decision.be] < 0) {
+        throw std::invalid_argument("placement policy \"" + request_.policy +
+                                    "\" overdraws the BE quota");
+      }
+    }
+
+    // Allocate machines in decision (priority) order from the roster —
+    // first-fit over contiguous alive+free runs, which with every machine
+    // alive is exactly the old cursor allocation. A decision that no longer
+    // fits is skipped, so smaller later groups may still land. Degraded mode
+    // suspends BE cluster-wide by forcing every placement solo.
+    const bool solo_everything = supervisor_.degraded();
+    std::vector<GroupOutcome> epoch_placement(view.pending.size());
+    for (const PlacementDecision& decision : decisions) {
+      const PendingGroup& group = view.pending[decision.group];
+      GroupOutcome& outcome = epoch_placement[decision.group];
+      outcome.epoch = epoch;
+      outcome.group = group.group;
+      outcome.app = group.app;
+      outcome.be = decision.be;
+      outcome.run_solo = decision.run_solo || solo_everything;
+      outcome.pods = group.pods;
+      outcome.load = group.load;
+      outcome.score = decision.score;
+      const int first = supervisor_.roster().Allocate(group.pods);
+      if (first >= 0) {
+        outcome.placed = true;
+        outcome.first_machine = first;
+        machines_used_ = std::max(machines_used_, first + group.pods);
+      }
+      const ObsPlacementOp op = !outcome.placed ? ObsPlacementOp::kGroupUnplaced
+                                : outcome.run_solo ? ObsPlacementOp::kGroupSolo
+                                                   : ObsPlacementOp::kGroupPlaced;
+      const uint8_t detail = op == ObsPlacementOp::kGroupPlaced
+                                 ? static_cast<uint8_t>(decision.be)
+                                 : uint8_t{0};
+      events_.push_back(PlacementEvent(now_s, op, outcome.first_machine,
+                                       group.group, group.pods, decision.score,
+                                       group.load, detail));
+    }
+
+    // Churn: any group whose effective assignment changed since last epoch.
+    if (!previous_.empty()) {
+      for (size_t g = 0; g < epoch_placement.size(); ++g) {
+        const GroupOutcome& now = epoch_placement[g];
+        const GroupOutcome& was = previous_[g];
+        const bool same = now.placed == was.placed &&
+                          now.run_solo == was.run_solo &&
+                          (now.run_solo || !now.placed || now.be == was.be);
+        if (!same) {
+          ++placement_churn_;
+          events_.push_back(PlacementEvent(
+              now_s, ObsPlacementOp::kChurn, now.first_machine, now.group,
+              now.pods, now.score, now.load,
+              now.placed && !now.run_solo ? static_cast<uint8_t>(now.be)
+                                          : uint8_t{0}));
+        }
+      }
+    }
+    previous_ = epoch_placement;
+    outcomes_.insert(outcomes_.end(), epoch_placement.begin(),
+                     epoch_placement.end());
+
     // Build this epoch's trials serially in slot order, so validation
     // errors surface lowest slot first — the flat runner's first-error
     // order.
-    std::vector<ShardUnit> units;
-    units.reserve(slots.size());
-    for (int g = 0; g < groups_per_epoch; ++g) {
-      GroupSlot& slot = slots[g];
-      slot.trial.reset();  // the old trial references the old request.
-      const size_t index =
-          static_cast<size_t>(epoch) * static_cast<size_t>(groups_per_epoch) + g;
-      const GroupOutcome& outcome = placed.outcomes[index];
+    for (int g = 0; g < groups_per_epoch_; ++g) {
+      const size_t index = epoch_outcomes_begin_ + static_cast<size_t>(g);
+      const GroupOutcome& outcome = outcomes_[index];
       if (!outcome.placed) {
         continue;
       }
+      GroupSlot& slot = slots_[static_cast<size_t>(g)];
       slot.outcome = index;
-      slot.trial_request = TrialRequest(request, outcome, groups_per_epoch);
+      slot.start_s = 0.0;
+      slot.trial_request = TrialRequest(request_, outcome, groups_per_epoch_);
       slot.trial = std::make_unique<Trial>(slot.trial_request, TrialHooks{},
                                            &slot.arena);
       slot.trial->Start();
+    }
+  }
 
+  // Advances every live trial from `from` to `to` (epoch-local) in
+  // conservative windows. When `suppress_final` is set, `to` is a machine-
+  // loss barrier: the last window's snapshot is deferred until after the
+  // enactment (EnactBarrier emits it), so hooks never observe a half-applied
+  // barrier; errors are still swept there.
+  void AdvanceSegment(int epoch, double from, double to, bool suppress_final) {
+    std::vector<ShardUnit> units;
+    units.reserve(slots_.size());
+    const double epoch_base_s = epoch * epoch_span_s_;
+    const bool ticks = request_.record_tick_events;
+    for (int g = 0; g < groups_per_epoch_; ++g) {
+      GroupSlot& slot = slots_[static_cast<size_t>(g)];
+      if (slot.trial == nullptr) {
+        continue;
+      }
+      const GroupOutcome& outcome = outcomes_[slot.outcome];
       ShardUnit unit;
       unit.slot = g;
       unit.weight = static_cast<double>(outcome.pods);
@@ -297,15 +608,16 @@ void SimulatePlaced(const ClusterRunRequest& request, PlacedRequest& placed,
       GroupSlot* home = &slot;
       const int group = outcome.group;
       const int first_machine = outcome.first_machine;
-      const double epoch_base_s = epoch * epoch_span_s;
-      const bool ticks = request.record_tick_events;
-      unit.advance = [trial, home, group, first_machine, epoch_base_s,
+      const double start_s = slot.start_s;
+      // Captures copies and slot pointers only: outcomes_ grows when
+      // failovers start, so no reference into it may outlive this scope.
+      unit.advance = [trial, home, group, first_machine, start_s, epoch_base_s,
                       ticks](double end_time) {
         if (home->error != nullptr) {
           return;  // failed earlier; hold the island at its failure point.
         }
         try {
-          trial->AdvanceTo(end_time);
+          trial->AdvanceTo(end_time - start_s);
           if (ticks) {
             // Plain counter reads only — emission must not perturb the run.
             ObsEvent event;
@@ -327,152 +639,415 @@ void SimulatePlaced(const ClusterRunRequest& request, PlacedRequest& placed,
       units.push_back(std::move(unit));
     }
 
-    engine.Advance(
-        units, 0.0, epoch_span_s, MachineAgent::kPeriodSeconds,
+    engine_->Advance(
+        units, from, to, MachineAgent::kPeriodSeconds,
         [&](double window_end) {
-          // First-error propagation, lowest slot first, checked while every
-          // shard rests at the barrier.
-          for (GroupSlot& slot : slots) {
-            if (slot.error != nullptr) {
-              std::rethrow_exception(slot.error);
-            }
+          CheckErrors();
+          if (suppress_final && window_end == to) {
+            return;
           }
-          if (request.on_tick) {
-            ClusterTickSnapshot snap;
-            snap.time_s = epoch * epoch_span_s + window_end;
-            snap.epoch = epoch;
-            snap.window_end_s = window_end;
-            snap.window = engine.windows_run();
-            for (const GroupSlot& slot : slots) {  // slot-order merge.
-              if (slot.trial == nullptr) {
-                continue;
-              }
-              const Deployment& deployment = slot.trial->deployment();
-              ++snap.groups_running;
-              snap.sla_violations += deployment.TotalSlaViolations();
-              snap.be_kills += deployment.TotalBeKills();
-              snap.slack_violation_ticks += deployment.slack_violation_ticks();
-              snap.crashes += deployment.crash_count();
-            }
-            request.on_tick(snap);
-          }
+          AtBarrier(epoch, window_end);
         });
+  }
 
+  // First-error propagation, lowest slot first, checked while every shard
+  // rests at the barrier.
+  void CheckErrors() {
+    for (GroupSlot& slot : slots_) {
+      if (slot.error != nullptr) {
+        std::rethrow_exception(slot.error);
+      }
+    }
+  }
+
+  // Enacts every transition quantized to (epoch, window_s). Fills
+  // `newly_lost` with (machine, scheduled_s) of losses that took effect at
+  // this call — the victim-detection set — and accumulates the snapshot's
+  // lost/rejoined lists.
+  void EnactTransitions(int epoch, double window_s, size_t& next,
+                        std::vector<std::pair<int, double>>* newly_lost =
+                            nullptr) {
+    const double cluster_t = epoch * epoch_span_s_ + window_s;
+    bool any = false;
+    while (next < transitions_.size() &&
+           transitions_[next].epoch == epoch &&
+           transitions_[next].window_s == window_s) {
+      const MachineTransition& transition = transitions_[next++];
+      MachineRoster& roster = supervisor_.roster();
+      if (transition.rejoin) {
+        // A rejoin enacts only when its own loss transition took effect —
+        // a restart whose loss found the machine already dead degrades to a
+        // no-op in full, keeping overlapping schedules deterministic.
+        if (loss_owner_[static_cast<size_t>(transition.machine)] ==
+                transition.event_id &&
+            roster.MarkUp(transition.machine)) {
+          loss_owner_[static_cast<size_t>(transition.machine)] = -1;
+          ++machines_restarted_;
+          rejoined_pending_.push_back(transition.machine);
+          checker_.OnRejoinEnacted(cluster_t, transition.machine);
+          events_.push_back(PlacementEvent(cluster_t,
+                                           ObsPlacementOp::kMachineUp,
+                                           transition.machine,
+                                           transition.scheduled_s, 0.0, 0.0,
+                                           0.0));
+          any = true;
+        }
+      } else if (roster.MarkDown(transition.machine)) {
+        loss_owner_[static_cast<size_t>(transition.machine)] =
+            transition.event_id;
+        ++machines_failed_;
+        lost_pending_.push_back(transition.machine);
+        if (newly_lost != nullptr) {
+          newly_lost->emplace_back(transition.machine, transition.scheduled_s);
+        }
+        worst_failover_latency_s_ = std::max(
+            worst_failover_latency_s_, cluster_t - transition.scheduled_s);
+        checker_.OnLossEnacted(cluster_t, transition.machine,
+                               transition.scheduled_s);
+        events_.push_back(PlacementEvent(cluster_t,
+                                         ObsPlacementOp::kMachineDown,
+                                         transition.machine,
+                                         transition.scheduled_s,
+                                         transition.downtime_s, 0.0, 0.0));
+        any = true;
+      }
+    }
+    if (any) {
+      MaybeEmitDegraded(cluster_t);
+    }
+  }
+
+  void MaybeEmitDegraded(double time_s) {
+    const bool degraded = supervisor_.degraded();
+    if (degraded == was_degraded_) {
+      return;
+    }
+    was_degraded_ = degraded;
+    const MachineRoster& roster = supervisor_.roster();
+    events_.push_back(PlacementEvent(
+        time_s, ObsPlacementOp::kDegraded, -1,
+        static_cast<double>(roster.down()),
+        static_cast<double>(roster.down()) / roster.machines(), 0.0, 0.0,
+        degraded ? uint8_t{1} : uint8_t{0}));
+  }
+
+  // A mid-epoch machine-loss barrier: enact the liveness edges, kill and
+  // harvest the victims, run supervisor failover, then emit the deferred
+  // barrier snapshot over the settled cluster.
+  void EnactBarrier(int epoch, double window_s, size_t& next) {
+    const double cluster_t = epoch * epoch_span_s_ + window_s;
+    std::vector<std::pair<int, double>> newly_lost;
+    EnactTransitions(epoch, window_s, next, &newly_lost);
+
+    // Victims: live groups whose machine range took a hit at THIS barrier.
+    // Machines that were already dead killed their groups when they died.
+    std::vector<int> victim_slots;
+    std::vector<double> victim_latency;
+    for (int g = 0; g < groups_per_epoch_; ++g) {
+      GroupSlot& slot = slots_[static_cast<size_t>(g)];
+      if (slot.trial == nullptr) {
+        continue;
+      }
+      const GroupOutcome& outcome = outcomes_[slot.outcome];
+      double earliest = std::numeric_limits<double>::infinity();
+      for (const auto& [machine, scheduled_s] : newly_lost) {
+        if (machine >= outcome.first_machine &&
+            machine < outcome.first_machine + outcome.pods) {
+          earliest = std::min(earliest, scheduled_s);
+        }
+      }
+      if (!std::isinf(earliest)) {
+        victim_slots.push_back(g);
+        victim_latency.push_back(cluster_t - earliest);
+      }
+    }
+
+    // Kill: harvest what the victim served, free its surviving machines.
+    for (int g : victim_slots) {
+      GroupSlot& slot = slots_[static_cast<size_t>(g)];
+      GroupOutcome& outcome = outcomes_[slot.outcome];
+      outcome.summary = slot.trial->Harvest();
+      outcome.disrupted = true;
+      outcome.served_measure_s =
+          std::clamp(window_s - slot.start_s - slot.trial_request.warmup_s,
+                     0.0, slot.trial_request.measure_s);
+      slot.trial.reset();
+      supervisor_.roster().Release(outcome.first_machine, outcome.pods);
+      ++groups_disrupted_;
+      ++epoch_disrupted_;
+    }
+
+    if (!victim_slots.empty()) {
+      Failover(epoch, window_s, cluster_t, victim_slots, victim_latency);
+    }
+
+    AtBarrier(epoch, window_s);
+  }
+
+  void Failover(int epoch, double window_s, double cluster_t,
+                const std::vector<int>& victim_slots,
+                const std::vector<double>& victim_latency) {
+    // Victim view, renumbered 0..n-1 (PlacementDecision::group indexes the
+    // pending list); the quota re-offers each victim's epoch BE assignment.
+    ClusterView victims;
+    victims.spec = &request_.spec;
+    victims.epoch = epoch;
+    victims.load_scale = EpochLoadScale(request_, epoch);
+    victims.model = model_of_;
+    std::vector<int> original_groups;
+    original_groups.reserve(victim_slots.size());
+    for (int g : victim_slots) {
+      const GroupOutcome& dead = outcomes_[slots_[static_cast<size_t>(g)].outcome];
+      PendingGroup pending;
+      pending.group = static_cast<int>(victims.pending.size());
+      pending.app = dead.app;
+      pending.load = dead.load;
+      pending.pods = dead.pods;
+      victims.pending.push_back(pending);
+      victims.be_quota.push_back(dead.be);
+      original_groups.push_back(dead.group);
+    }
+
+    std::vector<FailoverDecision> plan =
+        supervisor_.PlanFailover(*policy_, victims, original_groups);
+
+    // Latency lookup by original group id (victim_slots holds slot == group).
+    auto latency_of = [&](int group) {
+      for (size_t v = 0; v < victim_slots.size(); ++v) {
+        if (original_groups[v] == group) {
+          return victim_latency[v];
+        }
+      }
+      return 0.0;
+    };
+    auto slot_of = [&](int group) -> GroupSlot& {
+      for (size_t v = 0; v < victim_slots.size(); ++v) {
+        if (original_groups[v] == group) {
+          return slots_[static_cast<size_t>(victim_slots[v])];
+        }
+      }
+      throw std::logic_error("failover decision names a non-victim group");
+    };
+
+    if (plan.empty()) {
+      // Supervisor disabled: every victim is lost for the rest of the epoch.
+      for (int g : victim_slots) {
+        const GroupOutcome& dead = outcomes_[slots_[static_cast<size_t>(g)].outcome];
+        ++groups_lost_;
+        ++epoch_lost_;
+        events_.push_back(PlacementEvent(cluster_t, ObsPlacementOp::kGroupDown,
+                                         dead.first_machine, dead.group,
+                                         dead.pods, 0.0, 0.0));
+      }
+      return;
+    }
+
+    for (const FailoverDecision& decision : plan) {
+      GroupSlot& slot = slot_of(decision.group);
+      const GroupOutcome dead = outcomes_[slot.outcome];  // copy: vector grows.
+      if (decision.first_machine < 0) {
+        ++groups_lost_;
+        ++epoch_lost_;
+        events_.push_back(PlacementEvent(cluster_t, ObsPlacementOp::kGroupDown,
+                                         dead.first_machine, dead.group,
+                                         dead.pods, 0.0, 0.0));
+        continue;
+      }
+
+      const int incarnation = ++slot.incarnations;
+      GroupOutcome replacement;
+      replacement.epoch = epoch;
+      replacement.group = dead.group;
+      replacement.app = dead.app;
+      replacement.be = decision.be;
+      replacement.placed = true;
+      replacement.run_solo = decision.run_solo;
+      replacement.first_machine = decision.first_machine;
+      replacement.pods = dead.pods;
+      replacement.load = dead.load;
+      replacement.score = decision.score;
+      replacement.incarnation = incarnation;
+      replacement.start_s = window_s;
+      machines_used_ =
+          std::max(machines_used_, decision.first_machine + dead.pods);
+      pods_migrated_ += dead.pods;
+      ++groups_failed_over_;
+      ++epoch_failed_over_;
+
+      const double latency = latency_of(decision.group);
+      events_.push_back(PlacementEvent(
+          cluster_t, ObsPlacementOp::kFailover, decision.first_machine,
+          dead.group, dead.pods, incarnation, latency,
+          decision.run_solo ? uint8_t{0}
+                            : static_cast<uint8_t>(decision.be)));
+
+      outcomes_.push_back(replacement);
+      slot.outcome = outcomes_.size() - 1;
+      slot.start_s = window_s;
+      slot.trial_request =
+          FailoverTrialRequest(replacement, window_s, incarnation);
+      slot.trial = std::make_unique<Trial>(slot.trial_request, TrialHooks{},
+                                           &slot.arena);
+      slot.trial->Start();
+    }
+  }
+
+  // A replacement trial re-warms inside what is left of the epoch: warmup is
+  // the request's, shrunk so at least half the remaining span measures, and
+  // BE re-admission backs off under a kBeAdmissionHold window per pod.
+  RunRequest FailoverTrialRequest(const GroupOutcome& replacement,
+                                  double start_s, int incarnation) {
+    RunRequest trial = TrialRequest(request_, replacement, groups_per_epoch_);
+    const double remaining = epoch_span_s_ - start_s;
+    trial.warmup_s = std::min(request_.warmup_s, 0.5 * remaining);
+    trial.measure_s = remaining - trial.warmup_s;
+    trial.seed = DeriveFailoverSeed(request_.seed, replacement.epoch,
+                                    groups_per_epoch_, replacement.group,
+                                    incarnation);
+    trial.label += "/f" + std::to_string(incarnation);
+    if (!replacement.run_solo &&
+        request_.supervisor.readmission_backoff_s > 0.0) {
+      auto holds = std::make_shared<FaultSchedule>();
+      for (int pod = 0; pod < replacement.pods; ++pod) {
+        FaultEvent hold;
+        hold.kind = FaultKind::kBeAdmissionHold;
+        hold.pod = pod;
+        hold.start_s = 0.0;
+        hold.duration_s = request_.supervisor.readmission_backoff_s;
+        holds->Add(hold);
+      }
+      trial.faults = std::move(holds);
+    }
+    return trial;
+  }
+
+  // Every settled barrier: assemble the slot-order-merged snapshot, audit
+  // assignments against the shadow liveness, account the supervisor's
+  // degraded time, and fire the user hook.
+  void AtBarrier(int epoch, double window_end) {
+    ClusterTickSnapshot snap;
+    snap.time_s = epoch * epoch_span_s_ + window_end;
+    snap.epoch = epoch;
+    snap.window_end_s = window_end;
+    snap.window = engine_->windows_run();
+    for (const GroupSlot& slot : slots_) {  // slot-order merge.
+      if (slot.trial == nullptr) {
+        continue;
+      }
+      const Deployment& deployment = slot.trial->deployment();
+      ++snap.groups_running;
+      snap.sla_violations += deployment.TotalSlaViolations();
+      snap.be_kills += deployment.TotalBeKills();
+      snap.slack_violation_ticks += deployment.slack_violation_ticks();
+      snap.crashes += deployment.crash_count();
+    }
+    const MachineRoster& roster = supervisor_.roster();
+    snap.machines_total = roster.machines();
+    snap.machines_alive = roster.alive();
+    snap.machines_down = roster.down();
+    snap.lost_machines = std::move(lost_pending_);
+    lost_pending_.clear();
+    snap.rejoined_machines = std::move(rejoined_pending_);
+    rejoined_pending_.clear();
+    snap.groups_down = epoch_disrupted_ - epoch_failed_over_;
+    snap.degraded = supervisor_.degraded();
+
+    if (checker_.armed()) {
+      std::vector<std::pair<int, int>> live_ranges;
+      for (const GroupSlot& slot : slots_) {
+        if (slot.trial == nullptr) {
+          continue;
+        }
+        const GroupOutcome& outcome = outcomes_[slot.outcome];
+        live_ranges.emplace_back(outcome.first_machine, outcome.pods);
+      }
+      checker_.CheckAssignments(snap.time_s, live_ranges);
+    }
+    supervisor_.ObserveBarrier(snap);
+    if (request_.on_tick) {
+      request_.on_tick(snap);
+    }
+  }
+
+  void HarvestEpoch(int epoch) {
     // Harvest in slot order. Trials stay alive until the next epoch rebuilds
-    // them; the last epoch's die with `slots`.
-    for (GroupSlot& slot : slots) {
-      if (slot.trial != nullptr) {
-        placed.outcomes[slot.outcome].summary = slot.trial->Finish();
+    // them; the last epoch's die with `slots_`.
+    for (GroupSlot& slot : slots_) {
+      if (slot.trial == nullptr) {
+        continue;
       }
+      GroupOutcome& outcome = outcomes_[slot.outcome];
+      outcome.summary = slot.trial->Finish();
+      outcome.served_measure_s = slot.trial_request.measure_s;
     }
-  }
 
-  if (request.record_tick_events) {
-    // Slot streams in slot order, placement events last — equal-timestamp
-    // ties put an epoch's final barrier ticks before the next epoch's
-    // placement events, and the merged timeline is independent of the shard
-    // layout.
-    std::vector<std::vector<ObsEvent>> streams;
-    streams.reserve(slots.size() + 1);
-    for (GroupSlot& slot : slots) {
-      streams.push_back(std::move(slot.tick_events));
-    }
-    streams.push_back(std::move(placed.events));
-    placed.events = MergeEventStreams(streams);
-  }
-}
-
-ClusterSummary SummarizeCluster(const ClusterRunRequest& request,
-                                PlacedRequest placed) {
-  const int groups_per_epoch = request.spec.TotalGroups();
-
-  ClusterSummary summary;
-  summary.policy = request.policy;
-  summary.label = request.label;
-  summary.machines = request.spec.machines;
-  summary.machines_used = placed.machines_used;
-  summary.epochs = request.epochs;
-  summary.groups_total = groups_per_epoch * request.epochs;
-  summary.placement_churn = placed.placement_churn;
-
-  const double machines = static_cast<double>(request.spec.machines);
-  std::map<LcAppKind, size_t> app_index;
-  double placed_pod_ticks = 0.0;  // pods * measure / period, summed.
-
-  for (const GroupOutcome& outcome : placed.outcomes) {
-    if (!outcome.placed) {
-      ++summary.groups_unplaced;
-    } else {
-      ++summary.groups_placed;
-      if (outcome.run_solo) {
-        ++summary.solo_groups;
+    // Demanded measurement seconds lost to machine loss: per disrupted
+    // group-epoch, the measure window minus every incarnation's served
+    // share, floored at zero (replacement windows can overlap the demand).
+    if (epoch_disrupted_ > 0) {
+      std::map<int, double> served;
+      std::map<int, bool> disrupted;
+      for (size_t i = epoch_outcomes_begin_; i < outcomes_.size(); ++i) {
+        const GroupOutcome& outcome = outcomes_[i];
+        if (!outcome.placed) {
+          continue;
+        }
+        served[outcome.group] += outcome.served_measure_s;
+        if (outcome.disrupted) {
+          disrupted[outcome.group] = true;
+        }
+      }
+      for (const auto& [group, hit] : disrupted) {
+        if (hit) {
+          down_group_seconds_ +=
+              std::max(0.0, request_.measure_s - served[group]);
+        }
       }
     }
 
-    auto it = app_index.find(outcome.app);
-    if (it == app_index.end()) {
-      it = app_index.emplace(outcome.app, summary.per_app.size()).first;
-      summary.per_app.push_back(AppClusterStats{});
-      summary.per_app.back().app = outcome.app;
-    }
-    AppClusterStats& app = summary.per_app[it->second];
-    if (!outcome.placed) {
-      ++app.unplaced;
-      continue;
-    }
-
-    const double weight = outcome.pods / machines;
-    summary.emu += weight * outcome.summary.emu;
-    summary.lc_throughput += weight * outcome.summary.lc_throughput;
-    summary.be_throughput += weight * outcome.summary.be_throughput;
-    summary.cpu_util += weight * outcome.summary.cpu_util;
-    summary.membw_util += weight * outcome.summary.membw_util;
-    summary.sla_violations += outcome.summary.sla_violations;
-    summary.be_kills += outcome.summary.be_kills;
-    summary.worst_tail_ratio =
-        std::max(summary.worst_tail_ratio, outcome.summary.worst_tail_ratio);
-    placed_pod_ticks +=
-        outcome.pods * request.measure_s / MachineAgent::kPeriodSeconds;
-
-    ++app.trials;
-    app.emu += outcome.summary.emu;
-    app.lc_throughput += outcome.summary.lc_throughput;
-    app.sla_violations += outcome.summary.sla_violations;
-    app.worst_tail_ratio =
-        std::max(app.worst_tail_ratio, outcome.summary.worst_tail_ratio);
+    checker_.CheckConservation((epoch + 1) * epoch_span_s_, epoch,
+                               epoch_disrupted_, epoch_failed_over_,
+                               epoch_lost_);
   }
 
-  // Machine-normalized quantities are per-epoch averages.
-  const double epochs = static_cast<double>(request.epochs);
-  summary.emu /= epochs;
-  summary.lc_throughput /= epochs;
-  summary.be_throughput /= epochs;
-  summary.cpu_util /= epochs;
-  summary.membw_util /= epochs;
+  const ClusterRunRequest& request_;
+  const int groups_per_epoch_;
+  const double epoch_span_s_;
 
-  if (placed_pod_ticks > 0.0) {
-    summary.slo_violation_rate =
-        static_cast<double>(summary.sla_violations) / placed_pod_ticks;
-  }
-  for (AppClusterStats& app : summary.per_app) {
-    if (app.trials > 0) {
-      app.emu /= app.trials;
-      app.lc_throughput /= app.trials;
-    }
-  }
+  std::map<LcAppKind, AppPlacementModel> models_;
+  std::function<const AppPlacementModel&(LcAppKind)> model_of_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  ClusterSupervisor supervisor_;
+  ClusterInvariantChecker checker_;
+  std::vector<MachineTransition> transitions_;
+  std::vector<int> loss_owner_;  // event_id whose loss holds the machine.
 
-  summary.groups = std::move(placed.outcomes);
+  ShardedEngine* engine_ = nullptr;
+  std::vector<GroupSlot> slots_;  // fixed size: slot pointers stay valid.
+  std::vector<GroupOutcome> outcomes_;
+  std::vector<ObsEvent> events_;
+  std::vector<GroupOutcome> previous_;  // last epoch's placement, group order.
 
-  summary.recording.meta.app = "cluster";
-  summary.recording.meta.be = request.policy;
-  summary.recording.meta.controller = ControllerKindName(request.controller);
-  summary.recording.meta.seed = request.seed;
-  summary.recording.meta.controller_period_s =
-      request.warmup_s + request.measure_s;
-  summary.recording.events = std::move(placed.events);
-  summary.recording.events_total = summary.recording.events.size();
-  return summary;
-}
+  int placement_churn_ = 0;
+  int machines_used_ = 0;
+
+  // Failure-domain accounting (totals and per-epoch conservation counters).
+  int machines_failed_ = 0;
+  int machines_restarted_ = 0;
+  int groups_disrupted_ = 0;
+  int groups_failed_over_ = 0;
+  int groups_lost_ = 0;
+  int pods_migrated_ = 0;
+  double down_group_seconds_ = 0.0;
+  double worst_failover_latency_s_ = 0.0;
+  int epoch_disrupted_ = 0;
+  int epoch_failed_over_ = 0;
+  int epoch_lost_ = 0;
+  size_t epoch_outcomes_begin_ = 0;
+  bool was_degraded_ = false;
+  std::vector<int> lost_pending_;      // since the last emitted snapshot.
+  std::vector<int> rejoined_pending_;
+};
 
 // Per-app tick totals are finalized after the trial summaries are in.
 void FinalizeAppRates(const ClusterRunRequest& request,
@@ -480,8 +1055,8 @@ void FinalizeAppRates(const ClusterRunRequest& request,
   std::map<LcAppKind, double> pod_ticks;
   for (const GroupOutcome& outcome : summary.groups) {
     if (outcome.placed) {
-      pod_ticks[outcome.app] +=
-          outcome.pods * request.measure_s / MachineAgent::kPeriodSeconds;
+      pod_ticks[outcome.app] += outcome.pods * outcome.served_measure_s /
+                                MachineAgent::kPeriodSeconds;
     }
   }
   for (AppClusterStats& app : summary.per_app) {
@@ -489,6 +1064,7 @@ void FinalizeAppRates(const ClusterRunRequest& request,
     app.slo_violation_rate =
         ticks > 0.0 ? static_cast<double>(app.sla_violations) / ticks : 0.0;
   }
+  (void)request;
 }
 
 void ExportRecording(const ClusterRunRequest& request,
@@ -524,38 +1100,41 @@ uint64_t DeriveShardSeed(uint64_t base_seed, uint64_t slot) {
   return DeriveTrialSeed(base_seed ^ 0xbf58476d1ce4e5b9ULL, slot);
 }
 
+uint64_t DeriveFailoverSeed(uint64_t base_seed, int epoch, int groups_per_epoch,
+                            int group, int incarnation) {
+  // Salted with SplitMix64's second mixing multiplier — a third stream
+  // family, disjoint from trial/group (unsalted) and shard (first-multiplier)
+  // streams. 1024 incarnations per flat index is far beyond what one epoch's
+  // barriers could start.
+  const uint64_t flat = static_cast<uint64_t>(epoch) *
+                            static_cast<uint64_t>(groups_per_epoch) +
+                        static_cast<uint64_t>(group);
+  return DeriveTrialSeed(base_seed ^ 0x94d049bb133111ebULL,
+                         flat * 1024 + static_cast<uint64_t>(incarnation));
+}
+
 std::vector<ClusterSummary> RunClusterPlan(const ClusterRunPlan& plan,
                                            const RunnerOptions& options) {
   for (const ClusterRunRequest& request : plan.requests) {
     ValidateRequest(request);
   }
 
-  // Phase 1: place everything (serial, pure).
-  std::vector<PlacedRequest> placements;
-  placements.reserve(plan.requests.size());
-  for (const ClusterRunRequest& request : plan.requests) {
-    placements.push_back(PlaceRequest(request));
-  }
-
-  // Phase 2: the partitioned engine. One shard pool serves the whole plan;
-  // each request's epochs run their placed groups concurrently between
-  // conservative-window barriers. Shard count is a performance knob only —
-  // summaries are bit-identical at any value.
+  // One shard pool serves the whole plan; each request's epochs run their
+  // placed groups concurrently between conservative-window barriers. Shard
+  // count is a performance knob only — summaries are bit-identical at any
+  // value.
   const int shards = options.shards > 0 ? options.shards : DefaultShardCount();
   ShardPool pool(shards);
   ShardedEngine engine(&pool);
-  for (size_t r = 0; r < plan.requests.size(); ++r) {
-    SimulatePlaced(plan.requests[r], placements[r], engine);
-  }
 
-  // Phase 3: roll up.
   std::vector<ClusterSummary> summaries;
   summaries.reserve(plan.requests.size());
-  for (size_t r = 0; r < plan.requests.size(); ++r) {
-    summaries.push_back(
-        SummarizeCluster(plan.requests[r], std::move(placements[r])));
-    FinalizeAppRates(plan.requests[r], summaries.back());
-    ExportRecording(plan.requests[r], summaries.back().recording);
+  for (const ClusterRunRequest& request : plan.requests) {
+    RequestExecution execution(request);
+    execution.Run(engine);
+    summaries.push_back(execution.Summarize());
+    FinalizeAppRates(request, summaries.back());
+    ExportRecording(request, summaries.back().recording);
   }
   return summaries;
 }

@@ -22,9 +22,11 @@
 #define RHYTHM_SRC_PLACE_CLUSTER_ENGINE_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/control/cluster_supervisor.h"
 #include "src/control/cluster_tick.h"
 #include "src/place/cluster_spec.h"
 #include "src/place/placement_policy.h"
@@ -62,6 +64,17 @@ struct ClusterRunRequest {
   // named here. Group trials themselves run unobserved (their summaries
   // carry the metrics).
   ObsOptions obs;
+  // Cluster-scope fault schedule (failure domains, DESIGN.md §14). Only
+  // kMachineFailure / kMachineRestart events are accepted — FaultEvent::pod
+  // is a *machine index* into the spec's roster, validated against
+  // spec.machines. Losses are enacted at the first barrier at/after start_s
+  // (epoch starts count as barriers); victims' trials are killed and, with
+  // the supervisor enabled, failed over. Per-deployment fault kinds are
+  // rejected here: they belong on individual RunRequests.
+  std::shared_ptr<const FaultSchedule> faults;
+  // Barrier-driven failover (src/control/cluster_supervisor.h). Disabled by
+  // default: losses then simply take their groups down for the epoch.
+  SupervisorOptions supervisor;
   // Top-controller seam: fired on the coordinating thread after every
   // conservative-window barrier with a slot-order-merged snapshot of the
   // running groups. Must be read-only; see src/control/cluster_tick.h.
@@ -85,8 +98,11 @@ struct ClusterRunPlan {
   bool empty() const { return requests.empty(); }
 };
 
-// What happened to one group in one epoch. Unplaced groups carry a
-// default-constructed summary (their demand went unserved).
+// What happened to one incarnation of one group in one epoch. Unplaced
+// groups carry a default-constructed summary (their demand went unserved).
+// Machine loss can split a group-epoch into several incarnations: the epoch
+// placement (incarnation 0), then one entry per failover replacement.
+// ClusterSummary::groups is sorted by (epoch, group, incarnation).
 struct GroupOutcome {
   int epoch = 0;
   int group = 0;
@@ -98,6 +114,14 @@ struct GroupOutcome {
   int pods = 0;
   double load = 0.0;   // offered load after the epoch scale.
   double score = 0.0;  // the policy's predicted-interference score.
+  // -- Failure domains --
+  int incarnation = 0;    // 0: epoch placement; n: n-th failover replacement.
+  double start_s = 0.0;   // epoch-local start (failovers start mid-epoch).
+  // Seconds of the epoch's measurement window this incarnation served; the
+  // rollup weights its rates by served_measure_s / measure_s. Exactly
+  // measure_s for an undisrupted epoch placement.
+  double served_measure_s = 0.0;
+  bool disrupted = false;  // killed by machine loss before the epoch ended.
   RunSummary summary;
 };
 
@@ -143,8 +167,34 @@ struct ClusterSummary {
   // between consecutive epochs, summed; 0 for single-epoch runs.
   int placement_churn = 0;
 
+  // -- Failure domains (all zero when the request schedules no machine
+  // faults; DESIGN.md §14) --
+  int machines_failed = 0;      // loss transitions enacted.
+  int machines_restarted = 0;   // rejoin transitions enacted.
+  int machines_down_end = 0;    // still dead when the run ended.
+  int groups_disrupted = 0;     // incarnations killed by machine loss.
+  int groups_failed_over = 0;   // replacement incarnations started.
+  int groups_lost = 0;          // disruptions nothing replaced (budget,
+                                // capacity, or supervisor disabled).
+  int pods_migrated = 0;        // machines allocated to replacements.
+  // Group-seconds of demanded measurement time that went unserved because of
+  // machine loss (per disrupted group-epoch: measure_s minus every
+  // incarnation's served seconds, floored at zero).
+  double down_group_seconds = 0.0;
+  // Worst loss-to-enactment latency (barrier time minus the schedule's
+  // start_s) — bounded by the "fail.latency" invariant.
+  double worst_failover_latency_s = 0.0;
+  int degraded_barriers = 0;    // barriers spent in degraded mode.
+  // Cluster-scope invariant findings (src/verify/cluster_invariants.h),
+  // populated when the request's verify mode is kCollect. Distinct from the
+  // per-trial violations inside each GroupOutcome::summary.
+  std::vector<InvariantViolation> cluster_invariant_violations;
+  uint64_t cluster_invariant_violations_total = 0;
+
   std::vector<AppClusterStats> per_app;  // ordered by first appearance.
-  std::vector<GroupOutcome> groups;      // epoch-major, group order within.
+  // Sorted by (epoch, group, incarnation) — epoch-major with failover
+  // incarnations interleaved after their group's epoch placement.
+  std::vector<GroupOutcome> groups;
   // Placement event stream (ObsKind::kPlacement), meta.app = "cluster",
   // meta.be = policy. Always populated; exported when the request's
   // ObsOptions name paths.
@@ -163,6 +213,14 @@ uint64_t DeriveGroupSeed(uint64_t base_seed, int epoch, int groups_per_epoch,
 // draws can never collide with a trial's stream. Keyed by logical slot,
 // never by physical shard — any RHYTHM_SHARDS value sees identical streams.
 uint64_t DeriveShardSeed(uint64_t base_seed, uint64_t slot);
+
+// Seed for a failover replacement trial: a third stream family (salted like
+// DeriveShardSeed but with SplitMix64's second mixing multiplier), keyed by
+// the flat group-epoch index and the incarnation number — so replacement
+// trials never share a stream with epoch placements, shard streams, or each
+// other, and a replacement is reproducible standalone with plain Run().
+uint64_t DeriveFailoverSeed(uint64_t base_seed, int epoch, int groups_per_epoch,
+                            int group, int incarnation);
 
 // Executes one cluster request / a batch of them. Plan results come back in
 // plan order; every request runs on one shared shard pool sized by

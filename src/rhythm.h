@@ -59,6 +59,8 @@
 #include "src/verify/adversary/genome.h"
 #include "src/verify/adversary/search.h"
 #include "src/verify/chaos_fuzzer.h"
+#include "src/verify/cluster_fuzzer.h"
+#include "src/verify/cluster_invariants.h"
 #include "src/verify/deployment_observer.h"
 #include "src/verify/invariant_monitor.h"
 #include "src/verify/invariant_types.h"

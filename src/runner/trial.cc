@@ -39,6 +39,10 @@ void Validate(const RunRequest& request) {
   if (request.faults != nullptr) {
     const int pods = MakeApp(request.app).pod_count();
     for (const FaultEvent& event : request.faults->events) {
+      if (IsClusterScopeFault(event.kind)) {
+        throw std::invalid_argument(std::string("RunRequest: ") + FaultKindName(event.kind) +
+                                    " is cluster-scope; inject it via a ClusterRunRequest");
+      }
       const std::string error = FaultEventError(event, pods);
       if (!error.empty()) {
         throw std::invalid_argument("RunRequest: " + error);
@@ -145,6 +149,21 @@ void Trial::AdvanceTo(double time_s) {
   if (target > sim.Now()) {
     sim.RunUntil(target);
   }
+}
+
+RunSummary Trial::Harvest() const {
+  RunSummary summary;
+  if (measuring_) {
+    const double t1 = deployment_->sim().Now();
+    if (t1 > t0_) {
+      summary = Summarize(*deployment_, t0_, t1, kills_before_, violations_before_);
+    }
+  }
+  if (monitor_ != nullptr) {
+    summary.invariant_violations = monitor_->violations();
+    summary.invariant_violations_total = monitor_->total_violations();
+  }
+  return summary;
 }
 
 RunSummary Trial::Finish() {

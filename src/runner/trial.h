@@ -61,6 +61,16 @@ class Trial {
   // hooks. Must be called at most once.
   RunSummary Finish();
 
+  // Summarizes [warmup boundary, now) without advancing, finalizing the
+  // monitor or exporting — the harvest path for a trial killed mid-run (the
+  // cluster engine uses it when machine loss disrupts a group). Collected
+  // invariant violations are included; a trial killed before its warmup
+  // boundary returns a default summary (it never measured). The trial stays
+  // usable afterwards, though the engine destroys it right away.
+  RunSummary Harvest() const;
+
+  bool measuring() const { return measuring_; }
+
   const RunRequest& request() const { return request_; }
   Deployment& deployment() { return *deployment_; }
   const Deployment& deployment() const { return *deployment_; }

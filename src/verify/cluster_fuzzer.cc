@@ -1,0 +1,105 @@
+#include "src/verify/cluster_fuzzer.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+namespace rhythm {
+
+ClusterRunRequest ClusterFuzzTrialRequest(const ClusterFuzzOptions& options,
+                                          int index) {
+  const uint64_t schedule_seed =
+      DeriveTrialSeed(options.seed, 2 * static_cast<uint64_t>(index));
+  const uint64_t run_seed =
+      DeriveTrialSeed(options.seed, 2 * static_cast<uint64_t>(index) + 1);
+
+  // Machine-loss-only chaos: a default-constructed config already has every
+  // per-deployment rate we don't want... except the flat-trial defaults, so
+  // zero them explicitly — a cluster request rejects per-deployment kinds.
+  ChaosConfig chaos;
+  chaos.duration_s =
+      options.epochs * (options.warmup_s + options.measure_s);
+  chaos.expected_crashes = 0.0;
+  chaos.expected_telemetry_dropouts = 0.0;
+  chaos.expected_actuation_windows = 0.0;
+  chaos.expected_be_failures = 0.0;
+  chaos.expected_admission_holds = 0.0;
+  chaos.expected_load_spikes = 0.0;
+  chaos.machine_count = options.machines;
+  chaos.expected_machine_failures = options.expected_machine_failures;
+  chaos.expected_machine_restarts = options.expected_machine_restarts;
+  chaos.restart_min_down_s = options.restart_min_down_s;
+  chaos.restart_max_down_s = options.restart_max_down_s;
+
+  ClusterRunRequest request;
+  request.spec = SyntheticClusterSpec(options.machines, run_seed);
+  request.policy = options.policy;
+  request.seed = run_seed;
+  request.warmup_s = options.warmup_s;
+  request.measure_s = options.measure_s;
+  request.epochs = options.epochs;
+  request.faults = std::make_shared<FaultSchedule>(
+      RandomFaultSchedule(chaos, schedule_seed));
+  request.supervisor.enabled = options.supervisor;
+  request.supervisor.migration_budget = options.migration_budget;
+  request.supervisor.degraded_dead_fraction = options.degraded_dead_fraction;
+  request.verify = options.verify;
+  request.verify.mode = InvariantMode::kCollect;
+  request.label = "cluster-fuzz#" + std::to_string(index) +
+                  " sched_seed=" + std::to_string(schedule_seed) +
+                  " run_seed=" + std::to_string(run_seed);
+  return request;
+}
+
+ClusterFuzzReport FuzzClusterChaos(const ClusterFuzzOptions& options) {
+  ClusterFuzzReport report;
+  if (options.trials <= 0) {
+    return report;
+  }
+  const RunnerOptions runner{.shards = options.shards};
+  const auto started = std::chrono::steady_clock::now();
+
+  for (int trial = 0; trial < options.trials; ++trial) {
+    if (options.wall_clock_budget_s > 0.0 && trial > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - started;
+      if (elapsed.count() >= options.wall_clock_budget_s) {
+        report.budget_exhausted = true;
+        break;
+      }
+    }
+    const ClusterRunRequest request = ClusterFuzzTrialRequest(options, trial);
+    const ClusterSummary summary = RunCluster(request, runner);
+    ++report.trials_run;
+
+    uint64_t total = summary.cluster_invariant_violations_total;
+    std::vector<InvariantViolation> violations =
+        summary.cluster_invariant_violations;
+    for (const GroupOutcome& outcome : summary.groups) {
+      total += outcome.summary.invariant_violations_total;
+      violations.insert(violations.end(),
+                        outcome.summary.invariant_violations.begin(),
+                        outcome.summary.invariant_violations.end());
+    }
+    if (total == 0) {
+      continue;
+    }
+    ++report.violating_trials;
+    ClusterFuzzFinding finding;
+    finding.trial = trial;
+    finding.schedule_seed =
+        DeriveTrialSeed(options.seed, 2 * static_cast<uint64_t>(trial));
+    finding.run_seed =
+        DeriveTrialSeed(options.seed, 2 * static_cast<uint64_t>(trial) + 1);
+    finding.schedule = *request.faults;
+    finding.violations = std::move(violations);
+    finding.violations_total = total;
+    report.findings.push_back(std::move(finding));
+    if (options.fail_fast) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace rhythm

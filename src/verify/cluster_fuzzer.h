@@ -1,0 +1,98 @@
+// Cluster chaos fuzzer: sweeps seeded random machine-loss schedules through
+// full cluster runs (DESIGN.md §14) with the cluster invariant checker and
+// the per-trial monitors armed in collect mode, and reports every run that
+// breached an invariant, keyed by the (options, index) pair that reproduces
+// it — the cluster-scope sibling of FuzzChaos in chaos_fuzzer.h.
+//
+// Determinism contract mirrors the flat fuzzer: sweep trial `i` is a pure
+// function of (ClusterFuzzOptions, i). The machine-loss schedule comes from
+// RandomFaultSchedule(chaos, DeriveTrialSeed(seed, 2i)) with every
+// per-deployment rate zeroed (a cluster request accepts only machine-scope
+// kinds), the cluster seed is DeriveTrialSeed(seed, 2i+1), and the run is
+// bit-identical at any RHYTHM_SHARDS value — so a finding replays exactly
+// from its trial index alone.
+//
+// Layering: fuzzing a cluster needs RunCluster (src/place), which sits above
+// the verify library, so this implementation compiles into rhythm_place —
+// the same arrangement as src/control/cluster_supervisor.cc.
+
+#ifndef RHYTHM_SRC_VERIFY_CLUSTER_FUZZER_H_
+#define RHYTHM_SRC_VERIFY_CLUSTER_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/place/cluster_engine.h"
+
+namespace rhythm {
+
+struct ClusterFuzzOptions {
+  int trials = 25;
+  uint64_t seed = 1;
+  int shards = 0;  // engine shard count; <= 0 means auto (RHYTHM_SHARDS).
+  // Stop launching new trials once a violating one is found (the sweep still
+  // reports it). false scans every trial regardless.
+  bool fail_fast = true;
+  // Stops launching new trials once exceeded (checked between trials, so
+  // every trial that runs is bit-identical to the unbudgeted sweep).
+  double wall_clock_budget_s = 0.0;
+
+  // Cluster shape per trial. Small on purpose: the fuzzer's job is hitting
+  // failover corner cases (overlapping losses, restart races, budget
+  // exhaustion, degraded flips), not datacenter scale.
+  int machines = 48;
+  int epochs = 2;
+  std::string policy = kPolicyRhythmAware;
+  double warmup_s = 6.0;
+  double measure_s = 30.0;
+  bool supervisor = true;         // exercise failover; false fuzzes bare loss.
+  int migration_budget = 1 << 30;  // forwarded to SupervisorOptions.
+  double degraded_dead_fraction = 0.5;
+
+  // Machine-loss chaos knobs. duration_s is ignored (the sweep uses the full
+  // cluster horizon: epochs * (warmup + measure)); machine_count is forced to
+  // `machines`; every per-deployment rate is zeroed before drawing.
+  double expected_machine_failures = 3.0;
+  double expected_machine_restarts = 2.0;
+  double restart_min_down_s = 10.0;
+  double restart_max_down_s = 40.0;
+
+  // Invariant knobs shared by the cluster checker and every group trial. The
+  // mode is forced to kCollect inside the sweep.
+  InvariantOptions verify;
+};
+
+// One violating cluster run: everything needed to replay it.
+struct ClusterFuzzFinding {
+  int trial = -1;
+  uint64_t schedule_seed = 0;
+  uint64_t run_seed = 0;
+  FaultSchedule schedule;
+  // Cluster-scope violations first, then any group-trial violations, in
+  // (epoch, group, incarnation) order.
+  std::vector<InvariantViolation> violations;
+  uint64_t violations_total = 0;
+};
+
+struct ClusterFuzzReport {
+  int trials_run = 0;
+  int violating_trials = 0;
+  std::vector<ClusterFuzzFinding> findings;  // in trial order.
+  bool budget_exhausted = false;
+  bool clean() const { return violating_trials == 0; }
+};
+
+// The exact request sweep trial `index` executes (schedule drawn, seeds
+// derived, checker in collect mode). Exposed so findings replay outside the
+// sweep.
+ClusterRunRequest ClusterFuzzTrialRequest(const ClusterFuzzOptions& options,
+                                          int index);
+
+// Runs the sweep serially (each trial already fans out across the shard
+// pool); with fail_fast, no new trial starts once a violation has been seen.
+ClusterFuzzReport FuzzClusterChaos(const ClusterFuzzOptions& options);
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_VERIFY_CLUSTER_FUZZER_H_

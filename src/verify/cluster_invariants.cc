@@ -1,0 +1,108 @@
+#include "src/verify/cluster_invariants.h"
+
+#include <string>
+
+#include "src/verify/invariant_monitor.h"
+
+namespace rhythm {
+
+ClusterInvariantChecker::ClusterInvariantChecker(const InvariantOptions& options,
+                                                int machines)
+    : options_(options), down_since_(static_cast<size_t>(machines), -1.0) {}
+
+bool ClusterInvariantChecker::AlreadyRecorded(const char* id, int machine) const {
+  for (const InvariantViolation& violation : violations_) {
+    if (violation.machine == machine && violation.id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClusterInvariantChecker::Report(double time_s, int machine, const char* id,
+                                     std::string detail) {
+  ++total_;
+  if (!AlreadyRecorded(id, machine) && violations_.size() < kMaxStoredViolations) {
+    violations_.push_back(InvariantViolation{time_s, machine, id, detail});
+  }
+  if (options_.mode == InvariantMode::kFailFast) {
+    throw InvariantViolationError(InvariantViolation{time_s, machine, id, std::move(detail)});
+  }
+}
+
+void ClusterInvariantChecker::OnLossEnacted(double time_s, int machine,
+                                            double scheduled_s) {
+  if (!armed()) {
+    return;
+  }
+  const double latency = time_s - scheduled_s;
+  if (latency > options_.failover_latency_bound_s) {
+    Report(time_s, machine, "fail.latency",
+           "loss scheduled at " + std::to_string(scheduled_s) + "s enacted at " +
+               std::to_string(time_s) + "s (latency " + std::to_string(latency) +
+               "s > bound " + std::to_string(options_.failover_latency_bound_s) + "s)");
+  }
+  if (machine >= 0 && machine < static_cast<int>(down_since_.size())) {
+    down_since_[static_cast<size_t>(machine)] = time_s;
+  }
+}
+
+void ClusterInvariantChecker::OnRejoinEnacted(double time_s, int machine) {
+  if (!armed()) {
+    return;
+  }
+  if (machine < 0 || machine >= static_cast<int>(down_since_.size())) {
+    Report(time_s, machine, "fail.rejoin",
+           "rejoin enacted for out-of-roster machine " + std::to_string(machine));
+    return;
+  }
+  const double down_since = down_since_[static_cast<size_t>(machine)];
+  if (down_since < 0.0) {
+    Report(time_s, machine, "fail.rejoin",
+           "rejoin enacted while the machine is alive");
+    return;
+  }
+  if (time_s <= down_since) {
+    Report(time_s, machine, "fail.rejoin",
+           "rejoin at " + std::to_string(time_s) + "s is not after the loss at " +
+               std::to_string(down_since) + "s");
+    return;
+  }
+  down_since_[static_cast<size_t>(machine)] = -1.0;
+}
+
+void ClusterInvariantChecker::CheckAssignments(
+    double time_s, const std::vector<std::pair<int, int>>& live_ranges) {
+  if (!armed()) {
+    return;
+  }
+  for (const auto& [first, pods] : live_ranges) {
+    for (int m = first; m < first + pods; ++m) {
+      if (m >= 0 && m < static_cast<int>(down_since_.size()) &&
+          down_since_[static_cast<size_t>(m)] >= 0.0) {
+        Report(time_s, m, "fail.dead-assign",
+               "group range [" + std::to_string(first) + ", " +
+                   std::to_string(first + pods) + ") runs on machine " +
+                   std::to_string(m) + ", dead since " +
+                   std::to_string(down_since_[static_cast<size_t>(m)]) + "s");
+        break;  // one report per group range is enough.
+      }
+    }
+  }
+}
+
+void ClusterInvariantChecker::CheckConservation(double time_s, int epoch,
+                                                int disrupted, int failed_over,
+                                                int lost) {
+  if (!armed()) {
+    return;
+  }
+  if (disrupted != failed_over + lost) {
+    Report(time_s, -1, "fail.conserve",
+           "epoch " + std::to_string(epoch) + ": " + std::to_string(disrupted) +
+               " disrupted incarnations but " + std::to_string(failed_over) +
+               " failovers + " + std::to_string(lost) + " lost");
+  }
+}
+
+}  // namespace rhythm

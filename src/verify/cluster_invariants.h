@@ -1,0 +1,82 @@
+// Cluster-scope invariants for the failure-domain layer (DESIGN.md §14).
+//
+// The per-trial InvariantMonitor watches one deployment from the inside;
+// machine loss and failover are decided *between* trials, on the cluster
+// engine's coordinating thread, so their invariants live here. The checker
+// keeps its own shadow liveness state and validates every transition the
+// engine enacts against it — a checker that trusted the engine's roster
+// would only ever confirm the roster agrees with itself.
+//
+// Catalogue additions (ids follow the DESIGN.md §9 dotted scheme):
+//   fail.latency      a machine loss was enacted more than
+//                     failover_latency_bound_s after its scheduled start — the
+//                     barrier-driven supervisor slept through its window.
+//   fail.dead-assign  a running group's machine range intersects a dead
+//                     machine after a barrier settled.
+//   fail.rejoin       a rejoin was enacted on a machine the shadow state says
+//                     is alive, or at a time not after its loss (monotone
+//                     rejoin legality).
+//   fail.conserve     epoch-end conservation: disrupted incarnations !=
+//                     failovers started + groups lost.
+//
+// Like the monitor, the checker is passive and draws no randomness; kCollect
+// records, kFailFast throws InvariantViolationError at the first breach.
+
+#ifndef RHYTHM_SRC_VERIFY_CLUSTER_INVARIANTS_H_
+#define RHYTHM_SRC_VERIFY_CLUSTER_INVARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/verify/invariant_types.h"
+
+namespace rhythm {
+
+class ClusterInvariantChecker {
+ public:
+  // Matches InvariantMonitor: first occurrence kept per (id, machine),
+  // repeats only bump the total.
+  static constexpr size_t kMaxStoredViolations = 100;
+
+  ClusterInvariantChecker(const InvariantOptions& options, int machines);
+
+  bool armed() const { return options_.mode != InvariantMode::kOff; }
+
+  // A loss transition the engine just enacted. `scheduled_s` is the fault
+  // event's start_s; `time_s` the barrier's cluster time.
+  void OnLossEnacted(double time_s, int machine, double scheduled_s);
+
+  // A rejoin transition the engine just enacted.
+  void OnRejoinEnacted(double time_s, int machine);
+
+  // Post-barrier assignment audit: every running group's machine range
+  // [first, first + pods) must avoid machines the shadow state holds dead.
+  void CheckAssignments(double time_s,
+                        const std::vector<std::pair<int, int>>& live_ranges);
+
+  // Epoch-end conservation: every disrupted incarnation must be accounted as
+  // exactly one failover or one lost group.
+  void CheckConservation(double time_s, int epoch, int disrupted,
+                         int failed_over, int lost);
+
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  uint64_t total_violations() const { return total_; }
+
+ private:
+  void Report(double time_s, int machine, const char* id, std::string detail);
+  bool AlreadyRecorded(const char* id, int machine) const;
+
+  InvariantOptions options_;
+  // Shadow liveness: < 0 alive, else the cluster time the machine went down.
+  std::vector<double> down_since_;
+  std::vector<InvariantViolation> violations_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_VERIFY_CLUSTER_INVARIANTS_H_

@@ -46,6 +46,15 @@ struct InvariantOptions {
   // fuzz -> minimize -> repro pipeline a deterministic target in tests,
   // demos and checked-in regression schedules.
   double synthetic_tail_tripwire_ms = std::numeric_limits<double>::infinity();
+
+  // Cluster-scope failover latency bound ("fail.latency", checked by the
+  // cluster engine, not the per-trial monitor): a machine loss must be
+  // enacted — victims killed, failover planned — within this many seconds of
+  // the schedule's start_s. The conservative-window barrier quantizes
+  // enactment to one tick window (2 s), so the default leaves headroom for
+  // coarser future windows while still catching a supervisor that sleeps
+  // through barriers.
+  double failover_latency_bound_s = 10.0;
 };
 
 }  // namespace rhythm

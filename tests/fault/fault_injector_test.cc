@@ -155,6 +155,23 @@ TEST(FaultInjectorTest, OutOfRangePodIsRejectedAtConstruction) {
   EXPECT_THROW(FaultInjector(&sim, schedule, 2, 5), std::invalid_argument);
 }
 
+TEST(FaultInjectorTest, ClusterScopeKindsAreRejectedAtConstruction) {
+  // Machine loss targets a ClusterRunRequest's roster; a lone deployment has
+  // no machine list to kill, so reaching the injector is a wiring bug.
+  Simulator sim;
+  for (FaultKind kind : {FaultKind::kMachineFailure, FaultKind::kMachineRestart}) {
+    FaultSchedule schedule;
+    schedule.Add({kind, 0, 5.0, 10.0, 0.0});
+    try {
+      FaultInjector injector(&sim, schedule, 2, 5);
+      FAIL() << "expected rejection of " << FaultKindName(kind);
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("cluster-scope"),
+                std::string::npos);
+    }
+  }
+}
+
 TEST(FaultInjectorTest, NegativeStartIsRejected) {
   Simulator sim;
   FaultSchedule schedule;

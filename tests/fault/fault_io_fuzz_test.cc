@@ -19,7 +19,7 @@ namespace {
 constexpr FaultKind kKinds[] = {
     FaultKind::kPodCrash,        FaultKind::kTelemetryDropout, FaultKind::kTelemetryFreeze,
     FaultKind::kActuationDrop,   FaultKind::kBeInstanceFailure, FaultKind::kLoadSpike,
-    FaultKind::kBeAdmissionHold,
+    FaultKind::kBeAdmissionHold, FaultKind::kMachineFailure,   FaultKind::kMachineRestart,
 };
 constexpr int kKindCount = static_cast<int>(sizeof(kKinds) / sizeof(kKinds[0]));
 

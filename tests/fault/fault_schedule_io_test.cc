@@ -17,6 +17,9 @@ FaultSchedule SampleSchedule() {
   schedule.Add({FaultKind::kBeInstanceFailure, 0, 36.0, 0.0, 0.0});
   // Awkward doubles must survive the %.17g round-trip bit-exactly.
   schedule.Add({FaultKind::kLoadSpike, 0, 55.000000000000007, 20.0, 0.2500000000000001});
+  // Cluster-scope kinds (pod = machine index) ride the same format.
+  schedule.Add({FaultKind::kMachineFailure, 412, 61.999999999999993, 0.0, 0.0});
+  schedule.Add({FaultKind::kMachineRestart, 7, 12.5, 33.333333333333336, 0.0});
   return schedule;
 }
 
@@ -83,7 +86,9 @@ TEST(FaultScheduleIoTest, MissingFileThrows) {
 TEST(FaultScheduleIoTest, ParseFaultKindInvertsNames) {
   for (FaultKind kind : {FaultKind::kPodCrash, FaultKind::kTelemetryDropout,
                          FaultKind::kTelemetryFreeze, FaultKind::kActuationDrop,
-                         FaultKind::kBeInstanceFailure, FaultKind::kLoadSpike}) {
+                         FaultKind::kBeInstanceFailure, FaultKind::kLoadSpike,
+                         FaultKind::kBeAdmissionHold, FaultKind::kMachineFailure,
+                         FaultKind::kMachineRestart}) {
     FaultKind parsed;
     ASSERT_TRUE(ParseFaultKind(FaultKindName(kind), &parsed));
     EXPECT_EQ(parsed, kind);

@@ -101,6 +101,87 @@ TEST(FaultEventErrorTest, MessagesNameTheKind) {
   EXPECT_NE(error.find(FaultKindName(FaultKind::kActuationDrop)), std::string::npos);
 }
 
+TEST(FaultEventErrorTest, ClusterScopeKindsValidateMachineIndexAndWindow) {
+  // pod is a machine index for cluster-scope kinds; pass the machine count.
+  EXPECT_EQ(FaultEventError({FaultKind::kMachineFailure, 7, 30.0, 0.0, 0.0}, 8), "");
+  EXPECT_EQ(FaultEventError({FaultKind::kMachineRestart, 0, 30.0, 15.0, 0.0}, 8), "");
+  // Out-of-range machine indices are rejected, both ends.
+  EXPECT_NE(FaultEventError({FaultKind::kMachineFailure, 8, 30.0, 0.0, 0.0}, 8), "");
+  EXPECT_NE(FaultEventError({FaultKind::kMachineFailure, -1, 30.0, 0.0, 0.0}, 8), "");
+  EXPECT_NE(FaultEventError({FaultKind::kMachineRestart, 100, 30.0, 15.0, 0.0}, 8), "");
+  // A restart is a downtime window: zero duration is a typo, a permanent
+  // failure ignores duration entirely.
+  EXPECT_NE(FaultEventError({FaultKind::kMachineRestart, 0, 30.0, 0.0, 0.0}, 8), "");
+  EXPECT_EQ(FaultEventError({FaultKind::kMachineFailure, 0, 30.0, 0.0, 0.0}, 8), "");
+  // The diagnostic calls the target a machine, not a pod.
+  const std::string error =
+      FaultEventError({FaultKind::kMachineFailure, 8, 30.0, 0.0, 0.0}, 8);
+  EXPECT_NE(error.find("machine"), std::string::npos);
+}
+
+TEST(FaultScheduleTest, ClusterScopePredicateCoversExactlyMachineKinds) {
+  EXPECT_TRUE(IsClusterScopeFault(FaultKind::kMachineFailure));
+  EXPECT_TRUE(IsClusterScopeFault(FaultKind::kMachineRestart));
+  for (FaultKind kind : {FaultKind::kPodCrash, FaultKind::kTelemetryDropout,
+                         FaultKind::kTelemetryFreeze, FaultKind::kActuationDrop,
+                         FaultKind::kBeInstanceFailure, FaultKind::kLoadSpike,
+                         FaultKind::kBeAdmissionHold}) {
+    EXPECT_FALSE(IsClusterScopeFault(kind)) << FaultKindName(kind);
+  }
+}
+
+TEST(FaultScheduleTest, RandomMachineLossDrawsRespectBounds) {
+  ChaosConfig config;
+  config.duration_s = 300.0;
+  config.pod_count = 2;
+  config.machine_count = 16;
+  config.expected_machine_failures = 4.0;
+  config.expected_machine_restarts = 4.0;
+  config.restart_min_down_s = 12.0;
+  config.restart_max_down_s = 24.0;
+  const FaultSchedule schedule = RandomFaultSchedule(config, 21);
+  int machine_events = 0;
+  for (const FaultEvent& event : schedule.events) {
+    if (!IsClusterScopeFault(event.kind)) {
+      continue;
+    }
+    ++machine_events;
+    EXPECT_GE(event.pod, 0);
+    EXPECT_LT(event.pod, config.machine_count);
+    EXPECT_GE(event.start_s, 0.0);
+    EXPECT_LE(event.start_s, config.duration_s);
+    if (event.kind == FaultKind::kMachineRestart) {
+      EXPECT_GE(event.duration_s, config.restart_min_down_s);
+      EXPECT_LE(event.duration_s, config.restart_max_down_s);
+    }
+  }
+  EXPECT_GT(machine_events, 0);
+}
+
+TEST(FaultScheduleTest, MachineLossKnobsDefaultOffAndPreserveOldSeeds) {
+  // The machine-loss knobs default to zero, so a pre-existing (config, seed)
+  // pair must keep drawing the exact schedule it always drew.
+  ChaosConfig config;
+  config.duration_s = 900.0;
+  config.pod_count = 4;
+  config.expected_crashes = 2.0;
+  const FaultSchedule before = RandomFaultSchedule(config, 7);
+  for (const FaultEvent& event : before.events) {
+    EXPECT_FALSE(IsClusterScopeFault(event.kind));
+  }
+  ChaosConfig with_machines = config;
+  with_machines.machine_count = 8;
+  with_machines.expected_machine_failures = 2.0;
+  const FaultSchedule after = RandomFaultSchedule(with_machines, 7);
+  // The per-deployment prefix is untouched; machine draws append at the end.
+  ASSERT_GE(after.events.size(), before.events.size());
+  for (size_t i = 0; i < before.events.size(); ++i) {
+    EXPECT_EQ(after.events[i].kind, before.events[i].kind);
+    EXPECT_EQ(after.events[i].pod, before.events[i].pod);
+    EXPECT_EQ(after.events[i].start_s, before.events[i].start_s);
+  }
+}
+
 TEST(FaultScheduleTest, KindNamesAreDistinct) {
   EXPECT_STRNE(FaultKindName(FaultKind::kPodCrash),
                FaultKindName(FaultKind::kTelemetryDropout));
@@ -108,6 +189,10 @@ TEST(FaultScheduleTest, KindNamesAreDistinct) {
                FaultKindName(FaultKind::kActuationDrop));
   EXPECT_STRNE(FaultKindName(FaultKind::kBeInstanceFailure),
                FaultKindName(FaultKind::kLoadSpike));
+  EXPECT_STRNE(FaultKindName(FaultKind::kMachineFailure),
+               FaultKindName(FaultKind::kMachineRestart));
+  EXPECT_STRNE(FaultKindName(FaultKind::kMachineFailure),
+               FaultKindName(FaultKind::kPodCrash));
 }
 
 TEST(FaultScheduleTest, RandomScheduleIsDeterministicPerSeed) {

@@ -13,6 +13,19 @@
 //   --minimize         ddmin-shrink the first finding's schedule
 //   --repro-out PATH   write the (minimized) finding as a repro file
 //
+// Cluster mode (machine-loss schedules against full cluster runs, with the
+// cluster invariant checker armed; DESIGN.md §14):
+//   --cluster              fuzz cluster runs instead of flat trials
+//   --machines N           cluster size per trial (48)
+//   --epochs N             placement epochs per trial (2)
+//   --policy NAME          placement policy (rhythm-aware)
+//   --shards N             engine shard count (RHYTHM_SHARDS or auto)
+//   --machine-failures F   expected permanent losses per run (3)
+//   --machine-restarts F   expected loss+rejoin cycles per run (2)
+//   --supervisor on|off    barrier-driven failover (on)
+//   --migration-budget N   re-placements allowed per loss barrier
+//   (--minimize / --repro-out apply to flat mode only)
+//
 // Budget flags shared with tools/adversary_search (see tools/README.md):
 //   --generations N        with --population: trials = N * population,
 //                          chunked one generation at a time
@@ -49,26 +62,76 @@ void PrintViolations(const std::vector<InvariantViolation>& violations, uint64_t
 
 }  // namespace
 
+int RunClusterMode(const FuzzOptions& options, const ClusterFuzzOptions& cluster) {
+  std::printf("chaos_fuzz: cluster mode, %d trials, seed %llu, %d machines, "
+              "%d epochs, policy %s, supervisor %s, %s\n",
+              cluster.trials, (unsigned long long)cluster.seed, cluster.machines,
+              cluster.epochs, cluster.policy.c_str(),
+              cluster.supervisor ? "on" : "off",
+              cluster.fail_fast ? "fail-fast" : "full scan");
+  (void)options;
+
+  ClusterFuzzReport report;
+  try {
+    report = FuzzClusterChaos(cluster);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "chaos_fuzz: cluster sweep failed: %s\n", error.what());
+    return 2;
+  }
+
+  std::printf("trials run: %d, violating: %d\n", report.trials_run, report.violating_trials);
+  if (report.budget_exhausted) {
+    std::printf("wall-clock budget exhausted; sweep stopped between trials\n");
+  }
+  if (report.clean()) {
+    std::printf("sweep clean: every cluster invariant held on all %d trials\n",
+                report.trials_run);
+    return 0;
+  }
+  for (const ClusterFuzzFinding& finding : report.findings) {
+    std::printf("  trial #%d: %d events, sched_seed=%llu run_seed=%llu, %llu breaches\n",
+                finding.trial, (int)finding.schedule.events.size(),
+                (unsigned long long)finding.schedule_seed,
+                (unsigned long long)finding.run_seed,
+                (unsigned long long)finding.violations_total);
+    PrintViolations(finding.violations, finding.violations_total);
+  }
+  return 1;
+}
+
 int main(int argc, char** argv) {
   FuzzOptions options;
+  ClusterFuzzOptions cluster;
+  bool cluster_mode = false;
   bool minimize = false;
+  int trials = 0;  // 0: keep each mode's default sweep size.
   std::string repro_out;
 
   FlagParser flags(argc, argv);
   while (flags.Next()) {
-    if (flags.Int("--trials", &options.trials) ||
+    if (flags.Int("--trials", &trials) ||
         flags.U64("--seed", &options.seed) ||
         flags.Int("--jobs", &options.jobs) ||
         flags.Double("--load", &options.load) ||
         flags.Double("--tripwire-ms", &options.verify.synthetic_tail_tripwire_ms) ||
         flags.Double("--horizon-s", &options.verify.recovery_horizon_s) ||
         flags.Str("--repro-out", &repro_out) ||
+        flags.Int("--machines", &cluster.machines) ||
+        flags.Int("--epochs", &cluster.epochs) ||
+        flags.Str("--policy", &cluster.policy) ||
+        flags.Int("--shards", &cluster.shards) ||
+        flags.Double("--machine-failures", &cluster.expected_machine_failures) ||
+        flags.Double("--machine-restarts", &cluster.expected_machine_restarts) ||
+        flags.OnOff("--supervisor", &cluster.supervisor) ||
+        flags.Int("--migration-budget", &cluster.migration_budget) ||
         MatchBudgetFlags(flags, &options.generations, &options.population,
                          &options.wall_clock_budget_s)) {
       continue;
     }
     if (flags.Is("--scan")) {
       options.fail_fast = false;
+    } else if (flags.Is("--cluster")) {
+      cluster_mode = true;
     } else if (flags.Is("--minimize")) {
       minimize = true;
     } else {
@@ -77,9 +140,25 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (options.trials <= 0) {
-    std::fprintf(stderr, "chaos_fuzz: --trials must be positive\n");
-    return 2;
+  if (trials != 0) {
+    if (trials < 0) {
+      std::fprintf(stderr, "chaos_fuzz: --trials must be positive\n");
+      return 2;
+    }
+    options.trials = trials;
+    cluster.trials = trials;
+  }
+  if (cluster_mode) {
+    if (minimize || !repro_out.empty()) {
+      std::fprintf(stderr,
+                   "chaos_fuzz: --minimize / --repro-out are flat-mode only\n");
+      return 2;
+    }
+    cluster.seed = options.seed;
+    cluster.fail_fast = options.fail_fast;
+    cluster.wall_clock_budget_s = options.wall_clock_budget_s;
+    cluster.verify = options.verify;
+    return RunClusterMode(options, cluster);
   }
 
   std::printf("chaos_fuzz: %d trials, seed %llu, load %.2f, %s\n", options.trials,

@@ -1,11 +1,12 @@
 // Shared command-line parsing for the tools/ CLIs.
 //
-// Every tool parses flags the same way — walk argv once, `--flag value`
-// pairs plus a few valueless switches, reject anything unrecognized with
-// exit status 2 — and several of them share whole flag families (the search
-// budget of adversary_search and chaos_fuzz, seed/jobs/output paths).
-// FlagParser centralizes the walk; the Match* helpers bundle the shared
-// families so the tools cannot drift apart on spelling or semantics.
+// Every tool parses flags the same way — walk argv once, `--flag value` /
+// `--flag=value` pairs plus a few valueless switches, reject anything
+// unrecognized with exit status 2 — and several of them share whole flag
+// families (the search budget of adversary_search and chaos_fuzz,
+// seed/jobs/output paths). FlagParser centralizes the walk; the Match*
+// helpers bundle the shared families so the tools cannot drift apart on
+// spelling or semantics.
 //
 // Usage:
 //   FlagParser flags(argc, argv);
@@ -44,13 +45,14 @@ class FlagParser {
   // The current argument, for diagnostics.
   std::string arg() const { return argv_[index_]; }
 
-  // Valueless switch.
+  // Valueless switch (exact match only; `--flag=x` never matches).
   bool Is(const char* flag) const {
     return std::strcmp(argv_[index_], flag) == 0;
   }
 
-  // `--flag value` matchers: on match they consume the value and return
-  // true; a matching flag missing its value is NOT consumed (false).
+  // `--flag value` / `--flag=value` matchers: on match they consume the
+  // value and return true; a matching flag missing its value is NOT
+  // consumed (false).
   bool Int(const char* flag, int* out) {
     const char* value = Value(flag);
     if (value == nullptr) {
@@ -87,12 +89,32 @@ class FlagParser {
     return true;
   }
 
+  // `--flag on|off` (also accepts true/false/1/0; anything else reads as
+  // off, matching the tools' permissive numeric parsing).
+  bool OnOff(const char* flag, bool* out) {
+    const char* value = Value(flag);
+    if (value == nullptr) {
+      return false;
+    }
+    *out = std::strcmp(value, "on") == 0 || std::strcmp(value, "true") == 0 ||
+           std::strcmp(value, "1") == 0;
+    return true;
+  }
+
  private:
   const char* Value(const char* flag) {
-    if (!Is(flag) || index_ + 1 >= argc_) {
+    const char* arg = argv_[index_];
+    const size_t length = std::strlen(flag);
+    if (std::strncmp(arg, flag, length) != 0) {
       return nullptr;
     }
-    return argv_[++index_];
+    if (arg[length] == '=') {
+      return arg + length + 1;
+    }
+    if (arg[length] == '\0' && index_ + 1 < argc_) {
+      return argv_[++index_];
+    }
+    return nullptr;
   }
 
   int argc_;

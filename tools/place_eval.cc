@@ -17,6 +17,12 @@
 //   --warmup-s F       per-group warmup window (10)
 //   --measure-s F      per-group measurement window (60)
 //   --ramp F           ramp epoch load scale linearly from 1.0 to F (1.0)
+//   --fail-machines N@t  permanently fail N machines at t seconds into the
+//                      run (evenly spaced over the roster, machine
+//                      i*machines/N) — a replayable failure-domain scenario;
+//                      adds a per-policy "failover" line to the output
+//   --supervisor on|off  barrier-driven failover for the injected losses
+//                      (default on; only meaningful with --fail-machines)
 //   --bench-json PATH  write the comparison as BENCH_placement.json
 //   --obs-out PATH     write each policy's placement Recording as JSONL
 //                      (multi-policy runs insert the policy name before the
@@ -34,7 +40,9 @@
 //
 // Exit status: 0 success, 1 assertion failure, 2 usage/setup error.
 
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -81,6 +89,15 @@ std::string PolicyPath(const std::string& path, const std::string& policy,
   return path.substr(0, dot) + "." + policy + path.substr(dot);
 }
 
+// "N@t" -> (count, time). Returns false on malformed input.
+bool ParseFailMachines(const std::string& value, int* count, double* at_s) {
+  char trailing = '\0';
+  if (std::sscanf(value.c_str(), "%d@%lf%c", count, at_s, &trailing) != 2) {
+    return false;
+  }
+  return *count > 0 && *at_s >= 0.0;
+}
+
 const ClusterSummary* FindPolicy(const std::vector<ClusterSummary>& summaries,
                                  const char* policy) {
   for (const ClusterSummary& summary : summaries) {
@@ -105,6 +122,8 @@ int main(int argc, char** argv) {
   double measure_s = 60.0;
   double ramp = 1.0;
   bool assert_order = false;
+  std::string fail_machines;
+  bool supervisor_on = true;
 
   FlagParser flags(argc, argv);
   while (flags.Next()) {
@@ -115,6 +134,8 @@ int main(int argc, char** argv) {
         flags.Double("--warmup-s", &warmup_s) ||
         flags.Double("--measure-s", &measure_s) ||
         flags.Double("--ramp", &ramp) ||
+        flags.Str("--fail-machines", &fail_machines) ||
+        flags.OnOff("--supervisor", &supervisor_on) ||
         flags.Str("--bench-json", &bench_json) ||
         flags.Str("--obs-out", &obs_out)) {
       continue;
@@ -145,6 +166,39 @@ int main(int argc, char** argv) {
               spec.machines, spec.TotalGroups(), spec.TotalPods(),
               (unsigned long long)seed, epochs, warmup_s, measure_s, ramp);
 
+  // --fail-machines N@t: N permanent losses at t, evenly spaced over the
+  // roster so the victims hit distinct placement regions deterministically.
+  std::shared_ptr<const FaultSchedule> faults;
+  if (!fail_machines.empty()) {
+    int fail_count = 0;
+    double fail_at_s = 0.0;
+    if (!ParseFailMachines(fail_machines, &fail_count, &fail_at_s)) {
+      std::fprintf(stderr, "place_eval: --fail-machines wants N@t, got '%s'\n",
+                   fail_machines.c_str());
+      return 2;
+    }
+    if (fail_count > spec.machines) {
+      std::fprintf(stderr,
+                   "place_eval: --fail-machines %d exceeds the %d-machine "
+                   "roster\n",
+                   fail_count, spec.machines);
+      return 2;
+    }
+    FaultSchedule schedule;
+    for (int i = 0; i < fail_count; ++i) {
+      FaultEvent event;
+      event.kind = FaultKind::kMachineFailure;
+      event.pod = static_cast<int>(
+          static_cast<int64_t>(i) * spec.machines / fail_count);
+      event.start_s = fail_at_s;
+      schedule.Add(event);
+    }
+    faults = std::make_shared<FaultSchedule>(std::move(schedule));
+    std::printf("failure scenario: %d machine(s) lost at t=%g s, "
+                "supervisor %s\n",
+                fail_count, fail_at_s, supervisor_on ? "on" : "off");
+  }
+
   ClusterRunPlan plan;
   for (const std::string& policy : policies) {
     ClusterRunRequest request;
@@ -157,6 +211,10 @@ int main(int argc, char** argv) {
     for (int e = 0; e < epochs; ++e) {
       const double t = epochs > 1 ? static_cast<double>(e) / (epochs - 1) : 0.0;
       request.epoch_load_scale.push_back(1.0 + (ramp - 1.0) * t);
+    }
+    if (faults != nullptr) {
+      request.faults = faults;
+      request.supervisor.enabled = supervisor_on;
     }
     if (!obs_out.empty()) {
       request.obs.enabled = true;
@@ -189,6 +247,26 @@ int main(int argc, char** argv) {
                 (unsigned long long)summary.be_kills, summary.solo_groups,
                 summary.groups_unplaced, summary.placement_churn,
                 summary.machines_used);
+  }
+  if (faults != nullptr) {
+    std::printf("%-20s %-7s %-10s %-7s %-5s %-9s %-12s %-9s\n", "policy",
+                "failed", "disrupted", "failov", "lost", "migrated",
+                "down_grp_s", "latency");
+    for (const ClusterSummary& summary : summaries) {
+      std::printf("%-20s %-7d %-10d %-7d %-5d %-9d %-12.2f %-9.2f\n",
+                  summary.policy.c_str(), summary.machines_failed,
+                  summary.groups_disrupted, summary.groups_failed_over,
+                  summary.groups_lost, summary.pods_migrated,
+                  summary.down_group_seconds,
+                  summary.worst_failover_latency_s);
+    }
+    for (const ClusterSummary& summary : summaries) {
+      std::printf("raw-failover %s down_group_seconds=%s "
+                  "worst_failover_latency_s=%s\n",
+                  summary.policy.c_str(),
+                  Num(summary.down_group_seconds).c_str(),
+                  Num(summary.worst_failover_latency_s).c_str());
+    }
   }
   for (const ClusterSummary& summary : summaries) {
     std::printf("raw %s emu=%s slo_rate=%s tail_ratio=%s\n",
