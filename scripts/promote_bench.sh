@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Promote a CI bench artifact into the committed BENCH_*.json.
+#
+# The committed BENCH_cluster_scale.json was generated inside a 1-core
+# container, so its speedup_vs_serial curve is flat by construction (ROADMAP
+# "scale up the scale-out" flags this). The real curve comes from the
+# multi-core cluster-scale-smoke CI runner. Promotion path: download the
+# BENCH_cluster_scale artifact from a green main run, then
+#
+#   scripts/promote_bench.sh <downloaded.json> BENCH_cluster_scale.json
+#
+# and commit the result. The script refuses to install an artifact that
+#   (a) is not valid JSON,
+#   (b) reports a different "bench" name than the committed file,
+#   (c) has a different top-level key shape (dashboards keep parsing), or
+#   (d) for cluster_scale, was itself produced on a single core —
+#       promoting a 1-core artifact would re-commit the flaw the promotion
+#       exists to fix.
+#
+# --check-only validates without installing. The cluster-scale-smoke job
+# runs it on its own freshly produced artifact, so every green run is
+# guaranteed to be a pure-copy promotion candidate.
+
+set -euo pipefail
+
+check_only=0
+if [ "${1:-}" = "--check-only" ]; then
+  check_only=1
+  shift
+fi
+usage="usage: promote_bench.sh [--check-only] <candidate.json> <committed BENCH_*.json>"
+candidate="${1:?${usage}}"
+target="${2:?${usage}}"
+
+# Validate against the committed content, not the working tree: in CI the
+# bench just overwrote the checkout copy with the candidate itself.
+baseline="$(mktemp)"
+trap 'rm -f "${baseline}"' EXIT
+if ! git show "HEAD:${target}" > "${baseline}" 2>/dev/null; then
+  cp "${target}" "${baseline}"
+fi
+
+python3 - "${candidate}" "${baseline}" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    cand = json.load(f)
+with open(sys.argv[2]) as f:
+    base = json.load(f)
+
+name = cand.get("bench")
+if name != base.get("bench"):
+    sys.exit(f'bench name mismatch: candidate {name!r} vs committed {base.get("bench")!r}')
+extra = sorted(set(cand) - set(base))
+missing = sorted(set(base) - set(cand))
+if extra or missing:
+    sys.exit(f"top-level key shape differs: extra={extra} missing={missing}")
+cores = cand.get("host_cores", 0)
+if name == "cluster_scale" and cores <= 1:
+    sys.exit(f"candidate is from a {cores}-core box; promotion requires a "
+             "multi-core artifact (that is the point of promoting)")
+print(f"{sys.argv[1]}: bench={name} host_cores={cores} fast_mode="
+      f"{cand.get('fast_mode')} — promotable")
+PY
+
+if [ "${check_only}" = "1" ]; then
+  echo "check-only: ${target} not modified"
+  exit 0
+fi
+
+cp "${candidate}" "${target}"
+echo "promoted ${candidate} -> ${target}; review and commit:"
+echo "  git add ${target} && git commit -m 'Promote CI ${target} artifact'"

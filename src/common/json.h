@@ -1,0 +1,145 @@
+// Shared JSON writing: the one escaping routine and the one %.17g double
+// rendering every JSON-emitting layer (obs exporters, the serving daemon,
+// bench artifacts) agrees on. Factored out of src/obs/exporters.cc so the
+// serving subsystem cannot drift from the recorder on number formatting —
+// bit-identical doubles across the batch/served boundary depend on it.
+//
+// JsonWriter is a small streaming writer with comma/nesting bookkeeping for
+// code that builds whole documents (responses, snapshots); the free
+// functions remain for printf-style emitters that only need the primitives.
+
+#ifndef RHYTHM_SRC_COMMON_JSON_H_
+#define RHYTHM_SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rhythm {
+
+// %.17g keeps every double bit-exact across a write/parse round trip.
+std::string JsonNum(double value);
+
+// Body of a JSON string literal for `text` (no surrounding quotes): escapes
+// quote, backslash, \n, \t and renders other control bytes as \u00xx.
+std::string JsonEscape(const std::string& text);
+
+// Streaming JSON document builder. Usage:
+//   JsonWriter w;
+//   w.BeginObject().Key("emu").Number(0.81).Key("pods").BeginArray();
+//   ...
+//   w.EndArray().EndObject();
+//   std::string body = std::move(w).str();
+// The writer tracks nesting depth and element counts, inserting commas; it
+// does not validate key/value alternation beyond what the methods imply.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    Separate();
+    out_ += '{';
+    fresh_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& EndObject() {
+    out_ += '}';
+    fresh_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& BeginArray() {
+    Separate();
+    out_ += '[';
+    fresh_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& EndArray() {
+    out_ += ']';
+    fresh_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& Key(const std::string& key) {
+    Separate();
+    out_ += '"';
+    out_ += JsonEscape(key);
+    out_ += "\":";
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(const std::string& value) {
+    Separate();
+    out_ += '"';
+    out_ += JsonEscape(value);
+    out_ += '"';
+    return *this;
+  }
+
+  JsonWriter& Number(double value) {
+    Separate();
+    out_ += JsonNum(value);
+    return *this;
+  }
+
+  JsonWriter& Int(int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonWriter& UInt(uint64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonWriter& Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  JsonWriter& Null() {
+    Separate();
+    out_ += "null";
+    return *this;
+  }
+
+  // Pre-rendered JSON spliced in verbatim (e.g. a nested document built
+  // elsewhere). The caller vouches for its validity.
+  JsonWriter& Raw(const std::string& json) {
+    Separate();
+    out_ += json;
+    return *this;
+  }
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  // Emits the separating comma for the second and later elements of the
+  // innermost container; a value directly after Key() never separates.
+  void Separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (fresh_.empty()) {
+      return;
+    }
+    if (!fresh_.back()) {
+      out_ += ',';
+    }
+    fresh_.back() = false;
+  }
+
+  std::string out_;
+  std::vector<bool> fresh_;  // per open container: no element emitted yet.
+  bool after_key_ = false;
+};
+
+}  // namespace rhythm
+
+#endif  // RHYTHM_SRC_COMMON_JSON_H_

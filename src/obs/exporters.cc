@@ -10,54 +10,23 @@
 #include <stdexcept>
 
 #include "src/bemodel/be_job_spec.h"
+#include "src/common/json.h"
 #include "src/control/top_controller.h"
 #include "src/fault/fault_schedule.h"
 
 namespace rhythm {
 namespace {
 
-// %.17g keeps every double bit-exact across the round trip.
-std::string Num(double value) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
-}
+// Shared JSON primitives (src/common/json.h): %.17g doubles and string
+// escaping, the same routines the serving daemon renders with.
+std::string Num(double value) { return JsonNum(value); }
+std::string EscapeJson(const std::string& text) { return JsonEscape(text); }
 
 // Compact formatting for human-readable output.
 std::string Short(double value) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
   return buf;
-}
-
-std::string EscapeJson(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 // The per-kind name of the `code` byte ("AllowBEGrowth", "cpu-llc",

@@ -1,0 +1,462 @@
+#include "src/serve/daemon.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/cluster/app_thresholds.h"
+#include "src/common/json.h"
+#include "src/place/cluster_engine.h"
+#include "src/serve/json.h"
+
+namespace rhythm {
+namespace {
+
+// Schema problems are the client's fault; "json:"-prefixed messages are
+// syntax errors (400), everything else a well-formed-but-invalid body (422).
+int StatusForInvalidArgument(const std::string& what) {
+  return what.rfind("json:", 0) == 0 ? 400 : 422;
+}
+
+JsonValue ParseBodyOrThrow(const std::string& body) {
+  JsonValue doc;
+  std::string error;
+  // An empty body means "all defaults" for endpoints that allow it.
+  if (body.empty()) {
+    doc.type = JsonValue::Type::kObject;
+    return doc;
+  }
+  if (!ParseJson(body, &doc, &error)) {
+    throw std::invalid_argument(error);
+  }
+  return doc;
+}
+
+}  // namespace
+
+// -- ThresholdStore ----------------------------------------------------------
+
+std::vector<ServpodThresholds> ThresholdStore::Get(LcAppKind app) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = store_.find(app);
+    if (found != store_.end()) {
+      return found->second;
+    }
+  }
+  // Derive (or disk-cache-load) outside the lock: characterization is the
+  // slow path and CachedAppThresholds is itself thread-safe.
+  const std::vector<ServpodThresholds> pods = CachedAppThresholds(app).pods;
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_.emplace(app, pods);
+  return pods;
+}
+
+void ThresholdStore::Put(LcAppKind app, std::vector<ServpodThresholds> pods) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_[app] = std::move(pods);
+}
+
+std::vector<std::pair<LcAppKind, std::vector<ServpodThresholds>>>
+ThresholdStore::All() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {store_.begin(), store_.end()};
+}
+
+// -- Shared evaluation path --------------------------------------------------
+
+std::string EvalWhatIfJson(const std::string& body,
+                           const WhatIfEvalOptions& options) {
+  const JsonValue doc = ParseBodyOrThrow(body);
+  WhatIfQuery query = ParseWhatIfQuery(doc);
+  if (query.kind == WhatIfQuery::Kind::kTrial) {
+    if (query.trial.thresholds.empty() && options.warm != nullptr) {
+      // Same values Run() would pull from CachedAppThresholds — filling them
+      // here only skips the lookup, the summary stays bit-identical.
+      query.trial.thresholds = options.warm->Get(query.trial.app);
+    }
+    if (!options.audit_jsonl.empty()) {
+      query.trial.obs.enabled = true;
+      query.trial.obs.export_jsonl = options.audit_jsonl;
+    }
+    const RunSummary summary = Run(query.trial);
+    return WhatIfResponseJson(query, summary);
+  }
+  if (!options.audit_jsonl.empty()) {
+    query.cluster.obs.enabled = true;
+    query.cluster.obs.export_jsonl = options.audit_jsonl;
+  }
+  const ClusterSummary summary = RunCluster(query.cluster, options.runner);
+  return WhatIfResponseJson(query, summary);
+}
+
+// -- RhythmDaemon ------------------------------------------------------------
+
+RhythmDaemon::RhythmDaemon(DaemonOptions options)
+    : options_(std::move(options)), server_(options_.server) {}
+
+RhythmDaemon::~RhythmDaemon() { Stop(); }
+
+bool RhythmDaemon::Start(std::string* error) {
+  for (LcAppKind app : options_.prewarm) {
+    warm_.Get(app);
+  }
+
+  server_.Handle("GET", "/healthz",
+                 Instrument("healthz", [](const HttpRequest&) {
+                   HttpResponse response;
+                   response.body = "{\"status\":\"ok\"}";
+                   return response;
+                 }));
+  server_.Handle("GET", "/metrics",
+                 Instrument("metrics", [this](const HttpRequest&) {
+                   HttpResponse response;
+                   response.content_type = "text/plain; version=0.0.4";
+                   response.body = MetricsText();
+                   return response;
+                 }));
+  server_.Handle("POST", "/v1/whatif",
+                 Instrument("whatif", [this](const HttpRequest& request) {
+                   return HandleWhatIf(request);
+                 }));
+  const HttpHandler placements =
+      Instrument("placements", [this](const HttpRequest& request) {
+        return HandlePlacements(request);
+      });
+  server_.Handle("GET", "/v1/placements", placements);
+  server_.Handle("POST", "/v1/placements", placements);
+  server_.Handle("POST", "/v1/snapshot",
+                 Instrument("snapshot", [this](const HttpRequest& request) {
+                   return HandleSnapshot(request);
+                 }));
+  server_.Handle("POST", "/v1/restore",
+                 Instrument("restore", [this](const HttpRequest& request) {
+                   return HandleRestore(request);
+                 }));
+
+  started_ = std::chrono::steady_clock::now();
+  return server_.Start(error);
+}
+
+void RhythmDaemon::Stop() { server_.Stop(); }
+
+uint64_t RhythmDaemon::audit_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return audit_seq_;
+}
+
+HttpHandler RhythmDaemon::Instrument(const std::string& endpoint,
+                                     HttpHandler handler) {
+  return [this, endpoint, handler = std::move(handler)](
+             const HttpRequest& request) {
+    const auto begin = std::chrono::steady_clock::now();
+    HttpResponse response;
+    try {
+      response = handler(request);
+    } catch (const std::invalid_argument& error) {
+      response = HttpError(StatusForInvalidArgument(error.what()), error.what());
+    }
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
+    std::lock_guard<std::mutex> lock(mutex_);
+    EndpointStats& stats = stats_[endpoint];
+    if (response.status < 400) {
+      ++stats.served;
+    } else {
+      ++stats.errors;
+    }
+    stats.p50.Add(latency_ms);
+    stats.p95.Add(latency_ms);
+    stats.p99.Add(latency_ms);
+    return response;
+  };
+}
+
+HttpResponse RhythmDaemon::HandleWhatIf(const HttpRequest& request) {
+  WhatIfEvalOptions eval;
+  eval.runner = options_.runner;
+  eval.warm = &warm_;
+  if (!options_.audit_dir.empty()) {
+    uint64_t seq = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      seq = ++audit_seq_;
+    }
+    eval.audit_jsonl =
+        options_.audit_dir + "/whatif-" + std::to_string(seq) + ".jsonl";
+  }
+  HttpResponse response;
+  response.body = EvalWhatIfJson(request.body, eval);
+  return response;
+}
+
+HttpResponse RhythmDaemon::HandlePlacements(const HttpRequest& request) {
+  const JsonValue doc = ParseBodyOrThrow(request.body);
+  HttpResponse response;
+  response.body = PlacementsResponseJson(doc);
+  return response;
+}
+
+HttpResponse RhythmDaemon::HandleSnapshot(const HttpRequest& request) {
+  const JsonValue doc = ParseBodyOrThrow(request.body);
+  const std::string path = doc.StringOr("path", options_.snapshot_path);
+  if (path.empty()) {
+    throw std::invalid_argument(
+        "snapshot: no \"path\" in body and no --snapshot default");
+  }
+  std::string error;
+  if (!SaveSnapshot(path, &error)) {
+    return HttpError(500, error);
+  }
+  JsonWriter w;
+  w.BeginObject()
+      .Key("path").String(path)
+      .Key("apps").Int(static_cast<int64_t>(warm_.All().size()))
+      .Key("audit_seq").UInt(audit_seq())
+      .EndObject();
+  HttpResponse response;
+  response.body = std::move(w).str();
+  return response;
+}
+
+HttpResponse RhythmDaemon::HandleRestore(const HttpRequest& request) {
+  const JsonValue doc = ParseBodyOrThrow(request.body);
+  const std::string path = doc.StringOr("path", options_.snapshot_path);
+  if (path.empty()) {
+    throw std::invalid_argument(
+        "restore: no \"path\" in body and no --snapshot default");
+  }
+  std::string error;
+  if (!RestoreSnapshot(path, &error)) {
+    return HttpError(422, error);
+  }
+  JsonWriter w;
+  w.BeginObject()
+      .Key("path").String(path)
+      .Key("apps").Int(static_cast<int64_t>(warm_.All().size()))
+      .Key("audit_seq").UInt(audit_seq())
+      .EndObject();
+  HttpResponse response;
+  response.body = std::move(w).str();
+  return response;
+}
+
+std::string RhythmDaemon::SnapshotJson() const {
+  JsonWriter w;
+  w.BeginObject().Key("version").Int(1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    w.Key("audit_seq").UInt(audit_seq_);
+    w.Key("endpoints").BeginArray();
+    for (const auto& [endpoint, stats] : stats_) {
+      w.BeginObject()
+          .Key("endpoint").String(endpoint)
+          .Key("served").UInt(stats.served)
+          .Key("errors").UInt(stats.errors)
+          .EndObject();
+    }
+    w.EndArray();
+  }
+  w.Key("apps").BeginArray();
+  for (const auto& [app, pods] : warm_.All()) {
+    w.BeginObject().Key("app").String(LcAppKindName(app)).Key("pods").BeginArray();
+    for (const ServpodThresholds& pod : pods) {
+      w.BeginObject()
+          .Key("loadlimit").Number(pod.loadlimit)
+          .Key("slacklimit").Number(pod.slacklimit)
+          .EndObject();
+    }
+    w.EndArray().EndObject();
+  }
+  w.EndArray().EndObject();
+  return std::move(w).str();
+}
+
+bool RhythmDaemon::SaveSnapshot(const std::string& path, std::string* error) {
+  const std::string staged = path + ".tmp";
+  {
+    std::ofstream out(staged, std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) {
+        *error = "snapshot: cannot open " + staged;
+      }
+      return false;
+    }
+    out << SnapshotJson() << "\n";
+    if (!out.good()) {
+      if (error != nullptr) {
+        *error = "snapshot: write to " + staged + " failed";
+      }
+      std::remove(staged.c_str());
+      return false;
+    }
+  }
+  if (std::rename(staged.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "snapshot: rename " + staged + " -> " + path + " failed";
+    }
+    std::remove(staged.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool RhythmDaemon::RestoreSnapshot(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "restore: cannot open " + path;
+    }
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue doc;
+  std::string parse_error;
+  if (!ParseJson(buffer.str(), &doc, &parse_error) || !doc.is_object()) {
+    if (error != nullptr) {
+      *error = "restore: " + path + ": " + parse_error;
+    }
+    return false;
+  }
+  if (doc.IntOr("version", 0) != 1) {
+    if (error != nullptr) {
+      *error = "restore: " + path + ": unsupported snapshot version";
+    }
+    return false;
+  }
+
+  // Validate everything before mutating any state: a bad snapshot must not
+  // half-restore the daemon.
+  std::vector<std::pair<LcAppKind, std::vector<ServpodThresholds>>> apps;
+  if (const JsonValue* entries = doc.Find("apps")) {
+    if (!entries->is_array()) {
+      if (error != nullptr) {
+        *error = "restore: \"apps\" must be an array";
+      }
+      return false;
+    }
+    for (const JsonValue& entry : entries->array) {
+      LcAppKind app = LcAppKind::kEcommerce;
+      if (!entry.is_object() ||
+          !ParseLcAppKindName(entry.StringOr("app", ""), &app)) {
+        if (error != nullptr) {
+          *error = "restore: bad app entry in " + path;
+        }
+        return false;
+      }
+      std::vector<ServpodThresholds> pods;
+      const JsonValue* pod_entries = entry.Find("pods");
+      if (pod_entries == nullptr || !pod_entries->is_array()) {
+        if (error != nullptr) {
+          *error = "restore: app entry without \"pods\" in " + path;
+        }
+        return false;
+      }
+      for (const JsonValue& pod_entry : pod_entries->array) {
+        ServpodThresholds pod;
+        pod.loadlimit = pod_entry.NumberOr("loadlimit", -1.0);
+        pod.slacklimit = pod_entry.NumberOr("slacklimit", -1.0);
+        if (pod.loadlimit < 0.0 || pod.slacklimit < 0.0) {
+          if (error != nullptr) {
+            *error = "restore: bad threshold entry in " + path;
+          }
+          return false;
+        }
+        pods.push_back(pod);
+      }
+      apps.emplace_back(app, std::move(pods));
+    }
+  }
+
+  for (auto& [app, pods] : apps) {
+    warm_.Put(app, std::move(pods));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t restored_seq =
+        static_cast<uint64_t>(doc.IntOr("audit_seq", 0));
+    // Never rewind the live sequence: restoring an old snapshot must not
+    // make the daemon overwrite audit records it already wrote.
+    if (restored_seq > audit_seq_) {
+      audit_seq_ = restored_seq;
+    }
+    if (const JsonValue* endpoints = doc.Find("endpoints")) {
+      if (endpoints->is_array()) {
+        for (const JsonValue& entry : endpoints->array) {
+          if (!entry.is_object()) {
+            continue;
+          }
+          EndpointStats& stats = stats_[entry.StringOr("endpoint", "?")];
+          stats.served += static_cast<uint64_t>(entry.IntOr("served", 0));
+          stats.errors += static_cast<uint64_t>(entry.IntOr("errors", 0));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string RhythmDaemon::MetricsText() const {
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  std::string out;
+  out += "# HELP rhythmd_uptime_seconds Seconds since the daemon started.\n";
+  out += "# TYPE rhythmd_uptime_seconds gauge\n";
+  out += "rhythmd_uptime_seconds " + JsonNum(uptime_s) + "\n";
+
+  out += "# HELP rhythmd_connections_accepted_total Connections admitted.\n";
+  out += "# TYPE rhythmd_connections_accepted_total counter\n";
+  out += "rhythmd_connections_accepted_total " +
+         std::to_string(server_.connections_accepted()) + "\n";
+  out += "# HELP rhythmd_connections_rejected_total Connections shed with 503 "
+         "at the admission limit.\n";
+  out += "# TYPE rhythmd_connections_rejected_total counter\n";
+  out += "rhythmd_connections_rejected_total " +
+         std::to_string(server_.connections_rejected()) + "\n";
+  out += "# HELP rhythmd_requests_served_total Requests routed to a handler.\n";
+  out += "# TYPE rhythmd_requests_served_total counter\n";
+  out += "rhythmd_requests_served_total " +
+         std::to_string(server_.requests_served()) + "\n";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  out += "# HELP rhythmd_queries_served_total 2xx responses per endpoint.\n";
+  out += "# TYPE rhythmd_queries_served_total counter\n";
+  for (const auto& [endpoint, stats] : stats_) {
+    out += "rhythmd_queries_served_total{endpoint=\"" + endpoint + "\"} " +
+           std::to_string(stats.served) + "\n";
+  }
+  out += "# HELP rhythmd_queries_rejected_total 4xx/5xx responses per "
+         "endpoint.\n";
+  out += "# TYPE rhythmd_queries_rejected_total counter\n";
+  for (const auto& [endpoint, stats] : stats_) {
+    out += "rhythmd_queries_rejected_total{endpoint=\"" + endpoint + "\"} " +
+           std::to_string(stats.errors) + "\n";
+  }
+  out += "# HELP rhythmd_request_latency_ms Handler latency quantiles "
+         "(streaming P2 estimates).\n";
+  out += "# TYPE rhythmd_request_latency_ms summary\n";
+  for (const auto& [endpoint, stats] : stats_) {
+    out += "rhythmd_request_latency_ms{endpoint=\"" + endpoint +
+           "\",quantile=\"0.5\"} " + JsonNum(stats.p50.Value()) + "\n";
+    out += "rhythmd_request_latency_ms{endpoint=\"" + endpoint +
+           "\",quantile=\"0.95\"} " + JsonNum(stats.p95.Value()) + "\n";
+    out += "rhythmd_request_latency_ms{endpoint=\"" + endpoint +
+           "\",quantile=\"0.99\"} " + JsonNum(stats.p99.Value()) + "\n";
+    out += "rhythmd_request_latency_ms_count{endpoint=\"" + endpoint + "\"} " +
+           std::to_string(stats.p50.count()) + "\n";
+  }
+  out += "# HELP rhythmd_audit_seq Last audit sequence number issued.\n";
+  out += "# TYPE rhythmd_audit_seq gauge\n";
+  out += "rhythmd_audit_seq " + std::to_string(audit_seq_) + "\n";
+  return out;
+}
+
+}  // namespace rhythm

@@ -1,0 +1,265 @@
+#include "src/serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/json.h"
+
+namespace rhythm {
+namespace {
+
+bool IsTokenChar(unsigned char c) {
+  if (std::isalnum(c)) {
+    return true;
+  }
+  switch (c) {
+    case '!':
+    case '#':
+    case '$':
+    case '%':
+    case '&':
+    case '\'':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '^':
+    case '_':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return text;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) {
+    ++begin;
+  }
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+// Strict non-negative decimal; rejects signs, spaces and trailing junk so a
+// smuggled "Content-Length: 5 5" or "+5" cannot desynchronize the framing.
+bool ParseContentLength(const std::string& text, size_t* out) {
+  if (text.empty() || text.size() > 15) {
+    return false;
+  }
+  size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(const std::string& lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+std::string HttpRequest::Path() const {
+  const size_t query = target.find('?');
+  return query == std::string::npos ? target : target.substr(0, query);
+}
+
+HttpRequestParser::Status HttpRequestParser::Poison(int status,
+                                                    const std::string& what) {
+  error_status_ = status;
+  error_ = what;
+  buffer_.clear();
+  return Status::kError;
+}
+
+HttpRequestParser::Status HttpRequestParser::Next(HttpRequest* out) {
+  if (error_status_ != 0) {
+    return Status::kError;
+  }
+
+  const size_t head_end = buffer_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return Poison(431, "header section exceeds " +
+                             std::to_string(limits_.max_header_bytes) + " bytes");
+    }
+    return Status::kNeedMore;
+  }
+  if (head_end > limits_.max_header_bytes) {
+    return Poison(431, "header section exceeds " +
+                           std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  HttpRequest request;
+
+  // Request line.
+  const size_t line_end = buffer_.find("\r\n");
+  const std::string line = buffer_.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos) {
+    return Poison(400, "malformed request line");
+  }
+  request.method = line.substr(0, sp1);
+  request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request.version = line.substr(sp2 + 1);
+  if (request.method.empty() ||
+      !std::all_of(request.method.begin(), request.method.end(),
+                   [](char c) { return IsTokenChar(static_cast<unsigned char>(c)); })) {
+    return Poison(400, "malformed method token");
+  }
+  if (request.target.empty() || request.target[0] != '/' ||
+      request.target.find_first_of(" \t") != std::string::npos) {
+    return Poison(400, "malformed request target");
+  }
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    return Poison(505, "unsupported protocol version");
+  }
+
+  // Header fields.
+  size_t cursor = line_end + 2;
+  while (cursor < head_end) {
+    size_t field_end = buffer_.find("\r\n", cursor);
+    if (field_end > head_end) {
+      field_end = head_end;
+    }
+    const std::string field = buffer_.substr(cursor, field_end - cursor);
+    cursor = field_end + 2;
+    const size_t colon = field.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Poison(400, "malformed header field");
+    }
+    const std::string name = field.substr(0, colon);
+    if (!std::all_of(name.begin(), name.end(),
+                     [](char c) { return IsTokenChar(static_cast<unsigned char>(c)); })) {
+      return Poison(400, "malformed header name");
+    }
+    request.headers.emplace_back(Lower(name), Trim(field.substr(colon + 1)));
+  }
+
+  // Body framing. Chunked bodies are not served here: answering 501 is the
+  // safe refusal (parsing them badly is how smuggling bugs happen).
+  if (const std::string* te = request.Header("transfer-encoding")) {
+    (void)te;
+    return Poison(501, "transfer-encoding not supported");
+  }
+  size_t content_length = 0;
+  bool have_length = false;
+  for (const auto& [name, value] : request.headers) {
+    if (name != "content-length") {
+      continue;
+    }
+    size_t parsed = 0;
+    if (!ParseContentLength(value, &parsed)) {
+      return Poison(400, "malformed content-length");
+    }
+    if (have_length && parsed != content_length) {
+      return Poison(400, "conflicting content-length headers");
+    }
+    content_length = parsed;
+    have_length = true;
+  }
+  if (content_length > limits_.max_body_bytes) {
+    return Poison(413, "body exceeds " + std::to_string(limits_.max_body_bytes) +
+                           " bytes");
+  }
+
+  const size_t body_begin = head_end + 4;
+  if (buffer_.size() - body_begin < content_length) {
+    if (buffer_.size() > limits_.max_header_bytes + limits_.max_body_bytes) {
+      return Poison(413, "buffered request exceeds limits");
+    }
+    return Status::kNeedMore;
+  }
+  request.body = buffer_.substr(body_begin, content_length);
+  buffer_.erase(0, body_begin + content_length);
+
+  // Persistence: HTTP/1.1 defaults to keep-alive, 1.0 to close.
+  request.keep_alive = request.version == "HTTP/1.1";
+  if (const std::string* connection = request.Header("connection")) {
+    const std::string value = Lower(*connection);
+    if (value == "close") {
+      request.keep_alive = false;
+    } else if (value == "keep-alive") {
+      request.keep_alive = true;
+    }
+  }
+
+  *out = std::move(request);
+  return Status::kRequest;
+}
+
+HttpResponse HttpError(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  JsonWriter body;
+  body.BeginObject().Key("error").String(message).EndObject();
+  response.body = std::move(body).str();
+  return response;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Payload Too Large";
+    case 422:
+      return "Unprocessable Entity";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 505:
+      return "HTTP Version Not Supported";
+    default:
+      return "Status";
+  }
+}
+
+std::string RenderHttpResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpStatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive && !response.close ? "Connection: keep-alive\r\n"
+                                       : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace rhythm

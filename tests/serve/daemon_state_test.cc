@@ -1,0 +1,222 @@
+#include "src/serve/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/cluster/app_thresholds.h"
+#include "src/serve/json.h"
+#include "tests/serve/http_client.h"
+
+namespace rhythm {
+namespace {
+
+using testing::Fetch;
+using testing::TestResponse;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("rhythm_serve_" + name + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+TEST(ThresholdStoreTest, GetMemoizesAndPutOverrides) {
+  ThresholdStore store;
+  const auto derived = store.Get(LcAppKind::kRedis);
+  const auto& cached = CachedAppThresholds(LcAppKind::kRedis).pods;
+  ASSERT_EQ(derived.size(), cached.size());
+  ASSERT_FALSE(derived.empty());
+  for (size_t i = 0; i < derived.size(); ++i) {
+    EXPECT_EQ(derived[i].loadlimit, cached[i].loadlimit);
+    EXPECT_EQ(derived[i].slacklimit, cached[i].slacklimit);
+  }
+
+  std::vector<ServpodThresholds> injected = {{0.5, 0.25}};
+  store.Put(LcAppKind::kRedis, injected);
+  const auto fetched = store.Get(LcAppKind::kRedis);
+  ASSERT_EQ(fetched.size(), 1u);
+  EXPECT_DOUBLE_EQ(fetched[0].loadlimit, 0.5);
+  EXPECT_DOUBLE_EQ(fetched[0].slacklimit, 0.25);
+
+  const auto all = store.All();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].first, LcAppKind::kRedis);
+}
+
+TEST(DaemonSnapshotTest, SaveRestoreRoundTripsThresholdsAndCounters) {
+  const std::string path = TempPath("snapshot");
+
+  DaemonOptions options;
+  options.server.port = 0;
+  {
+    RhythmDaemon daemon(options);
+    daemon.warm().Put(LcAppKind::kSolr, {{0.7, 0.2}, {0.9, 0.1}});
+    daemon.warm().Put(LcAppKind::kRedis, {{0.6, 0.3}});
+    std::string error;
+    ASSERT_TRUE(daemon.SaveSnapshot(path, &error)) << error;
+    // Staged write leaves no temp file behind.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  }
+
+  RhythmDaemon restored(options);
+  std::string error;
+  ASSERT_TRUE(restored.RestoreSnapshot(path, &error)) << error;
+  const auto solr = restored.warm().Get(LcAppKind::kSolr);
+  ASSERT_EQ(solr.size(), 2u);
+  EXPECT_DOUBLE_EQ(solr[0].loadlimit, 0.7);
+  EXPECT_DOUBLE_EQ(solr[1].slacklimit, 0.1);
+  const auto redis = restored.warm().Get(LcAppKind::kRedis);
+  ASSERT_EQ(redis.size(), 1u);
+  EXPECT_DOUBLE_EQ(redis[0].slacklimit, 0.3);
+
+  std::remove(path.c_str());
+}
+
+TEST(DaemonSnapshotTest, ThresholdDoublesSurviveBitExactly) {
+  const std::string path = TempPath("bits");
+  DaemonOptions options;
+  options.server.port = 0;
+  RhythmDaemon daemon(options);
+  // Awkward doubles: only %.17g round-trips these exactly.
+  const double loadlimit = 0.1 + 0.2;          // 0.30000000000000004
+  const double slacklimit = 1.0 / 3.0;
+  daemon.warm().Put(LcAppKind::kElgg, {{loadlimit, slacklimit}});
+  std::string error;
+  ASSERT_TRUE(daemon.SaveSnapshot(path, &error)) << error;
+
+  RhythmDaemon restored(options);
+  ASSERT_TRUE(restored.RestoreSnapshot(path, &error)) << error;
+  const auto pods = restored.warm().Get(LcAppKind::kElgg);
+  ASSERT_EQ(pods.size(), 1u);
+  EXPECT_EQ(pods[0].loadlimit, loadlimit);    // bit-equal, not approx.
+  EXPECT_EQ(pods[0].slacklimit, slacklimit);
+  std::remove(path.c_str());
+}
+
+TEST(DaemonSnapshotTest, RestoreRejectsGarbageWithoutMutatingState) {
+  const std::string path = TempPath("garbage");
+  {
+    std::ofstream out(path);
+    out << "{\"version\":1,\"apps\":[{\"app\":\"NotAnApp\",\"pods\":[]}]}";
+  }
+  DaemonOptions options;
+  options.server.port = 0;
+  RhythmDaemon daemon(options);
+  std::string error;
+  EXPECT_FALSE(daemon.RestoreSnapshot(path, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(daemon.warm().All().empty());  // nothing half-restored.
+
+  {
+    std::ofstream out(path);
+    out << "not json at all";
+  }
+  EXPECT_FALSE(daemon.RestoreSnapshot(path, &error));
+  {
+    std::ofstream out(path);
+    out << "{\"version\":7}";
+  }
+  EXPECT_FALSE(daemon.RestoreSnapshot(path, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+
+  EXPECT_FALSE(daemon.RestoreSnapshot(TempPath("missing"), &error));
+  std::remove(path.c_str());
+}
+
+TEST(DaemonSnapshotTest, AuditSeqNeverRewinds) {
+  const std::string path = TempPath("seq");
+  {
+    std::ofstream out(path);
+    out << "{\"version\":1,\"audit_seq\":41}";
+  }
+  DaemonOptions options;
+  options.server.port = 0;
+  RhythmDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.RestoreSnapshot(path, &error)) << error;
+  EXPECT_EQ(daemon.audit_seq(), 41u);
+  {
+    std::ofstream out(path);
+    out << "{\"version\":1,\"audit_seq\":7}";
+  }
+  ASSERT_TRUE(daemon.RestoreSnapshot(path, &error)) << error;
+  EXPECT_EQ(daemon.audit_seq(), 41u);  // the older snapshot cannot rewind.
+  std::remove(path.c_str());
+}
+
+TEST(DaemonSnapshotTest, HttpSnapshotRestoreEndpointsWork) {
+  const std::string path = TempPath("http");
+  DaemonOptions options;
+  options.server.port = 0;
+  options.snapshot_path = path;
+  RhythmDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+  daemon.warm().Put(LcAppKind::kSnms, {{0.8, 0.12}});
+
+  const TestResponse saved = Fetch(daemon.port(), "POST", "/v1/snapshot", "{}");
+  ASSERT_EQ(saved.status, 200) << saved.body;
+  EXPECT_NE(saved.body.find("\"apps\":1"), std::string::npos) << saved.body;
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  const TestResponse restored =
+      Fetch(daemon.port(), "POST", "/v1/restore",
+            "{\"path\":\"" + path + "\"}");
+  EXPECT_EQ(restored.status, 200) << restored.body;
+
+  // A missing file is the client's problem, not a crash.
+  const TestResponse missing =
+      Fetch(daemon.port(), "POST", "/v1/restore",
+            "{\"path\":\"" + TempPath("nope") + "\"}");
+  EXPECT_EQ(missing.status, 422);
+
+  // No default and no explicit path: actionable 4xx.
+  DaemonOptions bare;
+  bare.server.port = 0;
+  RhythmDaemon no_default(bare);
+  ASSERT_TRUE(no_default.Start(&error)) << error;
+  EXPECT_EQ(Fetch(no_default.port(), "POST", "/v1/snapshot", "{}").status, 422);
+  no_default.Stop();
+
+  daemon.Stop();
+  std::remove(path.c_str());
+}
+
+TEST(DaemonAuditTest, AuditRecordingsLandPerQuery) {
+  const std::string dir = TempPath("audit");
+  std::filesystem::create_directories(dir);
+  DaemonOptions options;
+  options.server.port = 0;
+  options.audit_dir = dir;
+  RhythmDaemon daemon(options);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  const std::string body =
+      "{\"app\":\"Redis\",\"be\":\"wordcount\",\"seed\":7,"
+      "\"warmup_s\":2,\"measure_s\":8}";
+  const TestResponse response = Fetch(daemon.port(), "POST", "/v1/whatif", body);
+  ASSERT_EQ(response.status, 200) << response.body;
+  daemon.Stop();
+
+  EXPECT_EQ(daemon.audit_seq(), 1u);
+  const std::string audit = dir + "/whatif-1.jsonl";
+  ASSERT_TRUE(std::filesystem::exists(audit));
+  // The audit record is a real obs recording (JSONL, meta first).
+  std::ifstream in(audit);
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("\"meta\""), std::string::npos) << first_line;
+
+  // Auditing must not perturb the served bytes.
+  WhatIfEvalOptions eval;
+  EXPECT_EQ(response.body, EvalWhatIfJson(body, eval));
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rhythm

@@ -1,0 +1,154 @@
+// Minimal blocking HTTP/1.1 test client: just enough socket plumbing for the
+// serve tests to talk to a live HttpServer on the loopback without any
+// external tooling. Not a general client — it trusts the server's framing
+// (status line + headers + Content-Length body) because that is exactly what
+// RenderHttpResponse emits.
+
+#ifndef RHYTHM_TESTS_SERVE_HTTP_CLIENT_H_
+#define RHYTHM_TESTS_SERVE_HTTP_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace rhythm {
+namespace testing {
+
+struct TestResponse {
+  int status = 0;
+  std::string body;
+  std::string raw;
+  bool ok = false;  // transport-level success (a 4xx is still ok=true).
+};
+
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~TestClient() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool SendRaw(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Reads exactly one response (headers + Content-Length body).
+  TestResponse ReadResponse() {
+    TestResponse response;
+    // Headers.
+    while (buffer_.find("\r\n\r\n") == std::string::npos) {
+      if (!Fill()) {
+        return response;
+      }
+    }
+    const size_t head_end = buffer_.find("\r\n\r\n");
+    const std::string head = buffer_.substr(0, head_end + 4);
+
+    // "HTTP/1.1 NNN ..."
+    if (head.size() < 12 || head.compare(0, 5, "HTTP/") != 0) {
+      return response;
+    }
+    response.status = std::atoi(head.c_str() + 9);
+
+    size_t content_length = 0;
+    const size_t cl = head.find("Content-Length: ");
+    if (cl != std::string::npos) {
+      content_length =
+          static_cast<size_t>(std::atoll(head.c_str() + cl + 16));
+    }
+    while (buffer_.size() < head_end + 4 + content_length) {
+      if (!Fill()) {
+        return response;
+      }
+    }
+    response.body = buffer_.substr(head_end + 4, content_length);
+    response.raw = buffer_.substr(0, head_end + 4 + content_length);
+    buffer_.erase(0, head_end + 4 + content_length);
+    response.ok = true;
+    return response;
+  }
+
+  TestResponse Request(const std::string& method, const std::string& path,
+                       const std::string& body = "",
+                       const std::string& extra_headers = "") {
+    std::string request = method + " " + path + " HTTP/1.1\r\n";
+    request += "Host: t\r\n";
+    if (!body.empty()) {
+      request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    request += extra_headers;
+    request += "\r\n";
+    request += body;
+    if (!SendRaw(request)) {
+      return {};
+    }
+    return ReadResponse();
+  }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<size_t>(n));
+        return true;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// One-connection convenience wrapper.
+inline TestResponse Fetch(int port, const std::string& method,
+                          const std::string& path,
+                          const std::string& body = "") {
+  TestClient client(port);
+  if (!client.connected()) {
+    return {};
+  }
+  return client.Request(method, path, body);
+}
+
+}  // namespace testing
+}  // namespace rhythm
+
+#endif  // RHYTHM_TESTS_SERVE_HTTP_CLIENT_H_

@@ -1,0 +1,282 @@
+#include "src/serve/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace rhythm {
+namespace {
+
+// Feeds the whole text at once and returns the first status.
+HttpRequestParser::Status ParseOne(const std::string& text, HttpRequest* out,
+                                   HttpLimits limits = {}) {
+  HttpRequestParser parser(limits);
+  parser.Feed(text.data(), text.size());
+  return parser.Next(out);
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequest request;
+  ASSERT_EQ(ParseOne("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n", &request),
+            HttpRequestParser::Status::kRequest);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.Path(), "/healthz");
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_NE(request.Header("host"), nullptr);
+  EXPECT_EQ(*request.Header("host"), "x");
+}
+
+TEST(HttpParserTest, ParsesPostBodyByContentLength) {
+  HttpRequest request;
+  ASSERT_EQ(ParseOne("POST /v1/whatif HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd",
+                     &request),
+            HttpRequestParser::Status::kRequest);
+  EXPECT_EQ(request.body, "abcd");
+}
+
+TEST(HttpParserTest, HeaderNamesAreLowercasedValuesTrimmed) {
+  HttpRequest request;
+  ASSERT_EQ(ParseOne("GET / HTTP/1.1\r\nX-Thing:   padded \r\n\r\n", &request),
+            HttpRequestParser::Status::kRequest);
+  ASSERT_NE(request.Header("x-thing"), nullptr);
+  EXPECT_EQ(*request.Header("x-thing"), "padded");
+}
+
+TEST(HttpParserTest, QueryStringIsStrippedByPath) {
+  HttpRequest request;
+  ASSERT_EQ(ParseOne("GET /metrics?debug=1 HTTP/1.1\r\n\r\n", &request),
+            HttpRequestParser::Status::kRequest);
+  EXPECT_EQ(request.Path(), "/metrics");
+}
+
+TEST(HttpParserTest, ConnectionHeaderControlsPersistence) {
+  HttpRequest request;
+  ASSERT_EQ(ParseOne("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", &request),
+            HttpRequestParser::Status::kRequest);
+  EXPECT_FALSE(request.keep_alive);
+  ASSERT_EQ(ParseOne("GET / HTTP/1.0\r\n\r\n", &request),
+            HttpRequestParser::Status::kRequest);
+  EXPECT_FALSE(request.keep_alive);
+  ASSERT_EQ(ParseOne("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+                     &request),
+            HttpRequestParser::Status::kRequest);
+  EXPECT_TRUE(request.keep_alive);
+}
+
+TEST(HttpParserTest, IncrementalFeedAcrossArbitrarySplits) {
+  const std::string text =
+      "POST /v1/whatif HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"a\":1}\r\n";
+  for (size_t split = 1; split < text.size(); ++split) {
+    HttpRequestParser parser{HttpLimits{}};
+    parser.Feed(text.data(), split);
+    HttpRequest request;
+    const auto early = parser.Next(&request);
+    ASSERT_TRUE(early == HttpRequestParser::Status::kNeedMore ||
+                early == HttpRequestParser::Status::kRequest)
+        << "split at " << split;
+    if (early == HttpRequestParser::Status::kNeedMore) {
+      parser.Feed(text.data() + split, text.size() - split);
+      ASSERT_EQ(parser.Next(&request), HttpRequestParser::Status::kRequest)
+          << "split at " << split;
+    }
+    EXPECT_EQ(request.body, "{\"a\":1}\r\n");
+  }
+}
+
+TEST(HttpParserTest, PipelinedRequestsComeBackInOrder) {
+  HttpRequestParser parser{HttpLimits{}};
+  const std::string two =
+      "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+  parser.Feed(two.data(), two.size());
+  HttpRequest first, second;
+  ASSERT_EQ(parser.Next(&first), HttpRequestParser::Status::kRequest);
+  ASSERT_EQ(parser.Next(&second), HttpRequestParser::Status::kRequest);
+  EXPECT_EQ(first.target, "/a");
+  EXPECT_EQ(second.target, "/b");
+  EXPECT_EQ(second.body, "hi");
+  HttpRequest third;
+  EXPECT_EQ(parser.Next(&third), HttpRequestParser::Status::kNeedMore);
+}
+
+TEST(HttpParserTest, TruncatedRequestJustNeedsMore) {
+  HttpRequest request;
+  EXPECT_EQ(ParseOne("GET /part", &request),
+            HttpRequestParser::Status::kNeedMore);
+  EXPECT_EQ(ParseOne("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+                     &request),
+            HttpRequestParser::Status::kNeedMore);
+}
+
+TEST(HttpParserTest, MalformedInputsGet4xxStatuses) {
+  const struct {
+    const char* text;
+    int status;
+  } kCases[] = {
+      {"GARBAGE\r\n\r\n", 400},                                  // no spaces.
+      {"GET /a b HTTP/1.1\r\n\r\n", 400},                        // 3 spaces.
+      {"GET relative HTTP/1.1\r\n\r\n", 400},                    // no slash.
+      {"G@T / HTTP/1.1\r\n\r\n", 400},                           // bad token.
+      {"GET / HTTP/2.0\r\n\r\n", 505},                           // version.
+      {"GET / HTTP/1.1\r\nNo colon\r\n\r\n", 400},               // header.
+      {"GET / HTTP/1.1\r\n: empty\r\n\r\n", 400},                // empty name.
+      {"GET / HTTP/1.1\r\nBad Name: x\r\n\r\n", 400},            // space.
+      {"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},    // sign.
+      {"POST / HTTP/1.1\r\nContent-Length: 1 1\r\n\r\n", 400},   // junk.
+      {"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 400},   // letters.
+      {"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n",
+       400},                                                     // conflict.
+      {"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+  };
+  for (const auto& c : kCases) {
+    HttpRequest request;
+    HttpRequestParser parser{HttpLimits{}};
+    parser.Feed(c.text, std::string(c.text).size());
+    ASSERT_EQ(parser.Next(&request), HttpRequestParser::Status::kError)
+        << c.text;
+    EXPECT_EQ(parser.error_status(), c.status) << c.text;
+    EXPECT_FALSE(parser.error().empty());
+  }
+}
+
+TEST(HttpParserTest, ErrorsAreStickyAgainstSmuggling) {
+  HttpRequestParser parser{HttpLimits{}};
+  const std::string bad = "POST / HTTP/1.1\r\nContent-Length: zz\r\n\r\n";
+  parser.Feed(bad.data(), bad.size());
+  HttpRequest request;
+  ASSERT_EQ(parser.Next(&request), HttpRequestParser::Status::kError);
+  // A perfectly valid request after the poison pill must NOT parse: the
+  // connection's framing is no longer trustworthy.
+  const std::string good = "GET / HTTP/1.1\r\n\r\n";
+  parser.Feed(good.data(), good.size());
+  EXPECT_EQ(parser.Next(&request), HttpRequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, OversizedHeaderSectionIs431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 256;
+  std::string text = "GET / HTTP/1.1\r\nX-Pad: ";
+  text += std::string(512, 'a');
+  text += "\r\n\r\n";
+  HttpRequest request;
+  ASSERT_EQ(ParseOne(text, &request, limits),
+            HttpRequestParser::Status::kError);
+  // Also trips before the terminator ever arrives (streaming cap).
+  HttpRequestParser parser(limits);
+  const std::string endless = "GET / HTTP/1.1\r\nX-Pad: " + std::string(512, 'a');
+  parser.Feed(endless.data(), endless.size());
+  ASSERT_EQ(parser.Next(&request), HttpRequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, OversizedBodyIs413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 64;
+  HttpRequest request;
+  HttpRequestParser parser(limits);
+  const std::string text = "POST / HTTP/1.1\r\nContent-Length: 65\r\n\r\n";
+  parser.Feed(text.data(), text.size());
+  ASSERT_EQ(parser.Next(&request), HttpRequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+// Seeded fuzz: random byte soup, random mutations of valid requests, and
+// random split points must never crash, hang, or mis-frame — every feed ends
+// in kRequest, kNeedMore, or a 4xx/5xx poison. Run under ASan/UBSan in CI.
+TEST(HttpParserFuzzTest, RandomByteSoupNeverCrashes) {
+  SplitMix64 rng(0xF00DF00DULL);
+  for (int round = 0; round < 2000; ++round) {
+    const size_t length = rng.Next() % 300;
+    std::string soup;
+    soup.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      // Bias toward structural bytes so some rounds get past the request line.
+      const uint64_t roll = rng.Next() % 100;
+      if (roll < 30) {
+        soup += "GET / HTTP/1.1\r\n\r\n"[rng.Next() % 18];
+      } else if (roll < 40) {
+        soup += "\r\n: ";
+      } else {
+        soup += static_cast<char>(rng.Next() % 256);
+      }
+    }
+    HttpRequestParser parser{HttpLimits{}};
+    size_t offset = 0;
+    while (offset < soup.size()) {
+      const size_t chunk = 1 + rng.Next() % 64;
+      const size_t take = std::min(chunk, soup.size() - offset);
+      parser.Feed(soup.data() + offset, take);
+      offset += take;
+      HttpRequest request;
+      for (int drain = 0; drain < 8; ++drain) {
+        const auto status = parser.Next(&request);
+        if (status != HttpRequestParser::Status::kRequest) {
+          if (status == HttpRequestParser::Status::kError) {
+            ASSERT_GE(parser.error_status(), 400);
+            ASSERT_LT(parser.error_status(), 600);
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(HttpParserFuzzTest, MutatedValidRequestsFailCleanly) {
+  const std::string valid =
+      "POST /v1/whatif HTTP/1.1\r\nHost: localhost\r\nContent-Length: 11\r\n"
+      "\r\n{\"seed\": 1}";
+  SplitMix64 rng(0xBEEFCAFEULL);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = valid;
+    const int edits = 1 + static_cast<int>(rng.Next() % 4);
+    for (int e = 0; e < edits; ++e) {
+      const size_t at = rng.Next() % mutated.size();
+      switch (rng.Next() % 3) {
+        case 0:
+          mutated[at] = static_cast<char>(rng.Next() % 256);
+          break;
+        case 1:
+          mutated.erase(at, 1);
+          break;
+        default:
+          mutated.insert(at, 1, static_cast<char>(rng.Next() % 256));
+          break;
+      }
+    }
+    HttpRequestParser parser{HttpLimits{}};
+    parser.Feed(mutated.data(), mutated.size());
+    HttpRequest request;
+    const auto status = parser.Next(&request);
+    if (status == HttpRequestParser::Status::kError) {
+      ASSERT_GE(parser.error_status(), 400);
+      ASSERT_LT(parser.error_status(), 600);
+      ASSERT_FALSE(parser.error().empty());
+    }
+  }
+}
+
+TEST(HttpResponseTest, RenderIsDeterministic) {
+  HttpResponse response;
+  response.body = "{\"x\":1}";
+  const std::string a = RenderHttpResponse(response, /*keep_alive=*/true);
+  const std::string b = RenderHttpResponse(response, /*keep_alive=*/true);
+  EXPECT_EQ(a, b);
+  // No Date header — served bytes cannot depend on when they were served.
+  EXPECT_EQ(a.find("Date:"), std::string::npos);
+  EXPECT_NE(a.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(a.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+}
+
+TEST(HttpResponseTest, HttpErrorBodiesAreJson) {
+  const HttpResponse error = HttpError(422, "bad \"thing\"");
+  EXPECT_EQ(error.status, 422);
+  EXPECT_EQ(error.body, "{\"error\":\"bad \\\"thing\\\"\"}");
+}
+
+}  // namespace
+}  // namespace rhythm
